@@ -1,0 +1,59 @@
+// Ablation: the robustness filter's probability threshold rho_thresh.
+// The paper settles on 0.5 — "strict enough to drop hopeless assignments,
+// loose enough not to restrict a heuristic to only high-performance (and
+// therefore high energy) P-states". This harness sweeps the threshold for
+// LL (en+rob) and Random (rob), the two configurations most sensitive to it.
+//
+// Usage: ./ablation_rho_thresh [num_trials]   (default 25)
+#include <cstdlib>
+#include <iostream>
+
+#include "experiment/paper_config.hpp"
+#include "sim/experiment_runner.hpp"
+#include "stats/summary.hpp"
+#include "stats/table_writer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecdra;
+
+  sim::RunOptions options;
+  options.num_trials = argc > 1
+                           ? static_cast<std::size_t>(std::atoi(argv[1]))
+                           : 25;
+  const sim::ExperimentSetup setup = experiment::BuildPaperSetup();
+  std::cout << "== Ablation: robustness-filter threshold rho_thresh ("
+            << options.num_trials << " trials) ==\n\n";
+
+  for (const auto& [heuristic, variant] :
+       std::vector<std::pair<std::string, std::string>>{{"LL", "en+rob"},
+                                                        {"Random", "rob"}}) {
+    std::cout << heuristic << " (" << variant << "):\n";
+    stats::Table table({"rho_thresh", "median missed", "Q1", "Q3",
+                        "mean discarded"});
+    for (const double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      sim::RunOptions run = options;
+      run.filter_options.robustness_threshold = threshold;
+      const std::vector<sim::TrialResult> trials =
+          sim::RunTrials(setup, heuristic, variant, run);
+      std::vector<double> misses;
+      double discarded = 0.0;
+      for (const sim::TrialResult& trial : trials) {
+        misses.push_back(static_cast<double>(trial.missed_deadlines));
+        discarded += static_cast<double>(trial.discarded);
+      }
+      const stats::BoxWhisker box = stats::Summarize(misses);
+      table.AddRow({stats::Table::Num(threshold, 1),
+                    stats::Table::Num(box.median, 1),
+                    stats::Table::Num(box.q1, 1),
+                    stats::Table::Num(box.q3, 1),
+                    stats::Table::Num(
+                        discarded / static_cast<double>(trials.size()), 1)});
+    }
+    table.PrintText(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "high thresholds discard aggressively (tasks with no "
+               ">=rho_thresh assignment are dropped); low thresholds stop "
+               "filtering anything.\n";
+  return 0;
+}

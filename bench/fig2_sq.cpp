@@ -1,0 +1,11 @@
+// Figure 2: missed deadlines for all filter variants of the Shortest Queue
+// heuristic, box-and-whiskers over the Monte-Carlo trials.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecdra;
+  return bench::RunFigureBench(
+      argc, argv, "Figure 2 — SQ heuristic, all filter variants",
+      experiment::VariantsOfHeuristic("SQ"),
+      {{"SQ (none)", 375.5}, {"SQ (en+rob)", 234.5}});
+}

@@ -1,0 +1,11 @@
+// Figure 3: missed deadlines for all filter variants of the Minimum
+// Expected Completion Time heuristic.
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecdra;
+  return bench::RunFigureBench(
+      argc, argv, "Figure 3 — MECT heuristic, all filter variants",
+      experiment::VariantsOfHeuristic("MECT"),
+      {{"MECT (none)", 370.0}, {"MECT (en+rob)", 239.5}});
+}

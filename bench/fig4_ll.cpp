@@ -1,0 +1,11 @@
+// Figure 4: missed deadlines for all filter variants of the Lightest Load
+// heuristic (the paper's novel heuristic, Eq. 5).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecdra;
+  return bench::RunFigureBench(
+      argc, argv, "Figure 4 — LL heuristic, all filter variants",
+      experiment::VariantsOfHeuristic("LL"),
+      {{"LL (none)", 381.0}, {"LL (en+rob)", 226.0}});
+}

@@ -1,0 +1,16 @@
+// Figure 5: missed deadlines for all filter variants of the Random
+// heuristic. The paper's signature observations: energy filtering alone
+// slightly *worsens* Random (it removes the high-performance assignments),
+// while robustness filtering alone gives a large improvement (it removes
+// the low-performance ones).
+#include "figure_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecdra;
+  return bench::RunFigureBench(
+      argc, argv, "Figure 5 — Random heuristic, all filter variants",
+      experiment::VariantsOfHeuristic("Random"),
+      {{"Random (none)", 561.5},
+       {"Random (rob)", 335.5},
+       {"Random (en+rob)", 266.0}});
+}

@@ -1,0 +1,80 @@
+// Microbenchmarks of the pmf substrate — the paper notes "convolutions can
+// take considerable time, but the overhead can be negligible if task
+// execution times are sufficiently long"; these quantify the actual cost of
+// the operations on the scheduler's hot path.
+#include <benchmark/benchmark.h>
+
+#include "pmf/distribution_factory.hpp"
+#include "pmf/pmf.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using ecdra::pmf::Convolve;
+using ecdra::pmf::DiscretizedGamma;
+using ecdra::pmf::Pmf;
+using ecdra::pmf::ProbSumLeq;
+
+Pmf MakePmf(std::size_t n, std::uint64_t seed) {
+  ecdra::util::RngStream rng(seed);
+  std::vector<ecdra::pmf::Impulse> impulses;
+  for (std::size_t i = 0; i < n; ++i) {
+    impulses.push_back({rng.UniformReal(500.0, 1500.0),
+                        rng.UniformReal(0.01, 1.0)});
+  }
+  return Pmf::FromImpulses(std::move(impulses), n);
+}
+
+void BM_Convolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Pmf x = MakePmf(n, 1);
+  const Pmf y = MakePmf(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Convolve(x, y));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Convolve)->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(64)->Complexity();
+
+void BM_ProbSumLeq(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const Pmf x = MakePmf(n, 3);
+  const Pmf y = MakePmf(n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProbSumLeq(x, y, 2100.0));
+  }
+}
+BENCHMARK(BM_ProbSumLeq)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_TruncateRenormalize(benchmark::State& state) {
+  const Pmf pmf = MakePmf(32, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.TruncateBelow(900.0));
+  }
+}
+BENCHMARK(BM_TruncateRenormalize);
+
+void BM_Compact(benchmark::State& state) {
+  const Pmf pmf = MakePmf(1024, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.Compact(32));
+  }
+}
+BENCHMARK(BM_Compact);
+
+void BM_Expectation(benchmark::State& state) {
+  const Pmf pmf = MakePmf(32, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.Expectation());
+  }
+}
+BENCHMARK(BM_Expectation);
+
+void BM_DiscretizedGamma(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DiscretizedGamma(750.0, 0.25));
+  }
+}
+BENCHMARK(BM_DiscretizedGamma);
+
+}  // namespace

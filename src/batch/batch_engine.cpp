@@ -1,0 +1,211 @@
+#include "batch/batch_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ecdra::batch {
+
+BatchEngine::BatchEngine(const cluster::Cluster& cluster,
+                         const workload::TaskTypeTable& types,
+                         std::vector<workload::Task> tasks,
+                         BatchScheduler& scheduler,
+                         const BatchTrialOptions& options,
+                         util::RngStream rng)
+    : cluster_(&cluster),
+      types_(&types),
+      tasks_(std::move(tasks)),
+      scheduler_(&scheduler),
+      options_(options),
+      rng_(std::move(rng)),
+      runtime_(cluster.total_cores()),
+      meter_(cluster, cluster::kNumPStates - 1),
+      idle_pstate_(cluster::kNumPStates - 1) {
+  ECDRA_REQUIRE(options.energy_budget > 0.0, "energy budget must be positive");
+  ECDRA_REQUIRE(std::is_sorted(tasks_.begin(), tasks_.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.arrival < b.arrival;
+                               }),
+                "tasks must be sorted by arrival time");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    ECDRA_REQUIRE(tasks_[i].id == i, "task ids must equal arrival order");
+  }
+  const bool gated = options_.idle_policy == sim::IdlePolicy::kPowerGated;
+  for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+    runtime_[flat].current_pstate = idle_pstate_;
+    runtime_[flat].log.push_back({0.0, idle_pstate_, gated ? 0.0 : -1.0});
+    if (gated) meter_.SetPStateWithPower(flat, idle_pstate_, 0.0);
+  }
+  if (options_.collect_task_records) {
+    records_.resize(tasks_.size());
+    for (const workload::Task& task : tasks_) {
+      sim::TaskRecord& record = records_[task.id];
+      record.task_id = task.id;
+      record.type = task.type;
+      record.arrival = task.arrival;
+      record.deadline = task.deadline;
+      record.priority = task.priority;
+    }
+  }
+}
+
+sim::TrialResult BatchEngine::Run() {
+  sim::TrialResult result;
+  result.window_size = tasks_.size();
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    result.weighted_total += tasks_[i].priority;
+    events_.push(Event{tasks_[i].arrival, 1, i, next_seq_++});
+  }
+
+  double now = 0.0;
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    AdvanceEnergy(event.time);
+    now = event.time;
+    if (event.kind == 1) {
+      pending_.push_back(tasks_[event.index]);
+    } else {
+      const std::size_t flat = event.index;
+      const std::size_t task_id = runtime_[flat].running_task;
+      const workload::Task& task = tasks_[task_id];
+      const bool on_time = now <= task.deadline;
+      const bool within_energy = !exhausted_at_ || now <= *exhausted_at_;
+      if (on_time && within_energy) {
+        ++result.completed;
+        result.weighted_completed += task.priority;
+      } else if (!on_time) {
+        ++result.finished_late;
+      } else {
+        ++result.on_time_but_over_budget;
+      }
+      if (options_.collect_task_records) {
+        sim::TaskRecord& record = records_[task_id];
+        record.finish_time = now;
+        record.on_time = on_time;
+        record.within_energy = within_energy;
+      }
+      runtime_[flat].busy = false;
+      --in_flight_;
+    }
+    RunMappingEvent(now, result);
+  }
+
+  std::vector<cluster::TransitionLog> logs;
+  logs.reserve(runtime_.size());
+  for (CoreRuntime& core : runtime_) {
+    core.log.push_back({now, core.current_pstate});
+    logs.push_back(core.log);
+  }
+  const double post_hoc = cluster::ClusterEnergyFromLogs(*cluster_, logs);
+  ECDRA_ASSERT(std::fabs(post_hoc - meter_.consumed()) <=
+                   1e-6 * std::max(1.0, std::fabs(post_hoc)),
+               "online and post-hoc energy accounting disagree");
+
+  // Tasks still unmapped when the event queue drains (the filters kept
+  // eliminating every candidate, e.g. after the budget estimate collapsed)
+  // were never executed — the batch analogue of a discard.
+  result.discarded += pending_.size();
+  pending_.clear();
+
+  result.missed_deadlines = result.window_size - result.completed;
+  result.weighted_missed = result.weighted_total - result.weighted_completed;
+  result.total_energy = post_hoc;
+  result.energy_exhausted_at = exhausted_at_;
+  result.estimated_energy_remaining = scheduler_->estimator().remaining();
+  result.makespan = now;
+  result.task_records = std::move(records_);
+  return result;
+}
+
+void BatchEngine::RunMappingEvent(double now, sim::TrialResult& result) {
+  if (options_.cancel_policy == sim::CancelPolicy::kCancelHopelessQueued) {
+    std::erase_if(pending_, [&](const workload::Task& task) {
+      if (task.deadline >= now) return false;
+      ++result.cancelled;
+      if (options_.collect_task_records) {
+        records_[task.id].cancelled = true;
+        records_[task.id].finish_time = now;
+      }
+      return true;
+    });
+  }
+
+  std::vector<bool> idle(runtime_.size());
+  for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+    idle[flat] = !runtime_[flat].busy;
+  }
+  std::vector<BatchAssignment> assignments =
+      scheduler_->MapEvent(pending_, idle, now, in_flight_);
+
+  // Start the committed assignments, then erase the mapped tasks from the
+  // pending queue (descending index order keeps indices valid).
+  std::vector<std::size_t> mapped;
+  mapped.reserve(assignments.size());
+  for (const BatchAssignment& assignment : assignments) {
+    const workload::Task& task = pending_[assignment.pending_index];
+    const std::size_t flat = assignment.candidate.assignment.flat_core;
+    ECDRA_ASSERT(!runtime_[flat].busy,
+                 "batch heuristic assigned two tasks to one core");
+    SwitchPState(flat, assignment.candidate.assignment.pstate, now);
+    util::RngStream stream = rng_.Substream("exec-u", task.id);
+    const double duration = assignment.candidate.exec->Sample(stream);
+    runtime_[flat].busy = true;
+    runtime_[flat].running_task = task.id;
+    events_.push(Event{now + duration, 0, flat, next_seq_++});
+    ++in_flight_;
+    if (options_.collect_task_records) {
+      sim::TaskRecord& record = records_[task.id];
+      record.assigned = true;
+      record.flat_core = flat;
+      record.pstate = assignment.candidate.assignment.pstate;
+      record.start_time = now;
+      record.rho_at_assignment =
+          BatchOnTimeProbability(assignment.candidate, task, now);
+    }
+    mapped.push_back(assignment.pending_index);
+  }
+  std::sort(mapped.begin(), mapped.end(), std::greater<>());
+  for (const std::size_t index : mapped) {
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(index));
+  }
+
+  if (options_.idle_policy == sim::IdlePolicy::kDeepestPState) {
+    for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+      if (!runtime_[flat].busy) SwitchPState(flat, idle_pstate_, now);
+    }
+  } else if (options_.idle_policy == sim::IdlePolicy::kPowerGated) {
+    for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+      if (!runtime_[flat].busy) SwitchPState(flat, idle_pstate_, now, 0.0);
+    }
+  }
+}
+
+void BatchEngine::SwitchPState(std::size_t flat_core,
+                               cluster::PStateIndex pstate, double now,
+                               double core_watts) {
+  CoreRuntime& core = runtime_[flat_core];
+  const bool same_power = core_watts < 0.0
+                              ? core.log.back().power_watts < 0.0
+                              : core.log.back().power_watts == core_watts;
+  if (core.current_pstate == pstate && same_power) return;
+  core.current_pstate = pstate;
+  core.log.push_back({now, pstate, core_watts});
+  if (core_watts >= 0.0) {
+    meter_.SetPStateWithPower(flat_core, pstate, core_watts);
+  } else {
+    meter_.SetPState(flat_core, pstate);
+  }
+}
+
+void BatchEngine::AdvanceEnergy(double to_time) {
+  if (!exhausted_at_) {
+    exhausted_at_ = meter_.BudgetCrossingTime(options_.energy_budget, to_time);
+  }
+  meter_.AdvanceTo(to_time);
+}
+
+}  // namespace ecdra::batch

@@ -1,0 +1,86 @@
+// Discrete-event simulation of one trial under batch-mode mapping: arriving
+// tasks join a global unmapped queue; at every event (arrival or
+// completion) the BatchScheduler reconsiders the whole queue against the
+// idle cores. Energy accounting, deadline/budget semantics, and the
+// TrialResult format are identical to the immediate-mode Engine, so the two
+// regimes are directly comparable.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "batch/batch_scheduler.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/energy_accounting.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+#include "workload/task.hpp"
+#include "workload/task_type_table.hpp"
+
+namespace ecdra::batch {
+
+struct BatchTrialOptions {
+  double energy_budget = 0.0;
+  sim::IdlePolicy idle_policy = sim::IdlePolicy::kDeepestPState;
+  /// kCancelHopelessQueued drops *pending* tasks whose deadline has passed
+  /// at each mapping event (batch mode cannot cancel running tasks either).
+  sim::CancelPolicy cancel_policy = sim::CancelPolicy::kRunToCompletion;
+  bool collect_task_records = false;
+};
+
+class BatchEngine {
+ public:
+  BatchEngine(const cluster::Cluster& cluster,
+              const workload::TaskTypeTable& types,
+              std::vector<workload::Task> tasks, BatchScheduler& scheduler,
+              const BatchTrialOptions& options, util::RngStream rng);
+
+  [[nodiscard]] sim::TrialResult Run();
+
+ private:
+  struct CoreRuntime {
+    cluster::PStateIndex current_pstate = 0;
+    cluster::TransitionLog log;
+    bool busy = false;
+    std::size_t running_task = 0;
+  };
+  struct Event {
+    double time = 0.0;
+    int kind = 0;  // 0 = finish, 1 = arrival
+    std::size_t index = 0;
+    std::uint64_t seq = 0;
+
+    [[nodiscard]] bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      if (kind != other.kind) return kind > other.kind;
+      return seq > other.seq;
+    }
+  };
+
+  void RunMappingEvent(double now, sim::TrialResult& result);
+  /// `core_watts` < 0 uses the profile's average power for the state.
+  void SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
+                    double now, double core_watts = -1.0);
+  void AdvanceEnergy(double to_time);
+
+  const cluster::Cluster* cluster_;
+  const workload::TaskTypeTable* types_;
+  std::vector<workload::Task> tasks_;
+  BatchScheduler* scheduler_;
+  BatchTrialOptions options_;
+  util::RngStream rng_;
+
+  std::vector<CoreRuntime> runtime_;
+  std::vector<workload::Task> pending_;
+  cluster::OnlineEnergyMeter meter_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::optional<double> exhausted_at_;
+  std::size_t in_flight_ = 0;
+  std::vector<sim::TaskRecord> records_;
+  cluster::PStateIndex idle_pstate_;
+};
+
+}  // namespace ecdra::batch

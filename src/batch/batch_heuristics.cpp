@@ -1,0 +1,149 @@
+#include "batch/batch_heuristics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace ecdra::batch {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Per-task score of its best remaining candidate; used by every two-phase
+/// heuristic. `score(task, candidate)` — lower is better.
+struct Scored {
+  const core::Candidate* best = nullptr;
+  double best_score = kInf;
+  double second_core_score = kInf;  // best score achieved on another core
+};
+
+template <typename ScoreFn>
+Scored ScoreTask(const BatchTask& task, const std::vector<bool>& core_taken,
+                 ScoreFn&& score) {
+  Scored result;
+  for (const core::Candidate& candidate : task.candidates) {
+    if (core_taken[candidate.assignment.flat_core]) continue;
+    const double s = score(task, candidate);
+    if (s < result.best_score) {
+      if (result.best != nullptr &&
+          result.best->assignment.flat_core != candidate.assignment.flat_core) {
+        result.second_core_score = result.best_score;
+      }
+      result.best = &candidate;
+      result.best_score = s;
+    } else if (result.best != nullptr &&
+               candidate.assignment.flat_core !=
+                   result.best->assignment.flat_core &&
+               s < result.second_core_score) {
+      result.second_core_score = s;
+    }
+  }
+  return result;
+}
+
+/// Generic two-phase greedy: repeatedly score every unassigned task's best
+/// remaining candidate, pick the task minimizing `select(scored)`, commit,
+/// repeat until no task has a feasible core left.
+template <typename ScoreFn, typename SelectFn>
+std::vector<BatchAssignment> TwoPhaseGreedy(const std::vector<BatchTask>& tasks,
+                                            ScoreFn&& score,
+                                            SelectFn&& select) {
+  std::size_t max_core = 0;
+  for (const BatchTask& task : tasks) {
+    for (const core::Candidate& candidate : task.candidates) {
+      max_core = std::max(max_core, candidate.assignment.flat_core);
+    }
+  }
+  std::vector<bool> core_taken(max_core + 1, false);
+  std::vector<bool> task_done(tasks.size(), false);
+  std::vector<BatchAssignment> assignments;
+
+  for (;;) {
+    const core::Candidate* chosen_candidate = nullptr;
+    std::size_t chosen_task = 0;
+    double chosen_priority = kInf;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (task_done[i]) continue;
+      const Scored scored = ScoreTask(tasks[i], core_taken, score);
+      if (scored.best == nullptr) continue;  // no feasible core left
+      const double priority = select(scored);
+      if (priority < chosen_priority) {
+        chosen_priority = priority;
+        chosen_task = i;
+        chosen_candidate = scored.best;
+      }
+    }
+    if (chosen_candidate == nullptr) break;
+    core_taken[chosen_candidate->assignment.flat_core] = true;
+    task_done[chosen_task] = true;
+    assignments.push_back(
+        BatchAssignment{tasks[chosen_task].pending_index, *chosen_candidate});
+  }
+  return assignments;
+}
+
+}  // namespace
+
+std::vector<BatchAssignment> MinMinCompletionTime::MapBatch(
+    const std::vector<BatchTask>& tasks, double now) {
+  if (tasks.empty()) return {};
+  return TwoPhaseGreedy(
+      tasks,
+      [now](const BatchTask&, const core::Candidate& c) { return now + c.eet; },
+      [](const Scored& s) { return s.best_score; });
+}
+
+std::vector<BatchAssignment> Sufferage::MapBatch(
+    const std::vector<BatchTask>& tasks, double now) {
+  if (tasks.empty()) return {};
+  return TwoPhaseGreedy(
+      tasks,
+      [now](const BatchTask&, const core::Candidate& c) { return now + c.eet; },
+      [](const Scored& s) {
+        // Largest sufferage first; tasks with only one feasible core have
+        // infinite sufferage and are mapped before anything else.
+        const double sufferage = s.second_core_score == kInf
+                                     ? kInf
+                                     : s.second_core_score - s.best_score;
+        return -sufferage;
+      });
+}
+
+std::vector<BatchAssignment> MaxMaxRobustness::MapBatch(
+    const std::vector<BatchTask>& tasks, double now) {
+  if (tasks.empty()) return {};
+  return TwoPhaseGreedy(
+      tasks,
+      [now](const BatchTask& task, const core::Candidate& c) {
+        // Lower score = higher rho.
+        return -BatchOnTimeProbability(c, *task.task, now);
+      },
+      [](const Scored& s) { return s.best_score; });
+}
+
+std::vector<BatchAssignment> MinMinEnergy::MapBatch(
+    const std::vector<BatchTask>& tasks, double /*now*/) {
+  if (tasks.empty()) return {};
+  return TwoPhaseGreedy(
+      tasks,
+      [](const BatchTask&, const core::Candidate& c) { return c.eec; },
+      [](const Scored& s) { return s.best_score; });
+}
+
+const std::vector<std::string>& BatchHeuristicNames() {
+  static const std::vector<std::string> kNames{"MinMinCT", "Sufferage",
+                                               "MaxMaxRob", "MinMinEnergy"};
+  return kNames;
+}
+
+std::unique_ptr<BatchHeuristic> MakeBatchHeuristic(std::string_view name) {
+  if (name == "MinMinCT") return std::make_unique<MinMinCompletionTime>();
+  if (name == "Sufferage") return std::make_unique<Sufferage>();
+  if (name == "MaxMaxRob") return std::make_unique<MaxMaxRobustness>();
+  if (name == "MinMinEnergy") return std::make_unique<MinMinEnergy>();
+  throw std::invalid_argument("unknown batch heuristic: " + std::string(name));
+}
+
+}  // namespace ecdra::batch

@@ -1,0 +1,64 @@
+// The classic two-phase greedy batch heuristics, adapted to this
+// environment (candidates carry a P-state dimension and stochastic
+// quantities):
+//
+//  * Min-Min completion time [MaA99]: map the task that can finish soonest.
+//  * Sufferage [MaA99 family]: map the task that would suffer most from not
+//    getting its best core (largest best-vs-second-best-core ECT gap).
+//  * Max-Max robustness [SmA10 flavour]: map the task with the highest
+//    achievable on-time probability, at its most robust assignment.
+//  * Min-Min energy: map the task with the cheapest achievable assignment —
+//    the batch analogue of greedy energy minimization.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "batch/batch_heuristic.hpp"
+
+namespace ecdra::batch {
+
+class MinMinCompletionTime final : public BatchHeuristic {
+ public:
+  [[nodiscard]] std::vector<BatchAssignment> MapBatch(
+      const std::vector<BatchTask>& tasks, double now) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MinMinCT";
+  }
+};
+
+class Sufferage final : public BatchHeuristic {
+ public:
+  [[nodiscard]] std::vector<BatchAssignment> MapBatch(
+      const std::vector<BatchTask>& tasks, double now) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Sufferage";
+  }
+};
+
+class MaxMaxRobustness final : public BatchHeuristic {
+ public:
+  [[nodiscard]] std::vector<BatchAssignment> MapBatch(
+      const std::vector<BatchTask>& tasks, double now) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MaxMaxRob";
+  }
+};
+
+class MinMinEnergy final : public BatchHeuristic {
+ public:
+  [[nodiscard]] std::vector<BatchAssignment> MapBatch(
+      const std::vector<BatchTask>& tasks, double now) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MinMinEnergy";
+  }
+};
+
+/// All batch heuristic names.
+[[nodiscard]] const std::vector<std::string>& BatchHeuristicNames();
+
+/// Factory by name; throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<BatchHeuristic> MakeBatchHeuristic(
+    std::string_view name);
+
+}  // namespace ecdra::batch

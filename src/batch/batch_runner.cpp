@@ -1,0 +1,55 @@
+#include "batch/batch_runner.hpp"
+
+#include <future>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace ecdra::batch {
+
+sim::TrialResult RunBatchTrial(const sim::ExperimentSetup& setup,
+                               const std::string& heuristic,
+                               std::size_t trial_index,
+                               const BatchRunOptions& options) {
+  // Identical substream derivation to sim::RunSingleTrial: the same trial
+  // index sees the same workload and the same execution-time draws.
+  util::RngStream trial_rng =
+      util::RngStream(setup.master_seed).Substream("trial", trial_index);
+  util::RngStream workload_rng = trial_rng.Substream("workload");
+  std::vector<workload::Task> tasks =
+      workload::GenerateWorkload(setup.types, setup.workload, workload_rng);
+
+  BatchScheduler scheduler(setup.cluster, setup.types,
+                           MakeBatchHeuristic(heuristic), options.filters,
+                           setup.energy_budget, setup.window_size);
+  const BatchTrialOptions trial_options{
+      .energy_budget = setup.energy_budget,
+      .idle_policy = options.idle_policy,
+      .cancel_policy = options.cancel_policy,
+      .collect_task_records = options.collect_task_records,
+  };
+  BatchEngine engine(setup.cluster, setup.types, std::move(tasks), scheduler,
+                     trial_options, trial_rng.Substream("sim"));
+  return engine.Run();
+}
+
+std::vector<sim::TrialResult> RunBatchTrials(const sim::ExperimentSetup& setup,
+                                             const std::string& heuristic,
+                                             const BatchRunOptions& options) {
+  ECDRA_REQUIRE(options.num_trials >= 1, "need at least one trial");
+  util::ThreadPool pool(options.num_threads);
+  std::vector<std::future<sim::TrialResult>> futures;
+  futures.reserve(options.num_trials);
+  for (std::size_t trial = 0; trial < options.num_trials; ++trial) {
+    futures.push_back(pool.Submit([&, trial] {
+      return RunBatchTrial(setup, heuristic, trial, options);
+    }));
+  }
+  std::vector<sim::TrialResult> results;
+  results.reserve(options.num_trials);
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace ecdra::batch

@@ -1,0 +1,36 @@
+// Monte-Carlo runner for batch-mode configurations, mirroring
+// sim::RunTrials so immediate-mode and batch-mode results are directly
+// comparable (same ExperimentSetup, same per-trial workloads via the same
+// substreams, same TrialResult format).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "batch/batch_engine.hpp"
+#include "sim/experiment_runner.hpp"
+
+namespace ecdra::batch {
+
+struct BatchRunOptions {
+  std::size_t num_trials = 50;
+  sim::IdlePolicy idle_policy = sim::IdlePolicy::kDeepestPState;
+  sim::CancelPolicy cancel_policy = sim::CancelPolicy::kRunToCompletion;
+  bool collect_task_records = false;
+  std::size_t num_threads = 0;
+  BatchFilterOptions filters;
+};
+
+/// Runs one deterministic batch-mode trial; `heuristic` is a
+/// BatchHeuristicNames() entry.
+[[nodiscard]] sim::TrialResult RunBatchTrial(const sim::ExperimentSetup& setup,
+                                             const std::string& heuristic,
+                                             std::size_t trial_index,
+                                             const BatchRunOptions& options = {});
+
+/// Runs `options.num_trials` batch trials in parallel, ordered by index.
+[[nodiscard]] std::vector<sim::TrialResult> RunBatchTrials(
+    const sim::ExperimentSetup& setup, const std::string& heuristic,
+    const BatchRunOptions& options = {});
+
+}  // namespace ecdra::batch

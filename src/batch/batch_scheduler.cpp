@@ -1,0 +1,95 @@
+#include "batch/batch_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ecdra::batch {
+
+BatchScheduler::BatchScheduler(const cluster::Cluster& cluster,
+                               const workload::TaskTypeTable& types,
+                               std::unique_ptr<BatchHeuristic> heuristic,
+                               const BatchFilterOptions& filters,
+                               double energy_budget, std::size_t window_size)
+    : cluster_(&cluster),
+      types_(&types),
+      heuristic_(std::move(heuristic)),
+      filters_(filters),
+      energy_filter_impl_(filters.energy),
+      estimator_(energy_budget),
+      window_size_(window_size) {
+  ECDRA_REQUIRE(heuristic_ != nullptr, "batch scheduler needs a heuristic");
+  ECDRA_REQUIRE(window_size_ >= 1, "window must contain at least one task");
+  ECDRA_REQUIRE(
+      filters.robustness_threshold >= 0.0 &&
+          filters.robustness_threshold <= 1.0,
+      "robustness threshold must be a probability");
+}
+
+std::vector<BatchAssignment> BatchScheduler::MapEvent(
+    const std::vector<workload::Task>& pending,
+    const std::vector<bool>& core_idle, double now, std::size_t in_flight) {
+  ECDRA_REQUIRE(core_idle.size() == cluster_->total_cores(),
+                "one idle flag per core required");
+  if (pending.empty()) return {};
+  const bool any_idle =
+      std::any_of(core_idle.begin(), core_idle.end(), [](bool b) { return b; });
+  if (!any_idle) return {};
+
+  // Batch fair share (Eq. 6 adapted): T_left counts tasks not yet started,
+  // including the pending ones; average queue depth counts running plus
+  // waiting tasks per core.
+  const std::size_t tasks_left =
+      std::max<std::size_t>(1, window_size_ - tasks_started_);
+  const double depth =
+      static_cast<double>(in_flight + pending.size()) /
+      static_cast<double>(cluster_->total_cores());
+  const double fair_share =
+      energy_filter_impl_.MultiplierFor(depth) *
+      std::max(estimator_.remaining(), 0.0) /
+      static_cast<double>(tasks_left);
+
+  std::vector<BatchTask> batch;
+  batch.reserve(pending.size());
+  for (std::size_t index = 0; index < pending.size(); ++index) {
+    const workload::Task& task = pending[index];
+    BatchTask entry;
+    entry.pending_index = index;
+    entry.task = &task;
+    for (std::size_t flat = 0; flat < cluster_->total_cores(); ++flat) {
+      if (!core_idle[flat]) continue;
+      const std::size_t node_index = cluster_->NodeIndexOf(flat);
+      const cluster::Node& node = cluster_->node(node_index);
+      for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+        const double eet = types_->MeanExec(task.type, node_index, s);
+        core::Candidate candidate{
+            .assignment = core::Assignment{flat, s},
+            .node = node_index,
+            .exec = &types_->ExecPmf(task.type, node_index, s),
+            .eet = eet,
+            .eec = eet * node.pstates[s].power_watts / node.power_efficiency,
+        };
+        if (filters_.energy_filter && candidate.eec > fair_share) continue;
+        if (filters_.robustness_filter &&
+            BatchOnTimeProbability(candidate, task, now) <
+                filters_.robustness_threshold) {
+          continue;
+        }
+        entry.candidates.push_back(candidate);
+      }
+    }
+    if (!entry.candidates.empty()) batch.push_back(std::move(entry));
+  }
+  if (batch.empty()) return {};
+
+  std::vector<BatchAssignment> assignments = heuristic_->MapBatch(batch, now);
+  for (const BatchAssignment& assignment : assignments) {
+    ECDRA_ASSERT(assignment.pending_index < pending.size(),
+                 "batch heuristic returned an invalid pending index");
+    estimator_.Charge(assignment.candidate.eec);
+    ++tasks_started_;
+  }
+  return assignments;
+}
+
+}  // namespace ecdra::batch

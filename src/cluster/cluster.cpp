@@ -1,0 +1,47 @@
+#include "cluster/cluster.hpp"
+
+namespace ecdra::cluster {
+
+Cluster::Cluster(std::vector<Node> nodes) : nodes_(std::move(nodes)) {
+  ECDRA_REQUIRE(!nodes_.empty(), "cluster needs at least one node");
+  first_core_.reserve(nodes_.size());
+  for (const Node& node : nodes_) {
+    ECDRA_REQUIRE(node.num_processors >= 1 && node.cores_per_processor >= 1,
+                  "node must have at least one core");
+    ECDRA_REQUIRE(node.power_efficiency > 0.0 && node.power_efficiency <= 1.0,
+                  "power efficiency must be in (0, 1]");
+    first_core_.push_back(total_cores_);
+    total_cores_ += node.total_cores();
+  }
+  node_of_.resize(total_cores_);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t c = 0; c < nodes_[i].total_cores(); ++c) {
+      node_of_[first_core_[i] + c] = i;
+    }
+  }
+}
+
+std::size_t Cluster::FlatIndex(const CoreAddress& address) const {
+  ECDRA_REQUIRE(address.node < nodes_.size(), "node index out of range");
+  const Node& node = nodes_[address.node];
+  ECDRA_REQUIRE(address.processor < node.num_processors,
+                "processor index out of range");
+  ECDRA_REQUIRE(address.core < node.cores_per_processor,
+                "core index out of range");
+  return first_core_[address.node] +
+         address.processor * node.cores_per_processor + address.core;
+}
+
+CoreAddress Cluster::Address(std::size_t flat_index) const {
+  ECDRA_REQUIRE(flat_index < total_cores_, "core index out of range");
+  const std::size_t node_index = node_of_[flat_index];
+  const Node& node = nodes_[node_index];
+  const std::size_t within = flat_index - first_core_[node_index];
+  return CoreAddress{
+      .node = node_index,
+      .processor = within / node.cores_per_processor,
+      .core = within % node.cores_per_processor,
+  };
+}
+
+}  // namespace ecdra::cluster

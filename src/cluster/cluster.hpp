@@ -1,0 +1,85 @@
+// Cluster topology (§III-A, Fig. 1): N heterogeneous nodes, each with n(i)
+// multicore processors of c(i) homogeneous cores; per-node P-state profile
+// and power-supply efficiency epsilon(i).
+//
+// Cores are addressed either hierarchically (node, processor, core) or by a
+// dense flat index used by the scheduler and simulator hot paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/pstate.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::cluster {
+
+/// Hierarchical core address (i, j, k in the paper's notation).
+struct CoreAddress {
+  std::size_t node = 0;
+  std::size_t processor = 0;
+  std::size_t core = 0;
+
+  friend bool operator==(const CoreAddress&, const CoreAddress&) = default;
+};
+
+struct Node {
+  /// n(i): number of multicore processors in this node (1..4 in §VI).
+  std::size_t num_processors = 1;
+  /// c(i): cores per multicore processor (1..4 in §VI).
+  std::size_t cores_per_processor = 1;
+  /// epsilon(i): power-supply efficiency in (0, 1].
+  double power_efficiency = 1.0;
+  /// P-state profile shared by every core of the node.
+  PStateProfile pstates{};
+
+  [[nodiscard]] std::size_t total_cores() const noexcept {
+    return num_processors * cores_per_processor;
+  }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(std::vector<Node> nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const Node& node(std::size_t i) const {
+    ECDRA_REQUIRE(i < nodes_.size(), "node index out of range");
+    return nodes_[i];
+  }
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept {
+    return nodes_;
+  }
+
+  /// Total number of cores across the whole cluster.
+  [[nodiscard]] std::size_t total_cores() const noexcept {
+    return total_cores_;
+  }
+
+  /// Flat index of a hierarchical core address.
+  [[nodiscard]] std::size_t FlatIndex(const CoreAddress& address) const;
+  /// Hierarchical address of a flat core index.
+  [[nodiscard]] CoreAddress Address(std::size_t flat_index) const;
+  /// Node that owns a flat core index.
+  [[nodiscard]] const Node& NodeOf(std::size_t flat_index) const {
+    return nodes_[node_of_[flat_index]];
+  }
+  [[nodiscard]] std::size_t NodeIndexOf(std::size_t flat_index) const {
+    ECDRA_REQUIRE(flat_index < total_cores_, "core index out of range");
+    return node_of_[flat_index];
+  }
+
+  /// mu(i, pi): power draw of one core of node i in P-state pi (watts).
+  [[nodiscard]] double CorePower(std::size_t node_index,
+                                 PStateIndex pstate) const {
+    return node(node_index).pstates[pstate].power_watts;
+  }
+
+ private:
+  std::vector<Node> nodes_;
+  std::size_t total_cores_ = 0;
+  std::vector<std::size_t> first_core_;  // flat index of node i's first core
+  std::vector<std::size_t> node_of_;     // node index per flat core index
+};
+
+}  // namespace ecdra::cluster

@@ -1,0 +1,78 @@
+#include "cluster/cluster_builder.hpp"
+
+#include <array>
+
+#include "cluster/power_model.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::cluster {
+namespace {
+
+/// Samples the five relative frequencies: f(P0) = 1, and each step down
+/// divides performance by (1 + gain) with gain ~ U(min, max). Resamples the
+/// whole set until the P4 frequency is at least `min_fraction` of P0's (the
+/// paper reports this never fell below 42% in its instances).
+std::array<double, kNumPStates> SampleFrequencyRatios(
+    util::RngStream& rng, const ClusterBuilderOptions& options) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::array<double, kNumPStates> ratios{};
+    ratios[0] = 1.0;
+    for (std::size_t s = 1; s < kNumPStates; ++s) {
+      const double gain =
+          rng.UniformReal(options.min_step_gain, options.max_step_gain);
+      ratios[s] = ratios[s - 1] / (1.0 + gain);
+    }
+    if (ratios[kNumPStates - 1] >= options.min_frequency_fraction) {
+      return ratios;
+    }
+  }
+  ECDRA_ASSERT(false, "could not satisfy minimum-frequency constraint");
+}
+
+}  // namespace
+
+Node BuildRandomNode(util::RngStream& rng,
+                     const ClusterBuilderOptions& options) {
+  ECDRA_REQUIRE(options.min_processors >= 1 &&
+                    options.min_processors <= options.max_processors,
+                "processor count bounds out of order");
+  ECDRA_REQUIRE(options.min_cores_per_processor >= 1 &&
+                    options.min_cores_per_processor <=
+                        options.max_cores_per_processor,
+                "core count bounds out of order");
+
+  Node node;
+  node.num_processors = static_cast<std::size_t>(rng.UniformInt(
+      static_cast<std::int64_t>(options.min_processors),
+      static_cast<std::int64_t>(options.max_processors)));
+  node.cores_per_processor = static_cast<std::size_t>(rng.UniformInt(
+      static_cast<std::int64_t>(options.min_cores_per_processor),
+      static_cast<std::int64_t>(options.max_cores_per_processor)));
+  node.power_efficiency = rng.UniformReal(options.min_power_efficiency,
+                                          options.max_power_efficiency);
+
+  PowerModelInputs power;
+  power.frequency_ratios = SampleFrequencyRatios(rng, options);
+  power.p0_power_watts =
+      rng.UniformReal(options.min_p0_power_watts, options.max_p0_power_watts);
+  power.low_voltage =
+      rng.UniformReal(options.min_low_voltage, options.max_low_voltage);
+  power.high_voltage =
+      rng.UniformReal(options.min_high_voltage, options.max_high_voltage);
+  node.pstates = BuildPStateProfile(power);
+  return node;
+}
+
+Cluster BuildRandomCluster(util::RngStream& rng,
+                           const ClusterBuilderOptions& options) {
+  ECDRA_REQUIRE(options.num_nodes >= 1, "cluster needs at least one node");
+  std::vector<Node> nodes;
+  nodes.reserve(options.num_nodes);
+  for (std::size_t i = 0; i < options.num_nodes; ++i) {
+    util::RngStream node_rng = rng.Substream("node", i);
+    nodes.push_back(BuildRandomNode(node_rng, options));
+  }
+  return Cluster(std::move(nodes));
+}
+
+}  // namespace ecdra::cluster

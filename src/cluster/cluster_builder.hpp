@@ -1,0 +1,48 @@
+// Random cluster generation per §VI of the paper.
+//
+// Each node samples: a processor count and cores-per-processor in [1, 4];
+// a power-supply efficiency in [0.90, 0.98]; P-state performance multipliers
+// built by compounding per-step gains from U(15%, 25%) subject to the
+// minimum-frequency >= 42%-of-maximum constraint; and a CMOS power profile
+// anchored at a P0 power from U(125, 135) W with voltages from
+// U(1.000, 1.150) (low) and U(1.400, 1.550) (high).
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace ecdra::cluster {
+
+struct ClusterBuilderOptions {
+  std::size_t num_nodes = 8;
+  std::size_t min_processors = 1;
+  std::size_t max_processors = 4;
+  std::size_t min_cores_per_processor = 1;
+  std::size_t max_cores_per_processor = 4;
+  double min_power_efficiency = 0.90;
+  double max_power_efficiency = 0.98;
+  /// Per-P-state performance gain sampled from U(min, max).
+  double min_step_gain = 0.15;
+  double max_step_gain = 0.25;
+  /// Minimum allowed P4 frequency as a fraction of the P0 frequency.
+  double min_frequency_fraction = 0.42;
+  double min_p0_power_watts = 125.0;
+  double max_p0_power_watts = 135.0;
+  double min_low_voltage = 1.000;
+  double max_low_voltage = 1.150;
+  double min_high_voltage = 1.400;
+  double max_high_voltage = 1.550;
+};
+
+/// Samples one node from the §VI distributions.
+[[nodiscard]] Node BuildRandomNode(util::RngStream& rng,
+                                   const ClusterBuilderOptions& options = {});
+
+/// Samples a whole cluster; the RNG substream per node is derived from
+/// `rng`'s seed, so the cluster depends only on the stream's seed.
+[[nodiscard]] Cluster BuildRandomCluster(
+    util::RngStream& rng, const ClusterBuilderOptions& options = {});
+
+}  // namespace ecdra::cluster

@@ -1,0 +1,85 @@
+#include "cluster/energy_accounting.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::cluster {
+
+double CoreEnergy(const TransitionLog& log, const PStateProfile& pstates) {
+  ECDRA_REQUIRE(log.size() >= 2,
+                "each core makes at least two P-state transitions (§III-C)");
+  double energy = 0.0;
+  for (std::size_t n = 0; n + 1 < log.size(); ++n) {
+    const double dt = log[n + 1].time - log[n].time;
+    ECDRA_REQUIRE(dt >= 0.0, "transition log must be time-ordered");
+    ECDRA_REQUIRE(log[n].pstate < kNumPStates, "invalid P-state in log");
+    const double watts = log[n].power_watts >= 0.0
+                             ? log[n].power_watts
+                             : pstates[log[n].pstate].power_watts;
+    energy += watts * dt;
+  }
+  return energy;
+}
+
+double ClusterEnergyFromLogs(const Cluster& cluster,
+                             const std::vector<TransitionLog>& logs) {
+  ECDRA_REQUIRE(logs.size() == cluster.total_cores(),
+                "one transition log per core required");
+  double total = 0.0;
+  for (std::size_t flat = 0; flat < logs.size(); ++flat) {
+    const Node& node = cluster.NodeOf(flat);
+    total += CoreEnergy(logs[flat], node.pstates) / node.power_efficiency;
+  }
+  return total;
+}
+
+OnlineEnergyMeter::OnlineEnergyMeter(const Cluster& cluster,
+                                     PStateIndex initial_pstate)
+    : cluster_(&cluster),
+      pstate_(cluster.total_cores(), initial_pstate),
+      wall_power_(cluster.total_cores(), 0.0) {
+  ECDRA_REQUIRE(initial_pstate < kNumPStates, "invalid initial P-state");
+  for (std::size_t flat = 0; flat < pstate_.size(); ++flat) {
+    const Node& node = cluster_->NodeOf(flat);
+    wall_power_[flat] =
+        node.pstates[initial_pstate].power_watts / node.power_efficiency;
+    total_power_ += wall_power_[flat];
+  }
+}
+
+void OnlineEnergyMeter::AdvanceTo(double time) {
+  ECDRA_REQUIRE(time >= now_, "energy meter cannot move backwards in time");
+  consumed_ += total_power_ * (time - now_);
+  now_ = time;
+}
+
+void OnlineEnergyMeter::SetPState(std::size_t flat_core, PStateIndex pstate) {
+  ECDRA_REQUIRE(pstate < kNumPStates, "invalid P-state");
+  ECDRA_REQUIRE(flat_core < pstate_.size(), "core index out of range");
+  SetPStateWithPower(
+      flat_core, pstate,
+      cluster_->NodeOf(flat_core).pstates[pstate].power_watts);
+}
+
+void OnlineEnergyMeter::SetPStateWithPower(std::size_t flat_core,
+                                           PStateIndex pstate,
+                                           double core_watts) {
+  ECDRA_REQUIRE(flat_core < pstate_.size(), "core index out of range");
+  ECDRA_REQUIRE(pstate < kNumPStates, "invalid P-state");
+  ECDRA_REQUIRE(core_watts >= 0.0, "core power cannot be negative");
+  const Node& node = cluster_->NodeOf(flat_core);
+  total_power_ -= wall_power_[flat_core];
+  wall_power_[flat_core] = core_watts / node.power_efficiency;
+  total_power_ += wall_power_[flat_core];
+  pstate_[flat_core] = pstate;
+}
+
+std::optional<double> OnlineEnergyMeter::BudgetCrossingTime(
+    double budget, double horizon) const {
+  if (consumed_ >= budget) return now_;
+  if (total_power_ <= 0.0) return std::nullopt;
+  const double crossing = now_ + (budget - consumed_) / total_power_;
+  if (crossing <= horizon) return crossing;
+  return std::nullopt;
+}
+
+}  // namespace ecdra::cluster

@@ -1,0 +1,98 @@
+// Energy accounting (§III-C, Eqs. 1–2).
+//
+// Cores cannot be turned off; every core draws the power of its current
+// P-state at all times, so a core's energy is the sum over the intervals
+// between successive P-state transitions of (interval length x state power)
+// — Eq. 1 — and the cluster's energy divides each core's by its node's
+// power-supply efficiency and sums — Eq. 2.
+//
+// Two views are provided:
+//  * TransitionLog / CoreEnergy / ClusterEnergyFromLogs — the paper's
+//    post-hoc Eq. 1/2 computation from recorded transition lists nu(i,j,k).
+//  * OnlineEnergyMeter — an incremental piecewise-constant-power integrator
+//    used by the simulator to know the cumulative energy at any event time
+//    and the exact instant the budget zeta_max is exhausted.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pstate.hpp"
+
+namespace ecdra::cluster {
+
+/// One entry of the transition list nu(i,j,k): at `time`, the core entered
+/// `pstate`. `power_watts` < 0 means "the profile's average power for that
+/// state"; a non-negative value is a sampled actual draw (the §VIII
+/// future-work extension where power consumption is a distribution rather
+/// than a constant).
+struct PStateTransition {
+  double time = 0.0;
+  PStateIndex pstate = 0;
+  double power_watts = -1.0;
+
+  friend bool operator==(const PStateTransition&,
+                         const PStateTransition&) = default;
+};
+
+/// Ordered transition list for one core. The first entry is the t = 0
+/// transition into the core's initial state; the last is the end-of-workload
+/// transition (§III-C assumes at least these two).
+using TransitionLog = std::vector<PStateTransition>;
+
+/// eta(i,j,k), Eq. 1: energy of one core given its transition log and node
+/// P-state profile. The final transition's state draws no energy (zero-width
+/// final interval); logs must be time-ordered.
+[[nodiscard]] double CoreEnergy(const TransitionLog& log,
+                                const PStateProfile& pstates);
+
+/// zeta, Eq. 2: total cluster energy from per-core logs indexed by flat core
+/// index.
+[[nodiscard]] double ClusterEnergyFromLogs(
+    const Cluster& cluster, const std::vector<TransitionLog>& logs);
+
+/// Incremental energy integrator over piecewise-constant cluster power.
+///
+/// At-the-wall semantics: each core's draw is mu(i, pi) / epsilon(i), so the
+/// meter's total matches Eq. 2 applied to the same transition history.
+class OnlineEnergyMeter {
+ public:
+  /// All cores start in `initial_pstate` at time 0.
+  OnlineEnergyMeter(const Cluster& cluster, PStateIndex initial_pstate);
+
+  /// Integrates energy up to `time` (monotonically non-decreasing calls).
+  void AdvanceTo(double time);
+
+  /// Switches one core's P-state at the current time, drawing the profile's
+  /// average power for the state.
+  void SetPState(std::size_t flat_core, PStateIndex pstate);
+  /// Same, but with an explicitly sampled core power (stochastic-power
+  /// extension); `core_watts` is before the power-supply efficiency division.
+  void SetPStateWithPower(std::size_t flat_core, PStateIndex pstate,
+                          double core_watts);
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] double consumed() const noexcept { return consumed_; }
+  /// Current total cluster power draw at the wall (watts).
+  [[nodiscard]] double total_power() const noexcept { return total_power_; }
+  [[nodiscard]] PStateIndex pstate_of(std::size_t flat_core) const {
+    return pstate_[flat_core];
+  }
+
+  /// Time at which cumulative energy reaches `budget`, if that happens at or
+  /// before `horizon` assuming no further P-state changes; nullopt otherwise.
+  [[nodiscard]] std::optional<double> BudgetCrossingTime(double budget,
+                                                         double horizon) const;
+
+ private:
+  const Cluster* cluster_;
+  std::vector<PStateIndex> pstate_;
+  /// Current per-core draw at the wall (watts, efficiency applied).
+  std::vector<double> wall_power_;
+  double now_ = 0.0;
+  double consumed_ = 0.0;
+  double total_power_ = 0.0;
+};
+
+}  // namespace ecdra::cluster

@@ -1,0 +1,43 @@
+#include "cluster/power_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::cluster {
+
+PStateProfile BuildPStateProfile(const PowerModelInputs& inputs) {
+  ECDRA_REQUIRE(inputs.p0_power_watts > 0.0, "P0 power must be positive");
+  ECDRA_REQUIRE(inputs.high_voltage > inputs.low_voltage &&
+                    inputs.low_voltage > 0.0,
+                "voltages must satisfy 0 < low < high");
+  ECDRA_REQUIRE(inputs.frequency_ratios[0] == 1.0,
+                "P0 frequency ratio must be 1.0");
+  for (std::size_t s = 1; s < kNumPStates; ++s) {
+    ECDRA_REQUIRE(inputs.frequency_ratios[s] < inputs.frequency_ratios[s - 1] &&
+                      inputs.frequency_ratios[s] > 0.0,
+                  "frequency ratios must be strictly decreasing and positive");
+  }
+
+  // Fold A * C_L into one constant from the known P0 operating point:
+  // P0_power = ACL * V_high^2 * f0 with f0 == 1.
+  const double acl =
+      inputs.p0_power_watts / (inputs.high_voltage * inputs.high_voltage);
+
+  PStateProfile profile;
+  for (std::size_t s = 0; s < kNumPStates; ++s) {
+    // Linear voltage interpolation from V_high (P0) to V_low (P4).
+    const double frac =
+        static_cast<double>(s) / static_cast<double>(kNumPStates - 1);
+    const double voltage =
+        inputs.high_voltage + frac * (inputs.low_voltage - inputs.high_voltage);
+    const double f = inputs.frequency_ratios[s];
+    profile[s] = PState{
+        .time_multiplier = 1.0 / f,
+        .frequency_ratio = f,
+        .voltage = voltage,
+        .power_watts = acl * voltage * voltage * f,
+    };
+  }
+  return profile;
+}
+
+}  // namespace ecdra::cluster

@@ -1,0 +1,32 @@
+// CMOS dynamic-power model (Eq. 7 of the paper): P_c = A * C_L * V^2 * f.
+//
+// The paper fixes the power of the highest P-state by sampling U(125, 135) W,
+// samples a low-state voltage from U(1.000, 1.150) and a high-state voltage
+// from U(1.400, 1.550), linearly interpolates the intermediate voltages,
+// folds A * C_L into a constant, and derives each state's power from its
+// voltage and relative frequency.
+#pragma once
+
+#include <array>
+
+#include "cluster/pstate.hpp"
+
+namespace ecdra::cluster {
+
+struct PowerModelInputs {
+  /// Power draw of one core in P0 (watts).
+  double p0_power_watts = 130.0;
+  /// Core supply voltage in P0 (the "high" voltage).
+  double high_voltage = 1.475;
+  /// Core supply voltage in P4 (the "low" voltage).
+  double low_voltage = 1.075;
+  /// Frequency of each state relative to P0 (index 0 must be 1.0,
+  /// strictly decreasing).
+  std::array<double, kNumPStates> frequency_ratios{1.0, 1.0, 1.0, 1.0, 1.0};
+};
+
+/// Builds the full per-state profile (voltages, powers, time multipliers)
+/// from the sampled inputs.
+[[nodiscard]] PStateProfile BuildPStateProfile(const PowerModelInputs& inputs);
+
+}  // namespace ecdra::cluster

@@ -1,0 +1,36 @@
+// ACPI P-state model (§III-A).
+//
+// Following the ACPI convention, P0 is the highest-performance,
+// highest-power state and P4 the lowest of the five states the paper
+// assumes. A core's execution time for a task scales with the P-state's
+// time multiplier (1.0 at P0, growing toward P4); its power draw is the
+// CMOS dynamic power of the state's voltage/frequency point.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace ecdra::cluster {
+
+/// Number of P-states per core (the paper fixes |P| = 5).
+inline constexpr std::size_t kNumPStates = 5;
+
+/// P-state index: 0 = P0 (fastest, most power) … 4 = P4 (slowest, least).
+using PStateIndex = std::size_t;
+
+struct PState {
+  /// Execution-time multiplier relative to P0 (>= 1.0; exactly 1.0 at P0).
+  double time_multiplier = 1.0;
+  /// Operating frequency relative to P0 (== 1 / time_multiplier).
+  double frequency_ratio = 1.0;
+  /// Supply voltage (volts) at this state.
+  double voltage = 0.0;
+  /// Average power draw mu(i, pi) of one core in this state (watts).
+  double power_watts = 0.0;
+};
+
+/// The five P-states of every core in one node (cores within a node are
+/// homogeneous, §III-A).
+using PStateProfile = std::array<PState, kNumPStates>;
+
+}  // namespace ecdra::cluster

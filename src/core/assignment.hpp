@@ -1,0 +1,36 @@
+// An assignment (§V-A) maps one task to a node, multicore processor, core,
+// and P-state. Internally cores are addressed by flat index; the
+// hierarchical (i, j, k) address is recoverable through the Cluster.
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/pstate.hpp"
+#include "pmf/pmf.hpp"
+
+namespace ecdra::core {
+
+struct Assignment {
+  std::size_t flat_core = 0;
+  cluster::PStateIndex pstate = 0;
+
+  friend bool operator==(const Assignment&, const Assignment&) = default;
+};
+
+/// A potential assignment of the task being mapped, with the scalar
+/// quantities every heuristic/filter may need precomputed. The stochastic
+/// quantities (rho, ECT) are computed on demand through the MappingContext.
+struct Candidate {
+  Assignment assignment;
+  /// Node owning assignment.flat_core.
+  std::size_t node = 0;
+  /// Execution-time pmf of the task at (type, node, pstate).
+  const pmf::Pmf* exec = nullptr;
+  /// EET(i,j,k,pi,z): expected execution time.
+  double eet = 0.0;
+  /// EEC(i,j,k,pi,z) = EET * mu(i,pi) / epsilon(i): expected energy drawn
+  /// from the wall to run the task (§V-A).
+  double eec = 0.0;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,17 @@
+#include "core/energy_estimator.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::core {
+
+EnergyEstimator::EnergyEstimator(double budget)
+    : budget_(budget), remaining_(budget) {
+  ECDRA_REQUIRE(budget > 0.0, "energy budget must be positive");
+}
+
+void EnergyEstimator::Charge(double eec) {
+  ECDRA_REQUIRE(eec >= 0.0, "expected energy consumption cannot be negative");
+  remaining_ -= eec;
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,27 @@
+// The resource manager's running estimate of the remaining energy budget
+// (§V-F): it starts at zeta_max and decreases by the expected energy
+// consumption (EEC) of every assignment made. This is deliberately an
+// *estimate* — the heuristic does not observe idle power or actual (sampled)
+// execution times; the simulator's OnlineEnergyMeter tracks ground truth.
+#pragma once
+
+namespace ecdra::core {
+
+class EnergyEstimator {
+ public:
+  explicit EnergyEstimator(double budget);
+
+  /// zeta(t_l): the current estimate of remaining energy (may go negative
+  /// if assignments overrun the budget estimate).
+  [[nodiscard]] double remaining() const noexcept { return remaining_; }
+  [[nodiscard]] double budget() const noexcept { return budget_; }
+
+  /// Records an assignment's expected energy consumption.
+  void Charge(double eec);
+
+ private:
+  double budget_;
+  double remaining_;
+};
+
+}  // namespace ecdra::core

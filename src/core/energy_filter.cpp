@@ -1,0 +1,33 @@
+#include "core/energy_filter.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ecdra::core {
+
+double EnergyFilter::MultiplierFor(double average_queue_depth) const {
+  if (average_queue_depth < options_.low_depth) return options_.low_multiplier;
+  if (average_queue_depth > options_.high_depth) {
+    return options_.high_multiplier;
+  }
+  return options_.mid_multiplier;
+}
+
+void EnergyFilter::Apply(MappingContext& ctx) {
+  ECDRA_ASSERT(ctx.TasksLeft() >= 1, "energy filter needs T_left >= 1");
+  const double zeta_mul = MultiplierFor(ctx.AverageQueueDepth());
+  // A negative remaining estimate means the budget is already overcommitted:
+  // the fair share collapses to zero and every candidate is infeasible.
+  const double remaining = std::max(ctx.RemainingEnergyEstimate(), 0.0);
+  double fair_share =
+      zeta_mul * remaining / static_cast<double>(ctx.TasksLeft());
+  if (options_.scale_fair_share_by_priority) {
+    fair_share *= ctx.task().priority / options_.priority_baseline;
+  }
+  std::erase_if(ctx.candidates(), [fair_share](const Candidate& candidate) {
+    return candidate.eec > fair_share;
+  });
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,53 @@
+// Energy filter (§V-F): eliminates candidate assignments whose expected
+// energy consumption exceeds a "fair share" of the estimated remaining
+// budget,
+//
+//   zeta_fair(t_l) = (zeta_mul * zeta(t_l)) / T_left(t_l)        (Eq. 6)
+//
+// where zeta_mul adapts to the average queue depth of the system — lean
+// (0.8) when the system is lightly loaded so the lull banks energy, neutral
+// (1.0) in between, and generous (1.2) during bursts so deadlines are not
+// sacrificed to thrift.
+#pragma once
+
+#include "core/filter.hpp"
+
+namespace ecdra::core {
+
+struct EnergyFilterOptions {
+  /// zeta_mul below `low_depth` average queue depth.
+  double low_multiplier = 0.8;
+  /// zeta_mul between `low_depth` and `high_depth`.
+  double mid_multiplier = 1.0;
+  /// zeta_mul above `high_depth`.
+  double high_multiplier = 1.2;
+  double low_depth = 0.8;
+  double high_depth = 1.2;
+  /// Priority-aware fair share (our §VIII-future-work extension): scale a
+  /// task's fair share by priority / priority_baseline, letting important
+  /// tasks buy faster, costlier assignments while throttling unimportant
+  /// ones so the budget is banked for the tasks that matter. Set the
+  /// baseline to the workload's mean priority to keep total spending
+  /// neutral. Off by default (paper semantics).
+  bool scale_fair_share_by_priority = false;
+  double priority_baseline = 1.0;
+};
+
+class EnergyFilter final : public Filter {
+ public:
+  explicit EnergyFilter(const EnergyFilterOptions& options = {})
+      : options_(options) {}
+
+  void Apply(MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "en";
+  }
+
+  /// The zeta_mul the filter would use at the given average queue depth.
+  [[nodiscard]] double MultiplierFor(double average_queue_depth) const;
+
+ private:
+  EnergyFilterOptions options_;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,63 @@
+#include "core/factory.hpp"
+
+#include <stdexcept>
+
+#include "core/kpb.hpp"
+#include "core/lightest_load.hpp"
+#include "core/mect.hpp"
+#include "core/met.hpp"
+#include "core/olb.hpp"
+#include "core/random_heuristic.hpp"
+#include "core/shortest_queue.hpp"
+
+namespace ecdra::core {
+
+const std::vector<std::string>& HeuristicNames() {
+  static const std::vector<std::string> kNames{"SQ", "MECT", "LL", "Random"};
+  return kNames;
+}
+
+const std::vector<std::string>& ExtendedHeuristicNames() {
+  static const std::vector<std::string> kNames{"SQ",  "MECT",   "LL", "OLB",
+                                               "MET", "KPB", "Random"};
+  return kNames;
+}
+
+const std::vector<std::string>& FilterVariantNames() {
+  static const std::vector<std::string> kNames{"none", "en", "rob", "en+rob"};
+  return kNames;
+}
+
+std::unique_ptr<Heuristic> MakeHeuristic(std::string_view name,
+                                         util::RngStream rng) {
+  if (name == "SQ") return std::make_unique<ShortestQueueHeuristic>();
+  if (name == "MECT") return std::make_unique<MectHeuristic>();
+  if (name == "LL") return std::make_unique<LightestLoadHeuristic>();
+  if (name == "OLB") return std::make_unique<OlbHeuristic>();
+  if (name == "MET") return std::make_unique<MetHeuristic>();
+  if (name == "KPB") return std::make_unique<KpbHeuristic>();
+  if (name == "Random") {
+    return std::make_unique<RandomHeuristic>(std::move(rng));
+  }
+  throw std::invalid_argument("unknown heuristic: " + std::string(name));
+}
+
+std::vector<std::unique_ptr<Filter>> MakeFilterChain(
+    std::string_view variant, const FilterChainOptions& options) {
+  std::vector<std::unique_ptr<Filter>> chain;
+  if (variant == "none") return chain;
+  if (variant == "en" || variant == "en+rob") {
+    chain.push_back(std::make_unique<EnergyFilter>(options.energy));
+  }
+  if (variant == "rob" || variant == "en+rob") {
+    chain.push_back(
+        std::make_unique<RobustnessFilter>(options.robustness_threshold));
+  }
+  if (chain.empty()) {
+    throw std::invalid_argument("unknown filter variant: " +
+                                std::string(variant));
+  }
+  return chain;
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,45 @@
+// Named construction of heuristics and filter chains — the vocabulary the
+// benches and examples use to enumerate the paper's configurations:
+// heuristics {"SQ", "MECT", "LL", "Random"} x filter variants
+// {"none", "en", "rob", "en+rob"}.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/energy_filter.hpp"
+#include "core/filter.hpp"
+#include "core/heuristic.hpp"
+#include "core/robustness_filter.hpp"
+#include "util/rng.hpp"
+
+namespace ecdra::core {
+
+/// All heuristic names, in the paper's presentation order.
+[[nodiscard]] const std::vector<std::string>& HeuristicNames();
+/// The paper's four plus the extra [MaA99] immediate-mode baselines this
+/// library implements (OLB, MET, KPB).
+[[nodiscard]] const std::vector<std::string>& ExtendedHeuristicNames();
+/// All filter-variant names: none, en, rob, en+rob.
+[[nodiscard]] const std::vector<std::string>& FilterVariantNames();
+
+/// Creates a heuristic by name ("SQ", "MECT", "LL", "Random", plus the
+/// extended baselines "OLB", "MET", "KPB"; case-sensitive). `rng` seeds the Random heuristic's choice stream (other
+/// heuristics ignore it). Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::unique_ptr<Heuristic> MakeHeuristic(std::string_view name,
+                                                       util::RngStream rng);
+
+struct FilterChainOptions {
+  EnergyFilterOptions energy;
+  double robustness_threshold = 0.5;
+};
+
+/// Creates a filter chain by variant name ("none", "en", "rob", "en+rob").
+/// The energy filter, when present, runs before the robustness filter, as
+/// the cheap scalar test should prune before the stochastic one.
+[[nodiscard]] std::vector<std::unique_ptr<Filter>> MakeFilterChain(
+    std::string_view variant, const FilterChainOptions& options = {});
+
+}  // namespace ecdra::core

@@ -1,0 +1,24 @@
+// Filtering-mechanism interface (§V-F): a filter restricts the set of
+// feasible assignments a heuristic may consider, adding energy-awareness
+// and/or robustness-awareness to any heuristic. Filters may eliminate every
+// candidate, in which case the task remains unassigned and is discarded.
+#pragma once
+
+#include <string_view>
+
+#include "core/assignment.hpp"
+#include "core/mapping_context.hpp"
+
+namespace ecdra::core {
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  /// Removes infeasible candidates from ctx.candidates() in place.
+  virtual void Apply(MappingContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,26 @@
+// Task-scheduling heuristic interface (§V-A): operating in immediate mode,
+// a heuristic selects one assignment for the arriving task from the feasible
+// set left over after filtering. An empty feasible set means the task is
+// discarded (never executed, counted as a missed deadline).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/assignment.hpp"
+#include "core/mapping_context.hpp"
+
+namespace ecdra::core {
+
+class Heuristic {
+ public:
+  virtual ~Heuristic() = default;
+
+  /// Chooses among ctx.candidates(); nullopt iff the candidate set is empty.
+  [[nodiscard]] virtual std::optional<Candidate> Select(
+      const MappingContext& ctx) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,45 @@
+#include "core/kpb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ecdra::core {
+
+KpbHeuristic::KpbHeuristic(double percent) : percent_(percent) {
+  ECDRA_REQUIRE(percent > 0.0 && percent <= 100.0,
+                "KPB percent must be in (0, 100]");
+}
+
+std::optional<Candidate> KpbHeuristic::Select(const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  // Keep the ceil(k%) smallest-EET candidates (at least one).
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(
+             static_cast<double>(candidates.size()) * percent_ / 100.0)));
+  std::vector<const Candidate*> by_eet;
+  by_eet.reserve(candidates.size());
+  for (const Candidate& candidate : candidates) by_eet.push_back(&candidate);
+  std::nth_element(by_eet.begin(), by_eet.begin() + (keep - 1), by_eet.end(),
+                   [](const Candidate* a, const Candidate* b) {
+                     return a->eet < b->eet;
+                   });
+  by_eet.resize(keep);
+
+  const Candidate* best = nullptr;
+  double best_ect = 0.0;
+  for (const Candidate* candidate : by_eet) {
+    const double ect = ctx.ExpectedCompletionTime(*candidate);
+    if (best == nullptr || ect < best_ect) {
+      best = candidate;
+      best_ect = ect;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,28 @@
+// K-Percent Best (KPB), from the immediate-mode family of [MaA99]: restrict
+// the candidates to the k% of assignments with the smallest expected
+// execution time for this task, then pick the minimum expected completion
+// time among them. KPB interpolates between MET (k -> 0) and MECT
+// (k -> 100), avoiding MET's pile-up while still favouring fast machines.
+#pragma once
+
+#include "core/heuristic.hpp"
+
+namespace ecdra::core {
+
+class KpbHeuristic final : public Heuristic {
+ public:
+  /// `percent` in (0, 100]: the fraction of candidates, by EET, kept.
+  explicit KpbHeuristic(double percent = 30.0);
+
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "KPB";
+  }
+  [[nodiscard]] double percent() const noexcept { return percent_; }
+
+ private:
+  double percent_;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,23 @@
+#include "core/lightest_load.hpp"
+
+namespace ecdra::core {
+
+std::optional<Candidate> LightestLoadHeuristic::Select(
+    const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  const Candidate* best = nullptr;
+  double best_load = 0.0;
+  for (const Candidate& candidate : candidates) {
+    const double load =
+        candidate.eec * (1.0 - ctx.OnTimeProbability(candidate));
+    if (best == nullptr || load < best_load) {
+      best = &candidate;
+      best_load = load;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecdra::core

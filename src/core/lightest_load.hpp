@@ -1,0 +1,24 @@
+// Lightest Load (LL) heuristic (§V-D) — the paper's novel heuristic,
+// inspired by [BaM09]. Defines the load of a potential assignment as
+//
+//   L(i,j,k,pi,t_l) = EEC(i,j,k,pi,z) * (1 - rho(i,j,k,pi,t_l,z))   (Eq. 5)
+//
+// — expected energy consumption times inverse robustness — and assigns the
+// task to the feasible assignment with the smallest load, balancing energy
+// use against the probability of finishing by the deadline.
+#pragma once
+
+#include "core/heuristic.hpp"
+
+namespace ecdra::core {
+
+class LightestLoadHeuristic final : public Heuristic {
+ public:
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "LL";
+  }
+};
+
+}  // namespace ecdra::core

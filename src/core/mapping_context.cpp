@@ -1,0 +1,63 @@
+#include "core/mapping_context.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "robustness/robustness.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::core {
+
+MappingContext::MappingContext(
+    const cluster::Cluster& cluster, const workload::TaskTypeTable& types,
+    std::span<const robustness::CoreQueueModel> cores,
+    const workload::Task& task, double now)
+    : cluster_(&cluster),
+      task_(&task),
+      now_(now),
+      cores_(cores),
+      expected_ready_(cores.size(),
+                      std::numeric_limits<double>::quiet_NaN()) {
+  ECDRA_REQUIRE(cores.size() == cluster.total_cores(),
+                "one CoreQueueModel per core required");
+  candidates_.reserve(cluster.total_cores() * cluster::kNumPStates);
+  for (std::size_t flat = 0; flat < cluster.total_cores(); ++flat) {
+    const std::size_t node_index = cluster.NodeIndexOf(flat);
+    const cluster::Node& node = cluster.node(node_index);
+    for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+      const double eet = types.MeanExec(task.type, node_index, s);
+      candidates_.push_back(Candidate{
+          .assignment = Assignment{flat, s},
+          .node = node_index,
+          .exec = &types.ExecPmf(task.type, node_index, s),
+          .eet = eet,
+          .eec = eet * node.pstates[s].power_watts / node.power_efficiency,
+      });
+    }
+  }
+}
+
+double MappingContext::ExpectedCompletionTime(
+    const Candidate& candidate) const {
+  const std::size_t flat = candidate.assignment.flat_core;
+  if (std::isnan(expected_ready_[flat])) {
+    expected_ready_[flat] = cores_[flat].ExpectedReadyTime(now_);
+  }
+  return expected_ready_[flat] + candidate.eet;
+}
+
+double MappingContext::OnTimeProbability(const Candidate& candidate) const {
+  return robustness::OnTimeProbability(
+      cores_[candidate.assignment.flat_core], now_, *candidate.exec,
+      task_->deadline);
+}
+
+double MappingContext::AverageQueueDepth() const {
+  std::size_t in_flight = 0;
+  for (const robustness::CoreQueueModel& core : cores_) {
+    in_flight += core.queue_length();
+  }
+  return static_cast<double>(in_flight) / static_cast<double>(cores_.size());
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,91 @@
+// Everything a heuristic or filter may consult while mapping one task at one
+// time-step: the candidate set, per-core queue state, scalar expectations,
+// and lazily-computed stochastic quantities (expected completion time and
+// the on-time probability rho).
+//
+// Stochastic quantities are evaluated through the CoreQueueModel's memoized
+// ready pmf, so a full mapping step costs at most one truncation + one
+// convolution per core regardless of how many candidates and filters touch
+// rho.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/assignment.hpp"
+#include "robustness/core_queue_model.hpp"
+#include "workload/task.hpp"
+#include "workload/task_type_table.hpp"
+
+namespace ecdra::core {
+
+class MappingContext {
+ public:
+  /// Builds the full candidate list (every core x every P-state) for `task`
+  /// arriving at `now`. `cores` is indexed by flat core index and must
+  /// outlive the context.
+  MappingContext(const cluster::Cluster& cluster,
+                 const workload::TaskTypeTable& types,
+                 std::span<const robustness::CoreQueueModel> cores,
+                 const workload::Task& task, double now);
+
+  [[nodiscard]] const workload::Task& task() const noexcept { return *task_; }
+  [[nodiscard]] double now() const noexcept { return now_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const noexcept {
+    return *cluster_;
+  }
+
+  /// The mutable candidate set filters prune and heuristics choose from.
+  [[nodiscard]] std::vector<Candidate>& candidates() noexcept {
+    return candidates_;
+  }
+  [[nodiscard]] const std::vector<Candidate>& candidates() const noexcept {
+    return candidates_;
+  }
+
+  /// |MQ(i,j,k,t_l)|: tasks currently assigned to the candidate's core.
+  [[nodiscard]] std::size_t QueueLength(const Candidate& candidate) const {
+    return cores_[candidate.assignment.flat_core].queue_length();
+  }
+
+  /// ECT(i,j,k,pi,t_l,z): expected completion time — expected core ready
+  /// time plus the candidate's expected execution time (expectation is
+  /// additive, no convolution needed).
+  [[nodiscard]] double ExpectedCompletionTime(const Candidate& candidate) const;
+
+  /// rho(i,j,k,pi,t_l,z): probability the task completes by its deadline
+  /// under this candidate assignment.
+  [[nodiscard]] double OnTimeProbability(const Candidate& candidate) const;
+
+  /// Average queue depth of the system at this time-step: tasks queued or
+  /// executing anywhere, divided by the number of cores (drives the energy
+  /// filter's zeta_mul).
+  [[nodiscard]] double AverageQueueDepth() const;
+
+  /// Scheduler-provided budget view for the energy filter: zeta(t_l), the
+  /// estimated remaining energy, and T_left(t_l), the tasks remaining in the
+  /// window including the one being mapped (>= 1; DESIGN.md decision 6).
+  void SetBudgetView(double remaining_energy_estimate,
+                     std::size_t tasks_left) {
+    remaining_energy_estimate_ = remaining_energy_estimate;
+    tasks_left_ = tasks_left;
+  }
+  [[nodiscard]] double RemainingEnergyEstimate() const noexcept {
+    return remaining_energy_estimate_;
+  }
+  [[nodiscard]] std::size_t TasksLeft() const noexcept { return tasks_left_; }
+
+ private:
+  const cluster::Cluster* cluster_;
+  const workload::Task* task_;
+  double now_;
+  std::span<const robustness::CoreQueueModel> cores_;
+  std::vector<Candidate> candidates_;
+  double remaining_energy_estimate_ = 0.0;
+  std::size_t tasks_left_ = 1;
+  /// Memoized ExpectedReadyTime per core (NaN = not yet computed).
+  mutable std::vector<double> expected_ready_;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,21 @@
+#include "core/mect.hpp"
+
+namespace ecdra::core {
+
+std::optional<Candidate> MectHeuristic::Select(const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  const Candidate* best = nullptr;
+  double best_ect = 0.0;
+  for (const Candidate& candidate : candidates) {
+    const double ect = ctx.ExpectedCompletionTime(candidate);
+    if (best == nullptr || ect < best_ect) {
+      best = &candidate;
+      best_ect = ect;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecdra::core

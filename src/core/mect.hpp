@@ -1,0 +1,20 @@
+// Minimum Expected Completion Time (MECT) heuristic (§V-C), from [MaA99]:
+// assign the incoming task to the feasible (core, P-state) with the smallest
+// expectation of the stochastic completion-time distribution
+// ECT(i,j,k,pi,t_l,z). Ties break by candidate order.
+#pragma once
+
+#include "core/heuristic.hpp"
+
+namespace ecdra::core {
+
+class MectHeuristic final : public Heuristic {
+ public:
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MECT";
+  }
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,18 @@
+#include "core/met.hpp"
+
+namespace ecdra::core {
+
+std::optional<Candidate> MetHeuristic::Select(const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  const Candidate* best = nullptr;
+  for (const Candidate& candidate : candidates) {
+    if (best == nullptr || candidate.eet < best->eet) {
+      best = &candidate;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecdra::core

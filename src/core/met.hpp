@@ -1,0 +1,21 @@
+// Minimum Execution Time (MET), from the immediate-mode family of [MaA99]:
+// assigns the task to the feasible assignment with the smallest expected
+// execution time EET(i,j,k,pi,z), ignoring queue state entirely. Classic
+// failure mode (which the §VI inconsistent-heterogeneity workload exposes):
+// it piles tasks onto whichever node happens to be fastest for each type.
+#pragma once
+
+#include "core/heuristic.hpp"
+
+namespace ecdra::core {
+
+class MetHeuristic final : public Heuristic {
+ public:
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "MET";
+  }
+};
+
+}  // namespace ecdra::core

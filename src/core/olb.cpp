@@ -1,0 +1,26 @@
+#include "core/olb.hpp"
+
+namespace ecdra::core {
+
+std::optional<Candidate> OlbHeuristic::Select(const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  const Candidate* best = nullptr;
+  double best_ready = 0.0;
+  for (const Candidate& candidate : candidates) {
+    // Expected ready time = ECT minus the candidate's own execution time.
+    const double ready = ctx.ExpectedCompletionTime(candidate) - candidate.eet;
+    // Strictly-less keeps the first (lowest-power-last) ordering stable;
+    // prefer lower power on ties by scanning P-states high-to-low index.
+    if (best == nullptr || ready < best_ready ||
+        (ready == best_ready &&
+         candidate.assignment.pstate > best->assignment.pstate)) {
+      best = &candidate;
+      best_ready = ready;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,22 @@
+// Opportunistic Load Balancing (OLB), from the immediate-mode family of
+// [MaA99] the paper draws its baselines from. OLB assigns the task to the
+// feasible core that becomes ready soonest (minimum expected ready time),
+// ignoring the task's own execution time entirely. Among the ready-time ties
+// on an idle cluster it prefers the lowest-power P-state, making it the
+// energy-friendliest of the classic baselines.
+#pragma once
+
+#include "core/heuristic.hpp"
+
+namespace ecdra::core {
+
+class OlbHeuristic final : public Heuristic {
+ public:
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "OLB";
+  }
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,13 @@
+#include "core/random_heuristic.hpp"
+
+namespace ecdra::core {
+
+std::optional<Candidate> RandomHeuristic::Select(const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+  const auto index = static_cast<std::size_t>(rng_.UniformInt(
+      0, static_cast<std::int64_t>(candidates.size()) - 1));
+  return candidates[index];
+}
+
+}  // namespace ecdra::core

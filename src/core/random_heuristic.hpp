@@ -1,0 +1,27 @@
+// Random heuristic (§V-E): a uniformly random choice among the feasible
+// assignments — the simplest possible mapper, used as the contrast case that
+// shows the filters, not the heuristic, drive performance in this
+// environment.
+#pragma once
+
+#include "core/heuristic.hpp"
+#include "util/rng.hpp"
+
+namespace ecdra::core {
+
+class RandomHeuristic final : public Heuristic {
+ public:
+  /// The stream should be a trial-specific substream for reproducibility.
+  explicit RandomHeuristic(util::RngStream rng) : rng_(std::move(rng)) {}
+
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Random";
+  }
+
+ private:
+  util::RngStream rng_;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,20 @@
+#include "core/robustness_filter.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ecdra::core {
+
+RobustnessFilter::RobustnessFilter(double threshold) : threshold_(threshold) {
+  ECDRA_REQUIRE(threshold >= 0.0 && threshold <= 1.0,
+                "robustness threshold must be a probability");
+}
+
+void RobustnessFilter::Apply(MappingContext& ctx) {
+  std::erase_if(ctx.candidates(), [this, &ctx](const Candidate& candidate) {
+    return ctx.OnTimeProbability(candidate) < threshold_;
+  });
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,26 @@
+// Robustness filter (§V-F): eliminates candidate assignments whose
+// probability of completing the task by its deadline, rho(i,j,k,pi,t_l,z),
+// falls below a threshold (the paper found rho_thresh = 0.5 effective —
+// strict enough to drop hopeless assignments, loose enough not to force
+// every task into the high-power P-states).
+#pragma once
+
+#include "core/filter.hpp"
+
+namespace ecdra::core {
+
+class RobustnessFilter final : public Filter {
+ public:
+  explicit RobustnessFilter(double threshold = 0.5);
+
+  void Apply(MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rob";
+  }
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  double threshold_;
+};
+
+}  // namespace ecdra::core

@@ -1,0 +1,63 @@
+#include "core/scheduler.hpp"
+
+#include "core/mapping_context.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::core {
+
+ImmediateModeScheduler::ImmediateModeScheduler(
+    const cluster::Cluster& cluster, const workload::TaskTypeTable& types,
+    std::unique_ptr<Heuristic> heuristic,
+    std::vector<std::unique_ptr<Filter>> filters, double energy_budget,
+    std::size_t window_size)
+    : cluster_(&cluster),
+      types_(&types),
+      heuristic_(std::move(heuristic)),
+      filters_(std::move(filters)),
+      estimator_(energy_budget),
+      window_size_(window_size) {
+  ECDRA_REQUIRE(heuristic_ != nullptr, "scheduler needs a heuristic");
+  ECDRA_REQUIRE(window_size_ >= 1, "window must contain at least one task");
+  for (const auto& filter : filters_) {
+    ECDRA_REQUIRE(filter != nullptr, "null filter in chain");
+  }
+}
+
+std::optional<Candidate> ImmediateModeScheduler::MapTask(
+    const workload::Task& task, double now,
+    std::span<const robustness::CoreQueueModel> cores) {
+  ECDRA_REQUIRE(tasks_seen_ < window_size_,
+                "more tasks mapped than the window holds");
+  ++tasks_seen_;
+  // T_left includes the task being mapped so the last task still gets a
+  // non-degenerate fair share (DESIGN.md decision 6).
+  const std::size_t tasks_left = window_size_ - tasks_seen_ + 1;
+
+  MappingContext ctx(*cluster_, *types_, cores, task, now);
+  ctx.SetBudgetView(estimator_.remaining(), tasks_left);
+  for (const auto& filter : filters_) {
+    filter->Apply(ctx);
+    if (ctx.candidates().empty()) break;
+  }
+
+  std::optional<Candidate> chosen = heuristic_->Select(ctx);
+  if (!chosen) {
+    ++tasks_discarded_;
+    return std::nullopt;
+  }
+  estimator_.Charge(chosen->eec);
+  return chosen;
+}
+
+std::string ImmediateModeScheduler::VariantName() const {
+  std::string name{heuristic_->name()};
+  if (filters_.empty()) return name + " (none)";
+  name += " (";
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (i != 0) name += "+";
+    name += filters_[i]->name();
+  }
+  return name + ")";
+}
+
+}  // namespace ecdra::core

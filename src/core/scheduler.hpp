@@ -1,0 +1,67 @@
+// The cluster resource manager's mapping pipeline (§V): on each task
+// arrival, build the full candidate set, run the configured filters in order
+// to restrict it to the feasible assignments, and let the heuristic pick
+// one. Filters may leave nothing, in which case the task is discarded.
+//
+// The scheduler owns the heuristic, the filter chain, and the running
+// energy-budget estimate (which is charged the EEC of every assignment
+// made, whether or not an energy filter is active).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/energy_estimator.hpp"
+#include "core/filter.hpp"
+#include "core/heuristic.hpp"
+#include "robustness/core_queue_model.hpp"
+#include "workload/task.hpp"
+#include "workload/task_type_table.hpp"
+
+namespace ecdra::core {
+
+class ImmediateModeScheduler {
+ public:
+  /// `window_size` is the number of tasks in the workload window (the paper
+  /// tests over 1000); it feeds T_left in the energy filter's fair share.
+  ImmediateModeScheduler(const cluster::Cluster& cluster,
+                         const workload::TaskTypeTable& types,
+                         std::unique_ptr<Heuristic> heuristic,
+                         std::vector<std::unique_ptr<Filter>> filters,
+                         double energy_budget, std::size_t window_size);
+
+  /// Immediate-mode mapping of one arriving task. Returns the chosen
+  /// candidate, or nullopt if the filters eliminated every assignment (the
+  /// task is discarded). Must be called exactly once per task, in arrival
+  /// order.
+  [[nodiscard]] std::optional<Candidate> MapTask(
+      const workload::Task& task, double now,
+      std::span<const robustness::CoreQueueModel> cores);
+
+  [[nodiscard]] const EnergyEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] std::size_t tasks_seen() const noexcept { return tasks_seen_; }
+  [[nodiscard]] std::size_t tasks_discarded() const noexcept {
+    return tasks_discarded_;
+  }
+
+  /// "LL (en+rob)"-style label for reports.
+  [[nodiscard]] std::string VariantName() const;
+
+ private:
+  const cluster::Cluster* cluster_;
+  const workload::TaskTypeTable* types_;
+  std::unique_ptr<Heuristic> heuristic_;
+  std::vector<std::unique_ptr<Filter>> filters_;
+  EnergyEstimator estimator_;
+  std::size_t window_size_;
+  std::size_t tasks_seen_ = 0;
+  std::size_t tasks_discarded_ = 0;
+};
+
+}  // namespace ecdra::core

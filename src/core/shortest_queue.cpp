@@ -1,0 +1,23 @@
+#include "core/shortest_queue.hpp"
+
+namespace ecdra::core {
+
+std::optional<Candidate> ShortestQueueHeuristic::Select(
+    const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  const Candidate* best = nullptr;
+  std::size_t best_len = 0;
+  for (const Candidate& candidate : candidates) {
+    const std::size_t len = ctx.QueueLength(candidate);
+    if (best == nullptr || len < best_len ||
+        (len == best_len && candidate.eet < best->eet)) {
+      best = &candidate;
+      best_len = len;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,21 @@
+// Shortest Queue (SQ) heuristic (§V-B), adapted from [SmC09]: assign the
+// incoming task to the feasible core with the fewest tasks currently
+// assigned; break queue-length ties by minimum expected execution time
+// EET(i,j,k,pi,z), further ties by candidate order (core-major, then
+// P-state), which makes the choice deterministic.
+#pragma once
+
+#include "core/heuristic.hpp"
+
+namespace ecdra::core {
+
+class ShortestQueueHeuristic final : public Heuristic {
+ public:
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "SQ";
+  }
+};
+
+}  // namespace ecdra::core

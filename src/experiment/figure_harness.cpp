@@ -1,0 +1,94 @@
+#include "experiment/figure_harness.hpp"
+
+#include <ostream>
+
+#include "core/factory.hpp"
+#include "stats/ascii_plot.hpp"
+#include "stats/table_writer.hpp"
+
+namespace ecdra::experiment {
+
+FigureResult RunFigure(const sim::ExperimentSetup& setup,
+                       const std::string& title,
+                       const std::vector<SeriesSpec>& specs,
+                       const sim::RunOptions& options) {
+  FigureResult figure;
+  figure.title = title;
+  figure.window_size = setup.window_size;
+  for (const SeriesSpec& spec : specs) {
+    const std::vector<sim::TrialResult> trials =
+        sim::RunTrials(setup, spec.heuristic, spec.filter_variant, options);
+
+    SeriesResult series;
+    series.spec = spec;
+    if (series.spec.label.empty()) {
+      series.spec.label = spec.heuristic + " (" + spec.filter_variant + ")";
+    }
+    series.missed_deadlines.reserve(trials.size());
+    double energy_fraction_sum = 0.0;
+    double discarded_sum = 0.0;
+    for (const sim::TrialResult& trial : trials) {
+      series.missed_deadlines.push_back(
+          static_cast<double>(trial.missed_deadlines));
+      energy_fraction_sum += trial.total_energy / setup.energy_budget;
+      discarded_sum += static_cast<double>(trial.discarded);
+    }
+    series.box = stats::Summarize(series.missed_deadlines);
+    series.mean_energy_fraction =
+        energy_fraction_sum / static_cast<double>(trials.size());
+    series.mean_discarded = discarded_sum / static_cast<double>(trials.size());
+    figure.series.push_back(std::move(series));
+  }
+  return figure;
+}
+
+std::vector<SeriesSpec> VariantsOfHeuristic(const std::string& heuristic) {
+  std::vector<SeriesSpec> specs;
+  for (const std::string& variant : core::FilterVariantNames()) {
+    specs.push_back(SeriesSpec{heuristic, variant, ""});
+  }
+  return specs;
+}
+
+std::vector<SeriesSpec> BestVariants() {
+  std::vector<SeriesSpec> specs;
+  for (const std::string& heuristic : core::HeuristicNames()) {
+    specs.push_back(SeriesSpec{heuristic, "en+rob", ""});
+  }
+  return specs;
+}
+
+void PrintFigure(std::ostream& os, const FigureResult& figure) {
+  os << "== " << figure.title << " ==\n";
+  os << "(missed deadlines per trial; lower is better)\n\n";
+
+  stats::Table table({"series", "trials", "min", "Q1", "median", "Q3", "max",
+                      "mean", "miss %", "energy used", "discarded"});
+  const double window = static_cast<double>(figure.window_size);
+  for (const SeriesResult& series : figure.series) {
+    table.AddRow({
+        series.spec.label,
+        std::to_string(series.box.n),
+        stats::Table::Num(series.box.min, 1),
+        stats::Table::Num(series.box.q1, 1),
+        stats::Table::Num(series.box.median, 1),
+        stats::Table::Num(series.box.q3, 1),
+        stats::Table::Num(series.box.max, 1),
+        stats::Table::Num(series.box.mean, 1),
+        stats::Table::Num(100.0 * series.box.median / window, 2) + "%",
+        stats::Table::Num(100.0 * series.mean_energy_fraction, 1) + "%",
+        stats::Table::Num(series.mean_discarded, 1),
+    });
+  }
+  table.PrintText(os);
+
+  os << '\n';
+  std::vector<stats::BoxPlotSeries> plot;
+  plot.reserve(figure.series.size());
+  for (const SeriesResult& series : figure.series) {
+    plot.push_back(stats::BoxPlotSeries{series.spec.label, series.box});
+  }
+  os << stats::RenderBoxPlot(plot) << '\n';
+}
+
+}  // namespace ecdra::experiment

@@ -1,0 +1,55 @@
+// Shared harness for regenerating the paper's figures: runs a set of
+// (heuristic, filter variant) configurations over the Monte-Carlo trials,
+// summarizes missed deadlines as box-and-whiskers, and prints the table +
+// ASCII plot every fig*_ bench emits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment_runner.hpp"
+#include "stats/summary.hpp"
+
+namespace ecdra::experiment {
+
+struct SeriesSpec {
+  std::string heuristic;
+  std::string filter_variant;
+  /// Label in the output (defaults to "<heuristic> (<variant>)").
+  std::string label;
+};
+
+struct SeriesResult {
+  SeriesSpec spec;
+  std::vector<double> missed_deadlines;  // one entry per trial
+  stats::BoxWhisker box;
+  /// Mean ground-truth energy drawn per trial, as a fraction of zeta_max.
+  double mean_energy_fraction = 0.0;
+  /// Mean discarded tasks per trial.
+  double mean_discarded = 0.0;
+};
+
+struct FigureResult {
+  std::string title;
+  std::size_t window_size = 0;
+  std::vector<SeriesResult> series;
+};
+
+/// Runs every series (50 trials each by default) against the shared setup.
+[[nodiscard]] FigureResult RunFigure(const sim::ExperimentSetup& setup,
+                                     const std::string& title,
+                                     const std::vector<SeriesSpec>& specs,
+                                     const sim::RunOptions& options);
+
+/// The four filter variants of one heuristic — Figures 2-5.
+[[nodiscard]] std::vector<SeriesSpec> VariantsOfHeuristic(
+    const std::string& heuristic);
+
+/// The best ("en+rob") variant of every heuristic — Figure 6.
+[[nodiscard]] std::vector<SeriesSpec> BestVariants();
+
+/// Table (min/Q1/median/Q3/max/mean + energy + discards) and ASCII box plot.
+void PrintFigure(std::ostream& os, const FigureResult& figure);
+
+}  // namespace ecdra::experiment

@@ -1,0 +1,44 @@
+#include "pmf/distribution_factory.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "pmf/special_functions.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::pmf {
+
+Pmf DiscretizedGamma(double mean, double cov, const DiscretizeOptions& options) {
+  ECDRA_REQUIRE(mean > 0.0, "gamma mean must be positive");
+  ECDRA_REQUIRE(cov > 0.0, "gamma coefficient of variation must be positive");
+  ECDRA_REQUIRE(options.num_impulses >= 1, "need at least one impulse");
+  ECDRA_REQUIRE(options.tail_clip >= 0.0 && options.tail_clip < 0.5,
+                "tail clip must be in [0, 0.5)");
+
+  // Gamma parameterization from mean and CoV: shape = 1/cov^2,
+  // scale = mean * cov^2.
+  const double shape = 1.0 / (cov * cov);
+  const double scale = mean * cov * cov;
+
+  const double p_lo = options.tail_clip;
+  const double p_hi = 1.0 - options.tail_clip;
+  const double span = p_hi - p_lo;
+  const std::size_t n = options.num_impulses;
+
+  std::vector<Impulse> impulses;
+  impulses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Midpoint quantile of the i-th equal-probability bin.
+    const double p = p_lo + span * (static_cast<double>(i) + 0.5) /
+                                static_cast<double>(n);
+    impulses.push_back(Impulse{GammaQuantile(shape, scale, p), 1.0 / n});
+  }
+  Pmf pmf = Pmf::FromImpulses(std::move(impulses), n);
+  // Midpoint quantiles slightly bias the mean; rescale support so the pmf's
+  // expectation is exactly the requested mean.
+  const double achieved = pmf.Expectation();
+  ECDRA_ASSERT(achieved > 0.0, "discretized gamma has non-positive mean");
+  return pmf.ScaleValues(mean / achieved);
+}
+
+}  // namespace ecdra::pmf

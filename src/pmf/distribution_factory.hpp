@@ -1,0 +1,29 @@
+// Generators for execution-time distributions.
+//
+// The paper (§VI) generates execution-time distributions with the CVB
+// (coefficient-of-variation based) method of [AlS00]; the pmf shape itself is
+// under-specified, so we discretize a Gamma distribution — the distribution
+// family the CVB method is built on — around the CVB-sampled mean
+// (DESIGN.md, interpretation decision 1).
+#pragma once
+
+#include <cstddef>
+
+#include "pmf/pmf.hpp"
+
+namespace ecdra::pmf {
+
+struct DiscretizeOptions {
+  /// Number of equal-probability bins (impulses) in the discretized pmf.
+  std::size_t num_impulses = 24;
+  /// Probability clipped off each tail before binning.
+  double tail_clip = 1e-3;
+};
+
+/// Discretizes Gamma(mean, cov) into an equal-probability-bin pmf whose
+/// impulses sit at bin-midpoint quantiles, rescaled so the pmf's expectation
+/// equals `mean` exactly. Requires mean > 0 and cov > 0.
+[[nodiscard]] Pmf DiscretizedGamma(double mean, double cov,
+                                   const DiscretizeOptions& options = {});
+
+}  // namespace ecdra::pmf

@@ -1,0 +1,244 @@
+#include "pmf/pmf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <ostream>
+
+#include "util/assert.hpp"
+
+namespace ecdra::pmf {
+namespace {
+
+double TotalMass(const std::vector<Impulse>& impulses) {
+  return std::accumulate(
+      impulses.begin(), impulses.end(), 0.0,
+      [](double acc, const Impulse& imp) { return acc + imp.prob; });
+}
+
+void NormalizeMass(std::vector<Impulse>& impulses) {
+  const double mass = TotalMass(impulses);
+  ECDRA_ASSERT(mass > 0.0, "cannot normalize a zero-mass pmf");
+  for (Impulse& imp : impulses) imp.prob /= mass;
+}
+
+/// Merges a sorted run [first, last) into a single impulse at the
+/// probability-weighted mean value.
+Impulse MergeRun(const std::vector<Impulse>& impulses, std::size_t first,
+                 std::size_t last) {
+  double mass = 0.0;
+  double weighted = 0.0;
+  for (std::size_t i = first; i < last; ++i) {
+    mass += impulses[i].prob;
+    weighted += impulses[i].prob * impulses[i].value;
+  }
+  return Impulse{weighted / mass, mass};
+}
+
+}  // namespace
+
+Pmf Pmf::Delta(double value) {
+  return Pmf({Impulse{value, 1.0}});
+}
+
+Pmf Pmf::FromImpulses(std::vector<Impulse> impulses,
+                      std::size_t max_impulses) {
+  ECDRA_REQUIRE(max_impulses >= 1, "max_impulses must be at least 1");
+  std::erase_if(impulses, [](const Impulse& imp) { return imp.prob <= 0.0; });
+  ECDRA_REQUIRE(!impulses.empty(),
+                "pmf needs at least one positive-probability impulse");
+  for (const Impulse& imp : impulses) {
+    ECDRA_REQUIRE(std::isfinite(imp.value) && std::isfinite(imp.prob),
+                  "pmf impulses must be finite");
+  }
+  std::sort(impulses.begin(), impulses.end(),
+            [](const Impulse& a, const Impulse& b) { return a.value < b.value; });
+  // Coalesce exactly-equal values.
+  std::vector<Impulse> merged;
+  merged.reserve(impulses.size());
+  for (const Impulse& imp : impulses) {
+    if (!merged.empty() && merged.back().value == imp.value) {
+      merged.back().prob += imp.prob;
+    } else {
+      merged.push_back(imp);
+    }
+  }
+  NormalizeMass(merged);
+  return Pmf(std::move(merged)).Compact(max_impulses);
+}
+
+double Pmf::Min() const {
+  ECDRA_REQUIRE(!empty(), "Min of empty pmf");
+  return impulses_.front().value;
+}
+
+double Pmf::Max() const {
+  ECDRA_REQUIRE(!empty(), "Max of empty pmf");
+  return impulses_.back().value;
+}
+
+double Pmf::Expectation() const {
+  ECDRA_REQUIRE(!empty(), "Expectation of empty pmf");
+  double acc = 0.0;
+  for (const Impulse& imp : impulses_) acc += imp.value * imp.prob;
+  return acc;
+}
+
+double Pmf::Variance() const {
+  const double mean = Expectation();
+  double acc = 0.0;
+  for (const Impulse& imp : impulses_) {
+    const double d = imp.value - mean;
+    acc += d * d * imp.prob;
+  }
+  return acc;
+}
+
+double Pmf::CdfAt(double t) const {
+  ECDRA_REQUIRE(!empty(), "CdfAt of empty pmf");
+  double acc = 0.0;
+  for (const Impulse& imp : impulses_) {
+    if (imp.value > t) break;
+    acc += imp.prob;
+  }
+  return std::min(acc, 1.0);
+}
+
+Pmf Pmf::Shift(double dt) const {
+  ECDRA_REQUIRE(!empty(), "Shift of empty pmf");
+  std::vector<Impulse> shifted = impulses_;
+  for (Impulse& imp : shifted) imp.value += dt;
+  return Pmf(std::move(shifted));
+}
+
+Pmf Pmf::ScaleValues(double factor) const {
+  ECDRA_REQUIRE(!empty(), "ScaleValues of empty pmf");
+  ECDRA_REQUIRE(factor > 0.0, "scale factor must be positive");
+  std::vector<Impulse> scaled = impulses_;
+  for (Impulse& imp : scaled) imp.value *= factor;
+  return Pmf(std::move(scaled));
+}
+
+TruncateResult Pmf::TruncateBelow(double t) const {
+  ECDRA_REQUIRE(!empty(), "TruncateBelow of empty pmf");
+  std::vector<Impulse> kept;
+  kept.reserve(impulses_.size());
+  double retained = 0.0;
+  for (const Impulse& imp : impulses_) {
+    if (imp.value >= t) {
+      kept.push_back(imp);
+      retained += imp.prob;
+    }
+  }
+  if (kept.empty() || retained <= kMassTolerance) {
+    // The model's entire predicted completion window is in the past: treat
+    // completion as imminent (§IV-B boundary case).
+    return TruncateResult{Delta(t), 0.0};
+  }
+  for (Impulse& imp : kept) imp.prob /= retained;
+  return TruncateResult{Pmf(std::move(kept)), retained};
+}
+
+double Pmf::Sample(util::RngStream& rng) const {
+  ECDRA_REQUIRE(!empty(), "Sample of empty pmf");
+  const double u = rng.UniformReal(0.0, 1.0);
+  double acc = 0.0;
+  for (const Impulse& imp : impulses_) {
+    acc += imp.prob;
+    if (u <= acc) return imp.value;
+  }
+  return impulses_.back().value;  // guard against rounding at u ~= 1
+}
+
+Pmf Pmf::Compact(std::size_t max_impulses) const {
+  ECDRA_REQUIRE(max_impulses >= 1, "max_impulses must be at least 1");
+  const std::size_t n = impulses_.size();
+  if (n <= max_impulses) return *this;
+  if (max_impulses == 1) {
+    return Pmf({MergeRun(impulses_, 0, n)});
+  }
+
+  // Choose a gap threshold so that merging every adjacent pair closer than
+  // the threshold leaves at most max_impulses impulses, then merge the runs.
+  // This is a single-pass approximation of greedy closest-pair merging; it
+  // preserves total mass and the exact expectation.
+  std::vector<double> gaps(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    gaps[i] = impulses_[i + 1].value - impulses_[i].value;
+  }
+  // Keep the (max_impulses - 1) largest gaps as run boundaries.
+  std::vector<double> sorted_gaps = gaps;
+  const std::size_t keep = max_impulses - 1;
+  std::nth_element(sorted_gaps.begin(), sorted_gaps.begin() + (n - 1 - keep),
+                   sorted_gaps.end());
+  const double threshold = sorted_gaps[n - 1 - keep];
+
+  // Ties at the threshold value could otherwise create too many boundaries;
+  // budget them explicitly.
+  const std::size_t strictly_greater = static_cast<std::size_t>(
+      std::count_if(gaps.begin(), gaps.end(),
+                    [threshold](double g) { return g > threshold; }));
+  ECDRA_ASSERT(strictly_greater <= keep, "gap threshold selection failed");
+  std::size_t tie_budget = keep - strictly_greater;
+
+  std::vector<Impulse> out;
+  out.reserve(max_impulses);
+  std::size_t run_start = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const bool is_tie = gaps[i] == threshold;
+    if (gaps[i] > threshold || (is_tie && tie_budget > 0)) {
+      if (is_tie) --tie_budget;
+      out.push_back(MergeRun(impulses_, run_start, i + 1));
+      run_start = i + 1;
+    }
+  }
+  out.push_back(MergeRun(impulses_, run_start, n));
+  ECDRA_ASSERT(out.size() <= max_impulses, "compaction overshot its bound");
+  return Pmf(std::move(out));
+}
+
+Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
+  ECDRA_REQUIRE(!x.empty() && !y.empty(), "Convolve of empty pmf");
+  std::vector<Impulse> cross;
+  cross.reserve(x.size() * y.size());
+  for (const Impulse& a : x.impulses()) {
+    for (const Impulse& b : y.impulses()) {
+      cross.push_back(Impulse{a.value + b.value, a.prob * b.prob});
+    }
+  }
+  return Pmf::FromImpulses(std::move(cross), max_impulses);
+}
+
+double ProbSumLeq(const Pmf& x, const Pmf& y, double t) {
+  ECDRA_REQUIRE(!x.empty() && !y.empty(), "ProbSumLeq of empty pmf");
+  // P(X + Y <= t) = sum_i P(X = x_i) * F_Y(t - x_i). As x_i ascends the
+  // evaluation point t - x_i descends, so a single backwards sweep over Y's
+  // suffix suffices.
+  const auto& xs = x.impulses();
+  const auto& ys = y.impulses();
+  std::size_t j = ys.size();
+  double y_cdf = 1.0;  // P(Y <= ys[j-1].value) for the current j
+  double acc = 0.0;
+  for (const Impulse& xi : xs) {
+    const double limit = t - xi.value;
+    while (j > 0 && ys[j - 1].value > limit) {
+      y_cdf -= ys[j - 1].prob;
+      --j;
+    }
+    if (j == 0) break;  // every remaining x_i is larger, contributes nothing
+    acc += xi.prob * y_cdf;
+  }
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+std::ostream& operator<<(std::ostream& os, const Pmf& pmf) {
+  os << "Pmf{";
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "(" << pmf.impulses()[i].value << ", " << pmf.impulses()[i].prob
+       << ")";
+  }
+  return os << "}";
+}
+
+}  // namespace ecdra::pmf

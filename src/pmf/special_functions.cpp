@@ -1,0 +1,91 @@
+#include "pmf/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ecdra::pmf {
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 3.0e-14;
+constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+
+/// Series representation of P(a, x); converges quickly for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued-fraction representation of Q(a, x) = 1 - P(a, x); converges
+/// quickly for x >= a + 1 (modified Lentz's method).
+double GammaQContinuedFraction(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaP(double a, double x) {
+  ECDRA_REQUIRE(a > 0.0, "gamma shape must be positive");
+  ECDRA_REQUIRE(x >= 0.0, "incomplete gamma argument must be non-negative");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double GammaCdf(double shape, double scale, double x) {
+  ECDRA_REQUIRE(scale > 0.0, "gamma scale must be positive");
+  if (x <= 0.0) return 0.0;
+  return RegularizedGammaP(shape, x / scale);
+}
+
+double GammaQuantile(double shape, double scale, double p) {
+  ECDRA_REQUIRE(scale > 0.0, "gamma scale must be positive");
+  ECDRA_REQUIRE(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+  // Bracket the root. The mean is shape*scale; expand geometrically.
+  double lo = 0.0;
+  double hi = shape * scale;
+  while (GammaCdf(shape, scale, hi) < p) {
+    lo = hi;
+    hi *= 2.0;
+    ECDRA_ASSERT(hi < 1e300, "gamma quantile bracket diverged");
+  }
+  // Bisection: robust and plenty fast for our offline discretization use.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (GammaCdf(shape, scale, mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ecdra::pmf

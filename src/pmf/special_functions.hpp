@@ -1,0 +1,21 @@
+// Special functions needed to discretize Gamma execution-time distributions:
+// the regularized lower incomplete gamma function P(a, x) and the Gamma
+// quantile function. Implementations follow the classic series /
+// continued-fraction split (Numerical Recipes style) with a bisection-refined
+// Newton inversion for the quantile.
+#pragma once
+
+namespace ecdra::pmf {
+
+/// Regularized lower incomplete gamma function P(a, x) = γ(a, x) / Γ(a),
+/// i.e. the CDF at x of a Gamma(shape=a, scale=1) random variable.
+/// Requires a > 0 and x >= 0.
+[[nodiscard]] double RegularizedGammaP(double a, double x);
+
+/// CDF of Gamma(shape, scale) at x (0 for x <= 0).
+[[nodiscard]] double GammaCdf(double shape, double scale, double x);
+
+/// Quantile (inverse CDF) of Gamma(shape, scale) at probability p in (0, 1).
+[[nodiscard]] double GammaQuantile(double shape, double scale, double p);
+
+}  // namespace ecdra::pmf

@@ -1,0 +1,95 @@
+#include "robustness/core_queue_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::robustness {
+
+const pmf::Pmf& CoreQueueModel::ReadyPmf(double now) const {
+  if (cache_valid_ && cached_now_ == now) return cached_ready_;
+
+  if (!running_) {
+    ECDRA_ASSERT(queued_.empty(), "queued tasks require a running task");
+    cached_ready_ = pmf::Pmf::Delta(now);
+  } else {
+    // §IV-B: completion pmf of the running task = its exec pmf shifted by
+    // its start time, with past impulses removed and the rest renormalized.
+    const pmf::Pmf running_completion =
+        running_->exec->Shift(start_time_).TruncateBelow(now).pmf;
+    cached_ready_ = queued_.empty()
+                        ? running_completion
+                        : pmf::Convolve(running_completion, queued_suffix_);
+  }
+  cached_now_ = now;
+  cache_valid_ = true;
+  return cached_ready_;
+}
+
+double CoreQueueModel::ExpectedReadyTime(double now) const {
+  if (!running_) return now;
+  const double running_mean =
+      running_->exec->Shift(start_time_).TruncateBelow(now).pmf.Expectation();
+  return running_mean + queued_mean_sum_;
+}
+
+void CoreQueueModel::StartTask(const ModeledTask& task, double now) {
+  ECDRA_REQUIRE(task.exec != nullptr, "modeled task needs an exec pmf");
+  ECDRA_REQUIRE(!running_, "StartTask on a busy core; use Enqueue");
+  running_ = task;
+  start_time_ = now;
+  InvalidateCache();
+}
+
+void CoreQueueModel::Enqueue(const ModeledTask& task) {
+  ECDRA_REQUIRE(task.exec != nullptr, "modeled task needs an exec pmf");
+  ECDRA_REQUIRE(running_, "Enqueue on an idle core; use StartTask");
+  queued_.push_back(task);
+  queued_mean_sum_ += task.exec->Expectation();
+  queued_suffix_ = queued_.size() == 1
+                       ? *task.exec
+                       : pmf::Convolve(queued_suffix_, *task.exec);
+  InvalidateCache();
+}
+
+void CoreQueueModel::FinishRunning() {
+  ECDRA_REQUIRE(running_, "FinishRunning on an idle core");
+  running_.reset();
+  InvalidateCache();
+}
+
+void CoreQueueModel::StartNext(double now) {
+  ECDRA_REQUIRE(!running_, "StartNext while a task is still running");
+  ECDRA_REQUIRE(!queued_.empty(), "StartNext with an empty queue");
+  running_ = queued_.front();
+  queued_.pop_front();
+  start_time_ = now;
+  queued_mean_sum_ -= running_->exec->Expectation();
+  RebuildSuffix();
+  InvalidateCache();
+}
+
+void CoreQueueModel::DropNext() {
+  ECDRA_REQUIRE(!running_, "DropNext while a task is running");
+  ECDRA_REQUIRE(!queued_.empty(), "DropNext with an empty queue");
+  queued_mean_sum_ -= queued_.front().exec->Expectation();
+  queued_.pop_front();
+  RebuildSuffix();
+  InvalidateCache();
+}
+
+void CoreQueueModel::RebuildSuffix() {
+  if (queued_.empty()) {
+    queued_suffix_ = pmf::Pmf();
+    queued_mean_sum_ = 0.0;  // clear accumulated floating-point drift
+    return;
+  }
+  pmf::Pmf suffix = *queued_.front().exec;
+  double mean_sum = queued_.front().exec->Expectation();
+  for (std::size_t i = 1; i < queued_.size(); ++i) {
+    suffix = pmf::Convolve(suffix, *queued_[i].exec);
+    mean_sum += queued_[i].exec->Expectation();
+  }
+  queued_suffix_ = std::move(suffix);
+  queued_mean_sum_ = mean_sum;
+}
+
+}  // namespace ecdra::robustness

@@ -1,0 +1,92 @@
+// The resource manager's stochastic model of one core's queue (§IV-B).
+//
+// Tracks the currently-executing task (by its start time and execution-time
+// pmf) and the FIFO of tasks queued behind it. The "ready-time" pmf of the
+// core at query time t_l is
+//
+//   truncate-renormalize(exec_running shifted by start, t_l)
+//     (x) exec_q1 (x) ... (x) exec_qm
+//
+// where (x) is convolution. The suffix convolution of queued-task pmfs is
+// cached (rebuilt on dequeue), so one query costs one truncation plus one
+// convolution; the resulting ready pmf is additionally memoized per query
+// time, because an immediate-mode heuristic probes every core once per
+// arrival at the same t_l.
+//
+// Pmf pointers reference the TaskTypeTable (or any equally stable storage)
+// and must outlive the model.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "pmf/pmf.hpp"
+
+namespace ecdra::robustness {
+
+/// A task as the queue model sees it.
+struct ModeledTask {
+  std::size_t task_id = 0;
+  /// Execution-time pmf at the task's assigned (node, P-state).
+  const pmf::Pmf* exec = nullptr;
+  double deadline = 0.0;
+};
+
+class CoreQueueModel {
+ public:
+  /// Number of tasks assigned to this core (running + queued); the SQ
+  /// heuristic's |MQ(i,j,k,t_l)|.
+  [[nodiscard]] std::size_t queue_length() const noexcept {
+    return (running_ ? 1 : 0) + queued_.size();
+  }
+  [[nodiscard]] bool idle() const noexcept { return !running_; }
+  [[nodiscard]] const std::optional<ModeledTask>& running() const noexcept {
+    return running_;
+  }
+  [[nodiscard]] double running_start() const noexcept { return start_time_; }
+  [[nodiscard]] const std::deque<ModeledTask>& queued() const noexcept {
+    return queued_;
+  }
+
+  /// Ready-time pmf of this core as predicted at time `now` — the stochastic
+  /// time at which all currently-assigned work completes. Delta(now) when
+  /// the core is empty.
+  [[nodiscard]] const pmf::Pmf& ReadyPmf(double now) const;
+
+  /// Expectation of ReadyPmf(now), computed without any convolution
+  /// (expectation is additive over the queue).
+  [[nodiscard]] double ExpectedReadyTime(double now) const;
+
+  /// The simulator started `task` on this (previously idle) core at `now`.
+  void StartTask(const ModeledTask& task, double now);
+  /// A new task was assigned behind the running one.
+  void Enqueue(const ModeledTask& task);
+  /// The running task finished; if the queue is non-empty the caller must
+  /// follow up with StartNext.
+  void FinishRunning();
+  /// Promotes the head of the queue to running at time `now`.
+  void StartNext(double now);
+  /// Removes the head of the queue without running it (task cancellation —
+  /// the §VIII future-work extension). The core must be idle, as
+  /// cancellation decisions happen when a core picks its next task.
+  void DropNext();
+
+ private:
+  void RebuildSuffix();
+  void InvalidateCache() noexcept { cache_valid_ = false; }
+
+  std::optional<ModeledTask> running_;
+  double start_time_ = 0.0;
+  std::deque<ModeledTask> queued_;
+  /// Convolution of all queued (not running) exec pmfs; empty when none.
+  pmf::Pmf queued_suffix_;
+  /// Sum of queued exec-pmf means, for the scalar fast path.
+  double queued_mean_sum_ = 0.0;
+
+  mutable pmf::Pmf cached_ready_;
+  mutable double cached_now_ = 0.0;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace ecdra::robustness

@@ -1,0 +1,33 @@
+#include "robustness/robustness.hpp"
+
+namespace ecdra::robustness {
+
+double OnTimeProbability(const CoreQueueModel& core, double now,
+                         const pmf::Pmf& exec, double deadline) {
+  return pmf::ProbSumLeq(core.ReadyPmf(now), exec, deadline);
+}
+
+double CoreRobustness(const CoreQueueModel& core, double now) {
+  if (core.idle()) return 0.0;
+  // Completion pmf of the running task, then chain convolutions down the
+  // queue (§IV-B's final paragraph), accumulating each task's on-time mass.
+  pmf::Pmf completion = core.running()->exec->Shift(core.running_start())
+                            .TruncateBelow(now)
+                            .pmf;
+  double expected_on_time = completion.CdfAt(core.running()->deadline);
+  for (const ModeledTask& task : core.queued()) {
+    expected_on_time += pmf::ProbSumLeq(completion, *task.exec, task.deadline);
+    completion = pmf::Convolve(completion, *task.exec);
+  }
+  return expected_on_time;
+}
+
+double SystemRobustness(std::span<const CoreQueueModel> cores, double now) {
+  double total = 0.0;
+  for (const CoreQueueModel& core : cores) {
+    total += CoreRobustness(core, now);
+  }
+  return total;
+}
+
+}  // namespace ecdra::robustness

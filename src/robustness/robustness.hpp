@@ -1,0 +1,33 @@
+// Robustness measures (§IV-C).
+//
+// The robustness of an allocation at time t_l is the expected number of
+// tasks that complete by their individual deadlines, rho(t_l) (Eq. 4) —
+// a sum of per-core terms (Eq. 3), each the sum over assigned tasks of the
+// probability the task finishes by its deadline. For immediate-mode mapping
+// the per-assignment quantity rho(i,j,k,pi,t_l,z) — the probability a
+// candidate assignment of task z meets its deadline — is what heuristics and
+// the robustness filter consume.
+#pragma once
+
+#include <span>
+
+#include "pmf/pmf.hpp"
+#include "robustness/core_queue_model.hpp"
+
+namespace ecdra::robustness {
+
+/// rho(i,j,k,pi,t_l,z): probability that task z, with execution-time pmf
+/// `exec` (already specialized to the candidate node and P-state), completes
+/// by `deadline` if appended to `core`'s queue at time `now`.
+[[nodiscard]] double OnTimeProbability(const CoreQueueModel& core, double now,
+                                       const pmf::Pmf& exec, double deadline);
+
+/// rho(i,j,k,t_l), Eq. 3: expected number of on-time completions among the
+/// tasks currently assigned to `core`.
+[[nodiscard]] double CoreRobustness(const CoreQueueModel& core, double now);
+
+/// rho(t_l), Eq. 4: expected on-time completions across the whole cluster.
+[[nodiscard]] double SystemRobustness(std::span<const CoreQueueModel> cores,
+                                      double now);
+
+}  // namespace ecdra::robustness

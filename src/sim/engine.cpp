@@ -1,0 +1,262 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "robustness/robustness.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::sim {
+
+Engine::Engine(const cluster::Cluster& cluster,
+               const workload::TaskTypeTable& types,
+               std::vector<workload::Task> tasks,
+               core::ImmediateModeScheduler& scheduler,
+               const TrialOptions& options, util::RngStream rng)
+    : cluster_(&cluster),
+      types_(&types),
+      tasks_(std::move(tasks)),
+      scheduler_(&scheduler),
+      options_(options),
+      rng_(std::move(rng)),
+      runtime_(cluster.total_cores()),
+      models_(cluster.total_cores()),
+      meter_(cluster, cluster::kNumPStates - 1),
+      idle_pstate_(cluster::kNumPStates - 1) {
+  ECDRA_REQUIRE(options.energy_budget > 0.0, "energy budget must be positive");
+  ECDRA_REQUIRE(std::is_sorted(tasks_.begin(), tasks_.end(),
+                               [](const auto& a, const auto& b) {
+                                 return a.arrival < b.arrival;
+                               }),
+                "tasks must be sorted by arrival time");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    ECDRA_REQUIRE(tasks_[i].id == i, "task ids must equal arrival order");
+  }
+  // §III-C: every core records its start-of-workload transition at t = 0
+  // into the initial (deepest or gated) P-state.
+  const bool gated = options_.idle_policy == IdlePolicy::kPowerGated;
+  for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+    runtime_[flat].current_pstate = idle_pstate_;
+    runtime_[flat].log.push_back(
+        {0.0, idle_pstate_, gated ? 0.0 : -1.0});
+    if (gated) meter_.SetPStateWithPower(flat, idle_pstate_, 0.0);
+  }
+  if (options_.collect_task_records) {
+    records_.resize(tasks_.size());
+    for (const workload::Task& task : tasks_) {
+      TaskRecord& record = records_[task.id];
+      record.task_id = task.id;
+      record.type = task.type;
+      record.arrival = task.arrival;
+      record.deadline = task.deadline;
+      record.priority = task.priority;
+    }
+  }
+}
+
+TrialResult Engine::Run() {
+  TrialResult result;
+  result.window_size = tasks_.size();
+
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    result.weighted_total += tasks_[i].priority;
+    events_.push(Event{tasks_[i].arrival, 1, i, next_seq_++});
+  }
+
+  double now = 0.0;
+  while (!events_.empty()) {
+    const Event event = events_.top();
+    events_.pop();
+    AdvanceEnergy(event.time);
+    now = event.time;
+    if (event.kind == 1) {
+      HandleArrival(tasks_[event.index], now);
+      if (options_.collect_robustness_trace) {
+        // Sampled after the arrival is mapped, so the trace reflects the
+        // allocation the scheduler just produced.
+        std::size_t in_flight = 0;
+        for (const robustness::CoreQueueModel& model : models_) {
+          in_flight += model.queue_length();
+        }
+        robustness_trace_.push_back(RobustnessSample{
+            now, robustness::SystemRobustness(models_, now), in_flight});
+      }
+    } else {
+      // Tally the finishing task before mutating core state.
+      const std::size_t flat = event.index;
+      const std::size_t task_id = runtime_[flat].running.task_id;
+      const workload::Task& task = tasks_[task_id];
+      const bool on_time = now <= task.deadline;
+      const bool within_energy = !exhausted_at_ || now <= *exhausted_at_;
+      if (on_time && within_energy) {
+        ++result.completed;
+        result.weighted_completed += task.priority;
+      } else if (!on_time) {
+        ++result.finished_late;
+      } else {
+        ++result.on_time_but_over_budget;
+      }
+      if (options_.collect_task_records) {
+        TaskRecord& record = records_[task_id];
+        record.finish_time = now;
+        record.on_time = on_time;
+        record.within_energy = within_energy;
+      }
+      HandleFinish(flat, now);
+    }
+  }
+
+  // End-of-workload transition for every core (§III-C), then reconcile the
+  // Eq. 1/2 post-hoc energy with the online meter.
+  std::vector<cluster::TransitionLog> logs;
+  logs.reserve(runtime_.size());
+  for (CoreRuntime& core : runtime_) {
+    core.log.push_back({now, core.current_pstate});
+    logs.push_back(core.log);
+  }
+  const double post_hoc = cluster::ClusterEnergyFromLogs(*cluster_, logs);
+  const double online = meter_.consumed();
+  ECDRA_ASSERT(std::fabs(post_hoc - online) <=
+                   1e-6 * std::max(1.0, std::fabs(post_hoc)),
+               "online and post-hoc energy accounting disagree");
+
+  result.discarded = scheduler_->tasks_discarded();
+  result.cancelled = cancelled_;
+  result.missed_deadlines = result.window_size - result.completed;
+  result.weighted_missed = result.weighted_total - result.weighted_completed;
+  result.total_energy = post_hoc;
+  result.energy_exhausted_at = exhausted_at_;
+  result.estimated_energy_remaining = scheduler_->estimator().remaining();
+  result.makespan = now;
+  result.task_records = std::move(records_);
+  result.robustness_trace = std::move(robustness_trace_);
+  return result;
+}
+
+void Engine::HandleArrival(const workload::Task& task, double now) {
+  const std::optional<core::Candidate> chosen =
+      scheduler_->MapTask(task, now, models_);
+  if (!chosen) return;  // discarded; scheduler counted it
+
+  const std::size_t flat = chosen->assignment.flat_core;
+  const cluster::PStateIndex pstate = chosen->assignment.pstate;
+
+  if (options_.collect_task_records) {
+    TaskRecord& record = records_[task.id];
+    record.assigned = true;
+    record.flat_core = flat;
+    record.pstate = pstate;
+    record.rho_at_assignment = robustness::OnTimeProbability(
+        models_[flat], now, *chosen->exec, task.deadline);
+  }
+
+  const double duration = SampleActualDuration(task, chosen->node, pstate);
+  const robustness::ModeledTask modeled{task.id, chosen->exec, task.deadline};
+  if (runtime_[flat].busy) {
+    runtime_[flat].pending.push_back(PendingTask{task.id, duration, pstate});
+    models_[flat].Enqueue(modeled);
+  } else {
+    StartOnCore(flat, task.id, duration, pstate, now);
+    models_[flat].StartTask(modeled, now);
+  }
+}
+
+void Engine::HandleFinish(std::size_t flat_core, double now) {
+  CoreRuntime& core = runtime_[flat_core];
+  core.busy = false;
+  models_[flat_core].FinishRunning();
+  if (options_.cancel_policy == CancelPolicy::kCancelHopelessQueued) {
+    // Drop queued tasks that can no longer meet their deadlines — they are
+    // certain misses, and running them would only burn budget and delay the
+    // rest of the queue.
+    while (!core.pending.empty() &&
+           tasks_[core.pending.front().task_id].deadline < now) {
+      const std::size_t cancelled_id = core.pending.front().task_id;
+      core.pending.pop_front();
+      models_[flat_core].DropNext();
+      ++cancelled_;
+      if (options_.collect_task_records) {
+        TaskRecord& record = records_[cancelled_id];
+        record.cancelled = true;
+        record.finish_time = now;
+      }
+    }
+  }
+  if (!core.pending.empty()) {
+    const PendingTask next = core.pending.front();
+    core.pending.pop_front();
+    StartOnCore(flat_core, next.task_id, next.duration, next.pstate, now);
+    models_[flat_core].StartNext(now);
+  } else if (options_.idle_policy == IdlePolicy::kDeepestPState) {
+    SwitchPState(flat_core, idle_pstate_, now);
+  } else if (options_.idle_policy == IdlePolicy::kPowerGated) {
+    SwitchPState(flat_core, idle_pstate_, now, 0.0);
+  }
+}
+
+void Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
+                         double duration, cluster::PStateIndex pstate,
+                         double now) {
+  // Optional DVFS switching delay: the core is occupied (at the destination
+  // state's power) before execution begins.
+  double start = now;
+  if (options_.pstate_transition_latency > 0.0 &&
+      runtime_[flat_core].current_pstate != pstate) {
+    start += options_.pstate_transition_latency;
+  }
+  double core_watts = -1.0;
+  if (options_.power_cov > 0.0) {
+    // Stochastic-power extension: this execution draws a sampled power
+    // around the state's average.
+    util::RngStream stream = rng_.Substream("power-u", task_id);
+    core_watts = stream.Gamma(
+        1.0 / (options_.power_cov * options_.power_cov),
+        cluster_->NodeOf(flat_core).pstates[pstate].power_watts *
+            options_.power_cov * options_.power_cov);
+  }
+  SwitchPState(flat_core, pstate, now, core_watts);
+  CoreRuntime& core = runtime_[flat_core];
+  core.busy = true;
+  core.running = RunningTask{task_id, start + duration};
+  events_.push(Event{start + duration, 0, flat_core, next_seq_++});
+  if (options_.collect_task_records) {
+    records_[task_id].start_time = start;
+  }
+}
+
+void Engine::SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
+                          double now, double core_watts) {
+  CoreRuntime& core = runtime_[flat_core];
+  const bool same_power =
+      core_watts < 0.0
+          ? core.log.back().power_watts < 0.0
+          : core.log.back().power_watts == core_watts;
+  if (core.current_pstate == pstate && same_power) return;
+  core.current_pstate = pstate;
+  core.log.push_back({now, pstate, core_watts});
+  if (core_watts >= 0.0) {
+    meter_.SetPStateWithPower(flat_core, pstate, core_watts);
+  } else {
+    meter_.SetPState(flat_core, pstate);
+  }
+}
+
+void Engine::AdvanceEnergy(double to_time) {
+  if (!exhausted_at_) {
+    exhausted_at_ =
+        meter_.BudgetCrossingTime(options_.energy_budget, to_time);
+  }
+  meter_.AdvanceTo(to_time);
+}
+
+double Engine::SampleActualDuration(const workload::Task& task,
+                                    std::size_t node,
+                                    cluster::PStateIndex pstate) {
+  // One substream per task id: the underlying uniform draw is shared across
+  // heuristic variants (common random numbers), so variants differ only
+  // through their decisions, not through sampling noise.
+  util::RngStream stream = rng_.Substream("exec-u", task.id);
+  return types_->ExecPmf(task.type, node, pstate).Sample(stream);
+}
+
+}  // namespace ecdra::sim

@@ -1,0 +1,166 @@
+// Discrete-event simulation of one trial (§VI).
+//
+// Two event kinds drive the clock: task arrivals (the scheduler maps the
+// task immediately) and task completions (the core starts its next queued
+// task or drops to the idle P-state). Between events every core draws the
+// power of its current P-state — cores are never off — and the engine
+// integrates cluster energy online, pinning the exact instant the budget
+// zeta_max is exhausted.
+//
+// The engine keeps two synchronized views of every core: the ground-truth
+// runtime state (current P-state, transition log, sampled actual execution
+// times) and the resource manager's stochastic CoreQueueModel (execution
+// time pmfs) that heuristics and filters consult.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/energy_accounting.hpp"
+#include "core/scheduler.hpp"
+#include "robustness/core_queue_model.hpp"
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+#include "workload/task.hpp"
+#include "workload/task_type_table.hpp"
+
+namespace ecdra::sim {
+
+/// What an idle core with an empty queue does (DESIGN.md decision 2).
+enum class IdlePolicy {
+  /// Drop to the deepest (lowest-power) P-state — the default resource
+  /// manager behaviour under the paper's "cores can never be turned off"
+  /// assumption (§III-A).
+  kDeepestPState,
+  /// Stay in the P-state of the last executed task (ablation baseline).
+  kStayAtLast,
+  /// Power-gate idle cores to zero draw (§VIII future work: "ACPI G-states,
+  /// power gating") — an idealized instant gate; combine with
+  /// pstate_transition_latency to charge a wake-up cost.
+  kPowerGated,
+};
+
+/// Whether queued tasks can be cancelled. The paper's system "cannot stop a
+/// task after it has been scheduled and must execute it to completion";
+/// cancellation is listed as §VIII future work and implemented here as an
+/// extension.
+enum class CancelPolicy {
+  /// Paper semantics: every assigned task runs to completion (best effort).
+  kRunToCompletion,
+  /// When a core picks its next task, queued tasks whose deadlines have
+  /// already passed are dropped instead of executed — they are certain
+  /// misses either way, and skipping them saves energy and queueing delay.
+  kCancelHopelessQueued,
+};
+
+struct TrialOptions {
+  /// zeta_max: wall-energy budget for the window.
+  double energy_budget = 0.0;
+  IdlePolicy idle_policy = IdlePolicy::kDeepestPState;
+  CancelPolicy cancel_policy = CancelPolicy::kRunToCompletion;
+  /// Collect the per-task trace (needed by the robustness validation).
+  bool collect_task_records = false;
+  /// Sample the system robustness rho(t_l) (Eq. 4) at every task arrival
+  /// (costs one CoreRobustness sweep per arrival; off by default).
+  bool collect_robustness_trace = false;
+  /// Time a core spends switching P-states before a task whose state
+  /// differs from the core's current one can start. The paper assumes this
+  /// is negligible (hundreds of microseconds vs. second-scale tasks); the
+  /// ablation quantifies where that assumption breaks. The switching
+  /// interval draws the *destination* state's power, and the scheduler's
+  /// completion-time model deliberately does not see the latency (the
+  /// resource manager believes the paper's assumption).
+  double pstate_transition_latency = 0.0;
+  /// Coefficient of variation of per-execution sampled core power (§VIII
+  /// future work: power as a distribution, not a constant). 0 = the paper's
+  /// average-power model. Heuristics keep estimating EEC with the average —
+  /// only the ground truth becomes noisy.
+  double power_cov = 0.0;
+};
+
+class Engine {
+ public:
+  /// `tasks` must be sorted by arrival time. `scheduler` is consumed for one
+  /// trial. `rng` samples actual execution times; substream "exec-u" with
+  /// the task id indexes the draw so actuals use common random numbers
+  /// across heuristic variants.
+  Engine(const cluster::Cluster& cluster, const workload::TaskTypeTable& types,
+         std::vector<workload::Task> tasks,
+         core::ImmediateModeScheduler& scheduler, const TrialOptions& options,
+         util::RngStream rng);
+
+  /// Runs the trial to completion (all assigned tasks executed) and returns
+  /// the outcome.
+  [[nodiscard]] TrialResult Run();
+
+ private:
+  struct RunningTask {
+    std::size_t task_id = 0;
+    double finish_time = 0.0;
+  };
+  /// A task assigned to a core but not yet started: its mapping fixed both
+  /// the P-state and (for the simulator) the sampled actual duration.
+  struct PendingTask {
+    std::size_t task_id = 0;
+    double duration = 0.0;
+    cluster::PStateIndex pstate = 0;
+  };
+  /// Ground-truth state of one core.
+  struct CoreRuntime {
+    cluster::PStateIndex current_pstate = 0;
+    cluster::TransitionLog log;
+    std::deque<PendingTask> pending;
+    RunningTask running;
+    bool busy = false;
+  };
+
+  struct Event {
+    double time = 0.0;
+    /// 0 = finish, 1 = arrival: finishes first at equal times so an arriving
+    /// task sees the freed core.
+    int kind = 0;
+    std::size_t index = 0;  // task index (arrival) or flat core (finish)
+    std::uint64_t seq = 0;  // deterministic tie-break
+
+    [[nodiscard]] bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      if (kind != other.kind) return kind > other.kind;
+      return seq > other.seq;
+    }
+  };
+
+  void HandleArrival(const workload::Task& task, double now);
+  void HandleFinish(std::size_t flat_core, double now);
+  void StartOnCore(std::size_t flat_core, std::size_t task_id, double duration,
+                   cluster::PStateIndex pstate, double now);
+  /// `core_watts` < 0 uses the profile's average power for the state.
+  void SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
+                    double now, double core_watts = -1.0);
+  void AdvanceEnergy(double to_time);
+  [[nodiscard]] double SampleActualDuration(const workload::Task& task,
+                                            std::size_t node,
+                                            cluster::PStateIndex pstate);
+
+  const cluster::Cluster* cluster_;
+  const workload::TaskTypeTable* types_;
+  std::vector<workload::Task> tasks_;
+  core::ImmediateModeScheduler* scheduler_;
+  TrialOptions options_;
+  util::RngStream rng_;
+
+  std::vector<CoreRuntime> runtime_;
+  std::vector<robustness::CoreQueueModel> models_;
+  cluster::OnlineEnergyMeter meter_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::optional<double> exhausted_at_;
+  std::size_t cancelled_ = 0;
+  std::vector<TaskRecord> records_;
+  std::vector<RobustnessSample> robustness_trace_;
+  cluster::PStateIndex idle_pstate_;
+};
+
+}  // namespace ecdra::sim

@@ -1,0 +1,111 @@
+#include "sim/experiment_runner.hpp"
+
+#include <future>
+
+#include "core/scheduler.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ecdra::sim {
+namespace {
+
+/// Eq. 8: p_avg = (1 / (N * |P|)) * sum_i sum_pi mu(i, pi).
+double AveragePower(const cluster::Cluster& cluster) {
+  double sum = 0.0;
+  for (const cluster::Node& node : cluster.nodes()) {
+    for (const cluster::PState& pstate : node.pstates) {
+      sum += pstate.power_watts;
+    }
+  }
+  return sum / (static_cast<double>(cluster.num_nodes()) *
+                static_cast<double>(cluster::kNumPStates));
+}
+
+}  // namespace
+
+ExperimentSetup BuildExperimentSetup(std::uint64_t master_seed,
+                                     const SetupOptions& options) {
+  util::RngStream master(master_seed);
+
+  util::RngStream cluster_rng = master.Substream("cluster");
+  cluster::Cluster cluster =
+      cluster::BuildRandomCluster(cluster_rng, options.cluster);
+
+  workload::CvbOptions cvb = options.cvb;
+  cvb.num_machines = cluster.num_nodes();
+  util::RngStream etc_rng = master.Substream("etc");
+  workload::EtcMatrix etc = workload::GenerateCvbMatrix(etc_rng, cvb);
+
+  const double exec_cov =
+      options.exec_cov > 0.0 ? options.exec_cov : cvb.task_cov;
+  workload::TaskTypeTable types(cluster, etc, exec_cov, options.discretize);
+
+  const double t_avg = types.GrandMeanExec();
+  const double p_avg = AveragePower(cluster);
+
+  ExperimentSetup setup{
+      .cluster = std::move(cluster),
+      .etc = std::move(etc),
+      .types = std::move(types),
+      .workload = options.workload,
+      .t_avg = t_avg,
+      .p_avg = p_avg,
+      .energy_budget = t_avg * p_avg * options.budget_task_count,
+      .master_seed = master_seed,
+      .window_size = options.workload.arrivals.total_tasks(),
+  };
+  ECDRA_ASSERT(setup.window_size >= 1, "experiment window is empty");
+  return setup;
+}
+
+TrialResult RunSingleTrial(const ExperimentSetup& setup,
+                           const std::string& heuristic,
+                           const std::string& filter_variant,
+                           std::size_t trial_index, const RunOptions& options) {
+  util::RngStream trial_rng =
+      util::RngStream(setup.master_seed).Substream("trial", trial_index);
+
+  util::RngStream workload_rng = trial_rng.Substream("workload");
+  std::vector<workload::Task> tasks =
+      workload::GenerateWorkload(setup.types, setup.workload, workload_rng);
+
+  core::ImmediateModeScheduler scheduler(
+      setup.cluster, setup.types,
+      core::MakeHeuristic(heuristic, trial_rng.Substream("heuristic")),
+      core::MakeFilterChain(filter_variant, options.filter_options),
+      setup.energy_budget, setup.window_size);
+
+  const TrialOptions trial_options{
+      .energy_budget = setup.energy_budget,
+      .idle_policy = options.idle_policy,
+      .cancel_policy = options.cancel_policy,
+      .collect_task_records = options.collect_task_records,
+      .collect_robustness_trace = options.collect_robustness_trace,
+      .pstate_transition_latency = options.pstate_transition_latency,
+      .power_cov = options.power_cov,
+  };
+  Engine engine(setup.cluster, setup.types, std::move(tasks), scheduler,
+                trial_options, trial_rng.Substream("sim"));
+  return engine.Run();
+}
+
+std::vector<TrialResult> RunTrials(const ExperimentSetup& setup,
+                                   const std::string& heuristic,
+                                   const std::string& filter_variant,
+                                   const RunOptions& options) {
+  ECDRA_REQUIRE(options.num_trials >= 1, "need at least one trial");
+  util::ThreadPool pool(options.num_threads);
+  std::vector<std::future<TrialResult>> futures;
+  futures.reserve(options.num_trials);
+  for (std::size_t trial = 0; trial < options.num_trials; ++trial) {
+    futures.push_back(pool.Submit([&, trial] {
+      return RunSingleTrial(setup, heuristic, filter_variant, trial, options);
+    }));
+  }
+  std::vector<TrialResult> results;
+  results.reserve(options.num_trials);
+  for (auto& future : futures) results.push_back(future.get());
+  return results;
+}
+
+}  // namespace ecdra::sim

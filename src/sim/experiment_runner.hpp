@@ -1,0 +1,88 @@
+// Experiment orchestration: builds the §VI environment once (cluster, ETC
+// matrix, pmf table, deadline ingredients, energy budget — all "held
+// constant" across trials) and runs Monte-Carlo trials whose arrivals, task
+// types, deadlines, and sampled actual execution times vary by trial index.
+//
+// Trials are embarrassingly parallel and deterministic per (master seed,
+// trial index, heuristic, filter variant); the runner fans them out over a
+// thread pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/cluster_builder.hpp"
+#include "core/factory.hpp"
+#include "pmf/distribution_factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "workload/etc_matrix.hpp"
+#include "workload/task_type_table.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace ecdra::sim {
+
+struct SetupOptions {
+  cluster::ClusterBuilderOptions cluster;
+  workload::CvbOptions cvb;  // num_machines is overridden to num_nodes
+  pmf::DiscretizeOptions discretize;
+  workload::WorkloadGeneratorOptions workload;
+  /// zeta_max = t_avg * p_avg * budget_task_count — "the energy required to
+  /// execute an average task one thousand times" (§VI).
+  double budget_task_count = 1000.0;
+  /// Execution-time *uncertainty* (the per-(type, node) pmf CoV). 0 uses
+  /// cvb.task_cov, the paper's coupling of heterogeneity and uncertainty;
+  /// a positive value decouples them for the uncertainty ablation.
+  double exec_cov = 0.0;
+};
+
+/// Everything shared across the trials of one experiment.
+struct ExperimentSetup {
+  cluster::Cluster cluster;
+  workload::EtcMatrix etc;
+  workload::TaskTypeTable types;
+  workload::WorkloadGeneratorOptions workload;
+  /// t_avg: grand mean execution time (§VI; the paper's instance: ~1353).
+  double t_avg = 0.0;
+  /// p_avg: mean power over all machines and P-states (Eq. 8).
+  double p_avg = 0.0;
+  /// zeta_max.
+  double energy_budget = 0.0;
+  std::uint64_t master_seed = 0;
+  std::size_t window_size = 0;
+};
+
+/// Samples the environment from `master_seed` (substreams "cluster", "etc").
+[[nodiscard]] ExperimentSetup BuildExperimentSetup(
+    std::uint64_t master_seed, const SetupOptions& options = {});
+
+struct RunOptions {
+  std::size_t num_trials = 50;
+  IdlePolicy idle_policy = IdlePolicy::kDeepestPState;
+  CancelPolicy cancel_policy = CancelPolicy::kRunToCompletion;
+  bool collect_task_records = false;
+  bool collect_robustness_trace = false;
+  /// See TrialOptions: DVFS switching delay and stochastic-power CoV.
+  double pstate_transition_latency = 0.0;
+  double power_cov = 0.0;
+  /// Worker threads for the trial fan-out; 0 = hardware concurrency.
+  std::size_t num_threads = 0;
+  core::FilterChainOptions filter_options;
+};
+
+/// Runs one deterministic trial.
+[[nodiscard]] TrialResult RunSingleTrial(const ExperimentSetup& setup,
+                                         const std::string& heuristic,
+                                         const std::string& filter_variant,
+                                         std::size_t trial_index,
+                                         const RunOptions& options = {});
+
+/// Runs `options.num_trials` trials of one (heuristic, filter variant)
+/// configuration in parallel; results are ordered by trial index.
+[[nodiscard]] std::vector<TrialResult> RunTrials(
+    const ExperimentSetup& setup, const std::string& heuristic,
+    const std::string& filter_variant, const RunOptions& options = {});
+
+}  // namespace ecdra::sim

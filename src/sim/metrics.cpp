@@ -1,0 +1,22 @@
+#include "sim/metrics.hpp"
+
+#include <ostream>
+
+namespace ecdra::sim {
+
+std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
+  os << "TrialResult{window=" << result.window_size
+     << ", completed=" << result.completed
+     << ", missed=" << result.missed_deadlines
+     << " (discarded=" << result.discarded
+     << ", late=" << result.finished_late
+     << ", over_budget=" << result.on_time_but_over_budget
+     << ", cancelled=" << result.cancelled
+     << "), energy=" << result.total_energy;
+  if (result.energy_exhausted_at) {
+    os << ", exhausted_at=" << *result.energy_exhausted_at;
+  }
+  return os << ", makespan=" << result.makespan << "}";
+}
+
+}  // namespace ecdra::sim

@@ -1,0 +1,85 @@
+// Per-trial outcome records.
+//
+// The headline metric of every figure in the paper is the number of missed
+// deadlines out of the 1000-task window, where "missed" covers tasks that
+// finished late, tasks the filters discarded, and tasks that finished on
+// time but only after the system energy budget was exhausted (DESIGN.md
+// decision 3).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "cluster/pstate.hpp"
+
+namespace ecdra::sim {
+
+/// Full per-task trace entry (collected when TrialOptions.collect_task_records
+/// is set; used by the robustness-validation experiment).
+struct TaskRecord {
+  std::size_t task_id = 0;
+  std::size_t type = 0;
+  double arrival = 0.0;
+  double deadline = 0.0;
+  double priority = 1.0;
+  bool assigned = false;
+  std::size_t flat_core = 0;
+  cluster::PStateIndex pstate = 0;
+  /// rho(i,j,k,pi,t_l,z) of the chosen assignment, at assignment time.
+  double rho_at_assignment = 0.0;
+  double start_time = 0.0;
+  double finish_time = 0.0;
+  bool on_time = false;          // finished by its deadline
+  bool within_energy = false;    // finished before budget exhaustion
+  /// Dropped from its queue (CancelPolicy::kCancelHopelessQueued only).
+  bool cancelled = false;
+};
+
+/// One sample of the system robustness rho(t_l) (Eq. 4) taken at a task
+/// arrival: the expected number of on-time completions among the tasks then
+/// queued or executing.
+struct RobustnessSample {
+  double time = 0.0;
+  double rho = 0.0;
+  std::size_t in_flight = 0;
+};
+
+struct TrialResult {
+  std::size_t window_size = 0;
+  /// Tasks that completed by their deadline before the energy budget ran out
+  /// — the paper's success count.
+  std::size_t completed = 0;
+  /// window_size - completed: the box-plot quantity in Figures 2-6.
+  std::size_t missed_deadlines = 0;
+  /// Subsets of the misses:
+  std::size_t discarded = 0;         // filters left no feasible assignment
+  std::size_t finished_late = 0;     // executed but past the deadline
+  std::size_t on_time_but_over_budget = 0;
+  /// Queued tasks dropped as hopeless (kCancelHopelessQueued only).
+  std::size_t cancelled = 0;
+
+  /// Priority-weighted analogues (equal to the unweighted counts when every
+  /// task has priority 1, the paper's setting).
+  double weighted_total = 0.0;
+  double weighted_completed = 0.0;
+  double weighted_missed = 0.0;
+
+  /// Ground-truth energy drawn from the wall over the whole trial (Eq. 2
+  /// semantics, includes idle draw).
+  double total_energy = 0.0;
+  /// When the cumulative energy crossed the budget, if it did.
+  std::optional<double> energy_exhausted_at;
+  /// Scheduler's final zeta(t) estimate (can be negative).
+  double estimated_energy_remaining = 0.0;
+  /// Time the last task finished.
+  double makespan = 0.0;
+
+  std::vector<TaskRecord> task_records;  // empty unless requested
+  std::vector<RobustnessSample> robustness_trace;  // empty unless requested
+};
+
+std::ostream& operator<<(std::ostream& os, const TrialResult& result);
+
+}  // namespace ecdra::sim

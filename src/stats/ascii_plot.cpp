@@ -1,0 +1,88 @@
+#include "stats/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "stats/table_writer.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::stats {
+namespace {
+
+struct Scale {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t width = 72;
+
+  [[nodiscard]] std::size_t Col(double v) const {
+    if (hi <= lo) return 0;
+    const double frac = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+    return static_cast<std::size_t>(
+        std::lround(frac * static_cast<double>(width - 1)));
+  }
+};
+
+std::string RenderRow(const BoxWhisker& box, const Scale& scale) {
+  std::string row(scale.width, ' ');
+  const std::size_t wl = scale.Col(box.lower_whisker);
+  const std::size_t q1 = scale.Col(box.q1);
+  const std::size_t md = scale.Col(box.median);
+  const std::size_t q3 = scale.Col(box.q3);
+  const std::size_t wh = scale.Col(box.upper_whisker);
+  for (std::size_t c = wl; c <= wh; ++c) row[c] = '-';
+  for (std::size_t c = q1; c <= q3; ++c) row[c] = '=';
+  row[wl] = '|';
+  row[wh] = '|';
+  row[q1] = '[';
+  row[q3] = ']';
+  row[md] = '#';
+  for (const double outlier : box.outliers) {
+    row[scale.Col(outlier)] = 'o';
+  }
+  return row;
+}
+
+}  // namespace
+
+std::string RenderBoxPlot(const std::vector<BoxPlotSeries>& series,
+                          std::size_t width) {
+  ECDRA_REQUIRE(!series.empty(), "box plot needs at least one series");
+  ECDRA_REQUIRE(width >= 16, "box plot needs a reasonable width");
+
+  double lo = series.front().box.min;
+  double hi = series.front().box.max;
+  std::size_t label_width = 0;
+  for (const BoxPlotSeries& s : series) {
+    lo = std::min(lo, s.box.min);
+    hi = std::max(hi, s.box.max);
+    label_width = std::max(label_width, s.label.size());
+  }
+  if (hi <= lo) hi = lo + 1.0;  // degenerate: all values equal
+  const Scale scale{lo, hi, width};
+
+  std::ostringstream os;
+  for (const BoxPlotSeries& s : series) {
+    os << s.label << std::string(label_width - s.label.size(), ' ') << "  "
+       << RenderRow(s.box, scale) << '\n';
+  }
+  // Axis line with min / mid / max legend.
+  os << std::string(label_width + 2, ' ');
+  std::string axis(width, '.');
+  axis.front() = '+';
+  axis.back() = '+';
+  axis[width / 2] = '+';
+  os << axis << '\n';
+  const std::string lo_s = Table::Num(lo, 1);
+  const std::string mid_s = Table::Num(0.5 * (lo + hi), 1);
+  const std::string hi_s = Table::Num(hi, 1);
+  std::string legend(label_width + 2 + width + hi_s.size(), ' ');
+  legend.replace(label_width + 2, lo_s.size(), lo_s);
+  legend.replace(label_width + 2 + width / 2 - mid_s.size() / 2, mid_s.size(),
+                 mid_s);
+  legend.replace(label_width + 2 + width - 1, hi_s.size(), hi_s);
+  os << legend << '\n';
+  return os.str();
+}
+
+}  // namespace ecdra::stats

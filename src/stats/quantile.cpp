@@ -1,0 +1,27 @@
+#include "stats/quantile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ecdra::stats {
+
+double QuantileSorted(std::span<const double> sorted, double p) {
+  ECDRA_REQUIRE(!sorted.empty(), "quantile of empty sample");
+  ECDRA_REQUIRE(p >= 0.0 && p <= 1.0, "quantile probability out of range");
+  ECDRA_REQUIRE(std::is_sorted(sorted.begin(), sorted.end()),
+                "QuantileSorted requires sorted input");
+  const double h = p * (static_cast<double>(sorted.size()) - 1.0);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - std::floor(h);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double Quantile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return QuantileSorted(values, p);
+}
+
+}  // namespace ecdra::stats

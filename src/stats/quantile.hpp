@@ -1,0 +1,17 @@
+// Sample quantiles with linear interpolation (R's default "type 7"), the
+// convention most box-plot tooling uses, so our medians/quartiles are
+// comparable to the paper's figures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ecdra::stats {
+
+/// Quantile of already-sorted data at probability p in [0, 1].
+[[nodiscard]] double QuantileSorted(std::span<const double> sorted, double p);
+
+/// Convenience: copies, sorts, and evaluates.
+[[nodiscard]] double Quantile(std::vector<double> values, double p);
+
+}  // namespace ecdra::stats

@@ -1,0 +1,48 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <ostream>
+
+#include "stats/quantile.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::stats {
+
+BoxWhisker Summarize(std::vector<double> values) {
+  ECDRA_REQUIRE(!values.empty(), "summary of empty sample");
+  std::sort(values.begin(), values.end());
+
+  BoxWhisker box;
+  box.n = values.size();
+  box.min = values.front();
+  box.max = values.back();
+  box.q1 = QuantileSorted(values, 0.25);
+  box.median = QuantileSorted(values, 0.50);
+  box.q3 = QuantileSorted(values, 0.75);
+  box.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+             static_cast<double>(values.size());
+
+  const double fence_low = box.q1 - 1.5 * box.iqr();
+  const double fence_high = box.q3 + 1.5 * box.iqr();
+  box.lower_whisker = box.max;  // will shrink below
+  box.upper_whisker = box.min;
+  for (const double v : values) {
+    if (v < fence_low || v > fence_high) {
+      box.outliers.push_back(v);
+    } else {
+      box.lower_whisker = std::min(box.lower_whisker, v);
+      box.upper_whisker = std::max(box.upper_whisker, v);
+    }
+  }
+  return box;
+}
+
+std::ostream& operator<<(std::ostream& os, const BoxWhisker& box) {
+  return os << "BoxWhisker{n=" << box.n << ", min=" << box.min
+            << ", q1=" << box.q1 << ", median=" << box.median
+            << ", q3=" << box.q3 << ", max=" << box.max
+            << ", mean=" << box.mean << "}";
+}
+
+}  // namespace ecdra::stats

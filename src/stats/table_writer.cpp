@@ -1,0 +1,65 @@
+#include "stats/table_writer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ecdra::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ECDRA_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::AddRow(std::vector<std::string> row) {
+  ECDRA_REQUIRE(row.size() == headers_.size(),
+                "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::Num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void Table::PrintText(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-');
+    if (c + 1 != widths.size()) rule += "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::PrintCsv(std::ostream& os) const {
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : ",") << row[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace ecdra::stats

@@ -1,0 +1,32 @@
+// Minimal report tables: column-aligned text for the terminal and CSV for
+// downstream plotting. Every bench harness prints its figure/table through
+// this so outputs are uniform and machine-readable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ecdra::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Row width must match the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with fixed `precision` decimals.
+  [[nodiscard]] static std::string Num(double value, int precision = 2);
+
+  void PrintText(std::ostream& os) const;
+  void PrintCsv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecdra::stats

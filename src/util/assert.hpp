@@ -1,0 +1,44 @@
+// Lightweight contract checking used throughout the library.
+//
+// ECDRA_REQUIRE  — precondition on public API input; always checked, throws
+//                  std::invalid_argument so callers can recover or report.
+// ECDRA_ASSERT   — internal invariant; always checked (the simulator is cheap
+//                  relative to the cost of silently wrong science), throws
+//                  std::logic_error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ecdra::util {
+
+[[noreturn]] inline void RaiseRequire(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ECDRA_REQUIRE failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void RaiseAssert(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ECDRA_ASSERT failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace ecdra::util
+
+#define ECDRA_REQUIRE(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::ecdra::util::RaiseRequire(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)
+
+#define ECDRA_ASSERT(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::ecdra::util::RaiseAssert(#expr, __FILE__, __LINE__, (msg));   \
+  } while (false)

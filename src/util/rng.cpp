@@ -1,0 +1,34 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::util {
+
+double RngStream::UniformReal(double lo, double hi) {
+  ECDRA_REQUIRE(lo <= hi, "uniform real bounds out of order");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t RngStream::UniformInt(std::int64_t lo, std::int64_t hi) {
+  ECDRA_REQUIRE(lo <= hi, "uniform int bounds out of order");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double RngStream::Exponential(double rate) {
+  ECDRA_REQUIRE(rate > 0.0, "exponential rate must be positive");
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double RngStream::Gamma(double shape, double scale) {
+  ECDRA_REQUIRE(shape > 0.0 && scale > 0.0,
+                "gamma shape and scale must be positive");
+  return std::gamma_distribution<double>(shape, scale)(engine_);
+}
+
+std::size_t RngStream::Discrete(const std::vector<double>& weights) {
+  ECDRA_REQUIRE(!weights.empty(), "discrete distribution needs weights");
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+}  // namespace ecdra::util

@@ -1,0 +1,55 @@
+// Fixed-size worker pool used to run independent simulation trials in
+// parallel. Deliberately minimal: FIFO queue, std::future results, join on
+// destruction. Trials are deterministic per-seed, so scheduling order cannot
+// affect results.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ecdra::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers; 0 selects the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a callable and returns a future for its result.
+  template <typename F>
+  [[nodiscard]] auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      const std::lock_guard lock(mutex_);
+      jobs_.emplace([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace ecdra::util

@@ -1,0 +1,46 @@
+#include "workload/arrival_process.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace ecdra::workload {
+
+std::size_t ArrivalSpec::total_tasks() const {
+  return std::accumulate(phases.begin(), phases.end(), std::size_t{0},
+                         [](std::size_t acc, const ArrivalPhase& phase) {
+                           return acc + phase.num_tasks;
+                         });
+}
+
+ArrivalSpec ArrivalSpec::PaperBursty(std::size_t burst_tasks,
+                                     std::size_t lull_tasks, double fast_rate,
+                                     double slow_rate) {
+  return ArrivalSpec{{
+      ArrivalPhase{burst_tasks, fast_rate},
+      ArrivalPhase{lull_tasks, slow_rate},
+      ArrivalPhase{burst_tasks, fast_rate},
+  }};
+}
+
+ArrivalSpec ArrivalSpec::ConstantRate(std::size_t num_tasks, double rate) {
+  return ArrivalSpec{{ArrivalPhase{num_tasks, rate}}};
+}
+
+std::vector<double> GenerateArrivals(const ArrivalSpec& spec,
+                                     util::RngStream& rng) {
+  ECDRA_REQUIRE(!spec.phases.empty(), "arrival spec needs at least one phase");
+  std::vector<double> arrivals;
+  arrivals.reserve(spec.total_tasks());
+  double t = 0.0;
+  for (const ArrivalPhase& phase : spec.phases) {
+    ECDRA_REQUIRE(phase.rate > 0.0, "arrival rate must be positive");
+    for (std::size_t i = 0; i < phase.num_tasks; ++i) {
+      t += rng.Exponential(phase.rate);
+      arrivals.push_back(t);
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace ecdra::workload

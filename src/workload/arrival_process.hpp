@@ -1,0 +1,42 @@
+// Bursty Poisson arrival process (§III-B, §VI): a sequence of phases, each
+// a Poisson process at a fixed rate for a fixed number of tasks. The paper's
+// configuration is an early burst (200 tasks at lambda_fast = 1/8), a lull
+// (600 tasks at lambda_slow = 1/48), and a late burst (200 tasks at
+// lambda_fast).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ecdra::workload {
+
+struct ArrivalPhase {
+  std::size_t num_tasks = 0;
+  /// Poisson rate (tasks per time unit) during this phase.
+  double rate = 0.0;
+};
+
+struct ArrivalSpec {
+  std::vector<ArrivalPhase> phases;
+
+  [[nodiscard]] std::size_t total_tasks() const;
+
+  /// The paper's burst–lull–burst pattern.
+  [[nodiscard]] static ArrivalSpec PaperBursty(std::size_t burst_tasks = 200,
+                                               std::size_t lull_tasks = 600,
+                                               double fast_rate = 1.0 / 8.0,
+                                               double slow_rate = 1.0 / 48.0);
+
+  /// A single-phase constant-rate process (used in ablations).
+  [[nodiscard]] static ArrivalSpec ConstantRate(std::size_t num_tasks,
+                                                double rate);
+};
+
+/// Samples the arrival time of every task: exponential inter-arrival gaps at
+/// each phase's rate, phases concatenated in order. Strictly non-decreasing.
+[[nodiscard]] std::vector<double> GenerateArrivals(const ArrivalSpec& spec,
+                                                   util::RngStream& rng);
+
+}  // namespace ecdra::workload

@@ -1,0 +1,18 @@
+#include "workload/deadline_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::workload {
+
+DeadlineModel::DeadlineModel(const TaskTypeTable& table,
+                             double load_factor_scale)
+    : table_(&table),
+      load_factor_(table.GrandMeanExec() * load_factor_scale) {
+  ECDRA_REQUIRE(load_factor_scale > 0.0, "load factor scale must be positive");
+}
+
+double DeadlineModel::DeadlineFor(std::size_t type, double arrival) const {
+  return arrival + table_->TypeMeanOverAll(type) + load_factor_;
+}
+
+}  // namespace ecdra::workload

@@ -1,0 +1,30 @@
+// Deadline assignment (§VI): delta(z) = arrival(z) + (mean execution time of
+// z's type over all machines and P-states) + load_factor, where the load
+// factor models the anticipated wait before execution and defaults to t_avg,
+// the grand mean execution time over all types, machines, and P-states.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/task_type_table.hpp"
+
+namespace ecdra::workload {
+
+class DeadlineModel {
+ public:
+  /// `load_factor_scale` scales t_avg for sensitivity studies; the paper
+  /// uses exactly t_avg (scale 1).
+  explicit DeadlineModel(const TaskTypeTable& table,
+                         double load_factor_scale = 1.0);
+
+  [[nodiscard]] double load_factor() const noexcept { return load_factor_; }
+
+  /// delta(z) for a task of `type` arriving at `arrival`.
+  [[nodiscard]] double DeadlineFor(std::size_t type, double arrival) const;
+
+ private:
+  const TaskTypeTable* table_;
+  double load_factor_;
+};
+
+}  // namespace ecdra::workload

@@ -1,0 +1,67 @@
+#include "workload/etc_matrix.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace ecdra::workload {
+
+EtcMatrix::EtcMatrix(std::size_t num_types, std::size_t num_machines,
+                     std::vector<double> values)
+    : num_types_(num_types),
+      num_machines_(num_machines),
+      values_(std::move(values)) {
+  ECDRA_REQUIRE(num_types_ >= 1 && num_machines_ >= 1,
+                "ETC matrix must be non-empty");
+  ECDRA_REQUIRE(values_.size() == num_types_ * num_machines_,
+                "ETC matrix size mismatch");
+  for (const double v : values_) {
+    ECDRA_REQUIRE(v > 0.0, "ETC entries must be positive");
+  }
+}
+
+double EtcMatrix::at(std::size_t type, std::size_t machine) const {
+  ECDRA_REQUIRE(type < num_types_ && machine < num_machines_,
+                "ETC index out of range");
+  return values_[type * num_machines_ + machine];
+}
+
+double EtcMatrix::TypeMean(std::size_t type) const {
+  ECDRA_REQUIRE(type < num_types_, "ETC type out of range");
+  const auto row = values_.begin() + static_cast<std::ptrdiff_t>(
+                                         type * num_machines_);
+  return std::accumulate(row, row + static_cast<std::ptrdiff_t>(num_machines_),
+                         0.0) /
+         static_cast<double>(num_machines_);
+}
+
+double EtcMatrix::GrandMean() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+EtcMatrix GenerateCvbMatrix(util::RngStream& rng, const CvbOptions& options) {
+  ECDRA_REQUIRE(options.task_mean > 0.0, "task mean must be positive");
+  ECDRA_REQUIRE(options.task_cov > 0.0 && options.machine_cov > 0.0,
+                "CVB coefficients of variation must be positive");
+
+  const double task_shape = 1.0 / (options.task_cov * options.task_cov);
+  const double task_scale =
+      options.task_mean * options.task_cov * options.task_cov;
+  const double mach_shape = 1.0 / (options.machine_cov * options.machine_cov);
+
+  std::vector<double> values;
+  values.reserve(options.num_task_types * options.num_machines);
+  for (std::size_t t = 0; t < options.num_task_types; ++t) {
+    const double type_mean = rng.Gamma(task_shape, task_scale);
+    for (std::size_t m = 0; m < options.num_machines; ++m) {
+      const double mach_scale =
+          type_mean * options.machine_cov * options.machine_cov;
+      values.push_back(rng.Gamma(mach_shape, mach_scale));
+    }
+  }
+  return EtcMatrix(options.num_task_types, options.num_machines,
+                   std::move(values));
+}
+
+}  // namespace ecdra::workload

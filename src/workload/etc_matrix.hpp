@@ -1,0 +1,57 @@
+// CVB (coefficient-of-variation based) expected-time-to-compute matrix of
+// [AlS00], the heterogeneity generator the paper uses (§VI) with
+// mu_task = 750, V_task = 0.25, V_mach = 0.25.
+//
+// Two-level Gamma sampling: each task type t draws a type-mean
+// q(t) ~ Gamma(shape 1/V_task^2, scale mu_task * V_task^2); each machine m
+// then draws e(t, m) ~ Gamma(shape 1/V_mach^2, scale q(t) * V_mach^2).
+// The resulting matrix is *inconsistent*: machine A beating machine B on one
+// type implies nothing about other types.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ecdra::workload {
+
+struct CvbOptions {
+  std::size_t num_task_types = 100;
+  std::size_t num_machines = 8;
+  /// Mean task execution time (paper: mu_task = 750).
+  double task_mean = 750.0;
+  /// Task coefficient of variation (paper: V_task = 0.25).
+  double task_cov = 0.25;
+  /// Machine coefficient of variation (paper: V_mach = 0.25).
+  double machine_cov = 0.25;
+};
+
+/// Dense (type x machine) matrix of mean execution times at the base P-state.
+class EtcMatrix {
+ public:
+  EtcMatrix(std::size_t num_types, std::size_t num_machines,
+            std::vector<double> values);
+
+  [[nodiscard]] std::size_t num_types() const noexcept { return num_types_; }
+  [[nodiscard]] std::size_t num_machines() const noexcept {
+    return num_machines_;
+  }
+  [[nodiscard]] double at(std::size_t type, std::size_t machine) const;
+
+  /// Mean over machines of one type's row.
+  [[nodiscard]] double TypeMean(std::size_t type) const;
+  /// Grand mean over all entries.
+  [[nodiscard]] double GrandMean() const;
+
+ private:
+  std::size_t num_types_;
+  std::size_t num_machines_;
+  std::vector<double> values_;  // row-major [type][machine]
+};
+
+/// Samples an ETC matrix with the CVB method.
+[[nodiscard]] EtcMatrix GenerateCvbMatrix(util::RngStream& rng,
+                                          const CvbOptions& options = {});
+
+}  // namespace ecdra::workload

@@ -1,0 +1,27 @@
+// A dynamically-arriving independent task (§III-B): known type, arrival
+// time, and individual hard deadline delta(z). Execution time is stochastic;
+// the pmf lives in the TaskTypeTable, keyed by (type, node, P-state).
+#pragma once
+
+#include <cstddef>
+
+namespace ecdra::workload {
+
+struct Task {
+  /// Position in the arrival order (0-based; the paper's "window" is 1000).
+  std::size_t id = 0;
+  /// Index into the task-type table.
+  std::size_t type = 0;
+  /// Arrival time (the task is unknown to the scheduler before this).
+  double arrival = 0.0;
+  /// Hard individual deadline delta(z); completion after it has no value.
+  double deadline = 0.0;
+  /// Relative importance weight (§VIII future work: "tasks with varying
+  /// priorities"). 1.0 everywhere reproduces the paper; the weighted
+  /// completion metrics in TrialResult use it.
+  double priority = 1.0;
+
+  friend bool operator==(const Task&, const Task&) = default;
+};
+
+}  // namespace ecdra::workload

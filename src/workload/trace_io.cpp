@@ -1,0 +1,56 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace ecdra::workload {
+
+namespace {
+constexpr const char* kHeader = "id,type,arrival,deadline,priority";
+}
+
+void WriteTrace(std::ostream& os, const std::vector<Task>& tasks) {
+  os << kHeader << '\n';
+  os << std::setprecision(17);
+  for (const Task& task : tasks) {
+    os << task.id << ',' << task.type << ',' << task.arrival << ','
+       << task.deadline << ',' << task.priority << '\n';
+  }
+}
+
+std::vector<Task> ReadTrace(std::istream& is) {
+  std::string line;
+  ECDRA_REQUIRE(static_cast<bool>(std::getline(is, line)),
+                "trace is missing its header");
+  ECDRA_REQUIRE(line == kHeader, "unrecognized trace header: " + line);
+  std::vector<Task> tasks;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    Task task;
+    char comma = '\0';
+    row >> task.id >> comma >> task.type >> comma >> task.arrival >> comma >>
+        task.deadline >> comma >> task.priority;
+    ECDRA_REQUIRE(!row.fail(), "malformed trace row: " + line);
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+void WriteTraceFile(const std::string& path, const std::vector<Task>& tasks) {
+  std::ofstream os(path);
+  ECDRA_REQUIRE(os.good(), "cannot open trace file for writing: " + path);
+  WriteTrace(os, tasks);
+  ECDRA_REQUIRE(os.good(), "failed writing trace file: " + path);
+}
+
+std::vector<Task> ReadTraceFile(const std::string& path) {
+  std::ifstream is(path);
+  ECDRA_REQUIRE(is.good(), "cannot open trace file for reading: " + path);
+  return ReadTrace(is);
+}
+
+}  // namespace ecdra::workload

@@ -1,0 +1,21 @@
+// Plain-text (CSV) serialization of a generated workload trace, so a trial's
+// exact task mix can be archived, diffed, and replayed outside the RNG.
+// Format: header line "id,type,arrival,deadline" then one row per task,
+// full double precision.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace ecdra::workload {
+
+void WriteTrace(std::ostream& os, const std::vector<Task>& tasks);
+[[nodiscard]] std::vector<Task> ReadTrace(std::istream& is);
+
+void WriteTraceFile(const std::string& path, const std::vector<Task>& tasks);
+[[nodiscard]] std::vector<Task> ReadTraceFile(const std::string& path);
+
+}  // namespace ecdra::workload

@@ -1,0 +1,48 @@
+#include "workload/workload_generator.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::workload {
+
+std::vector<Task> GenerateWorkload(const TaskTypeTable& table,
+                                   const WorkloadGeneratorOptions& options,
+                                   util::RngStream& rng) {
+  ECDRA_REQUIRE(!options.priority_classes.empty(),
+                "need at least one priority class");
+  std::vector<double> class_weights;
+  class_weights.reserve(options.priority_classes.size());
+  for (const PriorityClass& cls : options.priority_classes) {
+    ECDRA_REQUIRE(cls.weight > 0.0, "priority weight must be positive");
+    ECDRA_REQUIRE(cls.probability > 0.0,
+                  "priority class probability must be positive");
+    class_weights.push_back(cls.probability);
+  }
+
+  util::RngStream arrival_rng = rng.Substream("arrivals");
+  util::RngStream type_rng = rng.Substream("types");
+  util::RngStream priority_rng = rng.Substream("priorities");
+
+  const std::vector<double> arrivals =
+      GenerateArrivals(options.arrivals, arrival_rng);
+  const DeadlineModel deadlines(table, options.load_factor_scale);
+
+  std::vector<Task> tasks;
+  tasks.reserve(arrivals.size());
+  for (std::size_t id = 0; id < arrivals.size(); ++id) {
+    const auto type = static_cast<std::size_t>(type_rng.UniformInt(
+        0, static_cast<std::int64_t>(table.num_types()) - 1));
+    const std::size_t cls = options.priority_classes.size() == 1
+                                ? 0
+                                : priority_rng.Discrete(class_weights);
+    tasks.push_back(Task{
+        .id = id,
+        .type = type,
+        .arrival = arrivals[id],
+        .deadline = deadlines.DeadlineFor(type, arrivals[id]),
+        .priority = options.priority_classes[cls].weight,
+    });
+  }
+  return tasks;
+}
+
+}  // namespace ecdra::workload

@@ -1,0 +1,37 @@
+// Generates one simulation trial's task list (§VI): types drawn uniformly
+// from the task-type table, arrival times from the bursty Poisson spec, and
+// deadlines from the deadline model. Each trial uses its own RNG substreams
+// so arrivals / types / deadlines vary across trials while everything else
+// is held constant.
+#pragma once
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/arrival_process.hpp"
+#include "workload/deadline_model.hpp"
+#include "workload/task.hpp"
+#include "workload/task_type_table.hpp"
+
+namespace ecdra::workload {
+
+/// A priority class: tasks get `weight` with probability proportional to
+/// `probability`.
+struct PriorityClass {
+  double weight = 1.0;
+  double probability = 1.0;
+};
+
+struct WorkloadGeneratorOptions {
+  ArrivalSpec arrivals = ArrivalSpec::PaperBursty();
+  double load_factor_scale = 1.0;
+  /// Priority mix; a single {1.0, 1.0} class reproduces the paper.
+  std::vector<PriorityClass> priority_classes{PriorityClass{}};
+};
+
+/// Samples the full, time-ordered task list of one trial.
+[[nodiscard]] std::vector<Task> GenerateWorkload(
+    const TaskTypeTable& table, const WorkloadGeneratorOptions& options,
+    util::RngStream& rng);
+
+}  // namespace ecdra::workload

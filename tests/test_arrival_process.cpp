@@ -1,0 +1,79 @@
+#include "workload/arrival_process.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ecdra::workload {
+namespace {
+
+TEST(ArrivalSpec, PaperBurstyShape) {
+  const ArrivalSpec spec = ArrivalSpec::PaperBursty();
+  ASSERT_EQ(spec.phases.size(), 3u);
+  EXPECT_EQ(spec.phases[0].num_tasks, 200u);
+  EXPECT_EQ(spec.phases[1].num_tasks, 600u);
+  EXPECT_EQ(spec.phases[2].num_tasks, 200u);
+  EXPECT_DOUBLE_EQ(spec.phases[0].rate, 1.0 / 8.0);
+  EXPECT_DOUBLE_EQ(spec.phases[1].rate, 1.0 / 48.0);
+  EXPECT_DOUBLE_EQ(spec.phases[2].rate, 1.0 / 8.0);
+  EXPECT_EQ(spec.total_tasks(), 1000u);
+}
+
+TEST(ArrivalSpec, ConstantRate) {
+  const ArrivalSpec spec = ArrivalSpec::ConstantRate(10, 0.5);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_EQ(spec.total_tasks(), 10u);
+}
+
+TEST(GenerateArrivals, CountAndMonotonicity) {
+  util::RngStream rng(1);
+  const std::vector<double> arrivals =
+      GenerateArrivals(ArrivalSpec::PaperBursty(), rng);
+  ASSERT_EQ(arrivals.size(), 1000u);
+  EXPECT_GT(arrivals.front(), 0.0);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+TEST(GenerateArrivals, PhaseRatesShowInGaps) {
+  util::RngStream rng(2);
+  const std::vector<double> arrivals =
+      GenerateArrivals(ArrivalSpec::PaperBursty(), rng);
+  // Mean gap within the first burst ~ 8; within the lull ~ 48.
+  const double burst_span = arrivals[199] - arrivals[0];
+  const double lull_span = arrivals[799] - arrivals[200];
+  EXPECT_NEAR(burst_span / 199.0, 8.0, 2.5);
+  EXPECT_NEAR(lull_span / 599.0, 48.0, 8.0);
+}
+
+TEST(GenerateArrivals, ExponentialGapsHaveRightMean) {
+  util::RngStream rng(3);
+  const std::vector<double> arrivals =
+      GenerateArrivals(ArrivalSpec::ConstantRate(20000, 0.125), rng);
+  EXPECT_NEAR(arrivals.back() / 20000.0, 8.0, 0.3);
+}
+
+TEST(GenerateArrivals, DeterministicPerSeed) {
+  util::RngStream a(4);
+  util::RngStream b(4);
+  EXPECT_EQ(GenerateArrivals(ArrivalSpec::PaperBursty(), a),
+            GenerateArrivals(ArrivalSpec::PaperBursty(), b));
+}
+
+TEST(GenerateArrivals, DifferentSeedsDiffer) {
+  util::RngStream a(4);
+  util::RngStream b(5);
+  EXPECT_NE(GenerateArrivals(ArrivalSpec::PaperBursty(), a),
+            GenerateArrivals(ArrivalSpec::PaperBursty(), b));
+}
+
+TEST(GenerateArrivals, RejectsBadSpecs) {
+  util::RngStream rng(1);
+  EXPECT_THROW((void)GenerateArrivals(ArrivalSpec{}, rng),
+               std::invalid_argument);
+  ArrivalSpec zero_rate{{ArrivalPhase{10, 0.0}}};
+  EXPECT_THROW((void)GenerateArrivals(zero_rate, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::workload

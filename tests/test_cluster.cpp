@@ -1,0 +1,77 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ecdra::cluster {
+namespace {
+
+TEST(Cluster, CountsCoresAcrossNodes) {
+  const Cluster cluster({test::SimpleNode(2, 3), test::SimpleNode(1, 4)});
+  EXPECT_EQ(cluster.num_nodes(), 2u);
+  EXPECT_EQ(cluster.total_cores(), 10u);
+  EXPECT_EQ(cluster.node(0).total_cores(), 6u);
+  EXPECT_EQ(cluster.node(1).total_cores(), 4u);
+}
+
+TEST(Cluster, FlatIndexAndAddressAreInverse) {
+  const Cluster cluster(
+      {test::SimpleNode(2, 3), test::SimpleNode(1, 4), test::SimpleNode(4, 2)});
+  for (std::size_t flat = 0; flat < cluster.total_cores(); ++flat) {
+    const CoreAddress address = cluster.Address(flat);
+    EXPECT_EQ(cluster.FlatIndex(address), flat);
+  }
+}
+
+TEST(Cluster, AddressLaysOutProcessorMajor) {
+  const Cluster cluster({test::SimpleNode(2, 3)});
+  EXPECT_EQ(cluster.Address(0), (CoreAddress{0, 0, 0}));
+  EXPECT_EQ(cluster.Address(2), (CoreAddress{0, 0, 2}));
+  EXPECT_EQ(cluster.Address(3), (CoreAddress{0, 1, 0}));
+  EXPECT_EQ(cluster.Address(5), (CoreAddress{0, 1, 2}));
+}
+
+TEST(Cluster, NodeOfMapsFlatIndices) {
+  const Cluster cluster({test::SimpleNode(1, 2), test::SimpleNode(1, 3)});
+  EXPECT_EQ(cluster.NodeIndexOf(0), 0u);
+  EXPECT_EQ(cluster.NodeIndexOf(1), 0u);
+  EXPECT_EQ(cluster.NodeIndexOf(2), 1u);
+  EXPECT_EQ(cluster.NodeIndexOf(4), 1u);
+}
+
+TEST(Cluster, CorePowerReadsProfile) {
+  const Cluster cluster({test::SimpleNode()});
+  EXPECT_DOUBLE_EQ(cluster.CorePower(0, 0), 100.0);
+  EXPECT_LT(cluster.CorePower(0, 4), cluster.CorePower(0, 0));
+}
+
+TEST(Cluster, RejectsInvalidConstruction) {
+  EXPECT_THROW((void)Cluster({}), std::invalid_argument);
+
+  Node zero_cores = test::SimpleNode();
+  zero_cores.num_processors = 0;
+  EXPECT_THROW((void)Cluster({zero_cores}), std::invalid_argument);
+
+  Node bad_eff = test::SimpleNode();
+  bad_eff.power_efficiency = 0.0;
+  EXPECT_THROW((void)Cluster({bad_eff}), std::invalid_argument);
+  bad_eff.power_efficiency = 1.5;
+  EXPECT_THROW((void)Cluster({bad_eff}), std::invalid_argument);
+}
+
+TEST(Cluster, RejectsOutOfRangeIndices) {
+  const Cluster cluster({test::SimpleNode(2, 2)});
+  EXPECT_THROW((void)cluster.node(1), std::invalid_argument);
+  EXPECT_THROW((void)cluster.Address(4), std::invalid_argument);
+  EXPECT_THROW((void)cluster.NodeIndexOf(4), std::invalid_argument);
+  EXPECT_THROW((void)cluster.FlatIndex(CoreAddress{0, 2, 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster.FlatIndex(CoreAddress{0, 0, 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)cluster.FlatIndex(CoreAddress{1, 0, 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::cluster

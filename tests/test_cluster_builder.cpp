@@ -1,0 +1,129 @@
+#include "cluster/cluster_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ecdra::cluster {
+namespace {
+
+TEST(ClusterBuilder, RespectsStructuralBounds) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::RngStream rng(seed);
+    const Cluster cluster = BuildRandomCluster(rng);
+    EXPECT_EQ(cluster.num_nodes(), 8u);
+    for (const Node& node : cluster.nodes()) {
+      EXPECT_GE(node.num_processors, 1u);
+      EXPECT_LE(node.num_processors, 4u);
+      EXPECT_GE(node.cores_per_processor, 1u);
+      EXPECT_LE(node.cores_per_processor, 4u);
+      EXPECT_GE(node.power_efficiency, 0.90);
+      EXPECT_LE(node.power_efficiency, 0.98);
+    }
+  }
+}
+
+TEST(ClusterBuilder, RespectsPStateDistributions) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::RngStream rng(seed);
+    const Cluster cluster = BuildRandomCluster(rng);
+    for (const Node& node : cluster.nodes()) {
+      // P0 power from U(125, 135).
+      EXPECT_GE(node.pstates[0].power_watts, 125.0);
+      EXPECT_LE(node.pstates[0].power_watts, 135.0);
+      // Minimum frequency at least 42% of maximum (§VI).
+      EXPECT_GE(node.pstates[4].frequency_ratio, 0.42);
+      // Per-step performance gain within 15-25%.
+      for (std::size_t s = 1; s < kNumPStates; ++s) {
+        const double gain = node.pstates[s].time_multiplier /
+                                node.pstates[s - 1].time_multiplier -
+                            1.0;
+        EXPECT_GE(gain, 0.15 - 1e-12);
+        EXPECT_LE(gain, 0.25 + 1e-12);
+      }
+      // Voltages from the sampled low/high bands.
+      EXPECT_GE(node.pstates[4].voltage, 1.000);
+      EXPECT_LE(node.pstates[4].voltage, 1.150);
+      EXPECT_GE(node.pstates[0].voltage, 1.400);
+      EXPECT_LE(node.pstates[0].voltage, 1.550);
+    }
+  }
+}
+
+TEST(ClusterBuilder, LowStatePowerNearQuarterOfHigh) {
+  // §VI: "in practice, this results in a power consumption for the low
+  // P-state of about 25% that in the high P-state".
+  util::RngStream rng(99);
+  double ratio_sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 20; ++i) {
+    const Cluster cluster = BuildRandomCluster(rng);
+    for (const Node& node : cluster.nodes()) {
+      ratio_sum += node.pstates[4].power_watts / node.pstates[0].power_watts;
+      ++count;
+    }
+  }
+  const double mean_ratio = ratio_sum / count;
+  EXPECT_GT(mean_ratio, 0.18);
+  EXPECT_LT(mean_ratio, 0.33);
+}
+
+TEST(ClusterBuilder, DeterministicPerSeed) {
+  util::RngStream a(1234);
+  util::RngStream b(1234);
+  const Cluster ca = BuildRandomCluster(a);
+  const Cluster cb = BuildRandomCluster(b);
+  ASSERT_EQ(ca.total_cores(), cb.total_cores());
+  for (std::size_t i = 0; i < ca.num_nodes(); ++i) {
+    EXPECT_EQ(ca.node(i).num_processors, cb.node(i).num_processors);
+    EXPECT_DOUBLE_EQ(ca.node(i).power_efficiency,
+                     cb.node(i).power_efficiency);
+    for (std::size_t s = 0; s < kNumPStates; ++s) {
+      EXPECT_DOUBLE_EQ(ca.node(i).pstates[s].power_watts,
+                       cb.node(i).pstates[s].power_watts);
+    }
+  }
+}
+
+TEST(ClusterBuilder, NodesAreHeterogeneous) {
+  util::RngStream rng(5);
+  const Cluster cluster = BuildRandomCluster(rng);
+  // With 8 independently sampled nodes, at least two should differ in P0
+  // power (continuous distribution — ties have probability zero).
+  bool differ = false;
+  for (std::size_t i = 1; i < cluster.num_nodes(); ++i) {
+    if (cluster.node(i).pstates[0].power_watts !=
+        cluster.node(0).pstates[0].power_watts) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(ClusterBuilder, HonorsCustomOptions) {
+  ClusterBuilderOptions options;
+  options.num_nodes = 3;
+  options.min_processors = 2;
+  options.max_processors = 2;
+  options.min_cores_per_processor = 3;
+  options.max_cores_per_processor = 3;
+  util::RngStream rng(1);
+  const Cluster cluster = BuildRandomCluster(rng, options);
+  EXPECT_EQ(cluster.num_nodes(), 3u);
+  EXPECT_EQ(cluster.total_cores(), 18u);
+}
+
+TEST(ClusterBuilder, RejectsInvalidOptions) {
+  ClusterBuilderOptions options;
+  options.num_nodes = 0;
+  util::RngStream rng(1);
+  EXPECT_THROW((void)BuildRandomCluster(rng, options), std::invalid_argument);
+
+  options = ClusterBuilderOptions{};
+  options.min_processors = 3;
+  options.max_processors = 2;
+  EXPECT_THROW((void)BuildRandomNode(rng, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::cluster

@@ -1,0 +1,195 @@
+#include "robustness/core_queue_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace ecdra::robustness {
+namespace {
+
+TEST(CoreQueueModel, EmptyCoreIsReadyNow) {
+  const CoreQueueModel core;
+  EXPECT_TRUE(core.idle());
+  EXPECT_EQ(core.queue_length(), 0u);
+  const pmf::Pmf& ready = core.ReadyPmf(12.5);
+  EXPECT_EQ(ready.size(), 1u);
+  EXPECT_DOUBLE_EQ(ready.Expectation(), 12.5);
+  EXPECT_DOUBLE_EQ(core.ExpectedReadyTime(12.5), 12.5);
+}
+
+TEST(CoreQueueModel, RunningTaskShiftsByStartTime) {
+  const pmf::Pmf exec = test::TwoPoint(10.0, 20.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec, 100.0}, 5.0);
+  EXPECT_FALSE(core.idle());
+  EXPECT_EQ(core.queue_length(), 1u);
+  // Queried right at the start: completion at 15 or 25, each 0.5.
+  const pmf::Pmf& ready = core.ReadyPmf(5.0);
+  EXPECT_DOUBLE_EQ(ready.Expectation(), 20.0);
+  EXPECT_DOUBLE_EQ(ready.Min(), 15.0);
+  EXPECT_DOUBLE_EQ(ready.Max(), 25.0);
+}
+
+TEST(CoreQueueModel, QueryLaterTruncatesAndRenormalizes) {
+  const pmf::Pmf exec = test::TwoPoint(10.0, 20.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec, 100.0}, 0.0);
+  // At t = 15.0001 the 10-second impulse is in the past; all mass on 20.
+  const pmf::Pmf& ready = core.ReadyPmf(15.0001);
+  EXPECT_EQ(ready.size(), 1u);
+  EXPECT_DOUBLE_EQ(ready.Expectation(), 20.0);
+}
+
+TEST(CoreQueueModel, AllMassPastMeansImminent) {
+  const pmf::Pmf exec = test::TwoPoint(10.0, 20.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec, 100.0}, 0.0);
+  const pmf::Pmf& ready = core.ReadyPmf(30.0);
+  EXPECT_EQ(ready.size(), 1u);
+  EXPECT_DOUBLE_EQ(ready.Expectation(), 30.0);
+}
+
+TEST(CoreQueueModel, QueuedTasksConvolveIntoReady) {
+  const pmf::Pmf exec_a = pmf::Pmf::Delta(10.0);
+  const pmf::Pmf exec_b = test::TwoPoint(5.0, 7.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec_a, 100.0}, 0.0);
+  core.Enqueue(ModeledTask{1, &exec_b, 100.0});
+  EXPECT_EQ(core.queue_length(), 2u);
+  const pmf::Pmf& ready = core.ReadyPmf(0.0);
+  EXPECT_DOUBLE_EQ(ready.Expectation(), 16.0);
+  EXPECT_DOUBLE_EQ(ready.Min(), 15.0);
+  EXPECT_DOUBLE_EQ(ready.Max(), 17.0);
+}
+
+TEST(CoreQueueModel, ExpectedReadyTimeMatchesReadyPmfExpectation) {
+  const pmf::Pmf exec_a = test::TwoPoint(10.0, 30.0);
+  const pmf::Pmf exec_b = test::TwoPoint(5.0, 9.0);
+  const pmf::Pmf exec_c = pmf::Pmf::Delta(4.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec_a, 100.0}, 2.0);
+  core.Enqueue(ModeledTask{1, &exec_b, 100.0});
+  core.Enqueue(ModeledTask{2, &exec_c, 100.0});
+  for (const double now : {2.0, 11.0, 13.0, 31.9}) {
+    EXPECT_NEAR(core.ExpectedReadyTime(now),
+                core.ReadyPmf(now).Expectation(), 1e-9)
+        << "now=" << now;
+  }
+}
+
+TEST(CoreQueueModel, StartNextPromotesFifoOrder) {
+  const pmf::Pmf exec = pmf::Pmf::Delta(10.0);
+  const pmf::Pmf exec_b = pmf::Pmf::Delta(20.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec, 50.0}, 0.0);
+  core.Enqueue(ModeledTask{1, &exec_b, 60.0});
+  core.Enqueue(ModeledTask{2, &exec, 70.0});
+  core.FinishRunning();
+  core.StartNext(10.0);
+  ASSERT_TRUE(core.running().has_value());
+  EXPECT_EQ(core.running()->task_id, 1u);
+  EXPECT_EQ(core.queue_length(), 2u);
+  // Ready now reflects task 1 running from t=10 plus queued task 2.
+  EXPECT_DOUBLE_EQ(core.ReadyPmf(10.0).Expectation(), 40.0);
+}
+
+TEST(CoreQueueModel, FinishLastTaskEmptiesCore) {
+  const pmf::Pmf exec = pmf::Pmf::Delta(10.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec, 50.0}, 0.0);
+  core.FinishRunning();
+  EXPECT_TRUE(core.idle());
+  EXPECT_EQ(core.queue_length(), 0u);
+  EXPECT_DOUBLE_EQ(core.ReadyPmf(10.0).Expectation(), 10.0);
+}
+
+TEST(CoreQueueModel, CacheInvalidatesOnMutation) {
+  const pmf::Pmf exec = pmf::Pmf::Delta(10.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec, 50.0}, 0.0);
+  EXPECT_DOUBLE_EQ(core.ReadyPmf(0.0).Expectation(), 10.0);
+  core.Enqueue(ModeledTask{1, &exec, 60.0});
+  // Same query time, changed state: the memo must not serve stale data.
+  EXPECT_DOUBLE_EQ(core.ReadyPmf(0.0).Expectation(), 20.0);
+}
+
+TEST(CoreQueueModel, CacheServesRepeatQueriesAtSameTime) {
+  const pmf::Pmf exec = test::TwoPoint(10.0, 20.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec, 50.0}, 0.0);
+  const pmf::Pmf& first = core.ReadyPmf(1.0);
+  const pmf::Pmf& second = core.ReadyPmf(1.0);
+  EXPECT_EQ(&first, &second);  // same memoized object
+}
+
+TEST(CoreQueueModel, SuffixRebuildAfterDequeueIsCorrect) {
+  const pmf::Pmf exec_a = pmf::Pmf::Delta(10.0);
+  const pmf::Pmf exec_b = test::TwoPoint(2.0, 4.0);
+  const pmf::Pmf exec_c = test::TwoPoint(1.0, 3.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &exec_a, 0.0}, 0.0);
+  core.Enqueue(ModeledTask{1, &exec_b, 0.0});
+  core.Enqueue(ModeledTask{2, &exec_c, 0.0});
+  core.FinishRunning();
+  core.StartNext(10.0);  // b runs from 10, c queued
+  const pmf::Pmf& ready = core.ReadyPmf(10.0);
+  // b completes at 12 or 14; plus c's 1 or 3: support {13, 15, 17} weighted.
+  EXPECT_DOUBLE_EQ(ready.Expectation(), 15.0);
+  EXPECT_DOUBLE_EQ(ready.Min(), 13.0);
+  EXPECT_DOUBLE_EQ(ready.Max(), 17.0);
+}
+
+TEST(CoreQueueModel, MisuseThrows) {
+  const pmf::Pmf exec = pmf::Pmf::Delta(10.0);
+  CoreQueueModel core;
+  EXPECT_THROW(core.Enqueue(ModeledTask{0, &exec, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(core.FinishRunning(), std::invalid_argument);
+  EXPECT_THROW(core.StartNext(0.0), std::invalid_argument);
+  core.StartTask(ModeledTask{0, &exec, 0.0}, 0.0);
+  EXPECT_THROW(core.StartTask(ModeledTask{1, &exec, 0.0}, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(core.StartTask(ModeledTask{1, nullptr, 0.0}, 0.0),
+               std::invalid_argument);
+}
+
+class RandomizedQueueModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedQueueModel, ExpectationShortcutAlwaysMatches) {
+  // Property: under random enqueue/finish sequences, the scalar
+  // ExpectedReadyTime always equals the full ReadyPmf expectation.
+  util::RngStream rng(GetParam());
+  std::vector<pmf::Pmf> execs;
+  for (int i = 0; i < 8; ++i) {
+    execs.push_back(test::TwoPoint(rng.UniformReal(1.0, 10.0),
+                                   rng.UniformReal(10.0, 30.0)));
+  }
+  CoreQueueModel core;
+  double now = 0.0;
+  std::size_t next_id = 0;
+  for (int step = 0; step < 60; ++step) {
+    now += rng.UniformReal(0.0, 5.0);
+    const bool arrive = rng.UniformReal(0, 1) < 0.6 || core.idle();
+    if (arrive) {
+      const pmf::Pmf* exec =
+          &execs[static_cast<std::size_t>(rng.UniformInt(0, 7))];
+      if (core.idle()) {
+        core.StartTask(ModeledTask{next_id++, exec, now + 50.0}, now);
+      } else {
+        core.Enqueue(ModeledTask{next_id++, exec, now + 50.0});
+      }
+    } else {
+      core.FinishRunning();
+      if (core.queue_length() > 0) core.StartNext(now);
+    }
+    EXPECT_NEAR(core.ExpectedReadyTime(now), core.ReadyPmf(now).Expectation(),
+                1e-6 * (1.0 + now));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedQueueModel,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ecdra::robustness

@@ -1,0 +1,78 @@
+#include "pmf/distribution_factory.hpp"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace ecdra::pmf {
+namespace {
+
+TEST(DiscretizedGamma, MeanIsExact) {
+  const Pmf pmf = DiscretizedGamma(750.0, 0.25);
+  EXPECT_NEAR(pmf.Expectation(), 750.0, 1e-9);
+}
+
+TEST(DiscretizedGamma, ImpulseCountMatchesOptions) {
+  DiscretizeOptions options;
+  options.num_impulses = 24;
+  EXPECT_EQ(DiscretizedGamma(750.0, 0.25, options).size(), 24u);
+  options.num_impulses = 7;
+  EXPECT_EQ(DiscretizedGamma(750.0, 0.25, options).size(), 7u);
+  options.num_impulses = 1;
+  const Pmf one = DiscretizedGamma(750.0, 0.25, options);
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_NEAR(one.Expectation(), 750.0, 1e-9);
+}
+
+TEST(DiscretizedGamma, EqualProbabilityBins) {
+  const Pmf pmf = DiscretizedGamma(100.0, 0.5);
+  for (const Impulse& imp : pmf.impulses()) {
+    EXPECT_NEAR(imp.prob, 1.0 / static_cast<double>(pmf.size()), 1e-12);
+  }
+}
+
+class DiscretizedGammaSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DiscretizedGammaSweep, CovApproximatelyRecovered) {
+  const auto [mean, cov] = GetParam();
+  DiscretizeOptions options;
+  options.num_impulses = 64;  // fine enough to estimate the CoV well
+  const Pmf pmf = DiscretizedGamma(mean, cov, options);
+  EXPECT_NEAR(pmf.Expectation(), mean, 1e-9 * mean);
+  const double sample_cov = std::sqrt(pmf.Variance()) / pmf.Expectation();
+  EXPECT_NEAR(sample_cov, cov, 0.10 * cov);
+  EXPECT_GT(pmf.Min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeansAndCovs, DiscretizedGammaSweep,
+    ::testing::Combine(::testing::Values(10.0, 750.0, 5000.0),
+                       ::testing::Values(0.1, 0.25, 0.5)));
+
+TEST(DiscretizedGamma, SupportWidensWithSmallerTailClip) {
+  DiscretizeOptions tight;
+  tight.tail_clip = 0.05;
+  DiscretizeOptions loose;
+  loose.tail_clip = 1e-4;
+  const Pmf narrow = DiscretizedGamma(750.0, 0.25, tight);
+  const Pmf wide = DiscretizedGamma(750.0, 0.25, loose);
+  EXPECT_LT(narrow.Max() - narrow.Min(), wide.Max() - wide.Min());
+}
+
+TEST(DiscretizedGamma, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)DiscretizedGamma(0.0, 0.25), std::invalid_argument);
+  EXPECT_THROW((void)DiscretizedGamma(750.0, 0.0), std::invalid_argument);
+  DiscretizeOptions bad;
+  bad.num_impulses = 0;
+  EXPECT_THROW((void)DiscretizedGamma(750.0, 0.25, bad),
+               std::invalid_argument);
+  bad = DiscretizeOptions{};
+  bad.tail_clip = 0.5;
+  EXPECT_THROW((void)DiscretizedGamma(750.0, 0.25, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::pmf

@@ -1,0 +1,176 @@
+#include "cluster/energy_accounting.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+#include "util/rng.hpp"
+
+namespace ecdra::cluster {
+namespace {
+
+PStateProfile Profile() { return test::SimpleNode().pstates; }
+
+TEST(CoreEnergy, SingleIntervalIsPowerTimesTime) {
+  const TransitionLog log{{0.0, 0}, {10.0, 0}};
+  EXPECT_DOUBLE_EQ(CoreEnergy(log, Profile()), 100.0 * 10.0);
+}
+
+TEST(CoreEnergy, SumsIntervalsAcrossTransitions) {
+  const PStateProfile profile = Profile();
+  // 5 s in P0, 10 s in P4, end.
+  const TransitionLog log{{0.0, 0}, {5.0, 4}, {15.0, 4}};
+  const double expected = 5.0 * profile[0].power_watts +
+                          10.0 * profile[4].power_watts;
+  EXPECT_DOUBLE_EQ(CoreEnergy(log, profile), expected);
+}
+
+TEST(CoreEnergy, FinalTransitionDrawsNothing) {
+  const TransitionLog log{{0.0, 4}, {10.0, 0}};  // ends by entering P0
+  EXPECT_DOUBLE_EQ(CoreEnergy(log, Profile()),
+                   10.0 * Profile()[4].power_watts);
+}
+
+TEST(CoreEnergy, RejectsShortOrUnorderedLogs) {
+  EXPECT_THROW((void)CoreEnergy({{0.0, 0}}, Profile()),
+               std::invalid_argument);
+  EXPECT_THROW((void)CoreEnergy({{5.0, 0}, {1.0, 0}}, Profile()),
+               std::invalid_argument);
+}
+
+TEST(ClusterEnergyFromLogs, DividesByPowerEfficiency) {
+  const Cluster cluster = test::SingleCoreCluster(0.5);
+  const std::vector<TransitionLog> logs{{{0.0, 0}, {10.0, 0}}};
+  EXPECT_DOUBLE_EQ(ClusterEnergyFromLogs(cluster, logs), 1000.0 / 0.5);
+}
+
+TEST(ClusterEnergyFromLogs, SumsOverAllCores) {
+  const Cluster cluster({test::SimpleNode(1, 2)});
+  const std::vector<TransitionLog> logs{{{0.0, 0}, {10.0, 0}},
+                                        {{0.0, 4}, {10.0, 4}}};
+  const double expected =
+      10.0 * (Profile()[0].power_watts + Profile()[4].power_watts);
+  EXPECT_DOUBLE_EQ(ClusterEnergyFromLogs(cluster, logs), expected);
+}
+
+TEST(ClusterEnergyFromLogs, RequiresOneLogPerCore) {
+  const Cluster cluster({test::SimpleNode(1, 2)});
+  EXPECT_THROW(
+      (void)ClusterEnergyFromLogs(cluster, {{{0.0, 0}, {1.0, 0}}}),
+      std::invalid_argument);
+}
+
+TEST(OnlineEnergyMeter, IntegratesConstantPower) {
+  const Cluster cluster = test::SingleCoreCluster();
+  OnlineEnergyMeter meter(cluster, 0);
+  EXPECT_DOUBLE_EQ(meter.total_power(), 100.0);
+  meter.AdvanceTo(10.0);
+  EXPECT_DOUBLE_EQ(meter.consumed(), 1000.0);
+}
+
+TEST(OnlineEnergyMeter, TracksPStateSwitches) {
+  const Cluster cluster = test::SingleCoreCluster();
+  OnlineEnergyMeter meter(cluster, 0);
+  meter.AdvanceTo(5.0);
+  meter.SetPState(0, 4);
+  meter.AdvanceTo(15.0);
+  const double expected =
+      5.0 * Profile()[0].power_watts + 10.0 * Profile()[4].power_watts;
+  EXPECT_DOUBLE_EQ(meter.consumed(), expected);
+  EXPECT_EQ(meter.pstate_of(0), 4u);
+}
+
+TEST(OnlineEnergyMeter, AppliesEfficiencyAtTheWall) {
+  const Cluster cluster = test::SingleCoreCluster(0.8);
+  OnlineEnergyMeter meter(cluster, 0);
+  EXPECT_DOUBLE_EQ(meter.total_power(), 100.0 / 0.8);
+}
+
+TEST(OnlineEnergyMeter, BudgetCrossingTimeIsExact) {
+  const Cluster cluster = test::SingleCoreCluster();
+  OnlineEnergyMeter meter(cluster, 0);  // 100 W
+  const auto crossing = meter.BudgetCrossingTime(250.0, 100.0);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_DOUBLE_EQ(*crossing, 2.5);
+}
+
+TEST(OnlineEnergyMeter, BudgetCrossingBeyondHorizonIsNullopt) {
+  const Cluster cluster = test::SingleCoreCluster();
+  OnlineEnergyMeter meter(cluster, 0);
+  EXPECT_FALSE(meter.BudgetCrossingTime(250.0, 2.0).has_value());
+}
+
+TEST(OnlineEnergyMeter, AlreadyExhaustedReportsNow) {
+  const Cluster cluster = test::SingleCoreCluster();
+  OnlineEnergyMeter meter(cluster, 0);
+  meter.AdvanceTo(10.0);  // 1000 consumed
+  const auto crossing = meter.BudgetCrossingTime(500.0, 20.0);
+  ASSERT_TRUE(crossing.has_value());
+  EXPECT_DOUBLE_EQ(*crossing, 10.0);
+}
+
+TEST(OnlineEnergyMeter, RejectsTimeTravel) {
+  const Cluster cluster = test::SingleCoreCluster();
+  OnlineEnergyMeter meter(cluster, 0);
+  meter.AdvanceTo(5.0);
+  EXPECT_THROW(meter.AdvanceTo(4.0), std::invalid_argument);
+}
+
+TEST(CoreEnergy, SampledPowerOverridesProfile) {
+  // First interval at an explicit 42 W, second at the profile's P0 power.
+  const TransitionLog log{{0.0, 0, 42.0}, {5.0, 0}, {8.0, 0}};
+  EXPECT_DOUBLE_EQ(CoreEnergy(log, Profile()), 5.0 * 42.0 + 3.0 * 100.0);
+}
+
+TEST(OnlineEnergyMeter, SetPStateWithPowerUsesSampledDraw) {
+  const Cluster cluster = test::SingleCoreCluster(0.5);
+  OnlineEnergyMeter meter(cluster, 0);
+  meter.SetPStateWithPower(0, 2, 42.0);
+  EXPECT_DOUBLE_EQ(meter.total_power(), 42.0 / 0.5);
+  EXPECT_EQ(meter.pstate_of(0), 2u);
+  meter.AdvanceTo(3.0);
+  EXPECT_DOUBLE_EQ(meter.consumed(), 3.0 * 84.0);
+  // Returning to profile-driven power restores the state average.
+  meter.SetPState(0, 0);
+  EXPECT_DOUBLE_EQ(meter.total_power(), 100.0 / 0.5);
+  EXPECT_THROW(meter.SetPStateWithPower(0, 0, -1.0), std::invalid_argument);
+}
+
+class MeterVsLogs : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeterVsLogs, OnlineMatchesPostHocOnRandomSchedules) {
+  // Property: for a random P-state schedule across a multi-core cluster, the
+  // online integrator and the Eq. 1/2 post-hoc computation agree.
+  const Cluster cluster(
+      {test::SimpleNode(2, 2, 0.9), test::SimpleNode(1, 3, 0.95)});
+  util::RngStream rng(GetParam());
+  OnlineEnergyMeter meter(cluster, 4);
+  std::vector<TransitionLog> logs(cluster.total_cores());
+  for (auto& log : logs) log.push_back({0.0, 4});
+
+  double now = 0.0;
+  for (int step = 0; step < 100; ++step) {
+    now += rng.UniformReal(0.0, 3.0);
+    const auto core = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(cluster.total_cores()) - 1));
+    const auto state = static_cast<PStateIndex>(rng.UniformInt(0, 4));
+    meter.AdvanceTo(now);
+    meter.SetPState(core, state);
+    if (logs[core].back().pstate != state) {
+      logs[core].push_back({now, state});
+    }
+  }
+  now += 1.0;
+  meter.AdvanceTo(now);
+  for (auto& log : logs) log.push_back({now, log.back().pstate});
+
+  const double post_hoc = ClusterEnergyFromLogs(cluster, logs);
+  EXPECT_NEAR(meter.consumed(), post_hoc, 1e-9 * std::abs(post_hoc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeterVsLogs,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace ecdra::cluster

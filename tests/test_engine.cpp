@@ -1,0 +1,333 @@
+#include "sim/engine.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "test_support.hpp"
+
+namespace ecdra::sim {
+namespace {
+
+/// Deterministic single-type table for a cluster built from SimpleNode()s:
+/// execution time on node n at P-state s is `base[n] * time_multiplier(s)`
+/// exactly (delta pmfs), so every event time is hand-computable.
+workload::TaskTypeTable DeltaTable(const cluster::Cluster& cluster,
+                                   const std::vector<double>& base) {
+  std::vector<pmf::Pmf> pmfs;
+  for (std::size_t node = 0; node < cluster.num_nodes(); ++node) {
+    for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+      pmfs.push_back(pmf::Pmf::Delta(
+          base[node] * cluster.node(node).pstates[s].time_multiplier));
+    }
+  }
+  return workload::TaskTypeTable(1, cluster.num_nodes(), std::move(pmfs));
+}
+
+/// Filter that removes every candidate (to force discards).
+class RejectAllFilter final : public core::Filter {
+ public:
+  void Apply(core::MappingContext& ctx) override { ctx.candidates().clear(); }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "reject-all";
+  }
+};
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : cluster_(test::SingleCoreCluster()), table_(DeltaTable(cluster_, {10.0})) {}
+
+  [[nodiscard]] core::ImmediateModeScheduler Scheduler(
+      std::size_t window, std::vector<std::unique_ptr<core::Filter>> filters =
+                              {}) {
+    return core::ImmediateModeScheduler(
+        cluster_, table_, core::MakeHeuristic("SQ", util::RngStream(1)),
+        std::move(filters), 1e9, window);
+  }
+
+  [[nodiscard]] TrialResult Run(std::vector<workload::Task> tasks,
+                                core::ImmediateModeScheduler& scheduler,
+                                TrialOptions options) {
+    Engine engine(cluster_, table_, std::move(tasks), scheduler, options,
+                  util::RngStream(7));
+    return engine.Run();
+  }
+
+  // SimpleNode P-state powers (efficiency 1.0).
+  static constexpr double kP0Power = 100.0;
+  // P4: ACL * V_low^2 * f4 = (100 / 2.25) * 1.0 * 0.4096.
+  static constexpr double kP4Power = 100.0 / 2.25 * 0.4096;
+
+  cluster::Cluster cluster_;
+  workload::TaskTypeTable table_;
+};
+
+TEST_F(EngineTest, SingleTaskCompletesOnTimeWithExactEnergy) {
+  auto scheduler = Scheduler(1);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.collect_task_records = true;
+  const TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 20.0}}, scheduler, options);
+
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_EQ(result.missed_deadlines, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 11.0);  // arrive 1, SQ picks P0, exec 10
+  // Idle at P4 for [0,1), busy at P0 for [1,11).
+  EXPECT_NEAR(result.total_energy, 1.0 * kP4Power + 10.0 * kP0Power, 1e-9);
+  EXPECT_FALSE(result.energy_exhausted_at.has_value());
+
+  ASSERT_EQ(result.task_records.size(), 1u);
+  const TaskRecord& record = result.task_records[0];
+  EXPECT_TRUE(record.assigned);
+  EXPECT_EQ(record.pstate, 0u);
+  EXPECT_DOUBLE_EQ(record.start_time, 1.0);
+  EXPECT_DOUBLE_EQ(record.finish_time, 11.0);
+  EXPECT_TRUE(record.on_time);
+  EXPECT_TRUE(record.within_energy);
+  EXPECT_DOUBLE_EQ(record.rho_at_assignment, 1.0);  // delta pmf, loose deadline
+}
+
+TEST_F(EngineTest, TasksQueueFifoOnABusyCore) {
+  auto scheduler = Scheduler(2);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.collect_task_records = true;
+  const TrialResult result = Run({workload::Task{0, 0, 0.0, 50.0},
+                                  workload::Task{1, 0, 1.0, 50.0}},
+                                 scheduler, options);
+  EXPECT_EQ(result.completed, 2u);
+  // Task 0: [0, 10). Task 1 waits, runs [10, 20).
+  EXPECT_DOUBLE_EQ(result.task_records[1].start_time, 10.0);
+  EXPECT_DOUBLE_EQ(result.task_records[1].finish_time, 20.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 20.0);
+}
+
+TEST_F(EngineTest, LateTaskCountsAsMissed) {
+  auto scheduler = Scheduler(1);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  const TrialResult result =
+      Run({workload::Task{0, 0, 0.0, 5.0}}, scheduler, options);
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(result.finished_late, 1u);
+  EXPECT_EQ(result.missed_deadlines, 1u);
+}
+
+TEST_F(EngineTest, DeadlineBoundaryIsInclusive) {
+  auto scheduler = Scheduler(1);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  const TrialResult result =
+      Run({workload::Task{0, 0, 0.0, 10.0}}, scheduler, options);
+  EXPECT_EQ(result.completed, 1u);  // finishes exactly at its deadline
+}
+
+TEST_F(EngineTest, EnergyExhaustionMakesOnTimeTaskNotCount) {
+  auto scheduler = Scheduler(1);
+  TrialOptions options;
+  // Budget covers idle [0,1) plus 4 seconds at P0: exhausts at t = 5.
+  options.energy_budget = 1.0 * kP4Power + 4.0 * kP0Power;
+  options.collect_task_records = true;
+  const TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 20.0}}, scheduler, options);
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(result.on_time_but_over_budget, 1u);
+  ASSERT_TRUE(result.energy_exhausted_at.has_value());
+  EXPECT_NEAR(*result.energy_exhausted_at, 5.0, 1e-9);
+  EXPECT_TRUE(result.task_records[0].on_time);
+  EXPECT_FALSE(result.task_records[0].within_energy);
+}
+
+TEST_F(EngineTest, TaskFinishingExactlyAtExhaustionCounts) {
+  auto scheduler = Scheduler(1);
+  TrialOptions options;
+  options.energy_budget = 1.0 * kP4Power + 10.0 * kP0Power;  // exhausts at 11
+  const TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 20.0}}, scheduler, options);
+  EXPECT_EQ(result.completed, 1u);
+}
+
+TEST_F(EngineTest, DiscardedTasksNeverExecute) {
+  std::vector<std::unique_ptr<core::Filter>> filters;
+  filters.push_back(std::make_unique<RejectAllFilter>());
+  auto scheduler = Scheduler(1, std::move(filters));
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.collect_task_records = true;
+  const TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 20.0}}, scheduler, options);
+  EXPECT_EQ(result.discarded, 1u);
+  EXPECT_EQ(result.missed_deadlines, 1u);
+  EXPECT_FALSE(result.task_records[0].assigned);
+  EXPECT_DOUBLE_EQ(result.makespan, 1.0);  // only the arrival event
+  // Pure idle draw.
+  EXPECT_NEAR(result.total_energy, 1.0 * kP4Power, 1e-9);
+}
+
+TEST_F(EngineTest, IdlePolicyStayKeepsLastPStateAndBurnsMore) {
+  TrialOptions deepest;
+  deepest.energy_budget = 1e9;
+  TrialOptions stay = deepest;
+  stay.idle_policy = IdlePolicy::kStayAtLast;
+
+  // Two tasks separated by a long idle gap.
+  const std::vector<workload::Task> tasks{workload::Task{0, 0, 0.0, 1e6},
+                                          workload::Task{1, 0, 100.0, 1e6}};
+  auto s1 = Scheduler(2);
+  const TrialResult a = Run(tasks, s1, deepest);
+  auto s2 = Scheduler(2);
+  const TrialResult b = Run(tasks, s2, stay);
+  // Idle gap [10, 100) at P4 vs at P0.
+  EXPECT_NEAR(b.total_energy - a.total_energy, 90.0 * (kP0Power - kP4Power),
+              1e-9);
+}
+
+TEST_F(EngineTest, EnergyAccountingIncludesTrailingIdleUntilLastFinish) {
+  const cluster::Cluster two_cores({test::SimpleNode(1, 2)});
+  auto table = DeltaTable(two_cores, {10.0});
+  core::ImmediateModeScheduler scheduler(
+      two_cores, table, core::MakeHeuristic("SQ", util::RngStream(1)), {},
+      1e9, 2);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  // Task 0 on core A [0,10); task 1 arrives at 5, goes to idle core B [5,15).
+  Engine engine(two_cores, table,
+                {workload::Task{0, 0, 0.0, 1e6}, workload::Task{1, 0, 5.0, 1e6}},
+                scheduler, options, util::RngStream(7));
+  const TrialResult result = engine.Run();
+  EXPECT_DOUBLE_EQ(result.makespan, 15.0);
+  // Core A: P0 [0,10), P4 [10,15). Core B: P4 [0,5), P0 [5,15).
+  const double expected = 10.0 * kP0Power + 5.0 * kP4Power  // core A
+                          + 5.0 * kP4Power + 10.0 * kP0Power;  // core B
+  EXPECT_NEAR(result.total_energy, expected, 1e-9);
+}
+
+TEST_F(EngineTest, StochasticDurationsComeFromTheExecPmf) {
+  // Two-point pmf: finishes at 5 or 15 (p = 0.5 each); over many seeds both
+  // outcomes appear and nothing else.
+  std::vector<pmf::Pmf> pmfs;
+  for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+    const double mult = cluster_.node(0).pstates[s].time_multiplier;
+    pmfs.push_back(test::TwoPoint(5.0 * mult, 15.0 * mult));
+  }
+  workload::TaskTypeTable table(1, 1, std::move(pmfs));
+  int fast = 0;
+  const int reps = 60;
+  for (int seed = 0; seed < reps; ++seed) {
+    core::ImmediateModeScheduler scheduler(
+        cluster_, table, core::MakeHeuristic("SQ", util::RngStream(1)), {},
+        1e9, 1);
+    TrialOptions options;
+    options.energy_budget = 1e9;
+    Engine engine(cluster_, table, {workload::Task{0, 0, 0.0, 1e6}}, scheduler,
+                  options, util::RngStream(static_cast<std::uint64_t>(seed)));
+    const double makespan = engine.Run().makespan;
+    ASSERT_TRUE(std::fabs(makespan - 5.0) < 1e-9 ||
+                std::fabs(makespan - 15.0) < 1e-9);
+    if (makespan < 10.0) ++fast;
+  }
+  EXPECT_GT(fast, 10);
+  EXPECT_LT(fast, 50);
+}
+
+TEST_F(EngineTest, CancelPolicyDropsHopelessQueuedTasks) {
+  // Task 0 runs [0, 10). Task 1 queues behind it with deadline 8 — already
+  // hopeless when the core frees up. Task 2 queues with a loose deadline.
+  const std::vector<workload::Task> tasks{workload::Task{0, 0, 0.0, 50.0},
+                                          workload::Task{1, 0, 1.0, 8.0},
+                                          workload::Task{2, 0, 2.0, 50.0}};
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.cancel_policy = CancelPolicy::kCancelHopelessQueued;
+  options.collect_task_records = true;
+  auto scheduler = Scheduler(3);
+  const TrialResult result = Run(tasks, scheduler, options);
+
+  EXPECT_EQ(result.cancelled, 1u);
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.missed_deadlines, 1u);
+  EXPECT_TRUE(result.task_records[1].cancelled);
+  // Task 2 starts immediately at 10 (task 1 never runs).
+  EXPECT_DOUBLE_EQ(result.task_records[2].start_time, 10.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 20.0);
+}
+
+TEST_F(EngineTest, RunToCompletionExecutesHopelessTasks) {
+  // Same scenario, paper semantics: the late task still runs and delays
+  // task 2.
+  const std::vector<workload::Task> tasks{workload::Task{0, 0, 0.0, 50.0},
+                                          workload::Task{1, 0, 1.0, 8.0},
+                                          workload::Task{2, 0, 2.0, 50.0}};
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.collect_task_records = true;
+  auto scheduler = Scheduler(3);
+  const TrialResult result = Run(tasks, scheduler, options);
+
+  EXPECT_EQ(result.cancelled, 0u);
+  EXPECT_EQ(result.finished_late, 1u);
+  EXPECT_DOUBLE_EQ(result.task_records[2].start_time, 20.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 30.0);
+}
+
+TEST_F(EngineTest, CancellationSavesEnergy) {
+  const std::vector<workload::Task> tasks{workload::Task{0, 0, 0.0, 50.0},
+                                          workload::Task{1, 0, 1.0, 8.0}};
+  TrialOptions run_all;
+  run_all.energy_budget = 1e9;
+  TrialOptions cancel = run_all;
+  cancel.cancel_policy = CancelPolicy::kCancelHopelessQueued;
+  auto s1 = Scheduler(2);
+  auto s2 = Scheduler(2);
+  const TrialResult a = Run(tasks, s1, run_all);
+  const TrialResult b = Run(tasks, s2, cancel);
+  // Cancelling ends the trial at t = 10 instead of executing the hopeless
+  // task for another 10 s at P0.
+  EXPECT_DOUBLE_EQ(a.makespan, 20.0);
+  EXPECT_DOUBLE_EQ(b.makespan, 10.0);
+  EXPECT_NEAR(a.total_energy - b.total_energy, 10.0 * kP0Power, 1e-9);
+}
+
+TEST_F(EngineTest, DeterministicForSameSeed) {
+  std::vector<workload::Task> tasks;
+  for (std::size_t i = 0; i < 20; ++i) {
+    tasks.push_back(workload::Task{i, 0, static_cast<double>(i), 1e6});
+  }
+  auto run_once = [&] {
+    auto scheduler = Scheduler(20);
+    TrialOptions options;
+    options.energy_budget = 1e9;
+    return Run(tasks, scheduler, options);
+  };
+  const TrialResult a = run_once();
+  const TrialResult b = run_once();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.total_energy, b.total_energy);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST_F(EngineTest, RejectsUnsortedOrMisnumberedTasks) {
+  auto scheduler = Scheduler(2);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  EXPECT_THROW(
+      (void)Engine(cluster_, table_,
+                   {workload::Task{0, 0, 5.0, 9.0}, workload::Task{1, 0, 1.0, 9.0}},
+                   scheduler, options, util::RngStream(1)),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)Engine(cluster_, table_, {workload::Task{3, 0, 1.0, 9.0}},
+                   scheduler, options, util::RngStream(1)),
+      std::invalid_argument);
+  TrialOptions bad;
+  bad.energy_budget = 0.0;
+  EXPECT_THROW((void)Engine(cluster_, table_, {}, scheduler, bad,
+                            util::RngStream(1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::sim

@@ -1,0 +1,137 @@
+#include "workload/etc_matrix.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ecdra::workload {
+namespace {
+
+TEST(EtcMatrix, StoresRowMajor) {
+  const EtcMatrix etc(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(etc.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(etc.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(etc.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(etc.at(1, 2), 6.0);
+}
+
+TEST(EtcMatrix, ComputesMeans) {
+  const EtcMatrix etc(2, 2, {1, 3, 5, 7});
+  EXPECT_DOUBLE_EQ(etc.TypeMean(0), 2.0);
+  EXPECT_DOUBLE_EQ(etc.TypeMean(1), 6.0);
+  EXPECT_DOUBLE_EQ(etc.GrandMean(), 4.0);
+}
+
+TEST(EtcMatrix, RejectsInvalidConstruction) {
+  EXPECT_THROW((void)EtcMatrix(2, 2, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW((void)EtcMatrix(0, 2, {}), std::invalid_argument);
+  EXPECT_THROW((void)EtcMatrix(1, 2, {1, 0}), std::invalid_argument);
+  EXPECT_THROW((void)EtcMatrix(1, 2, {1, -3}), std::invalid_argument);
+}
+
+TEST(EtcMatrix, RejectsOutOfRangeAccess) {
+  const EtcMatrix etc(2, 2, {1, 2, 3, 4});
+  EXPECT_THROW((void)etc.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)etc.at(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)etc.TypeMean(2), std::invalid_argument);
+}
+
+TEST(GenerateCvb, DimensionsAndPositivity) {
+  util::RngStream rng(1);
+  const EtcMatrix etc = GenerateCvbMatrix(rng);
+  EXPECT_EQ(etc.num_types(), 100u);
+  EXPECT_EQ(etc.num_machines(), 8u);
+  for (std::size_t t = 0; t < etc.num_types(); ++t) {
+    for (std::size_t m = 0; m < etc.num_machines(); ++m) {
+      EXPECT_GT(etc.at(t, m), 0.0);
+    }
+  }
+}
+
+TEST(GenerateCvb, GrandMeanNearTaskMean) {
+  // E[e(t, m)] = mu_task; with 800 entries the grand mean concentrates.
+  double sum = 0.0;
+  const int reps = 10;
+  for (std::uint64_t seed = 1; seed <= reps; ++seed) {
+    util::RngStream rng(seed);
+    sum += GenerateCvbMatrix(rng).GrandMean();
+  }
+  EXPECT_NEAR(sum / reps, 750.0, 0.05 * 750.0);
+}
+
+TEST(GenerateCvb, MachineCovWithinRow) {
+  // Within a type's row, entries are Gamma with CoV V_mach = 0.25 around
+  // the type mean; the pooled relative spread should be near that.
+  util::RngStream rng(3);
+  const EtcMatrix etc = GenerateCvbMatrix(rng);
+  double pooled = 0.0;
+  for (std::size_t t = 0; t < etc.num_types(); ++t) {
+    const double mean = etc.TypeMean(t);
+    double var = 0.0;
+    for (std::size_t m = 0; m < etc.num_machines(); ++m) {
+      const double d = etc.at(t, m) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(etc.num_machines() - 1);
+    pooled += std::sqrt(var) / mean;
+  }
+  pooled /= static_cast<double>(etc.num_types());
+  EXPECT_NEAR(pooled, 0.25, 0.05);
+}
+
+TEST(GenerateCvb, MatrixIsInconsistent) {
+  // Inconsistent heterogeneity [AlS00]: machine orderings differ by type.
+  util::RngStream rng(4);
+  const EtcMatrix etc = GenerateCvbMatrix(rng);
+  const auto best_machine = [&etc](std::size_t type) {
+    std::size_t best = 0;
+    for (std::size_t m = 1; m < etc.num_machines(); ++m) {
+      if (etc.at(type, m) < etc.at(type, best)) best = m;
+    }
+    return best;
+  };
+  const std::size_t first = best_machine(0);
+  bool any_different = false;
+  for (std::size_t t = 1; t < etc.num_types(); ++t) {
+    if (best_machine(t) != first) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GenerateCvb, DeterministicPerSeed) {
+  util::RngStream a(7);
+  util::RngStream b(7);
+  const EtcMatrix ma = GenerateCvbMatrix(a);
+  const EtcMatrix mb = GenerateCvbMatrix(b);
+  for (std::size_t t = 0; t < ma.num_types(); ++t) {
+    for (std::size_t m = 0; m < ma.num_machines(); ++m) {
+      EXPECT_DOUBLE_EQ(ma.at(t, m), mb.at(t, m));
+    }
+  }
+}
+
+TEST(GenerateCvb, HonorsCustomOptions) {
+  CvbOptions options;
+  options.num_task_types = 5;
+  options.num_machines = 3;
+  options.task_mean = 100.0;
+  util::RngStream rng(9);
+  const EtcMatrix etc = GenerateCvbMatrix(rng, options);
+  EXPECT_EQ(etc.num_types(), 5u);
+  EXPECT_EQ(etc.num_machines(), 3u);
+}
+
+TEST(GenerateCvb, RejectsInvalidOptions) {
+  CvbOptions options;
+  options.task_mean = 0.0;
+  util::RngStream rng(1);
+  EXPECT_THROW((void)GenerateCvbMatrix(rng, options), std::invalid_argument);
+  options = CvbOptions{};
+  options.task_cov = 0.0;
+  EXPECT_THROW((void)GenerateCvbMatrix(rng, options), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::workload

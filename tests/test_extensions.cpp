@@ -1,0 +1,301 @@
+// Tests for the §VIII future-work extensions: P-state transition latency,
+// stochastic power consumption, and task priorities.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment_runner.hpp"
+#include "test_support.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace ecdra {
+namespace {
+
+workload::TaskTypeTable DeltaTable(const cluster::Cluster& cluster,
+                                   double base) {
+  std::vector<pmf::Pmf> pmfs;
+  for (std::size_t node = 0; node < cluster.num_nodes(); ++node) {
+    for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+      pmfs.push_back(pmf::Pmf::Delta(
+          base * cluster.node(node).pstates[s].time_multiplier));
+    }
+  }
+  return workload::TaskTypeTable(1, cluster.num_nodes(), std::move(pmfs));
+}
+
+inline constexpr double kSimpleNodeP4Power = 100.0 / 2.25 * 0.4096;
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  ExtensionTest()
+      : cluster_(test::SingleCoreCluster()),
+        table_(DeltaTable(cluster_, 10.0)) {}
+
+  [[nodiscard]] sim::TrialResult Run(std::vector<workload::Task> tasks,
+                                     sim::TrialOptions options,
+                                     std::uint64_t seed = 7) {
+    core::ImmediateModeScheduler scheduler(
+        cluster_, table_, core::MakeHeuristic("SQ", util::RngStream(1)), {},
+        1e9, tasks.size());
+    sim::Engine engine(cluster_, table_, std::move(tasks), scheduler, options,
+                       util::RngStream(seed));
+    return engine.Run();
+  }
+
+  cluster::Cluster cluster_;
+  workload::TaskTypeTable table_;
+};
+
+// --------------------------- transition latency ---------------------------
+
+TEST_F(ExtensionTest, TransitionLatencyDelaysTheFirstStart) {
+  sim::TrialOptions options;
+  options.energy_budget = 1e9;
+  options.pstate_transition_latency = 2.0;
+  options.collect_task_records = true;
+  // Core idles at P4; SQ picks P0, so the switch costs 2 s.
+  const sim::TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 100.0}}, options);
+  EXPECT_DOUBLE_EQ(result.task_records[0].start_time, 3.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 13.0);
+}
+
+TEST_F(ExtensionTest, NoLatencyWhenStateIsUnchanged) {
+  sim::TrialOptions options;
+  options.energy_budget = 1e9;
+  options.pstate_transition_latency = 2.0;
+  options.idle_policy = sim::IdlePolicy::kStayAtLast;
+  options.collect_task_records = true;
+  // Back-to-back tasks at the same P-state: only the first pays the switch.
+  const sim::TrialResult result =
+      Run({workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 1.0, 100.0}},
+          options);
+  EXPECT_DOUBLE_EQ(result.task_records[0].start_time, 2.0);
+  EXPECT_DOUBLE_EQ(result.task_records[1].start_time, 12.0);  // no extra 2 s
+}
+
+TEST_F(ExtensionTest, LatencyCanTurnAnOnTimeTaskLate) {
+  sim::TrialOptions on_time;
+  on_time.energy_budget = 1e9;
+  sim::TrialOptions delayed = on_time;
+  delayed.pstate_transition_latency = 5.0;
+  const std::vector<workload::Task> tasks{workload::Task{0, 0, 0.0, 12.0}};
+  EXPECT_EQ(Run(tasks, on_time).completed, 1u);
+  const sim::TrialResult late = Run(tasks, delayed);
+  EXPECT_EQ(late.completed, 0u);
+  EXPECT_EQ(late.finished_late, 1u);
+}
+
+// ------------------------------ power gating ------------------------------
+
+TEST_F(ExtensionTest, PowerGatedIdleDrawsNothing) {
+  sim::TrialOptions options;
+  options.energy_budget = 1e9;
+  options.idle_policy = sim::IdlePolicy::kPowerGated;
+  // Gated [0,1), busy [1,11) at P0 (100 W), gated afterwards: exactly the
+  // busy energy.
+  const sim::TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 100.0}}, options);
+  EXPECT_NEAR(result.total_energy, 10.0 * 100.0, 1e-9);
+}
+
+TEST_F(ExtensionTest, PowerGatingDelaysBudgetExhaustion) {
+  sim::TrialOptions deepest;
+  deepest.energy_budget = 1e9;
+  sim::TrialOptions gated = deepest;
+  gated.idle_policy = sim::IdlePolicy::kPowerGated;
+  // Two tasks with a long idle gap between them.
+  const std::vector<workload::Task> tasks{workload::Task{0, 0, 0.0, 1e6},
+                                          workload::Task{1, 0, 500.0, 1e6}};
+  const sim::TrialResult a = Run(tasks, deepest);
+  const sim::TrialResult b = Run(tasks, gated);
+  // The 490-unit idle gap at P4 (~18.2 W) vs gated (0 W).
+  EXPECT_NEAR(a.total_energy - b.total_energy,
+              490.0 * kSimpleNodeP4Power, 1e-6);
+}
+
+// ---------------------------- stochastic power ----------------------------
+
+TEST_F(ExtensionTest, StochasticPowerPerturbsEnergyAroundTheMean) {
+  sim::TrialOptions deterministic;
+  deterministic.energy_budget = 1e9;
+  const double base_energy =
+      Run({workload::Task{0, 0, 0.0, 100.0}}, deterministic).total_energy;
+
+  sim::TrialOptions noisy = deterministic;
+  noisy.power_cov = 0.3;
+  double sum = 0.0;
+  int differs = 0;
+  const int reps = 40;
+  for (int seed = 0; seed < reps; ++seed) {
+    const double energy =
+        Run({workload::Task{0, 0, 0.0, 100.0}}, noisy,
+            static_cast<std::uint64_t>(seed))
+            .total_energy;
+    sum += energy;
+    if (std::fabs(energy - base_energy) > 1e-6) ++differs;
+  }
+  EXPECT_GT(differs, reps / 2);  // the draw actually varies
+  // The sampled power is unbiased: the mean trial energy approaches the
+  // deterministic one (tolerance ~ cov/sqrt(reps) of the busy share).
+  EXPECT_NEAR(sum / reps, base_energy, 0.1 * base_energy);
+}
+
+TEST_F(ExtensionTest, StochasticPowerKeepsMeterAndLogsConsistent) {
+  // The engine cross-checks the online meter against the Eq. 1/2 post-hoc
+  // computation internally; a completed run means they agreed.
+  sim::TrialOptions noisy;
+  noisy.energy_budget = 1e9;
+  noisy.power_cov = 0.5;
+  std::vector<workload::Task> tasks;
+  for (std::size_t i = 0; i < 10; ++i) {
+    tasks.push_back(workload::Task{i, 0, static_cast<double>(i), 1e6});
+  }
+  EXPECT_NO_THROW((void)Run(std::move(tasks), noisy));
+}
+
+TEST_F(ExtensionTest, StochasticPowerIsDeterministicPerSeed) {
+  sim::TrialOptions noisy;
+  noisy.energy_budget = 1e9;
+  noisy.power_cov = 0.2;
+  const std::vector<workload::Task> tasks{workload::Task{0, 0, 0.0, 1e6}};
+  EXPECT_DOUBLE_EQ(Run(tasks, noisy, 3).total_energy,
+                   Run(tasks, noisy, 3).total_energy);
+}
+
+// ------------------------------- priorities -------------------------------
+
+TEST_F(ExtensionTest, WeightedTalliesFollowPriorities) {
+  sim::TrialOptions options;
+  options.energy_budget = 1e9;
+  // Task 0 (weight 5) completes; task 1 (weight 2) misses its deadline.
+  const sim::TrialResult result =
+      Run({workload::Task{0, 0, 0.0, 100.0, 5.0},
+           workload::Task{1, 0, 1.0, 15.0, 2.0}},
+          options);
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_DOUBLE_EQ(result.weighted_total, 7.0);
+  EXPECT_DOUBLE_EQ(result.weighted_completed, 5.0);
+  EXPECT_DOUBLE_EQ(result.weighted_missed, 2.0);
+}
+
+TEST(PriorityWorkload, ClassesAreSampledWithTheRightMix) {
+  const cluster::Cluster cluster({test::SimpleNode()});
+  const workload::EtcMatrix etc(1, 1, {100.0});
+  const workload::TaskTypeTable table(cluster, etc, 0.25);
+  workload::WorkloadGeneratorOptions options;
+  options.arrivals = workload::ArrivalSpec::ConstantRate(2000, 1.0);
+  options.priority_classes = {workload::PriorityClass{4.0, 0.25},
+                              workload::PriorityClass{1.0, 0.75}};
+  util::RngStream rng(5);
+  const std::vector<workload::Task> tasks =
+      workload::GenerateWorkload(table, options, rng);
+  std::size_t high = 0;
+  for (const workload::Task& task : tasks) {
+    ASSERT_TRUE(task.priority == 4.0 || task.priority == 1.0);
+    if (task.priority == 4.0) ++high;
+  }
+  EXPECT_NEAR(static_cast<double>(high) / 2000.0, 0.25, 0.04);
+}
+
+TEST(PriorityWorkload, SinglePriorityClassReproducesPaperWeights) {
+  const cluster::Cluster cluster({test::SimpleNode()});
+  const workload::EtcMatrix etc(1, 1, {100.0});
+  const workload::TaskTypeTable table(cluster, etc, 0.25);
+  workload::WorkloadGeneratorOptions options;
+  options.arrivals = workload::ArrivalSpec::ConstantRate(50, 1.0);
+  util::RngStream rng(5);
+  for (const workload::Task& task :
+       workload::GenerateWorkload(table, options, rng)) {
+    EXPECT_DOUBLE_EQ(task.priority, 1.0);
+  }
+}
+
+TEST(PriorityWorkload, RejectsInvalidClasses) {
+  const cluster::Cluster cluster({test::SimpleNode()});
+  const workload::EtcMatrix etc(1, 1, {100.0});
+  const workload::TaskTypeTable table(cluster, etc, 0.25);
+  workload::WorkloadGeneratorOptions options;
+  options.arrivals = workload::ArrivalSpec::ConstantRate(5, 1.0);
+  options.priority_classes = {};
+  util::RngStream rng(1);
+  EXPECT_THROW((void)workload::GenerateWorkload(table, options, rng),
+               std::invalid_argument);
+  options.priority_classes = {workload::PriorityClass{0.0, 1.0}};
+  EXPECT_THROW((void)workload::GenerateWorkload(table, options, rng),
+               std::invalid_argument);
+}
+
+TEST(PriorityFairShare, ScalingAdmitsCostlierAssignmentsForImportantTasks) {
+  const cluster::Cluster cluster({test::SimpleNode()});
+  const workload::EtcMatrix etc(1, 1, {100.0});
+  const workload::TaskTypeTable table(cluster, etc, 0.25);
+  std::vector<robustness::CoreQueueModel> cores(1);
+
+  // Fair share (unscaled) sits below the cheapest candidate's EEC; a
+  // priority-4 task with scaling enabled clears the bar.
+  const workload::Task low{0, 0, 0.0, 1e9, 1.0};
+  const workload::Task high{1, 0, 0.0, 1e9, 4.0};
+  core::EnergyFilterOptions scaled;
+  scaled.scale_fair_share_by_priority = true;
+  core::EnergyFilter filter(scaled);
+
+  core::MappingContext low_ctx(cluster, table, cores, low, 0.0);
+  low_ctx.SetBudgetView(3000.0, 1);  // fair share 0.8 * 3000 = 2400
+  filter.Apply(low_ctx);
+  EXPECT_TRUE(low_ctx.candidates().empty());  // cheapest EEC ~ 4400
+
+  core::MappingContext high_ctx(cluster, table, cores, high, 0.0);
+  high_ctx.SetBudgetView(3000.0, 1);  // scaled fair share 9600
+  filter.Apply(high_ctx);
+  EXPECT_FALSE(high_ctx.candidates().empty());
+}
+
+TEST_F(ExtensionTest, RobustnessTraceSamplesEveryArrival) {
+  sim::TrialOptions options;
+  options.energy_budget = 1e9;
+  options.collect_robustness_trace = true;
+  const sim::TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 100.0}, workload::Task{1, 0, 2.0, 100.0}},
+          options);
+  ASSERT_EQ(result.robustness_trace.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.robustness_trace[0].time, 1.0);
+  // Sampled just after mapping: one delta-pmf task in flight, surely on
+  // time -> rho = 1; after the second arrival both are certain.
+  EXPECT_DOUBLE_EQ(result.robustness_trace[0].rho, 1.0);
+  EXPECT_EQ(result.robustness_trace[0].in_flight, 1u);
+  EXPECT_DOUBLE_EQ(result.robustness_trace[1].rho, 2.0);
+  EXPECT_EQ(result.robustness_trace[1].in_flight, 2u);
+}
+
+TEST_F(ExtensionTest, RobustnessTraceOffByDefault) {
+  sim::TrialOptions options;
+  options.energy_budget = 1e9;
+  const sim::TrialResult result =
+      Run({workload::Task{0, 0, 1.0, 100.0}}, options);
+  EXPECT_TRUE(result.robustness_trace.empty());
+}
+
+TEST(RunOptionsPlumbing, LatencyAndPowerCovReachTheEngine) {
+  sim::SetupOptions small;
+  small.cluster.num_nodes = 2;
+  small.cvb.num_task_types = 5;
+  small.workload.arrivals =
+      workload::ArrivalSpec::PaperBursty(10, 20, 1.0 / 8.0, 1.0 / 48.0);
+  const sim::ExperimentSetup setup = sim::BuildExperimentSetup(3, small);
+
+  sim::RunOptions plain;
+  sim::RunOptions modified;
+  modified.pstate_transition_latency = 50.0;
+  modified.power_cov = 0.3;
+  const sim::TrialResult a = sim::RunSingleTrial(setup, "MECT", "none", 0, plain);
+  const sim::TrialResult b =
+      sim::RunSingleTrial(setup, "MECT", "none", 0, modified);
+  EXPECT_NE(a.total_energy, b.total_energy);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+}  // namespace
+}  // namespace ecdra

@@ -1,0 +1,306 @@
+#include "pmf/pmf.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ecdra::pmf {
+namespace {
+
+Pmf RandomPmf(util::RngStream& rng, std::size_t n) {
+  std::vector<Impulse> impulses;
+  impulses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impulses.push_back(
+        Impulse{rng.UniformReal(0.0, 100.0), rng.UniformReal(0.01, 1.0)});
+  }
+  return Pmf::FromImpulses(std::move(impulses), n);
+}
+
+double Mass(const Pmf& pmf) {
+  double mass = 0.0;
+  for (const Impulse& imp : pmf.impulses()) mass += imp.prob;
+  return mass;
+}
+
+TEST(Pmf, DeltaIsDegenerate) {
+  const Pmf d = Pmf::Delta(5.0);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.Expectation(), 5.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(d.Min(), 5.0);
+  EXPECT_DOUBLE_EQ(d.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(4.999), 0.0);
+  EXPECT_DOUBLE_EQ(d.CdfAt(5.0), 1.0);
+}
+
+TEST(Pmf, FromImpulsesSortsMergesNormalizes) {
+  const Pmf pmf = Pmf::FromImpulses({{3.0, 2.0}, {1.0, 1.0}, {3.0, 1.0}});
+  ASSERT_EQ(pmf.size(), 2u);
+  EXPECT_DOUBLE_EQ(pmf.impulses()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(pmf.impulses()[0].prob, 0.25);
+  EXPECT_DOUBLE_EQ(pmf.impulses()[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(pmf.impulses()[1].prob, 0.75);
+}
+
+TEST(Pmf, FromImpulsesDropsNonPositiveProbabilities) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 0.0}, {2.0, 1.0}, {3.0, -0.5}});
+  ASSERT_EQ(pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(pmf.impulses()[0].value, 2.0);
+}
+
+TEST(Pmf, FromImpulsesRejectsEmptyAndNonFinite) {
+  EXPECT_THROW((void)Pmf::FromImpulses({}), std::invalid_argument);
+  EXPECT_THROW((void)Pmf::FromImpulses({{1.0, 0.0}}), std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW((void)Pmf::FromImpulses({{inf, 1.0}}), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)Pmf::FromImpulses({{1.0, nan}}), std::invalid_argument);
+}
+
+TEST(Pmf, ExpectationAndVariance) {
+  const Pmf pmf = Pmf::FromImpulses({{0.0, 1.0}, {10.0, 1.0}});
+  EXPECT_DOUBLE_EQ(pmf.Expectation(), 5.0);
+  EXPECT_DOUBLE_EQ(pmf.Variance(), 25.0);
+}
+
+TEST(Pmf, CdfAtIsRightContinuousStep) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}, {3.0, 2.0}});
+  EXPECT_DOUBLE_EQ(pmf.CdfAt(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(pmf.CdfAt(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(pmf.CdfAt(1.5), 0.25);
+  EXPECT_DOUBLE_EQ(pmf.CdfAt(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(pmf.CdfAt(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(pmf.CdfAt(99.0), 1.0);
+}
+
+TEST(Pmf, ShiftMovesSupportOnly) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 3.0}});
+  const Pmf shifted = pmf.Shift(10.0);
+  EXPECT_DOUBLE_EQ(shifted.Expectation(), pmf.Expectation() + 10.0);
+  EXPECT_NEAR(shifted.Variance(), pmf.Variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(shifted.Min(), 11.0);
+}
+
+TEST(Pmf, ScaleValuesScalesMoments) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 3.0}});
+  const Pmf scaled = pmf.ScaleValues(2.0);
+  EXPECT_DOUBLE_EQ(scaled.Expectation(), 2.0 * pmf.Expectation());
+  EXPECT_NEAR(scaled.Variance(), 4.0 * pmf.Variance(), 1e-12);
+  EXPECT_THROW((void)pmf.ScaleValues(0.0), std::invalid_argument);
+}
+
+TEST(Pmf, TruncateBelowRenormalizes) {
+  const Pmf pmf =
+      Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}, {3.0, 1.0}, {4.0, 1.0}});
+  const TruncateResult result = pmf.TruncateBelow(2.5);
+  EXPECT_DOUBLE_EQ(result.retained_mass, 0.5);
+  ASSERT_EQ(result.pmf.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.pmf.impulses()[0].prob, 0.5);
+  EXPECT_NEAR(Mass(result.pmf), 1.0, 1e-12);
+}
+
+TEST(Pmf, TruncateBelowKeepsImpulsesAtExactlyT) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});
+  const TruncateResult result = pmf.TruncateBelow(2.0);
+  EXPECT_DOUBLE_EQ(result.retained_mass, 0.5);
+  EXPECT_DOUBLE_EQ(result.pmf.Min(), 2.0);
+}
+
+TEST(Pmf, TruncateBelowPastEverythingYieldsImminentDelta) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});
+  const TruncateResult result = pmf.TruncateBelow(50.0);
+  EXPECT_DOUBLE_EQ(result.retained_mass, 0.0);
+  EXPECT_EQ(result.pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.pmf.Expectation(), 50.0);
+}
+
+TEST(Pmf, SampleStaysOnSupportAndFollowsProbabilities) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 0.2}, {5.0, 0.8}});
+  util::RngStream rng(123);
+  int fives = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = pmf.Sample(rng);
+    ASSERT_TRUE(v == 1.0 || v == 5.0);
+    if (v == 5.0) ++fives;
+  }
+  EXPECT_NEAR(static_cast<double>(fives) / n, 0.8, 0.02);
+}
+
+TEST(Pmf, CompactPreservesMassAndMean) {
+  util::RngStream rng(7);
+  const Pmf pmf = RandomPmf(rng, 256);
+  const Pmf compact = pmf.Compact(16);
+  EXPECT_LE(compact.size(), 16u);
+  EXPECT_NEAR(Mass(compact), 1.0, 1e-12);
+  EXPECT_NEAR(compact.Expectation(), pmf.Expectation(), 1e-9);
+  EXPECT_DOUBLE_EQ(compact.Min() >= pmf.Min() ? 1.0 : 0.0, 1.0);
+  EXPECT_LE(compact.Max(), pmf.Max());
+}
+
+TEST(Pmf, CompactIsNoOpWhenSmallEnough) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});
+  EXPECT_EQ(pmf.Compact(10), pmf);
+}
+
+TEST(Pmf, CompactToOneImpulseGivesMean) {
+  util::RngStream rng(9);
+  const Pmf pmf = RandomPmf(rng, 32);
+  const Pmf one = pmf.Compact(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_NEAR(one.Expectation(), pmf.Expectation(), 1e-9);
+}
+
+class CompactSweep : public ::testing::TestWithParam<
+                         std::tuple<std::uint64_t, std::size_t>> {};
+
+TEST_P(CompactSweep, BoundMassAndMeanHoldForAllSizes) {
+  const auto [seed, bound] = GetParam();
+  util::RngStream rng(seed);
+  const Pmf pmf = RandomPmf(rng, 200);
+  const Pmf compact = pmf.Compact(bound);
+  EXPECT_LE(compact.size(), bound);
+  EXPECT_NEAR(Mass(compact), 1.0, 1e-12);
+  EXPECT_NEAR(compact.Expectation(), pmf.Expectation(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBounds, CompactSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u),
+                       ::testing::Values(1u, 2u, 7u, 32u, 64u, 199u)));
+
+TEST(Convolve, DeltaIsIdentity) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {4.0, 1.0}});
+  const Pmf conv = Convolve(pmf, Pmf::Delta(0.0));
+  EXPECT_EQ(conv, pmf);
+}
+
+TEST(Convolve, DeltaShifts) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {4.0, 1.0}});
+  const Pmf conv = Convolve(pmf, Pmf::Delta(2.5));
+  EXPECT_DOUBLE_EQ(conv.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(conv.Max(), 6.5);
+}
+
+TEST(Convolve, TwoCoinsGiveBinomial) {
+  const Pmf coin = Pmf::FromImpulses({{0.0, 0.5}, {1.0, 0.5}});
+  const Pmf sum = Convolve(coin, coin);
+  ASSERT_EQ(sum.size(), 3u);
+  EXPECT_DOUBLE_EQ(sum.impulses()[0].prob, 0.25);
+  EXPECT_DOUBLE_EQ(sum.impulses()[1].prob, 0.5);
+  EXPECT_DOUBLE_EQ(sum.impulses()[2].prob, 0.25);
+}
+
+class ConvolveProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvolveProperties, MomentsAddAndSupportBounds) {
+  util::RngStream rng(GetParam());
+  const Pmf x = RandomPmf(rng, 24);
+  const Pmf y = RandomPmf(rng, 24);
+  // Exact convolution (no compaction).
+  const Pmf exact = Convolve(x, y, 24 * 24);
+  EXPECT_NEAR(exact.Expectation(), x.Expectation() + y.Expectation(), 1e-9);
+  EXPECT_NEAR(exact.Variance(), x.Variance() + y.Variance(), 1e-6);
+  EXPECT_NEAR(exact.Min(), x.Min() + y.Min(), 1e-9);
+  EXPECT_NEAR(exact.Max(), x.Max() + y.Max(), 1e-9);
+  EXPECT_NEAR(Mass(exact), 1.0, 1e-9);
+  // Compacted convolution preserves mass and mean.
+  const Pmf compacted = Convolve(x, y, 32);
+  EXPECT_LE(compacted.size(), 32u);
+  EXPECT_NEAR(compacted.Expectation(), exact.Expectation(), 1e-9);
+}
+
+TEST_P(ConvolveProperties, ProbSumLeqMatchesExactConvolutionCdf) {
+  util::RngStream rng(GetParam() + 1000);
+  const Pmf x = RandomPmf(rng, 20);
+  const Pmf y = RandomPmf(rng, 20);
+  const Pmf exact = Convolve(x, y, 20 * 20);
+  for (const double t : {-5.0, 20.0, 50.0, 80.0, 110.0, 150.0, 250.0}) {
+    EXPECT_NEAR(ProbSumLeq(x, y, t), exact.CdfAt(t), 1e-9) << "t=" << t;
+  }
+}
+
+TEST_P(ConvolveProperties, ProbSumLeqIsSymmetric) {
+  util::RngStream rng(GetParam() + 2000);
+  const Pmf x = RandomPmf(rng, 15);
+  const Pmf y = RandomPmf(rng, 17);
+  for (const double t : {30.0, 90.0, 140.0}) {
+    EXPECT_NEAR(ProbSumLeq(x, y, t), ProbSumLeq(y, x, t), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvolveProperties,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(ProbSumLeq, ExtremeThresholds) {
+  const Pmf x = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});
+  const Pmf y = Pmf::FromImpulses({{3.0, 1.0}, {4.0, 1.0}});
+  EXPECT_DOUBLE_EQ(ProbSumLeq(x, y, 3.9), 0.0);
+  EXPECT_DOUBLE_EQ(ProbSumLeq(x, y, 4.0), 0.25);
+  EXPECT_DOUBLE_EQ(ProbSumLeq(x, y, 6.0), 1.0);
+}
+
+TEST(Convolve, LongChainStaysNumericallyStable) {
+  // Fifty compacted convolutions (a deep queue's worth): total mass and the
+  // accumulated mean must not drift.
+  util::RngStream rng(77);
+  Pmf chain = RandomPmf(rng, 24);
+  double expected_mean = chain.Expectation();
+  for (int i = 0; i < 50; ++i) {
+    const Pmf next = RandomPmf(rng, 24);
+    expected_mean += next.Expectation();
+    chain = Convolve(chain, next);
+    ASSERT_LE(chain.size(), Pmf::kDefaultMaxImpulses);
+  }
+  EXPECT_NEAR(Mass(chain), 1.0, 1e-9);
+  EXPECT_NEAR(chain.Expectation(), expected_mean, 1e-6 * expected_mean);
+}
+
+TEST(Pmf, CdfIsMonotoneNonDecreasing) {
+  util::RngStream rng(88);
+  const Pmf pmf = RandomPmf(rng, 40);
+  double prev = -1.0;
+  for (double t = pmf.Min() - 5.0; t <= pmf.Max() + 5.0; t += 1.0) {
+    const double cdf = pmf.CdfAt(t);
+    EXPECT_GE(cdf, prev);
+    prev = cdf;
+  }
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+}
+
+TEST(Pmf, ShiftAndScaleCompose) {
+  util::RngStream rng(99);
+  const Pmf pmf = RandomPmf(rng, 16);
+  const Pmf a = pmf.Shift(10.0).ScaleValues(2.0);
+  const Pmf b = pmf.ScaleValues(2.0).Shift(20.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a.impulses()[i].value, b.impulses()[i].value, 1e-9);
+    EXPECT_DOUBLE_EQ(a.impulses()[i].prob, b.impulses()[i].prob);
+  }
+}
+
+TEST(Pmf, StreamOutputListsImpulses) {
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});
+  std::ostringstream os;
+  os << pmf;
+  EXPECT_NE(os.str().find("(1, 0.5)"), std::string::npos);
+}
+
+TEST(Pmf, EmptyPmfOperationsThrow) {
+  const Pmf empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW((void)empty.Expectation(), std::invalid_argument);
+  EXPECT_THROW((void)empty.Min(), std::invalid_argument);
+  EXPECT_THROW((void)empty.CdfAt(0.0), std::invalid_argument);
+  EXPECT_THROW((void)empty.Shift(1.0), std::invalid_argument);
+  EXPECT_THROW((void)empty.TruncateBelow(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::pmf

@@ -1,0 +1,88 @@
+#include "cluster/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecdra::cluster {
+namespace {
+
+PowerModelInputs ReferenceInputs() {
+  PowerModelInputs inputs;
+  inputs.p0_power_watts = 130.0;
+  inputs.high_voltage = 1.5;
+  inputs.low_voltage = 1.0;
+  inputs.frequency_ratios = {1.0, 0.8, 0.64, 0.512, 0.4096};
+  return inputs;
+}
+
+TEST(PowerModel, AnchorsP0Power) {
+  const PStateProfile profile = BuildPStateProfile(ReferenceInputs());
+  EXPECT_DOUBLE_EQ(profile[0].power_watts, 130.0);
+  EXPECT_DOUBLE_EQ(profile[0].voltage, 1.5);
+  EXPECT_DOUBLE_EQ(profile[0].frequency_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(profile[0].time_multiplier, 1.0);
+}
+
+TEST(PowerModel, VoltageInterpolatesLinearly) {
+  const PStateProfile profile = BuildPStateProfile(ReferenceInputs());
+  EXPECT_DOUBLE_EQ(profile[1].voltage, 1.375);
+  EXPECT_DOUBLE_EQ(profile[2].voltage, 1.25);
+  EXPECT_DOUBLE_EQ(profile[3].voltage, 1.125);
+  EXPECT_DOUBLE_EQ(profile[4].voltage, 1.0);
+}
+
+TEST(PowerModel, PowerFollowsCmosFormula) {
+  // P = ACL * V^2 * f with ACL = 130 / 1.5^2.
+  const PStateProfile profile = BuildPStateProfile(ReferenceInputs());
+  const double acl = 130.0 / (1.5 * 1.5);
+  for (std::size_t s = 0; s < kNumPStates; ++s) {
+    EXPECT_NEAR(profile[s].power_watts,
+                acl * profile[s].voltage * profile[s].voltage *
+                    profile[s].frequency_ratio,
+                1e-12);
+  }
+}
+
+TEST(PowerModel, PowerStrictlyDecreasesTowardP4) {
+  const PStateProfile profile = BuildPStateProfile(ReferenceInputs());
+  for (std::size_t s = 1; s < kNumPStates; ++s) {
+    EXPECT_LT(profile[s].power_watts, profile[s - 1].power_watts);
+    EXPECT_GT(profile[s].time_multiplier, profile[s - 1].time_multiplier);
+  }
+}
+
+TEST(PowerModel, TimeMultiplierIsInverseFrequency) {
+  const PStateProfile profile = BuildPStateProfile(ReferenceInputs());
+  for (std::size_t s = 0; s < kNumPStates; ++s) {
+    EXPECT_NEAR(profile[s].time_multiplier * profile[s].frequency_ratio, 1.0,
+                1e-12);
+  }
+}
+
+TEST(PowerModel, LowStateDrawsRoughlyQuarterOfHigh) {
+  // The paper notes the §VI distributions yield P4 power around 25% of P0.
+  const PStateProfile profile = BuildPStateProfile(ReferenceInputs());
+  const double ratio = profile[4].power_watts / profile[0].power_watts;
+  EXPECT_GT(ratio, 0.10);
+  EXPECT_LT(ratio, 0.40);
+}
+
+TEST(PowerModel, RejectsInvalidInputs) {
+  PowerModelInputs inputs = ReferenceInputs();
+  inputs.p0_power_watts = 0.0;
+  EXPECT_THROW((void)BuildPStateProfile(inputs), std::invalid_argument);
+
+  inputs = ReferenceInputs();
+  inputs.low_voltage = 1.6;  // above high
+  EXPECT_THROW((void)BuildPStateProfile(inputs), std::invalid_argument);
+
+  inputs = ReferenceInputs();
+  inputs.frequency_ratios[0] = 0.9;  // P0 must be exactly 1
+  EXPECT_THROW((void)BuildPStateProfile(inputs), std::invalid_argument);
+
+  inputs = ReferenceInputs();
+  inputs.frequency_ratios = {1.0, 0.8, 0.9, 0.5, 0.4};  // not decreasing
+  EXPECT_THROW((void)BuildPStateProfile(inputs), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::cluster

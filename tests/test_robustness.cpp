@@ -1,0 +1,97 @@
+#include "robustness/robustness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ecdra::robustness {
+namespace {
+
+TEST(OnTimeProbability, IdleCoreIsExecCdfAtRemainingSlack) {
+  const CoreQueueModel core;
+  const pmf::Pmf exec = test::TwoPoint(10.0, 20.0);
+  // At now = 5, deadline 16: only the 10-unit execution (finishing at 15)
+  // meets it.
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 5.0, exec, 16.0), 0.5);
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 5.0, exec, 26.0), 1.0);
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 5.0, exec, 14.0), 0.0);
+}
+
+TEST(OnTimeProbability, BusyCoreCombinesReadyAndExec) {
+  const pmf::Pmf running = pmf::Pmf::Delta(10.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &running, 100.0}, 0.0);
+  const pmf::Pmf exec = test::TwoPoint(5.0, 15.0);
+  // Ready at 10; completion at 15 or 25.
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 0.0, exec, 20.0), 0.5);
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 0.0, exec, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 0.0, exec, 14.0), 0.0);
+}
+
+TEST(OnTimeProbability, DeadlineBoundaryIsInclusive) {
+  const CoreQueueModel core;
+  const pmf::Pmf exec = pmf::Pmf::Delta(10.0);
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 0.0, exec, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(OnTimeProbability(core, 0.0, exec, 9.999), 0.0);
+}
+
+TEST(CoreRobustness, IdleCoreContributesZero) {
+  const CoreQueueModel core;
+  EXPECT_DOUBLE_EQ(CoreRobustness(core, 0.0), 0.0);
+}
+
+TEST(CoreRobustness, SumsPerTaskOnTimeProbabilities) {
+  const pmf::Pmf run = test::TwoPoint(10.0, 20.0);
+  const pmf::Pmf queued = pmf::Pmf::Delta(5.0);
+  CoreQueueModel core;
+  // Running task: deadline 15 -> P = 0.5. Queued task: completes at 15 or
+  // 25; deadline 16 -> P = 0.5.
+  core.StartTask(ModeledTask{0, &run, 15.0}, 0.0);
+  core.Enqueue(ModeledTask{1, &queued, 16.0});
+  EXPECT_DOUBLE_EQ(CoreRobustness(core, 0.0), 1.0);
+}
+
+TEST(CoreRobustness, LateRunningTaskDecaysToZeroProbability) {
+  const pmf::Pmf run = test::TwoPoint(10.0, 20.0);
+  CoreQueueModel core;
+  core.StartTask(ModeledTask{0, &run, 15.0}, 0.0);
+  // At t = 10.5, the 10-impulse is past: completion is surely at 20 > 15.
+  EXPECT_DOUBLE_EQ(CoreRobustness(core, 10.5), 0.0);
+  // At t = 2 the completion pmf is still {10: .5, 20: .5}.
+  EXPECT_DOUBLE_EQ(CoreRobustness(core, 2.0), 0.5);
+}
+
+TEST(SystemRobustness, AddsAcrossCores) {
+  const pmf::Pmf run = pmf::Pmf::Delta(10.0);
+  std::vector<CoreQueueModel> cores(3);
+  cores[0].StartTask(ModeledTask{0, &run, 15.0}, 0.0);  // P = 1
+  cores[1].StartTask(ModeledTask{1, &run, 5.0}, 0.0);   // P = 0
+  // cores[2] idle.
+  EXPECT_DOUBLE_EQ(SystemRobustness(cores, 0.0), 1.0);
+}
+
+TEST(SystemRobustness, EqualsExpectedOnTimeCompletions) {
+  // rho(t) is an expectation: for independent two-point tasks the sum of
+  // the individual probabilities.
+  const pmf::Pmf run = test::TwoPoint(8.0, 12.0);
+  std::vector<CoreQueueModel> cores(2);
+  cores[0].StartTask(ModeledTask{0, &run, 10.0}, 0.0);  // P = 0.5
+  cores[1].StartTask(ModeledTask{1, &run, 10.0}, 0.0);  // P = 0.5
+  cores[1].Enqueue(ModeledTask{2, &run, 17.0});
+  // Task 2 completes at 16, 20, or 24 (probs .25, .5, .25); deadline 17.
+  EXPECT_DOUBLE_EQ(SystemRobustness(cores, 0.0), 0.5 + 0.5 + 0.25);
+}
+
+TEST(OnTimeProbability, ImprovesWithEarlierReadyCore) {
+  const pmf::Pmf busy_run = pmf::Pmf::Delta(30.0);
+  CoreQueueModel idle_core;
+  CoreQueueModel busy_core;
+  busy_core.StartTask(ModeledTask{0, &busy_run, 100.0}, 0.0);
+  const pmf::Pmf exec = test::TwoPoint(10.0, 20.0);
+  const double p_idle = OnTimeProbability(idle_core, 0.0, exec, 25.0);
+  const double p_busy = OnTimeProbability(busy_core, 0.0, exec, 25.0);
+  EXPECT_GT(p_idle, p_busy);
+}
+
+}  // namespace
+}  // namespace ecdra::robustness

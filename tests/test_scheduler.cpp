@@ -1,0 +1,153 @@
+#include "core/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "test_support.hpp"
+
+namespace ecdra::core {
+namespace {
+
+/// Filter that removes everything — forces discards.
+class RejectAllFilter final : public Filter {
+ public:
+  void Apply(MappingContext& ctx) override { ctx.candidates().clear(); }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "reject-all";
+  }
+};
+
+/// Filter that records the order it ran in.
+class ProbeFilter final : public Filter {
+ public:
+  ProbeFilter(std::vector<int>& order, int id) : order_(&order), id_(id) {}
+  void Apply(MappingContext&) override { order_->push_back(id_); }
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "probe";
+  }
+
+ private:
+  std::vector<int>* order_;
+  int id_;
+};
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : cluster_({test::SimpleNode(1, 2)}),
+        etc_(1, 1, {100.0}),
+        table_(cluster_, etc_, 0.25),
+        cores_(cluster_.total_cores()) {}
+
+  [[nodiscard]] ImmediateModeScheduler MakeScheduler(
+      std::vector<std::unique_ptr<Filter>> filters, double budget = 1e9,
+      std::size_t window = 10) {
+    return ImmediateModeScheduler(cluster_, table_,
+                                  MakeHeuristic("SQ", util::RngStream(1)),
+                                  std::move(filters), budget, window);
+  }
+
+  [[nodiscard]] workload::Task TaskAt(std::size_t id, double arrival) const {
+    return workload::Task{id, 0, arrival, arrival + 1000.0};
+  }
+
+  cluster::Cluster cluster_;
+  workload::EtcMatrix etc_;
+  workload::TaskTypeTable table_;
+  std::vector<robustness::CoreQueueModel> cores_;
+};
+
+TEST_F(SchedulerTest, MapsTaskAndChargesEstimator) {
+  ImmediateModeScheduler scheduler = MakeScheduler({});
+  const auto chosen = scheduler.MapTask(TaskAt(0, 0.0), 0.0, cores_);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_DOUBLE_EQ(scheduler.estimator().remaining(), 1e9 - chosen->eec);
+  EXPECT_EQ(scheduler.tasks_seen(), 1u);
+  EXPECT_EQ(scheduler.tasks_discarded(), 0u);
+}
+
+TEST_F(SchedulerTest, DiscardsWhenFiltersEliminateEverything) {
+  std::vector<std::unique_ptr<Filter>> filters;
+  filters.push_back(std::make_unique<RejectAllFilter>());
+  ImmediateModeScheduler scheduler = MakeScheduler(std::move(filters));
+  const auto chosen = scheduler.MapTask(TaskAt(0, 0.0), 0.0, cores_);
+  EXPECT_FALSE(chosen.has_value());
+  EXPECT_EQ(scheduler.tasks_discarded(), 1u);
+  EXPECT_DOUBLE_EQ(scheduler.estimator().remaining(), 1e9);  // no charge
+}
+
+TEST_F(SchedulerTest, RunsFiltersInOrder) {
+  std::vector<int> order;
+  std::vector<std::unique_ptr<Filter>> filters;
+  filters.push_back(std::make_unique<ProbeFilter>(order, 1));
+  filters.push_back(std::make_unique<ProbeFilter>(order, 2));
+  ImmediateModeScheduler scheduler = MakeScheduler(std::move(filters));
+  (void)scheduler.MapTask(TaskAt(0, 0.0), 0.0, cores_);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST_F(SchedulerTest, EnergyFilterSeesDecliningBudgetView) {
+  // With a budget of ~2.2 task-energies and fair-share filtering over a
+  // 2-task window, the first task passes and consumes; later fair shares
+  // shrink accordingly.
+  const double one_task_eec = 100.0 * 100.0;  // EET 100 x 100 W / 1.0
+  std::vector<std::unique_ptr<Filter>> filters = MakeFilterChain("en");
+  ImmediateModeScheduler scheduler =
+      MakeScheduler(std::move(filters), 2.2 * one_task_eec, 2);
+  const auto first = scheduler.MapTask(TaskAt(0, 0.0), 0.0, cores_);
+  ASSERT_TRUE(first.has_value());
+  const auto second = scheduler.MapTask(TaskAt(1, 1.0), 1.0, cores_);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(scheduler.estimator().remaining(),
+                   2.2 * one_task_eec - first->eec - second->eec);
+}
+
+TEST_F(SchedulerTest, ThrowsWhenWindowOverflows) {
+  ImmediateModeScheduler scheduler = MakeScheduler({}, 1e9, 1);
+  (void)scheduler.MapTask(TaskAt(0, 0.0), 0.0, cores_);
+  EXPECT_THROW((void)scheduler.MapTask(TaskAt(1, 1.0), 1.0, cores_),
+               std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, VariantNames) {
+  EXPECT_EQ(MakeScheduler({}).VariantName(), "SQ (none)");
+  EXPECT_EQ(MakeScheduler(MakeFilterChain("en")).VariantName(), "SQ (en)");
+  EXPECT_EQ(MakeScheduler(MakeFilterChain("en+rob")).VariantName(),
+            "SQ (en+rob)");
+}
+
+TEST_F(SchedulerTest, RejectsInvalidConstruction) {
+  EXPECT_THROW((void)ImmediateModeScheduler(cluster_, table_, nullptr, {},
+                                            1e9, 10),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ImmediateModeScheduler(cluster_, table_,
+                                   MakeHeuristic("SQ", util::RngStream(1)),
+                                   {}, 0.0, 10),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)ImmediateModeScheduler(cluster_, table_,
+                                   MakeHeuristic("SQ", util::RngStream(1)),
+                                   {}, 1e9, 0),
+      std::invalid_argument);
+  std::vector<std::unique_ptr<Filter>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(
+      (void)ImmediateModeScheduler(cluster_, table_,
+                                   MakeHeuristic("SQ", util::RngStream(1)),
+                                   std::move(with_null), 1e9, 10),
+      std::invalid_argument);
+}
+
+TEST_F(SchedulerTest, LastTaskStillGetsPositiveFairShare) {
+  // T_left includes the current task (DESIGN.md decision 6): the final task
+  // of the window must not be divided by zero / discarded spuriously.
+  std::vector<std::unique_ptr<Filter>> filters = MakeFilterChain("en");
+  ImmediateModeScheduler scheduler =
+      MakeScheduler(std::move(filters), 1e9, 1);
+  const auto chosen = scheduler.MapTask(TaskAt(0, 0.0), 0.0, cores_);
+  EXPECT_TRUE(chosen.has_value());
+}
+
+}  // namespace
+}  // namespace ecdra::core

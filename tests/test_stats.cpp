@@ -1,0 +1,193 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "stats/ascii_plot.hpp"
+#include "stats/gnuplot_writer.hpp"
+#include "stats/quantile.hpp"
+#include "stats/summary.hpp"
+#include "stats/table_writer.hpp"
+
+namespace ecdra::stats {
+namespace {
+
+TEST(Quantile, Type7KnownValues) {
+  const std::vector<double> data{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(data, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(data, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Quantile(data, 0.25), 1.75);
+  EXPECT_DOUBLE_EQ(Quantile(data, 0.75), 3.25);
+}
+
+TEST(Quantile, SingleElement) {
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(Quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(Quantile, SortsUnsortedInput) {
+  EXPECT_DOUBLE_EQ(Quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Quantile, RejectsInvalidInput) {
+  EXPECT_THROW((void)Quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)Quantile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)Quantile({1.0}, 1.1), std::invalid_argument);
+  const std::vector<double> unsorted{3.0, 1.0};
+  EXPECT_THROW((void)QuantileSorted(unsorted, 0.5), std::invalid_argument);
+}
+
+TEST(Summarize, FiveNumberSummary) {
+  const BoxWhisker box = Summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(box.n, 5u);
+  EXPECT_DOUBLE_EQ(box.min, 1.0);
+  EXPECT_DOUBLE_EQ(box.q1, 2.0);
+  EXPECT_DOUBLE_EQ(box.median, 3.0);
+  EXPECT_DOUBLE_EQ(box.q3, 4.0);
+  EXPECT_DOUBLE_EQ(box.max, 5.0);
+  EXPECT_DOUBLE_EQ(box.mean, 3.0);
+  EXPECT_DOUBLE_EQ(box.iqr(), 2.0);
+  EXPECT_TRUE(box.outliers.empty());
+  EXPECT_DOUBLE_EQ(box.lower_whisker, 1.0);
+  EXPECT_DOUBLE_EQ(box.upper_whisker, 5.0);
+}
+
+TEST(Summarize, MedianOfEvenCountInterpolates) {
+  const BoxWhisker box = Summarize({1.0, 2.0, 3.0, 10.0});
+  EXPECT_DOUBLE_EQ(box.median, 2.5);
+}
+
+TEST(Summarize, FlagsTukeyOutliers) {
+  // 100 is far beyond Q3 + 1.5 IQR of the bulk.
+  const BoxWhisker box =
+      Summarize({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 100.0});
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], 100.0);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);       // max still the true max
+  EXPECT_LT(box.upper_whisker, 100.0);    // whisker excludes the outlier
+}
+
+TEST(Summarize, ConstantSample) {
+  const BoxWhisker box = Summarize({4.0, 4.0, 4.0});
+  EXPECT_DOUBLE_EQ(box.min, 4.0);
+  EXPECT_DOUBLE_EQ(box.max, 4.0);
+  EXPECT_DOUBLE_EQ(box.iqr(), 0.0);
+  EXPECT_TRUE(box.outliers.empty());
+}
+
+TEST(Summarize, RejectsEmpty) {
+  EXPECT_THROW((void)Summarize({}), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumnsInTextOutput) {
+  Table table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  table.PrintText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All lines equally indented: "value" column starts at the same offset.
+  const std::size_t header_pos = out.find("value");
+  const std::size_t row_pos = out.find("22");
+  EXPECT_EQ(header_pos % (out.find('\n') + 1), row_pos % (out.find('\n') + 1));
+}
+
+TEST(Table, CsvOutput) {
+  Table table({"a", "b"});
+  table.AddRow({"1", "2"});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Num(1234.5, 1), "1234.5");
+}
+
+TEST(Table, RejectsMismatchedRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.AddRow({"only-one"}), std::invalid_argument);
+  EXPECT_THROW((void)Table({}), std::invalid_argument);
+}
+
+TEST(AsciiPlot, RendersMarkersAndLabels) {
+  const BoxWhisker box = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  const std::string plot = RenderBoxPlot({{"series-a", box}}, 40);
+  EXPECT_NE(plot.find("series-a"), std::string::npos);
+  EXPECT_NE(plot.find('['), std::string::npos);
+  EXPECT_NE(plot.find(']'), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find("1.0"), std::string::npos);
+  EXPECT_NE(plot.find("5.0"), std::string::npos);
+}
+
+TEST(AsciiPlot, MarksOutliers) {
+  const BoxWhisker box =
+      Summarize({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 100.0});
+  const std::string plot = RenderBoxPlot({{"s", box}}, 60);
+  EXPECT_NE(plot.find('o'), std::string::npos);
+}
+
+TEST(AsciiPlot, SharedAxisAcrossSeries) {
+  const BoxWhisker lo = Summarize({0.0, 1.0, 2.0});
+  const BoxWhisker hi = Summarize({98.0, 99.0, 100.0});
+  const std::string plot = RenderBoxPlot({{"lo", lo}, {"hi", hi}}, 50);
+  // The low series sits left, the high series right of the shared axis.
+  const std::size_t lo_line = plot.find("lo");
+  const std::size_t hi_line = plot.find("hi");
+  const std::size_t lo_box = plot.find('#', lo_line);
+  const std::size_t hi_box = plot.find('#', hi_line);
+  EXPECT_LT(lo_box - lo_line, hi_box - hi_line);
+}
+
+TEST(AsciiPlot, HandlesDegenerateEqualValues) {
+  const BoxWhisker box = Summarize({5.0, 5.0, 5.0});
+  const std::string plot = RenderBoxPlot({{"flat", box}}, 30);
+  EXPECT_NE(plot.find("flat"), std::string::npos);
+}
+
+TEST(AsciiPlot, RejectsBadInput) {
+  EXPECT_THROW((void)RenderBoxPlot({}, 40), std::invalid_argument);
+  const BoxWhisker box = Summarize({1.0});
+  EXPECT_THROW((void)RenderBoxPlot({{"s", box}}, 4), std::invalid_argument);
+}
+
+TEST(GnuplotWriter, DataRowsFollowCandlestickConvention) {
+  const BoxWhisker box = Summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  std::ostringstream os;
+  WriteGnuplotData(os, {{"series-a", box}});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# x q1"), std::string::npos);
+  // x=1, q1=2, whiskers 1/5, q3=4, median=3.
+  EXPECT_NE(out.find("1 2 1 5 4 3 \"series-a\""), std::string::npos);
+}
+
+TEST(GnuplotWriter, ScriptReferencesDataAndOutput) {
+  const BoxWhisker box = Summarize({1.0, 2.0, 3.0});
+  std::ostringstream os;
+  WriteGnuplotScript(os, "My title", "misses", {{"a", box}, {"b", box}},
+                     "fig.dat", "fig.png");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("set output 'fig.png'"), std::string::npos);
+  EXPECT_NE(out.find("set title 'My title'"), std::string::npos);
+  EXPECT_NE(out.find("candlesticks"), std::string::npos);
+  EXPECT_NE(out.find("\"a\" 1"), std::string::npos);
+  EXPECT_NE(out.find("\"b\" 2"), std::string::npos);
+  EXPECT_NE(out.find("'fig.dat'"), std::string::npos);
+}
+
+TEST(GnuplotWriter, RejectsEmptySeries) {
+  std::ostringstream os;
+  EXPECT_THROW(WriteGnuplotData(os, {}), std::invalid_argument);
+  EXPECT_THROW(WriteGnuplotScript(os, "t", "y", {}, "d", "p"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::stats

@@ -1,0 +1,79 @@
+#include "workload/trace_io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ecdra::workload {
+namespace {
+
+std::vector<Task> SampleTasks() {
+  return {
+      Task{0, 17, 1.25, 2500.75, 1.0},
+      Task{1, 3, 8.0, 3000.0, 4.0},
+      Task{2, 99, 123.456789012345, 4567.890123456789, 0.5},
+  };
+}
+
+TEST(TraceIo, RoundTripsThroughStream) {
+  std::stringstream buffer;
+  WriteTrace(buffer, SampleTasks());
+  EXPECT_EQ(ReadTrace(buffer), SampleTasks());
+}
+
+TEST(TraceIo, RoundTripsEmptyTrace) {
+  std::stringstream buffer;
+  WriteTrace(buffer, {});
+  EXPECT_TRUE(ReadTrace(buffer).empty());
+}
+
+TEST(TraceIo, PreservesFullDoublePrecision) {
+  const std::vector<Task> tasks{Task{0, 0, 1.0 / 3.0, 2.0 / 7.0, 1.0}};
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks);
+  const std::vector<Task> back = ReadTrace(buffer);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_DOUBLE_EQ(back[0].arrival, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(back[0].deadline, 2.0 / 7.0);
+}
+
+TEST(TraceIo, RejectsMissingOrWrongHeader) {
+  std::stringstream empty;
+  EXPECT_THROW((void)ReadTrace(empty), std::invalid_argument);
+  std::stringstream wrong("id,oops\n");
+  EXPECT_THROW((void)ReadTrace(wrong), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsMalformedRows) {
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority\n1,2,notanumber,4,1\n");
+  EXPECT_THROW((void)ReadTrace(bad), std::invalid_argument);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream buffer("id,type,arrival,deadline,priority\n\n0,1,2,3,1\n\n");
+  const std::vector<Task> tasks = ReadTrace(buffer);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].type, 1u);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ecdra_trace_test.csv")
+          .string();
+  WriteTraceFile(path, SampleTasks());
+  EXPECT_EQ(ReadTraceFile(path), SampleTasks());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)ReadTraceFile("/nonexistent/dir/trace.csv"),
+               std::invalid_argument);
+  EXPECT_THROW(WriteTraceFile("/nonexistent/dir/trace.csv", SampleTasks()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecdra::workload
