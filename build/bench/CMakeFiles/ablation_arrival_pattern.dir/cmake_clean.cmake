@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_arrival_pattern.dir/ablation_arrival_pattern.cpp.o"
+  "CMakeFiles/ablation_arrival_pattern.dir/ablation_arrival_pattern.cpp.o.d"
+  "ablation_arrival_pattern"
+  "ablation_arrival_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_arrival_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

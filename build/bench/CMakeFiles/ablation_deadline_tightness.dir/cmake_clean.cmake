@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_deadline_tightness.dir/ablation_deadline_tightness.cpp.o"
+  "CMakeFiles/ablation_deadline_tightness.dir/ablation_deadline_tightness.cpp.o.d"
+  "ablation_deadline_tightness"
+  "ablation_deadline_tightness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_deadline_tightness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idle_policy.dir/ablation_idle_policy.cpp.o"
+  "CMakeFiles/ablation_idle_policy.dir/ablation_idle_policy.cpp.o.d"
+  "ablation_idle_policy"
+  "ablation_idle_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rho_thresh.dir/ablation_rho_thresh.cpp.o"
+  "CMakeFiles/ablation_rho_thresh.dir/ablation_rho_thresh.cpp.o.d"
+  "ablation_rho_thresh"
+  "ablation_rho_thresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rho_thresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

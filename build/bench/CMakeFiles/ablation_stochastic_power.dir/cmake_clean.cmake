@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stochastic_power.dir/ablation_stochastic_power.cpp.o"
+  "CMakeFiles/ablation_stochastic_power.dir/ablation_stochastic_power.cpp.o.d"
+  "ablation_stochastic_power"
+  "ablation_stochastic_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stochastic_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transition_latency.dir/ablation_transition_latency.cpp.o"
+  "CMakeFiles/ablation_transition_latency.dir/ablation_transition_latency.cpp.o.d"
+  "ablation_transition_latency"
+  "ablation_transition_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transition_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

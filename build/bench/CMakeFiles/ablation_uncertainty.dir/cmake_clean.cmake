@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_uncertainty.dir/ablation_uncertainty.cpp.o"
+  "CMakeFiles/ablation_uncertainty.dir/ablation_uncertainty.cpp.o.d"
+  "ablation_uncertainty"
+  "ablation_uncertainty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_uncertainty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_zeta_mul.dir/ablation_zeta_mul.cpp.o"
+  "CMakeFiles/ablation_zeta_mul.dir/ablation_zeta_mul.cpp.o.d"
+  "ablation_zeta_mul"
+  "ablation_zeta_mul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_zeta_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

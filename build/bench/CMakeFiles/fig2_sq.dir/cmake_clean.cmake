@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sq.dir/fig2_sq.cpp.o"
+  "CMakeFiles/fig2_sq.dir/fig2_sq.cpp.o.d"
+  "fig2_sq"
+  "fig2_sq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mect.dir/fig3_mect.cpp.o"
+  "CMakeFiles/fig3_mect.dir/fig3_mect.cpp.o.d"
+  "fig3_mect"
+  "fig3_mect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ll.dir/fig4_ll.cpp.o"
+  "CMakeFiles/fig4_ll.dir/fig4_ll.cpp.o.d"
+  "fig4_ll"
+  "fig4_ll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_random.dir/fig5_random.cpp.o"
+  "CMakeFiles/fig5_random.dir/fig5_random.cpp.o.d"
+  "fig5_random"
+  "fig5_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

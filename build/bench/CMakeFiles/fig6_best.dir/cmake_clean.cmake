@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_best.dir/fig6_best.cpp.o"
+  "CMakeFiles/fig6_best.dir/fig6_best.cpp.o.d"
+  "fig6_best"
+  "fig6_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

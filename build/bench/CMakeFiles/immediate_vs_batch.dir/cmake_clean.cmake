@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/immediate_vs_batch.dir/immediate_vs_batch.cpp.o"
+  "CMakeFiles/immediate_vs_batch.dir/immediate_vs_batch.cpp.o.d"
+  "immediate_vs_batch"
+  "immediate_vs_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/immediate_vs_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

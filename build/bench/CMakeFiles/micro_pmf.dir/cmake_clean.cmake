@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pmf.dir/micro_pmf.cpp.o"
+  "CMakeFiles/micro_pmf.dir/micro_pmf.cpp.o.d"
+  "micro_pmf"
+  "micro_pmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_scheduling.dir/priority_scheduling.cpp.o"
+  "CMakeFiles/priority_scheduling.dir/priority_scheduling.cpp.o.d"
+  "priority_scheduling"
+  "priority_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_validation.dir/robustness_validation.cpp.o"
+  "CMakeFiles/robustness_validation.dir/robustness_validation.cpp.o.d"
+  "robustness_validation"
+  "robustness_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig2_smoke "/root/repo/build/bench/fig2_sq" "2" "/root/repo/build/fig2_smoke.csv" "/root/repo/build/fig2_smoke")
+set_tests_properties(bench_fig2_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;38;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_validation_smoke "/root/repo/build/bench/robustness_validation" "1")
+set_tests_properties(bench_validation_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;41;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversubscribed_burst.dir/oversubscribed_burst.cpp.o"
+  "CMakeFiles/oversubscribed_burst.dir/oversubscribed_burst.cpp.o.d"
+  "oversubscribed_burst"
+  "oversubscribed_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversubscribed_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oversubscribed_burst.
+# This may be replaced when dependencies are built.

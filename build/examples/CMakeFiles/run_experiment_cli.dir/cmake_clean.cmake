@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_experiment_cli.dir/run_experiment_cli.cpp.o"
+  "CMakeFiles/run_experiment_cli.dir/run_experiment_cli.cpp.o.d"
+  "run_experiment_cli"
+  "run_experiment_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_experiment_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "1")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_oversubscribed_burst "/root/repo/build/examples/oversubscribed_burst" "SQ" "en" "0")
+set_tests_properties(example_oversubscribed_burst PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_heuristic "/root/repo/build/examples/custom_heuristic" "2")
+set_tests_properties(example_custom_heuristic PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli "/root/repo/build/examples/run_experiment_cli" "--trials" "2" "--heuristic" "SQ" "--variant" "en")
+set_tests_properties(example_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_csv "/root/repo/build/examples/run_experiment_cli" "--trials" "1" "--heuristic" "MECT" "--variant" "none" "--csv")
+set_tests_properties(example_cli_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

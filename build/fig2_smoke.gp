@@ -1,0 +1,12 @@
+set terminal pngcairo size 900,540
+set output '/root/repo/build/fig2_smoke.png'
+set title 'Figure 2 — SQ heuristic, all filter variants'
+set ylabel 'missed deadlines'
+set boxwidth 0.4
+set style fill empty
+set grid ytics
+unset key
+set xrange [0.5:4.5]
+set xtics ("SQ (none)" 1, "SQ (en)" 2, "SQ (rob)" 3, "SQ (en+rob)" 4) rotate by -20
+plot '/root/repo/build/fig2_smoke.dat' using 1:2:3:4:5 with candlesticks whiskerbars lt 1, \
+     '' using 1:6:6:6:6 with candlesticks lt -1

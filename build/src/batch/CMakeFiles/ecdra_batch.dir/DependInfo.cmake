@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batch/batch_engine.cpp" "src/batch/CMakeFiles/ecdra_batch.dir/batch_engine.cpp.o" "gcc" "src/batch/CMakeFiles/ecdra_batch.dir/batch_engine.cpp.o.d"
+  "/root/repo/src/batch/batch_heuristics.cpp" "src/batch/CMakeFiles/ecdra_batch.dir/batch_heuristics.cpp.o" "gcc" "src/batch/CMakeFiles/ecdra_batch.dir/batch_heuristics.cpp.o.d"
+  "/root/repo/src/batch/batch_runner.cpp" "src/batch/CMakeFiles/ecdra_batch.dir/batch_runner.cpp.o" "gcc" "src/batch/CMakeFiles/ecdra_batch.dir/batch_runner.cpp.o.d"
+  "/root/repo/src/batch/batch_scheduler.cpp" "src/batch/CMakeFiles/ecdra_batch.dir/batch_scheduler.cpp.o" "gcc" "src/batch/CMakeFiles/ecdra_batch.dir/batch_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ecdra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecdra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecdra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ecdra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmf/CMakeFiles/ecdra_pmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/ecdra_robustness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

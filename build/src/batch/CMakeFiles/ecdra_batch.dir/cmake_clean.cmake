@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_batch.dir/batch_engine.cpp.o"
+  "CMakeFiles/ecdra_batch.dir/batch_engine.cpp.o.d"
+  "CMakeFiles/ecdra_batch.dir/batch_heuristics.cpp.o"
+  "CMakeFiles/ecdra_batch.dir/batch_heuristics.cpp.o.d"
+  "CMakeFiles/ecdra_batch.dir/batch_runner.cpp.o"
+  "CMakeFiles/ecdra_batch.dir/batch_runner.cpp.o.d"
+  "CMakeFiles/ecdra_batch.dir/batch_scheduler.cpp.o"
+  "CMakeFiles/ecdra_batch.dir/batch_scheduler.cpp.o.d"
+  "libecdra_batch.a"
+  "libecdra_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

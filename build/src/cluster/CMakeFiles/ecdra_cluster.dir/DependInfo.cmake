@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/ecdra_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/ecdra_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/cluster_builder.cpp" "src/cluster/CMakeFiles/ecdra_cluster.dir/cluster_builder.cpp.o" "gcc" "src/cluster/CMakeFiles/ecdra_cluster.dir/cluster_builder.cpp.o.d"
+  "/root/repo/src/cluster/energy_accounting.cpp" "src/cluster/CMakeFiles/ecdra_cluster.dir/energy_accounting.cpp.o" "gcc" "src/cluster/CMakeFiles/ecdra_cluster.dir/energy_accounting.cpp.o.d"
+  "/root/repo/src/cluster/power_model.cpp" "src/cluster/CMakeFiles/ecdra_cluster.dir/power_model.cpp.o" "gcc" "src/cluster/CMakeFiles/ecdra_cluster.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmf/CMakeFiles/ecdra_pmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ecdra_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/ecdra_cluster.dir/cluster_builder.cpp.o"
+  "CMakeFiles/ecdra_cluster.dir/cluster_builder.cpp.o.d"
+  "CMakeFiles/ecdra_cluster.dir/energy_accounting.cpp.o"
+  "CMakeFiles/ecdra_cluster.dir/energy_accounting.cpp.o.d"
+  "CMakeFiles/ecdra_cluster.dir/power_model.cpp.o"
+  "CMakeFiles/ecdra_cluster.dir/power_model.cpp.o.d"
+  "libecdra_cluster.a"
+  "libecdra_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

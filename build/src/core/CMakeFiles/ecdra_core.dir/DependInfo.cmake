@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/energy_estimator.cpp" "src/core/CMakeFiles/ecdra_core.dir/energy_estimator.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/energy_estimator.cpp.o.d"
+  "/root/repo/src/core/energy_filter.cpp" "src/core/CMakeFiles/ecdra_core.dir/energy_filter.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/energy_filter.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "src/core/CMakeFiles/ecdra_core.dir/factory.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/factory.cpp.o.d"
+  "/root/repo/src/core/kpb.cpp" "src/core/CMakeFiles/ecdra_core.dir/kpb.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/kpb.cpp.o.d"
+  "/root/repo/src/core/lightest_load.cpp" "src/core/CMakeFiles/ecdra_core.dir/lightest_load.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/lightest_load.cpp.o.d"
+  "/root/repo/src/core/mapping_context.cpp" "src/core/CMakeFiles/ecdra_core.dir/mapping_context.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/mapping_context.cpp.o.d"
+  "/root/repo/src/core/mect.cpp" "src/core/CMakeFiles/ecdra_core.dir/mect.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/mect.cpp.o.d"
+  "/root/repo/src/core/met.cpp" "src/core/CMakeFiles/ecdra_core.dir/met.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/met.cpp.o.d"
+  "/root/repo/src/core/olb.cpp" "src/core/CMakeFiles/ecdra_core.dir/olb.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/olb.cpp.o.d"
+  "/root/repo/src/core/random_heuristic.cpp" "src/core/CMakeFiles/ecdra_core.dir/random_heuristic.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/random_heuristic.cpp.o.d"
+  "/root/repo/src/core/robustness_filter.cpp" "src/core/CMakeFiles/ecdra_core.dir/robustness_filter.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/robustness_filter.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/ecdra_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/shortest_queue.cpp" "src/core/CMakeFiles/ecdra_core.dir/shortest_queue.cpp.o" "gcc" "src/core/CMakeFiles/ecdra_core.dir/shortest_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/robustness/CMakeFiles/ecdra_robustness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecdra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ecdra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmf/CMakeFiles/ecdra_pmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

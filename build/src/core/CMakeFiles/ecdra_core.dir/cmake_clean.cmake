@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_core.dir/energy_estimator.cpp.o"
+  "CMakeFiles/ecdra_core.dir/energy_estimator.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/energy_filter.cpp.o"
+  "CMakeFiles/ecdra_core.dir/energy_filter.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/factory.cpp.o"
+  "CMakeFiles/ecdra_core.dir/factory.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/kpb.cpp.o"
+  "CMakeFiles/ecdra_core.dir/kpb.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/lightest_load.cpp.o"
+  "CMakeFiles/ecdra_core.dir/lightest_load.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/mapping_context.cpp.o"
+  "CMakeFiles/ecdra_core.dir/mapping_context.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/mect.cpp.o"
+  "CMakeFiles/ecdra_core.dir/mect.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/met.cpp.o"
+  "CMakeFiles/ecdra_core.dir/met.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/olb.cpp.o"
+  "CMakeFiles/ecdra_core.dir/olb.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/random_heuristic.cpp.o"
+  "CMakeFiles/ecdra_core.dir/random_heuristic.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/robustness_filter.cpp.o"
+  "CMakeFiles/ecdra_core.dir/robustness_filter.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/scheduler.cpp.o"
+  "CMakeFiles/ecdra_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/ecdra_core.dir/shortest_queue.cpp.o"
+  "CMakeFiles/ecdra_core.dir/shortest_queue.cpp.o.d"
+  "libecdra_core.a"
+  "libecdra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

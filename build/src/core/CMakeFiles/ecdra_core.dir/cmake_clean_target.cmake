@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libecdra_core.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_experiment.dir/figure_harness.cpp.o"
+  "CMakeFiles/ecdra_experiment.dir/figure_harness.cpp.o.d"
+  "CMakeFiles/ecdra_experiment.dir/paper_config.cpp.o"
+  "CMakeFiles/ecdra_experiment.dir/paper_config.cpp.o.d"
+  "libecdra_experiment.a"
+  "libecdra_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

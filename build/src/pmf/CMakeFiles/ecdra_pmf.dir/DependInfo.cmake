@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmf/distribution_factory.cpp" "src/pmf/CMakeFiles/ecdra_pmf.dir/distribution_factory.cpp.o" "gcc" "src/pmf/CMakeFiles/ecdra_pmf.dir/distribution_factory.cpp.o.d"
+  "/root/repo/src/pmf/pmf.cpp" "src/pmf/CMakeFiles/ecdra_pmf.dir/pmf.cpp.o" "gcc" "src/pmf/CMakeFiles/ecdra_pmf.dir/pmf.cpp.o.d"
+  "/root/repo/src/pmf/special_functions.cpp" "src/pmf/CMakeFiles/ecdra_pmf.dir/special_functions.cpp.o" "gcc" "src/pmf/CMakeFiles/ecdra_pmf.dir/special_functions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_pmf.dir/distribution_factory.cpp.o"
+  "CMakeFiles/ecdra_pmf.dir/distribution_factory.cpp.o.d"
+  "CMakeFiles/ecdra_pmf.dir/pmf.cpp.o"
+  "CMakeFiles/ecdra_pmf.dir/pmf.cpp.o.d"
+  "CMakeFiles/ecdra_pmf.dir/special_functions.cpp.o"
+  "CMakeFiles/ecdra_pmf.dir/special_functions.cpp.o.d"
+  "libecdra_pmf.a"
+  "libecdra_pmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_pmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

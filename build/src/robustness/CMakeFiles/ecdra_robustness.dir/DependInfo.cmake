@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robustness/core_queue_model.cpp" "src/robustness/CMakeFiles/ecdra_robustness.dir/core_queue_model.cpp.o" "gcc" "src/robustness/CMakeFiles/ecdra_robustness.dir/core_queue_model.cpp.o.d"
+  "/root/repo/src/robustness/robustness.cpp" "src/robustness/CMakeFiles/ecdra_robustness.dir/robustness.cpp.o" "gcc" "src/robustness/CMakeFiles/ecdra_robustness.dir/robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmf/CMakeFiles/ecdra_pmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ecdra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

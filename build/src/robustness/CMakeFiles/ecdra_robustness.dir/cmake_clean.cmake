@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_robustness.dir/core_queue_model.cpp.o"
+  "CMakeFiles/ecdra_robustness.dir/core_queue_model.cpp.o.d"
+  "CMakeFiles/ecdra_robustness.dir/robustness.cpp.o"
+  "CMakeFiles/ecdra_robustness.dir/robustness.cpp.o.d"
+  "libecdra_robustness.a"
+  "libecdra_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/ecdra_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/ecdra_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/experiment_runner.cpp" "src/sim/CMakeFiles/ecdra_sim.dir/experiment_runner.cpp.o" "gcc" "src/sim/CMakeFiles/ecdra_sim.dir/experiment_runner.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/ecdra_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/ecdra_sim.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ecdra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/ecdra_robustness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecdra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ecdra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmf/CMakeFiles/ecdra_pmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

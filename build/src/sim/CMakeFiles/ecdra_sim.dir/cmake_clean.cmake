@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_sim.dir/engine.cpp.o"
+  "CMakeFiles/ecdra_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ecdra_sim.dir/experiment_runner.cpp.o"
+  "CMakeFiles/ecdra_sim.dir/experiment_runner.cpp.o.d"
+  "CMakeFiles/ecdra_sim.dir/metrics.cpp.o"
+  "CMakeFiles/ecdra_sim.dir/metrics.cpp.o.d"
+  "libecdra_sim.a"
+  "libecdra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

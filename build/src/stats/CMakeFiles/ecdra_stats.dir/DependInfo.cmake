@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/ascii_plot.cpp" "src/stats/CMakeFiles/ecdra_stats.dir/ascii_plot.cpp.o" "gcc" "src/stats/CMakeFiles/ecdra_stats.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/stats/gnuplot_writer.cpp" "src/stats/CMakeFiles/ecdra_stats.dir/gnuplot_writer.cpp.o" "gcc" "src/stats/CMakeFiles/ecdra_stats.dir/gnuplot_writer.cpp.o.d"
+  "/root/repo/src/stats/quantile.cpp" "src/stats/CMakeFiles/ecdra_stats.dir/quantile.cpp.o" "gcc" "src/stats/CMakeFiles/ecdra_stats.dir/quantile.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/ecdra_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/ecdra_stats.dir/summary.cpp.o.d"
+  "/root/repo/src/stats/table_writer.cpp" "src/stats/CMakeFiles/ecdra_stats.dir/table_writer.cpp.o" "gcc" "src/stats/CMakeFiles/ecdra_stats.dir/table_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_stats.dir/ascii_plot.cpp.o"
+  "CMakeFiles/ecdra_stats.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/ecdra_stats.dir/gnuplot_writer.cpp.o"
+  "CMakeFiles/ecdra_stats.dir/gnuplot_writer.cpp.o.d"
+  "CMakeFiles/ecdra_stats.dir/quantile.cpp.o"
+  "CMakeFiles/ecdra_stats.dir/quantile.cpp.o.d"
+  "CMakeFiles/ecdra_stats.dir/summary.cpp.o"
+  "CMakeFiles/ecdra_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/ecdra_stats.dir/table_writer.cpp.o"
+  "CMakeFiles/ecdra_stats.dir/table_writer.cpp.o.d"
+  "libecdra_stats.a"
+  "libecdra_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

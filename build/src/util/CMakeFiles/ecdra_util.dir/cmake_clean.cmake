@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_util.dir/rng.cpp.o"
+  "CMakeFiles/ecdra_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ecdra_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ecdra_util.dir/thread_pool.cpp.o.d"
+  "libecdra_util.a"
+  "libecdra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

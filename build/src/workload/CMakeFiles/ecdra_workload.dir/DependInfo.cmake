@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_process.cpp" "src/workload/CMakeFiles/ecdra_workload.dir/arrival_process.cpp.o" "gcc" "src/workload/CMakeFiles/ecdra_workload.dir/arrival_process.cpp.o.d"
+  "/root/repo/src/workload/deadline_model.cpp" "src/workload/CMakeFiles/ecdra_workload.dir/deadline_model.cpp.o" "gcc" "src/workload/CMakeFiles/ecdra_workload.dir/deadline_model.cpp.o.d"
+  "/root/repo/src/workload/etc_matrix.cpp" "src/workload/CMakeFiles/ecdra_workload.dir/etc_matrix.cpp.o" "gcc" "src/workload/CMakeFiles/ecdra_workload.dir/etc_matrix.cpp.o.d"
+  "/root/repo/src/workload/task_type_table.cpp" "src/workload/CMakeFiles/ecdra_workload.dir/task_type_table.cpp.o" "gcc" "src/workload/CMakeFiles/ecdra_workload.dir/task_type_table.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/ecdra_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/ecdra_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/workload_generator.cpp" "src/workload/CMakeFiles/ecdra_workload.dir/workload_generator.cpp.o" "gcc" "src/workload/CMakeFiles/ecdra_workload.dir/workload_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ecdra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmf/CMakeFiles/ecdra_pmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecdra_workload.dir/arrival_process.cpp.o"
+  "CMakeFiles/ecdra_workload.dir/arrival_process.cpp.o.d"
+  "CMakeFiles/ecdra_workload.dir/deadline_model.cpp.o"
+  "CMakeFiles/ecdra_workload.dir/deadline_model.cpp.o.d"
+  "CMakeFiles/ecdra_workload.dir/etc_matrix.cpp.o"
+  "CMakeFiles/ecdra_workload.dir/etc_matrix.cpp.o.d"
+  "CMakeFiles/ecdra_workload.dir/task_type_table.cpp.o"
+  "CMakeFiles/ecdra_workload.dir/task_type_table.cpp.o.d"
+  "CMakeFiles/ecdra_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/ecdra_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/ecdra_workload.dir/workload_generator.cpp.o"
+  "CMakeFiles/ecdra_workload.dir/workload_generator.cpp.o.d"
+  "libecdra_workload.a"
+  "libecdra_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecdra_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

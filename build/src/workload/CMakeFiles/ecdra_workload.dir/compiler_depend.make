@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ecdra_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distribution_factory.dir/test_distribution_factory.cpp.o"
+  "CMakeFiles/test_distribution_factory.dir/test_distribution_factory.cpp.o.d"
+  "test_distribution_factory"
+  "test_distribution_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distribution_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

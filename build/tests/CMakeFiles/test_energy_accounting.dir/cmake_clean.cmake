@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energy_accounting.dir/test_energy_accounting.cpp.o"
+  "CMakeFiles/test_energy_accounting.dir/test_energy_accounting.cpp.o.d"
+  "test_energy_accounting"
+  "test_energy_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energy_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etc_matrix.dir/test_etc_matrix.cpp.o"
+  "CMakeFiles/test_etc_matrix.dir/test_etc_matrix.cpp.o.d"
+  "test_etc_matrix"
+  "test_etc_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etc_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

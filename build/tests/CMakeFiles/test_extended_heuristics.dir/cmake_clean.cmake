@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extended_heuristics.dir/test_extended_heuristics.cpp.o"
+  "CMakeFiles/test_extended_heuristics.dir/test_extended_heuristics.cpp.o.d"
+  "test_extended_heuristics"
+  "test_extended_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extended_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heuristic_properties.dir/test_heuristic_properties.cpp.o"
+  "CMakeFiles/test_heuristic_properties.dir/test_heuristic_properties.cpp.o.d"
+  "test_heuristic_properties"
+  "test_heuristic_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heuristic_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

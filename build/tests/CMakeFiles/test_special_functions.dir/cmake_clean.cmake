@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_special_functions.dir/test_special_functions.cpp.o"
+  "CMakeFiles/test_special_functions.dir/test_special_functions.cpp.o.d"
+  "test_special_functions"
+  "test_special_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_special_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_type_table.dir/test_task_type_table.cpp.o"
+  "CMakeFiles/test_task_type_table.dir/test_task_type_table.cpp.o.d"
+  "test_task_type_table"
+  "test_task_type_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_type_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

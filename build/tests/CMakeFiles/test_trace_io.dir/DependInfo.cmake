@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/test_trace_io.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/test_trace_io.dir/test_trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/batch/CMakeFiles/ecdra_batch.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiment/CMakeFiles/ecdra_experiment.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ecdra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ecdra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ecdra_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/robustness/CMakeFiles/ecdra_robustness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ecdra_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmf/CMakeFiles/ecdra_pmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/ecdra_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ecdra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_generator.dir/test_workload_generator.cpp.o"
+  "CMakeFiles/test_workload_generator.dir/test_workload_generator.cpp.o.d"
+  "test_workload_generator"
+  "test_workload_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
