@@ -2,9 +2,11 @@
 // "because they are small (hundreds of microseconds) with respect to task
 // execution times (thousands of milliseconds)". This harness scales the
 // latency from zero up through a meaningful fraction of the ~1100-unit mean
-// execution time and reports where the assumption starts to bite. The
-// scheduler's completion-time model never sees the latency — exactly the
-// modelling error the paper accepts.
+// execution time and reports where the assumption starts to bite. At
+// decision time the scheduler's completion-time model does not anticipate
+// the latency of the switch it is about to trigger — exactly the modelling
+// error the paper accepts — but once a task starts, the queue model records
+// its true (delayed) start time.
 //
 // Usage: ./ablation_transition_latency [num_trials]   (default 15)
 #include <cstdlib>

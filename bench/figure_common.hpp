@@ -30,6 +30,10 @@ inline int RunFigureBench(int argc, char** argv, const std::string& title,
                           const std::vector<experiment::SeriesSpec>& specs,
                           const std::vector<PaperReference>& references) {
   sim::RunOptions options = experiment::PaperRunOptions();
+  // The figure benches always collect counters: the observability table
+  // costs well under the run-to-run noise and doubles as a sanity check
+  // that the filter chain and pmf caches behave as the paper describes.
+  options.collect_counters = true;
   if (argc > 1) {
     options.num_trials = static_cast<std::size_t>(std::atoi(argv[1]));
   }

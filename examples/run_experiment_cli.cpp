@@ -7,7 +7,8 @@
 //   run_experiment_cli [--heuristic SQ|MECT|LL|Random] [--variant none|en|rob|en+rob]
 //                      [--trials N] [--seed S] [--budget-scale X]
 //                      [--idle deepest|stay|gated] [--cancel never|hopeless]
-//                      [--rho-thresh P] [--csv]
+//                      [--rho-thresh P] [--csv] [--counters]
+//                      [--trace-out PATH]
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -31,7 +32,11 @@ namespace {
       << "  --idle POLICY      deepest | stay | gated    (default deepest)\n"
       << "  --cancel POLICY    never | hopeless          (default never)\n"
       << "  --rho-thresh P     robustness threshold      (default 0.5)\n"
-      << "  --csv              per-trial CSV instead of the summary table\n";
+      << "  --csv              per-trial CSV instead of the summary table\n"
+      << "  --counters         collect per-trial scheduler counters and\n"
+      << "                     print the cross-trial aggregate\n"
+      << "  --trace-out PATH   write a JSONL decision/energy trace (one\n"
+      << "                     record per arrival; implies --counters)\n";
   std::exit(2);
 }
 
@@ -88,6 +93,11 @@ int main(int argc, char** argv) {
       run.filter_options.robustness_threshold = std::stod(next());
     } else if (args[i] == "--csv") {
       csv = true;
+    } else if (args[i] == "--counters") {
+      run.collect_counters = true;
+    } else if (args[i] == "--trace-out") {
+      run.trace_path = next();
+      run.collect_counters = true;
     } else {
       Usage(argv[0]);
     }
@@ -132,5 +142,11 @@ int main(int argc, char** argv) {
   std::cout << heuristic << " (" << variant << "), seed " << seed << ", "
             << run.num_trials << " trials, budget x" << budget_scale << ":\n"
             << "  missed deadlines: " << box << "\n";
+  if (run.collect_counters) {
+    std::cout << '\n' << sim::SummarizeTrials(trials) << '\n';
+  }
+  if (!run.trace_path.empty()) {
+    std::cout << "trace written to " << run.trace_path << "\n";
+  }
   return 0;
 }

@@ -1,9 +1,28 @@
 #include "core/scheduler.hpp"
 
+#include <chrono>
+
 #include "core/mapping_context.hpp"
 #include "util/assert.hpp"
 
 namespace ecdra::core {
+namespace {
+
+/// Routes a per-filter count into the matching counter slot by the filter's
+/// public name ("en"/"rob"); unknown (custom) filters share one slot.
+std::uint64_t obs::Counters::* PrunedSlotFor(std::string_view filter_name) {
+  if (filter_name == "en") return &obs::Counters::pruned_energy;
+  if (filter_name == "rob") return &obs::Counters::pruned_robustness;
+  return &obs::Counters::pruned_other;
+}
+
+std::uint64_t obs::Counters::* DiscardSlotFor(std::string_view filter_name) {
+  if (filter_name == "en") return &obs::Counters::discarded_by_energy;
+  if (filter_name == "rob") return &obs::Counters::discarded_by_robustness;
+  return &obs::Counters::discarded_by_other;
+}
+
+}  // namespace
 
 ImmediateModeScheduler::ImmediateModeScheduler(
     const cluster::Cluster& cluster, const workload::TaskTypeTable& types,
@@ -33,19 +52,83 @@ std::optional<Candidate> ImmediateModeScheduler::MapTask(
   // non-degenerate fair share (DESIGN.md decision 6).
   const std::size_t tasks_left = window_size_ - tasks_seen_ + 1;
 
+  // Observability: counters and trace records are only assembled when an
+  // attachment exists; the common (detached) path pays two null-checks.
+  obs::Counters* const counters = obs_.counters;
+  obs::TraceSink* const trace = obs_.trace;
+  const bool timed = counters != nullptr || trace != nullptr;
+  std::chrono::steady_clock::time_point decision_start;
+  if (timed) decision_start = std::chrono::steady_clock::now();
+
   MappingContext ctx(*cluster_, *types_, cores, task, now);
   ctx.SetBudgetView(estimator_.remaining(), tasks_left);
+
+  const std::size_t candidates_generated = ctx.candidates().size();
+  if (counters != nullptr) {
+    counters->candidates_generated += candidates_generated;
+  }
+
+  obs::MappingDecisionRecord record;
+  if (trace != nullptr) record.stages.reserve(filters_.size());
+
+  std::string_view emptying_stage;  // filter that left no candidate
   for (const auto& filter : filters_) {
+    const std::size_t before = ctx.candidates().size();
     filter->Apply(ctx);
-    if (ctx.candidates().empty()) break;
+    const std::size_t after = ctx.candidates().size();
+    ECDRA_ASSERT(after <= before, "filters may only remove candidates");
+    if (counters != nullptr) {
+      counters->*PrunedSlotFor(filter->name()) += before - after;
+    }
+    if (trace != nullptr) {
+      record.stages.push_back(obs::FilterStageRecord{
+          std::string(filter->name()), before - after, after});
+    }
+    if (after == 0) {
+      emptying_stage = filter->name();
+      break;
+    }
   }
 
   std::optional<Candidate> chosen = heuristic_->Select(ctx);
-  if (!chosen) {
+  if (chosen) {
+    estimator_.Charge(chosen->eec);
+  } else {
     ++tasks_discarded_;
-    return std::nullopt;
   }
-  estimator_.Charge(chosen->eec);
+
+  if (counters != nullptr) {
+    if (chosen) {
+      ++counters->tasks_mapped;
+    } else {
+      ++counters->tasks_discarded;
+      ++(counters->*DiscardSlotFor(emptying_stage));
+    }
+  }
+  if (timed) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - decision_start;
+    if (counters != nullptr) counters->decision_seconds += elapsed.count();
+    if (trace != nullptr) {
+      record.trial = obs_.trial;
+      record.task_id = task.id;
+      record.time = now;
+      record.deadline = task.deadline;
+      record.candidates_generated = candidates_generated;
+      record.decision_us = elapsed.count() * 1e6;
+      if (chosen) {
+        record.assigned = true;
+        record.flat_core = chosen->assignment.flat_core;
+        record.pstate = chosen->assignment.pstate;
+        record.eet = chosen->eet;
+        record.eec = chosen->eec;
+        record.rho = ctx.OnTimeProbability(*chosen);
+      } else {
+        record.discard_stage = emptying_stage;
+      }
+      trace->Record(record);
+    }
+  }
   return chosen;
 }
 

@@ -18,11 +18,23 @@
 #include "core/energy_estimator.hpp"
 #include "core/filter.hpp"
 #include "core/heuristic.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "robustness/core_queue_model.hpp"
 #include "workload/task.hpp"
 #include "workload/task_type_table.hpp"
 
 namespace ecdra::core {
+
+/// Observability attachments for one trial's mapping pipeline. Both
+/// pointers are optional and unowned; null disables the corresponding
+/// instrumentation entirely (the decision path then costs one null-check).
+struct SchedulerObservability {
+  obs::Counters* counters = nullptr;
+  obs::TraceSink* trace = nullptr;
+  /// Trial index stamped into every trace record.
+  std::uint64_t trial = 0;
+};
 
 class ImmediateModeScheduler {
  public:
@@ -41,6 +53,12 @@ class ImmediateModeScheduler {
   [[nodiscard]] std::optional<Candidate> MapTask(
       const workload::Task& task, double now,
       std::span<const robustness::CoreQueueModel> cores);
+
+  /// Attaches per-trial counters and/or a decision-trace sink. Call before
+  /// the first MapTask; both attachments must outlive the scheduler's use.
+  void SetObservability(const SchedulerObservability& observability) noexcept {
+    obs_ = observability;
+  }
 
   [[nodiscard]] const EnergyEstimator& estimator() const noexcept {
     return estimator_;
@@ -62,6 +80,7 @@ class ImmediateModeScheduler {
   std::size_t window_size_;
   std::size_t tasks_seen_ = 0;
   std::size_t tasks_discarded_ = 0;
+  SchedulerObservability obs_;
 };
 
 }  // namespace ecdra::core

@@ -1,8 +1,10 @@
 #include "experiment/figure_harness.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "core/factory.hpp"
+#include "obs/counters.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/table_writer.hpp"
 
@@ -37,6 +39,7 @@ FigureResult RunFigure(const sim::ExperimentSetup& setup,
     series.mean_energy_fraction =
         energy_fraction_sum / static_cast<double>(trials.size());
     series.mean_discarded = discarded_sum / static_cast<double>(trials.size());
+    series.summary = sim::SummarizeTrials(trials);
     figure.series.push_back(std::move(series));
   }
   return figure;
@@ -89,6 +92,39 @@ void PrintFigure(std::ostream& os, const FigureResult& figure) {
     plot.push_back(stats::BoxPlotSeries{series.spec.label, series.box});
   }
   os << stats::RenderBoxPlot(plot) << '\n';
+
+  // Observability: only rendered when at least one series collected
+  // counters, so figures regenerated without telemetry look as before.
+  const bool have_counters = std::any_of(
+      figure.series.begin(), figure.series.end(),
+      [](const SeriesResult& series) { return !series.summary.counters.empty(); });
+  if (!have_counters) return;
+
+  os << "\nobservability (totals across trials; decision latency is "
+        "steady-clock wall time per MapTask):\n";
+  stats::Table counters_table(
+      {"series", "pruned en", "pruned rob", "disc en", "disc rob",
+       "ReadyPmf hit %", "convolve", "prob_sum_leq", "truncate",
+       "P-switches", "us/decision"});
+  for (const SeriesResult& series : figure.series) {
+    const obs::Counters& counters = series.summary.counters;
+    const double decisions =
+        std::max<double>(1.0, static_cast<double>(counters.decisions()));
+    counters_table.AddRow({
+        series.spec.label,
+        std::to_string(counters.pruned_energy),
+        std::to_string(counters.pruned_robustness),
+        std::to_string(counters.discarded_by_energy),
+        std::to_string(counters.discarded_by_robustness),
+        stats::Table::Num(100.0 * counters.ready_pmf_hit_rate(), 1) + "%",
+        std::to_string(counters.pmf_convolutions),
+        std::to_string(counters.pmf_prob_sum_leq),
+        std::to_string(counters.pmf_truncations),
+        std::to_string(counters.pstate_switches),
+        stats::Table::Num(1e6 * counters.decision_seconds / decisions, 2),
+    });
+  }
+  counters_table.PrintText(os);
 }
 
 }  // namespace ecdra::experiment

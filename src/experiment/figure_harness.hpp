@@ -28,6 +28,9 @@ struct SeriesResult {
   double mean_energy_fraction = 0.0;
   /// Mean discarded tasks per trial.
   double mean_discarded = 0.0;
+  /// Cross-trial aggregate including the summed observability counters
+  /// (all-zero unless RunOptions.collect_counters was set).
+  sim::SummaryStatistics summary;
 };
 
 struct FigureResult {
@@ -49,7 +52,9 @@ struct FigureResult {
 /// The best ("en+rob") variant of every heuristic — Figure 6.
 [[nodiscard]] std::vector<SeriesSpec> BestVariants();
 
-/// Table (min/Q1/median/Q3/max/mean + energy + discards) and ASCII box plot.
+/// Table (min/Q1/median/Q3/max/mean + energy + discards) and ASCII box
+/// plot. When counters were collected, appends an observability table
+/// (filter prunes, ReadyPmf hit rate, pmf op counts, decision latency).
 void PrintFigure(std::ostream& os, const FigureResult& figure);
 
 }  // namespace ecdra::experiment

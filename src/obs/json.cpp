@@ -1,0 +1,242 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace ecdra::obs::json {
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool Value::AsBool() const {
+  if (kind_ != Kind::kBool) throw std::invalid_argument("JSON: not a bool");
+  return bool_;
+}
+
+double Value::AsNumber() const {
+  if (kind_ != Kind::kNumber) throw std::invalid_argument("JSON: not a number");
+  return number_;
+}
+
+const std::string& Value::AsString() const {
+  if (kind_ != Kind::kString) throw std::invalid_argument("JSON: not a string");
+  return string_;
+}
+
+const Value::Array& Value::AsArray() const {
+  if (kind_ != Kind::kArray) throw std::invalid_argument("JSON: not an array");
+  return array_;
+}
+
+const Value::Object& Value::AsObject() const {
+  if (kind_ != Kind::kObject) {
+    throw std::invalid_argument("JSON: not an object");
+  }
+  return object_;
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> ParseDocument() {
+    SkipWs();
+    std::optional<Value> value = ParseValue();
+    if (!value) return std::nullopt;
+    SkipWs();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<Value> ParseValue() {
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': {
+        std::optional<std::string> s = ParseString();
+        if (!s) return std::nullopt;
+        return Value(std::move(*s));
+      }
+      case 't':
+        return ConsumeLiteral("true") ? std::optional<Value>(Value(true))
+                                      : std::nullopt;
+      case 'f':
+        return ConsumeLiteral("false") ? std::optional<Value>(Value(false))
+                                       : std::nullopt;
+      case 'n':
+        return ConsumeLiteral("null") ? std::optional<Value>(Value())
+                                      : std::nullopt;
+      default: return ParseNumber();
+    }
+  }
+
+  std::optional<Value> ParseObject() {
+    if (!Consume('{')) return std::nullopt;
+    Value::Object object;
+    SkipWs();
+    if (Consume('}')) return Value(std::move(object));
+    while (true) {
+      SkipWs();
+      std::optional<std::string> key = ParseString();
+      if (!key) return std::nullopt;
+      SkipWs();
+      if (!Consume(':')) return std::nullopt;
+      SkipWs();
+      std::optional<Value> value = ParseValue();
+      if (!value) return std::nullopt;
+      object.insert_or_assign(std::move(*key), std::move(*value));
+      SkipWs();
+      if (Consume('}')) return Value(std::move(object));
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Value> ParseArray() {
+    if (!Consume('[')) return std::nullopt;
+    Value::Array array;
+    SkipWs();
+    if (Consume(']')) return Value(std::move(array));
+    while (true) {
+      SkipWs();
+      std::optional<Value> value = ParseValue();
+      if (!value) return std::nullopt;
+      array.push_back(std::move(*value));
+      SkipWs();
+      if (Consume(']')) return Value(std::move(array));
+      if (!Consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    if (!Consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return std::nullopt;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return std::nullopt;
+            }
+          }
+          // The sink only emits \u for ASCII control characters; decode
+          // those exactly and refuse anything needing UTF-8 synthesis.
+          if (code > 0x7F) return std::nullopt;
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<Value> ParseNumber() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double number = 0.0;
+    const auto [ptr, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, number);
+    if (ec != std::errc() || ptr != text_.data() + pos_ || pos_ == start) {
+      return std::nullopt;
+    }
+    return Value(number);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace ecdra::obs::json

@@ -1,0 +1,66 @@
+// Minimal JSON support for the observability layer: string escaping for the
+// JSONL trace writer and a small recursive-descent parser so tests and
+// tooling can round-trip trace records without an external dependency.
+//
+// The parser covers the subset the trace sink emits — objects, arrays,
+// strings (with \uXXXX escapes decoded as-is into \u form only for ASCII
+// control characters we never emit), finite numbers, booleans, and null —
+// which is also the subset any standards-compliant JSON document built from
+// those value kinds uses.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ecdra::obs::json {
+
+/// Escapes `raw` for inclusion inside a JSON string literal (quotes not
+/// included).
+[[nodiscard]] std::string Escape(std::string_view raw);
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value, std::less<>>;
+
+  Value() = default;  // null
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), number_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  explicit Value(Array a) : kind_(Kind::kArray), array_(std::move(a)) {}
+  explicit Value(Object o) : kind_(Kind::kObject), object_(std::move(o)) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_null() const noexcept { return kind_ == Kind::kNull; }
+
+  /// Typed accessors; throw std::invalid_argument on kind mismatch.
+  [[nodiscard]] bool AsBool() const;
+  [[nodiscard]] double AsNumber() const;
+  [[nodiscard]] const std::string& AsString() const;
+  [[nodiscard]] const Array& AsArray() const;
+  [[nodiscard]] const Object& AsObject() const;
+
+  /// Object member lookup; null pointer when absent or not an object.
+  [[nodiscard]] const Value* Find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one complete JSON document (e.g. one JSONL line). Returns nullopt
+/// on any syntax error or trailing garbage.
+[[nodiscard]] std::optional<Value> Parse(std::string_view text);
+
+}  // namespace ecdra::obs::json

@@ -1,0 +1,140 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace ecdra::obs {
+namespace {
+
+/// Shortest round-trip decimal representation, locale-independent. JSON has
+/// no encoding for non-finite numbers, so those degrade to null.
+void AppendNumber(std::ostream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  os.write(buf, static_cast<std::streamsize>(ptr - buf));
+}
+
+void WriteDecision(std::ostream& os, const MappingDecisionRecord& decision) {
+  os << "{\"event\":\"decision\",\"trial\":" << decision.trial
+     << ",\"task\":" << decision.task_id << ",\"time\":";
+  AppendNumber(os, decision.time);
+  os << ",\"deadline\":";
+  AppendNumber(os, decision.deadline);
+  os << ",\"assigned\":" << (decision.assigned ? "true" : "false");
+  if (!decision.assigned) {
+    os << ",\"discard_stage\":\"" << json::Escape(decision.discard_stage)
+       << "\"";
+  } else {
+    os << ",\"core\":" << decision.flat_core
+       << ",\"pstate\":" << decision.pstate << ",\"eet\":";
+    AppendNumber(os, decision.eet);
+    os << ",\"eec\":";
+    AppendNumber(os, decision.eec);
+    os << ",\"rho\":";
+    AppendNumber(os, decision.rho);
+  }
+  os << ",\"candidates\":" << decision.candidates_generated << ",\"stages\":[";
+  for (std::size_t i = 0; i < decision.stages.size(); ++i) {
+    const FilterStageRecord& stage = decision.stages[i];
+    if (i != 0) os << ",";
+    os << "{\"filter\":\"" << json::Escape(stage.filter)
+       << "\",\"pruned\":" << stage.pruned
+       << ",\"survivors\":" << stage.survivors << "}";
+  }
+  os << "],\"decision_us\":";
+  AppendNumber(os, decision.decision_us);
+  os << "}\n";
+}
+
+void WriteSnapshot(std::ostream& os, const EnergySnapshotRecord& snapshot) {
+  os << "{\"event\":\"energy\",\"trial\":" << snapshot.trial << ",\"time\":";
+  AppendNumber(os, snapshot.time);
+  os << ",\"consumed\":";
+  AppendNumber(os, snapshot.consumed);
+  os << ",\"budget\":";
+  AppendNumber(os, snapshot.budget);
+  os << ",\"estimated_remaining\":";
+  AppendNumber(os, snapshot.estimated_remaining);
+  os << "}\n";
+}
+
+class SynchronizedSink final : public TraceSink {
+ public:
+  explicit SynchronizedSink(TraceSink& inner) : inner_(&inner) {}
+
+  void Record(const MappingDecisionRecord& decision) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Record(decision);
+  }
+  void Record(const EnergySnapshotRecord& snapshot) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Record(snapshot);
+  }
+  void Flush() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Flush();
+  }
+
+ private:
+  std::mutex mutex_;
+  TraceSink* inner_;
+};
+
+class JsonlFileSink final : public TraceSink {
+ public:
+  explicit JsonlFileSink(const std::string& path) : file_(path) {
+    if (!file_.good()) {
+      throw std::invalid_argument("cannot open trace file: " + path);
+    }
+  }
+
+  void Record(const MappingDecisionRecord& decision) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    WriteDecision(file_, decision);
+  }
+  void Record(const EnergySnapshotRecord& snapshot) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    WriteSnapshot(file_, snapshot);
+  }
+  void Flush() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    file_.flush();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ofstream file_;
+};
+
+}  // namespace
+
+void JsonlTraceSink::Record(const MappingDecisionRecord& decision) {
+  WriteDecision(*os_, decision);
+}
+
+void JsonlTraceSink::Record(const EnergySnapshotRecord& snapshot) {
+  WriteSnapshot(*os_, snapshot);
+}
+
+void JsonlTraceSink::Flush() { os_->flush(); }
+
+std::unique_ptr<TraceSink> MakeSynchronized(TraceSink& sink) {
+  return std::make_unique<SynchronizedSink>(sink);
+}
+
+std::unique_ptr<TraceSink> OpenJsonlTraceFile(const std::string& path) {
+  return std::make_unique<JsonlFileSink>(path);
+}
+
+}  // namespace ecdra::obs

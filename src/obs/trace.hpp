@@ -1,0 +1,113 @@
+// Decision-level telemetry (docs/ARCHITECTURE.md, "obs").
+//
+// A TraceSink receives one structured record per scheduler decision and
+// periodic energy-meter snapshots. The engine and scheduler only pay for
+// record construction when a sink is attached; the default (no sink) costs
+// a null-check per arrival.
+//
+// The JSONL sinks serialize each record as one JSON object per line:
+//
+//   {"event":"decision","trial":T,"task":Z,"time":t,"deadline":d,
+//    "assigned":true,"core":F,"pstate":S,"eet":..,"eec":..,"rho":..,
+//    "candidates":N,
+//    "stages":[{"filter":"en","pruned":P,"survivors":M}, ...],
+//    "decision_us":U}
+//   {"event":"decision",...,"assigned":false,"discard_stage":"en",...}
+//   {"event":"energy","trial":T,"time":t,"consumed":C,"budget":B,
+//    "estimated_remaining":R}
+//
+// `stages` lists the filter chain in application order; `discard_stage`
+// names the stage that emptied the candidate set ("" never appears — the
+// key is omitted for assigned tasks). `decision_us` is the wall-clock
+// latency of the whole MapTask call measured with steady_clock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ecdra::obs {
+
+/// One filter stage's effect on the candidate set.
+struct FilterStageRecord {
+  std::string filter;  // Filter::name()
+  std::uint64_t pruned = 0;
+  std::uint64_t survivors = 0;
+
+  friend bool operator==(const FilterStageRecord&,
+                         const FilterStageRecord&) = default;
+};
+
+/// One immediate-mode mapping decision.
+struct MappingDecisionRecord {
+  std::uint64_t trial = 0;
+  std::uint64_t task_id = 0;
+  double time = 0.0;      // arrival / decision time t_l
+  double deadline = 0.0;
+  bool assigned = false;
+  /// Stage that emptied the candidate set (empty when assigned).
+  std::string discard_stage;
+  std::uint64_t flat_core = 0;
+  std::uint64_t pstate = 0;
+  double eet = 0.0;  // expected execution time of the chosen candidate
+  double eec = 0.0;  // expected energy consumption of the chosen candidate
+  /// rho(i,j,k,pi,t_l,z) of the chosen candidate at decision time.
+  double rho = 0.0;
+  /// Candidates enumerated before any filter ran.
+  std::uint64_t candidates_generated = 0;
+  std::vector<FilterStageRecord> stages;
+  /// Wall-clock MapTask latency, microseconds (steady_clock).
+  double decision_us = 0.0;
+};
+
+/// Snapshot of the online energy meter against the budget, taken by the
+/// engine after a mapping decision.
+struct EnergySnapshotRecord {
+  std::uint64_t trial = 0;
+  double time = 0.0;
+  double consumed = 0.0;   // ground-truth wall energy drawn so far
+  double budget = 0.0;     // zeta_max
+  /// The scheduler's zeta(t_l) estimate (can be negative).
+  double estimated_remaining = 0.0;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void Record(const MappingDecisionRecord& decision) = 0;
+  virtual void Record(const EnergySnapshotRecord& snapshot) = 0;
+  virtual void Flush() {}
+};
+
+/// Writes records as JSON lines to a caller-owned stream. Not synchronized:
+/// use from one thread, or wrap via MakeSynchronized.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  /// `os` must outlive the sink.
+  explicit JsonlTraceSink(std::ostream& os) : os_(&os) {}
+
+  void Record(const MappingDecisionRecord& decision) override;
+  void Record(const EnergySnapshotRecord& snapshot) override;
+  void Flush() override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Wraps `sink` so concurrent trials can share it: each Record call is
+/// serialized under a mutex (records carry their trial index, so
+/// interleaving across trials is harmless). `sink` must outlive the
+/// wrapper.
+[[nodiscard]] std::unique_ptr<TraceSink> MakeSynchronized(TraceSink& sink);
+
+/// Opens `path` for writing and returns a synchronized JSONL sink that owns
+/// the file (flushed and closed on destruction). Throws
+/// std::invalid_argument if the file cannot be opened.
+[[nodiscard]] std::unique_ptr<TraceSink> OpenJsonlTraceFile(
+    const std::string& path);
+
+}  // namespace ecdra::obs

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <ostream>
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace ecdra::pmf {
@@ -121,6 +122,7 @@ Pmf Pmf::ScaleValues(double factor) const {
 
 TruncateResult Pmf::TruncateBelow(double t) const {
   ECDRA_REQUIRE(!empty(), "TruncateBelow of empty pmf");
+  obs::Bump(&obs::Counters::pmf_truncations);
   std::vector<Impulse> kept;
   kept.reserve(impulses_.size());
   double retained = 0.0;
@@ -154,6 +156,7 @@ Pmf Pmf::Compact(std::size_t max_impulses) const {
   ECDRA_REQUIRE(max_impulses >= 1, "max_impulses must be at least 1");
   const std::size_t n = impulses_.size();
   if (n <= max_impulses) return *this;
+  obs::Bump(&obs::Counters::pmf_compactions);
   if (max_impulses == 1) {
     return Pmf({MergeRun(impulses_, 0, n)});
   }
@@ -199,6 +202,7 @@ Pmf Pmf::Compact(std::size_t max_impulses) const {
 
 Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
   ECDRA_REQUIRE(!x.empty() && !y.empty(), "Convolve of empty pmf");
+  obs::Bump(&obs::Counters::pmf_convolutions);
   std::vector<Impulse> cross;
   cross.reserve(x.size() * y.size());
   for (const Impulse& a : x.impulses()) {
@@ -211,6 +215,7 @@ Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
 
 double ProbSumLeq(const Pmf& x, const Pmf& y, double t) {
   ECDRA_REQUIRE(!x.empty() && !y.empty(), "ProbSumLeq of empty pmf");
+  obs::Bump(&obs::Counters::pmf_prob_sum_leq);
   // P(X + Y <= t) = sum_i P(X = x_i) * F_Y(t - x_i). As x_i ascends the
   // evaluation point t - x_i descends, so a single backwards sweep over Y's
   // suffix suffices.

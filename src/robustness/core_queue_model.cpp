@@ -1,11 +1,16 @@
 #include "robustness/core_queue_model.hpp"
 
+#include "obs/counters.hpp"
 #include "util/assert.hpp"
 
 namespace ecdra::robustness {
 
 const pmf::Pmf& CoreQueueModel::ReadyPmf(double now) const {
-  if (cache_valid_ && cached_now_ == now) return cached_ready_;
+  if (cache_valid_ && cached_now_ == now) {
+    obs::Bump(&obs::Counters::ready_pmf_hits);
+    return cached_ready_;
+  }
+  obs::Bump(&obs::Counters::ready_pmf_misses);
 
   if (!running_) {
     ECDRA_ASSERT(queued_.empty(), "queued tasks require a running task");

@@ -52,9 +52,18 @@ Engine::Engine(const cluster::Cluster& cluster,
       record.priority = task.priority;
     }
   }
+  scheduler_->SetObservability(core::SchedulerObservability{
+      options_.collect_counters ? &counters_ : nullptr, options_.trace_sink,
+      options_.trial_index});
 }
 
 TrialResult Engine::Run() {
+  // While this trial runs, deep instrumentation points (pmf ops, ReadyPmf
+  // cache probes) report into counters_ through the thread-local scope; a
+  // null scope (counters disabled) leaves the thread-local untouched.
+  const obs::CountersScope counters_scope(
+      options_.collect_counters ? &counters_ : nullptr);
+
   TrialResult result;
   result.window_size = tasks_.size();
 
@@ -73,13 +82,21 @@ TrialResult Engine::Run() {
       HandleArrival(tasks_[event.index], now);
       if (options_.collect_robustness_trace) {
         // Sampled after the arrival is mapped, so the trace reflects the
-        // allocation the scheduler just produced.
+        // allocation the scheduler just produced. in_flight counts every
+        // task still assigned to a core — the one currently running plus
+        // the queued FIFO — spelled out here so the trace's meaning does
+        // not silently drift if queue_length()'s definition ever changes.
         std::size_t in_flight = 0;
         for (const robustness::CoreQueueModel& model : models_) {
-          in_flight += model.queue_length();
+          in_flight += (model.idle() ? 0u : 1u) + model.queued().size();
         }
         robustness_trace_.push_back(RobustnessSample{
             now, robustness::SystemRobustness(models_, now), in_flight});
+      }
+      if (options_.trace_sink != nullptr) {
+        options_.trace_sink->Record(obs::EnergySnapshotRecord{
+            options_.trial_index, now, meter_.consumed(),
+            options_.energy_budget, scheduler_->estimator().remaining()});
       }
     } else {
       // Tally the finishing task before mutating core state.
@@ -130,6 +147,11 @@ TrialResult Engine::Run() {
   result.makespan = now;
   result.task_records = std::move(records_);
   result.robustness_trace = std::move(robustness_trace_);
+  if (options_.collect_counters) {
+    counters_.tasks_cancelled = cancelled_;
+    result.counters = counters_;
+  }
+  if (options_.trace_sink != nullptr) options_.trace_sink->Flush();
   return result;
 }
 
@@ -156,8 +178,11 @@ void Engine::HandleArrival(const workload::Task& task, double now) {
     runtime_[flat].pending.push_back(PendingTask{task.id, duration, pstate});
     models_[flat].Enqueue(modeled);
   } else {
-    StartOnCore(flat, task.id, duration, pstate, now);
-    models_[flat].StartTask(modeled, now);
+    // The queue model must see the *actual* start time — delayed by any
+    // P-state transition — or every later rho/ReadyPmf query against this
+    // core would be optimistic by the switching latency.
+    const double start = StartOnCore(flat, task.id, duration, pstate, now);
+    models_[flat].StartTask(modeled, start);
   }
 }
 
@@ -185,8 +210,9 @@ void Engine::HandleFinish(std::size_t flat_core, double now) {
   if (!core.pending.empty()) {
     const PendingTask next = core.pending.front();
     core.pending.pop_front();
-    StartOnCore(flat_core, next.task_id, next.duration, next.pstate, now);
-    models_[flat_core].StartNext(now);
+    const double start =
+        StartOnCore(flat_core, next.task_id, next.duration, next.pstate, now);
+    models_[flat_core].StartNext(start);
   } else if (options_.idle_policy == IdlePolicy::kDeepestPState) {
     SwitchPState(flat_core, idle_pstate_, now);
   } else if (options_.idle_policy == IdlePolicy::kPowerGated) {
@@ -194,9 +220,9 @@ void Engine::HandleFinish(std::size_t flat_core, double now) {
   }
 }
 
-void Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
-                         double duration, cluster::PStateIndex pstate,
-                         double now) {
+double Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
+                           double duration, cluster::PStateIndex pstate,
+                           double now) {
   // Optional DVFS switching delay: the core is occupied (at the destination
   // state's power) before execution begins.
   double start = now;
@@ -222,6 +248,7 @@ void Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
   if (options_.collect_task_records) {
     records_[task_id].start_time = start;
   }
+  return start;
 }
 
 void Engine::SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
@@ -232,6 +259,7 @@ void Engine::SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
           ? core.log.back().power_watts < 0.0
           : core.log.back().power_watts == core_watts;
   if (core.current_pstate == pstate && same_power) return;
+  obs::Bump(&obs::Counters::pstate_switches);
   core.current_pstate = pstate;
   core.log.push_back({now, pstate, core_watts});
   if (core_watts >= 0.0) {

@@ -21,6 +21,8 @@
 #include "cluster/cluster.hpp"
 #include "cluster/energy_accounting.hpp"
 #include "core/scheduler.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "robustness/core_queue_model.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
@@ -70,15 +72,29 @@ struct TrialOptions {
   /// differs from the core's current one can start. The paper assumes this
   /// is negligible (hundreds of microseconds vs. second-scale tasks); the
   /// ablation quantifies where that assumption breaks. The switching
-  /// interval draws the *destination* state's power, and the scheduler's
-  /// completion-time model deliberately does not see the latency (the
-  /// resource manager believes the paper's assumption).
+  /// interval draws the *destination* state's power. At *decision* time the
+  /// scheduler's completion model does not anticipate the latency (the
+  /// resource manager believes the paper's assumption), but once a task
+  /// starts, the CoreQueueModel records its true (delayed) start time —
+  /// otherwise every subsequent rho/ReadyPmf/ExpectedReadyTime query would
+  /// be systematically optimistic by the accumulated switching time.
   double pstate_transition_latency = 0.0;
   /// Coefficient of variation of per-execution sampled core power (§VIII
   /// future work: power as a distribution, not a constant). 0 = the paper's
   /// average-power model. Heuristics keep estimating EEC with the average —
   /// only the ground truth becomes noisy.
   double power_cov = 0.0;
+  /// Collect obs::Counters for this trial into TrialResult.counters. While
+  /// enabled, pmf/queue-model instrumentation points count into the trial's
+  /// registry via a thread-local scope; disabled costs one null-check per
+  /// instrumentation point.
+  bool collect_counters = false;
+  /// Optional decision/energy trace sink (unowned; must outlive the trial).
+  /// One MappingDecisionRecord per arrival plus one EnergySnapshotRecord
+  /// after each mapping.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Trial index stamped into trace records (trials may share one sink).
+  std::uint64_t trial_index = 0;
 };
 
 class Engine {
@@ -134,8 +150,12 @@ class Engine {
 
   void HandleArrival(const workload::Task& task, double now);
   void HandleFinish(std::size_t flat_core, double now);
-  void StartOnCore(std::size_t flat_core, std::size_t task_id, double duration,
-                   cluster::PStateIndex pstate, double now);
+  /// Returns the time execution actually begins: `now`, delayed by the
+  /// P-state transition latency when the core must switch states. The
+  /// caller must feed this start time into the core's queue model so the
+  /// scheduler's beliefs track the delayed reality.
+  double StartOnCore(std::size_t flat_core, std::size_t task_id,
+                     double duration, cluster::PStateIndex pstate, double now);
   /// `core_watts` < 0 uses the profile's average power for the state.
   void SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
                     double now, double core_watts = -1.0);
@@ -161,6 +181,9 @@ class Engine {
   std::vector<TaskRecord> records_;
   std::vector<RobustnessSample> robustness_trace_;
   cluster::PStateIndex idle_pstate_;
+  /// Trial-local counter registry (populated when collect_counters is set;
+  /// the scheduler writes its slots through SetObservability).
+  obs::Counters counters_;
 };
 
 }  // namespace ecdra::sim

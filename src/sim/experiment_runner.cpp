@@ -83,6 +83,9 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       .collect_robustness_trace = options.collect_robustness_trace,
       .pstate_transition_latency = options.pstate_transition_latency,
       .power_cov = options.power_cov,
+      .collect_counters = options.collect_counters,
+      .trace_sink = options.trace_sink,
+      .trial_index = trial_index,
   };
   Engine engine(setup.cluster, setup.types, std::move(tasks), scheduler,
                 trial_options, trial_rng.Substream("sim"));
@@ -94,17 +97,27 @@ std::vector<TrialResult> RunTrials(const ExperimentSetup& setup,
                                    const std::string& filter_variant,
                                    const RunOptions& options) {
   ECDRA_REQUIRE(options.num_trials >= 1, "need at least one trial");
+  // A trace path takes precedence over a caller-provided sink; the file
+  // sink is internally synchronized so all trials can share it.
+  RunOptions effective = options;
+  std::unique_ptr<obs::TraceSink> file_sink;
+  if (!options.trace_path.empty()) {
+    file_sink = obs::OpenJsonlTraceFile(options.trace_path);
+    effective.trace_sink = file_sink.get();
+  }
   util::ThreadPool pool(options.num_threads);
   std::vector<std::future<TrialResult>> futures;
   futures.reserve(options.num_trials);
   for (std::size_t trial = 0; trial < options.num_trials; ++trial) {
     futures.push_back(pool.Submit([&, trial] {
-      return RunSingleTrial(setup, heuristic, filter_variant, trial, options);
+      return RunSingleTrial(setup, heuristic, filter_variant, trial,
+                            effective);
     }));
   }
   std::vector<TrialResult> results;
   results.reserve(options.num_trials);
   for (auto& future : futures) results.push_back(future.get());
+  if (file_sink != nullptr) file_sink->Flush();
   return results;
 }
 

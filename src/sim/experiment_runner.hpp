@@ -15,6 +15,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/cluster_builder.hpp"
 #include "core/factory.hpp"
+#include "obs/trace.hpp"
 #include "pmf/distribution_factory.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
@@ -67,6 +68,16 @@ struct RunOptions {
   /// See TrialOptions: DVFS switching delay and stochastic-power CoV.
   double pstate_transition_latency = 0.0;
   double power_cov = 0.0;
+  /// Collect per-trial obs::Counters into TrialResult.counters.
+  bool collect_counters = false;
+  /// Write one JSONL decision/energy trace covering every trial to this
+  /// path (empty = no trace). The file sink is synchronized; records carry
+  /// their trial index, so the parallel fan-out interleaves safely.
+  std::string trace_path;
+  /// Alternative to trace_path for programmatic consumers: an unowned sink
+  /// shared by all trials (must be thread-safe for num_trials > 1, e.g. via
+  /// obs::MakeSynchronized). Ignored when trace_path is non-empty.
+  obs::TraceSink* trace_sink = nullptr;
   /// Worker threads for the trial fan-out; 0 = hardware concurrency.
   std::size_t num_threads = 0;
   core::FilterChainOptions filter_options;

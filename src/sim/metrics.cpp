@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "util/assert.hpp"
+
 namespace ecdra::sim {
 
 std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
@@ -17,6 +19,47 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
     os << ", exhausted_at=" << *result.energy_exhausted_at;
   }
   return os << ", makespan=" << result.makespan << "}";
+}
+
+SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
+  ECDRA_REQUIRE(!trials.empty(), "cannot summarize zero trials");
+  SummaryStatistics summary;
+  summary.trials = trials.size();
+  for (const TrialResult& trial : trials) {
+    summary.mean_missed += static_cast<double>(trial.missed_deadlines);
+    summary.mean_completed += static_cast<double>(trial.completed);
+    summary.mean_discarded += static_cast<double>(trial.discarded);
+    summary.mean_cancelled += static_cast<double>(trial.cancelled);
+    summary.mean_energy += trial.total_energy;
+    summary.mean_makespan += trial.makespan;
+    summary.counters.Merge(trial.counters);
+  }
+  const double n = static_cast<double>(trials.size());
+  summary.mean_missed /= n;
+  summary.mean_completed /= n;
+  summary.mean_discarded /= n;
+  summary.mean_cancelled /= n;
+  summary.mean_energy /= n;
+  summary.mean_makespan /= n;
+  return summary;
+}
+
+std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
+  os << "SummaryStatistics{trials=" << summary.trials
+     << ", mean_missed=" << summary.mean_missed
+     << ", mean_completed=" << summary.mean_completed
+     << ", mean_discarded=" << summary.mean_discarded
+     << ", mean_energy=" << summary.mean_energy
+     << ", mean_makespan=" << summary.mean_makespan;
+  if (!summary.counters.empty()) {
+    os << ", counters=" << summary.counters;
+    if (summary.counters.decisions() > 0) {
+      os << ", mean_decision_us="
+         << 1e6 * summary.counters.decision_seconds /
+                static_cast<double>(summary.counters.decisions());
+    }
+  }
+  return os << "}";
 }
 
 }  // namespace ecdra::sim

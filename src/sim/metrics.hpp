@@ -10,9 +10,11 @@
 #include <cstddef>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "cluster/pstate.hpp"
+#include "obs/counters.hpp"
 
 namespace ecdra::sim {
 
@@ -78,8 +80,35 @@ struct TrialResult {
 
   std::vector<TaskRecord> task_records;  // empty unless requested
   std::vector<RobustnessSample> robustness_trace;  // empty unless requested
+  /// Scheduler/engine/pmf observability counters (all-zero unless
+  /// TrialOptions.collect_counters was set).
+  obs::Counters counters;
 };
 
 std::ostream& operator<<(std::ostream& os, const TrialResult& result);
+
+/// Cross-trial aggregation of one configuration's results: headline means
+/// plus the summed observability counters — the hook figure_harness, the
+/// CLI, and the bench harnesses use to dump telemetry next to the paper
+/// metrics.
+struct SummaryStatistics {
+  std::size_t trials = 0;
+  double mean_missed = 0.0;
+  double mean_completed = 0.0;
+  double mean_discarded = 0.0;
+  double mean_cancelled = 0.0;
+  double mean_energy = 0.0;
+  double mean_makespan = 0.0;
+  /// Counters summed over all trials (all-zero when collection was off).
+  obs::Counters counters;
+};
+
+/// Aggregates trial results (at least one required).
+[[nodiscard]] SummaryStatistics SummarizeTrials(
+    std::span<const TrialResult> trials);
+
+/// Prints the means and, when counter collection was on, the counter block
+/// with derived rates (ReadyPmf hit rate, mean decision latency).
+std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary);
 
 }  // namespace ecdra::sim

@@ -309,6 +309,51 @@ TEST_F(EngineTest, DeterministicForSameSeed) {
   EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
 }
 
+// Regression for the model/actual transition-latency skew: the queue model
+// must be told the *actual* (latency-delayed) start time of a dispatched
+// task, not the decision time. Task 0 pays a 5 s P4->P0 switch and truly
+// runs [5, 15), so task 1 (deadline 21) finishes at 25 — late. A model that
+// believed task 0 started at its decision time 0 would predict task 1
+// finishing at 20 <= 21 and report rho = 1 for a task that cannot make it.
+TEST_F(EngineTest, QueueModelSeesLatencyDelayedStartTimes) {
+  auto scheduler = Scheduler(2);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.pstate_transition_latency = 5.0;
+  options.collect_task_records = true;
+  const TrialResult result = Run(
+      {workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 1.0, 21.0}},
+      scheduler, options);
+
+  ASSERT_EQ(result.task_records.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.task_records[0].start_time, 5.0);
+  EXPECT_DOUBLE_EQ(result.task_records[1].start_time, 15.0);
+  EXPECT_DOUBLE_EQ(result.task_records[1].finish_time, 25.0);
+  EXPECT_EQ(result.finished_late, 1u);
+  // The scheduler's belief at t=1 matches reality: delta(15) ready time
+  // plus a 10 s execution overshoots the deadline with certainty.
+  EXPECT_DOUBLE_EQ(result.task_records[1].rho_at_assignment, 0.0);
+}
+
+// The robustness trace's in-flight count covers the running task as well as
+// the queued ones — with a switch in progress the dispatched task is still
+// "in flight" even though execution has not begun.
+TEST_F(EngineTest, RobustnessTraceCountsRunningAndQueuedTasks) {
+  auto scheduler = Scheduler(3);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.pstate_transition_latency = 5.0;
+  options.collect_robustness_trace = true;
+  const TrialResult result = Run({workload::Task{0, 0, 0.0, 1e6},
+                                  workload::Task{1, 0, 1.0, 1e6},
+                                  workload::Task{2, 0, 2.0, 1e6}},
+                                 scheduler, options);
+  ASSERT_EQ(result.robustness_trace.size(), 3u);
+  EXPECT_EQ(result.robustness_trace[0].in_flight, 1u);  // running (switching)
+  EXPECT_EQ(result.robustness_trace[1].in_flight, 2u);  // running + 1 queued
+  EXPECT_EQ(result.robustness_trace[2].in_flight, 3u);  // running + 2 queued
+}
+
 TEST_F(EngineTest, RejectsUnsortedOrMisnumberedTasks) {
   auto scheduler = Scheduler(2);
   TrialOptions options;
