@@ -9,12 +9,15 @@
 //                      [--idle deepest|stay|gated] [--cancel never|hopeless]
 //                      [--rho-thresh P] [--csv] [--counters]
 //                      [--trace-out PATH]
+//                      [--fault-mtbf T] [--fault-duration T]
+//                      [--recovery drop|requeue]
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "experiment/paper_config.hpp"
+#include "fault/recovery.hpp"
 #include "sim/experiment_runner.hpp"
 #include "stats/summary.hpp"
 #include "stats/table_writer.hpp"
@@ -36,7 +39,14 @@ namespace {
       << "  --counters         collect per-trial scheduler counters and\n"
       << "                     print the cross-trial aggregate\n"
       << "  --trace-out PATH   write a JSONL decision/energy trace (one\n"
-      << "                     record per arrival; implies --counters)\n";
+      << "                     record per arrival; implies --counters)\n"
+      << "  --fault-mtbf T     mean time to permanent core failure\n"
+      << "                     (simulated seconds; 0 = fault-free, default)\n"
+      << "  --fault-duration T mean outage before a failed core is repaired\n"
+      << "                     (0 = failures are permanent, default)\n"
+      << "  --throttle-interval T / --throttle-duration T / --throttle-floor S\n"
+      << "                     transient P-state throttling (0 = off)\n"
+      << "  --recovery POLICY  drop | requeue             (default drop)\n";
   std::exit(2);
 }
 
@@ -98,6 +108,19 @@ int main(int argc, char** argv) {
     } else if (args[i] == "--trace-out") {
       run.trace_path = next();
       run.collect_counters = true;
+    } else if (args[i] == "--fault-mtbf") {
+      run.fault.mtbf = std::stod(next());
+    } else if (args[i] == "--fault-duration") {
+      run.fault.repair_time = std::stod(next());
+    } else if (args[i] == "--throttle-interval") {
+      run.fault.throttle_interval = std::stod(next());
+    } else if (args[i] == "--throttle-duration") {
+      run.fault.throttle_duration = std::stod(next());
+    } else if (args[i] == "--throttle-floor") {
+      run.fault.throttle_floor =
+          static_cast<std::size_t>(std::stoul(next()));
+    } else if (args[i] == "--recovery") {
+      run.recovery = fault::ParseRecoveryPolicy(next());
     } else {
       Usage(argv[0]);
     }
@@ -142,6 +165,14 @@ int main(int argc, char** argv) {
   std::cout << heuristic << " (" << variant << "), seed " << seed << ", "
             << run.num_trials << " trials, budget x" << budget_scale << ":\n"
             << "  missed deadlines: " << box << "\n";
+  if (run.fault.enabled()) {
+    const sim::SummaryStatistics fault_summary = sim::SummarizeTrials(trials);
+    std::cout << "  faults (recovery=" << fault::RecoveryPolicyName(run.recovery)
+              << "): mean failures " << fault_summary.mean_failures
+              << ", mean tasks lost " << fault_summary.mean_tasks_lost
+              << ", mean remapped " << fault_summary.mean_remapped
+              << " (on time " << fault_summary.mean_remapped_on_time << ")\n";
+  }
   if (run.collect_counters) {
     std::cout << '\n' << sim::SummarizeTrials(trials) << '\n';
   }

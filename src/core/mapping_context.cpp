@@ -11,7 +11,8 @@ namespace ecdra::core {
 MappingContext::MappingContext(
     const cluster::Cluster& cluster, const workload::TaskTypeTable& types,
     std::span<const robustness::CoreQueueModel> cores,
-    const workload::Task& task, double now)
+    const workload::Task& task, double now,
+    std::span<const CoreAvailability> availability)
     : cluster_(&cluster),
       task_(&task),
       now_(now),
@@ -20,11 +21,20 @@ MappingContext::MappingContext(
                       std::numeric_limits<double>::quiet_NaN()) {
   ECDRA_REQUIRE(cores.size() == cluster.total_cores(),
                 "one CoreQueueModel per core required");
+  ECDRA_REQUIRE(
+      availability.empty() || availability.size() == cluster.total_cores(),
+      "availability span must cover every core or be empty");
   candidates_.reserve(cluster.total_cores() * cluster::kNumPStates);
   for (std::size_t flat = 0; flat < cluster.total_cores(); ++flat) {
+    cluster::PStateIndex first_pstate = 0;
+    if (!availability.empty()) {
+      if (!availability[flat].available) continue;
+      first_pstate = availability[flat].pstate_floor;
+    }
     const std::size_t node_index = cluster.NodeIndexOf(flat);
     const cluster::Node& node = cluster.node(node_index);
-    for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+    for (cluster::PStateIndex s = first_pstate; s < cluster::kNumPStates;
+         ++s) {
       const double eet = types.MeanExec(task.type, node_index, s);
       candidates_.push_back(Candidate{
           .assignment = Assignment{flat, s},

@@ -20,15 +20,27 @@
 
 namespace ecdra::core {
 
+/// Availability restriction of one core at mapping time (fault extension):
+/// an unavailable (failed) core contributes no candidates, and a throttled
+/// core only the P-states it may actually run (index >= pstate_floor). An
+/// empty availability span means every core is fully available — the
+/// paper's fault-free assumption, and the default.
+struct CoreAvailability {
+  bool available = true;
+  cluster::PStateIndex pstate_floor = 0;
+};
+
 class MappingContext {
  public:
-  /// Builds the full candidate list (every core x every P-state) for `task`
-  /// arriving at `now`. `cores` is indexed by flat core index and must
-  /// outlive the context.
+  /// Builds the full candidate list (every available core x every allowed
+  /// P-state) for `task` arriving at `now`. `cores` is indexed by flat core
+  /// index and must outlive the context; `availability`, when non-empty,
+  /// must be indexed the same way.
   MappingContext(const cluster::Cluster& cluster,
                  const workload::TaskTypeTable& types,
                  std::span<const robustness::CoreQueueModel> cores,
-                 const workload::Task& task, double now);
+                 const workload::Task& task, double now,
+                 std::span<const CoreAvailability> availability = {});
 
   [[nodiscard]] const workload::Task& task() const noexcept { return *task_; }
   [[nodiscard]] double now() const noexcept { return now_; }

@@ -44,14 +44,36 @@ ImmediateModeScheduler::ImmediateModeScheduler(
 
 std::optional<Candidate> ImmediateModeScheduler::MapTask(
     const workload::Task& task, double now,
-    std::span<const robustness::CoreQueueModel> cores) {
+    std::span<const robustness::CoreQueueModel> cores,
+    std::span<const CoreAvailability> availability) {
   ECDRA_REQUIRE(tasks_seen_ < window_size_,
                 "more tasks mapped than the window holds");
   ++tasks_seen_;
   // T_left includes the task being mapped so the last task still gets a
   // non-degenerate fair share (DESIGN.md decision 6).
   const std::size_t tasks_left = window_size_ - tasks_seen_ + 1;
+  std::optional<Candidate> chosen = RunPipeline(
+      task, now, cores, availability, tasks_left, /*remap=*/false);
+  if (!chosen) ++tasks_discarded_;
+  return chosen;
+}
 
+std::optional<Candidate> ImmediateModeScheduler::RemapTask(
+    const workload::Task& task, double now,
+    std::span<const robustness::CoreQueueModel> cores,
+    std::span<const CoreAvailability> availability) {
+  // The stranded task was already counted by its original MapTask; its
+  // fair share matches the next arrival's (the "+1" is the task in hand).
+  const std::size_t tasks_left = window_size_ - tasks_seen_ + 1;
+  return RunPipeline(task, now, cores, availability, tasks_left,
+                     /*remap=*/true);
+}
+
+std::optional<Candidate> ImmediateModeScheduler::RunPipeline(
+    const workload::Task& task, double now,
+    std::span<const robustness::CoreQueueModel> cores,
+    std::span<const CoreAvailability> availability, std::size_t tasks_left,
+    bool remap) {
   // Observability: counters and trace records are only assembled when an
   // attachment exists; the common (detached) path pays two null-checks.
   obs::Counters* const counters = obs_.counters;
@@ -60,7 +82,7 @@ std::optional<Candidate> ImmediateModeScheduler::MapTask(
   std::chrono::steady_clock::time_point decision_start;
   if (timed) decision_start = std::chrono::steady_clock::now();
 
-  MappingContext ctx(*cluster_, *types_, cores, task, now);
+  MappingContext ctx(*cluster_, *types_, cores, task, now, availability);
   ctx.SetBudgetView(estimator_.remaining(), tasks_left);
 
   const std::size_t candidates_generated = ctx.candidates().size();
@@ -91,13 +113,12 @@ std::optional<Candidate> ImmediateModeScheduler::MapTask(
   }
 
   std::optional<Candidate> chosen = heuristic_->Select(ctx);
-  if (chosen) {
-    estimator_.Charge(chosen->eec);
-  } else {
-    ++tasks_discarded_;
-  }
+  if (chosen) estimator_.Charge(chosen->eec);
 
-  if (counters != nullptr) {
+  // Remap outcomes are tallied by the engine (tasks_remapped /
+  // tasks_lost_to_failures); the mapped/discarded slots describe the
+  // arrival window only.
+  if (counters != nullptr && !remap) {
     if (chosen) {
       ++counters->tasks_mapped;
     } else {
@@ -116,6 +137,7 @@ std::optional<Candidate> ImmediateModeScheduler::MapTask(
       record.deadline = task.deadline;
       record.candidates_generated = candidates_generated;
       record.decision_us = elapsed.count() * 1e6;
+      record.remap = remap;
       if (chosen) {
         record.assigned = true;
         record.flat_core = chosen->assignment.flat_core;

@@ -18,6 +18,7 @@
 #include "core/energy_estimator.hpp"
 #include "core/filter.hpp"
 #include "core/heuristic.hpp"
+#include "core/mapping_context.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "robustness/core_queue_model.hpp"
@@ -49,10 +50,24 @@ class ImmediateModeScheduler {
   /// Immediate-mode mapping of one arriving task. Returns the chosen
   /// candidate, or nullopt if the filters eliminated every assignment (the
   /// task is discarded). Must be called exactly once per task, in arrival
-  /// order.
+  /// order. `availability` (fault extension) restricts the candidate set;
+  /// empty means every core is fully available.
   [[nodiscard]] std::optional<Candidate> MapTask(
       const workload::Task& task, double now,
-      std::span<const robustness::CoreQueueModel> cores);
+      std::span<const robustness::CoreQueueModel> cores,
+      std::span<const CoreAvailability> availability = {});
+
+  /// Fault-recovery re-mapping of a task stranded by a core failure
+  /// (RecoveryPolicy::kRequeueToScheduler). Runs the identical filter +
+  /// heuristic pipeline — and charges the estimator for the new
+  /// assignment's EEC — but does not advance the arrival window: the task
+  /// was already counted by its original MapTask, so tasks_seen() and
+  /// tasks_discarded() are untouched and T_left matches the next arrival's.
+  /// Trace records carry "remap":true.
+  [[nodiscard]] std::optional<Candidate> RemapTask(
+      const workload::Task& task, double now,
+      std::span<const robustness::CoreQueueModel> cores,
+      std::span<const CoreAvailability> availability);
 
   /// Attaches per-trial counters and/or a decision-trace sink. Call before
   /// the first MapTask; both attachments must outlive the scheduler's use.
@@ -72,6 +87,15 @@ class ImmediateModeScheduler {
   [[nodiscard]] std::string VariantName() const;
 
  private:
+  /// Shared MapTask/RemapTask pipeline: candidate generation, filter chain,
+  /// heuristic selection, EEC charge, and observability. Window accounting
+  /// stays in the public entry points.
+  [[nodiscard]] std::optional<Candidate> RunPipeline(
+      const workload::Task& task, double now,
+      std::span<const robustness::CoreQueueModel> cores,
+      std::span<const CoreAvailability> availability, std::size_t tasks_left,
+      bool remap);
+
   const cluster::Cluster* cluster_;
   const workload::TaskTypeTable* types_;
   std::unique_ptr<Heuristic> heuristic_;

@@ -1,0 +1,42 @@
+#include "fault/fault_injector.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::fault {
+
+FaultInjector::FaultInjector(std::size_t num_cores, FaultSchedule schedule)
+    : events_(std::move(schedule.events)),
+      available_(num_cores, 1),
+      floor_(num_cores, 0) {
+  for (const FaultEvent& event : events_) {
+    ECDRA_REQUIRE(event.flat_core < num_cores,
+                  "fault event names a core outside the cluster");
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  const std::size_t flat = event.flat_core;
+  switch (event.kind) {
+    case FaultEventKind::kCoreFailure:
+      ECDRA_ASSERT(available_[flat] != 0, "failure of an already-dead core");
+      available_[flat] = 0;
+      ++unavailable_;
+      ++failures_;
+      break;
+    case FaultEventKind::kCoreRepair:
+      ECDRA_ASSERT(available_[flat] == 0, "repair of a live core");
+      available_[flat] = 1;
+      --unavailable_;
+      ++repairs_;
+      break;
+    case FaultEventKind::kThrottleStart:
+      floor_[flat] = event.pstate_floor;
+      ++throttles_;
+      break;
+    case FaultEventKind::kThrottleEnd:
+      floor_[flat] = 0;
+      break;
+  }
+}
+
+}  // namespace ecdra::fault

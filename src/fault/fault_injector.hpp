@@ -1,0 +1,68 @@
+// Runtime state machine over one trial's FaultSchedule.
+//
+// The simulation engine merges the schedule's events into its event queue
+// and calls Apply as each one fires; the injector tracks which cores are
+// dead and which P-state floors are active, and counts what was applied.
+// The injector is pure bookkeeping — all hardware consequences (dropping
+// queued work, re-timing running tasks, zeroing power draw) live in the
+// engine, and all policy consequences (what happens to stranded tasks) in
+// the recovery policy.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/pstate.hpp"
+#include "fault/fault_model.hpp"
+
+namespace ecdra::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(std::size_t num_cores, FaultSchedule schedule);
+
+  /// The trial's events, time-ordered (as generated).
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Applies one event's state change. Events must be applied in schedule
+  /// order. Throttle events on a failed core update the floor bookkeeping
+  /// (it matters again after a repair) but the core stays unavailable.
+  void Apply(const FaultEvent& event);
+
+  [[nodiscard]] bool available(std::size_t flat_core) const {
+    return available_[flat_core] != 0;
+  }
+  /// Active P-state floor (0 = unthrottled). Meaningful regardless of
+  /// availability; callers gate on available() first.
+  [[nodiscard]] cluster::PStateIndex pstate_floor(std::size_t flat_core) const {
+    return floor_[flat_core];
+  }
+
+  [[nodiscard]] std::size_t failures_applied() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] std::size_t repairs_applied() const noexcept {
+    return repairs_;
+  }
+  [[nodiscard]] std::size_t throttles_applied() const noexcept {
+    return throttles_;
+  }
+  /// Cores currently dead.
+  [[nodiscard]] std::size_t unavailable_cores() const noexcept {
+    return unavailable_;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+  std::vector<std::uint8_t> available_;
+  std::vector<cluster::PStateIndex> floor_;
+  std::size_t failures_ = 0;
+  std::size_t repairs_ = 0;
+  std::size_t throttles_ = 0;
+  std::size_t unavailable_ = 0;
+};
+
+}  // namespace ecdra::fault

@@ -1,0 +1,86 @@
+#include "fault/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ecdra::fault {
+namespace {
+
+/// One time-to-failure draw. The Weibull scale is chosen so the mean equals
+/// mtbf: E[Weibull(shape, scale)] = scale * Gamma(1 + 1/shape).
+double SampleLifetime(util::RngStream& stream,
+                      const FaultModelOptions& options) {
+  if (options.lifetime == LifetimeDistribution::kExponential) {
+    return stream.Exponential(1.0 / options.mtbf);
+  }
+  const double shape = options.weibull_shape;
+  const double scale = options.mtbf / std::tgamma(1.0 + 1.0 / shape);
+  const double u = stream.UniformReal(0.0, 1.0);  // in [0, 1): 1-u > 0
+  return scale * std::pow(-std::log1p(-u), 1.0 / shape);
+}
+
+}  // namespace
+
+FaultSchedule GenerateFaultSchedule(const cluster::Cluster& cluster,
+                                    const FaultModelOptions& options,
+                                    const util::RngStream& rng) {
+  FaultSchedule schedule;
+  if (!options.enabled()) return schedule;
+  ECDRA_REQUIRE(options.horizon > 0.0,
+                "fault schedule generation needs a positive horizon");
+  ECDRA_REQUIRE(options.mtbf >= 0.0, "mtbf must be non-negative");
+  ECDRA_REQUIRE(options.lifetime != LifetimeDistribution::kWeibull ||
+                    options.weibull_shape > 0.0,
+                "Weibull shape must be positive");
+  ECDRA_REQUIRE(options.throttle_floor < cluster::kNumPStates,
+                "throttle floor must name a valid P-state");
+
+  for (std::size_t flat = 0; flat < cluster.total_cores(); ++flat) {
+    if (options.mtbf > 0.0) {
+      util::RngStream stream = rng.Substream("fault-life", flat);
+      double t = 0.0;
+      for (;;) {
+        t += SampleLifetime(stream, options);
+        if (t >= options.horizon) break;
+        schedule.events.push_back(
+            {t, FaultEventKind::kCoreFailure, flat, 0});
+        if (options.repair_time <= 0.0) break;  // permanent
+        t += stream.Exponential(1.0 / options.repair_time);
+        if (t >= options.horizon) break;
+        schedule.events.push_back({t, FaultEventKind::kCoreRepair, flat, 0});
+      }
+    }
+    if (options.throttle_interval > 0.0 && options.throttle_duration > 0.0) {
+      util::RngStream stream = rng.Substream("fault-throttle", flat);
+      double t = 0.0;
+      for (;;) {
+        t += stream.Exponential(1.0 / options.throttle_interval);
+        if (t >= options.horizon) break;
+        schedule.events.push_back({t, FaultEventKind::kThrottleStart, flat,
+                                   options.throttle_floor});
+        const double end = t + stream.Exponential(1.0 / options.throttle_duration);
+        if (end >= options.horizon) break;  // throttled through the end
+        schedule.events.push_back({end, FaultEventKind::kThrottleEnd, flat, 0});
+        t = end;
+      }
+    }
+  }
+
+  // Deterministic total order: time, then core, then kind. Equal keys can
+  // only arise from distinct cores or kinds (each per-core stream is
+  // strictly increasing), so the order is unambiguous; stable_sort keeps
+  // the per-core generation order even under floating-point ties.
+  std::stable_sort(schedule.events.begin(), schedule.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.flat_core != b.flat_core) {
+                       return a.flat_core < b.flat_core;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return schedule;
+}
+
+}  // namespace ecdra::fault

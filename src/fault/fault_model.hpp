@@ -1,0 +1,103 @@
+// Deterministic fault schedules for a heterogeneous cluster.
+//
+// The paper assumes a fault-free cluster (§III-A) and lists dynamic machine
+// availability as future work (§VIII). This module generates, per trial, a
+// time-ordered list of fault events — permanent core failures (with optional
+// repair) and transient throttle intervals that cap the core's available
+// P-state — sampled entirely from a dedicated RNG substream so that a
+// disabled fault model ("fault rate 0") leaves every other draw in the
+// simulation untouched: the common-random-numbers guarantees of the
+// experiment runner survive fault injection bit-for-bit.
+//
+// Lifetimes are exponential (memoryless, the classic MTBF model) or Weibull
+// (wear-out: shape > 1 concentrates failures late), matching the machine
+// availability models of the dynamic-vs-batch literature (arXiv:1106.4985)
+// and the oversubscribed-HC pruning work (arXiv:1901.09312).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/pstate.hpp"
+#include "util/rng.hpp"
+
+namespace ecdra::fault {
+
+/// Distribution of a core's time-to-failure.
+enum class LifetimeDistribution {
+  /// Constant hazard rate; mean = mtbf.
+  kExponential,
+  /// Weibull with configurable shape (shape > 1 models wear-out); the scale
+  /// is derived so the mean equals mtbf.
+  kWeibull,
+};
+
+enum class FaultEventKind {
+  /// The core dies: its running and queued work is lost (recovery policy
+  /// decides what happens to it) and it draws no power.
+  kCoreFailure,
+  /// The core returns to service, idle and empty.
+  kCoreRepair,
+  /// Transient degradation begins: the core cannot run P-states faster than
+  /// the event's pstate_floor (thermal throttling / capped DVFS).
+  kThrottleStart,
+  /// The throttle lifts.
+  kThrottleEnd,
+};
+
+struct FaultEvent {
+  double time = 0.0;
+  FaultEventKind kind = FaultEventKind::kCoreFailure;
+  std::size_t flat_core = 0;
+  /// kThrottleStart only: lowest-index (fastest) P-state the core may use
+  /// while throttled; states with a smaller index are unavailable.
+  cluster::PStateIndex pstate_floor = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Time-ordered fault events for one trial. Empty = the paper's fault-free
+/// cluster.
+struct FaultSchedule {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+};
+
+struct FaultModelOptions {
+  /// Mean time to (permanent) failure of each core; 0 disables failures.
+  double mtbf = 0.0;
+  LifetimeDistribution lifetime = LifetimeDistribution::kExponential;
+  /// Weibull shape parameter (used when lifetime == kWeibull; must be > 0).
+  double weibull_shape = 1.5;
+  /// Mean outage duration before a failed core is repaired and rejoins the
+  /// cluster; 0 means failures are permanent for the rest of the trial.
+  double repair_time = 0.0;
+  /// Mean time between transient throttle onsets per core; 0 disables
+  /// throttling.
+  double throttle_interval = 0.0;
+  /// Mean duration of one throttle interval (must be > 0 when throttling is
+  /// enabled).
+  double throttle_duration = 0.0;
+  /// P-state floor imposed while throttled (see FaultEvent::pstate_floor).
+  cluster::PStateIndex throttle_floor = 2;
+  /// Schedule generation horizon: no event is generated at or beyond this
+  /// time. The experiment runner derives it from the workload when left 0.
+  double horizon = 0.0;
+
+  /// True iff the options describe any fault activity at all.
+  [[nodiscard]] bool enabled() const noexcept {
+    return mtbf > 0.0 || (throttle_interval > 0.0 && throttle_duration > 0.0);
+  }
+};
+
+/// Samples one trial's fault schedule. Deterministic in (rng seed, options,
+/// cluster shape): each core draws its lifetime and throttle sequences from
+/// its own named substream of `rng`, so the schedule is independent of
+/// evaluation order. Callers pass the trial's dedicated "fault" substream.
+[[nodiscard]] FaultSchedule GenerateFaultSchedule(
+    const cluster::Cluster& cluster, const FaultModelOptions& options,
+    const util::RngStream& rng);
+
+}  // namespace ecdra::fault

@@ -28,6 +28,11 @@ constexpr std::array kFields{
     CounterField{"pmf_truncations", &Counters::pmf_truncations},
     CounterField{"pstate_switches", &Counters::pstate_switches},
     CounterField{"tasks_cancelled", &Counters::tasks_cancelled},
+    CounterField{"failures_injected", &Counters::failures_injected},
+    CounterField{"repairs_applied", &Counters::repairs_applied},
+    CounterField{"throttles_applied", &Counters::throttles_applied},
+    CounterField{"tasks_lost_to_failures", &Counters::tasks_lost_to_failures},
+    CounterField{"tasks_remapped", &Counters::tasks_remapped},
 };
 
 }  // namespace

@@ -54,6 +54,18 @@ struct Counters {
   /// Queued tasks dropped as hopeless (CancelPolicy::kCancelHopelessQueued).
   std::uint64_t tasks_cancelled = 0;
 
+  // -- Fault injection (src/fault; all zero when faults are disabled) --
+  /// Permanent core failures applied during the trial.
+  std::uint64_t failures_injected = 0;
+  /// Failed cores returned to service.
+  std::uint64_t repairs_applied = 0;
+  /// Transient throttle intervals begun.
+  std::uint64_t throttles_applied = 0;
+  /// Tasks stranded on a failed core and dropped (running + queued).
+  std::uint64_t tasks_lost_to_failures = 0;
+  /// Stranded tasks successfully re-mapped (RecoveryPolicy::kRequeueToScheduler).
+  std::uint64_t tasks_remapped = 0;
+
   /// Total wall-clock time spent inside MapTask (steady_clock), seconds.
   double decision_seconds = 0.0;
 

@@ -54,6 +54,22 @@ void WriteDecision(std::ostream& os, const MappingDecisionRecord& decision) {
   }
   os << "],\"decision_us\":";
   AppendNumber(os, decision.decision_us);
+  if (decision.remap) os << ",\"remap\":true";
+  os << "}\n";
+}
+
+void WriteFault(std::ostream& os, const FaultEventRecord& fault) {
+  os << "{\"event\":\"fault\",\"trial\":" << fault.trial << ",\"time\":";
+  AppendNumber(os, fault.time);
+  os << ",\"kind\":\"" << json::Escape(fault.kind)
+     << "\",\"core\":" << fault.flat_core;
+  if (fault.kind == "throttle_start") {
+    os << ",\"pstate_floor\":" << fault.pstate_floor;
+  }
+  if (fault.kind == "failure") {
+    os << ",\"tasks_lost\":" << fault.tasks_lost
+       << ",\"tasks_requeued\":" << fault.tasks_requeued;
+  }
   os << "}\n";
 }
 
@@ -81,6 +97,10 @@ class SynchronizedSink final : public TraceSink {
     const std::lock_guard<std::mutex> lock(mutex_);
     inner_->Record(snapshot);
   }
+  void Record(const FaultEventRecord& fault) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Record(fault);
+  }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
     inner_->Flush();
@@ -107,6 +127,10 @@ class JsonlFileSink final : public TraceSink {
     const std::lock_guard<std::mutex> lock(mutex_);
     WriteSnapshot(file_, snapshot);
   }
+  void Record(const FaultEventRecord& fault) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    WriteFault(file_, fault);
+  }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
     file_.flush();
@@ -125,6 +149,10 @@ void JsonlTraceSink::Record(const MappingDecisionRecord& decision) {
 
 void JsonlTraceSink::Record(const EnergySnapshotRecord& snapshot) {
   WriteSnapshot(*os_, snapshot);
+}
+
+void JsonlTraceSink::Record(const FaultEventRecord& fault) {
+  WriteFault(*os_, fault);
 }
 
 void JsonlTraceSink::Flush() { os_->flush(); }

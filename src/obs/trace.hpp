@@ -15,11 +15,15 @@
 //   {"event":"decision",...,"assigned":false,"discard_stage":"en",...}
 //   {"event":"energy","trial":T,"time":t,"consumed":C,"budget":B,
 //    "estimated_remaining":R}
+//   {"event":"fault","trial":T,"time":t,"kind":"failure","core":F,
+//    "tasks_lost":L,"tasks_requeued":R}
+//   {"event":"fault",...,"kind":"throttle_start","pstate_floor":S}
 //
 // `stages` lists the filter chain in application order; `discard_stage`
 // names the stage that emptied the candidate set ("" never appears — the
 // key is omitted for assigned tasks). `decision_us` is the wall-clock
-// latency of the whole MapTask call measured with steady_clock.
+// latency of the whole MapTask call measured with steady_clock. Decision
+// records for fault-recovery re-mappings additionally carry "remap":true.
 #pragma once
 
 #include <cstddef>
@@ -61,6 +65,9 @@ struct MappingDecisionRecord {
   std::vector<FilterStageRecord> stages;
   /// Wall-clock MapTask latency, microseconds (steady_clock).
   double decision_us = 0.0;
+  /// True for fault-recovery re-mapping decisions (the task already appeared
+  /// in an earlier decision record of the same trial).
+  bool remap = false;
 };
 
 /// Snapshot of the online energy meter against the budget, taken by the
@@ -74,12 +81,30 @@ struct EnergySnapshotRecord {
   double estimated_remaining = 0.0;
 };
 
+/// One applied fault event (failure/repair/throttle) and its immediate
+/// consequences for the work assigned to the core.
+struct FaultEventRecord {
+  std::uint64_t trial = 0;
+  double time = 0.0;
+  /// "failure" | "repair" | "throttle_start" | "throttle_end".
+  std::string kind;
+  std::uint64_t flat_core = 0;
+  /// throttle_start only: the P-state floor imposed on the core.
+  std::uint64_t pstate_floor = 0;
+  /// failure only: stranded tasks dropped / successfully re-mapped.
+  std::uint64_t tasks_lost = 0;
+  std::uint64_t tasks_requeued = 0;
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
 
   virtual void Record(const MappingDecisionRecord& decision) = 0;
   virtual void Record(const EnergySnapshotRecord& snapshot) = 0;
+  /// Default no-op so sinks predating the fault extension keep compiling;
+  /// the JSONL sinks emit one "fault" line per event.
+  virtual void Record(const FaultEventRecord& fault) { (void)fault; }
   virtual void Flush() {}
 };
 
@@ -92,6 +117,7 @@ class JsonlTraceSink final : public TraceSink {
 
   void Record(const MappingDecisionRecord& decision) override;
   void Record(const EnergySnapshotRecord& snapshot) override;
+  void Record(const FaultEventRecord& fault) override;
   void Flush() override;
 
  private:

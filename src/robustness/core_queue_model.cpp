@@ -81,6 +81,14 @@ void CoreQueueModel::DropNext() {
   InvalidateCache();
 }
 
+void CoreQueueModel::Reset() noexcept {
+  running_.reset();
+  queued_.clear();
+  queued_suffix_ = pmf::Pmf();
+  queued_mean_sum_ = 0.0;
+  InvalidateCache();
+}
+
 void CoreQueueModel::RebuildSuffix() {
   if (queued_.empty()) {
     queued_suffix_ = pmf::Pmf();

@@ -71,6 +71,10 @@ class CoreQueueModel {
   /// the §VIII future-work extension). The core must be idle, as
   /// cancellation decisions happen when a core picks its next task.
   void DropNext();
+  /// Forgets every assigned task (running and queued) — the core failed and
+  /// its work is stranded (fault extension). The model returns to the
+  /// empty-core state; ReadyPmf becomes Delta(now).
+  void Reset() noexcept;
 
  private:
   void RebuildSuffix();

@@ -7,6 +7,23 @@
 #include "util/assert.hpp"
 
 namespace ecdra::sim {
+namespace {
+
+const char* FaultKindName(fault::FaultEventKind kind) {
+  switch (kind) {
+    case fault::FaultEventKind::kCoreFailure:
+      return "failure";
+    case fault::FaultEventKind::kCoreRepair:
+      return "repair";
+    case fault::FaultEventKind::kThrottleStart:
+      return "throttle_start";
+    case fault::FaultEventKind::kThrottleEnd:
+      return "throttle_end";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 Engine::Engine(const cluster::Cluster& cluster,
                const workload::TaskTypeTable& types,
@@ -55,6 +72,16 @@ Engine::Engine(const cluster::Cluster& cluster,
   scheduler_->SetObservability(core::SchedulerObservability{
       options_.collect_counters ? &counters_ : nullptr, options_.trace_sink,
       options_.trial_index});
+
+  // Fault extension: all bookkeeping stays unallocated (and the baseline
+  // event/mapping paths untouched) unless this trial has a schedule.
+  fault_enabled_ = !options_.fault_schedule.empty();
+  if (fault_enabled_) {
+    injector_ =
+        fault::FaultInjector(cluster.total_cores(), options_.fault_schedule);
+    availability_.assign(cluster.total_cores(), core::CoreAvailability{});
+    remapped_.assign(tasks_.size(), 0);
+  }
 }
 
 TrialResult Engine::Run() {
@@ -69,16 +96,31 @@ TrialResult Engine::Run() {
 
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     result.weighted_total += tasks_[i].priority;
-    events_.push(Event{tasks_[i].arrival, 1, i, next_seq_++});
+    events_.push(Event{tasks_[i].arrival, 2, i, next_seq_++});
+  }
+  for (std::size_t i = 0; i < injector_.events().size(); ++i) {
+    events_.push(Event{injector_.events()[i].time, 1, i, next_seq_++});
   }
 
+  std::size_t arrivals_pending = tasks_.size();
   double now = 0.0;
   while (!events_.empty()) {
     const Event event = events_.top();
     events_.pop();
+    if (event.kind == 0) {
+      // Skip stale finish events — the expected task was re-timed by a
+      // throttle or killed by a failure — without touching the clock, so a
+      // stale event beyond the last real one cannot inflate the makespan.
+      const CoreRuntime& core = runtime_[event.index];
+      if (!core.busy || core.running.task_id != event.tag ||
+          core.running.finish_time != event.time) {
+        continue;
+      }
+    }
     AdvanceEnergy(event.time);
     now = event.time;
-    if (event.kind == 1) {
+    if (event.kind == 2) {
+      --arrivals_pending;
       HandleArrival(tasks_[event.index], now);
       if (options_.collect_robustness_trace) {
         // Sampled after the arrival is mapped, so the trace reflects the
@@ -98,6 +140,8 @@ TrialResult Engine::Run() {
             options_.trial_index, now, meter_.consumed(),
             options_.energy_budget, scheduler_->estimator().remaining()});
       }
+    } else if (event.kind == 1) {
+      HandleFault(injector_.events()[event.index], now);
     } else {
       // Tally the finishing task before mutating core state.
       const std::size_t flat = event.index;
@@ -108,11 +152,13 @@ TrialResult Engine::Run() {
       if (on_time && within_energy) {
         ++result.completed;
         result.weighted_completed += task.priority;
+        if (fault_enabled_ && remapped_[task_id] != 0) ++remapped_on_time_;
       } else if (!on_time) {
         ++result.finished_late;
       } else {
         ++result.on_time_but_over_budget;
       }
+      --active_tasks_;
       if (options_.collect_task_records) {
         TaskRecord& record = records_[task_id];
         record.finish_time = now;
@@ -121,6 +167,9 @@ TrialResult Engine::Run() {
       }
       HandleFinish(flat, now);
     }
+    // With all arrivals seen and no task assigned anywhere, nothing left in
+    // the queue can matter — only stale finishes and trailing fault events.
+    if (arrivals_pending == 0 && active_tasks_ == 0) break;
   }
 
   // End-of-workload transition for every core (§III-C), then reconcile the
@@ -139,6 +188,12 @@ TrialResult Engine::Run() {
 
   result.discarded = scheduler_->tasks_discarded();
   result.cancelled = cancelled_;
+  result.failures_injected = injector_.failures_applied();
+  result.repairs_applied = injector_.repairs_applied();
+  result.throttles_injected = injector_.throttles_applied();
+  result.tasks_lost_to_failures = tasks_lost_;
+  result.tasks_remapped = tasks_remapped_;
+  result.remapped_on_time = remapped_on_time_;
   result.missed_deadlines = result.window_size - result.completed;
   result.weighted_missed = result.weighted_total - result.weighted_completed;
   result.total_energy = post_hoc;
@@ -157,11 +212,15 @@ TrialResult Engine::Run() {
 
 void Engine::HandleArrival(const workload::Task& task, double now) {
   const std::optional<core::Candidate> chosen =
-      scheduler_->MapTask(task, now, models_);
+      scheduler_->MapTask(task, now, models_, AvailabilityView());
   if (!chosen) return;  // discarded; scheduler counted it
+  PlaceOnCore(*chosen, task, now);
+}
 
-  const std::size_t flat = chosen->assignment.flat_core;
-  const cluster::PStateIndex pstate = chosen->assignment.pstate;
+void Engine::PlaceOnCore(const core::Candidate& chosen,
+                         const workload::Task& task, double now) {
+  const std::size_t flat = chosen.assignment.flat_core;
+  const cluster::PStateIndex pstate = chosen.assignment.pstate;
 
   if (options_.collect_task_records) {
     TaskRecord& record = records_[task.id];
@@ -169,11 +228,12 @@ void Engine::HandleArrival(const workload::Task& task, double now) {
     record.flat_core = flat;
     record.pstate = pstate;
     record.rho_at_assignment = robustness::OnTimeProbability(
-        models_[flat], now, *chosen->exec, task.deadline);
+        models_[flat], now, *chosen.exec, task.deadline);
   }
 
-  const double duration = SampleActualDuration(task, chosen->node, pstate);
-  const robustness::ModeledTask modeled{task.id, chosen->exec, task.deadline};
+  const double duration = SampleActualDuration(task, chosen.node, pstate);
+  const robustness::ModeledTask modeled{task.id, chosen.exec, task.deadline};
+  ++active_tasks_;
   if (runtime_[flat].busy) {
     runtime_[flat].pending.push_back(PendingTask{task.id, duration, pstate});
     models_[flat].Enqueue(modeled);
@@ -183,6 +243,121 @@ void Engine::HandleArrival(const workload::Task& task, double now) {
     // core would be optimistic by the switching latency.
     const double start = StartOnCore(flat, task.id, duration, pstate, now);
     models_[flat].StartTask(modeled, start);
+  }
+}
+
+bool Engine::TryRemap(const workload::Task& task, double now) {
+  const std::optional<core::Candidate> chosen =
+      scheduler_->RemapTask(task, now, models_, AvailabilityView());
+  if (!chosen) return false;
+  PlaceOnCore(*chosen, task, now);
+  return true;
+}
+
+void Engine::HandleFault(const fault::FaultEvent& fault_event, double now) {
+  const std::size_t flat = fault_event.flat_core;
+  injector_.Apply(fault_event);
+  availability_[flat] = core::CoreAvailability{
+      injector_.available(flat), injector_.pstate_floor(flat)};
+
+  obs::FaultEventRecord trace_record;
+  switch (fault_event.kind) {
+    case fault::FaultEventKind::kCoreFailure: {
+      obs::Bump(&obs::Counters::failures_injected);
+      // Strand every task assigned to the core: the partially-executed
+      // running task first (its progress is wasted), then the FIFO.
+      CoreRuntime& core = runtime_[flat];
+      std::vector<std::size_t> stranded;
+      stranded.reserve((core.busy ? 1 : 0) + core.pending.size());
+      if (core.busy) {
+        stranded.push_back(core.running.task_id);
+        core.busy = false;  // its finish event goes stale
+      }
+      for (const PendingTask& pending : core.pending) {
+        stranded.push_back(pending.task_id);
+      }
+      core.pending.clear();
+      models_[flat].Reset();
+      // A dead core draws nothing until repaired.
+      SwitchPState(flat, idle_pstate_, now, 0.0);
+      for (const std::size_t task_id : stranded) {
+        --active_tasks_;
+        bool saved = false;
+        if (options_.recovery_policy ==
+            fault::RecoveryPolicy::kRequeueToScheduler) {
+          saved = TryRemap(tasks_[task_id], now);
+        }
+        if (saved) {
+          ++tasks_remapped_;
+          ++trace_record.tasks_requeued;
+          remapped_[task_id] = 1;
+          obs::Bump(&obs::Counters::tasks_remapped);
+          if (options_.collect_task_records) {
+            records_[task_id].remapped = true;
+          }
+        } else {
+          ++tasks_lost_;
+          ++trace_record.tasks_lost;
+          obs::Bump(&obs::Counters::tasks_lost_to_failures);
+          if (options_.collect_task_records) {
+            TaskRecord& record = records_[task_id];
+            record.lost_to_failure = true;
+            record.finish_time = now;
+          }
+        }
+      }
+      break;
+    }
+    case fault::FaultEventKind::kCoreRepair: {
+      obs::Bump(&obs::Counters::repairs_applied);
+      // The repaired core rejoins idle and empty; restore its idle draw
+      // (zero if idle cores are power-gated).
+      const bool gated = options_.idle_policy == IdlePolicy::kPowerGated;
+      SwitchPState(flat, idle_pstate_, now, gated ? 0.0 : -1.0);
+      break;
+    }
+    case fault::FaultEventKind::kThrottleStart:
+      obs::Bump(&obs::Counters::throttles_applied);
+      trace_record.pstate_floor = fault_event.pstate_floor;
+      if (injector_.available(flat)) ApplyExecFloor(flat, now);
+      break;
+    case fault::FaultEventKind::kThrottleEnd:
+      if (injector_.available(flat)) ApplyExecFloor(flat, now);
+      break;
+  }
+
+  if (options_.trace_sink != nullptr) {
+    trace_record.trial = options_.trial_index;
+    trace_record.time = now;
+    trace_record.kind = FaultKindName(fault_event.kind);
+    trace_record.flat_core = flat;
+    options_.trace_sink->Record(trace_record);
+  }
+}
+
+void Engine::ApplyExecFloor(std::size_t flat_core, double now) {
+  CoreRuntime& core = runtime_[flat_core];
+  const cluster::PStateIndex floor = injector_.pstate_floor(flat_core);
+  if (core.busy) {
+    const cluster::PStateIndex target = std::max(core.running.pstate, floor);
+    if (target == core.running.exec_pstate) return;
+    // Re-time the remaining work: wall time left scales with the ratio of
+    // time multipliers between the old and new execution states. The old
+    // finish event goes stale; a fresh one carries the new finish time.
+    const cluster::PStateProfile& pstates =
+        cluster_->NodeOf(flat_core).pstates;
+    const double remaining = core.running.finish_time - now;
+    const double scaled = remaining * pstates[target].time_multiplier /
+                          pstates[core.running.exec_pstate].time_multiplier;
+    core.running.exec_pstate = target;
+    core.running.finish_time = now + scaled;
+    SwitchPState(flat_core, target, now);
+    events_.push(Event{core.running.finish_time, 0, flat_core, next_seq_++,
+                       core.running.task_id});
+  } else if (core.current_pstate < floor) {
+    // Idle above the floor (possible under IdlePolicy::kStayAtLast): the
+    // throttled core cannot hold a state faster than the floor.
+    SwitchPState(flat_core, floor, now);
   }
 }
 
@@ -200,6 +375,7 @@ void Engine::HandleFinish(std::size_t flat_core, double now) {
       core.pending.pop_front();
       models_[flat_core].DropNext();
       ++cancelled_;
+      --active_tasks_;
       if (options_.collect_task_records) {
         TaskRecord& record = records_[cancelled_id];
         record.cancelled = true;
@@ -223,11 +399,24 @@ void Engine::HandleFinish(std::size_t flat_core, double now) {
 double Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
                            double duration, cluster::PStateIndex pstate,
                            double now) {
+  // Fault extension: an active throttle floor caps the execution state; the
+  // sampled duration stretches by the time-multiplier ratio. Unthrottled
+  // cores (and all fault-free trials) take the exact baseline path.
+  cluster::PStateIndex exec_pstate = pstate;
+  if (fault_enabled_) {
+    exec_pstate = std::max(pstate, injector_.pstate_floor(flat_core));
+    if (exec_pstate != pstate) {
+      const cluster::PStateProfile& pstates =
+          cluster_->NodeOf(flat_core).pstates;
+      duration *= pstates[exec_pstate].time_multiplier /
+                  pstates[pstate].time_multiplier;
+    }
+  }
   // Optional DVFS switching delay: the core is occupied (at the destination
   // state's power) before execution begins.
   double start = now;
   if (options_.pstate_transition_latency > 0.0 &&
-      runtime_[flat_core].current_pstate != pstate) {
+      runtime_[flat_core].current_pstate != exec_pstate) {
     start += options_.pstate_transition_latency;
   }
   double core_watts = -1.0;
@@ -237,14 +426,14 @@ double Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
     util::RngStream stream = rng_.Substream("power-u", task_id);
     core_watts = stream.Gamma(
         1.0 / (options_.power_cov * options_.power_cov),
-        cluster_->NodeOf(flat_core).pstates[pstate].power_watts *
+        cluster_->NodeOf(flat_core).pstates[exec_pstate].power_watts *
             options_.power_cov * options_.power_cov);
   }
-  SwitchPState(flat_core, pstate, now, core_watts);
+  SwitchPState(flat_core, exec_pstate, now, core_watts);
   CoreRuntime& core = runtime_[flat_core];
   core.busy = true;
-  core.running = RunningTask{task_id, start + duration};
-  events_.push(Event{start + duration, 0, flat_core, next_seq_++});
+  core.running = RunningTask{task_id, start + duration, pstate, exec_pstate};
+  events_.push(Event{start + duration, 0, flat_core, next_seq_++, task_id});
   if (options_.collect_task_records) {
     records_[task_id].start_time = start;
   }

@@ -1,11 +1,13 @@
 // Discrete-event simulation of one trial (§VI).
 //
-// Two event kinds drive the clock: task arrivals (the scheduler maps the
-// task immediately) and task completions (the core starts its next queued
-// task or drops to the idle P-state). Between events every core draws the
-// power of its current P-state — cores are never off — and the engine
-// integrates cluster energy online, pinning the exact instant the budget
-// zeta_max is exhausted.
+// Three event kinds drive the clock: task arrivals (the scheduler maps the
+// task immediately), task completions (the core starts its next queued
+// task or drops to the idle P-state), and fault events (failures, repairs,
+// throttles — the §VIII dynamic-availability extension, absent by default).
+// Between events every core draws the power of its current P-state — cores
+// are never off unless power-gated or failed — and the engine integrates
+// cluster energy online, pinning the exact instant the budget zeta_max is
+// exhausted.
 //
 // The engine keeps two synchronized views of every core: the ground-truth
 // runtime state (current P-state, transition log, sampled actual execution
@@ -16,11 +18,15 @@
 #include <cstddef>
 #include <deque>
 #include <queue>
+#include <span>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "cluster/energy_accounting.hpp"
 #include "core/scheduler.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/recovery.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "robustness/core_queue_model.hpp"
@@ -95,6 +101,12 @@ struct TrialOptions {
   obs::TraceSink* trace_sink = nullptr;
   /// Trial index stamped into trace records (trials may share one sink).
   std::uint64_t trial_index = 0;
+  /// Fault extension (src/fault): this trial's pre-sampled fault schedule.
+  /// Empty (the default) reproduces the paper's fault-free cluster
+  /// bit-for-bit — no fault bookkeeping touches the hot path.
+  fault::FaultSchedule fault_schedule;
+  /// What happens to tasks stranded by a permanent core failure.
+  fault::RecoveryPolicy recovery_policy = fault::RecoveryPolicy::kDropQueued;
 };
 
 class Engine {
@@ -116,6 +128,11 @@ class Engine {
   struct RunningTask {
     std::size_t task_id = 0;
     double finish_time = 0.0;
+    /// P-state the scheduler assigned.
+    cluster::PStateIndex pstate = 0;
+    /// P-state actually executing (>= pstate when a throttle floor is
+    /// active; equal otherwise).
+    cluster::PStateIndex exec_pstate = 0;
   };
   /// A task assigned to a core but not yet started: its mapping fixed both
   /// the P-state and (for the simulator) the sampled actual duration.
@@ -135,11 +152,18 @@ class Engine {
 
   struct Event {
     double time = 0.0;
-    /// 0 = finish, 1 = arrival: finishes first at equal times so an arriving
-    /// task sees the freed core.
+    /// 0 = finish, 1 = fault, 2 = arrival. At equal times a finish precedes
+    /// a fault (the task just made it) and a fault precedes an arrival (the
+    /// arriving task sees the failed/throttled core).
     int kind = 0;
-    std::size_t index = 0;  // task index (arrival) or flat core (finish)
+    /// Task index (arrival), flat core (finish), or index into the fault
+    /// schedule (fault).
+    std::size_t index = 0;
     std::uint64_t seq = 0;  // deterministic tie-break
+    /// Finish events only: the task expected to be running. A finish event
+    /// whose (tag, time) no longer matches the core's running task is stale
+    /// — the task was re-timed by a throttle or killed by a failure.
+    std::size_t tag = 0;
 
     [[nodiscard]] bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;
@@ -150,6 +174,29 @@ class Engine {
 
   void HandleArrival(const workload::Task& task, double now);
   void HandleFinish(std::size_t flat_core, double now);
+  /// Applies one fault event: updates the injector/availability state and
+  /// carries out the hardware + recovery consequences.
+  void HandleFault(const fault::FaultEvent& fault_event, double now);
+  /// Re-times the core's running task (and its finish event) after its
+  /// P-state floor changed; bumps an idle core that sits above the floor.
+  void ApplyExecFloor(std::size_t flat_core, double now);
+  /// Runs the stranded task back through the full mapping pipeline
+  /// (RecoveryPolicy::kRequeueToScheduler). Returns true if it found a new
+  /// home.
+  [[nodiscard]] bool TryRemap(const workload::Task& task, double now);
+  /// Commits a chosen assignment: samples the actual duration, updates the
+  /// queue model, and starts or enqueues the task (shared by arrival
+  /// mapping and fault recovery).
+  void PlaceOnCore(const core::Candidate& chosen, const workload::Task& task,
+                   double now);
+  /// The scheduler's availability view: empty (all cores fully available,
+  /// the exact baseline path) unless this trial has a fault schedule.
+  [[nodiscard]] std::span<const core::CoreAvailability> AvailabilityView()
+      const noexcept {
+    return fault_enabled_ ? std::span<const core::CoreAvailability>(
+                                availability_)
+                          : std::span<const core::CoreAvailability>{};
+  }
   /// Returns the time execution actually begins: `now`, delayed by the
   /// P-state transition latency when the core must switch states. The
   /// caller must feed this start time into the core's queue model so the
@@ -178,6 +225,20 @@ class Engine {
   std::uint64_t next_seq_ = 0;
   std::optional<double> exhausted_at_;
   std::size_t cancelled_ = 0;
+  // -- Fault extension state (inert when fault_enabled_ is false) --
+  bool fault_enabled_ = false;
+  fault::FaultInjector injector_;
+  /// Scheduler-facing availability, kept in sync with the injector.
+  std::vector<core::CoreAvailability> availability_;
+  /// Per-task "was re-mapped" flags (sized only when faults are enabled).
+  std::vector<std::uint8_t> remapped_;
+  std::size_t tasks_lost_ = 0;
+  std::size_t tasks_remapped_ = 0;
+  std::size_t remapped_on_time_ = 0;
+  /// Tasks currently assigned to some core (running or queued); lets the
+  /// event loop stop once all work is resolved instead of draining
+  /// trailing fault events.
+  std::size_t active_tasks_ = 0;
   std::vector<TaskRecord> records_;
   std::vector<RobustnessSample> robustness_trace_;
   cluster::PStateIndex idle_pstate_;

@@ -75,7 +75,7 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       core::MakeFilterChain(filter_variant, options.filter_options),
       setup.energy_budget, setup.window_size);
 
-  const TrialOptions trial_options{
+  TrialOptions trial_options{
       .energy_budget = setup.energy_budget,
       .idle_policy = options.idle_policy,
       .cancel_policy = options.cancel_policy,
@@ -86,7 +86,18 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       .collect_counters = options.collect_counters,
       .trace_sink = options.trace_sink,
       .trial_index = trial_index,
+      .recovery_policy = options.recovery,
   };
+  if (options.fault.enabled()) {
+    // The fault schedule draws only from the trial's "fault" substream, so
+    // every workload/heuristic/sim draw matches the fault-free run exactly.
+    fault::FaultModelOptions fault_options = options.fault;
+    if (fault_options.horizon <= 0.0) {
+      fault_options.horizon = tasks.back().arrival + 20.0 * setup.t_avg;
+    }
+    trial_options.fault_schedule = fault::GenerateFaultSchedule(
+        setup.cluster, fault_options, trial_rng.Substream("fault"));
+  }
   Engine engine(setup.cluster, setup.types, std::move(tasks), scheduler,
                 trial_options, trial_rng.Substream("sim"));
   return engine.Run();

@@ -81,6 +81,12 @@ struct RunOptions {
   /// Worker threads for the trial fan-out; 0 = hardware concurrency.
   std::size_t num_threads = 0;
   core::FilterChainOptions filter_options;
+  /// Fault extension (src/fault): when enabled(), each trial samples its own
+  /// fault schedule from the trial's dedicated "fault" substream — no other
+  /// trial draw shifts, so fault-free configurations stay bit-identical.
+  /// A zero fault.horizon is replaced by (last arrival + 20 * t_avg).
+  fault::FaultModelOptions fault;
+  fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
 };
 
 /// Runs one deterministic trial.

@@ -15,6 +15,14 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
      << ", over_budget=" << result.on_time_but_over_budget
      << ", cancelled=" << result.cancelled
      << "), energy=" << result.total_energy;
+  if (result.failures_injected > 0 || result.throttles_injected > 0) {
+    os << ", failures=" << result.failures_injected
+       << ", repairs=" << result.repairs_applied
+       << ", throttles=" << result.throttles_injected
+       << ", lost=" << result.tasks_lost_to_failures
+       << ", remapped=" << result.tasks_remapped
+       << ", remapped_on_time=" << result.remapped_on_time;
+  }
   if (result.energy_exhausted_at) {
     os << ", exhausted_at=" << *result.energy_exhausted_at;
   }
@@ -32,6 +40,12 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
     summary.mean_cancelled += static_cast<double>(trial.cancelled);
     summary.mean_energy += trial.total_energy;
     summary.mean_makespan += trial.makespan;
+    summary.mean_failures += static_cast<double>(trial.failures_injected);
+    summary.mean_tasks_lost +=
+        static_cast<double>(trial.tasks_lost_to_failures);
+    summary.mean_remapped += static_cast<double>(trial.tasks_remapped);
+    summary.mean_remapped_on_time +=
+        static_cast<double>(trial.remapped_on_time);
     summary.counters.Merge(trial.counters);
   }
   const double n = static_cast<double>(trials.size());
@@ -41,6 +55,10 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
   summary.mean_cancelled /= n;
   summary.mean_energy /= n;
   summary.mean_makespan /= n;
+  summary.mean_failures /= n;
+  summary.mean_tasks_lost /= n;
+  summary.mean_remapped /= n;
+  summary.mean_remapped_on_time /= n;
   return summary;
 }
 
@@ -51,6 +69,12 @@ std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
      << ", mean_discarded=" << summary.mean_discarded
      << ", mean_energy=" << summary.mean_energy
      << ", mean_makespan=" << summary.mean_makespan;
+  if (summary.mean_failures > 0.0) {
+    os << ", mean_failures=" << summary.mean_failures
+       << ", mean_tasks_lost=" << summary.mean_tasks_lost
+       << ", mean_remapped=" << summary.mean_remapped
+       << ", mean_remapped_on_time=" << summary.mean_remapped_on_time;
+  }
   if (!summary.counters.empty()) {
     os << ", counters=" << summary.counters;
     if (summary.counters.decisions() > 0) {

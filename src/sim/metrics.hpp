@@ -37,6 +37,12 @@ struct TaskRecord {
   bool within_energy = false;    // finished before budget exhaustion
   /// Dropped from its queue (CancelPolicy::kCancelHopelessQueued only).
   bool cancelled = false;
+  /// Stranded by a permanent core failure and never finished (fault
+  /// extension; counts toward missed_deadlines).
+  bool lost_to_failure = false;
+  /// Re-mapped to another core after its original core failed
+  /// (RecoveryPolicy::kRequeueToScheduler).
+  bool remapped = false;
 };
 
 /// One sample of the system robustness rho(t_l) (Eq. 4) taken at a task
@@ -61,6 +67,23 @@ struct TrialResult {
   std::size_t on_time_but_over_budget = 0;
   /// Queued tasks dropped as hopeless (kCancelHopelessQueued only).
   std::size_t cancelled = 0;
+
+  // -- Fault extension (all zero when faults are disabled) --
+  /// Permanent core failures applied during the trial.
+  std::size_t failures_injected = 0;
+  /// Failed cores returned to service.
+  std::size_t repairs_applied = 0;
+  /// Transient throttle intervals begun.
+  std::size_t throttles_injected = 0;
+  /// Tasks stranded on a failed core that were never completed (dropped, or
+  /// re-mapping found no feasible assignment). Counts toward
+  /// missed_deadlines.
+  std::size_t tasks_lost_to_failures = 0;
+  /// Stranded tasks the recovery policy successfully re-assigned.
+  std::size_t tasks_remapped = 0;
+  /// Re-mapped tasks that still finished by their deadline (and within
+  /// budget) — the recovery policy's save count.
+  std::size_t remapped_on_time = 0;
 
   /// Priority-weighted analogues (equal to the unweighted counts when every
   /// task has priority 1, the paper's setting).
@@ -99,6 +122,11 @@ struct SummaryStatistics {
   double mean_cancelled = 0.0;
   double mean_energy = 0.0;
   double mean_makespan = 0.0;
+  // -- Fault extension (all zero when faults are disabled) --
+  double mean_failures = 0.0;
+  double mean_tasks_lost = 0.0;
+  double mean_remapped = 0.0;
+  double mean_remapped_on_time = 0.0;
   /// Counters summed over all trials (all-zero when collection was off).
   obs::Counters counters;
 };

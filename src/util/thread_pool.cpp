@@ -14,13 +14,17 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     const std::lock_guard lock(mutex_);
+    if (stopping_) return;  // idempotent; workers already joined (or joining)
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
 }
 
 void ThreadPool::WorkerLoop() {

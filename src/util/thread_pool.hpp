@@ -2,6 +2,11 @@
 // parallel. Deliberately minimal: FIFO queue, std::future results, join on
 // destruction. Trials are deterministic per-seed, so scheduling order cannot
 // affect results.
+//
+// Exceptions thrown by a submitted callable do not kill the worker: they are
+// captured by the std::packaged_task wrapper and rethrown from the matching
+// future's get(). Submitting after Shutdown (or during destruction) throws
+// std::runtime_error rather than enqueueing a job no worker will run.
 #pragma once
 
 #include <condition_variable>
@@ -10,6 +15,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -28,7 +34,9 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueues a callable and returns a future for its result.
+  /// Enqueues a callable and returns a future for its result. An exception
+  /// thrown by the callable is delivered through the future, not the worker.
+  /// Throws std::runtime_error if the pool has been shut down.
   template <typename F>
   [[nodiscard]] auto Submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -36,11 +44,19 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       const std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool::Submit after shutdown");
+      }
       jobs_.emplace([task]() { (*task)(); });
     }
     cv_.notify_one();
     return result;
   }
+
+  /// Drains the queue, joins every worker, and rejects further Submits.
+  /// Idempotent; called by the destructor. Already-queued jobs still run to
+  /// completion before the workers exit.
+  void Shutdown();
 
  private:
   void WorkerLoop();

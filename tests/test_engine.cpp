@@ -354,6 +354,35 @@ TEST_F(EngineTest, RobustnessTraceCountsRunningAndQueuedTasks) {
   EXPECT_EQ(result.robustness_trace[2].in_flight, 3u);  // running + 2 queued
 }
 
+// A power-gated core parks below every P-state, so with a non-zero DVFS
+// switching delay each task dispatched to a gated-idle core pays the wake-up
+// latency — and the gap between tasks draws nothing.
+TEST_F(EngineTest, PowerGatedIdleWithLatencyPaysWakeUpCostPerDispatch) {
+  auto scheduler = Scheduler(2);
+  TrialOptions options;
+  options.energy_budget = 1e9;
+  options.idle_policy = IdlePolicy::kPowerGated;
+  options.pstate_transition_latency = 2.0;
+  options.collect_task_records = true;
+  const TrialResult result = Run(
+      {workload::Task{0, 0, 1.0, 100.0}, workload::Task{1, 0, 20.0, 100.0}},
+      scheduler, options);
+
+  EXPECT_EQ(result.completed, 2u);
+  ASSERT_EQ(result.task_records.size(), 2u);
+  // Task 0: gated idle at P4, SQ picks P0 -> wake-up switch [1, 3), exec
+  // [3, 13). The core re-gates at 13, so task 1 pays the latency again:
+  // switch [20, 22), exec [22, 32).
+  EXPECT_DOUBLE_EQ(result.task_records[0].start_time, 3.0);
+  EXPECT_DOUBLE_EQ(result.task_records[0].finish_time, 13.0);
+  EXPECT_DOUBLE_EQ(result.task_records[1].start_time, 22.0);
+  EXPECT_DOUBLE_EQ(result.task_records[1].finish_time, 32.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 32.0);
+  // Gated intervals [0, 1), [13, 20) draw nothing; each switching interval
+  // draws the destination state's power: 12 s at P0 per task.
+  EXPECT_NEAR(result.total_energy, 2.0 * 12.0 * kP0Power, 1e-9);
+}
+
 TEST_F(EngineTest, RejectsUnsortedOrMisnumberedTasks) {
   auto scheduler = Scheduler(2);
   TrialOptions options;

@@ -66,12 +66,18 @@ TEST(Counters, MergeAddsEverySlotIncludingDecisionTime) {
 TEST(Counters, FieldTableCoversTheHeadlineSlots) {
   bool saw_mapped = false;
   bool saw_hits = false;
+  bool saw_failures = false;
+  bool saw_remapped = false;
   for (const obs::CounterField& field : obs::CounterFields()) {
     if (field.name == "tasks_mapped") saw_mapped = true;
     if (field.name == "ready_pmf_hits") saw_hits = true;
+    if (field.name == "failures_injected") saw_failures = true;
+    if (field.name == "tasks_remapped") saw_remapped = true;
   }
   EXPECT_TRUE(saw_mapped);
   EXPECT_TRUE(saw_hits);
+  EXPECT_TRUE(saw_failures);
+  EXPECT_TRUE(saw_remapped);
 }
 
 TEST(Counters, ScopeRoutesBumpsAndNests) {
@@ -264,6 +270,91 @@ TEST(Trace, EnergySnapshotRoundTripsThroughJsonl) {
   EXPECT_DOUBLE_EQ(value->Find("consumed")->AsNumber(), 2500.0);
   EXPECT_DOUBLE_EQ(value->Find("budget")->AsNumber(), 1e6);
   EXPECT_DOUBLE_EQ(value->Find("estimated_remaining")->AsNumber(), 997500.0);
+}
+
+TEST(Trace, FailureFaultEventRoundTripsThroughJsonl) {
+  obs::FaultEventRecord record;
+  record.trial = 4;
+  record.time = 1234.5;
+  record.kind = "failure";
+  record.flat_core = 17;
+  record.tasks_lost = 2;
+  record.tasks_requeued = 3;
+
+  std::ostringstream os;
+  obs::JsonlTraceSink sink(os);
+  sink.Record(record);
+
+  const auto value = obs::json::Parse(
+      std::string_view(os.str()).substr(0, os.str().size() - 1));
+  ASSERT_TRUE(value.has_value()) << os.str();
+  EXPECT_EQ(value->Find("event")->AsString(), "fault");
+  EXPECT_DOUBLE_EQ(value->Find("trial")->AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(value->Find("time")->AsNumber(), 1234.5);
+  EXPECT_EQ(value->Find("kind")->AsString(), "failure");
+  EXPECT_DOUBLE_EQ(value->Find("core")->AsNumber(), 17.0);
+  EXPECT_DOUBLE_EQ(value->Find("tasks_lost")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(value->Find("tasks_requeued")->AsNumber(), 3.0);
+  // Throttle-only field stays out of failure records.
+  EXPECT_EQ(value->Find("pstate_floor"), nullptr);
+}
+
+TEST(Trace, ThrottleFaultEventCarriesFloorOnly) {
+  obs::FaultEventRecord record;
+  record.trial = 1;
+  record.time = 10.0;
+  record.kind = "throttle_start";
+  record.flat_core = 5;
+  record.pstate_floor = 2;
+
+  std::ostringstream os;
+  obs::JsonlTraceSink sink(os);
+  sink.Record(record);
+
+  const auto value = obs::json::Parse(
+      std::string_view(os.str()).substr(0, os.str().size() - 1));
+  ASSERT_TRUE(value.has_value()) << os.str();
+  EXPECT_EQ(value->Find("kind")->AsString(), "throttle_start");
+  EXPECT_DOUBLE_EQ(value->Find("pstate_floor")->AsNumber(), 2.0);
+  EXPECT_EQ(value->Find("tasks_lost"), nullptr);
+  EXPECT_EQ(value->Find("tasks_requeued"), nullptr);
+}
+
+TEST(Trace, RemapDecisionCarriesFlagAndBaselineOmitsIt) {
+  obs::MappingDecisionRecord record = AssignedDecision();
+  record.remap = true;
+
+  std::ostringstream os;
+  obs::JsonlTraceSink sink(os);
+  sink.Record(record);
+  sink.Record(AssignedDecision());  // baseline: no remap key at all
+
+  std::istringstream lines(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const auto remapped = obs::json::Parse(line);
+  ASSERT_TRUE(remapped.has_value());
+  ASSERT_NE(remapped->Find("remap"), nullptr);
+  EXPECT_TRUE(remapped->Find("remap")->AsBool());
+  ASSERT_TRUE(std::getline(lines, line));
+  const auto plain = obs::json::Parse(line);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(plain->Find("remap"), nullptr);
+}
+
+TEST(Trace, SynchronizedSinkForwardsFaultRecords) {
+  std::ostringstream os;
+  obs::JsonlTraceSink inner(os);
+  const std::unique_ptr<obs::TraceSink> sink = obs::MakeSynchronized(inner);
+  obs::FaultEventRecord record;
+  record.kind = "repair";
+  sink->Record(record);
+  sink->Flush();
+  const auto value = obs::json::Parse(
+      std::string_view(os.str()).substr(0, os.str().size() - 1));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->Find("event")->AsString(), "fault");
+  EXPECT_EQ(value->Find("kind")->AsString(), "repair");
 }
 
 TEST(Trace, SynchronizedSinkForwardsRecords) {

@@ -71,5 +71,34 @@ TEST(ThreadPool, MoveOnlyResultsWork) {
   EXPECT_EQ(*future.get(), 7);
 }
 
+TEST(ThreadPool, WorkerSurvivesAThrowingJob) {
+  ThreadPool pool(1);
+  auto bad = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+  // The single worker must still be alive to run the next job.
+  auto good = pool.Submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedJobsThenRejectsSubmit) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(1);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 20);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+  EXPECT_THROW((void)pool.Submit([] { return 0; }), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_NO_THROW(pool.Shutdown());
+  // The destructor calls Shutdown a third time; it must also be a no-op.
+}
+
 }  // namespace
 }  // namespace ecdra::util
