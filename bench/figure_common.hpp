@@ -18,6 +18,7 @@
 #include "experiment/paper_config.hpp"
 #include "stats/gnuplot_writer.hpp"
 #include "stats/table_writer.hpp"
+#include "validate/validation.hpp"
 
 namespace ecdra::bench {
 
@@ -34,6 +35,17 @@ inline int RunFigureBench(int argc, char** argv, const std::string& title,
   // costs well under the run-to-run noise and doubles as a sanity check
   // that the filter chain and pmf caches behave as the paper describes.
   options.collect_counters = true;
+  // ECDRA_VALIDATE=off|cheap|deep turns on the runtime invariant checks for
+  // a whole figure regeneration without touching the bench invocations.
+  if (const char* env = std::getenv("ECDRA_VALIDATE")) {
+    const auto mode = validate::ParseValidationMode(env);
+    if (!mode) {
+      std::cerr << "invalid ECDRA_VALIDATE value '" << env
+                << "' (valid: off, cheap, deep)\n";
+      return 2;
+    }
+    options.validation = *mode;
+  }
   if (argc > 1) {
     options.num_trials = static_cast<std::size_t>(std::atoi(argv[1]));
   }

@@ -3,51 +3,117 @@
 // table or per-trial CSV — the entry point for scripting sweeps outside the
 // provided bench binaries.
 //
-// Usage:
-//   run_experiment_cli [--heuristic SQ|MECT|LL|Random] [--variant none|en|rob|en+rob]
-//                      [--trials N] [--seed S] [--budget-scale X]
-//                      [--idle deepest|stay|gated] [--cancel never|hopeless]
-//                      [--rho-thresh P] [--csv] [--counters]
-//                      [--trace-out PATH]
-//                      [--fault-mtbf T] [--fault-duration T]
-//                      [--recovery drop|requeue]
+// Long runs are crash-safe: --checkpoint streams every completed trial to an
+// append-only JSONL file, and --resume skips the trials already recorded
+// there — the merged run is bit-identical to an uninterrupted one. See
+// EXPERIMENTS.md, "Long runs: checkpoint, resume, watchdog".
+//
+// Every flag value is validated up front: a bad spelling or number produces
+// a one-line diagnostic naming the flag and the valid choices and exits
+// with status 2 (trial failures exit with status 1).
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/factory.hpp"
 #include "experiment/paper_config.hpp"
 #include "fault/recovery.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/experiment_runner.hpp"
 #include "stats/summary.hpp"
 #include "stats/table_writer.hpp"
+#include "validate/validation.hpp"
 
 namespace {
 
-[[noreturn]] void Usage(const char* argv0) {
-  std::cerr
-      << "usage: " << argv0 << " [options]\n"
-      << "  --heuristic NAME   SQ | MECT | LL | Random   (default LL)\n"
-      << "  --variant NAME     none | en | rob | en+rob  (default en+rob)\n"
-      << "  --trials N         Monte-Carlo trials        (default 50)\n"
-      << "  --seed S           master seed               (default paper's)\n"
-      << "  --budget-scale X   scale zeta_max by X       (default 1.0)\n"
-      << "  --idle POLICY      deepest | stay | gated    (default deepest)\n"
-      << "  --cancel POLICY    never | hopeless          (default never)\n"
-      << "  --rho-thresh P     robustness threshold      (default 0.5)\n"
-      << "  --csv              per-trial CSV instead of the summary table\n"
-      << "  --counters         collect per-trial scheduler counters and\n"
-      << "                     print the cross-trial aggregate\n"
-      << "  --trace-out PATH   write a JSONL decision/energy trace (one\n"
-      << "                     record per arrival; implies --counters)\n"
-      << "  --fault-mtbf T     mean time to permanent core failure\n"
-      << "                     (simulated seconds; 0 = fault-free, default)\n"
-      << "  --fault-duration T mean outage before a failed core is repaired\n"
-      << "                     (0 = failures are permanent, default)\n"
-      << "  --throttle-interval T / --throttle-duration T / --throttle-floor S\n"
-      << "                     transient P-state throttling (0 = off)\n"
-      << "  --recovery POLICY  drop | requeue             (default drop)\n";
+void PrintUsage(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0 << " [options]  (--flag value or --flag=value)\n"
+     << "  --heuristic NAME   SQ | MECT | LL | Random   (default LL)\n"
+     << "  --variant NAME     none | en | rob | en+rob  (default en+rob)\n"
+     << "  --trials N         Monte-Carlo trials        (default 50)\n"
+     << "  --seed S           master seed               (default paper's)\n"
+     << "  --budget-scale X   scale zeta_max by X       (default 1.0)\n"
+     << "  --idle POLICY      deepest | stay | gated    (default deepest)\n"
+     << "  --cancel POLICY    never | hopeless          (default never)\n"
+     << "  --rho-thresh P     robustness threshold      (default 0.5)\n"
+     << "  --csv              per-trial CSV instead of the summary table\n"
+     << "  --counters         collect per-trial scheduler counters and\n"
+     << "                     print the cross-trial aggregate\n"
+     << "  --trace-out PATH   write a JSONL decision/energy trace (one\n"
+     << "                     record per arrival; implies --counters)\n"
+     << "  --fault-mtbf T     mean time to permanent core failure\n"
+     << "                     (simulated seconds; 0 = fault-free, default)\n"
+     << "  --fault-duration T mean outage before a failed core is repaired\n"
+     << "                     (0 = failures are permanent, default)\n"
+     << "  --throttle-interval T / --throttle-duration T / --throttle-floor S\n"
+     << "                     transient P-state throttling (0 = off)\n"
+     << "  --recovery POLICY  drop | requeue             (default drop)\n"
+     << "crash-safe harness:\n"
+     << "  --checkpoint PATH  append each completed trial to a JSONL\n"
+     << "                     checkpoint (header pins seed + config)\n"
+     << "  --resume           skip trials already in the --checkpoint file;\n"
+     << "                     the merged run is bit-identical to an\n"
+     << "                     uninterrupted one\n"
+     << "  --trial-timeout T  wall-clock watchdog per trial attempt, real\n"
+     << "                     seconds (0 = off, default)\n"
+     << "  --max-retries N    extra attempts after a failed/timed-out trial\n"
+     << "                     (same substreams; default 0)\n"
+     << "  --validate MODE    off | cheap | deep runtime invariant checks\n"
+     << "                     (default off; violations are recorded, not\n"
+     << "                     fatal)\n";
+}
+
+/// One-line usage diagnostic -> stderr, exit 2 (trial failures use exit 1).
+[[noreturn]] void Fail(const std::string& message) {
+  std::cerr << "run_experiment_cli: " << message << "\n";
   std::exit(2);
+}
+
+std::string JoinChoices(const std::vector<std::string>& choices) {
+  std::string joined;
+  for (const std::string& choice : choices) {
+    if (!joined.empty()) joined += ", ";
+    joined += choice;
+  }
+  return joined;
+}
+
+/// Strict numeric parsing: the whole value must be consumed, no locale, no
+/// silent truncation — "10x", "", and "1e999" all fail with a diagnostic.
+std::uint64_t ParseUint64(std::string_view flag, const std::string& value) {
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc() || ptr != value.data() + value.size() ||
+      value.empty()) {
+    Fail(std::string(flag) + ": '" + value +
+         "' is not a non-negative integer");
+  }
+  return parsed;
+}
+
+double ParseDouble(std::string_view flag, const std::string& value) {
+  double parsed = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc() || ptr != value.data() + value.size() ||
+      value.empty()) {
+    Fail(std::string(flag) + ": '" + value + "' is not a number");
+  }
+  return parsed;
+}
+
+double ParseNonNegative(std::string_view flag, const std::string& value) {
+  const double parsed = ParseDouble(flag, value);
+  if (parsed < 0.0) {
+    Fail(std::string(flag) + ": '" + value + "' must be >= 0");
+  }
+  return parsed;
 }
 
 }  // namespace
@@ -60,27 +126,57 @@ int main(int argc, char** argv) {
   std::uint64_t seed = experiment::kPaperMasterSeed;
   double budget_scale = 1.0;
   bool csv = false;
+  bool resume = false;
   sim::RunOptions run;
   run.num_trials = 50;
 
+  // Split "--flag=value" into a flag and an inline value; "--flag value"
+  // consumes the next argument instead.
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
-    const auto next = [&]() -> const std::string& {
-      if (i + 1 >= args.size()) Usage(argv[0]);
+    std::string flag = args[i];
+    std::optional<std::string> inline_value;
+    if (const std::size_t eq = flag.find('=');
+        flag.rfind("--", 0) == 0 && eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag.resize(eq);
+    }
+    bool value_used = false;
+    const auto next = [&]() -> std::string {
+      value_used = true;
+      if (inline_value) return *inline_value;
+      if (i + 1 >= args.size()) Fail(flag + ": missing value");
       return args[++i];
     };
-    if (args[i] == "--heuristic") {
+
+    if (flag == "--help" || flag == "-h") {
+      PrintUsage(std::cout, argv[0]);
+      return 0;
+    } else if (flag == "--heuristic") {
       heuristic = next();
-    } else if (args[i] == "--variant") {
+      // The extended list is a superset of the paper's four heuristics.
+      const std::vector<std::string>& names = core::ExtendedHeuristicNames();
+      if (std::find(names.begin(), names.end(), heuristic) == names.end()) {
+        Fail("--heuristic: unknown heuristic '" + heuristic +
+             "' (valid: " + JoinChoices(names) + ")");
+      }
+    } else if (flag == "--variant") {
       variant = next();
-    } else if (args[i] == "--trials") {
-      run.num_trials = static_cast<std::size_t>(std::stoul(next()));
-    } else if (args[i] == "--seed") {
-      seed = std::stoull(next());
-    } else if (args[i] == "--budget-scale") {
-      budget_scale = std::stod(next());
-    } else if (args[i] == "--idle") {
-      const std::string& value = next();
+      const std::vector<std::string>& names = core::FilterVariantNames();
+      if (std::find(names.begin(), names.end(), variant) == names.end()) {
+        Fail("--variant: unknown filter variant '" + variant +
+             "' (valid: " + JoinChoices(names) + ")");
+      }
+    } else if (flag == "--trials") {
+      run.num_trials = static_cast<std::size_t>(ParseUint64(flag, next()));
+      if (run.num_trials == 0) Fail("--trials: must be >= 1");
+    } else if (flag == "--seed") {
+      seed = ParseUint64(flag, next());
+    } else if (flag == "--budget-scale") {
+      budget_scale = ParseDouble(flag, next());
+      if (budget_scale <= 0.0) Fail("--budget-scale: must be > 0");
+    } else if (flag == "--idle") {
+      const std::string value = next();
       if (value == "deepest") {
         run.idle_policy = sim::IdlePolicy::kDeepestPState;
       } else if (value == "stay") {
@@ -88,42 +184,81 @@ int main(int argc, char** argv) {
       } else if (value == "gated") {
         run.idle_policy = sim::IdlePolicy::kPowerGated;
       } else {
-        Usage(argv[0]);
+        Fail("--idle: unknown policy '" + value +
+             "' (valid: deepest, stay, gated)");
       }
-    } else if (args[i] == "--cancel") {
-      const std::string& value = next();
+    } else if (flag == "--cancel") {
+      const std::string value = next();
       if (value == "never") {
         run.cancel_policy = sim::CancelPolicy::kRunToCompletion;
       } else if (value == "hopeless") {
         run.cancel_policy = sim::CancelPolicy::kCancelHopelessQueued;
       } else {
-        Usage(argv[0]);
+        Fail("--cancel: unknown policy '" + value +
+             "' (valid: never, hopeless)");
       }
-    } else if (args[i] == "--rho-thresh") {
-      run.filter_options.robustness_threshold = std::stod(next());
-    } else if (args[i] == "--csv") {
+    } else if (flag == "--rho-thresh") {
+      run.filter_options.robustness_threshold =
+          ParseNonNegative(flag, next());
+    } else if (flag == "--csv") {
       csv = true;
-    } else if (args[i] == "--counters") {
+    } else if (flag == "--counters") {
       run.collect_counters = true;
-    } else if (args[i] == "--trace-out") {
+    } else if (flag == "--trace-out") {
       run.trace_path = next();
       run.collect_counters = true;
-    } else if (args[i] == "--fault-mtbf") {
-      run.fault.mtbf = std::stod(next());
-    } else if (args[i] == "--fault-duration") {
-      run.fault.repair_time = std::stod(next());
-    } else if (args[i] == "--throttle-interval") {
-      run.fault.throttle_interval = std::stod(next());
-    } else if (args[i] == "--throttle-duration") {
-      run.fault.throttle_duration = std::stod(next());
-    } else if (args[i] == "--throttle-floor") {
+    } else if (flag == "--fault-mtbf") {
+      run.fault.mtbf = ParseNonNegative(flag, next());
+    } else if (flag == "--fault-duration") {
+      run.fault.repair_time = ParseNonNegative(flag, next());
+    } else if (flag == "--throttle-interval") {
+      run.fault.throttle_interval = ParseNonNegative(flag, next());
+    } else if (flag == "--throttle-duration") {
+      run.fault.throttle_duration = ParseNonNegative(flag, next());
+    } else if (flag == "--throttle-floor") {
       run.fault.throttle_floor =
-          static_cast<std::size_t>(std::stoul(next()));
-    } else if (args[i] == "--recovery") {
-      run.recovery = fault::ParseRecoveryPolicy(next());
+          static_cast<std::size_t>(ParseUint64(flag, next()));
+      if (run.fault.throttle_floor >= cluster::kNumPStates) {
+        Fail("--throttle-floor: must be < " +
+             std::to_string(cluster::kNumPStates));
+      }
+    } else if (flag == "--recovery") {
+      const std::string value = next();
+      try {
+        run.recovery = fault::ParseRecoveryPolicy(value);
+      } catch (const std::invalid_argument&) {
+        Fail("--recovery: unknown policy '" + value +
+             "' (valid: drop, requeue)");
+      }
+    } else if (flag == "--checkpoint") {
+      run.checkpoint_path = next();
+      if (run.checkpoint_path.empty()) Fail("--checkpoint: empty path");
+    } else if (flag == "--resume") {
+      resume = true;
+    } else if (flag == "--trial-timeout") {
+      run.trial_timeout = ParseNonNegative(flag, next());
+    } else if (flag == "--max-retries") {
+      run.max_attempts =
+          1 + static_cast<std::size_t>(ParseUint64(flag, next()));
+    } else if (flag == "--validate") {
+      const std::string value = next();
+      const auto mode = validate::ParseValidationMode(value);
+      if (!mode) {
+        Fail("--validate: unknown mode '" + value +
+             "' (valid: off, cheap, deep)");
+      }
+      run.validation = *mode;
     } else {
-      Usage(argv[0]);
+      std::cerr << "run_experiment_cli: unknown flag '" << args[i] << "'\n";
+      PrintUsage(std::cerr, argv[0]);
+      return 2;
     }
+    if (inline_value && !value_used) {
+      Fail(flag + ": does not take a value");
+    }
+  }
+  if (resume && run.checkpoint_path.empty()) {
+    Fail("--resume requires --checkpoint PATH");
   }
 
   sim::SetupOptions setup_options = experiment::PaperSetupOptions();
@@ -131,53 +266,107 @@ int main(int argc, char** argv) {
   const sim::ExperimentSetup setup =
       sim::BuildExperimentSetup(seed, setup_options);
 
-  const std::vector<sim::TrialResult> trials =
-      sim::RunTrials(setup, heuristic, variant, run);
+  std::optional<sim::CheckpointStore> store;
+  if (resume) {
+    try {
+      // Tolerant load: a final line cut mid-write by a crash is dropped and
+      // that trial simply re-runs. Everything else (wrong schema, wrong
+      // config, malformed interior record) still refuses loudly below.
+      store = sim::CheckpointStore::Load(run.checkpoint_path,
+                                         {.allow_partial_tail = true});
+      run.resume = &*store;
+      if (store->dropped_partial_tail()) {
+        std::cerr << "note: dropped a checkpoint record cut mid-write; "
+                     "re-running that trial\n";
+      }
+    } catch (const sim::CheckpointError& error) {
+      std::cerr << "run_experiment_cli: cannot resume: " << error.what()
+                << "\n";
+      return 2;
+    }
+  }
+
+  sim::SweepResult sweep;
+  try {
+    sweep = sim::RunSweep(setup, heuristic, variant, run);
+  } catch (const sim::CheckpointError& error) {
+    std::cerr << "run_experiment_cli: " << error.what() << "\n";
+    return 2;
+  }
+
+  for (const sim::TrialFailure& failure : sweep.failures) {
+    std::cerr << "trial failed: heuristic=" << failure.heuristic
+              << " filter=" << failure.filter_variant
+              << " trial=" << failure.trial_index << " after "
+              << failure.attempts
+              << (failure.attempts == 1 ? " attempt" : " attempts")
+              << (failure.timed_out ? " (timed out)" : "") << ": "
+              << failure.error << "\n";
+  }
 
   if (csv) {
     stats::Table table({"trial", "missed", "completed", "discarded", "late",
                         "over_budget", "cancelled", "energy", "exhausted_at",
                         "makespan"});
-    for (std::size_t i = 0; i < trials.size(); ++i) {
-      const sim::TrialResult& trial = trials[i];
-      table.AddRow(
-          {std::to_string(i), std::to_string(trial.missed_deadlines),
-           std::to_string(trial.completed), std::to_string(trial.discarded),
-           std::to_string(trial.finished_late),
-           std::to_string(trial.on_time_but_over_budget),
-           std::to_string(trial.cancelled),
-           stats::Table::Num(trial.total_energy, 0),
-           trial.energy_exhausted_at
-               ? stats::Table::Num(*trial.energy_exhausted_at, 1)
-               : "-",
-           stats::Table::Num(trial.makespan, 1)});
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+      const sim::TrialResult& trial = sweep.results[i];
+      table.AddRow({std::to_string(sweep.trial_indices[i]),
+                    std::to_string(trial.missed_deadlines),
+                    std::to_string(trial.completed),
+                    std::to_string(trial.discarded),
+                    std::to_string(trial.finished_late),
+                    std::to_string(trial.on_time_but_over_budget),
+                    std::to_string(trial.cancelled),
+                    stats::Table::Num(trial.total_energy, 0),
+                    trial.energy_exhausted_at
+                        ? stats::Table::Num(*trial.energy_exhausted_at, 1)
+                        : "-",
+                    stats::Table::Num(trial.makespan, 1)});
     }
     table.PrintCsv(std::cout);
-    return 0;
+    return sweep.complete() ? 0 : 1;
   }
 
   std::vector<double> misses;
-  misses.reserve(trials.size());
-  for (const sim::TrialResult& trial : trials) {
+  misses.reserve(sweep.results.size());
+  for (const sim::TrialResult& trial : sweep.results) {
     misses.push_back(static_cast<double>(trial.missed_deadlines));
   }
-  const stats::BoxWhisker box = stats::Summarize(misses);
   std::cout << heuristic << " (" << variant << "), seed " << seed << ", "
-            << run.num_trials << " trials, budget x" << budget_scale << ":\n"
-            << "  missed deadlines: " << box << "\n";
-  if (run.fault.enabled()) {
-    const sim::SummaryStatistics fault_summary = sim::SummarizeTrials(trials);
-    std::cout << "  faults (recovery=" << fault::RecoveryPolicyName(run.recovery)
-              << "): mean failures " << fault_summary.mean_failures
-              << ", mean tasks lost " << fault_summary.mean_tasks_lost
-              << ", mean remapped " << fault_summary.mean_remapped
-              << " (on time " << fault_summary.mean_remapped_on_time << ")\n";
+            << run.num_trials << " trials, budget x" << budget_scale << ":\n";
+  if (!misses.empty()) {
+    std::cout << "  missed deadlines: " << stats::Summarize(misses) << "\n";
+  } else {
+    std::cout << "  no completed trials\n";
   }
-  if (run.collect_counters) {
-    std::cout << '\n' << sim::SummarizeTrials(trials) << '\n';
+  if (sweep.trials_resumed > 0 || sweep.trials_retried > 0 ||
+      !sweep.failures.empty()) {
+    std::cout << "  harness: " << sweep.trials_resumed << " resumed, "
+              << sweep.trials_retried << " retried, " << sweep.failures.size()
+              << " failed\n";
+  }
+  const sim::SummaryStatistics summary = sim::SummarizeSweep(sweep);
+  if (run.fault.enabled() && !sweep.results.empty()) {
+    std::cout << "  faults (recovery="
+              << fault::RecoveryPolicyName(run.recovery) << "): mean failures "
+              << summary.mean_failures << ", mean tasks lost "
+              << summary.mean_tasks_lost << ", mean remapped "
+              << summary.mean_remapped << " (on time "
+              << summary.mean_remapped_on_time << ")\n";
+  }
+  if (run.validation != validate::ValidationMode::kOff) {
+    std::cout << "  validation (" << validate::ValidationModeName(run.validation)
+              << "): " << summary.validation_checks << " checks, "
+              << summary.validation_violations << " violations\n";
+  }
+  if (run.collect_counters && !sweep.results.empty()) {
+    std::cout << '\n' << summary << '\n';
   }
   if (!run.trace_path.empty()) {
     std::cout << "trace written to " << run.trace_path << "\n";
   }
-  return 0;
+  if (!run.checkpoint_path.empty()) {
+    std::cout << "checkpoint written to " << run.checkpoint_path << "\n";
+  }
+  return sweep.complete() ? 0 : 1;
 }

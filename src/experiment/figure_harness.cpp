@@ -18,28 +18,33 @@ FigureResult RunFigure(const sim::ExperimentSetup& setup,
   figure.title = title;
   figure.window_size = setup.window_size;
   for (const SeriesSpec& spec : specs) {
-    const std::vector<sim::TrialResult> trials =
-        sim::RunTrials(setup, spec.heuristic, spec.filter_variant, options);
+    // RunSweep isolates per-trial failures instead of aborting the figure;
+    // a series with failed trials is summarized over its surviving trials
+    // and flagged in PrintFigure's harness-health block.
+    const sim::SweepResult sweep =
+        sim::RunSweep(setup, spec.heuristic, spec.filter_variant, options);
 
     SeriesResult series;
     series.spec = spec;
     if (series.spec.label.empty()) {
       series.spec.label = spec.heuristic + " (" + spec.filter_variant + ")";
     }
-    series.missed_deadlines.reserve(trials.size());
+    series.missed_deadlines.reserve(sweep.results.size());
     double energy_fraction_sum = 0.0;
     double discarded_sum = 0.0;
-    for (const sim::TrialResult& trial : trials) {
+    for (const sim::TrialResult& trial : sweep.results) {
       series.missed_deadlines.push_back(
           static_cast<double>(trial.missed_deadlines));
       energy_fraction_sum += trial.total_energy / setup.energy_budget;
       discarded_sum += static_cast<double>(trial.discarded);
     }
-    series.box = stats::Summarize(series.missed_deadlines);
-    series.mean_energy_fraction =
-        energy_fraction_sum / static_cast<double>(trials.size());
-    series.mean_discarded = discarded_sum / static_cast<double>(trials.size());
-    series.summary = sim::SummarizeTrials(trials);
+    series.summary = sim::SummarizeSweep(sweep);
+    if (!sweep.results.empty()) {
+      const double n = static_cast<double>(sweep.results.size());
+      series.box = stats::Summarize(series.missed_deadlines);
+      series.mean_energy_fraction = energy_fraction_sum / n;
+      series.mean_discarded = discarded_sum / n;
+    }
     figure.series.push_back(std::move(series));
   }
   return figure;
@@ -92,6 +97,34 @@ void PrintFigure(std::ostream& os, const FigureResult& figure) {
     plot.push_back(stats::BoxPlotSeries{series.spec.label, series.box});
   }
   os << stats::RenderBoxPlot(plot) << '\n';
+
+  // Harness health: only rendered when a sweep actually failed, retried, or
+  // timed out a trial, or when invariant validation flagged a violation —
+  // healthy figures look exactly as before.
+  const bool have_failures = std::any_of(
+      figure.series.begin(), figure.series.end(),
+      [](const SeriesResult& series) {
+        return series.summary.failed_trials > 0 ||
+               series.summary.retried_trials > 0 ||
+               series.summary.timed_out_trials > 0 ||
+               series.summary.validation_violations > 0;
+      });
+  if (have_failures) {
+    os << "\nWARNING: trial failures / validation violations "
+          "(summaries cover surviving trials only):\n";
+    stats::Table health({"series", "failed", "timed out", "retried",
+                         "validation violations"});
+    for (const SeriesResult& series : figure.series) {
+      health.AddRow({
+          series.spec.label,
+          std::to_string(series.summary.failed_trials),
+          std::to_string(series.summary.timed_out_trials),
+          std::to_string(series.summary.retried_trials),
+          std::to_string(series.summary.validation_violations),
+      });
+    }
+    health.PrintText(os);
+  }
 
   // Observability: only rendered when at least one series collected
   // counters, so figures regenerated without telemetry look as before.

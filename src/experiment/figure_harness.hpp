@@ -40,6 +40,10 @@ struct FigureResult {
 };
 
 /// Runs every series (50 trials each by default) against the shared setup.
+/// Uses the crash-safe sweep runner: a failing trial is isolated (and
+/// retried per options.max_attempts) rather than aborting the figure; its
+/// series is summarized over the surviving trials and flagged in
+/// PrintFigure.
 [[nodiscard]] FigureResult RunFigure(const sim::ExperimentSetup& setup,
                                      const std::string& title,
                                      const std::vector<SeriesSpec>& specs,

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -29,6 +30,13 @@ std::string Escape(std::string_view raw) {
     }
   }
   return out;
+}
+
+std::string Number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  return std::string(buf, static_cast<std::size_t>(ptr - buf));
 }
 
 bool Value::AsBool() const {

@@ -23,6 +23,11 @@ namespace ecdra::obs::json {
 /// included).
 [[nodiscard]] std::string Escape(std::string_view raw);
 
+/// Shortest locale-independent decimal representation of `value` that
+/// round-trips bit-exactly through Parse (std::to_chars / std::from_chars).
+/// JSON has no encoding for non-finite numbers; those degrade to "null".
+[[nodiscard]] std::string Number(double value);
+
 class Value {
  public:
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };

@@ -4,9 +4,11 @@
 #include <cmath>
 #include <numeric>
 #include <ostream>
+#include <sstream>
 
 #include "obs/counters.hpp"
 #include "util/assert.hpp"
+#include "validate/validation.hpp"
 
 namespace ecdra::pmf {
 namespace {
@@ -34,6 +36,14 @@ Impulse MergeRun(const std::vector<Impulse>& impulses, std::size_t first,
     weighted += impulses[i].prob * impulses[i].value;
   }
   return Impulse{weighted / mass, mass};
+}
+
+/// Deep-mode audit of a freshly constructed pmf; a single thread-local
+/// null-check when deep validation is inactive.
+inline void DeepCheck(const Pmf& pmf, const char* op) {
+  if (validate::DeepValidator() != nullptr) [[unlikely]] {
+    ValidatePmfInvariants(pmf, op);
+  }
 }
 
 }  // namespace
@@ -65,7 +75,9 @@ Pmf Pmf::FromImpulses(std::vector<Impulse> impulses,
     }
   }
   NormalizeMass(merged);
-  return Pmf(std::move(merged)).Compact(max_impulses);
+  Pmf result = Pmf(std::move(merged)).Compact(max_impulses);
+  DeepCheck(result, "from-impulses");
+  return result;
 }
 
 double Pmf::Min() const {
@@ -138,7 +150,9 @@ TruncateResult Pmf::TruncateBelow(double t) const {
     return TruncateResult{Delta(t), 0.0};
   }
   for (Impulse& imp : kept) imp.prob /= retained;
-  return TruncateResult{Pmf(std::move(kept)), retained};
+  TruncateResult result{Pmf(std::move(kept)), retained};
+  DeepCheck(result.pmf, "truncate");
+  return result;
 }
 
 double Pmf::Sample(util::RngStream& rng) const {
@@ -197,7 +211,9 @@ Pmf Pmf::Compact(std::size_t max_impulses) const {
   }
   out.push_back(MergeRun(impulses_, run_start, n));
   ECDRA_ASSERT(out.size() <= max_impulses, "compaction overshot its bound");
-  return Pmf(std::move(out));
+  Pmf result(std::move(out));
+  DeepCheck(result, "compact");
+  return result;
 }
 
 Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
@@ -210,7 +226,9 @@ Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
       cross.push_back(Impulse{a.value + b.value, a.prob * b.prob});
     }
   }
-  return Pmf::FromImpulses(std::move(cross), max_impulses);
+  Pmf result = Pmf::FromImpulses(std::move(cross), max_impulses);
+  DeepCheck(result, "convolve");
+  return result;
 }
 
 double ProbSumLeq(const Pmf& x, const Pmf& y, double t) {
@@ -234,6 +252,37 @@ double ProbSumLeq(const Pmf& x, const Pmf& y, double t) {
     acc += xi.prob * y_cdf;
   }
   return std::clamp(acc, 0.0, 1.0);
+}
+
+void ValidatePmfInvariants(const Pmf& pmf, std::string_view op) {
+  validate::TrialValidator* validator = validate::ActiveValidator();
+  if (validator == nullptr) return;
+  validator->CountChecks(2);  // mass conservation + support ordering
+
+  const auto& impulses = pmf.impulses();
+  if (impulses.empty()) {
+    validator->Fail("pmf-support", -1.0,
+                    std::string(op) + " produced an empty pmf");
+    return;
+  }
+  const double mass = TotalMass(impulses);
+  if (!(std::fabs(mass - 1.0) <= Pmf::kMassTolerance)) {
+    std::ostringstream os;
+    os << op << " lost probability mass: |mass - 1| = "
+       << std::fabs(mass - 1.0) << " > " << Pmf::kMassTolerance;
+    validator->Fail("pmf-mass", -1.0, os.str());
+  }
+  for (std::size_t i = 0; i < impulses.size(); ++i) {
+    const bool ordered = i == 0 || impulses[i - 1].value < impulses[i].value;
+    if (!ordered || !(impulses[i].prob > 0.0) ||
+        !std::isfinite(impulses[i].value) || !std::isfinite(impulses[i].prob)) {
+      std::ostringstream os;
+      os << op << " broke the support invariant at impulse " << i << " ("
+         << impulses[i].value << ", " << impulses[i].prob << ")";
+      validator->Fail("pmf-support", -1.0, os.str());
+      break;
+    }
+  }
 }
 
 std::ostream& operator<<(std::ostream& os, const Pmf& pmf) {

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <string_view>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -57,6 +58,14 @@ class Pmf {
   [[nodiscard]] static Pmf FromImpulses(
       std::vector<Impulse> impulses,
       std::size_t max_impulses = kDefaultMaxImpulses);
+
+  /// Deserialization/test seam: wraps raw impulses with no sorting, merging,
+  /// normalization, or compaction. The caller vouches for the class
+  /// invariants; ValidatePmfInvariants audits the result (the validation
+  /// layer's mass-conservation tests seed broken pmfs through this).
+  [[nodiscard]] static Pmf FromRawUnchecked(std::vector<Impulse> impulses) {
+    return Pmf(std::move(impulses));
+  }
 
   [[nodiscard]] bool empty() const noexcept { return impulses_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return impulses_.size(); }
@@ -117,6 +126,16 @@ struct TruncateResult {
 /// supports in O(|X| + |Y|) with a two-pointer sweep, avoiding an explicit
 /// convolution. This is the hot path of the robustness computation ρ(...).
 [[nodiscard]] double ProbSumLeq(const Pmf& x, const Pmf& y, double t);
+
+/// Deep-validation hook: audits `pmf` against the class invariants — total
+/// mass within Pmf::kMassTolerance of 1, strictly increasing support,
+/// strictly positive finite probabilities — and reports any breach to the
+/// active validate::TrialValidator as a "pmf-mass" / "pmf-support" check
+/// (no-op without an active validator). `op` names the operation that
+/// produced the pmf ("convolve", "truncate", ...). Called automatically by
+/// Convolve/FromImpulses/TruncateBelow/Compact when a deep validator is
+/// active; public so tests can audit seeded-bug pmfs directly.
+void ValidatePmfInvariants(const Pmf& pmf, std::string_view op);
 
 std::ostream& operator<<(std::ostream& os, const Pmf& pmf);
 

@@ -1,0 +1,677 @@
+#include "sim/checkpoint.hpp"
+
+#include <charconv>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::sim {
+
+namespace json = obs::json;
+
+std::string_view CheckpointErrorKindName(CheckpointErrorKind kind) {
+  switch (kind) {
+    case CheckpointErrorKind::kIo: return "io";
+    case CheckpointErrorKind::kBadHeader: return "bad-header";
+    case CheckpointErrorKind::kSchemaVersion: return "schema-version";
+    case CheckpointErrorKind::kConfigMismatch: return "config-mismatch";
+    case CheckpointErrorKind::kTruncatedRecord: return "truncated-record";
+    case CheckpointErrorKind::kBadRecord: return "bad-record";
+    case CheckpointErrorKind::kUnsupportedOptions: return "unsupported-options";
+  }
+  return "unknown";
+}
+
+CheckpointError::CheckpointError(CheckpointErrorKind kind,
+                                 const std::string& message)
+    : std::runtime_error("checkpoint [" +
+                         std::string(CheckpointErrorKindName(kind)) +
+                         "]: " + message),
+      kind_(kind) {}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Config fingerprint
+// ---------------------------------------------------------------------------
+
+/// Canonical-text accumulator hashed with FNV-1a. Doubles are rendered as
+/// hex floats (%a) so the fingerprint sees their exact bits, not a rounded
+/// decimal; any change to a sampled value or trial knob changes the hash.
+class Fingerprint {
+ public:
+  void Add(std::string_view key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%a", value);
+    Text(key);
+    Text(buf);
+  }
+  void Add(std::string_view key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    Text(key);
+    Text(buf);
+  }
+  void Add(std::string_view key, std::string_view value) {
+    Text(key);
+    Text(value);
+  }
+
+  [[nodiscard]] std::string Hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash_);
+    return buf;
+  }
+
+ private:
+  void Text(std::string_view text) {
+    for (const char c : text) {
+      hash_ ^= static_cast<unsigned char>(c);
+      hash_ *= 0x100000001b3ULL;  // FNV-1a prime
+    }
+    hash_ ^= 0x1f;  // field separator so "ab"+"c" != "a"+"bc"
+    hash_ *= 0x100000001b3ULL;
+  }
+
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+// ---------------------------------------------------------------------------
+// Serialization helpers
+// ---------------------------------------------------------------------------
+
+void Field(std::string& out, std::string_view key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += '"';
+  out += key;
+  out += "\":";
+  out += buf;
+}
+
+void Field(std::string& out, std::string_view key, double value) {
+  out += '"';
+  out += key;
+  out += "\":";
+  out += json::Number(value);
+}
+
+void Field(std::string& out, std::string_view key, std::string_view value) {
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json::Escape(value);
+  out += '"';
+}
+
+[[noreturn]] void BadRecord(const std::string& detail) {
+  throw CheckpointError(CheckpointErrorKind::kBadRecord, detail);
+}
+
+const json::Value& Require(const json::Value& object, std::string_view key) {
+  const json::Value* value = object.Find(key);
+  if (value == nullptr) {
+    BadRecord("missing field \"" + std::string(key) + '"');
+  }
+  return *value;
+}
+
+double RequireNumber(const json::Value& object, std::string_view key) {
+  const json::Value& value = Require(object, key);
+  if (value.kind() != json::Value::Kind::kNumber) {
+    BadRecord("field \"" + std::string(key) + "\" is not a number");
+  }
+  return value.AsNumber();
+}
+
+std::uint64_t RequireUint(const json::Value& object, std::string_view key) {
+  const double number = RequireNumber(object, key);
+  const auto value = static_cast<std::uint64_t>(number);
+  if (number < 0.0 || static_cast<double>(value) != number) {
+    BadRecord("field \"" + std::string(key) +
+              "\" is not a non-negative integer");
+  }
+  return value;
+}
+
+const std::string& RequireString(const json::Value& object,
+                                 std::string_view key) {
+  const json::Value& value = Require(object, key);
+  if (value.kind() != json::Value::Kind::kString) {
+    BadRecord("field \"" + std::string(key) + "\" is not a string");
+  }
+  return value.AsString();
+}
+
+/// uint64 values (seeds) are stored as decimal strings: JSON numbers travel
+/// through double, which cannot represent every 64-bit seed exactly.
+std::uint64_t RequireUint64String(const json::Value& object,
+                                  std::string_view key) {
+  const std::string& text = RequireString(object, key);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size() || text.empty()) {
+    BadRecord("field \"" + std::string(key) + "\" is not a uint64 string");
+  }
+  return value;
+}
+
+std::string HeaderToJson(const CheckpointHeader& header) {
+  std::string out = "{";
+  Field(out, "record", std::string_view("header"));
+  out += ',';
+  Field(out, "schema", std::uint64_t{header.schema_version});
+  out += ',';
+  char seed[32];
+  std::snprintf(seed, sizeof(seed), "%" PRIu64, header.master_seed);
+  Field(out, "seed", std::string_view(seed));
+  out += ',';
+  Field(out, "config", header.config_hash);
+  out += '}';
+  return out;
+}
+
+CheckpointHeader HeaderFromJson(const json::Value& object) {
+  CheckpointHeader header;
+  const std::uint64_t schema = RequireUint(object, "schema");
+  header.schema_version = static_cast<std::uint32_t>(schema);
+  header.master_seed = RequireUint64String(object, "seed");
+  header.config_hash = RequireString(object, "config");
+  return header;
+}
+
+}  // namespace
+
+void VerifyCheckpointHeader(const CheckpointHeader& found,
+                            const CheckpointHeader& expected,
+                            const std::string& context) {
+  if (found.schema_version != expected.schema_version) {
+    throw CheckpointError(
+        CheckpointErrorKind::kSchemaVersion,
+        context + ": written with schema version " +
+            std::to_string(found.schema_version) + ", this build reads " +
+            std::to_string(expected.schema_version));
+  }
+  if (found.master_seed != expected.master_seed ||
+      found.config_hash != expected.config_hash) {
+    std::ostringstream os;
+    os << context << ": checkpoint belongs to a different run (file: seed="
+       << found.master_seed << " config=" << found.config_hash
+       << "; this run: seed=" << expected.master_seed
+       << " config=" << expected.config_hash << ")";
+    throw CheckpointError(CheckpointErrorKind::kConfigMismatch, os.str());
+  }
+}
+
+std::string ConfigFingerprint(const ExperimentSetup& setup,
+                              const RunOptions& options) {
+  Fingerprint fp;
+  fp.Add("fmt", std::uint64_t{1});
+
+  // Sampled environment. The ETC matrix and per-(type, node, pstate) mean
+  // execution times pin the exact sampled heterogeneity and discretization;
+  // t_avg / p_avg / budget pin the derived §VI scalars.
+  fp.Add("seed", setup.master_seed);
+  fp.Add("window", std::uint64_t{setup.window_size});
+  fp.Add("t_avg", setup.t_avg);
+  fp.Add("p_avg", setup.p_avg);
+  fp.Add("budget", setup.energy_budget);
+  fp.Add("nodes", std::uint64_t{setup.cluster.num_nodes()});
+  for (const cluster::Node& node : setup.cluster.nodes()) {
+    fp.Add("np", std::uint64_t{node.num_processors});
+    fp.Add("cpp", std::uint64_t{node.cores_per_processor});
+    fp.Add("eff", node.power_efficiency);
+    for (const cluster::PState& pstate : node.pstates) {
+      fp.Add("tm", pstate.time_multiplier);
+      fp.Add("pw", pstate.power_watts);
+    }
+  }
+  fp.Add("types", std::uint64_t{setup.etc.num_types()});
+  fp.Add("machines", std::uint64_t{setup.etc.num_machines()});
+  for (std::size_t t = 0; t < setup.etc.num_types(); ++t) {
+    for (std::size_t m = 0; m < setup.etc.num_machines(); ++m) {
+      fp.Add("etc", setup.etc.at(t, m));
+    }
+  }
+  for (std::size_t t = 0; t < setup.types.num_types(); ++t) {
+    for (std::size_t n = 0; n < setup.types.num_nodes(); ++n) {
+      for (cluster::PStateIndex p = 0; p < cluster::kNumPStates; ++p) {
+        fp.Add("eet", setup.types.MeanExec(t, n, p));
+      }
+    }
+  }
+
+  // Workload spec (per-trial sampling recipe).
+  fp.Add("load_scale", setup.workload.load_factor_scale);
+  for (const workload::ArrivalPhase& phase : setup.workload.arrivals.phases) {
+    fp.Add("phase_tasks", std::uint64_t{phase.num_tasks});
+    fp.Add("phase_rate", phase.rate);
+  }
+  for (const workload::PriorityClass& cls : setup.workload.priority_classes) {
+    fp.Add("prio_w", cls.weight);
+    fp.Add("prio_p", cls.probability);
+  }
+
+  // RunOptions knobs that shape per-trial results. Execution mechanics
+  // (threads, tracing, validation, watchdog/retry, checkpoint paths) are
+  // deliberately absent: they cannot change what a trial computes.
+  fp.Add("idle", std::uint64_t(options.idle_policy));
+  fp.Add("cancel", std::uint64_t(options.cancel_policy));
+  fp.Add("latency", options.pstate_transition_latency);
+  fp.Add("power_cov", options.power_cov);
+  const core::EnergyFilterOptions& en = options.filter_options.energy;
+  fp.Add("en_low", en.low_multiplier);
+  fp.Add("en_mid", en.mid_multiplier);
+  fp.Add("en_high", en.high_multiplier);
+  fp.Add("en_low_depth", en.low_depth);
+  fp.Add("en_high_depth", en.high_depth);
+  fp.Add("en_prio", std::uint64_t{en.scale_fair_share_by_priority});
+  fp.Add("en_prio_base", en.priority_baseline);
+  fp.Add("rob_thresh", options.filter_options.robustness_threshold);
+  fp.Add("fault_mtbf", options.fault.mtbf);
+  fp.Add("fault_life", std::uint64_t(options.fault.lifetime));
+  fp.Add("fault_shape", options.fault.weibull_shape);
+  fp.Add("fault_repair", options.fault.repair_time);
+  fp.Add("fault_thr_int", options.fault.throttle_interval);
+  fp.Add("fault_thr_dur", options.fault.throttle_duration);
+  fp.Add("fault_thr_floor", std::uint64_t{options.fault.throttle_floor});
+  fp.Add("fault_horizon", options.fault.horizon);
+  fp.Add("recovery", std::uint64_t(options.recovery));
+
+  return fp.Hex();
+}
+
+std::string TrialResultToJson(const TrialResult& result) {
+  if (!result.task_records.empty() || !result.robustness_trace.empty()) {
+    throw CheckpointError(
+        CheckpointErrorKind::kUnsupportedOptions,
+        "per-task records / robustness traces cannot be checkpointed; "
+        "disable collect_task_records and collect_robustness_trace");
+  }
+  std::string out = "{";
+  Field(out, "window", std::uint64_t{result.window_size});
+  out += ',';
+  Field(out, "completed", std::uint64_t{result.completed});
+  out += ',';
+  Field(out, "missed", std::uint64_t{result.missed_deadlines});
+  out += ',';
+  Field(out, "discarded", std::uint64_t{result.discarded});
+  out += ',';
+  Field(out, "late", std::uint64_t{result.finished_late});
+  out += ',';
+  Field(out, "over_budget", std::uint64_t{result.on_time_but_over_budget});
+  out += ',';
+  Field(out, "cancelled", std::uint64_t{result.cancelled});
+  out += ',';
+  Field(out, "failures", std::uint64_t{result.failures_injected});
+  out += ',';
+  Field(out, "repairs", std::uint64_t{result.repairs_applied});
+  out += ',';
+  Field(out, "throttles", std::uint64_t{result.throttles_injected});
+  out += ',';
+  Field(out, "lost", std::uint64_t{result.tasks_lost_to_failures});
+  out += ',';
+  Field(out, "remapped", std::uint64_t{result.tasks_remapped});
+  out += ',';
+  Field(out, "remapped_on_time", std::uint64_t{result.remapped_on_time});
+  out += ',';
+  Field(out, "weighted_total", result.weighted_total);
+  out += ',';
+  Field(out, "weighted_completed", result.weighted_completed);
+  out += ',';
+  Field(out, "weighted_missed", result.weighted_missed);
+  out += ',';
+  Field(out, "energy", result.total_energy);
+  out += ',';
+  out += "\"exhausted_at\":";
+  out += result.energy_exhausted_at ? json::Number(*result.energy_exhausted_at)
+                                    : "null";
+  out += ',';
+  Field(out, "energy_remaining", result.estimated_energy_remaining);
+  out += ',';
+  Field(out, "makespan", result.makespan);
+
+  // Counters: non-zero slots only, via the generic field table.
+  std::string counters;
+  for (const obs::CounterField& field : obs::CounterFields()) {
+    const std::uint64_t value = result.counters.*(field.slot);
+    if (value == 0) continue;
+    if (!counters.empty()) counters += ',';
+    Field(counters, field.name, value);
+  }
+  if (result.counters.decision_seconds != 0.0) {
+    if (!counters.empty()) counters += ',';
+    Field(counters, "decision_seconds", result.counters.decision_seconds);
+  }
+  if (!counters.empty()) {
+    out += ",\"counters\":{";
+    out += counters;
+    out += '}';
+  }
+
+  // Validation report (omitted entirely when validation was off and clean).
+  const validate::ValidationReport& report = result.validation;
+  if (report.mode != validate::ValidationMode::kOff || !report.ok()) {
+    out += ",\"validation\":{";
+    Field(out, "mode", validate::ValidationModeName(report.mode));
+    out += ',';
+    Field(out, "checks", report.checks_run);
+    out += ',';
+    Field(out, "violations", report.violations);
+    if (!report.by_check.empty()) {
+      out += ",\"by_check\":[";
+      bool first = true;
+      for (const validate::Violation& violation : report.by_check) {
+        if (!first) out += ',';
+        first = false;
+        out += '{';
+        Field(out, "check", violation.check);
+        out += ',';
+        Field(out, "detail", violation.detail);
+        out += ',';
+        Field(out, "sim_time", violation.sim_time);
+        out += ',';
+        Field(out, "occurrences", violation.occurrences);
+        out += '}';
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+
+  out += '}';
+  return out;
+}
+
+namespace {
+
+TrialResult TrialResultFromValue(const json::Value& object) {
+  if (object.kind() != json::Value::Kind::kObject) {
+    BadRecord("trial result is not a JSON object");
+  }
+  TrialResult result;
+  result.window_size = RequireUint(object, "window");
+  result.completed = RequireUint(object, "completed");
+  result.missed_deadlines = RequireUint(object, "missed");
+  result.discarded = RequireUint(object, "discarded");
+  result.finished_late = RequireUint(object, "late");
+  result.on_time_but_over_budget = RequireUint(object, "over_budget");
+  result.cancelled = RequireUint(object, "cancelled");
+  result.failures_injected = RequireUint(object, "failures");
+  result.repairs_applied = RequireUint(object, "repairs");
+  result.throttles_injected = RequireUint(object, "throttles");
+  result.tasks_lost_to_failures = RequireUint(object, "lost");
+  result.tasks_remapped = RequireUint(object, "remapped");
+  result.remapped_on_time = RequireUint(object, "remapped_on_time");
+  result.weighted_total = RequireNumber(object, "weighted_total");
+  result.weighted_completed = RequireNumber(object, "weighted_completed");
+  result.weighted_missed = RequireNumber(object, "weighted_missed");
+  result.total_energy = RequireNumber(object, "energy");
+  const json::Value& exhausted = Require(object, "exhausted_at");
+  if (!exhausted.is_null()) {
+    if (exhausted.kind() != json::Value::Kind::kNumber) {
+      BadRecord("field \"exhausted_at\" is neither a number nor null");
+    }
+    result.energy_exhausted_at = exhausted.AsNumber();
+  }
+  result.estimated_energy_remaining = RequireNumber(object, "energy_remaining");
+  result.makespan = RequireNumber(object, "makespan");
+
+  if (const json::Value* counters = object.Find("counters")) {
+    if (counters->kind() != json::Value::Kind::kObject) {
+      BadRecord("field \"counters\" is not an object");
+    }
+    for (const obs::CounterField& field : obs::CounterFields()) {
+      if (counters->Find(field.name) != nullptr) {
+        result.counters.*(field.slot) = RequireUint(*counters, field.name);
+      }
+    }
+    if (counters->Find("decision_seconds") != nullptr) {
+      result.counters.decision_seconds =
+          RequireNumber(*counters, "decision_seconds");
+    }
+  }
+
+  if (const json::Value* validation = object.Find("validation")) {
+    if (validation->kind() != json::Value::Kind::kObject) {
+      BadRecord("field \"validation\" is not an object");
+    }
+    const std::string& mode_name = RequireString(*validation, "mode");
+    const auto mode = validate::ParseValidationMode(mode_name);
+    if (!mode) BadRecord("unknown validation mode \"" + mode_name + '"');
+    result.validation.mode = *mode;
+    result.validation.checks_run = RequireUint(*validation, "checks");
+    result.validation.violations = RequireUint(*validation, "violations");
+    if (const json::Value* by_check = validation->Find("by_check")) {
+      if (by_check->kind() != json::Value::Kind::kArray) {
+        BadRecord("field \"by_check\" is not an array");
+      }
+      for (const json::Value& entry : by_check->AsArray()) {
+        validate::Violation violation;
+        violation.check = RequireString(entry, "check");
+        violation.detail = RequireString(entry, "detail");
+        violation.sim_time = RequireNumber(entry, "sim_time");
+        violation.occurrences = RequireUint(entry, "occurrences");
+        result.validation.by_check.push_back(std::move(violation));
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace
+
+TrialResult TrialResultFromJson(std::string_view json_text) {
+  const std::optional<json::Value> value = json::Parse(json_text);
+  if (!value) BadRecord("trial result is not valid JSON");
+  return TrialResultFromValue(*value);
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointStore
+// ---------------------------------------------------------------------------
+
+CheckpointStore CheckpointStore::Load(const std::string& path,
+                                      const LoadOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          path + ": cannot open for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw CheckpointError(CheckpointErrorKind::kIo, path + ": read error");
+  }
+  const std::string text = buffer.str();
+  if (text.empty()) {
+    throw CheckpointError(CheckpointErrorKind::kBadHeader,
+                          path + ": empty checkpoint (no header record)");
+  }
+
+  CheckpointStore store;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t newline = text.find('\n', pos);
+    const bool terminated = newline != std::string::npos;
+    const std::string_view line(text.data() + pos,
+                                (terminated ? newline : text.size()) - pos);
+    pos = terminated ? newline + 1 : text.size();
+    ++line_number;
+
+    if (!terminated) {
+      // A line without its trailing newline can only be the write that a
+      // crash cut short — even if the text happens to parse, the record was
+      // never committed.
+      if (line_number == 1) {
+        throw CheckpointError(
+            CheckpointErrorKind::kBadHeader,
+            path + ": header record cut mid-write; delete the file");
+      }
+      if (options.allow_partial_tail) {
+        store.dropped_partial_tail_ = true;
+        break;
+      }
+      throw CheckpointError(
+          CheckpointErrorKind::kTruncatedRecord,
+          path + ": line " + std::to_string(line_number) +
+              " cut mid-write (no trailing newline); re-load with "
+              "allow_partial_tail to drop it");
+    }
+    if (line.empty()) continue;
+
+    const std::optional<json::Value> value = json::Parse(line);
+    if (!value || value->kind() != json::Value::Kind::kObject) {
+      if (line_number == 1) {
+        throw CheckpointError(
+            CheckpointErrorKind::kBadHeader,
+            path + ": first line is not a valid JSON header record");
+      }
+      BadRecord(path + ": line " + std::to_string(line_number) +
+                " is not a valid JSON record");
+    }
+    try {
+      const std::string& record = RequireString(*value, "record");
+      if (line_number == 1) {
+        if (record != "header") {
+          throw CheckpointError(
+              CheckpointErrorKind::kBadHeader,
+              path + ": first record is \"" + record + "\", not a header");
+        }
+        store.header_ = HeaderFromJson(*value);
+        continue;
+      }
+      if (record != "trial") {
+        BadRecord(path + ": line " + std::to_string(line_number) +
+                  ": unknown record type \"" + record + '"');
+      }
+      const std::string& heuristic = RequireString(*value, "heuristic");
+      const std::string& filter = RequireString(*value, "filter");
+      const std::size_t trial = RequireUint(*value, "trial");
+      TrialResult result = TrialResultFromValue(Require(*value, "result"));
+      // Later duplicates win: a crashed run may have been restarted without
+      // --resume and re-appended triples it had already written.
+      store.results_.insert_or_assign(std::tuple(heuristic, filter, trial),
+                                      std::move(result));
+    } catch (const CheckpointError& error) {
+      if (error.kind() == CheckpointErrorKind::kBadRecord) {
+        // A malformed first line means the header itself is bad.
+        throw CheckpointError(line_number == 1
+                                  ? CheckpointErrorKind::kBadHeader
+                                  : CheckpointErrorKind::kBadRecord,
+                              path + ": line " + std::to_string(line_number) +
+                                  ": " + error.what());
+      }
+      throw;
+    }
+  }
+
+  if (store.header_.schema_version != kCheckpointSchemaVersion) {
+    throw CheckpointError(
+        CheckpointErrorKind::kSchemaVersion,
+        path + ": written with schema version " +
+            std::to_string(store.header_.schema_version) +
+            ", this build reads " + std::to_string(kCheckpointSchemaVersion));
+  }
+  return store;
+}
+
+const TrialResult* CheckpointStore::Find(std::string_view heuristic,
+                                         std::string_view filter_variant,
+                                         std::size_t trial_index) const {
+  const auto it = results_.find(std::tuple(
+      std::string(heuristic), std::string(filter_variant), trial_index));
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+// ---------------------------------------------------------------------------
+
+struct CheckpointWriter::Impl {
+  std::mutex mutex;
+  std::ofstream out;
+  std::string path;
+};
+
+CheckpointWriter::CheckpointWriter(const std::string& path,
+                                   const CheckpointHeader& header)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->path = path;
+
+  // Decide append-vs-create from what is already on disk. A file whose
+  // first line never got its newline holds no committed records (the header
+  // write itself was cut short), so it is safe to start over.
+  bool append = false;
+  {
+    std::ifstream existing(path, std::ios::binary);
+    if (existing) {
+      std::string first_line;
+      if (std::getline(existing, first_line) && existing.good()) {
+        const std::optional<json::Value> value = json::Parse(first_line);
+        if (!value || value->kind() != json::Value::Kind::kObject ||
+            value->Find("record") == nullptr ||
+            RequireString(*value, "record") != "header") {
+          throw CheckpointError(
+              CheckpointErrorKind::kBadHeader,
+              path + ": existing file's first line is not a header record");
+        }
+        VerifyCheckpointHeader(HeaderFromJson(*value), header, path);
+        append = true;
+      }
+    }
+  }
+
+  impl_->out.open(path, append ? (std::ios::binary | std::ios::app)
+                               : (std::ios::binary | std::ios::trunc));
+  if (!impl_->out) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          path + ": cannot open for writing");
+  }
+  if (!append) {
+    impl_->out << HeaderToJson(header) << '\n';
+    impl_->out.flush();
+    if (!impl_->out) {
+      throw CheckpointError(CheckpointErrorKind::kIo,
+                            path + ": cannot write header record");
+    }
+  }
+}
+
+CheckpointWriter::~CheckpointWriter() = default;
+
+void CheckpointWriter::Append(std::string_view heuristic,
+                              std::string_view filter_variant,
+                              std::size_t trial_index,
+                              const TrialResult& result) {
+  std::string line = "{";
+  Field(line, "record", std::string_view("trial"));
+  line += ',';
+  Field(line, "heuristic", heuristic);
+  line += ',';
+  Field(line, "filter", filter_variant);
+  line += ',';
+  Field(line, "trial", std::uint64_t{trial_index});
+  line += ",\"result\":";
+  line += TrialResultToJson(result);
+  line += "}\n";
+
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->out << line;
+  impl_->out.flush();
+  if (!impl_->out) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          impl_->path + ": write error");
+  }
+}
+
+}  // namespace ecdra::sim

@@ -1,7 +1,10 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <optional>
+#include <sstream>
 
 #include "robustness/robustness.hpp"
 #include "util/assert.hpp"
@@ -90,6 +93,17 @@ TrialResult Engine::Run() {
   // null scope (counters disabled) leaves the thread-local untouched.
   const obs::CountersScope counters_scope(
       options_.collect_counters ? &counters_ : nullptr);
+  // The invariant validator rides the same thread-local pattern: pmf and
+  // engine check sites see it (or a null) for the duration of the trial.
+  std::optional<validate::TrialValidator> validator;
+  if (options_.validation != validate::ValidationMode::kOff) {
+    validator.emplace(options_.validation, options_.validation_fail_fast);
+  }
+  const validate::ValidatorScope validator_scope(
+      validator ? &*validator : nullptr);
+
+  const auto watchdog_start = std::chrono::steady_clock::now();
+  std::uint64_t events_handled = 0;
 
   TrialResult result;
   result.window_size = tasks_.size();
@@ -107,6 +121,25 @@ TrialResult Engine::Run() {
   while (!events_.empty()) {
     const Event event = events_.top();
     events_.pop();
+    if (options_.trial_timeout > 0.0 && (++events_handled & 63u) == 0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        watchdog_start)
+              .count();
+      if (elapsed > options_.trial_timeout) throw TrialTimeoutError(elapsed);
+    }
+    if (validator) {
+      // Cheap invariant: the event queue must never hand back a time before
+      // the clock — a violation means ordering (and so energy integration)
+      // has gone wrong.
+      validator->CountChecks();
+      if (event.time < now) {
+        std::ostringstream os;
+        os << "event kind " << event.kind << " at t=" << event.time
+           << " scheduled before the clock t=" << now;
+        validator->Fail("event-monotonicity", now, os.str());
+      }
+    }
     if (event.kind == 0) {
       // Skip stale finish events — the expected task was re-timed by a
       // throttle or killed by a failure — without touching the clock, so a
@@ -166,10 +199,20 @@ TrialResult Engine::Run() {
         record.within_energy = within_energy;
       }
       HandleFinish(flat, now);
+      if (validator && validator->deep()) CheckQueueModelSync(flat, now);
     }
     // With all arrivals seen and no task assigned anywhere, nothing left in
     // the queue can matter — only stale finishes and trailing fault events.
     if (arrivals_pending == 0 && active_tasks_ == 0) break;
+  }
+
+  // Queue-model/engine synchronization holds at every instant in deep mode;
+  // cheap mode settles for the end-of-trial sweep (every model must have
+  // drained along with the engine's ground truth).
+  if (validator) {
+    for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+      CheckQueueModelSync(flat, now);
+    }
   }
 
   // End-of-workload transition for every core (§III-C), then reconcile the
@@ -206,8 +249,29 @@ TrialResult Engine::Run() {
     counters_.tasks_cancelled = cancelled_;
     result.counters = counters_;
   }
+  if (validator) result.validation = validator->TakeReport();
   if (options_.trace_sink != nullptr) options_.trace_sink->Flush();
   return result;
+}
+
+void Engine::CheckQueueModelSync(std::size_t flat_core, double now) const {
+  validate::TrialValidator* validator = validate::ActiveValidator();
+  if (validator == nullptr) return;
+  validator->CountChecks();
+  const CoreRuntime& core = runtime_[flat_core];
+  const robustness::CoreQueueModel& model = models_[flat_core];
+  const bool busy_matches = model.idle() == !core.busy;
+  const bool queue_matches = model.queued().size() == core.pending.size();
+  const bool running_matches =
+      !core.busy ||
+      (model.running() && model.running()->task_id == core.running.task_id);
+  if (busy_matches && queue_matches && running_matches) return;
+  std::ostringstream os;
+  os << "core " << flat_core << ": engine (busy=" << core.busy
+     << ", running=" << (core.busy ? core.running.task_id : 0)
+     << ", queued=" << core.pending.size() << ") vs model (idle="
+     << model.idle() << ", queued=" << model.queued().size() << ")";
+  validator->Fail("queue-model-sync", now, os.str());
 }
 
 void Engine::HandleArrival(const workload::Task& task, double now) {
@@ -464,6 +528,20 @@ void Engine::AdvanceEnergy(double to_time) {
         meter_.BudgetCrossingTime(options_.energy_budget, to_time);
   }
   meter_.AdvanceTo(to_time);
+  if (validate::TrialValidator* validator = validate::ActiveValidator()) {
+    // Cheap invariant: until the budget-crossing cutoff is pinned, the
+    // cumulative draw must not exceed zeta_max — a breach means the meter
+    // integrated past the budget without recording the crossing instant,
+    // and every "within budget" completion after it is suspect.
+    validator->CountChecks();
+    const double budget = options_.energy_budget;
+    if (!exhausted_at_ && meter_.consumed() > budget * (1.0 + 1e-9)) {
+      std::ostringstream os;
+      os << "consumed " << meter_.consumed() << " > zeta_max " << budget
+         << " with no budget-crossing cutoff recorded";
+      validator->Fail("energy-budget-cutoff", to_time, os.str());
+    }
+  }
 }
 
 double Engine::SampleActualDuration(const workload::Task& task,

@@ -19,6 +19,7 @@
 #include <deque>
 #include <queue>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -32,10 +33,31 @@
 #include "robustness/core_queue_model.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
+#include "validate/validation.hpp"
 #include "workload/task.hpp"
 #include "workload/task_type_table.hpp"
 
 namespace ecdra::sim {
+
+/// Thrown by Engine::Run when the cooperative wall-clock watchdog
+/// (TrialOptions.trial_timeout) expires. The check rides the event loop, so
+/// a trial stuck *between* events (not a failure mode of this engine) would
+/// not be caught; runaway trials — pathological workloads, filter-chain
+/// blowups — are, and the worker thread is freed for the next trial.
+class TrialTimeoutError : public std::runtime_error {
+ public:
+  explicit TrialTimeoutError(double elapsed_seconds)
+      : std::runtime_error("trial exceeded its wall-clock watchdog after " +
+                           std::to_string(elapsed_seconds) + "s"),
+        elapsed_seconds_(elapsed_seconds) {}
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return elapsed_seconds_;
+  }
+
+ private:
+  double elapsed_seconds_;
+};
 
 /// What an idle core with an empty queue does (DESIGN.md decision 2).
 enum class IdlePolicy {
@@ -107,6 +129,16 @@ struct TrialOptions {
   fault::FaultSchedule fault_schedule;
   /// What happens to tasks stranded by a permanent core failure.
   fault::RecoveryPolicy recovery_policy = fault::RecoveryPolicy::kDropQueued;
+  /// Invariant validation (src/validate): kOff costs one null-check per
+  /// instrumentation point; kCheap adds O(1) engine checks per event;
+  /// kDeep audits every pmf operation and the queue-model/engine sync.
+  validate::ValidationMode validation = validate::ValidationMode::kOff;
+  /// Throw ValidationError at the first violation (tests) instead of
+  /// recording into TrialResult.validation and continuing (sweeps).
+  bool validation_fail_fast = false;
+  /// Cooperative wall-clock watchdog for one trial, in real seconds;
+  /// 0 disables. Checked every 64 events; expiry throws TrialTimeoutError.
+  double trial_timeout = 0.0;
 };
 
 class Engine {
@@ -210,6 +242,9 @@ class Engine {
   [[nodiscard]] double SampleActualDuration(const workload::Task& task,
                                             std::size_t node,
                                             cluster::PStateIndex pstate);
+  /// Deep check: the scheduler's CoreQueueModel for `flat_core` must mirror
+  /// the engine's ground truth (busy flag, running task id, queue depth).
+  void CheckQueueModelSync(std::size_t flat_core, double now) const;
 
   const cluster::Cluster* cluster_;
   const workload::TaskTypeTable* types_;

@@ -1,8 +1,14 @@
 #include "sim/experiment_runner.hpp"
 
+#include <algorithm>
+#include <exception>
 #include <future>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "core/scheduler.hpp"
+#include "sim/checkpoint.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 
@@ -86,7 +92,11 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       .collect_counters = options.collect_counters,
       .trace_sink = options.trace_sink,
       .trial_index = trial_index,
+      .fault_schedule = {},
       .recovery_policy = options.recovery,
+      .validation = options.validation,
+      .validation_fail_fast = options.validation_fail_fast,
+      .trial_timeout = options.trial_timeout,
   };
   if (options.fault.enabled()) {
     // The fault schedule draws only from the trial's "fault" substream, so
@@ -103,11 +113,67 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
   return engine.Run();
 }
 
-std::vector<TrialResult> RunTrials(const ExperimentSetup& setup,
-                                   const std::string& heuristic,
-                                   const std::string& filter_variant,
-                                   const RunOptions& options) {
+namespace {
+
+/// Per-trial outcome slot, written by exactly one pool task.
+struct TrialSlot {
+  std::optional<TrialResult> result;
+  std::optional<TrialFailure> failure;
+  bool resumed = false;
+  std::size_t attempts = 0;
+};
+
+/// Runs every attempt of one trial; never throws for a trial failure (those
+/// land in the slot) — only for checkpoint-write problems.
+void RunTrialAttempts(const ExperimentSetup& setup,
+                      const std::string& heuristic,
+                      const std::string& filter_variant, std::size_t trial,
+                      const RunOptions& options, CheckpointWriter* writer,
+                      TrialSlot& slot) {
+  std::string last_error;
+  bool timed_out = false;
+  for (std::size_t attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    try {
+      if (options.pre_trial_hook) options.pre_trial_hook(trial, attempt);
+      // Retries re-run the same (master seed, trial) substreams, so a
+      // successful retry is bit-identical to a first-attempt success.
+      TrialResult result =
+          RunSingleTrial(setup, heuristic, filter_variant, trial, options);
+      if (writer != nullptr) {
+        writer->Append(heuristic, filter_variant, trial, result);
+      }
+      slot.result = std::move(result);
+      slot.attempts = attempt;
+      return;
+    } catch (const TrialTimeoutError& error) {
+      last_error = error.what();
+      timed_out = true;
+    } catch (const CheckpointError&) {
+      throw;  // infrastructure failure, not a trial failure
+    } catch (const std::exception& error) {
+      last_error = error.what();
+      timed_out = false;
+    }
+  }
+  slot.attempts = options.max_attempts;
+  slot.failure = TrialFailure{
+      .heuristic = heuristic,
+      .filter_variant = filter_variant,
+      .trial_index = trial,
+      .error = std::move(last_error),
+      .attempts = options.max_attempts,
+      .timed_out = timed_out,
+  };
+}
+
+}  // namespace
+
+SweepResult RunSweep(const ExperimentSetup& setup, const std::string& heuristic,
+                     const std::string& filter_variant,
+                     const RunOptions& options) {
   ECDRA_REQUIRE(options.num_trials >= 1, "need at least one trial");
+  ECDRA_REQUIRE(options.max_attempts >= 1, "need at least one attempt");
+
   // A trace path takes precedence over a caller-provided sink; the file
   // sink is internally synchronized so all trials can share it.
   RunOptions effective = options;
@@ -116,20 +182,119 @@ std::vector<TrialResult> RunTrials(const ExperimentSetup& setup,
     file_sink = obs::OpenJsonlTraceFile(options.trace_path);
     effective.trace_sink = file_sink.get();
   }
+
+  const bool checkpointing = !options.checkpoint_path.empty();
+  if ((checkpointing || options.resume != nullptr) &&
+      (options.collect_task_records || options.collect_robustness_trace)) {
+    throw CheckpointError(
+        CheckpointErrorKind::kUnsupportedOptions,
+        "per-task records / robustness traces cannot be checkpointed; "
+        "disable collect_task_records and collect_robustness_trace");
+  }
+  const CheckpointHeader header{
+      .schema_version = kCheckpointSchemaVersion,
+      .master_seed = setup.master_seed,
+      .config_hash = ConfigFingerprint(setup, options),
+  };
+  if (options.resume != nullptr) {
+    VerifyCheckpointHeader(options.resume->header(), header, "resume store");
+  }
+  std::unique_ptr<CheckpointWriter> writer;
+  if (checkpointing) {
+    writer =
+        std::make_unique<CheckpointWriter>(options.checkpoint_path, header);
+  }
+
+  std::vector<TrialSlot> slots(options.num_trials);
+
+  // Serve resumed trials from the store before the fan-out; their stored
+  // results are bit-identical to re-execution (exact-round-trip doubles),
+  // so the merged sweep equals an uninterrupted run.
+  for (std::size_t trial = 0; trial < options.num_trials; ++trial) {
+    if (options.resume == nullptr) break;
+    if (const TrialResult* stored =
+            options.resume->Find(heuristic, filter_variant, trial)) {
+      slots[trial].result = *stored;
+      slots[trial].resumed = true;
+    }
+  }
+
   util::ThreadPool pool(options.num_threads);
-  std::vector<std::future<TrialResult>> futures;
+  std::vector<std::future<void>> futures;
   futures.reserve(options.num_trials);
   for (std::size_t trial = 0; trial < options.num_trials; ++trial) {
+    if (slots[trial].resumed) continue;
     futures.push_back(pool.Submit([&, trial] {
-      return RunSingleTrial(setup, heuristic, filter_variant, trial,
-                            effective);
+      RunTrialAttempts(setup, heuristic, filter_variant, trial, effective,
+                       writer.get(), slots[trial]);
     }));
   }
-  std::vector<TrialResult> results;
-  results.reserve(options.num_trials);
-  for (auto& future : futures) results.push_back(future.get());
+  // Drain every future before letting an infrastructure exception escape:
+  // the pool tasks reference `slots`/`writer`, which must outlive them.
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   if (file_sink != nullptr) file_sink->Flush();
-  return results;
+
+  SweepResult sweep;
+  sweep.results.reserve(options.num_trials);
+  sweep.trial_indices.reserve(options.num_trials);
+  for (std::size_t trial = 0; trial < options.num_trials; ++trial) {
+    TrialSlot& slot = slots[trial];
+    if (slot.result) {
+      sweep.results.push_back(std::move(*slot.result));
+      sweep.trial_indices.push_back(trial);
+      if (slot.resumed) {
+        ++sweep.trials_resumed;
+      } else if (slot.attempts > 1) {
+        ++sweep.trials_retried;
+      }
+    } else {
+      ECDRA_ASSERT(slot.failure.has_value(), "trial slot has no outcome");
+      sweep.failures.push_back(std::move(*slot.failure));
+    }
+  }
+  return sweep;
+}
+
+SummaryStatistics SummarizeSweep(const SweepResult& sweep) {
+  SummaryStatistics summary;
+  if (!sweep.results.empty()) summary = SummarizeTrials(sweep.results);
+  summary.failed_trials = sweep.failures.size();
+  summary.timed_out_trials = static_cast<std::size_t>(
+      std::count_if(sweep.failures.begin(), sweep.failures.end(),
+                    [](const TrialFailure& f) { return f.timed_out; }));
+  summary.retried_trials = sweep.trials_retried;
+  return summary;
+}
+
+std::vector<TrialResult> RunTrials(const ExperimentSetup& setup,
+                                   const std::string& heuristic,
+                                   const std::string& filter_variant,
+                                   const RunOptions& options) {
+  SweepResult sweep = RunSweep(setup, heuristic, filter_variant, options);
+  if (!sweep.complete()) {
+    const TrialFailure& failure = sweep.failures.front();
+    std::string message =
+        "trial failed: heuristic=" + failure.heuristic +
+        " filter=" + failure.filter_variant +
+        " trial=" + std::to_string(failure.trial_index) + " after " +
+        std::to_string(failure.attempts) +
+        (failure.attempts == 1 ? " attempt" : " attempts") +
+        (failure.timed_out ? " (timed out)" : "") + ": " + failure.error;
+    if (sweep.failures.size() > 1) {
+      message += " (+" + std::to_string(sweep.failures.size() - 1) +
+                 " more failed trials)";
+    }
+    throw std::runtime_error(message);
+  }
+  return std::move(sweep.results);
 }
 
 }  // namespace ecdra::sim

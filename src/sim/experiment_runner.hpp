@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "workload/workload_generator.hpp"
 
 namespace ecdra::sim {
+
+class CheckpointStore;  // sim/checkpoint.hpp
 
 struct SetupOptions {
   cluster::ClusterBuilderOptions cluster;
@@ -87,6 +90,69 @@ struct RunOptions {
   /// A zero fault.horizon is replaced by (last arrival + 20 * t_avg).
   fault::FaultModelOptions fault;
   fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
+
+  // -- Crash-safe sweep extensions (RunSweep; all inert by default) --
+  /// Per-attempt wall-clock watchdog in real seconds (0 = off). A trial
+  /// whose event loop overruns the deadline is aborted with
+  /// TrialTimeoutError and treated like any other trial failure.
+  double trial_timeout = 0.0;
+  /// Attempts per trial (>= 1). Retries re-run the *same* substreams — a
+  /// retry is a true re-execution, so a deterministic failure fails every
+  /// attempt while a transient one (timeout under load, injected test
+  /// fault) can succeed on the next try with bit-identical results.
+  std::size_t max_attempts = 1;
+  /// Invariant validation (src/validate) for every trial.
+  validate::ValidationMode validation = validate::ValidationMode::kOff;
+  /// Throw at the first violation instead of recording it in the result.
+  bool validation_fail_fast = false;
+  /// Append each completed TrialResult to this JSONL checkpoint file
+  /// ("" = off). The file starts with a header record pinning the master
+  /// seed, config fingerprint, and schema version; every record is flushed
+  /// as it is written, so a killed sweep loses at most the line in flight.
+  std::string checkpoint_path;
+  /// Previously checkpointed results (sim/checkpoint.hpp). Triples already
+  /// present are served from the store instead of re-executed; because
+  /// trials are deterministic per substream, the merged sweep is
+  /// bit-identical to an uninterrupted one. The store's header must match
+  /// this run (seed + config fingerprint) or RunSweep throws
+  /// CheckpointError. Unowned; must outlive the call.
+  const CheckpointStore* resume = nullptr;
+  /// Test seam: invoked at the start of every attempt as
+  /// (trial_index, attempt). An exception thrown here fails that attempt
+  /// exactly like a trial-body exception — tests use it to inject
+  /// transient and deterministic failures.
+  std::function<void(std::size_t, std::size_t)> pre_trial_hook;
+};
+
+/// A trial that exhausted every attempt without producing a result.
+struct TrialFailure {
+  std::string heuristic;
+  std::string filter_variant;
+  std::size_t trial_index = 0;
+  /// what() of the last attempt's exception.
+  std::string error;
+  std::size_t attempts = 0;
+  /// The last attempt hit the wall-clock watchdog (TrialTimeoutError).
+  bool timed_out = false;
+};
+
+/// Outcome of one (heuristic, filter variant) sweep under RunSweep: the
+/// completed trials plus the failures that were isolated instead of taking
+/// the sweep down.
+struct SweepResult {
+  /// Completed trials in ascending trial-index order. When failures is
+  /// empty this is exactly RunTrials' return value.
+  std::vector<TrialResult> results;
+  /// results[i] is the trial with index trial_indices[i] (the two vectors
+  /// diverge from 0..n-1 only when trials failed).
+  std::vector<std::size_t> trial_indices;
+  std::vector<TrialFailure> failures;  // ascending trial index
+  /// Trials served from the resume checkpoint without re-execution.
+  std::size_t trials_resumed = 0;
+  /// Trials that needed more than one attempt but completed.
+  std::size_t trials_retried = 0;
+
+  [[nodiscard]] bool complete() const noexcept { return failures.empty(); }
 };
 
 /// Runs one deterministic trial.
@@ -96,8 +162,31 @@ struct RunOptions {
                                          std::size_t trial_index,
                                          const RunOptions& options = {});
 
+/// Crash-safe fan-out of `options.num_trials` trials of one (heuristic,
+/// filter variant) configuration: per-trial exceptions are caught at the
+/// task boundary and recorded as TrialFailure outcomes (the sweep always
+/// runs to the end), the wall-clock watchdog aborts runaway trials, the
+/// bounded retry policy re-runs failed attempts on the same substreams, and
+/// completed trials stream to the JSONL checkpoint / are served from the
+/// resume store. Throws CheckpointError for checkpoint-file problems and
+/// std::invalid_argument for malformed options; never throws for a failing
+/// trial.
+[[nodiscard]] SweepResult RunSweep(const ExperimentSetup& setup,
+                                   const std::string& heuristic,
+                                   const std::string& filter_variant,
+                                   const RunOptions& options = {});
+
+/// SummarizeTrials over the completed trials plus the sweep-level failure /
+/// retry / timeout tallies. Zero-trial sweeps (everything failed) yield a
+/// zeroed summary with the failure counts set.
+[[nodiscard]] SummaryStatistics SummarizeSweep(const SweepResult& sweep);
+
 /// Runs `options.num_trials` trials of one (heuristic, filter variant)
 /// configuration in parallel; results are ordered by trial index.
+/// All-or-nothing wrapper over RunSweep: if any trial failed after its
+/// attempts, throws std::runtime_error naming the failing (heuristic,
+/// filter, trial) triple — the remaining trials still ran to completion
+/// first, so a lone bad trial cannot abandon the queued work mid-sweep.
 [[nodiscard]] std::vector<TrialResult> RunTrials(
     const ExperimentSetup& setup, const std::string& heuristic,
     const std::string& filter_variant, const RunOptions& options = {});

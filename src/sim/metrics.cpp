@@ -26,6 +26,9 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
   if (result.energy_exhausted_at) {
     os << ", exhausted_at=" << *result.energy_exhausted_at;
   }
+  if (!result.validation.ok()) {
+    os << ", validation=" << result.validation;
+  }
   return os << ", makespan=" << result.makespan << "}";
 }
 
@@ -47,6 +50,8 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
     summary.mean_remapped_on_time +=
         static_cast<double>(trial.remapped_on_time);
     summary.counters.Merge(trial.counters);
+    summary.validation_checks += trial.validation.checks_run;
+    summary.validation_violations += trial.validation.violations;
   }
   const double n = static_cast<double>(trials.size());
   summary.mean_missed /= n;
@@ -74,6 +79,16 @@ std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
        << ", mean_tasks_lost=" << summary.mean_tasks_lost
        << ", mean_remapped=" << summary.mean_remapped
        << ", mean_remapped_on_time=" << summary.mean_remapped_on_time;
+  }
+  if (summary.failed_trials > 0 || summary.retried_trials > 0 ||
+      summary.timed_out_trials > 0) {
+    os << ", failed_trials=" << summary.failed_trials
+       << ", timed_out_trials=" << summary.timed_out_trials
+       << ", retried_trials=" << summary.retried_trials;
+  }
+  if (summary.validation_checks > 0 || summary.validation_violations > 0) {
+    os << ", validation_checks=" << summary.validation_checks
+       << ", validation_violations=" << summary.validation_violations;
   }
   if (!summary.counters.empty()) {
     os << ", counters=" << summary.counters;

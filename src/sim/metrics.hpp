@@ -15,6 +15,7 @@
 
 #include "cluster/pstate.hpp"
 #include "obs/counters.hpp"
+#include "validate/validation.hpp"
 
 namespace ecdra::sim {
 
@@ -106,6 +107,11 @@ struct TrialResult {
   /// Scheduler/engine/pmf observability counters (all-zero unless
   /// TrialOptions.collect_counters was set).
   obs::Counters counters;
+  /// Invariant-validation outcome (mode kOff with zero checks unless
+  /// TrialOptions.validation was enabled). In record-and-continue sweeps a
+  /// violating trial still lands here, flagged; fail-fast trials throw
+  /// validate::ValidationError instead.
+  validate::ValidationReport validation;
 };
 
 std::ostream& operator<<(std::ostream& os, const TrialResult& result);
@@ -129,6 +135,17 @@ struct SummaryStatistics {
   double mean_remapped_on_time = 0.0;
   /// Counters summed over all trials (all-zero when collection was off).
   obs::Counters counters;
+  /// Invariant-validation totals over all trials (zero when validation off).
+  std::uint64_t validation_checks = 0;
+  std::uint64_t validation_violations = 0;
+  // -- Crash-safe sweep extension (all zero for plain RunTrials sweeps;
+  // filled by SummarizeSweep from the SweepResult bookkeeping) --
+  /// Trials that exhausted every attempt without producing a result.
+  std::size_t failed_trials = 0;
+  /// Failed trials whose last attempt hit the wall-clock watchdog.
+  std::size_t timed_out_trials = 0;
+  /// Trials that needed more than one attempt but eventually completed.
+  std::size_t retried_trials = 0;
 };
 
 /// Aggregates trial results (at least one required).

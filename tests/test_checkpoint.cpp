@@ -1,0 +1,370 @@
+// Checkpoint/resume: exact JSON round-trip of trial results, typed errors
+// for every corruption mode, duplicate-triple semantics, config
+// fingerprinting, and the headline guarantee — a killed-and-resumed sweep
+// is bit-identical to an uninterrupted one.
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "sim/experiment_runner.hpp"
+
+namespace ecdra::sim {
+namespace {
+
+SetupOptions SmallOptions() {
+  SetupOptions options;
+  options.cluster.num_nodes = 3;
+  options.cvb.num_task_types = 10;
+  options.workload.arrivals =
+      workload::ArrivalSpec::PaperBursty(15, 30, 1.0 / 8.0, 1.0 / 48.0);
+  return options;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "ecdra_checkpoint_" + name + ".jsonl";
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.good());
+  os << content;
+}
+
+constexpr char kValidHeaderLine[] =
+    "{\"record\":\"header\",\"schema\":1,\"seed\":\"5\",\"config\":\"x\"}\n";
+
+/// EXPECT_EQ on every simulation-deterministic field (bit-exact doubles;
+/// excludes wall-clock decision_seconds).
+void ExpectBitIdentical(const TrialResult& a, const TrialResult& b) {
+  EXPECT_EQ(a.window_size, b.window_size);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.missed_deadlines, b.missed_deadlines);
+  EXPECT_EQ(a.discarded, b.discarded);
+  EXPECT_EQ(a.finished_late, b.finished_late);
+  EXPECT_EQ(a.on_time_but_over_budget, b.on_time_but_over_budget);
+  EXPECT_EQ(a.cancelled, b.cancelled);
+  EXPECT_EQ(a.weighted_total, b.weighted_total);
+  EXPECT_EQ(a.weighted_completed, b.weighted_completed);
+  EXPECT_EQ(a.weighted_missed, b.weighted_missed);
+  EXPECT_EQ(a.total_energy, b.total_energy);
+  EXPECT_EQ(a.energy_exhausted_at.has_value(),
+            b.energy_exhausted_at.has_value());
+  if (a.energy_exhausted_at && b.energy_exhausted_at) {
+    EXPECT_EQ(*a.energy_exhausted_at, *b.energy_exhausted_at);
+  }
+  EXPECT_EQ(a.estimated_energy_remaining, b.estimated_energy_remaining);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(TrialResultJson, RoundTripIsBitExact) {
+  const ExperimentSetup setup = BuildExperimentSetup(3, SmallOptions());
+  RunOptions options;
+  options.collect_counters = true;
+  options.validation = validate::ValidationMode::kCheap;
+  const TrialResult original = RunSingleTrial(setup, "SQ", "en+rob", 0,
+                                              options);
+
+  const TrialResult restored = TrialResultFromJson(TrialResultToJson(original));
+  ExpectBitIdentical(original, restored);
+  // Counters and validation ride along exactly.
+  for (const obs::CounterField& field : obs::CounterFields()) {
+    EXPECT_EQ(original.counters.*(field.slot), restored.counters.*(field.slot))
+        << field.name;
+  }
+  EXPECT_EQ(original.counters.decision_seconds,
+            restored.counters.decision_seconds);
+  EXPECT_EQ(original.validation.mode, restored.validation.mode);
+  EXPECT_EQ(original.validation.checks_run, restored.validation.checks_run);
+  EXPECT_EQ(original.validation.violations, restored.validation.violations);
+}
+
+TEST(TrialResultJson, NullExhaustedAtAndViolationsRoundTrip) {
+  TrialResult result;
+  result.window_size = 10;
+  result.completed = 10;
+  result.total_energy = 0x1.8db3c4579b52dp+26;  // exactness probe
+  result.validation.mode = validate::ValidationMode::kDeep;
+  result.validation.checks_run = 7;
+  result.validation.violations = 3;
+  result.validation.by_check.push_back(
+      validate::Violation{"pmf-mass", "lost mass", 12.5, 3});
+
+  const TrialResult restored = TrialResultFromJson(TrialResultToJson(result));
+  EXPECT_FALSE(restored.energy_exhausted_at.has_value());
+  EXPECT_EQ(restored.total_energy, 0x1.8db3c4579b52dp+26);
+  ASSERT_EQ(restored.validation.by_check.size(), 1u);
+  EXPECT_EQ(restored.validation.by_check[0], result.validation.by_check[0]);
+}
+
+TEST(TrialResultJson, RejectsTaskRecords) {
+  TrialResult result;
+  result.task_records.emplace_back();
+  try {
+    (void)TrialResultToJson(result);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kUnsupportedOptions);
+  }
+}
+
+TEST(CheckpointWriter, WritesHeaderAndStoreLoadsTriples) {
+  const std::string path = TempPath("writer_roundtrip");
+  const CheckpointHeader header{.master_seed = 3, .config_hash = "abc"};
+  TrialResult a;
+  a.window_size = 5;
+  a.completed = 4;
+  TrialResult b;
+  b.window_size = 5;
+  b.completed = 2;
+  {
+    CheckpointWriter writer(path, header);
+    writer.Append("SQ", "en+rob", 0, a);
+    writer.Append("SQ", "en+rob", 2, b);
+  }
+
+  const CheckpointStore store = CheckpointStore::Load(path);
+  EXPECT_EQ(store.header(), header);
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.Find("SQ", "en+rob", 0), nullptr);
+  EXPECT_EQ(store.Find("SQ", "en+rob", 0)->completed, 4u);
+  ASSERT_NE(store.Find("SQ", "en+rob", 2), nullptr);
+  EXPECT_EQ(store.Find("SQ", "en+rob", 2)->completed, 2u);
+  EXPECT_EQ(store.Find("SQ", "en+rob", 1), nullptr);
+  EXPECT_EQ(store.Find("LL", "en+rob", 0), nullptr);
+  EXPECT_FALSE(store.dropped_partial_tail());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointWriter, AppendsToMatchingFileAndDuplicateLastWins) {
+  const std::string path = TempPath("writer_append");
+  const CheckpointHeader header{.master_seed = 3, .config_hash = "abc"};
+  TrialResult first;
+  first.completed = 1;
+  TrialResult second;
+  second.completed = 2;
+  {
+    CheckpointWriter writer(path, header);
+    writer.Append("SQ", "en", 0, first);
+  }
+  {
+    // Re-opening with the same header appends; the re-written triple's
+    // later record wins on load.
+    CheckpointWriter writer(path, header);
+    writer.Append("SQ", "en", 0, second);
+  }
+  const CheckpointStore store = CheckpointStore::Load(path);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Find("SQ", "en", 0)->completed, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointWriter, RefusesMismatchedExistingFile) {
+  const std::string path = TempPath("writer_mismatch");
+  {
+    CheckpointWriter writer(path,
+                            {.master_seed = 3, .config_hash = "abc"});
+  }
+  try {
+    CheckpointWriter writer(path, {.master_seed = 4, .config_hash = "abc"});
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kConfigMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, TruncatedFinalLineIsTypedStrictAndDroppedTolerant) {
+  const std::string path = TempPath("truncated");
+  TrialResult result;
+  result.completed = 1;
+  {
+    CheckpointWriter writer(path, {.master_seed = 5, .config_hash = "x"});
+    writer.Append("SQ", "en", 0, result);
+  }
+  // Simulate a SIGKILL mid-write: cut the (valid) final record in half.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    WriteFile(path, text + "{\"record\":\"trial\",\"heuristic\":\"SQ");
+  }
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kTruncatedRecord);
+  }
+  const CheckpointStore store =
+      CheckpointStore::Load(path, {.allow_partial_tail = true});
+  EXPECT_TRUE(store.dropped_partial_tail());
+  EXPECT_EQ(store.size(), 1u);  // the committed record survives
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, WrongSchemaVersionIsTyped) {
+  const std::string path = TempPath("schema");
+  WriteFile(path,
+            "{\"record\":\"header\",\"schema\":99,\"seed\":\"5\","
+            "\"config\":\"x\"}\n");
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, MalformedInteriorRecordIsTyped) {
+  const std::string path = TempPath("bad_record");
+  WriteFile(path, std::string(kValidHeaderLine) + "{not json}\n");
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kBadRecord);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, MissingHeaderAndMissingFileAreTyped) {
+  const std::string path = TempPath("no_header");
+  WriteFile(path, "{\"record\":\"trial\"}\n");
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kBadHeader);
+  }
+  std::remove(path.c_str());
+  try {
+    (void)CheckpointStore::Load(TempPath("does_not_exist"));
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kIo);
+  }
+}
+
+TEST(ConfigFingerprint, SensitiveToResultsShapingOptionsOnly) {
+  const ExperimentSetup setup = BuildExperimentSetup(3, SmallOptions());
+  RunOptions options;
+  const std::string base = ConfigFingerprint(setup, options);
+  EXPECT_EQ(base.size(), 16u);
+  EXPECT_EQ(base, ConfigFingerprint(setup, options));  // deterministic
+
+  // A different sampled environment changes the hash.
+  const ExperimentSetup other = BuildExperimentSetup(4, SmallOptions());
+  EXPECT_NE(base, ConfigFingerprint(other, options));
+
+  // Trial-shaping knobs change the hash...
+  RunOptions changed = options;
+  changed.filter_options.robustness_threshold = 0.75;
+  EXPECT_NE(base, ConfigFingerprint(setup, changed));
+  changed = options;
+  changed.fault.mtbf = 1000.0;
+  EXPECT_NE(base, ConfigFingerprint(setup, changed));
+
+  // ...execution mechanics do not.
+  RunOptions mechanics = options;
+  mechanics.num_threads = 7;
+  mechanics.num_trials = 999;
+  mechanics.trial_timeout = 5.0;
+  mechanics.max_attempts = 3;
+  mechanics.validation = validate::ValidationMode::kDeep;
+  mechanics.checkpoint_path = "/tmp/elsewhere.jsonl";
+  mechanics.collect_counters = true;
+  EXPECT_EQ(base, ConfigFingerprint(setup, mechanics));
+}
+
+TEST(Resume, InterruptedSweepResumesBitIdentical) {
+  const ExperimentSetup setup = BuildExperimentSetup(3, SmallOptions());
+  const std::string path = TempPath("resume_golden");
+  std::remove(path.c_str());
+
+  RunOptions options;
+  options.num_trials = 6;
+  options.num_threads = 2;
+
+  // Uninterrupted reference run.
+  const SweepResult reference = RunSweep(setup, "SQ", "en+rob", options);
+  ASSERT_TRUE(reference.complete());
+  ASSERT_EQ(reference.results.size(), 6u);
+
+  // "Crashed" run: only the first 3 trials reach the checkpoint.
+  RunOptions partial = options;
+  partial.num_trials = 3;
+  partial.checkpoint_path = path;
+  ASSERT_TRUE(RunSweep(setup, "SQ", "en+rob", partial).complete());
+
+  // Resumed run: 3 trials served from the store, 3 executed fresh.
+  const CheckpointStore store = CheckpointStore::Load(path);
+  RunOptions resumed_options = options;
+  resumed_options.checkpoint_path = path;
+  resumed_options.resume = &store;
+  const SweepResult resumed = RunSweep(setup, "SQ", "en+rob", resumed_options);
+  ASSERT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.trials_resumed, 3u);
+  ASSERT_EQ(resumed.results.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    ExpectBitIdentical(reference.results[i], resumed.results[i]);
+  }
+
+  // The checkpoint now holds all six trials; a further resume re-runs none.
+  const CheckpointStore full = CheckpointStore::Load(path);
+  RunOptions all_resumed = options;
+  all_resumed.resume = &full;
+  const SweepResult nothing_to_do = RunSweep(setup, "SQ", "en+rob",
+                                             all_resumed);
+  EXPECT_EQ(nothing_to_do.trials_resumed, 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    ExpectBitIdentical(reference.results[i], nothing_to_do.results[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Resume, RefusesStoreFromDifferentConfig) {
+  const ExperimentSetup setup = BuildExperimentSetup(3, SmallOptions());
+  const ExperimentSetup other = BuildExperimentSetup(4, SmallOptions());
+  const std::string path = TempPath("resume_mismatch");
+  std::remove(path.c_str());
+
+  RunOptions options;
+  options.num_trials = 2;
+  options.checkpoint_path = path;
+  ASSERT_TRUE(RunSweep(other, "SQ", "en+rob", options).complete());
+
+  const CheckpointStore store = CheckpointStore::Load(path);
+  RunOptions resume_options;
+  resume_options.num_trials = 2;
+  resume_options.resume = &store;
+  try {
+    (void)RunSweep(setup, "SQ", "en+rob", resume_options);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kConfigMismatch);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Resume, CheckpointingRejectsPerTaskCollection) {
+  const ExperimentSetup setup = BuildExperimentSetup(3, SmallOptions());
+  RunOptions options;
+  options.num_trials = 1;
+  options.checkpoint_path = TempPath("records_reject");
+  options.collect_task_records = true;
+  try {
+    (void)RunSweep(setup, "SQ", "en+rob", options);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kUnsupportedOptions);
+  }
+}
+
+}  // namespace
+}  // namespace ecdra::sim

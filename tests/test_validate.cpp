@@ -1,0 +1,182 @@
+// Invariant-validation layer: mode plumbing, violation folding, fail-fast,
+// the seeded pmf mass-loss bug the deep checks must catch, and a clean
+// deep-validated run of the paper configuration.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "experiment/paper_config.hpp"
+#include "pmf/pmf.hpp"
+#include "sim/experiment_runner.hpp"
+#include "validate/validation.hpp"
+
+namespace ecdra {
+namespace {
+
+TEST(ValidationMode, ParseAndName) {
+  EXPECT_EQ(validate::ParseValidationMode("off"),
+            validate::ValidationMode::kOff);
+  EXPECT_EQ(validate::ParseValidationMode("cheap"),
+            validate::ValidationMode::kCheap);
+  EXPECT_EQ(validate::ParseValidationMode("deep"),
+            validate::ValidationMode::kDeep);
+  EXPECT_FALSE(validate::ParseValidationMode("DEEP").has_value());
+  EXPECT_FALSE(validate::ParseValidationMode("").has_value());
+  EXPECT_EQ(validate::ValidationModeName(validate::ValidationMode::kCheap),
+            "cheap");
+}
+
+TEST(TrialValidator, FoldsRepeatedViolationsPerCheck) {
+  validate::TrialValidator validator(validate::ValidationMode::kCheap);
+  validator.CountChecks(10);
+  validator.Fail("event-monotonicity", 1.0, "first");
+  validator.Fail("event-monotonicity", 2.0, "second");
+  validator.Fail("energy-budget-cutoff", 3.0, "other");
+
+  const validate::ValidationReport& report = validator.report();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.checks_run, 10u);
+  EXPECT_EQ(report.violations, 3u);
+  ASSERT_EQ(report.by_check.size(), 2u);
+  // First occurrence's detail/time stick; repeats only bump the count.
+  EXPECT_EQ(report.by_check[0].check, "event-monotonicity");
+  EXPECT_EQ(report.by_check[0].detail, "first");
+  EXPECT_EQ(report.by_check[0].sim_time, 1.0);
+  EXPECT_EQ(report.by_check[0].occurrences, 2u);
+  EXPECT_EQ(report.by_check[1].occurrences, 1u);
+}
+
+TEST(TrialValidator, FailFastThrowsNamingTheCheck) {
+  validate::TrialValidator validator(validate::ValidationMode::kDeep,
+                                     /*fail_fast=*/true);
+  try {
+    validator.Fail("pmf-mass", 5.0, "mass drifted");
+    FAIL() << "expected ValidationError";
+  } catch (const validate::ValidationError& error) {
+    EXPECT_EQ(error.check(), "pmf-mass");
+    EXPECT_NE(std::string(error.what()).find("mass drifted"),
+              std::string::npos);
+  }
+}
+
+TEST(TrialValidator, ScopeInstallsAndRestoresThreadLocal) {
+  EXPECT_EQ(validate::ActiveValidator(), nullptr);
+  validate::TrialValidator outer(validate::ValidationMode::kCheap);
+  {
+    validate::ValidatorScope scope(&outer);
+    EXPECT_EQ(validate::ActiveValidator(), &outer);
+    // Cheap mode is invisible to deep-only check sites.
+    EXPECT_EQ(validate::DeepValidator(), nullptr);
+    validate::TrialValidator inner(validate::ValidationMode::kDeep);
+    {
+      validate::ValidatorScope nested(&inner);
+      EXPECT_EQ(validate::ActiveValidator(), &inner);
+      EXPECT_EQ(validate::DeepValidator(), &inner);
+    }
+    EXPECT_EQ(validate::ActiveValidator(), &outer);
+  }
+  EXPECT_EQ(validate::ActiveValidator(), nullptr);
+}
+
+TEST(PmfInvariants, SeededMassLossIsCaught) {
+  // A pmf that silently lost mass (sums to 0.9) — constructible only through
+  // the unchecked deserialization seam, exactly how a buggy pmf operation
+  // would corrupt state.
+  const pmf::Pmf broken = pmf::Pmf::FromRawUnchecked(
+      {{1.0, 0.5}, {2.0, 0.4}});
+  validate::TrialValidator validator(validate::ValidationMode::kDeep);
+  {
+    validate::ValidatorScope scope(&validator);
+    pmf::ValidatePmfInvariants(broken, "convolve");
+  }
+  const validate::ValidationReport& report = validator.report();
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.by_check.empty());
+  EXPECT_EQ(report.by_check[0].check, "pmf-mass");
+  EXPECT_NE(report.by_check[0].detail.find("convolve"), std::string::npos);
+}
+
+TEST(PmfInvariants, SeededMassLossThrowsWhenFailFast) {
+  const pmf::Pmf broken = pmf::Pmf::FromRawUnchecked(
+      {{1.0, 0.5}, {2.0, 0.4}});
+  validate::TrialValidator validator(validate::ValidationMode::kDeep,
+                                     /*fail_fast=*/true);
+  validate::ValidatorScope scope(&validator);
+  EXPECT_THROW(pmf::ValidatePmfInvariants(broken, "convolve"),
+               validate::ValidationError);
+}
+
+TEST(PmfInvariants, UnsortedSupportIsCaught) {
+  const pmf::Pmf broken = pmf::Pmf::FromRawUnchecked(
+      {{2.0, 0.5}, {1.0, 0.5}});
+  validate::TrialValidator validator(validate::ValidationMode::kDeep);
+  {
+    validate::ValidatorScope scope(&validator);
+    pmf::ValidatePmfInvariants(broken, "compact");
+  }
+  ASSERT_FALSE(validator.report().by_check.empty());
+  EXPECT_EQ(validator.report().by_check[0].check, "pmf-support");
+}
+
+TEST(PmfInvariants, HealthyPmfPasses) {
+  const pmf::Pmf healthy = pmf::Pmf::FromImpulses({{1.0, 0.25}, {2.0, 0.75}});
+  validate::TrialValidator validator(validate::ValidationMode::kDeep);
+  {
+    validate::ValidatorScope scope(&validator);
+    pmf::ValidatePmfInvariants(healthy, "from-impulses");
+  }
+  EXPECT_TRUE(validator.report().ok());
+  EXPECT_GT(validator.report().checks_run, 0u);
+}
+
+TEST(PmfInvariants, DeepHookAuditsEveryPmfOperation) {
+  // With a deep validator active, Convolve/Truncate/Compact audit their
+  // results automatically — a healthy pipeline runs checks and stays clean.
+  validate::TrialValidator validator(validate::ValidationMode::kDeep);
+  {
+    validate::ValidatorScope scope(&validator);
+    const pmf::Pmf a = pmf::Pmf::FromImpulses({{1.0, 0.5}, {2.0, 0.5}});
+    const pmf::Pmf b = pmf::Pmf::FromImpulses({{3.0, 0.25}, {4.0, 0.75}});
+    const pmf::Pmf c = pmf::Convolve(a, b);
+    (void)c.TruncateBelow(4.5);
+  }
+  EXPECT_TRUE(validator.report().ok());
+  EXPECT_GT(validator.report().checks_run, 0u);
+}
+
+TEST(ValidatedTrial, DeepModeIsCleanOnThePaperConfig) {
+  // The acceptance bar for the validation layer: a deep-validated run of the
+  // paper configuration reports thousands of executed checks and zero
+  // violations — and, with validation off, zero checks (the hooks are
+  // null-checks only).
+  const sim::ExperimentSetup setup = experiment::BuildPaperSetup();
+  sim::RunOptions options = experiment::PaperRunOptions();
+  options.num_trials = 2;
+  options.validation = validate::ValidationMode::kDeep;
+  options.validation_fail_fast = true;  // any violation aborts the test
+
+  const std::vector<sim::TrialResult> trials =
+      sim::RunTrials(setup, "SQ", "en+rob", options);
+  for (const sim::TrialResult& trial : trials) {
+    EXPECT_TRUE(trial.validation.ok());
+    EXPECT_EQ(trial.validation.mode, validate::ValidationMode::kDeep);
+    EXPECT_GT(trial.validation.checks_run, 1000u);
+  }
+
+  options.validation = validate::ValidationMode::kOff;
+  options.validation_fail_fast = false;
+  const std::vector<sim::TrialResult> off =
+      sim::RunTrials(setup, "SQ", "en+rob", options);
+  EXPECT_EQ(off[0].validation.checks_run, 0u);
+
+  // Validation must not perturb the simulation: identical outcomes.
+  ASSERT_EQ(trials.size(), off.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].missed_deadlines, off[i].missed_deadlines);
+    EXPECT_EQ(trials[i].total_energy, off[i].total_energy);
+    EXPECT_EQ(trials[i].makespan, off[i].makespan);
+  }
+}
+
+}  // namespace
+}  // namespace ecdra
