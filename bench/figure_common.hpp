@@ -16,6 +16,7 @@
 
 #include "experiment/figure_harness.hpp"
 #include "experiment/paper_config.hpp"
+#include "policy/scenario_spec.hpp"
 #include "stats/gnuplot_writer.hpp"
 #include "stats/table_writer.hpp"
 #include "validate/validation.hpp"
@@ -30,7 +31,10 @@ struct PaperReference {
 inline int RunFigureBench(int argc, char** argv, const std::string& title,
                           const std::vector<experiment::SeriesSpec>& specs,
                           const std::vector<PaperReference>& references) {
-  sim::RunOptions options = experiment::PaperRunOptions();
+  // One declarative scenario drives the whole bench: the environment, the
+  // run knobs, and the series enumeration are all projections of it.
+  const policy::ScenarioSpec scenario = experiment::PaperScenario();
+  sim::RunOptions options = sim::RunOptionsFromSpec(scenario);
   // The figure benches always collect counters: the observability table
   // costs well under the run-to-run noise and doubles as a sanity check
   // that the filter chain and pmf caches behave as the paper describes.
@@ -50,7 +54,7 @@ inline int RunFigureBench(int argc, char** argv, const std::string& title,
     options.num_trials = static_cast<std::size_t>(std::atoi(argv[1]));
   }
 
-  const sim::ExperimentSetup setup = experiment::BuildPaperSetup();
+  const sim::ExperimentSetup setup = sim::BuildExperimentSetup(scenario);
   std::cout << "environment: " << setup.cluster.num_nodes() << " nodes / "
             << setup.cluster.total_cores() << " cores, t_avg=" << setup.t_avg
             << ", p_avg=" << setup.p_avg

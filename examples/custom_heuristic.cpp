@@ -1,16 +1,19 @@
 // Extension example: plugging your own heuristic and filter into the
-// scheduler. Everything the paper's heuristics see — queue lengths, expected
-// execution/energy scalars, stochastic completion probabilities — is exposed
-// through MappingContext, so a downstream policy is a single Select()
-// function. Here we write:
+// scheduler — in one file, with no factory edits. Everything the paper's
+// heuristics see — queue lengths, expected execution/energy scalars,
+// stochastic completion probabilities — is exposed through MappingContext,
+// so a downstream policy is a single Select() function. Here we write:
 //
 //   * MinimumEnergyHeuristic — greedily picks the lowest-EEC assignment
 //     (what LL degrades to when every rho is ~0), and
 //   * DeadlineSlackFilter — drops assignments whose *expected* completion
 //     would land within a safety margin of the deadline (a deterministic
-//     cousin of the paper's robustness filter).
+//     cousin of the paper's robustness filter),
 //
-// and race them against the paper's filtered LL on the §VI workload.
+// register both under string names (ECDRA_REGISTER_HEURISTIC /
+// ECDRA_REGISTER_FILTER), and then drive them through the *stock*
+// sim::RunTrials harness by name — "MinEnergy" with the "en+slack" variant —
+// exactly like a built-in. Registration is the whole integration surface.
 //
 //   ./examples/custom_heuristic [num_trials]   (default 10)
 #include <cstdlib>
@@ -20,13 +23,10 @@
 #include "core/factory.hpp"
 #include "core/filter.hpp"
 #include "core/heuristic.hpp"
-#include "core/scheduler.hpp"
 #include "experiment/paper_config.hpp"
-#include "sim/engine.hpp"
 #include "sim/experiment_runner.hpp"
 #include "stats/summary.hpp"
 #include "stats/table_writer.hpp"
-#include "workload/workload_generator.hpp"
 
 namespace {
 
@@ -70,38 +70,18 @@ class DeadlineSlackFilter final : public core::Filter {
   double margin_;
 };
 
-/// Runs `num_trials` trials of a custom scheduler configuration using the
-/// library's building blocks directly (the long way around RunTrials, which
-/// only knows the built-in names).
-stats::BoxWhisker RunCustom(const sim::ExperimentSetup& setup,
-                            std::size_t num_trials, bool with_slack_filter) {
-  std::vector<double> misses;
-  for (std::size_t trial = 0; trial < num_trials; ++trial) {
-    util::RngStream trial_rng =
-        util::RngStream(setup.master_seed).Substream("trial", trial);
-    util::RngStream workload_rng = trial_rng.Substream("workload");
-    std::vector<workload::Task> tasks =
-        workload::GenerateWorkload(setup.types, setup.workload, workload_rng);
-
-    std::vector<std::unique_ptr<core::Filter>> filters =
-        core::MakeFilterChain("en");  // reuse the paper's energy filter
-    if (with_slack_filter) {
-      filters.push_back(std::make_unique<DeadlineSlackFilter>(0.5));
-    }
-    core::ImmediateModeScheduler scheduler(
-        setup.cluster, setup.types, std::make_unique<MinimumEnergyHeuristic>(),
-        std::move(filters), setup.energy_budget, setup.window_size);
-
-    sim::TrialOptions options;
-    options.energy_budget = setup.energy_budget;
-    sim::Engine engine(setup.cluster, setup.types, std::move(tasks), scheduler,
-                       options, trial_rng.Substream("sim"));
-    misses.push_back(static_cast<double>(engine.Run().missed_deadlines));
-  }
-  return stats::Summarize(misses);
-}
-
 }  // namespace
+
+// The whole integration: after these two lines, "MinEnergy" and "slack" are
+// first-class citizens of every harness that takes policy names — RunTrials,
+// RunSweep, the figure benches, the CLI. Composite variants like "en+slack"
+// compose the custom filter with the paper's energy filter for free.
+ECDRA_REGISTER_HEURISTIC("MinEnergy", [](util::RngStream) {
+  return std::make_unique<MinimumEnergyHeuristic>();
+})
+ECDRA_REGISTER_FILTER("slack", [](const core::FilterChainOptions&) {
+  return std::make_unique<DeadlineSlackFilter>(0.5);
+})
 
 int main(int argc, char** argv) {
   const std::size_t num_trials =
@@ -112,23 +92,23 @@ int main(int argc, char** argv) {
             << " trials) ==\n\n";
 
   stats::Table table({"policy", "median missed", "Q1", "Q3"});
-  const auto add = [&table](const std::string& name,
-                            const stats::BoxWhisker& box) {
-    table.AddRow({name, stats::Table::Num(box.median, 1),
+  sim::RunOptions options;
+  options.num_trials = num_trials;
+  const auto add = [&](const std::string& heuristic,
+                       const std::string& variant, const std::string& label) {
+    std::vector<double> misses;
+    for (const sim::TrialResult& trial :
+         sim::RunTrials(setup, heuristic, variant, options)) {
+      misses.push_back(static_cast<double>(trial.missed_deadlines));
+    }
+    const stats::BoxWhisker box = stats::Summarize(misses);
+    table.AddRow({label, stats::Table::Num(box.median, 1),
                   stats::Table::Num(box.q1, 1), stats::Table::Num(box.q3, 1)});
   };
 
-  add("MinEnergy (en)", RunCustom(setup, num_trials, false));
-  add("MinEnergy (en + slack filter)", RunCustom(setup, num_trials, true));
-
-  sim::RunOptions options;
-  options.num_trials = num_trials;
-  std::vector<double> ll_misses;
-  for (const sim::TrialResult& trial :
-       sim::RunTrials(setup, "LL", "en+rob", options)) {
-    ll_misses.push_back(static_cast<double>(trial.missed_deadlines));
-  }
-  add("LL (en+rob) — paper's best", stats::Summarize(ll_misses));
+  add("MinEnergy", "en", "MinEnergy (en)");
+  add("MinEnergy", "en+slack", "MinEnergy (en + slack filter)");
+  add("LL", "en+rob", "LL (en+rob) — paper's best");
 
   table.PrintText(std::cout);
   std::cout << "\ngreedy energy minimization without completion-awareness "

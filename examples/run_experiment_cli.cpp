@@ -3,6 +3,15 @@
 // table or per-trial CSV — the entry point for scripting sweeps outside the
 // provided bench binaries.
 //
+// The CLI is a thin veneer over one declarative policy::ScenarioSpec: flags
+// edit fields of the spec, --spec FILE loads a canonical spec as the
+// baseline, and --print-spec emits the effective spec (the exact text
+// --spec accepts back) instead of running — so a flag soup can be frozen
+// into a reproducible, diffable artifact. Policy names are validated
+// against the live registries, so a heuristic or filter registered by a
+// downstream user (see examples/custom_heuristic.cpp) works here by name
+// with no CLI changes.
+//
 // Long runs are crash-safe: --checkpoint streams every completed trial to an
 // append-only JSONL file, and --resume skips the trials already recorded
 // there — the merged run is bit-identical to an uninterrupted one. See
@@ -11,11 +20,12 @@
 // Every flag value is validated up front: a bad spelling or number produces
 // a one-line diagnostic naming the flag and the valid choices and exits
 // with status 2 (trial failures exit with status 1).
-#include <algorithm>
 #include <charconv>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +33,7 @@
 #include "core/factory.hpp"
 #include "experiment/paper_config.hpp"
 #include "fault/recovery.hpp"
+#include "policy/scenario_spec.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/experiment_runner.hpp"
 #include "stats/summary.hpp"
@@ -32,20 +43,26 @@
 namespace {
 
 void PrintUsage(std::ostream& os, const char* argv0) {
+  using ecdra::core::FilterRegistry;
+  using ecdra::core::HeuristicRegistry;
   os << "usage: " << argv0 << " [options]  (--flag value or --flag=value)\n"
-     << "  --heuristic NAME   SQ | MECT | LL | Random   (default LL)\n"
-     << "  --variant NAME     none | en | rob | en+rob  (default en+rob)\n"
+     << "scenario (defaults = the paper's §VI study):\n"
+     << "  --spec FILE        load a canonical ScenarioSpec as the baseline\n"
+     << "                     (later flags override individual fields)\n"
+     << "  --print-spec       print the effective spec and exit (the output\n"
+     << "                     is exactly what --spec accepts back)\n"
+     << "  --heuristic NAME   registered: " << HeuristicRegistry().JoinedNames()
+     << "\n"
+     << "                     (default LL)\n"
+     << "  --variant NAME     none, or '+'-joined registered filters\n"
+     << "                     (registered: " << FilterRegistry().JoinedNames()
+     << "; default en+rob)\n"
      << "  --trials N         Monte-Carlo trials        (default 50)\n"
      << "  --seed S           master seed               (default paper's)\n"
      << "  --budget-scale X   scale zeta_max by X       (default 1.0)\n"
      << "  --idle POLICY      deepest | stay | gated    (default deepest)\n"
      << "  --cancel POLICY    never | hopeless          (default never)\n"
      << "  --rho-thresh P     robustness threshold      (default 0.5)\n"
-     << "  --csv              per-trial CSV instead of the summary table\n"
-     << "  --counters         collect per-trial scheduler counters and\n"
-     << "                     print the cross-trial aggregate\n"
-     << "  --trace-out PATH   write a JSONL decision/energy trace (one\n"
-     << "                     record per arrival; implies --counters)\n"
      << "  --fault-mtbf T     mean time to permanent core failure\n"
      << "                     (simulated seconds; 0 = fault-free, default)\n"
      << "  --fault-duration T mean outage before a failed core is repaired\n"
@@ -53,7 +70,15 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "  --throttle-interval T / --throttle-duration T / --throttle-floor S\n"
      << "                     transient P-state throttling (0 = off)\n"
      << "  --recovery POLICY  drop | requeue             (default drop)\n"
-     << "crash-safe harness:\n"
+     << "  --validate MODE    off | cheap | deep runtime invariant checks\n"
+     << "                     (default off; violations are recorded, not\n"
+     << "                     fatal)\n"
+     << "output / crash-safe harness (not part of the spec):\n"
+     << "  --csv              per-trial CSV instead of the summary table\n"
+     << "  --counters         collect per-trial scheduler counters and\n"
+     << "                     print the cross-trial aggregate\n"
+     << "  --trace-out PATH   write a JSONL decision/energy trace (one\n"
+     << "                     record per arrival; implies --counters)\n"
      << "  --checkpoint PATH  append each completed trial to a JSONL\n"
      << "                     checkpoint (header pins seed + config)\n"
      << "  --resume           skip trials already in the --checkpoint file;\n"
@@ -62,25 +87,13 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "  --trial-timeout T  wall-clock watchdog per trial attempt, real\n"
      << "                     seconds (0 = off, default)\n"
      << "  --max-retries N    extra attempts after a failed/timed-out trial\n"
-     << "                     (same substreams; default 0)\n"
-     << "  --validate MODE    off | cheap | deep runtime invariant checks\n"
-     << "                     (default off; violations are recorded, not\n"
-     << "                     fatal)\n";
+     << "                     (same substreams; default 0)\n";
 }
 
 /// One-line usage diagnostic -> stderr, exit 2 (trial failures use exit 1).
 [[noreturn]] void Fail(const std::string& message) {
   std::cerr << "run_experiment_cli: " << message << "\n";
   std::exit(2);
-}
-
-std::string JoinChoices(const std::vector<std::string>& choices) {
-  std::string joined;
-  for (const std::string& choice : choices) {
-    if (!joined.empty()) joined += ", ";
-    joined += choice;
-  }
-  return joined;
 }
 
 /// Strict numeric parsing: the whole value must be consumed, no locale, no
@@ -121,14 +134,22 @@ double ParseNonNegative(std::string_view flag, const std::string& value) {
 int main(int argc, char** argv) {
   using namespace ecdra;
 
+  // Everything a flag can change about *what runs* lives in the spec; the
+  // paper's scenario is the baseline. Output and harness mechanics (CSV,
+  // counters, traces, checkpointing, watchdog/retries) stay outside it —
+  // they cannot change what a trial computes.
+  policy::ScenarioSpec spec = experiment::PaperScenario();
   std::string heuristic = "LL";
   std::string variant = "en+rob";
-  std::uint64_t seed = experiment::kPaperMasterSeed;
   double budget_scale = 1.0;
   bool csv = false;
   bool resume = false;
-  sim::RunOptions run;
-  run.num_trials = 50;
+  bool print_spec = false;
+  bool collect_counters = false;
+  std::string trace_path;
+  std::string checkpoint_path;
+  double trial_timeout = 0.0;
+  std::size_t max_attempts = 1;
 
   // Split "--flag=value" into a flag and an inline value; "--flag value"
   // consumes the next argument instead.
@@ -152,94 +173,101 @@ int main(int argc, char** argv) {
     if (flag == "--help" || flag == "-h") {
       PrintUsage(std::cout, argv[0]);
       return 0;
+    } else if (flag == "--spec") {
+      const std::string path = next();
+      std::ifstream is(path);
+      if (!is.good()) Fail("--spec: cannot read '" + path + "'");
+      std::ostringstream text;
+      text << is.rdbuf();
+      try {
+        spec = policy::ParseScenarioSpec(text.str());
+      } catch (const std::invalid_argument& error) {
+        Fail("--spec: " + path + ": " + error.what());
+      }
+    } else if (flag == "--print-spec") {
+      print_spec = true;
     } else if (flag == "--heuristic") {
       heuristic = next();
-      // The extended list is a superset of the paper's four heuristics.
-      const std::vector<std::string>& names = core::ExtendedHeuristicNames();
-      if (std::find(names.begin(), names.end(), heuristic) == names.end()) {
-        Fail("--heuristic: unknown heuristic '" + heuristic +
-             "' (valid: " + JoinChoices(names) + ")");
+      if (!core::HeuristicRegistry().Contains(heuristic)) {
+        Fail("--heuristic: unknown heuristic '" + heuristic + "' (registered: " +
+             core::HeuristicRegistry().JoinedNames() + ")");
       }
     } else if (flag == "--variant") {
       variant = next();
-      const std::vector<std::string>& names = core::FilterVariantNames();
-      if (std::find(names.begin(), names.end(), variant) == names.end()) {
-        Fail("--variant: unknown filter variant '" + variant +
-             "' (valid: " + JoinChoices(names) + ")");
+      // A variant is "none" or '+'-joined registered filter names; building
+      // the chain is the validation (unknown names throw listing the keys).
+      try {
+        (void)core::MakeFilterChain(variant, spec.filter_options);
+      } catch (const std::invalid_argument& error) {
+        Fail("--variant: " + std::string(error.what()) +
+             "; compose filters with '+', e.g. en+rob");
       }
     } else if (flag == "--trials") {
-      run.num_trials = static_cast<std::size_t>(ParseUint64(flag, next()));
-      if (run.num_trials == 0) Fail("--trials: must be >= 1");
+      spec.num_trials = static_cast<std::size_t>(ParseUint64(flag, next()));
+      if (spec.num_trials == 0) Fail("--trials: must be >= 1");
     } else if (flag == "--seed") {
-      seed = ParseUint64(flag, next());
+      spec.master_seed = ParseUint64(flag, next());
     } else if (flag == "--budget-scale") {
       budget_scale = ParseDouble(flag, next());
       if (budget_scale <= 0.0) Fail("--budget-scale: must be > 0");
     } else if (flag == "--idle") {
       const std::string value = next();
-      if (value == "deepest") {
-        run.idle_policy = sim::IdlePolicy::kDeepestPState;
-      } else if (value == "stay") {
-        run.idle_policy = sim::IdlePolicy::kStayAtLast;
-      } else if (value == "gated") {
-        run.idle_policy = sim::IdlePolicy::kPowerGated;
-      } else {
+      const auto parsed = policy::ParseIdlePolicy(value);
+      if (!parsed) {
         Fail("--idle: unknown policy '" + value +
              "' (valid: deepest, stay, gated)");
       }
+      spec.idle_policy = *parsed;
     } else if (flag == "--cancel") {
       const std::string value = next();
-      if (value == "never") {
-        run.cancel_policy = sim::CancelPolicy::kRunToCompletion;
-      } else if (value == "hopeless") {
-        run.cancel_policy = sim::CancelPolicy::kCancelHopelessQueued;
-      } else {
+      const auto parsed = policy::ParseCancelPolicy(value);
+      if (!parsed) {
         Fail("--cancel: unknown policy '" + value +
              "' (valid: never, hopeless)");
       }
+      spec.cancel_policy = *parsed;
     } else if (flag == "--rho-thresh") {
-      run.filter_options.robustness_threshold =
+      spec.filter_options.robustness_threshold =
           ParseNonNegative(flag, next());
     } else if (flag == "--csv") {
       csv = true;
     } else if (flag == "--counters") {
-      run.collect_counters = true;
+      collect_counters = true;
     } else if (flag == "--trace-out") {
-      run.trace_path = next();
-      run.collect_counters = true;
+      trace_path = next();
+      collect_counters = true;
     } else if (flag == "--fault-mtbf") {
-      run.fault.mtbf = ParseNonNegative(flag, next());
+      spec.fault.mtbf = ParseNonNegative(flag, next());
     } else if (flag == "--fault-duration") {
-      run.fault.repair_time = ParseNonNegative(flag, next());
+      spec.fault.repair_time = ParseNonNegative(flag, next());
     } else if (flag == "--throttle-interval") {
-      run.fault.throttle_interval = ParseNonNegative(flag, next());
+      spec.fault.throttle_interval = ParseNonNegative(flag, next());
     } else if (flag == "--throttle-duration") {
-      run.fault.throttle_duration = ParseNonNegative(flag, next());
+      spec.fault.throttle_duration = ParseNonNegative(flag, next());
     } else if (flag == "--throttle-floor") {
-      run.fault.throttle_floor =
+      spec.fault.throttle_floor =
           static_cast<std::size_t>(ParseUint64(flag, next()));
-      if (run.fault.throttle_floor >= cluster::kNumPStates) {
+      if (spec.fault.throttle_floor >= cluster::kNumPStates) {
         Fail("--throttle-floor: must be < " +
              std::to_string(cluster::kNumPStates));
       }
     } else if (flag == "--recovery") {
       const std::string value = next();
       try {
-        run.recovery = fault::ParseRecoveryPolicy(value);
+        spec.recovery = fault::ParseRecoveryPolicy(value);
       } catch (const std::invalid_argument&) {
         Fail("--recovery: unknown policy '" + value +
              "' (valid: drop, requeue)");
       }
     } else if (flag == "--checkpoint") {
-      run.checkpoint_path = next();
-      if (run.checkpoint_path.empty()) Fail("--checkpoint: empty path");
+      checkpoint_path = next();
+      if (checkpoint_path.empty()) Fail("--checkpoint: empty path");
     } else if (flag == "--resume") {
       resume = true;
     } else if (flag == "--trial-timeout") {
-      run.trial_timeout = ParseNonNegative(flag, next());
+      trial_timeout = ParseNonNegative(flag, next());
     } else if (flag == "--max-retries") {
-      run.max_attempts =
-          1 + static_cast<std::size_t>(ParseUint64(flag, next()));
+      max_attempts = 1 + static_cast<std::size_t>(ParseUint64(flag, next()));
     } else if (flag == "--validate") {
       const std::string value = next();
       const auto mode = validate::ParseValidationMode(value);
@@ -247,7 +275,7 @@ int main(int argc, char** argv) {
         Fail("--validate: unknown mode '" + value +
              "' (valid: off, cheap, deep)");
       }
-      run.validation = *mode;
+      spec.validation = *mode;
     } else {
       std::cerr << "run_experiment_cli: unknown flag '" << args[i] << "'\n";
       PrintUsage(std::cerr, argv[0]);
@@ -257,14 +285,23 @@ int main(int argc, char** argv) {
       Fail(flag + ": does not take a value");
     }
   }
-  if (resume && run.checkpoint_path.empty()) {
+  if (resume && checkpoint_path.empty()) {
     Fail("--resume requires --checkpoint PATH");
   }
+  spec.environment.budget_task_count *= budget_scale;
 
-  sim::SetupOptions setup_options = experiment::PaperSetupOptions();
-  setup_options.budget_task_count = 1000.0 * budget_scale;
-  const sim::ExperimentSetup setup =
-      sim::BuildExperimentSetup(seed, setup_options);
+  if (print_spec) {
+    std::cout << policy::CanonicalSpecText(spec);
+    return 0;
+  }
+
+  const sim::ExperimentSetup setup = sim::BuildExperimentSetup(spec);
+  sim::RunOptions run = sim::RunOptionsFromSpec(spec);
+  run.collect_counters = collect_counters;
+  run.trace_path = trace_path;
+  run.checkpoint_path = checkpoint_path;
+  run.trial_timeout = trial_timeout;
+  run.max_attempts = max_attempts;
 
   std::optional<sim::CheckpointStore> store;
   if (resume) {
@@ -332,8 +369,9 @@ int main(int argc, char** argv) {
   for (const sim::TrialResult& trial : sweep.results) {
     misses.push_back(static_cast<double>(trial.missed_deadlines));
   }
-  std::cout << heuristic << " (" << variant << "), seed " << seed << ", "
-            << run.num_trials << " trials, budget x" << budget_scale << ":\n";
+  std::cout << heuristic << " (" << variant << "), seed " << spec.master_seed
+            << ", " << run.num_trials << " trials, budget x" << budget_scale
+            << ":\n";
   if (!misses.empty()) {
     std::cout << "  missed deadlines: " << stats::Summarize(misses) << "\n";
   } else {

@@ -54,6 +54,15 @@ sim::TrialResult BatchEngine::Run() {
   sim::TrialResult result;
   result.window_size = tasks_.size();
 
+  scheduler_->SetObservability(core::SchedulerObservability{
+      options_.collect_counters ? &counters_ : nullptr, options_.trace_sink,
+      options_.trial_index});
+  // Library-level instrumentation (pmf arithmetic, ready-pmf cache probes)
+  // reports into counters_ through the thread-local scope; a null scope
+  // (counters disabled) leaves the thread-local untouched.
+  const obs::CountersScope counters_scope(
+      options_.collect_counters ? &counters_ : nullptr);
+
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     result.weighted_total += tasks_[i].priority;
     events_.push(Event{tasks_[i].arrival, 1, i, next_seq_++});
@@ -106,12 +115,21 @@ sim::TrialResult BatchEngine::Run() {
 
   // Tasks still unmapped when the event queue drains (the filters kept
   // eliminating every candidate, e.g. after the budget estimate collapsed)
-  // were never executed — the batch analogue of a discard.
+  // were never executed — the batch analogue of a discard. No single filter
+  // owns such a discard (every event re-filtered the task), so only the
+  // total is counted.
   result.discarded += pending_.size();
+  if (options_.collect_counters) {
+    counters_.tasks_discarded += pending_.size();
+  }
   pending_.clear();
 
   result.missed_deadlines = result.window_size - result.completed;
   result.weighted_missed = result.weighted_total - result.weighted_completed;
+  if (options_.collect_counters) {
+    counters_.tasks_cancelled = result.cancelled;
+    result.counters = counters_;
+  }
   result.total_energy = post_hoc;
   result.energy_exhausted_at = exhausted_at_;
   result.estimated_energy_remaining = scheduler_->estimator().remaining();

@@ -13,6 +13,8 @@
 #include "batch/batch_scheduler.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/energy_accounting.hpp"
+#include "obs/counters.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
@@ -28,6 +30,16 @@ struct BatchTrialOptions {
   /// at each mapping event (batch mode cannot cancel running tasks either).
   sim::CancelPolicy cancel_policy = sim::CancelPolicy::kRunToCompletion;
   bool collect_task_records = false;
+  /// Collect obs::Counters for this trial into TrialResult.counters — the
+  /// same telemetry the immediate-mode engine reports, so
+  /// immediate-vs-batch comparisons can put both modes' counters side by
+  /// side.
+  bool collect_counters = false;
+  /// Decision-trace sink shared with the immediate stack (one
+  /// MappingDecisionRecord per committed batch assignment); unowned.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Trial index stamped into trace records.
+  std::uint64_t trial_index = 0;
 };
 
 class BatchEngine {
@@ -81,6 +93,9 @@ class BatchEngine {
   std::size_t in_flight_ = 0;
   std::vector<sim::TaskRecord> records_;
   cluster::PStateIndex idle_pstate_;
+  /// Trial-local counter registry (populated when collect_counters is set;
+  /// the scheduler writes its slots through SetObservability).
+  obs::Counters counters_;
 };
 
 }  // namespace ecdra::batch

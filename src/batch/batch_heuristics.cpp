@@ -132,6 +132,11 @@ std::vector<BatchAssignment> MinMinEnergy::MapBatch(
       [](const Scored& s) { return s.best_score; });
 }
 
+BatchHeuristicRegistryType& BatchHeuristicRegistry() {
+  static BatchHeuristicRegistryType registry("batch heuristic");
+  return registry;
+}
+
 const std::vector<std::string>& BatchHeuristicNames() {
   static const std::vector<std::string> kNames{"MinMinCT", "Sufferage",
                                                "MaxMaxRob", "MinMinEnergy"};
@@ -139,11 +144,23 @@ const std::vector<std::string>& BatchHeuristicNames() {
 }
 
 std::unique_ptr<BatchHeuristic> MakeBatchHeuristic(std::string_view name) {
-  if (name == "MinMinCT") return std::make_unique<MinMinCompletionTime>();
-  if (name == "Sufferage") return std::make_unique<Sufferage>();
-  if (name == "MaxMaxRob") return std::make_unique<MaxMaxRobustness>();
-  if (name == "MinMinEnergy") return std::make_unique<MinMinEnergy>();
-  throw std::invalid_argument("unknown batch heuristic: " + std::string(name));
+  return BatchHeuristicRegistry().Make(name);
 }
+
+// Built-ins register here (this object file is always retained via
+// MakeBatchHeuristic), not in per-heuristic translation units a static
+// library could drop.
+ECDRA_REGISTER_BATCH_HEURISTIC("MinMinCT", [] {
+  return std::make_unique<MinMinCompletionTime>();
+})
+ECDRA_REGISTER_BATCH_HEURISTIC("Sufferage", [] {
+  return std::make_unique<Sufferage>();
+})
+ECDRA_REGISTER_BATCH_HEURISTIC("MaxMaxRob", [] {
+  return std::make_unique<MaxMaxRobustness>();
+})
+ECDRA_REGISTER_BATCH_HEURISTIC("MinMinEnergy", [] {
+  return std::make_unique<MinMinEnergy>();
+})
 
 }  // namespace ecdra::batch

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "batch/batch_heuristic.hpp"
+#include "policy/registry.hpp"
 
 namespace ecdra::batch {
 
@@ -54,11 +55,24 @@ class MinMinEnergy final : public BatchHeuristic {
   }
 };
 
-/// All batch heuristic names.
+using BatchHeuristicRegistryType = policy::Registry<BatchHeuristic>;
+
+/// The process-wide batch-heuristic registry; the four built-ins above
+/// self-register from batch_heuristics.cpp.
+[[nodiscard]] BatchHeuristicRegistryType& BatchHeuristicRegistry();
+
+/// The built-in batch heuristic names, in presentation order.
 [[nodiscard]] const std::vector<std::string>& BatchHeuristicNames();
 
-/// Factory by name; throws std::invalid_argument for unknown names.
+/// Factory by registered name; throws std::invalid_argument listing the
+/// registered names for unknown ones.
 [[nodiscard]] std::unique_ptr<BatchHeuristic> MakeBatchHeuristic(
     std::string_view name);
 
 }  // namespace ecdra::batch
+
+/// Registers a batch-mode heuristic under `name` at static initialization.
+/// The factory is any callable () -> std::unique_ptr<batch::BatchHeuristic>.
+#define ECDRA_REGISTER_BATCH_HEURISTIC(name, ...)                            \
+  ECDRA_POLICY_REGISTRATION(                                                 \
+      ::ecdra::batch::BatchHeuristicRegistry().Register((name), __VA_ARGS__))

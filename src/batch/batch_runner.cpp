@@ -2,6 +2,7 @@
 
 #include <future>
 
+#include "core/factory.hpp"
 #include "util/assert.hpp"
 #include "util/thread_pool.hpp"
 #include "workload/workload_generator.hpp"
@@ -20,14 +21,18 @@ sim::TrialResult RunBatchTrial(const sim::ExperimentSetup& setup,
   std::vector<workload::Task> tasks =
       workload::GenerateWorkload(setup.types, setup.workload, workload_rng);
 
-  BatchScheduler scheduler(setup.cluster, setup.types,
-                           MakeBatchHeuristic(heuristic), options.filters,
-                           setup.energy_budget, setup.window_size);
+  BatchScheduler scheduler(
+      setup.cluster, setup.types, MakeBatchHeuristic(heuristic),
+      core::MakeFilterChain(options.filter_variant, options.filter_options),
+      setup.energy_budget, setup.window_size);
   const BatchTrialOptions trial_options{
       .energy_budget = setup.energy_budget,
       .idle_policy = options.idle_policy,
       .cancel_policy = options.cancel_policy,
       .collect_task_records = options.collect_task_records,
+      .collect_counters = options.collect_counters,
+      .trace_sink = options.trace_sink,
+      .trial_index = trial_index,
   };
   BatchEngine engine(setup.cluster, setup.types, std::move(tasks), scheduler,
                      trial_options, trial_rng.Substream("sim"));

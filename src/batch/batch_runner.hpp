@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "batch/batch_engine.hpp"
+#include "core/factory.hpp"
+#include "obs/trace.hpp"
 #include "sim/experiment_runner.hpp"
 
 namespace ecdra::batch {
@@ -18,11 +20,18 @@ struct BatchRunOptions {
   sim::CancelPolicy cancel_policy = sim::CancelPolicy::kRunToCompletion;
   bool collect_task_records = false;
   std::size_t num_threads = 0;
-  BatchFilterOptions filters;
+  /// Filter configuration is the immediate stack's, verbatim: a registered
+  /// variant name and the shared FilterChainOptions (core::MakeFilterChain
+  /// builds the chain — batch mode has no separate filter options).
+  std::string filter_variant = "en+rob";
+  core::FilterChainOptions filter_options;
+  /// Per-trial observability, mirroring sim::RunOptions.
+  bool collect_counters = false;
+  obs::TraceSink* trace_sink = nullptr;
 };
 
-/// Runs one deterministic batch-mode trial; `heuristic` is a
-/// BatchHeuristicNames() entry.
+/// Runs one deterministic batch-mode trial; `heuristic` is a registered
+/// batch heuristic (BatchHeuristicNames() lists the built-ins).
 [[nodiscard]] sim::TrialResult RunBatchTrial(const sim::ExperimentSetup& setup,
                                              const std::string& heuristic,
                                              std::size_t trial_index,

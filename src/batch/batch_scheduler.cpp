@@ -1,7 +1,10 @@
 #include "batch/batch_scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
+#include "core/mapping_context.hpp"
 #include "util/assert.hpp"
 
 namespace ecdra::batch {
@@ -9,21 +12,19 @@ namespace ecdra::batch {
 BatchScheduler::BatchScheduler(const cluster::Cluster& cluster,
                                const workload::TaskTypeTable& types,
                                std::unique_ptr<BatchHeuristic> heuristic,
-                               const BatchFilterOptions& filters,
+                               std::vector<std::unique_ptr<core::Filter>> filters,
                                double energy_budget, std::size_t window_size)
     : cluster_(&cluster),
       types_(&types),
       heuristic_(std::move(heuristic)),
-      filters_(filters),
-      energy_filter_impl_(filters.energy),
+      filters_(std::move(filters)),
       estimator_(energy_budget),
       window_size_(window_size) {
   ECDRA_REQUIRE(heuristic_ != nullptr, "batch scheduler needs a heuristic");
   ECDRA_REQUIRE(window_size_ >= 1, "window must contain at least one task");
-  ECDRA_REQUIRE(
-      filters.robustness_threshold >= 0.0 &&
-          filters.robustness_threshold <= 1.0,
-      "robustness threshold must be a probability");
+  for (const auto& filter : filters_) {
+    ECDRA_REQUIRE(filter != nullptr, "null filter in chain");
+  }
 }
 
 std::vector<BatchAssignment> BatchScheduler::MapEvent(
@@ -36,58 +37,107 @@ std::vector<BatchAssignment> BatchScheduler::MapEvent(
       std::any_of(core_idle.begin(), core_idle.end(), [](bool b) { return b; });
   if (!any_idle) return {};
 
+  obs::Counters* const counters = obs_.counters;
+  obs::TraceSink* const trace = obs_.trace;
+  const bool timed = counters != nullptr || trace != nullptr;
+  std::chrono::steady_clock::time_point decision_start;
+  if (timed) decision_start = std::chrono::steady_clock::now();
+
   // Batch fair share (Eq. 6 adapted): T_left counts tasks not yet started,
   // including the pending ones; average queue depth counts running plus
-  // waiting tasks per core.
+  // waiting tasks per core. Both feed the shared energy filter through the
+  // batch-shaped MappingContext.
   const std::size_t tasks_left =
       std::max<std::size_t>(1, window_size_ - tasks_started_);
   const double depth =
       static_cast<double>(in_flight + pending.size()) /
       static_cast<double>(cluster_->total_cores());
-  const double fair_share =
-      energy_filter_impl_.MultiplierFor(depth) *
-      std::max(estimator_.remaining(), 0.0) /
-      static_cast<double>(tasks_left);
+
+  // Per-pending-index candidate counts, kept only for trace records.
+  std::vector<std::size_t> generated;
+  if (trace != nullptr) generated.assign(pending.size(), 0);
 
   std::vector<BatchTask> batch;
   batch.reserve(pending.size());
   for (std::size_t index = 0; index < pending.size(); ++index) {
     const workload::Task& task = pending[index];
-    BatchTask entry;
-    entry.pending_index = index;
-    entry.task = &task;
+    std::vector<core::Candidate> candidates;
     for (std::size_t flat = 0; flat < cluster_->total_cores(); ++flat) {
       if (!core_idle[flat]) continue;
       const std::size_t node_index = cluster_->NodeIndexOf(flat);
       const cluster::Node& node = cluster_->node(node_index);
       for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
         const double eet = types_->MeanExec(task.type, node_index, s);
-        core::Candidate candidate{
+        candidates.push_back(core::Candidate{
             .assignment = core::Assignment{flat, s},
             .node = node_index,
             .exec = &types_->ExecPmf(task.type, node_index, s),
             .eet = eet,
             .eec = eet * node.pstates[s].power_watts / node.power_efficiency,
-        };
-        if (filters_.energy_filter && candidate.eec > fair_share) continue;
-        if (filters_.robustness_filter &&
-            BatchOnTimeProbability(candidate, task, now) <
-                filters_.robustness_threshold) {
-          continue;
-        }
-        entry.candidates.push_back(candidate);
+        });
       }
     }
-    if (!entry.candidates.empty()) batch.push_back(std::move(entry));
-  }
-  if (batch.empty()) return {};
+    if (counters != nullptr) counters->candidates_generated += candidates.size();
+    if (trace != nullptr) generated[index] = candidates.size();
+    if (candidates.empty()) continue;
 
-  std::vector<BatchAssignment> assignments = heuristic_->MapBatch(batch, now);
+    core::MappingContext ctx(*cluster_, task, now, std::move(candidates),
+                             depth);
+    ctx.SetBudgetView(estimator_.remaining(), tasks_left);
+    for (const auto& filter : filters_) {
+      const std::size_t before = ctx.candidates().size();
+      filter->Apply(ctx);
+      const std::size_t after = ctx.candidates().size();
+      ECDRA_ASSERT(after <= before, "filters may only remove candidates");
+      if (counters != nullptr) {
+        counters->*core::PrunedSlotFor(filter->name()) += before - after;
+      }
+      if (after == 0) break;
+    }
+    if (ctx.candidates().empty()) continue;
+
+    batch.push_back(
+        BatchTask{index, &task, std::move(ctx.candidates())});
+  }
+
+  std::vector<BatchAssignment> assignments;
+  if (!batch.empty()) assignments = heuristic_->MapBatch(batch, now);
   for (const BatchAssignment& assignment : assignments) {
     ECDRA_ASSERT(assignment.pending_index < pending.size(),
                  "batch heuristic returned an invalid pending index");
     estimator_.Charge(assignment.candidate.eec);
     ++tasks_started_;
+  }
+
+  // A task left unmapped here stays pending and is reconsidered at the next
+  // event, so only the committed assignments are reported; final discards
+  // are counted by the engine when the event queue drains.
+  if (counters != nullptr) counters->tasks_mapped += assignments.size();
+  if (timed) {
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - decision_start;
+    if (counters != nullptr) counters->decision_seconds += elapsed.count();
+    if (trace != nullptr) {
+      for (const BatchAssignment& assignment : assignments) {
+        const workload::Task& task = pending[assignment.pending_index];
+        obs::MappingDecisionRecord record;
+        record.trial = obs_.trial;
+        record.task_id = task.id;
+        record.time = now;
+        record.deadline = task.deadline;
+        record.candidates_generated = generated[assignment.pending_index];
+        // One batch decision maps many tasks; each record carries the whole
+        // event's decision time.
+        record.decision_us = elapsed.count() * 1e6;
+        record.assigned = true;
+        record.flat_core = assignment.candidate.assignment.flat_core;
+        record.pstate = assignment.candidate.assignment.pstate;
+        record.eet = assignment.candidate.eet;
+        record.eec = assignment.candidate.eec;
+        record.rho = BatchOnTimeProbability(assignment.candidate, task, now);
+        trace->Record(record);
+      }
+    }
   }
   return assignments;
 }

@@ -1,9 +1,10 @@
 // Batch-mode resource manager: at every mapping event it builds the
-// feasible candidate set of every unmapped task (idle cores only), applies
-// the paper's two filters in their batch forms, and lets a two-phase
-// BatchHeuristic commit assignments. The energy estimate is charged exactly
-// as in the immediate-mode scheduler (§V-F): the EEC of every assignment
-// made.
+// feasible candidate set of every unmapped task (idle cores only), runs the
+// same core::Filter chain the immediate-mode scheduler uses — through a
+// batch-shaped MappingContext whose stochastic quantities take their
+// idle-core closed forms — and lets a two-phase BatchHeuristic commit
+// assignments. The energy estimate is charged exactly as in the
+// immediate-mode scheduler (§V-F): the EEC of every assignment made.
 #pragma once
 
 #include <memory>
@@ -13,34 +14,39 @@
 #include "batch/batch_heuristics.hpp"
 #include "cluster/cluster.hpp"
 #include "core/energy_estimator.hpp"
-#include "core/energy_filter.hpp"
+#include "core/filter.hpp"
+#include "core/scheduler.hpp"
 #include "workload/task_type_table.hpp"
 
 namespace ecdra::batch {
 
-struct BatchFilterOptions {
-  bool energy_filter = true;
-  core::EnergyFilterOptions energy;
-  bool robustness_filter = true;
-  double robustness_threshold = 0.5;
-};
-
 class BatchScheduler {
  public:
+  /// `filters` is the same chain core::MakeFilterChain builds for the
+  /// immediate stack ("none"/"en"/"rob"/"en+rob"/any registered composite);
+  /// there is no batch-specific filter configuration.
   BatchScheduler(const cluster::Cluster& cluster,
                  const workload::TaskTypeTable& types,
                  std::unique_ptr<BatchHeuristic> heuristic,
-                 const BatchFilterOptions& filters, double energy_budget,
-                 std::size_t window_size);
+                 std::vector<std::unique_ptr<core::Filter>> filters,
+                 double energy_budget, std::size_t window_size);
 
   /// One mapping event: `pending` is the global unmapped queue (indexable by
   /// BatchAssignment::pending_index), `core_idle[flat]` says which cores can
-  /// accept work, `in_flight` counts running tasks (for the average queue
-  /// depth that drives zeta_mul). Charges the estimator for every returned
-  /// assignment.
+  /// accept work, `in_flight` counts running tasks (pending + in_flight
+  /// drive the average queue depth behind the energy filter's zeta_mul).
+  /// Charges the estimator for every returned assignment.
   [[nodiscard]] std::vector<BatchAssignment> MapEvent(
       const std::vector<workload::Task>& pending,
       const std::vector<bool>& core_idle, double now, std::size_t in_flight);
+
+  /// Attaches per-trial counters and/or a decision-trace sink (the same
+  /// attachment the immediate-mode scheduler takes). Call before the first
+  /// MapEvent; both attachments must outlive the scheduler's use.
+  void SetObservability(
+      const core::SchedulerObservability& observability) noexcept {
+    obs_ = observability;
+  }
 
   [[nodiscard]] const core::EnergyEstimator& estimator() const noexcept {
     return estimator_;
@@ -57,11 +63,11 @@ class BatchScheduler {
   const cluster::Cluster* cluster_;
   const workload::TaskTypeTable* types_;
   std::unique_ptr<BatchHeuristic> heuristic_;
-  BatchFilterOptions filters_;
-  core::EnergyFilter energy_filter_impl_;
+  std::vector<std::unique_ptr<core::Filter>> filters_;
   core::EnergyEstimator estimator_;
   std::size_t window_size_;
   std::size_t tasks_started_ = 0;
+  core::SchedulerObservability obs_;
 };
 
 }  // namespace ecdra::batch

@@ -1,6 +1,7 @@
 #include "core/factory.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "core/kpb.hpp"
 #include "core/lightest_load.hpp"
@@ -12,14 +13,24 @@
 
 namespace ecdra::core {
 
+HeuristicRegistryType& HeuristicRegistry() {
+  static HeuristicRegistryType registry("heuristic");
+  return registry;
+}
+
+FilterRegistryType& FilterRegistry() {
+  static FilterRegistryType registry("filter");
+  return registry;
+}
+
 const std::vector<std::string>& HeuristicNames() {
   static const std::vector<std::string> kNames{"SQ", "MECT", "LL", "Random"};
   return kNames;
 }
 
 const std::vector<std::string>& ExtendedHeuristicNames() {
-  static const std::vector<std::string> kNames{"SQ",  "MECT",   "LL", "OLB",
-                                               "MET", "KPB", "Random"};
+  static const std::vector<std::string> kNames{"SQ",  "MECT", "LL",    "OLB",
+                                               "MET", "KPB",  "Random"};
   return kNames;
 }
 
@@ -30,34 +41,60 @@ const std::vector<std::string>& FilterVariantNames() {
 
 std::unique_ptr<Heuristic> MakeHeuristic(std::string_view name,
                                          util::RngStream rng) {
-  if (name == "SQ") return std::make_unique<ShortestQueueHeuristic>();
-  if (name == "MECT") return std::make_unique<MectHeuristic>();
-  if (name == "LL") return std::make_unique<LightestLoadHeuristic>();
-  if (name == "OLB") return std::make_unique<OlbHeuristic>();
-  if (name == "MET") return std::make_unique<MetHeuristic>();
-  if (name == "KPB") return std::make_unique<KpbHeuristic>();
-  if (name == "Random") {
-    return std::make_unique<RandomHeuristic>(std::move(rng));
-  }
-  throw std::invalid_argument("unknown heuristic: " + std::string(name));
+  return HeuristicRegistry().Make(name, std::move(rng));
 }
 
 std::vector<std::unique_ptr<Filter>> MakeFilterChain(
     std::string_view variant, const FilterChainOptions& options) {
   std::vector<std::unique_ptr<Filter>> chain;
   if (variant == "none") return chain;
-  if (variant == "en" || variant == "en+rob") {
-    chain.push_back(std::make_unique<EnergyFilter>(options.energy));
-  }
-  if (variant == "rob" || variant == "en+rob") {
-    chain.push_back(
-        std::make_unique<RobustnessFilter>(options.robustness_threshold));
-  }
-  if (chain.empty()) {
-    throw std::invalid_argument("unknown filter variant: " +
-                                std::string(variant));
+  std::string_view rest = variant;
+  while (true) {
+    const std::size_t plus = rest.find('+');
+    const std::string_view name = rest.substr(0, plus);
+    if (name.empty()) {
+      throw std::invalid_argument("empty filter name in variant '" +
+                                  std::string(variant) + "'");
+    }
+    chain.push_back(FilterRegistry().Make(name, options));
+    if (plus == std::string_view::npos) break;
+    rest.remove_prefix(plus + 1);
   }
   return chain;
 }
+
+// -- Built-in registrations. These live here (not in the heuristics' own
+// translation units) because static libraries drop object files nothing
+// references; factory.o is always retained via MakeHeuristic/MakeFilterChain,
+// so the built-ins are guaranteed to exist in any binary that names them. --
+
+ECDRA_REGISTER_HEURISTIC("SQ", [](util::RngStream) {
+  return std::make_unique<ShortestQueueHeuristic>();
+})
+ECDRA_REGISTER_HEURISTIC("MECT", [](util::RngStream) {
+  return std::make_unique<MectHeuristic>();
+})
+ECDRA_REGISTER_HEURISTIC("LL", [](util::RngStream) {
+  return std::make_unique<LightestLoadHeuristic>();
+})
+ECDRA_REGISTER_HEURISTIC("OLB", [](util::RngStream) {
+  return std::make_unique<OlbHeuristic>();
+})
+ECDRA_REGISTER_HEURISTIC("MET", [](util::RngStream) {
+  return std::make_unique<MetHeuristic>();
+})
+ECDRA_REGISTER_HEURISTIC("KPB", [](util::RngStream) {
+  return std::make_unique<KpbHeuristic>();
+})
+ECDRA_REGISTER_HEURISTIC("Random", [](util::RngStream rng) {
+  return std::make_unique<RandomHeuristic>(std::move(rng));
+})
+
+ECDRA_REGISTER_FILTER("en", [](const FilterChainOptions& options) {
+  return std::make_unique<EnergyFilter>(options.energy);
+})
+ECDRA_REGISTER_FILTER("rob", [](const FilterChainOptions& options) {
+  return std::make_unique<RobustnessFilter>(options.robustness_threshold);
+})
 
 }  // namespace ecdra::core

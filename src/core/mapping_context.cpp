@@ -47,8 +47,23 @@ MappingContext::MappingContext(
   }
 }
 
+MappingContext::MappingContext(const cluster::Cluster& cluster,
+                               const workload::Task& task, double now,
+                               std::vector<Candidate> candidates,
+                               double average_queue_depth)
+    : cluster_(&cluster),
+      task_(&task),
+      now_(now),
+      candidates_(std::move(candidates)),
+      queue_depth_override_(average_queue_depth) {
+  ECDRA_REQUIRE(average_queue_depth >= 0.0,
+                "average queue depth must be non-negative");
+}
+
 double MappingContext::ExpectedCompletionTime(
     const Candidate& candidate) const {
+  // Batch shape: every candidate core is idle, so it is ready now.
+  if (cores_.empty()) return now_ + candidate.eet;
   const std::size_t flat = candidate.assignment.flat_core;
   if (std::isnan(expected_ready_[flat])) {
     expected_ready_[flat] = cores_[flat].ExpectedReadyTime(now_);
@@ -57,12 +72,15 @@ double MappingContext::ExpectedCompletionTime(
 }
 
 double MappingContext::OnTimeProbability(const Candidate& candidate) const {
+  // Batch shape: no queue ahead of the task, rho = F_exec(deadline - now).
+  if (cores_.empty()) return candidate.exec->CdfAt(task_->deadline - now_);
   return robustness::OnTimeProbability(
       cores_[candidate.assignment.flat_core], now_, *candidate.exec,
       task_->deadline);
 }
 
 double MappingContext::AverageQueueDepth() const {
+  if (!std::isnan(queue_depth_override_)) return queue_depth_override_;
   std::size_t in_flight = 0;
   for (const robustness::CoreQueueModel& core : cores_) {
     in_flight += core.queue_length();

@@ -9,6 +9,7 @@
 // rho.
 #pragma once
 
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -41,6 +42,17 @@ class MappingContext {
                  std::span<const robustness::CoreQueueModel> cores,
                  const workload::Task& task, double now,
                  std::span<const CoreAvailability> availability = {});
+
+  /// Batch-shaped context (BatchScheduler): the candidate set is supplied
+  /// explicitly (idle cores only) and there are no queue models — every
+  /// candidate core is idle, so the stochastic quantities collapse to their
+  /// closed forms (ECT = now + EET, rho = F_exec(deadline - now)) — and the
+  /// average queue depth is supplied by the scheduler, which counts pending
+  /// plus running tasks that no queue model tracks. Filters built for the
+  /// immediate stack run unchanged through this shape.
+  MappingContext(const cluster::Cluster& cluster, const workload::Task& task,
+                 double now, std::vector<Candidate> candidates,
+                 double average_queue_depth);
 
   [[nodiscard]] const workload::Task& task() const noexcept { return *task_; }
   [[nodiscard]] double now() const noexcept { return now_; }
@@ -94,6 +106,9 @@ class MappingContext {
   double now_;
   std::span<const robustness::CoreQueueModel> cores_;
   std::vector<Candidate> candidates_;
+  /// NaN in the immediate shape (depth comes from the queue models); the
+  /// scheduler-supplied depth in the batch shape.
+  double queue_depth_override_ = std::numeric_limits<double>::quiet_NaN();
   double remaining_energy_estimate_ = 0.0;
   std::size_t tasks_left_ = 1;
   /// Memoized ExpectedReadyTime per core (NaN = not yet computed).

@@ -6,23 +6,20 @@
 #include "util/assert.hpp"
 
 namespace ecdra::core {
-namespace {
 
-/// Routes a per-filter count into the matching counter slot by the filter's
-/// public name ("en"/"rob"); unknown (custom) filters share one slot.
-std::uint64_t obs::Counters::* PrunedSlotFor(std::string_view filter_name) {
+std::uint64_t obs::Counters::* PrunedSlotFor(
+    std::string_view filter_name) noexcept {
   if (filter_name == "en") return &obs::Counters::pruned_energy;
   if (filter_name == "rob") return &obs::Counters::pruned_robustness;
   return &obs::Counters::pruned_other;
 }
 
-std::uint64_t obs::Counters::* DiscardSlotFor(std::string_view filter_name) {
+std::uint64_t obs::Counters::* DiscardSlotFor(
+    std::string_view filter_name) noexcept {
   if (filter_name == "en") return &obs::Counters::discarded_by_energy;
   if (filter_name == "rob") return &obs::Counters::discarded_by_robustness;
   return &obs::Counters::discarded_by_other;
 }
-
-}  // namespace
 
 ImmediateModeScheduler::ImmediateModeScheduler(
     const cluster::Cluster& cluster, const workload::TaskTypeTable& types,

@@ -37,6 +37,15 @@ struct SchedulerObservability {
   std::uint64_t trial = 0;
 };
 
+/// Routes a per-filter count into the matching counter slot by the filter's
+/// public name ("en"/"rob"); unknown (custom) filters share one slot. Shared
+/// by the immediate- and batch-mode schedulers so both report the same
+/// telemetry vocabulary.
+[[nodiscard]] std::uint64_t obs::Counters::* PrunedSlotFor(
+    std::string_view filter_name) noexcept;
+[[nodiscard]] std::uint64_t obs::Counters::* DiscardSlotFor(
+    std::string_view filter_name) noexcept;
+
 class ImmediateModeScheduler {
  public:
   /// `window_size` is the number of tasks in the workload window (the paper

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
-#include "core/factory.hpp"
+#include "experiment/paper_config.hpp"
 #include "obs/counters.hpp"
 #include "stats/ascii_plot.hpp"
 #include "stats/table_writer.hpp"
@@ -51,17 +51,36 @@ FigureResult RunFigure(const sim::ExperimentSetup& setup,
 }
 
 std::vector<SeriesSpec> VariantsOfHeuristic(const std::string& heuristic) {
+  return VariantsOfHeuristic(heuristic, PaperScenario().grid);
+}
+
+std::vector<SeriesSpec> VariantsOfHeuristic(const std::string& heuristic,
+                                            const policy::PolicyGrid& grid) {
   std::vector<SeriesSpec> specs;
-  for (const std::string& variant : core::FilterVariantNames()) {
+  for (const std::string& variant : grid.filter_variants) {
     specs.push_back(SeriesSpec{heuristic, variant, ""});
   }
   return specs;
 }
 
 std::vector<SeriesSpec> BestVariants() {
+  return BestVariants(PaperScenario().grid);
+}
+
+std::vector<SeriesSpec> BestVariants(const policy::PolicyGrid& grid) {
   std::vector<SeriesSpec> specs;
-  for (const std::string& heuristic : core::HeuristicNames()) {
+  for (const std::string& heuristic : grid.heuristics) {
     specs.push_back(SeriesSpec{heuristic, "en+rob", ""});
+  }
+  return specs;
+}
+
+std::vector<SeriesSpec> GridSeries(const policy::PolicyGrid& grid) {
+  std::vector<SeriesSpec> specs;
+  for (const std::string& heuristic : grid.heuristics) {
+    for (const std::string& variant : grid.filter_variants) {
+      specs.push_back(SeriesSpec{heuristic, variant, ""});
+    }
   }
   return specs;
 }

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "policy/scenario_spec.hpp"
 #include "sim/experiment_runner.hpp"
 #include "stats/summary.hpp"
 
@@ -49,12 +50,22 @@ struct FigureResult {
                                      const std::vector<SeriesSpec>& specs,
                                      const sim::RunOptions& options);
 
-/// The four filter variants of one heuristic — Figures 2-5.
+/// One series per grid filter variant of one heuristic — Figures 2-5.
+/// Defaults to the paper scenario's grid (PaperScenario().grid).
 [[nodiscard]] std::vector<SeriesSpec> VariantsOfHeuristic(
     const std::string& heuristic);
+[[nodiscard]] std::vector<SeriesSpec> VariantsOfHeuristic(
+    const std::string& heuristic, const policy::PolicyGrid& grid);
 
-/// The best ("en+rob") variant of every heuristic — Figure 6.
+/// The best ("en+rob") variant of every grid heuristic — Figure 6.
+/// Defaults to the paper scenario's grid.
 [[nodiscard]] std::vector<SeriesSpec> BestVariants();
+[[nodiscard]] std::vector<SeriesSpec> BestVariants(
+    const policy::PolicyGrid& grid);
+
+/// The full grid cross product, in grid order — what a spec-driven study
+/// (run_experiment_cli --spec) executes.
+[[nodiscard]] std::vector<SeriesSpec> GridSeries(const policy::PolicyGrid& grid);
 
 /// Table (min/Q1/median/Q3/max/mean + energy + discards) and ASCII box
 /// plot. When counters were collected, appends an observability table

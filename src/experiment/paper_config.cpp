@@ -2,29 +2,33 @@
 
 namespace ecdra::experiment {
 
-sim::SetupOptions PaperSetupOptions() {
-  sim::SetupOptions options;
+policy::ScenarioSpec PaperScenario() {
+  policy::ScenarioSpec spec;
+  spec.master_seed = kPaperMasterSeed;
   // Cluster (§III-A, §VI): defaults in ClusterBuilderOptions already encode
   // N = 8, 1-4 processors x 1-4 cores, eps in [0.90, 0.98], P-state steps of
   // 15-25% with min frequency >= 42%, P0 power in [125, 135] W, voltages in
   // [1.0, 1.15] / [1.4, 1.55].
   // Workload (§VI): CVB(mu_task = 750, V_task = 0.25, V_mach = 0.25) over
   // 100 types; bursty 200/600/200 arrivals at 1/8 and 1/48.
-  options.cvb = workload::CvbOptions{};  // paper values are the defaults
-  options.workload.arrivals = workload::ArrivalSpec::PaperBursty();
-  options.workload.load_factor_scale = 1.0;
-  options.budget_task_count = 1000.0;
-  return options;
+  spec.environment.cvb = workload::CvbOptions{};  // paper values by default
+  spec.environment.workload.arrivals = workload::ArrivalSpec::PaperBursty();
+  spec.environment.workload.load_factor_scale = 1.0;
+  spec.environment.budget_task_count = 1000.0;
+  // PolicyGrid's defaults are the paper's §V-VI grid (4 heuristics x 4
+  // filter variants); num_trials = 50 as in §VI.
+  spec.num_trials = 50;
+  return spec;
 }
+
+sim::SetupOptions PaperSetupOptions() { return PaperScenario().environment; }
 
 sim::ExperimentSetup BuildPaperSetup(std::uint64_t master_seed) {
   return sim::BuildExperimentSetup(master_seed, PaperSetupOptions());
 }
 
 sim::RunOptions PaperRunOptions() {
-  sim::RunOptions options;
-  options.num_trials = 50;
-  return options;
+  return sim::RunOptionsFromSpec(PaperScenario());
 }
 
 }  // namespace ecdra::experiment

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "policy/scenario_spec.hpp"
 #include "sim/experiment_runner.hpp"
 
 namespace ecdra::experiment {
@@ -18,14 +19,20 @@ namespace ecdra::experiment {
 /// in the paper's regime.
 inline constexpr std::uint64_t kPaperMasterSeed = 14;
 
-/// §VI defaults.
+/// The paper's §VI study as one declarative ScenarioSpec: the canonical
+/// seed, the environment's generating options, default run knobs, the
+/// (4 heuristics x 4 filter variants) grid, and 50 trials. Every other
+/// accessor here is a projection of this spec.
+[[nodiscard]] policy::ScenarioSpec PaperScenario();
+
+/// §VI defaults — PaperScenario().environment.
 [[nodiscard]] sim::SetupOptions PaperSetupOptions();
 
 /// Builds the canonical environment (cluster, ETC, pmfs, budget).
 [[nodiscard]] sim::ExperimentSetup BuildPaperSetup(
     std::uint64_t master_seed = kPaperMasterSeed);
 
-/// 50 trials, as in the paper.
+/// 50 trials, as in the paper — sim::RunOptionsFromSpec(PaperScenario()).
 [[nodiscard]] sim::RunOptions PaperRunOptions();
 
 }  // namespace ecdra::experiment

@@ -1,0 +1,105 @@
+// String-keyed, self-registering factory registries — the plugin shape the
+// scheduling stacks share (docs/ARCHITECTURE.md, "policy"). A registry maps
+// a policy name to a factory; built-ins register themselves at static
+// initialization from the translation unit that defines them, and a
+// downstream user adds a policy with one ECDRA_POLICY_REGISTRATION line —
+// no switch statement to edit, no factory to recompile.
+//
+// Diagnostics are part of the contract: registering a duplicate name throws
+// immediately (a silently-shadowed policy is a debugging nightmare), and
+// constructing an unknown name throws a message that lists every registered
+// key, so a typo tells you what the valid choices were.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ecdra::policy {
+
+template <typename Product, typename... Args>
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<Product>(Args...)>;
+
+  /// `kind` names the product in diagnostics ("heuristic", "filter", ...).
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Registers `factory` under `name`. Throws std::invalid_argument for an
+  /// empty name, a null factory, or a name that is already registered.
+  void Register(std::string name, Factory factory) {
+    if (name.empty()) {
+      throw std::invalid_argument(kind_ + " name must be non-empty");
+    }
+    if (factory == nullptr) {
+      throw std::invalid_argument(kind_ + " '" + name +
+                                  "' needs a non-null factory");
+    }
+    const auto [it, inserted] =
+        factories_.emplace(std::move(name), std::move(factory));
+    if (!inserted) {
+      throw std::invalid_argument("duplicate " + kind_ + " registration: '" +
+                                  it->first + "'");
+    }
+  }
+
+  [[nodiscard]] bool Contains(std::string_view name) const {
+    return factories_.find(name) != factories_.end();
+  }
+
+  /// Constructs the product registered under `name`. Throws
+  /// std::invalid_argument listing every registered key when the name is
+  /// unknown.
+  [[nodiscard]] std::unique_ptr<Product> Make(std::string_view name,
+                                              Args... args) const {
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      throw std::invalid_argument("unknown " + kind_ + " '" +
+                                  std::string(name) +
+                                  "' (registered: " + JoinedNames() + ")");
+    }
+    return it->second(std::forward<Args>(args)...);
+  }
+
+  /// Registered names in lexicographic order.
+  [[nodiscard]] std::vector<std::string> Names() const {
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) names.push_back(name);
+    return names;
+  }
+
+  [[nodiscard]] std::string JoinedNames() const {
+    std::string joined;
+    for (const auto& [name, factory] : factories_) {
+      if (!joined.empty()) joined += ", ";
+      joined += name;
+    }
+    return joined.empty() ? std::string("<none>") : joined;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return factories_.size(); }
+
+ private:
+  std::string kind_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+#define ECDRA_POLICY_CONCAT_INNER(a, b) a##b
+#define ECDRA_POLICY_CONCAT(a, b) ECDRA_POLICY_CONCAT_INNER(a, b)
+
+/// Evaluates `expr` (typically a Registry<>::Register call) at static
+/// initialization. Use at namespace scope in a .cpp; the registration lives
+/// in an anonymous namespace so two files can both use the macro.
+#define ECDRA_POLICY_REGISTRATION(expr)                               \
+  namespace {                                                         \
+  [[maybe_unused]] const bool ECDRA_POLICY_CONCAT(                    \
+      ecdra_policy_registration_, __COUNTER__) = ((expr), true);      \
+  }
+
+}  // namespace ecdra::policy

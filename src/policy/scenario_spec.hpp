@@ -1,0 +1,106 @@
+// The single declarative description of an experiment (docs/ARCHITECTURE.md,
+// "policy"): the sampled environment's generating options, the
+// result-shaping trial knobs, the (heuristic x filter-variant) policy grid,
+// and the harness knobs, with one canonical text serialization.
+//
+// Every consumer that used to re-assemble configuration independently —
+// run_experiment_cli flag parsing, the figure-harness variant enumeration,
+// the bench configs, and the checkpoint config fingerprint — now derives
+// from a ScenarioSpec, so a configuration cannot mean different things in
+// different stacks. The checkpoint fingerprint is FNV-1a over
+// FingerprintText(), the canonical serialization of the result-shaping
+// subset (grid and harness knobs excluded: they select *which* trials run
+// and how, never what a trial computes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster_builder.hpp"
+#include "core/factory.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/recovery.hpp"
+#include "pmf/distribution_factory.hpp"
+#include "policy/run_policies.hpp"
+#include "validate/validation.hpp"
+#include "workload/etc_matrix.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace ecdra::policy {
+
+/// The generating options of the §VI environment "held constant" across
+/// trials: cluster shape, ETC heterogeneity, pmf discretization, workload
+/// recipe, and the energy-budget scale. (sim::SetupOptions is an alias of
+/// this struct.)
+struct EnvironmentSpec {
+  cluster::ClusterBuilderOptions cluster;
+  workload::CvbOptions cvb;  // num_machines is overridden to num_nodes
+  pmf::DiscretizeOptions discretize;
+  workload::WorkloadGeneratorOptions workload;
+  /// zeta_max = t_avg * p_avg * budget_task_count — "the energy required to
+  /// execute an average task one thousand times" (§VI).
+  double budget_task_count = 1000.0;
+  /// Execution-time *uncertainty* (the per-(type, node) pmf CoV). 0 uses
+  /// cvb.task_cov, the paper's coupling of heterogeneity and uncertainty;
+  /// a positive value decouples them for the uncertainty ablation.
+  double exec_cov = 0.0;
+};
+
+/// The policy grid of a study: which registered heuristics run against
+/// which filter variants (the paper's §V-VI grid by default), plus the
+/// batch-mode heuristics for immediate-vs-batch comparisons (empty = no
+/// batch series).
+struct PolicyGrid {
+  std::vector<std::string> heuristics{"SQ", "MECT", "LL", "Random"};
+  std::vector<std::string> filter_variants{"none", "en", "rob", "en+rob"};
+  std::vector<std::string> batch_heuristics;
+};
+
+struct ScenarioSpec {
+  std::uint64_t master_seed = 0;
+  EnvironmentSpec environment;
+
+  // -- Result-shaping trial knobs (fingerprinted) --
+  IdlePolicy idle_policy = IdlePolicy::kDeepestPState;
+  CancelPolicy cancel_policy = CancelPolicy::kRunToCompletion;
+  /// DVFS switching delay and stochastic-power CoV (see sim::TrialOptions).
+  double pstate_transition_latency = 0.0;
+  double power_cov = 0.0;
+  /// Options for every filter either stack constructs — the one source of
+  /// truth for e.g. the robustness threshold.
+  core::FilterChainOptions filter_options;
+  fault::FaultModelOptions fault;
+  fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
+
+  // -- Grid + harness knobs (serialized, but not fingerprinted) --
+  PolicyGrid grid;
+  std::size_t num_trials = 50;
+  validate::ValidationMode validation = validate::ValidationMode::kOff;
+};
+
+/// Canonical serialization: a "ecdra-scenario v1" header line followed by
+/// one "key = value" line per field in a fixed order. Doubles use the
+/// shortest decimal that round-trips bit-exactly (obs::json::Number), so
+/// serialize -> parse -> serialize is byte-stable.
+[[nodiscard]] std::string CanonicalSpecText(const ScenarioSpec& spec);
+
+/// Inverse of CanonicalSpecText. Unset keys keep their defaults; unknown
+/// keys, malformed values, and a missing/wrong header line throw
+/// std::invalid_argument naming the offending line.
+[[nodiscard]] ScenarioSpec ParseScenarioSpec(std::string_view text);
+
+/// The result-shaping subset of CanonicalSpecText (seed, environment, run
+/// knobs; no grid/harness lines) — the checkpoint fingerprint's preimage.
+[[nodiscard]] std::string FingerprintText(const ScenarioSpec& spec);
+
+/// FNV-1a (16 hex chars) over FingerprintText.
+[[nodiscard]] std::string SpecFingerprint(const ScenarioSpec& spec);
+
+/// FNV-1a 64-bit over arbitrary text (the hash the fingerprint and the
+/// golden-regression tests share).
+[[nodiscard]] std::uint64_t Fnv1a64(std::string_view text) noexcept;
+[[nodiscard]] std::string Fnv1a64Hex(std::string_view text);
+
+}  // namespace ecdra::policy

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "obs/json.hpp"
+#include "policy/scenario_spec.hpp"
 #include "util/assert.hpp"
 
 namespace ecdra::sim {
@@ -36,51 +37,6 @@ CheckpointError::CheckpointError(CheckpointErrorKind kind,
       kind_(kind) {}
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Config fingerprint
-// ---------------------------------------------------------------------------
-
-/// Canonical-text accumulator hashed with FNV-1a. Doubles are rendered as
-/// hex floats (%a) so the fingerprint sees their exact bits, not a rounded
-/// decimal; any change to a sampled value or trial knob changes the hash.
-class Fingerprint {
- public:
-  void Add(std::string_view key, double value) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", value);
-    Text(key);
-    Text(buf);
-  }
-  void Add(std::string_view key, std::uint64_t value) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-    Text(key);
-    Text(buf);
-  }
-  void Add(std::string_view key, std::string_view value) {
-    Text(key);
-    Text(value);
-  }
-
-  [[nodiscard]] std::string Hex() const {
-    char buf[17];
-    std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash_);
-    return buf;
-  }
-
- private:
-  void Text(std::string_view text) {
-    for (const char c : text) {
-      hash_ ^= static_cast<unsigned char>(c);
-      hash_ *= 0x100000001b3ULL;  // FNV-1a prime
-    }
-    hash_ ^= 0x1f;  // field separator so "ab"+"c" != "a"+"bc"
-    hash_ *= 0x100000001b3ULL;
-  }
-
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
-};
 
 // ---------------------------------------------------------------------------
 // Serialization helpers
@@ -212,80 +168,24 @@ void VerifyCheckpointHeader(const CheckpointHeader& found,
 
 std::string ConfigFingerprint(const ExperimentSetup& setup,
                               const RunOptions& options) {
-  Fingerprint fp;
-  fp.Add("fmt", std::uint64_t{1});
-
-  // Sampled environment. The ETC matrix and per-(type, node, pstate) mean
-  // execution times pin the exact sampled heterogeneity and discretization;
-  // t_avg / p_avg / budget pin the derived §VI scalars.
-  fp.Add("seed", setup.master_seed);
-  fp.Add("window", std::uint64_t{setup.window_size});
-  fp.Add("t_avg", setup.t_avg);
-  fp.Add("p_avg", setup.p_avg);
-  fp.Add("budget", setup.energy_budget);
-  fp.Add("nodes", std::uint64_t{setup.cluster.num_nodes()});
-  for (const cluster::Node& node : setup.cluster.nodes()) {
-    fp.Add("np", std::uint64_t{node.num_processors});
-    fp.Add("cpp", std::uint64_t{node.cores_per_processor});
-    fp.Add("eff", node.power_efficiency);
-    for (const cluster::PState& pstate : node.pstates) {
-      fp.Add("tm", pstate.time_multiplier);
-      fp.Add("pw", pstate.power_watts);
-    }
-  }
-  fp.Add("types", std::uint64_t{setup.etc.num_types()});
-  fp.Add("machines", std::uint64_t{setup.etc.num_machines()});
-  for (std::size_t t = 0; t < setup.etc.num_types(); ++t) {
-    for (std::size_t m = 0; m < setup.etc.num_machines(); ++m) {
-      fp.Add("etc", setup.etc.at(t, m));
-    }
-  }
-  for (std::size_t t = 0; t < setup.types.num_types(); ++t) {
-    for (std::size_t n = 0; n < setup.types.num_nodes(); ++n) {
-      for (cluster::PStateIndex p = 0; p < cluster::kNumPStates; ++p) {
-        fp.Add("eet", setup.types.MeanExec(t, n, p));
-      }
-    }
-  }
-
-  // Workload spec (per-trial sampling recipe).
-  fp.Add("load_scale", setup.workload.load_factor_scale);
-  for (const workload::ArrivalPhase& phase : setup.workload.arrivals.phases) {
-    fp.Add("phase_tasks", std::uint64_t{phase.num_tasks});
-    fp.Add("phase_rate", phase.rate);
-  }
-  for (const workload::PriorityClass& cls : setup.workload.priority_classes) {
-    fp.Add("prio_w", cls.weight);
-    fp.Add("prio_p", cls.probability);
-  }
-
-  // RunOptions knobs that shape per-trial results. Execution mechanics
-  // (threads, tracing, validation, watchdog/retry, checkpoint paths) are
-  // deliberately absent: they cannot change what a trial computes.
-  fp.Add("idle", std::uint64_t(options.idle_policy));
-  fp.Add("cancel", std::uint64_t(options.cancel_policy));
-  fp.Add("latency", options.pstate_transition_latency);
-  fp.Add("power_cov", options.power_cov);
-  const core::EnergyFilterOptions& en = options.filter_options.energy;
-  fp.Add("en_low", en.low_multiplier);
-  fp.Add("en_mid", en.mid_multiplier);
-  fp.Add("en_high", en.high_multiplier);
-  fp.Add("en_low_depth", en.low_depth);
-  fp.Add("en_high_depth", en.high_depth);
-  fp.Add("en_prio", std::uint64_t{en.scale_fair_share_by_priority});
-  fp.Add("en_prio_base", en.priority_baseline);
-  fp.Add("rob_thresh", options.filter_options.robustness_threshold);
-  fp.Add("fault_mtbf", options.fault.mtbf);
-  fp.Add("fault_life", std::uint64_t(options.fault.lifetime));
-  fp.Add("fault_shape", options.fault.weibull_shape);
-  fp.Add("fault_repair", options.fault.repair_time);
-  fp.Add("fault_thr_int", options.fault.throttle_interval);
-  fp.Add("fault_thr_dur", options.fault.throttle_duration);
-  fp.Add("fault_thr_floor", std::uint64_t{options.fault.throttle_floor});
-  fp.Add("fault_horizon", options.fault.horizon);
-  fp.Add("recovery", std::uint64_t(options.recovery));
-
-  return fp.Hex();
+  // The fingerprint hashes the declarative *recipe* (policy::FingerprintText
+  // over a ScenarioSpec), not the sampled artifacts: the environment is a
+  // pure function of (master_seed, SetupOptions), so hashing the generating
+  // options pins the sampled cluster/ETC/pmf table exactly while keeping the
+  // preimage human-readable. Grid and harness knobs (num_trials, validation,
+  // threads, traces, watchdog/retry, checkpoint paths) are deliberately
+  // absent: they select which trials run and how, never what one computes.
+  policy::ScenarioSpec spec;
+  spec.master_seed = setup.master_seed;
+  spec.environment = setup.environment;
+  spec.idle_policy = options.idle_policy;
+  spec.cancel_policy = options.cancel_policy;
+  spec.pstate_transition_latency = options.pstate_transition_latency;
+  spec.power_cov = options.power_cov;
+  spec.filter_options = options.filter_options;
+  spec.fault = options.fault;
+  spec.recovery = options.recovery;
+  return policy::SpecFingerprint(spec);
 }
 
 std::string TrialResultToJson(const TrialResult& result) {

@@ -5,7 +5,7 @@
 // every option that shapes per-trial results; each following line is one
 // completed trial:
 //
-//   {"record":"header","schema":1,"seed":14,"config":"9f2ab31c6d0e8457"}
+//   {"record":"header","schema":2,"seed":14,"config":"9f2ab31c6d0e8457"}
 //   {"record":"trial","heuristic":"SQ","filter":"en+rob","trial":0,
 //    "result":{"window":1000,"completed":749,...,"counters":{...}}}
 //
@@ -31,9 +31,13 @@
 
 namespace ecdra::sim {
 
-/// Bumped whenever the record layout changes incompatibly; files written
-/// with any other version are refused rather than half-understood.
-inline constexpr std::uint32_t kCheckpointSchemaVersion = 1;
+/// Bumped whenever the record layout or the config-fingerprint preimage
+/// changes incompatibly; files written with any other version are refused
+/// rather than half-understood. v2: the fingerprint became FNV-1a over
+/// policy::FingerprintText (the ScenarioSpec recipe) instead of an ad-hoc
+/// hash of the sampled environment — the preimages differ, so v1 stores
+/// must not be silently resumed against v2 hashes.
+inline constexpr std::uint32_t kCheckpointSchemaVersion = 2;
 
 enum class CheckpointErrorKind {
   kIo,                  // cannot open / read / write the file
@@ -68,13 +72,14 @@ struct CheckpointHeader {
                          const CheckpointHeader&) = default;
 };
 
-/// FNV-1a fingerprint (16 hex chars) over the canonical text of every
-/// setup/run option that determines per-trial results: the sampled
-/// environment (seed, cluster shape, t_avg/p_avg/budget as hex floats,
-/// workload spec) and the RunOptions trial knobs (policies, latencies,
-/// filter and fault parameters). Deliberately excludes pure execution
-/// mechanics — thread count, tracing, validation mode, watchdog/retry
-/// settings, checkpoint paths — which cannot change what a trial computes.
+/// FNV-1a fingerprint (16 hex chars) over policy::FingerprintText of the
+/// ScenarioSpec this (setup, options) pair describes: the master seed, the
+/// environment's generating options (which pin the sampled cluster / ETC /
+/// pmf table exactly — the environment is a pure function of them), and the
+/// result-shaping RunOptions knobs (policies, latencies, filter and fault
+/// parameters). Deliberately excludes pure execution mechanics — thread
+/// count, tracing, validation mode, watchdog/retry settings, checkpoint
+/// paths — which cannot change what a trial computes.
 [[nodiscard]] std::string ConfigFingerprint(const ExperimentSetup& setup,
                                             const RunOptions& options);
 

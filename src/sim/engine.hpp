@@ -30,6 +30,7 @@
 #include "fault/recovery.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
+#include "policy/run_policies.hpp"
 #include "robustness/core_queue_model.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
@@ -59,32 +60,11 @@ class TrialTimeoutError : public std::runtime_error {
   double elapsed_seconds_;
 };
 
-/// What an idle core with an empty queue does (DESIGN.md decision 2).
-enum class IdlePolicy {
-  /// Drop to the deepest (lowest-power) P-state — the default resource
-  /// manager behaviour under the paper's "cores can never be turned off"
-  /// assumption (§III-A).
-  kDeepestPState,
-  /// Stay in the P-state of the last executed task (ablation baseline).
-  kStayAtLast,
-  /// Power-gate idle cores to zero draw (§VIII future work: "ACPI G-states,
-  /// power gating") — an idealized instant gate; combine with
-  /// pstate_transition_latency to charge a wake-up cost.
-  kPowerGated,
-};
-
-/// Whether queued tasks can be cancelled. The paper's system "cannot stop a
-/// task after it has been scheduled and must execute it to completion";
-/// cancellation is listed as §VIII future work and implemented here as an
-/// extension.
-enum class CancelPolicy {
-  /// Paper semantics: every assigned task runs to completion (best effort).
-  kRunToCompletion,
-  /// When a core picks its next task, queued tasks whose deadlines have
-  /// already passed are dropped instead of executed — they are certain
-  /// misses either way, and skipping them saves energy and queueing delay.
-  kCancelHopelessQueued,
-};
+/// Run policies live in src/policy (policy/run_policies.hpp) so the spec
+/// layer can name them without depending on the engine; these aliases keep
+/// every existing sim::IdlePolicy / sim::CancelPolicy spelling working.
+using IdlePolicy = policy::IdlePolicy;
+using CancelPolicy = policy::CancelPolicy;
 
 struct TrialOptions {
   /// zeta_max: wall-energy budget for the window.

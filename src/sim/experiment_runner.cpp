@@ -59,9 +59,28 @@ ExperimentSetup BuildExperimentSetup(std::uint64_t master_seed,
       .energy_budget = t_avg * p_avg * options.budget_task_count,
       .master_seed = master_seed,
       .window_size = options.workload.arrivals.total_tasks(),
+      .environment = options,
   };
   ECDRA_ASSERT(setup.window_size >= 1, "experiment window is empty");
   return setup;
+}
+
+ExperimentSetup BuildExperimentSetup(const policy::ScenarioSpec& spec) {
+  return BuildExperimentSetup(spec.master_seed, spec.environment);
+}
+
+RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec) {
+  RunOptions options;
+  options.num_trials = spec.num_trials;
+  options.idle_policy = spec.idle_policy;
+  options.cancel_policy = spec.cancel_policy;
+  options.pstate_transition_latency = spec.pstate_transition_latency;
+  options.power_cov = spec.power_cov;
+  options.filter_options = spec.filter_options;
+  options.fault = spec.fault;
+  options.recovery = spec.recovery;
+  options.validation = spec.validation;
+  return options;
 }
 
 TrialResult RunSingleTrial(const ExperimentSetup& setup,

@@ -18,6 +18,7 @@
 #include "core/factory.hpp"
 #include "obs/trace.hpp"
 #include "pmf/distribution_factory.hpp"
+#include "policy/scenario_spec.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
 #include "workload/etc_matrix.hpp"
@@ -28,19 +29,10 @@ namespace ecdra::sim {
 
 class CheckpointStore;  // sim/checkpoint.hpp
 
-struct SetupOptions {
-  cluster::ClusterBuilderOptions cluster;
-  workload::CvbOptions cvb;  // num_machines is overridden to num_nodes
-  pmf::DiscretizeOptions discretize;
-  workload::WorkloadGeneratorOptions workload;
-  /// zeta_max = t_avg * p_avg * budget_task_count — "the energy required to
-  /// execute an average task one thousand times" (§VI).
-  double budget_task_count = 1000.0;
-  /// Execution-time *uncertainty* (the per-(type, node) pmf CoV). 0 uses
-  /// cvb.task_cov, the paper's coupling of heterogeneity and uncertainty;
-  /// a positive value decouples them for the uncertainty ablation.
-  double exec_cov = 0.0;
-};
+/// The environment's generating options are declared in src/policy (the
+/// declarative ScenarioSpec layer); this alias keeps the historical
+/// sim::SetupOptions spelling working everywhere.
+using SetupOptions = policy::EnvironmentSpec;
 
 /// Everything shared across the trials of one experiment.
 struct ExperimentSetup {
@@ -56,11 +48,20 @@ struct ExperimentSetup {
   double energy_budget = 0.0;
   std::uint64_t master_seed = 0;
   std::size_t window_size = 0;
+  /// The generating options this setup was sampled from, kept verbatim so
+  /// the checkpoint fingerprint can hash the *recipe* (spec) rather than the
+  /// sampled artifacts.
+  SetupOptions environment;
 };
 
 /// Samples the environment from `master_seed` (substreams "cluster", "etc").
 [[nodiscard]] ExperimentSetup BuildExperimentSetup(
     std::uint64_t master_seed, const SetupOptions& options = {});
+
+/// Spec-driven overload: BuildExperimentSetup(spec.master_seed,
+/// spec.environment).
+[[nodiscard]] ExperimentSetup BuildExperimentSetup(
+    const policy::ScenarioSpec& spec);
 
 struct RunOptions {
   std::size_t num_trials = 50;
@@ -123,6 +124,13 @@ struct RunOptions {
   /// transient and deterministic failures.
   std::function<void(std::size_t, std::size_t)> pre_trial_hook;
 };
+
+/// The RunOptions a ScenarioSpec describes: the result-shaping knobs
+/// (idle/cancel policy, transition latency, power CoV, filter options,
+/// fault model, recovery) plus num_trials and validation mode. Execution
+/// mechanics (threads, traces, checkpoint paths, retry policy) are not part
+/// of a spec and keep their defaults.
+[[nodiscard]] RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec);
 
 /// A trial that exhausted every attempt without producing a result.
 struct TrialFailure {

@@ -3,9 +3,12 @@
 // BatchEngine trials on deterministic scenarios.
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 #include "batch/batch_engine.hpp"
 #include "batch/batch_heuristics.hpp"
 #include "batch/batch_runner.hpp"
+#include "core/factory.hpp"
 #include "experiment/paper_config.hpp"
 #include "test_support.hpp"
 
@@ -157,12 +160,14 @@ class BatchEngineTest : public ::testing::Test {
   BatchEngineTest()
       : cluster_({test::SimpleNode(1, 2)}), table_(DeltaTable(cluster_, 10.0)) {}
 
-  [[nodiscard]] sim::TrialResult Run(std::vector<workload::Task> tasks,
-                                     const std::string& heuristic,
-                                     BatchTrialOptions options,
-                                     BatchFilterOptions filters = {}) {
-    BatchScheduler scheduler(cluster_, table_, MakeBatchHeuristic(heuristic),
-                             filters, options.energy_budget, tasks.size());
+  [[nodiscard]] sim::TrialResult Run(
+      std::vector<workload::Task> tasks, const std::string& heuristic,
+      BatchTrialOptions options, const std::string& filter_variant = "en+rob",
+      const core::FilterChainOptions& filter_options = {}) {
+    BatchScheduler scheduler(
+        cluster_, table_, MakeBatchHeuristic(heuristic),
+        core::MakeFilterChain(filter_variant, filter_options),
+        options.energy_budget, tasks.size());
     BatchEngine engine(cluster_, table_, std::move(tasks), scheduler, options,
                        util::RngStream(7));
     return engine.Run();
@@ -176,11 +181,9 @@ TEST_F(BatchEngineTest, MapsArrivalsToIdleCoresImmediately) {
   BatchTrialOptions options;
   options.energy_budget = 1e9;
   options.collect_task_records = true;
-  BatchFilterOptions filters;
-  filters.energy_filter = false;  // generous: P0 everywhere
   const sim::TrialResult result =
       Run({workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 1.0, 100.0}},
-          "MinMinCT", options, filters);
+          "MinMinCT", options, "rob");  // no energy filter: P0 everywhere
   EXPECT_EQ(result.completed, 2u);
   EXPECT_DOUBLE_EQ(result.task_records[0].start_time, 0.0);
   EXPECT_DOUBLE_EQ(result.task_records[1].start_time, 1.0);
@@ -192,12 +195,10 @@ TEST_F(BatchEngineTest, QueuedTaskWaitsForACoreAndRemapsAtCompletion) {
   BatchTrialOptions options;
   options.energy_budget = 1e9;
   options.collect_task_records = true;
-  BatchFilterOptions filters;
-  filters.energy_filter = false;
   const sim::TrialResult result =
       Run({workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 0.5, 100.0},
            workload::Task{2, 0, 1.0, 100.0}},
-          "MinMinCT", options, filters);
+          "MinMinCT", options, "rob");
   EXPECT_EQ(result.completed, 3u);
   // Task 2 starts when task 0 finishes at 10 (MinMin on idle cores).
   EXPECT_DOUBLE_EQ(result.task_records[2].start_time, 10.0);
@@ -209,11 +210,11 @@ TEST_F(BatchEngineTest, RobustnessFilterHoldsBackHopelessMappings) {
   BatchTrialOptions options;
   options.energy_budget = 1e9;
   options.collect_task_records = true;
-  BatchFilterOptions filters;
-  filters.energy_filter = false;
-  filters.robustness_threshold = 1.0;
-  const sim::TrialResult result =
-      Run({workload::Task{0, 0, 0.0, 11.0}}, "MinMinEnergy", options, filters);
+  core::FilterChainOptions filter_options;
+  filter_options.robustness_threshold = 1.0;
+  const sim::TrialResult result = Run({workload::Task{0, 0, 0.0, 11.0}},
+                                      "MinMinEnergy", options, "rob",
+                                      filter_options);
   EXPECT_EQ(result.completed, 1u);
   EXPECT_EQ(result.task_records[0].pstate, 0u);  // P4 would take 24.4 s
 }
@@ -236,12 +237,10 @@ TEST_F(BatchEngineTest, CancelPolicyDropsHopelessPendingTasks) {
   options.energy_budget = 1e9;
   options.cancel_policy = sim::CancelPolicy::kCancelHopelessQueued;
   options.collect_task_records = true;
-  BatchFilterOptions filters;
-  filters.energy_filter = false;
   const sim::TrialResult result =
       Run({workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 0.0, 100.0},
            workload::Task{2, 0, 1.0, 5.0}},
-          "MinMinCT", options, filters);
+          "MinMinCT", options, "rob");
   EXPECT_EQ(result.cancelled, 1u);
   EXPECT_TRUE(result.task_records[2].cancelled);
   EXPECT_EQ(result.completed, 2u);
@@ -250,11 +249,8 @@ TEST_F(BatchEngineTest, CancelPolicyDropsHopelessPendingTasks) {
 TEST_F(BatchEngineTest, EnergyAccountingMatchesImmediateModeSemantics) {
   BatchTrialOptions options;
   options.energy_budget = 1e9;
-  BatchFilterOptions filters;
-  filters.energy_filter = false;
-  filters.robustness_filter = false;
   const sim::TrialResult result =
-      Run({workload::Task{0, 0, 1.0, 100.0}}, "MinMinCT", options, filters);
+      Run({workload::Task{0, 0, 1.0, 100.0}}, "MinMinCT", options, "none");
   // Idle P4 [0,1) on both cores, one core P0 [1,11), other P4 throughout.
   const double p4 = 100.0 / 2.25 * 0.4096;
   EXPECT_NEAR(result.total_energy, 2.0 * 1.0 * p4 + 10.0 * 100.0 + 10.0 * p4,
@@ -265,18 +261,16 @@ TEST(BatchScheduler, EnergyFairShareGatesAssignments) {
   const cluster::Cluster cluster({test::SimpleNode()});
   auto table = DeltaTable(cluster, 100.0);
   // Cheapest assignment: P4, eec = 244.14 * 18.2 ~ 4443.
-  BatchFilterOptions filters;
-  filters.robustness_filter = false;
   // Budget so small that even the cheapest candidate exceeds the fair
   // share: queue depth 1 -> zeta_mul 1.0, fair share 4000 < 4443.
   BatchScheduler starved(cluster, table, MakeBatchHeuristic("MinMinEnergy"),
-                         filters, 4000.0, 1);
+                         core::MakeFilterChain("en"), 4000.0, 1);
   const workload::Task task{0, 0, 0.0, 1e9};
   EXPECT_TRUE(starved.MapEvent({task}, {true}, 0.0, 0).empty());
 
   // A generous budget admits it and charges the estimator.
   BatchScheduler funded(cluster, table, MakeBatchHeuristic("MinMinEnergy"),
-                        filters, 1e6, 1);
+                        core::MakeFilterChain("en"), 1e6, 1);
   const auto assignments = funded.MapEvent({task}, {true}, 0.0, 0);
   ASSERT_EQ(assignments.size(), 1u);
   EXPECT_EQ(assignments[0].candidate.assignment.pstate,
@@ -290,7 +284,7 @@ TEST(BatchScheduler, NoIdleCoresMeansNoAssignments) {
   const cluster::Cluster cluster({test::SimpleNode()});
   auto table = DeltaTable(cluster, 100.0);
   BatchScheduler scheduler(cluster, table, MakeBatchHeuristic("MinMinCT"),
-                           BatchFilterOptions{}, 1e9, 1);
+                           core::MakeFilterChain("en+rob"), 1e9, 1);
   const workload::Task task{0, 0, 0.0, 1e9};
   EXPECT_TRUE(scheduler.MapEvent({task}, {false}, 0.0, 1).empty());
   EXPECT_TRUE(scheduler.MapEvent({}, {true}, 0.0, 0).empty());
@@ -300,18 +294,53 @@ TEST(BatchScheduler, RejectsInvalidConstruction) {
   const cluster::Cluster cluster({test::SimpleNode()});
   auto table = DeltaTable(cluster, 100.0);
   EXPECT_THROW((void)BatchScheduler(cluster, table, nullptr,
-                                    BatchFilterOptions{}, 1e9, 1),
+                                    core::MakeFilterChain("en+rob"), 1e9, 1),
                std::invalid_argument);
   EXPECT_THROW((void)BatchScheduler(cluster, table,
                                     MakeBatchHeuristic("MinMinCT"),
-                                    BatchFilterOptions{}, 0.0, 1),
+                                    core::MakeFilterChain("en+rob"), 0.0, 1),
                std::invalid_argument);
-  BatchFilterOptions bad;
+  // An out-of-range threshold is rejected where the chain is built — the
+  // same validation the immediate stack gets.
+  core::FilterChainOptions bad;
   bad.robustness_threshold = 2.0;
-  EXPECT_THROW((void)BatchScheduler(cluster, table,
-                                    MakeBatchHeuristic("MinMinCT"), bad, 1e9,
-                                    1),
+  EXPECT_THROW((void)core::MakeFilterChain("en+rob", bad),
                std::invalid_argument);
+}
+
+TEST(BatchRunner, FilterOptionsAreTheImmediateStacksVerbatim) {
+  // Both stacks share one source of filter defaults: the same
+  // core::FilterChainOptions type, default-constructed. There is no
+  // batch-side copy of robustness_threshold or the energy-filter knobs to
+  // drift out of sync (BatchFilterOptions is gone).
+  static_assert(
+      std::is_same_v<decltype(BatchRunOptions::filter_options),
+                     decltype(sim::RunOptions::filter_options)>,
+      "batch and immediate modes must share core::FilterChainOptions");
+  static_assert(std::is_same_v<decltype(BatchRunOptions::filter_options),
+                               core::FilterChainOptions>);
+
+  const core::FilterChainOptions batch_defaults =
+      BatchRunOptions{}.filter_options;
+  const core::FilterChainOptions immediate_defaults =
+      sim::RunOptions{}.filter_options;
+  EXPECT_EQ(batch_defaults.robustness_threshold,
+            immediate_defaults.robustness_threshold);
+  EXPECT_EQ(batch_defaults.robustness_threshold, 0.5);
+  EXPECT_EQ(batch_defaults.energy.low_multiplier,
+            immediate_defaults.energy.low_multiplier);
+  EXPECT_EQ(batch_defaults.energy.mid_multiplier,
+            immediate_defaults.energy.mid_multiplier);
+  EXPECT_EQ(batch_defaults.energy.high_multiplier,
+            immediate_defaults.energy.high_multiplier);
+  EXPECT_EQ(batch_defaults.energy.low_depth,
+            immediate_defaults.energy.low_depth);
+  EXPECT_EQ(batch_defaults.energy.high_depth,
+            immediate_defaults.energy.high_depth);
+  EXPECT_EQ(batch_defaults.energy.scale_fair_share_by_priority,
+            immediate_defaults.energy.scale_fair_share_by_priority);
+  EXPECT_EQ(batch_defaults.energy.priority_baseline,
+            immediate_defaults.energy.priority_baseline);
 }
 
 TEST(BatchRunner, DeterministicAndComparableToImmediate) {

@@ -37,7 +37,7 @@ void WriteFile(const std::string& path, const std::string& content) {
 }
 
 constexpr char kValidHeaderLine[] =
-    "{\"record\":\"header\",\"schema\":1,\"seed\":\"5\",\"config\":\"x\"}\n";
+    "{\"record\":\"header\",\"schema\":2,\"seed\":\"5\",\"config\":\"x\"}\n";
 
 /// EXPECT_EQ on every simulation-deterministic field (bit-exact doubles;
 /// excludes wall-clock decision_seconds).
@@ -217,6 +217,28 @@ TEST(CheckpointStore, WrongSchemaVersionIsTyped) {
     FAIL() << "expected CheckpointError";
   } catch (const CheckpointError& error) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, SchemaV1StoreIsRefusedNamingBothVersions) {
+  // Stores written before the spec-based fingerprint (schema 1) hash a
+  // different preimage, so their config field is not comparable; the load
+  // must refuse with a typed error that names both versions instead of
+  // silently resuming against a stale fingerprint.
+  const std::string path = TempPath("schema_v1");
+  WriteFile(path,
+            "{\"record\":\"header\",\"schema\":1,\"seed\":\"5\","
+            "\"config\":\"deadbeefdeadbeef\"}\n");
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+    const std::string message = error.what();
+    EXPECT_NE(message.find("schema version 1"), std::string::npos) << message;
+    EXPECT_NE(message.find("this build reads 2"), std::string::npos)
+        << message;
   }
   std::remove(path.c_str());
 }

@@ -1,0 +1,223 @@
+// The declarative ScenarioSpec: canonical serialization round-trips
+// byte-stably, parse diagnostics name the offending line, the fingerprint
+// covers exactly the result-shaping subset (grid/harness knobs excluded),
+// and the checkpoint ConfigFingerprint is the same hash — one recipe, one
+// fingerprint, every consumer.
+#include "policy/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "experiment/paper_config.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment_runner.hpp"
+
+namespace ecdra {
+namespace {
+
+/// A spec with every field moved off its default, so a round-trip that
+/// silently drops a key would be caught.
+policy::ScenarioSpec FullyCustomSpec() {
+  policy::ScenarioSpec spec;
+  spec.master_seed = 77;
+  spec.environment.cluster.num_nodes = 5;
+  spec.environment.cluster.min_processors = 2;
+  spec.environment.cluster.max_processors = 3;
+  spec.environment.cluster.min_power_efficiency = 0.85;
+  spec.environment.cvb.num_task_types = 25;
+  spec.environment.cvb.task_mean = 500.0;
+  spec.environment.cvb.task_cov = 0.3;
+  spec.environment.cvb.machine_cov = 0.2;
+  spec.environment.discretize.num_impulses = 16;
+  spec.environment.discretize.tail_clip = 1e-5;
+  spec.environment.workload.arrivals =
+      workload::ArrivalSpec::PaperBursty(30, 60, 1.0 / 7.0, 1.0 / 31.0);
+  spec.environment.workload.load_factor_scale = 1.25;
+  spec.environment.workload.priority_classes = {{1.0, 0.7}, {4.0, 0.3}};
+  spec.environment.budget_task_count = 800.0;
+  spec.environment.exec_cov = 0.4;
+  spec.idle_policy = policy::IdlePolicy::kPowerGated;
+  spec.cancel_policy = policy::CancelPolicy::kCancelHopelessQueued;
+  spec.pstate_transition_latency = 0.25;
+  spec.power_cov = 0.1;
+  spec.filter_options.energy.low_multiplier = 1.1;
+  spec.filter_options.energy.scale_fair_share_by_priority = true;
+  spec.filter_options.robustness_threshold = 0.65;
+  spec.fault.mtbf = 5000.0;
+  spec.fault.lifetime = fault::LifetimeDistribution::kWeibull;
+  spec.fault.weibull_shape = 1.7;
+  spec.fault.repair_time = 120.0;
+  spec.fault.throttle_interval = 300.0;
+  spec.fault.throttle_duration = 30.0;
+  spec.fault.throttle_floor = 2;
+  spec.fault.horizon = 9999.0;
+  spec.recovery = fault::RecoveryPolicy::kRequeueToScheduler;
+  spec.grid.heuristics = {"LL", "MECT"};
+  spec.grid.filter_variants = {"en", "en+rob"};
+  spec.grid.batch_heuristics = {"MinMinCT"};
+  spec.num_trials = 7;
+  spec.validation = validate::ValidationMode::kCheap;
+  return spec;
+}
+
+TEST(ScenarioSpec, SerializeParseSerializeIsByteStable) {
+  for (const policy::ScenarioSpec& spec :
+       {policy::ScenarioSpec{}, experiment::PaperScenario(),
+        FullyCustomSpec()}) {
+    const std::string text = policy::CanonicalSpecText(spec);
+    const policy::ScenarioSpec parsed = policy::ParseScenarioSpec(text);
+    EXPECT_EQ(policy::CanonicalSpecText(parsed), text);
+    // The fingerprint survives the round-trip too (it reads the same
+    // fields), so a parsed spec resumes the original's checkpoints.
+    EXPECT_EQ(policy::SpecFingerprint(parsed), policy::SpecFingerprint(spec));
+  }
+}
+
+TEST(ScenarioSpec, ParseToleratesCommentsWhitespaceAndDefaults) {
+  const policy::ScenarioSpec parsed = policy::ParseScenarioSpec(
+      "# a comment\n"
+      "ecdra-scenario v1\n"
+      "\n"
+      "  seed =  42  \n"
+      "# another comment\n"
+      "run.filter.rho_thresh = 0.75\n");
+  EXPECT_EQ(parsed.master_seed, 42u);
+  EXPECT_EQ(parsed.filter_options.robustness_threshold, 0.75);
+  // Unset keys keep their defaults.
+  EXPECT_EQ(parsed.num_trials, 50u);
+  EXPECT_EQ(parsed.environment.cvb.task_mean,
+            policy::ScenarioSpec{}.environment.cvb.task_mean);
+}
+
+TEST(ScenarioSpec, ParseDiagnosticsNameTheOffendingLine) {
+  try {
+    (void)policy::ParseScenarioSpec("not-a-header\nseed = 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("not-a-header"),
+              std::string::npos)
+        << error.what();
+  }
+
+  try {
+    (void)policy::ParseScenarioSpec("ecdra-scenario v1\nno.such.key = 3\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("no.such.key"), std::string::npos)
+        << error.what();
+  }
+
+  try {
+    (void)policy::ParseScenarioSpec("ecdra-scenario v1\nseed = banana\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("seed = banana"),
+              std::string::npos)
+        << error.what();
+  }
+
+  EXPECT_THROW((void)policy::ParseScenarioSpec(""), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, FingerprintCoversResultShapingKnobsOnly) {
+  const policy::ScenarioSpec base;
+  const std::string fingerprint = policy::SpecFingerprint(base);
+  EXPECT_EQ(fingerprint.size(), 16u);
+  EXPECT_EQ(fingerprint, policy::SpecFingerprint(base));  // deterministic
+
+  // Result-shaping fields change the hash...
+  policy::ScenarioSpec changed = base;
+  changed.master_seed = 999;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.filter_options.robustness_threshold = 0.9;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.environment.budget_task_count = 1.0;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.fault.mtbf = 100.0;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+
+  // ...grid and harness knobs do not (so a resume with more trials or a
+  // different sweep grid accepts the same checkpoints).
+  policy::ScenarioSpec harness = base;
+  harness.num_trials = 9999;
+  harness.grid.heuristics = {"OnlyThis"};
+  harness.grid.filter_variants = {"none"};
+  harness.grid.batch_heuristics = {"MinMinCT"};
+  harness.validation = validate::ValidationMode::kDeep;
+  EXPECT_EQ(fingerprint, policy::SpecFingerprint(harness));
+
+  // The full serialization does cover them (they are part of the artifact,
+  // just not of the fingerprint).
+  EXPECT_NE(policy::CanonicalSpecText(harness),
+            policy::CanonicalSpecText(base));
+}
+
+TEST(ScenarioSpec, CheckpointConfigFingerprintIsTheSpecFingerprint) {
+  policy::ScenarioSpec spec = experiment::PaperScenario();
+  // Shrink so BuildExperimentSetup stays fast.
+  spec.environment.cluster.num_nodes = 3;
+  spec.environment.cvb.num_task_types = 10;
+  spec.environment.workload.arrivals =
+      workload::ArrivalSpec::PaperBursty(10, 20, 1.0 / 8.0, 1.0 / 48.0);
+  spec.filter_options.robustness_threshold = 0.6;
+  spec.idle_policy = policy::IdlePolicy::kStayAtLast;
+
+  const sim::ExperimentSetup setup = sim::BuildExperimentSetup(spec);
+  const sim::RunOptions options = sim::RunOptionsFromSpec(spec);
+  EXPECT_EQ(sim::ConfigFingerprint(setup, options),
+            policy::SpecFingerprint(spec));
+}
+
+TEST(ScenarioSpec, BuildExperimentSetupRecordsItsRecipe) {
+  policy::ScenarioSpec spec;
+  spec.master_seed = 5;
+  spec.environment.cluster.num_nodes = 3;
+  spec.environment.cvb.num_task_types = 10;
+  spec.environment.workload.arrivals =
+      workload::ArrivalSpec::PaperBursty(10, 20, 1.0 / 8.0, 1.0 / 48.0);
+  spec.environment.exec_cov = 0.33;
+
+  const sim::ExperimentSetup setup = sim::BuildExperimentSetup(spec);
+  EXPECT_EQ(setup.master_seed, 5u);
+  EXPECT_EQ(setup.environment.cluster.num_nodes, 3u);
+  EXPECT_EQ(setup.environment.exec_cov, 0.33);
+  // The recorded recipe reproduces the identical environment.
+  const sim::ExperimentSetup again =
+      sim::BuildExperimentSetup(setup.master_seed, setup.environment);
+  EXPECT_EQ(again.t_avg, setup.t_avg);
+  EXPECT_EQ(again.p_avg, setup.p_avg);
+  EXPECT_EQ(again.energy_budget, setup.energy_budget);
+}
+
+TEST(ScenarioSpec, RunOptionsFromSpecCopiesEveryRunKnob) {
+  const policy::ScenarioSpec spec = FullyCustomSpec();
+  const sim::RunOptions options = sim::RunOptionsFromSpec(spec);
+  EXPECT_EQ(options.num_trials, spec.num_trials);
+  EXPECT_EQ(options.idle_policy, spec.idle_policy);
+  EXPECT_EQ(options.cancel_policy, spec.cancel_policy);
+  EXPECT_EQ(options.pstate_transition_latency,
+            spec.pstate_transition_latency);
+  EXPECT_EQ(options.power_cov, spec.power_cov);
+  EXPECT_EQ(options.filter_options.robustness_threshold,
+            spec.filter_options.robustness_threshold);
+  EXPECT_EQ(options.filter_options.energy.low_multiplier,
+            spec.filter_options.energy.low_multiplier);
+  EXPECT_EQ(options.fault.mtbf, spec.fault.mtbf);
+  EXPECT_EQ(options.recovery, spec.recovery);
+  EXPECT_EQ(options.validation, spec.validation);
+}
+
+TEST(Fnv1a64, MatchesKnownVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(policy::Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(policy::Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(policy::Fnv1a64Hex(""), "cbf29ce484222325");
+}
+
+}  // namespace
+}  // namespace ecdra
