@@ -1,0 +1,133 @@
+// Shared main() body for the micro benches: runs google-benchmark with the
+// ordinary console output AND captures every run into a machine-readable
+// JSON document ("ecdra-bench v1"; schema documented in EXPERIMENTS.md):
+//
+//   {"schema":"ecdra-bench v1","suite":"micro_pmf","results":[
+//     {"name":"BM_Convolve/8","iterations":123456,"ns_per_op":1234.5,
+//      "counters":{"convolve_ops":1.0}},...]}
+//
+// ns_per_op is wall (real) time; counters carries every user counter plus
+// google-benchmark's derived rates (items_per_second when the benchmark
+// calls SetItemsProcessed). Aggregate repetition rows (mean/median/stddev)
+// are not captured — consumers aggregate raw runs themselves.
+//
+// The document is written to BENCH_<suite>.json in the working directory;
+// --bench-json=PATH overrides the path (the flag is consumed before
+// google-benchmark parses the remaining arguments).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace ecdra::benchio {
+
+struct CapturedRun {
+  std::string name;
+  std::int64_t iterations = 0;
+  double ns_per_op = 0.0;
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// ConsoleReporter that additionally records every completed per-iteration
+/// run (errors and aggregate rows are skipped) for the JSON writer.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      CapturedRun captured;
+      captured.name = run.benchmark_name();
+      captured.iterations = run.iterations;
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      captured.ns_per_op = run.real_accumulated_time * 1e9 / iterations;
+      for (const auto& [counter_name, counter] : run.counters) {
+        captured.counters.emplace_back(counter_name,
+                                       static_cast<double>(counter));
+      }
+      runs_.push_back(std::move(captured));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<CapturedRun>& runs() const noexcept {
+    return runs_;
+  }
+
+ private:
+  std::vector<CapturedRun> runs_;
+};
+
+inline std::string BenchReportJson(std::string_view suite,
+                                   const std::vector<CapturedRun>& runs) {
+  std::string out = "{\"schema\":\"ecdra-bench v1\",\"suite\":\"";
+  out += obs::json::Escape(suite);
+  out += "\",\"results\":[";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CapturedRun& run = runs[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":\"";
+    out += obs::json::Escape(run.name);
+    out += "\",\"iterations\":";
+    out += std::to_string(run.iterations);
+    out += ",\"ns_per_op\":";
+    out += obs::json::Number(run.ns_per_op);
+    out += ",\"counters\":{";
+    for (std::size_t c = 0; c < run.counters.size(); ++c) {
+      if (c != 0) out += ',';
+      out += '"';
+      out += obs::json::Escape(run.counters[c].first);
+      out += "\":";
+      out += obs::json::Number(run.counters[c].second);
+    }
+    out += "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+/// The whole main(): consume --bench-json=PATH, run the registered
+/// benchmarks with console output, then write the capture. Returns the
+/// process exit code (non-zero for unknown flags or an unwritable output).
+inline int BenchMain(int argc, char** argv, const std::string& suite) {
+  std::string out_path = "BENCH_" + suite + ".json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--bench-json=";
+    if (arg.rfind(kFlag, 0) == 0) {
+      out_path = std::string(arg.substr(kFlag.size()));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream os(out_path, std::ios::trunc);
+  os << BenchReportJson(suite, reporter.runs());
+  os.flush();
+  if (!os.good()) {
+    std::cerr << suite << ": cannot write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "bench report written to " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace ecdra::benchio

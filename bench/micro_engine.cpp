@@ -2,8 +2,13 @@
 // each heuristic x filter configuration. Configurations touching rho (LL and
 // every *rob* variant) pay for ready-pmf truncations and convolutions;
 // scalar-only configurations (SQ/MECT/Random without rob) skip them.
+//
+// Besides the console table, every run is captured into
+// BENCH_micro_engine.json ("ecdra-bench v1", see bench_json.hpp /
+// EXPERIMENTS.md); items_per_second is tasks simulated per wall second.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "experiment/paper_config.hpp"
 #include "sim/experiment_runner.hpp"
 
@@ -51,3 +56,7 @@ void RegisterAll() {
 const int kRegistered = (RegisterAll(), 0);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return ecdra::benchio::BenchMain(argc, argv, "micro_engine");
+}

@@ -2,8 +2,19 @@
 // take considerable time, but the overhead can be negligible if task
 // execution times are sufficiently long"; these quantify the actual cost of
 // the operations on the scheduler's hot path.
+//
+// Besides the console table, every run is captured into
+// BENCH_micro_pmf.json ("ecdra-bench v1", see bench_json.hpp /
+// EXPERIMENTS.md). Each benchmark reports the instrumented pmf-op tallies
+// (obs::Counters, normalized per iteration) as user counters, so the JSON
+// records both the cost and the operation mix behind it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdint>
+
+#include "bench_json.hpp"
+#include "obs/counters.hpp"
 #include "pmf/distribution_factory.hpp"
 #include "pmf/pmf.hpp"
 #include "util/rng.hpp"
@@ -14,6 +25,33 @@ using ecdra::pmf::Convolve;
 using ecdra::pmf::DiscretizedGamma;
 using ecdra::pmf::Pmf;
 using ecdra::pmf::ProbSumLeq;
+
+/// Installs the thread-local obs::Counters for the timed loop and, on
+/// destruction, publishes the pmf-op tallies (per iteration) into the
+/// benchmark's user counters.
+class PmfOpCounters {
+ public:
+  explicit PmfOpCounters(benchmark::State& state)
+      : state_(state), scope_(&counters_) {}
+
+  ~PmfOpCounters() {
+    const auto per_iteration = [this](std::uint64_t total) {
+      const double iterations =
+          std::max<double>(1.0, static_cast<double>(state_.iterations()));
+      return static_cast<double>(total) / iterations;
+    };
+    state_.counters["convolve_ops"] = per_iteration(counters_.pmf_convolutions);
+    state_.counters["compact_ops"] = per_iteration(counters_.pmf_compactions);
+    state_.counters["prob_sum_leq_ops"] =
+        per_iteration(counters_.pmf_prob_sum_leq);
+    state_.counters["truncate_ops"] = per_iteration(counters_.pmf_truncations);
+  }
+
+ private:
+  benchmark::State& state_;
+  ecdra::obs::Counters counters_;
+  ecdra::obs::CountersScope scope_;
+};
 
 Pmf MakePmf(std::size_t n, std::uint64_t seed) {
   ecdra::util::RngStream rng(seed);
@@ -29,6 +67,7 @@ void BM_Convolve(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Pmf x = MakePmf(n, 1);
   const Pmf y = MakePmf(n, 2);
+  const PmfOpCounters ops(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Convolve(x, y));
   }
@@ -40,6 +79,7 @@ void BM_ProbSumLeq(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const Pmf x = MakePmf(n, 3);
   const Pmf y = MakePmf(n, 4);
+  const PmfOpCounters ops(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ProbSumLeq(x, y, 2100.0));
   }
@@ -48,6 +88,7 @@ BENCHMARK(BM_ProbSumLeq)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_TruncateRenormalize(benchmark::State& state) {
   const Pmf pmf = MakePmf(32, 5);
+  const PmfOpCounters ops(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(pmf.TruncateBelow(900.0));
   }
@@ -56,6 +97,7 @@ BENCHMARK(BM_TruncateRenormalize);
 
 void BM_Compact(benchmark::State& state) {
   const Pmf pmf = MakePmf(1024, 6);
+  const PmfOpCounters ops(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(pmf.Compact(32));
   }
@@ -78,3 +120,7 @@ void BM_DiscretizedGamma(benchmark::State& state) {
 BENCHMARK(BM_DiscretizedGamma);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return ecdra::benchio::BenchMain(argc, argv, "micro_pmf");
+}

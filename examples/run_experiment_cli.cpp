@@ -30,9 +30,11 @@
 #include <string_view>
 #include <vector>
 
+#include "batch/batch_heuristics.hpp"
 #include "core/factory.hpp"
 #include "experiment/paper_config.hpp"
 #include "fault/recovery.hpp"
+#include "governor/governor.hpp"
 #include "policy/scenario_spec.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/experiment_runner.hpp"
@@ -70,6 +72,11 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "  --throttle-interval T / --throttle-duration T / --throttle-floor S\n"
      << "                     transient P-state throttling (0 = off)\n"
      << "  --recovery POLICY  drop | requeue             (default drop)\n"
+     << "  --governor NAME    online energy governor (registered: "
+     << ecdra::governor::GovernorRegistry().JoinedNames() << ";\n"
+     << "                     default static = the paper's open-loop run)\n"
+     << "  --list-policies    print every registered heuristic, filter,\n"
+     << "                     batch heuristic, and governor, then exit\n"
      << "  --validate MODE    off | cheap | deep runtime invariant checks\n"
      << "                     (default off; violations are recorded, not\n"
      << "                     fatal)\n"
@@ -173,6 +180,16 @@ int main(int argc, char** argv) {
     if (flag == "--help" || flag == "-h") {
       PrintUsage(std::cout, argv[0]);
       return 0;
+    } else if (flag == "--list-policies") {
+      // Machine-friendly inventory of every policy registry — including
+      // anything a downstream example registered before main() ran.
+      std::cout << "heuristics: " << core::HeuristicRegistry().JoinedNames()
+                << "\nfilters: " << core::FilterRegistry().JoinedNames()
+                << "\nbatch-heuristics: "
+                << batch::BatchHeuristicRegistry().JoinedNames()
+                << "\ngovernors: "
+                << governor::GovernorRegistry().JoinedNames() << "\n";
+      return 0;
     } else if (flag == "--spec") {
       const std::string path = next();
       std::ifstream is(path);
@@ -258,6 +275,13 @@ int main(int argc, char** argv) {
       } catch (const std::invalid_argument&) {
         Fail("--recovery: unknown policy '" + value +
              "' (valid: drop, requeue)");
+      }
+    } else if (flag == "--governor") {
+      spec.governor = next();
+      if (!governor::GovernorRegistry().Contains(spec.governor)) {
+        Fail("--governor: unknown governor '" + spec.governor +
+             "' (registered: " + governor::GovernorRegistry().JoinedNames() +
+             ")");
       }
     } else if (flag == "--checkpoint") {
       checkpoint_path = next();
@@ -369,7 +393,9 @@ int main(int argc, char** argv) {
   for (const sim::TrialResult& trial : sweep.results) {
     misses.push_back(static_cast<double>(trial.missed_deadlines));
   }
-  std::cout << heuristic << " (" << variant << "), seed " << spec.master_seed
+  std::cout << heuristic << " (" << variant << ")"
+            << (run.governor != "static" ? " [" + run.governor + "]" : "")
+            << ", seed " << spec.master_seed
             << ", " << run.num_trials << " trials, budget x" << budget_scale
             << ":\n";
   if (!misses.empty()) {

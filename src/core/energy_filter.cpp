@@ -25,6 +25,9 @@ void EnergyFilter::Apply(MappingContext& ctx) {
   if (options_.scale_fair_share_by_priority) {
     fair_share *= ctx.task().priority / options_.priority_baseline;
   }
+  // Governor adjustment; x1 (no governor, or an on-schedule controller) is
+  // an exact identity.
+  fair_share *= ctx.FairShareScale();
   std::erase_if(ctx.candidates(), [fair_share](const Candidate& candidate) {
     return candidate.eec > fair_share;
   });

@@ -100,6 +100,15 @@ class MappingContext {
   }
   [[nodiscard]] std::size_t TasksLeft() const noexcept { return tasks_left_; }
 
+  /// Governor extension (src/governor): multiplicative adjustment of the
+  /// energy filter's per-task fair share. 1 (the default) is the paper's
+  /// static filter — multiplying by exactly 1.0 is an IEEE identity, so the
+  /// baseline path stays bit-identical.
+  void SetFairShareScale(double scale) noexcept { fair_share_scale_ = scale; }
+  [[nodiscard]] double FairShareScale() const noexcept {
+    return fair_share_scale_;
+  }
+
  private:
   const cluster::Cluster* cluster_;
   const workload::Task* task_;
@@ -111,6 +120,7 @@ class MappingContext {
   double queue_depth_override_ = std::numeric_limits<double>::quiet_NaN();
   double remaining_energy_estimate_ = 0.0;
   std::size_t tasks_left_ = 1;
+  double fair_share_scale_ = 1.0;
   /// Memoized ExpectedReadyTime per core (NaN = not yet computed).
   mutable std::vector<double> expected_ready_;
 };

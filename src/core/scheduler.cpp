@@ -81,6 +81,7 @@ std::optional<Candidate> ImmediateModeScheduler::RunPipeline(
 
   MappingContext ctx(*cluster_, *types_, cores, task, now, availability);
   ctx.SetBudgetView(estimator_.remaining(), tasks_left);
+  ctx.SetFairShareScale(fair_share_scale_);
 
   const std::size_t candidates_generated = ctx.candidates().size();
   if (counters != nullptr) {

@@ -84,6 +84,14 @@ class ImmediateModeScheduler {
     obs_ = observability;
   }
 
+  /// Governor extension (src/governor): scales the energy filter's per-task
+  /// fair share for every subsequent mapping decision. The default 1 is the
+  /// paper's static filter, applied as an exact multiplicative identity.
+  void SetFairShareScale(double scale) noexcept { fair_share_scale_ = scale; }
+  [[nodiscard]] double fair_share_scale() const noexcept {
+    return fair_share_scale_;
+  }
+
   [[nodiscard]] const EnergyEstimator& estimator() const noexcept {
     return estimator_;
   }
@@ -114,6 +122,7 @@ class ImmediateModeScheduler {
   std::size_t tasks_seen_ = 0;
   std::size_t tasks_discarded_ = 0;
   SchedulerObservability obs_;
+  double fair_share_scale_ = 1.0;
 };
 
 }  // namespace ecdra::core

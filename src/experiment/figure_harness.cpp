@@ -18,16 +18,21 @@ FigureResult RunFigure(const sim::ExperimentSetup& setup,
   figure.title = title;
   figure.window_size = setup.window_size;
   for (const SeriesSpec& spec : specs) {
+    sim::RunOptions series_options = options;
+    if (!spec.governor.empty()) series_options.governor = spec.governor;
     // RunSweep isolates per-trial failures instead of aborting the figure;
     // a series with failed trials is summarized over its surviving trials
     // and flagged in PrintFigure's harness-health block.
-    const sim::SweepResult sweep =
-        sim::RunSweep(setup, spec.heuristic, spec.filter_variant, options);
+    const sim::SweepResult sweep = sim::RunSweep(
+        setup, spec.heuristic, spec.filter_variant, series_options);
 
     SeriesResult series;
     series.spec = spec;
     if (series.spec.label.empty()) {
       series.spec.label = spec.heuristic + " (" + spec.filter_variant + ")";
+      if (series_options.governor != "static") {
+        series.spec.label += " [" + series_options.governor + "]";
+      }
     }
     series.missed_deadlines.reserve(sweep.results.size());
     double energy_fraction_sum = 0.0;

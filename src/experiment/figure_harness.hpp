@@ -17,8 +17,13 @@ namespace ecdra::experiment {
 struct SeriesSpec {
   std::string heuristic;
   std::string filter_variant;
-  /// Label in the output (defaults to "<heuristic> (<variant>)").
+  /// Label in the output (defaults to "<heuristic> (<variant>)", with a
+  /// " [<governor>]" suffix for non-static governors).
   std::string label;
+  /// Registered governor name for this series ("" keeps the RunOptions
+  /// governor — normally the "static" paper baseline). Lets one figure plot
+  /// the same policy under several control loops (bench/ablation_governor).
+  std::string governor;
 };
 
 struct SeriesResult {

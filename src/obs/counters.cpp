@@ -33,6 +33,11 @@ constexpr std::array kFields{
     CounterField{"throttles_applied", &Counters::throttles_applied},
     CounterField{"tasks_lost_to_failures", &Counters::tasks_lost_to_failures},
     CounterField{"tasks_remapped", &Counters::tasks_remapped},
+    CounterField{"governor_invocations", &Counters::governor_invocations},
+    CounterField{"governor_pstate_caps", &Counters::governor_pstate_caps},
+    CounterField{"governor_cores_parked", &Counters::governor_cores_parked},
+    CounterField{"governor_allowance_changes",
+                 &Counters::governor_allowance_changes},
 };
 
 }  // namespace

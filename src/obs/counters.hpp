@@ -66,6 +66,16 @@ struct Counters {
   /// Stranded tasks successfully re-mapped (RecoveryPolicy::kRequeueToScheduler).
   std::uint64_t tasks_remapped = 0;
 
+  // -- Governor (src/governor; all zero under the "static" baseline) --
+  /// Governor invocations (assignment/completion hooks + periodic ticks).
+  std::uint64_t governor_invocations = 0;
+  /// P-state floor changes applied to a core (unchanged floors not counted).
+  std::uint64_t governor_pstate_caps = 0;
+  /// Idle cores force-parked into the power-gated state.
+  std::uint64_t governor_cores_parked = 0;
+  /// Fair-share allowance scale changes (unchanged scales not counted).
+  std::uint64_t governor_allowance_changes = 0;
+
   /// Total wall-clock time spent inside MapTask (steady_clock), seconds.
   double decision_seconds = 0.0;
 

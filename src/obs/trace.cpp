@@ -73,6 +73,23 @@ void WriteFault(std::ostream& os, const FaultEventRecord& fault) {
   os << "}\n";
 }
 
+void WriteGovernor(std::ostream& os, const GovernorActionRecord& action) {
+  os << "{\"event\":\"governor\",\"trial\":" << action.trial << ",\"time\":";
+  AppendNumber(os, action.time);
+  os << ",\"governor\":\"" << json::Escape(action.governor)
+     << "\",\"action\":\"" << json::Escape(action.action) << "\"";
+  if (action.action == "cap") {
+    os << ",\"core\":" << action.flat_core
+       << ",\"pstate_floor\":" << action.pstate_floor;
+  } else if (action.action == "park") {
+    os << ",\"core\":" << action.flat_core;
+  } else if (action.action == "allowance") {
+    os << ",\"scale\":";
+    AppendNumber(os, action.scale);
+  }
+  os << "}\n";
+}
+
 void WriteSnapshot(std::ostream& os, const EnergySnapshotRecord& snapshot) {
   os << "{\"event\":\"energy\",\"trial\":" << snapshot.trial << ",\"time\":";
   AppendNumber(os, snapshot.time);
@@ -100,6 +117,10 @@ class SynchronizedSink final : public TraceSink {
   void Record(const FaultEventRecord& fault) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     inner_->Record(fault);
+  }
+  void Record(const GovernorActionRecord& action) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Record(action);
   }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -131,6 +152,10 @@ class JsonlFileSink final : public TraceSink {
     const std::lock_guard<std::mutex> lock(mutex_);
     WriteFault(file_, fault);
   }
+  void Record(const GovernorActionRecord& action) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    WriteGovernor(file_, action);
+  }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
     file_.flush();
@@ -153,6 +178,10 @@ void JsonlTraceSink::Record(const EnergySnapshotRecord& snapshot) {
 
 void JsonlTraceSink::Record(const FaultEventRecord& fault) {
   WriteFault(*os_, fault);
+}
+
+void JsonlTraceSink::Record(const GovernorActionRecord& action) {
+  WriteGovernor(*os_, action);
 }
 
 void JsonlTraceSink::Flush() { os_->flush(); }

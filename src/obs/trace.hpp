@@ -18,6 +18,10 @@
 //   {"event":"fault","trial":T,"time":t,"kind":"failure","core":F,
 //    "tasks_lost":L,"tasks_requeued":R}
 //   {"event":"fault",...,"kind":"throttle_start","pstate_floor":S}
+//   {"event":"governor","trial":T,"time":t,"governor":"budget-feedback",
+//    "action":"cap","core":F,"pstate_floor":S}
+//   {"event":"governor",...,"action":"park","core":F}
+//   {"event":"governor",...,"action":"allowance","scale":X}
 //
 // `stages` lists the filter chain in application order; `discard_stage`
 // names the stage that emptied the candidate set ("" never appears — the
@@ -96,6 +100,25 @@ struct FaultEventRecord {
   std::uint64_t tasks_requeued = 0;
 };
 
+/// One applied governor action (src/governor). The engine-side host emits a
+/// record per *effective* action — requests that changed nothing (same
+/// floor, same scale, refused park) produce no record.
+struct GovernorActionRecord {
+  std::uint64_t trial = 0;
+  double time = 0.0;
+  /// Governor::name() of the issuing governor.
+  std::string governor;
+  /// "cap" (P-state floor change) | "park" (idle core power-gated) |
+  /// "allowance" (fair-share scale change).
+  std::string action;
+  /// cap / park only: the targeted core.
+  std::uint64_t flat_core = 0;
+  /// cap only: the new floor (0 = cap lifted).
+  std::uint64_t pstate_floor = 0;
+  /// allowance only: the new fair-share scale.
+  double scale = 0.0;
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -105,6 +128,9 @@ class TraceSink {
   /// Default no-op so sinks predating the fault extension keep compiling;
   /// the JSONL sinks emit one "fault" line per event.
   virtual void Record(const FaultEventRecord& fault) { (void)fault; }
+  /// Default no-op so sinks predating the governor extension keep compiling;
+  /// the JSONL sinks emit one "governor" line per applied action.
+  virtual void Record(const GovernorActionRecord& action) { (void)action; }
   virtual void Flush() {}
 };
 
@@ -118,6 +144,7 @@ class JsonlTraceSink final : public TraceSink {
   void Record(const MappingDecisionRecord& decision) override;
   void Record(const EnergySnapshotRecord& snapshot) override;
   void Record(const FaultEventRecord& fault) override;
+  void Record(const GovernorActionRecord& action) override;
   void Flush() override;
 
  private:

@@ -66,8 +66,11 @@ std::string Fnv1a64Hex(std::string_view text) {
 namespace {
 
 constexpr std::string_view kHeaderLine = "ecdra-scenario v1";
+// v2: the run.governor line joined the result-shaping subset. Bumping the
+// header changes every fingerprint, which is exactly right: a v1 checkpoint
+// cannot attest what governor produced its trials.
 constexpr std::string_view kFingerprintHeaderLine =
-    "ecdra-scenario-fingerprint v1";
+    "ecdra-scenario-fingerprint v2";
 
 std::string_view LifetimeName(fault::LifetimeDistribution lifetime) noexcept {
   return lifetime == fault::LifetimeDistribution::kWeibull ? "weibull"
@@ -162,6 +165,7 @@ void EmitResultShapingLines(std::string& out, const ScenarioSpec& spec) {
   Emit(out, "run.pstate_transition_latency",
        Num(spec.pstate_transition_latency));
   Emit(out, "run.power_cov", Num(spec.power_cov));
+  Emit(out, "run.governor", spec.governor);
 
   const core::EnergyFilterOptions& en = spec.filter_options.energy;
   Emit(out, "run.filter.en.low_multiplier", Num(en.low_multiplier));
@@ -414,6 +418,12 @@ ScenarioSpec ParseScenarioSpec(std::string_view text) {
       spec.pstate_transition_latency = ParseNum(line, value);
     } else if (key == "run.power_cov") {
       spec.power_cov = ParseNum(line, value);
+    } else if (key == "run.governor") {
+      // Any non-empty token parses; the registry rejects unknown names when
+      // the trial is constructed (examples may register governors the spec
+      // layer has never heard of).
+      if (value.empty()) ParseFail(line, "expected a governor name");
+      spec.governor = std::string(value);
     } else if (key == "run.filter.en.low_multiplier") {
       en.low_multiplier = ParseNum(line, value);
     } else if (key == "run.filter.en.mid_multiplier") {

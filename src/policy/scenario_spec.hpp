@@ -73,6 +73,9 @@ struct ScenarioSpec {
   core::FilterChainOptions filter_options;
   fault::FaultModelOptions fault;
   fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
+  /// Registered governor name (src/governor). "static" is the paper's
+  /// open-loop baseline; the registry validates the name at trial setup.
+  std::string governor = "static";
 
   // -- Grid + harness knobs (serialized, but not fingerprinted) --
   PolicyGrid grid;

@@ -185,6 +185,7 @@ std::string ConfigFingerprint(const ExperimentSetup& setup,
   spec.filter_options = options.filter_options;
   spec.fault = options.fault;
   spec.recovery = options.recovery;
+  spec.governor = options.governor;
   return policy::SpecFingerprint(spec);
 }
 

@@ -36,8 +36,10 @@ namespace ecdra::sim {
 /// rather than half-understood. v2: the fingerprint became FNV-1a over
 /// policy::FingerprintText (the ScenarioSpec recipe) instead of an ad-hoc
 /// hash of the sampled environment — the preimages differ, so v1 stores
-/// must not be silently resumed against v2 hashes.
-inline constexpr std::uint32_t kCheckpointSchemaVersion = 2;
+/// must not be silently resumed against v2 hashes. v3: the fingerprint
+/// preimage grew the run.governor line ("ecdra-scenario-fingerprint v2"),
+/// so a v2 store cannot attest what governor produced its trials.
+inline constexpr std::uint32_t kCheckpointSchemaVersion = 3;
 
 enum class CheckpointErrorKind {
   kIo,                  // cannot open / read / write the file

@@ -85,6 +85,23 @@ Engine::Engine(const cluster::Cluster& cluster,
     availability_.assign(cluster.total_cores(), core::CoreAvailability{});
     remapped_.assign(tasks_.size(), 0);
   }
+
+  // Governor extension (src/governor): resolving the name validates it; the
+  // "static" baseline declares an all-off cadence, so no governor
+  // bookkeeping is allocated and every hook below compiles down to a dead
+  // branch — the trial is bit-identical to a pre-governor build.
+  governor_ = governor::MakeGovernor(options_.governor);
+  cadence_ = governor_->cadence();
+  governor_enabled_ = cadence_.any();
+  if (governor_enabled_) {
+    governor_floor_.assign(cluster.total_cores(), 0);
+    parked_.assign(cluster.total_cores(), 0);
+    core_views_.resize(cluster.total_cores());
+    if (availability_.empty()) {
+      availability_.assign(cluster.total_cores(), core::CoreAvailability{});
+    }
+    horizon_ = tasks_.empty() ? 0.0 : tasks_.back().arrival;
+  }
 }
 
 TrialResult Engine::Run() {
@@ -114,6 +131,9 @@ TrialResult Engine::Run() {
   }
   for (std::size_t i = 0; i < injector_.events().size(); ++i) {
     events_.push(Event{injector_.events()[i].time, 1, i, next_seq_++});
+  }
+  if (governor_enabled_ && cadence_.tick_period > 0.0) {
+    events_.push(Event{cadence_.tick_period, 3, 0, next_seq_++});
   }
 
   std::size_t arrivals_pending = tasks_.size();
@@ -155,6 +175,7 @@ TrialResult Engine::Run() {
     if (event.kind == 2) {
       --arrivals_pending;
       HandleArrival(tasks_[event.index], now);
+      if (governor_enabled_ && cadence_.on_assignment) InvokeGovernor(now);
       if (options_.collect_robustness_trace) {
         // Sampled after the arrival is mapped, so the trace reflects the
         // allocation the scheduler just produced. in_flight counts every
@@ -175,6 +196,13 @@ TrialResult Engine::Run() {
       }
     } else if (event.kind == 1) {
       HandleFault(injector_.events()[event.index], now);
+    } else if (event.kind == 3) {
+      // Governor tick. The next one is only scheduled while work remains,
+      // so trailing ticks cannot stretch the event loop past the workload.
+      InvokeGovernor(now);
+      if (arrivals_pending > 0 || active_tasks_ > 0) {
+        events_.push(Event{now + cadence_.tick_period, 3, 0, next_seq_++});
+      }
     } else {
       // Tally the finishing task before mutating core state.
       const std::size_t flat = event.index;
@@ -200,6 +228,7 @@ TrialResult Engine::Run() {
       }
       HandleFinish(flat, now);
       if (validator && validator->deep()) CheckQueueModelSync(flat, now);
+      if (governor_enabled_ && cadence_.on_completion) InvokeGovernor(now);
     }
     // With all arrivals seen and no task assigned anywhere, nothing left in
     // the queue can matter — only stale finishes and trailing fault events.
@@ -321,8 +350,14 @@ bool Engine::TryRemap(const workload::Task& task, double now) {
 void Engine::HandleFault(const fault::FaultEvent& fault_event, double now) {
   const std::size_t flat = fault_event.flat_core;
   injector_.Apply(fault_event);
-  availability_[flat] = core::CoreAvailability{
-      injector_.available(flat), injector_.pstate_floor(flat)};
+  RefreshAvailability(flat);
+  // Failure and repair force the core's P-state; either way any governor
+  // parking is void (ParkIdleCore re-checks the actual draw anyway).
+  if (governor_enabled_ &&
+      (fault_event.kind == fault::FaultEventKind::kCoreFailure ||
+       fault_event.kind == fault::FaultEventKind::kCoreRepair)) {
+    parked_[flat] = 0;
+  }
 
   obs::FaultEventRecord trace_record;
   switch (fault_event.kind) {
@@ -494,6 +529,7 @@ double Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
             options_.power_cov * options_.power_cov);
   }
   SwitchPState(flat_core, exec_pstate, now, core_watts);
+  if (governor_enabled_) parked_[flat_core] = 0;
   CoreRuntime& core = runtime_[flat_core];
   core.busy = true;
   core.running = RunningTask{task_id, start + duration, pstate, exec_pstate};
@@ -541,6 +577,119 @@ void Engine::AdvanceEnergy(double to_time) {
          << " with no budget-crossing cutoff recorded";
       validator->Fail("energy-budget-cutoff", to_time, os.str());
     }
+  }
+}
+
+void Engine::RefreshAvailability(std::size_t flat_core) {
+  core::CoreAvailability availability;
+  if (fault_enabled_) {
+    availability.available = injector_.available(flat_core);
+    availability.pstate_floor = injector_.pstate_floor(flat_core);
+  }
+  if (governor_enabled_) {
+    availability.pstate_floor =
+        std::max(availability.pstate_floor, governor_floor_[flat_core]);
+  }
+  availability_[flat_core] = availability;
+}
+
+void Engine::InvokeGovernor(double now) {
+  governor_now_ = now;
+  for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+    core_views_[flat] = governor::CoreView{
+        runtime_[flat].busy, runtime_[flat].current_pstate,
+        parked_[flat] != 0, models_[flat].queue_length()};
+  }
+  obs::Bump(&obs::Counters::governor_invocations);
+  governor::GovernorObservation observation;
+  observation.now = now;
+  observation.consumed = meter_.consumed();
+  observation.budget = options_.energy_budget;
+  observation.burn_watts = meter_.total_power();
+  observation.estimated_remaining = scheduler_->estimator().remaining();
+  observation.horizon = horizon_;
+  observation.tasks_seen = scheduler_->tasks_seen();
+  observation.window_size = tasks_.size();
+  observation.cluster = cluster_;
+  observation.queues = models_;
+  observation.cores = core_views_;
+  observation.idle_pstate = idle_pstate_;
+  governor_->Govern(observation, *this);
+  if (validate::TrialValidator* validator = validate::ActiveValidator()) {
+    // Cheap invariant: a parked core must be idle — a busy one would mean a
+    // park slipped past the host's refusal and gated a running task.
+    validator->CountChecks();
+    for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+      if (parked_[flat] != 0 && runtime_[flat].busy) {
+        std::ostringstream os;
+        os << "governor parked busy core " << flat;
+        validator->Fail("governor-parked-busy", now, os.str());
+      }
+    }
+  }
+}
+
+void Engine::SetPStateFloor(std::size_t flat_core,
+                            cluster::PStateIndex floor) {
+  ECDRA_REQUIRE(flat_core < runtime_.size(),
+                "governor P-state floor: core index out of range");
+  ECDRA_REQUIRE(floor < cluster::kNumPStates,
+                "governor P-state floor: P-state index out of range");
+  if (governor_floor_[flat_core] == floor) return;
+  governor_floor_[flat_core] = floor;
+  RefreshAvailability(flat_core);
+  obs::Bump(&obs::Counters::governor_pstate_caps);
+  if (options_.trace_sink != nullptr) {
+    obs::GovernorActionRecord record;
+    record.trial = options_.trial_index;
+    record.time = governor_now_;
+    record.governor = std::string(governor_->name());
+    record.action = "cap";
+    record.flat_core = flat_core;
+    record.pstate_floor = floor;
+    options_.trace_sink->Record(record);
+  }
+}
+
+bool Engine::ParkIdleCore(std::size_t flat_core) {
+  ECDRA_REQUIRE(flat_core < runtime_.size(),
+                "governor park: core index out of range");
+  CoreRuntime& core = runtime_[flat_core];
+  if (core.busy || parked_[flat_core] != 0) return false;
+  if (fault_enabled_ && !injector_.available(flat_core)) return false;
+  // Already drawing nothing (IdlePolicy::kPowerGated, or a dead core):
+  // parking would be a no-op transition the nu list should not record.
+  if (core.log.back().power_watts == 0.0) return false;
+  SwitchPState(flat_core, idle_pstate_, governor_now_, 0.0);
+  parked_[flat_core] = 1;
+  obs::Bump(&obs::Counters::governor_cores_parked);
+  if (options_.trace_sink != nullptr) {
+    obs::GovernorActionRecord record;
+    record.trial = options_.trial_index;
+    record.time = governor_now_;
+    record.governor = std::string(governor_->name());
+    record.action = "park";
+    record.flat_core = flat_core;
+    options_.trace_sink->Record(record);
+  }
+  return true;
+}
+
+void Engine::SetFairShareScale(double scale) {
+  ECDRA_REQUIRE(std::isfinite(scale) && scale > 0.0,
+                "governor fair-share scale must be finite and positive");
+  if (scale == fair_share_scale_) return;
+  fair_share_scale_ = scale;
+  scheduler_->SetFairShareScale(scale);
+  obs::Bump(&obs::Counters::governor_allowance_changes);
+  if (options_.trace_sink != nullptr) {
+    obs::GovernorActionRecord record;
+    record.trial = options_.trial_index;
+    record.time = governor_now_;
+    record.governor = std::string(governor_->name());
+    record.action = "allowance";
+    record.scale = scale;
+    options_.trace_sink->Record(record);
   }
 }
 

@@ -1,9 +1,11 @@
 // Discrete-event simulation of one trial (§VI).
 //
-// Three event kinds drive the clock: task arrivals (the scheduler maps the
+// Four event kinds drive the clock: task arrivals (the scheduler maps the
 // task immediately), task completions (the core starts its next queued
-// task or drops to the idle P-state), and fault events (failures, repairs,
-// throttles — the §VIII dynamic-availability extension, absent by default).
+// task or drops to the idle P-state), fault events (failures, repairs,
+// throttles — the §VIII dynamic-availability extension, absent by default),
+// and governor ticks (the src/governor online energy-governance extension,
+// scheduled only for governors with a periodic cadence).
 // Between events every core draws the power of its current P-state — cores
 // are never off unless power-gated or failed — and the engine integrates
 // cluster energy online, pinning the exact instant the budget zeta_max is
@@ -17,9 +19,11 @@
 
 #include <cstddef>
 #include <deque>
+#include <memory>
 #include <queue>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -28,6 +32,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/recovery.hpp"
+#include "governor/governor.hpp"
 #include "obs/counters.hpp"
 #include "obs/trace.hpp"
 #include "policy/run_policies.hpp"
@@ -119,9 +124,14 @@ struct TrialOptions {
   /// Cooperative wall-clock watchdog for one trial, in real seconds;
   /// 0 disables. Checked every 64 events; expiry throws TrialTimeoutError.
   double trial_timeout = 0.0;
+  /// Online energy governor (src/governor), by registered name. "static"
+  /// (the paper baseline) declares an all-off cadence, which disables every
+  /// governor hook — the trial takes the exact pre-governor event path.
+  /// Unknown names throw std::invalid_argument listing the registry.
+  std::string governor = "static";
 };
 
-class Engine {
+class Engine : private governor::GovernorHost {
  public:
   /// `tasks` must be sorted by arrival time. `scheduler` is consumed for one
   /// trial. `rng` samples actual execution times; substream "exec-u" with
@@ -164,12 +174,14 @@ class Engine {
 
   struct Event {
     double time = 0.0;
-    /// 0 = finish, 1 = fault, 2 = arrival. At equal times a finish precedes
-    /// a fault (the task just made it) and a fault precedes an arrival (the
-    /// arriving task sees the failed/throttled core).
+    /// 0 = finish, 1 = fault, 2 = arrival, 3 = governor tick. At equal
+    /// times a finish precedes a fault (the task just made it), a fault
+    /// precedes an arrival (the arriving task sees the failed/throttled
+    /// core), and a tick follows the arrival (the governor observes the
+    /// mapping the arrival just produced).
     int kind = 0;
     /// Task index (arrival), flat core (finish), or index into the fault
-    /// schedule (fault).
+    /// schedule (fault); unused for ticks.
     std::size_t index = 0;
     std::uint64_t seq = 0;  // deterministic tie-break
     /// Finish events only: the task expected to be running. A finish event
@@ -202,13 +214,25 @@ class Engine {
   void PlaceOnCore(const core::Candidate& chosen, const workload::Task& task,
                    double now);
   /// The scheduler's availability view: empty (all cores fully available,
-  /// the exact baseline path) unless this trial has a fault schedule.
+  /// the exact baseline path) unless this trial has a fault schedule or an
+  /// active (non-static) governor.
   [[nodiscard]] std::span<const core::CoreAvailability> AvailabilityView()
       const noexcept {
-    return fault_enabled_ ? std::span<const core::CoreAvailability>(
-                                availability_)
-                          : std::span<const core::CoreAvailability>{};
+    return (fault_enabled_ || governor_enabled_)
+               ? std::span<const core::CoreAvailability>(availability_)
+               : std::span<const core::CoreAvailability>{};
   }
+  /// Re-derives one core's scheduler-facing availability from the injector
+  /// state and the governor floor (the two floors merge by max).
+  void RefreshAvailability(std::size_t flat_core);
+  /// Assembles the observation and runs the governor; host actions land
+  /// through the private GovernorHost overrides below.
+  void InvokeGovernor(double now);
+  // -- GovernorHost (counted, traced, and validated engine-side) --
+  void SetPStateFloor(std::size_t flat_core,
+                      cluster::PStateIndex floor) override;
+  bool ParkIdleCore(std::size_t flat_core) override;
+  void SetFairShareScale(double scale) override;
   /// Returns the time execution actually begins: `now`, delayed by the
   /// P-state transition latency when the core must switch states. The
   /// caller must feed this start time into the core's queue model so the
@@ -250,6 +274,24 @@ class Engine {
   std::size_t tasks_lost_ = 0;
   std::size_t tasks_remapped_ = 0;
   std::size_t remapped_on_time_ = 0;
+  // -- Governor extension state (inert when governor_enabled_ is false) --
+  bool governor_enabled_ = false;
+  std::unique_ptr<governor::Governor> governor_;
+  governor::GovernorCadence cadence_;
+  /// Per-core governor P-state floor (merged into availability_ by max with
+  /// any fault throttle floor).
+  std::vector<cluster::PStateIndex> governor_floor_;
+  /// Cores the governor parked (power-gated while idle); cleared when a task
+  /// starts on the core or a fault event force-switches it.
+  std::vector<std::uint8_t> parked_;
+  /// Observation scratch, rebuilt per invocation.
+  std::vector<governor::CoreView> core_views_;
+  /// Last arrival time — the budget schedule's horizon.
+  double horizon_ = 0.0;
+  /// Current fair-share scale (mirrors the scheduler's).
+  double fair_share_scale_ = 1.0;
+  /// Clock of the in-flight InvokeGovernor, stamped into action records.
+  double governor_now_ = 0.0;
   /// Tasks currently assigned to some core (running or queued); lets the
   /// event loop stop once all work is resolved instead of draining
   /// trailing fault events.

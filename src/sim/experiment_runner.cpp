@@ -79,6 +79,7 @@ RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec) {
   options.filter_options = spec.filter_options;
   options.fault = spec.fault;
   options.recovery = spec.recovery;
+  options.governor = spec.governor;
   options.validation = spec.validation;
   return options;
 }
@@ -116,6 +117,7 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       .validation = options.validation,
       .validation_fail_fast = options.validation_fail_fast,
       .trial_timeout = options.trial_timeout,
+      .governor = options.governor,
   };
   if (options.fault.enabled()) {
     // The fault schedule draws only from the trial's "fault" substream, so

@@ -91,6 +91,10 @@ struct RunOptions {
   /// A zero fault.horizon is replaced by (last arrival + 20 * t_avg).
   fault::FaultModelOptions fault;
   fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
+  /// Governor extension (src/governor): registered governor name for every
+  /// trial. "static" (the paper baseline) declares no cadence and leaves
+  /// the trial bit-identical to a pre-governor build.
+  std::string governor = "static";
 
   // -- Crash-safe sweep extensions (RunSweep; all inert by default) --
   /// Per-attempt wall-clock watchdog in real seconds (0 = off). A trial

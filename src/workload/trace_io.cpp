@@ -4,13 +4,33 @@
 #include <iomanip>
 #include <sstream>
 
-#include "util/assert.hpp"
-
 namespace ecdra::workload {
 
 namespace {
 constexpr const char* kHeader = "id,type,arrival,deadline,priority";
 }
+
+std::string_view TraceIoErrorKindName(TraceIoErrorKind kind) noexcept {
+  switch (kind) {
+    case TraceIoErrorKind::kIo:
+      return "io";
+    case TraceIoErrorKind::kMissingHeader:
+      return "missing-header";
+    case TraceIoErrorKind::kBadHeader:
+      return "bad-header";
+    case TraceIoErrorKind::kMalformedRow:
+      return "malformed-row";
+    case TraceIoErrorKind::kTruncatedRow:
+      return "truncated-row";
+  }
+  return "unknown";
+}
+
+TraceIoError::TraceIoError(TraceIoErrorKind kind, const std::string& message)
+    : std::invalid_argument("trace [" +
+                            std::string(TraceIoErrorKindName(kind)) + "]: " +
+                            message),
+      kind_(kind) {}
 
 void WriteTrace(std::ostream& os, const std::vector<Task>& tasks) {
   os << kHeader << '\n';
@@ -23,18 +43,33 @@ void WriteTrace(std::ostream& os, const std::vector<Task>& tasks) {
 
 std::vector<Task> ReadTrace(std::istream& is) {
   std::string line;
-  ECDRA_REQUIRE(static_cast<bool>(std::getline(is, line)),
-                "trace is missing its header");
-  ECDRA_REQUIRE(line == kHeader, "unrecognized trace header: " + line);
+  if (!std::getline(is, line)) {
+    throw TraceIoError(TraceIoErrorKind::kMissingHeader,
+                       "trace is missing its header");
+  }
+  if (line != kHeader) {
+    throw TraceIoError(TraceIoErrorKind::kBadHeader,
+                       "unrecognized trace header: " + line);
+  }
   std::vector<Task> tasks;
   while (std::getline(is, line)) {
+    // getline hitting EOF before the delimiter means the final row has no
+    // trailing newline — the writer always terminates rows, so the file was
+    // cut mid-write. Report that distinctly from an ordinary bad row.
+    const bool missing_newline = is.eof();
     if (line.empty()) continue;
     std::istringstream row(line);
     Task task;
     char comma = '\0';
     row >> task.id >> comma >> task.type >> comma >> task.arrival >> comma >>
         task.deadline >> comma >> task.priority;
-    ECDRA_REQUIRE(!row.fail(), "malformed trace row: " + line);
+    if (row.fail() || !(row >> std::ws).eof()) {
+      throw TraceIoError(missing_newline ? TraceIoErrorKind::kTruncatedRow
+                                         : TraceIoErrorKind::kMalformedRow,
+                         (missing_newline ? "trace cut mid-write: "
+                                          : "malformed trace row: ") +
+                             line);
+    }
     tasks.push_back(task);
   }
   return tasks;
@@ -42,14 +77,24 @@ std::vector<Task> ReadTrace(std::istream& is) {
 
 void WriteTraceFile(const std::string& path, const std::vector<Task>& tasks) {
   std::ofstream os(path);
-  ECDRA_REQUIRE(os.good(), "cannot open trace file for writing: " + path);
+  if (!os.good()) {
+    throw TraceIoError(TraceIoErrorKind::kIo,
+                       "cannot open trace file for writing: " + path);
+  }
   WriteTrace(os, tasks);
-  ECDRA_REQUIRE(os.good(), "failed writing trace file: " + path);
+  os.flush();
+  if (!os.good()) {
+    throw TraceIoError(TraceIoErrorKind::kIo,
+                       "failed writing trace file: " + path);
+  }
 }
 
 std::vector<Task> ReadTraceFile(const std::string& path) {
   std::ifstream is(path);
-  ECDRA_REQUIRE(is.good(), "cannot open trace file for reading: " + path);
+  if (!is.good()) {
+    throw TraceIoError(TraceIoErrorKind::kIo,
+                       "cannot open trace file for reading: " + path);
+  }
   return ReadTrace(is);
 }
 

@@ -1,16 +1,44 @@
 // Plain-text (CSV) serialization of a generated workload trace, so a trial's
 // exact task mix can be archived, diffed, and replayed outside the RNG.
-// Format: header line "id,type,arrival,deadline" then one row per task,
-// full double precision.
+// Format: header line "id,type,arrival,deadline,priority" then one row per
+// task, full double precision (write -> read -> write is byte-identical).
+//
+// Failures throw TraceIoError, which derives std::invalid_argument (so
+// call sites catching the general type keep working) and carries a typed
+// kind distinguishing unreadable files, header problems, rows that are
+// simply malformed, and a final row cut mid-write (truncated file).
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "workload/task.hpp"
 
 namespace ecdra::workload {
+
+enum class TraceIoErrorKind {
+  kIo,            // cannot open / write the file
+  kMissingHeader, // empty input: no header line at all
+  kBadHeader,     // first line is not the expected column header
+  kMalformedRow,  // a complete row that does not parse as a task
+  kTruncatedRow,  // final row cut mid-write (no trailing newline)
+};
+
+[[nodiscard]] std::string_view TraceIoErrorKindName(
+    TraceIoErrorKind kind) noexcept;
+
+class TraceIoError : public std::invalid_argument {
+ public:
+  TraceIoError(TraceIoErrorKind kind, const std::string& message);
+
+  [[nodiscard]] TraceIoErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  TraceIoErrorKind kind_;
+};
 
 void WriteTrace(std::ostream& os, const std::vector<Task>& tasks);
 [[nodiscard]] std::vector<Task> ReadTrace(std::istream& is);

@@ -37,7 +37,7 @@ void WriteFile(const std::string& path, const std::string& content) {
 }
 
 constexpr char kValidHeaderLine[] =
-    "{\"record\":\"header\",\"schema\":2,\"seed\":\"5\",\"config\":\"x\"}\n";
+    "{\"record\":\"header\",\"schema\":3,\"seed\":\"5\",\"config\":\"x\"}\n";
 
 /// EXPECT_EQ on every simulation-deterministic field (bit-exact doubles;
 /// excludes wall-clock decision_seconds).
@@ -237,7 +237,28 @@ TEST(CheckpointStore, SchemaV1StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 1"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 2"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 3"), std::string::npos)
+        << message;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, SchemaV2StoreIsRefusedNamingBothVersions) {
+  // Schema 2 predates the run.governor fingerprint line; a v2 store cannot
+  // attest what governor produced its trials, so the load refuses with a
+  // typed error naming both schema versions.
+  const std::string path = TempPath("schema_v2");
+  WriteFile(path,
+            "{\"record\":\"header\",\"schema\":2,\"seed\":\"5\","
+            "\"config\":\"deadbeefdeadbeef\"}\n");
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+    const std::string message = error.what();
+    EXPECT_NE(message.find("schema version 2"), std::string::npos) << message;
+    EXPECT_NE(message.find("this build reads 3"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());

@@ -39,6 +39,10 @@ std::map<GoldenKey, std::string> ComputeGrid() {
 
   sim::RunOptions run;
   run.num_trials = kTrialsPerCell;
+  // Pinned explicitly: the fixture was generated before the governor layer
+  // existed, so the "static" (all-off cadence) governor reproducing it
+  // bit-for-bit proves the layer is inert until opted into.
+  run.governor = "static";
   for (const std::string& heuristic : core::HeuristicNames()) {
     for (const std::string& variant : core::FilterVariantNames()) {
       const std::vector<sim::TrialResult> trials =

@@ -54,6 +54,7 @@ policy::ScenarioSpec FullyCustomSpec() {
   spec.fault.throttle_floor = 2;
   spec.fault.horizon = 9999.0;
   spec.recovery = fault::RecoveryPolicy::kRequeueToScheduler;
+  spec.governor = "budget-feedback";
   spec.grid.heuristics = {"LL", "MECT"};
   spec.grid.filter_variants = {"en", "en+rob"};
   spec.grid.batch_heuristics = {"MinMinCT"};
@@ -140,6 +141,9 @@ TEST(ScenarioSpec, FingerprintCoversResultShapingKnobsOnly) {
   changed = base;
   changed.fault.mtbf = 100.0;
   EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.governor = "race-to-idle";
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
 
   // ...grid and harness knobs do not (so a resume with more trials or a
   // different sweep grid accepts the same checkpoints).
@@ -209,6 +213,7 @@ TEST(ScenarioSpec, RunOptionsFromSpecCopiesEveryRunKnob) {
             spec.filter_options.energy.low_multiplier);
   EXPECT_EQ(options.fault.mtbf, spec.fault.mtbf);
   EXPECT_EQ(options.recovery, spec.recovery);
+  EXPECT_EQ(options.governor, spec.governor);
   EXPECT_EQ(options.validation, spec.validation);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -39,6 +40,16 @@ TEST(TraceIo, PreservesFullDoublePrecision) {
   EXPECT_DOUBLE_EQ(back[0].deadline, 2.0 / 7.0);
 }
 
+TEST(TraceIo, WriteReadWriteIsByteIdentical) {
+  // The writer emits shortest-precision-17 decimals, so serializing the
+  // parsed tasks again must reproduce the original bytes exactly.
+  std::stringstream first;
+  WriteTrace(first, SampleTasks());
+  std::stringstream second;
+  WriteTrace(second, ReadTrace(first));
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(TraceIo, RejectsMissingOrWrongHeader) {
   std::stringstream empty;
   EXPECT_THROW((void)ReadTrace(empty), std::invalid_argument);
@@ -46,10 +57,94 @@ TEST(TraceIo, RejectsMissingOrWrongHeader) {
   EXPECT_THROW((void)ReadTrace(wrong), std::invalid_argument);
 }
 
+TEST(TraceIo, HeaderErrorsCarryTypedKinds) {
+  std::stringstream empty;
+  try {
+    (void)ReadTrace(empty);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMissingHeader);
+  }
+  std::stringstream wrong("id,oops\n");
+  try {
+    (void)ReadTrace(wrong);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kBadHeader);
+    EXPECT_NE(std::string(error.what()).find("id,oops"), std::string::npos);
+  }
+}
+
 TEST(TraceIo, RejectsMalformedRows) {
   std::stringstream bad(
       "id,type,arrival,deadline,priority\n1,2,notanumber,4,1\n");
   EXPECT_THROW((void)ReadTrace(bad), std::invalid_argument);
+}
+
+TEST(TraceIo, MalformedRowCarriesTypedKind) {
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority\n1,2,notanumber,4,1\n");
+  try {
+    (void)ReadTrace(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMalformedRow);
+  }
+}
+
+TEST(TraceIo, RejectsTrailingGarbageInRow) {
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority\n1,2,3,4,1,extra\n");
+  try {
+    (void)ReadTrace(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMalformedRow);
+  }
+}
+
+TEST(TraceIo, TruncatedFinalRowIsDistinguishedFromMalformed) {
+  // A row cut mid-write has no trailing newline AND does not parse; the
+  // reader reports it as truncation, not an ordinary malformed row.
+  std::stringstream cut("id,type,arrival,deadline,priority\n0,1,2,3,1\n1,2,5");
+  try {
+    (void)ReadTrace(cut);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kTruncatedRow);
+  }
+}
+
+TEST(TraceIo, CompleteFinalRowWithoutNewlineStillParses) {
+  // Only *unparseable* unterminated rows are truncation; a complete final
+  // row merely missing its newline round-trips fine.
+  std::stringstream ok("id,type,arrival,deadline,priority\n0,1,2,3,1");
+  const std::vector<Task> tasks = ReadTrace(ok);
+  ASSERT_EQ(tasks.size(), 1u);
+  EXPECT_EQ(tasks[0].id, 0u);
+}
+
+TEST(TraceIo, TruncatedFileRoundTripViaDisk) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ecdra_trace_truncated.csv")
+          .string();
+  WriteTraceFile(path, SampleTasks());
+  // Chop the file mid-final-row, as a crashed writer would leave it.
+  {
+    std::ifstream is(path);
+    std::stringstream whole;
+    whole << is.rdbuf();
+    const std::string text = whole.str();
+    std::ofstream os(path, std::ios::trunc);
+    os << text.substr(0, text.size() - 9);
+  }
+  try {
+    (void)ReadTraceFile(path);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kTruncatedRow);
+  }
+  std::remove(path.c_str());
 }
 
 TEST(TraceIo, SkipsBlankLines) {
