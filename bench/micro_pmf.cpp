@@ -12,11 +12,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "bench_json.hpp"
 #include "obs/counters.hpp"
 #include "pmf/distribution_factory.hpp"
 #include "pmf/pmf.hpp"
+#include "robustness/core_queue_model.hpp"
+#include "robustness/robustness.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -25,6 +28,8 @@ using ecdra::pmf::Convolve;
 using ecdra::pmf::DiscretizedGamma;
 using ecdra::pmf::Pmf;
 using ecdra::pmf::ProbSumLeq;
+using ecdra::robustness::CoreQueueModel;
+using ecdra::robustness::ModeledTask;
 
 /// Installs the thread-local obs::Counters for the timed loop and, on
 /// destruction, publishes the pmf-op tallies (per iteration) into the
@@ -103,6 +108,113 @@ void BM_Compact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Compact);
+
+void BM_Shift(benchmark::State& state) {
+  const Pmf pmf = MakePmf(32, 10);
+  const PmfOpCounters ops(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.Shift(123.5));
+  }
+}
+BENCHMARK(BM_Shift);
+
+void BM_ScaleValues(benchmark::State& state) {
+  const Pmf pmf = MakePmf(32, 11);
+  const PmfOpCounters ops(state);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pmf.ScaleValues(1.375));
+  }
+}
+BENCHMARK(BM_ScaleValues);
+
+/// Exec pmfs with stable addresses for CoreQueueModel benches (the model
+/// keeps raw pointers into this storage, TaskTypeTable-style).
+const std::vector<Pmf>& ExecPmfs() {
+  static const std::vector<Pmf> pmfs = [] {
+    std::vector<Pmf> out;
+    for (std::size_t i = 0; i < 16; ++i) out.push_back(MakePmf(32, 100 + i));
+    return out;
+  }();
+  return pmfs;
+}
+
+/// The robustness hot path: one ready-time query per candidate core per
+/// arrival. `now` cycles through 256 distinct values so every query misses
+/// the per-time memo and pays the full shift + truncate (+ convolve when the
+/// queue is non-empty) pipeline, exactly like successive arrivals do.
+void BM_ReadyPmf(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const std::vector<Pmf>& execs = ExecPmfs();
+  CoreQueueModel model;
+  model.StartTask(ModeledTask{0, &execs[0], 1e9}, 0.0);
+  for (std::size_t i = 1; i <= depth; ++i) {
+    model.Enqueue(ModeledTask{i, &execs[i], 1e9});
+  }
+  const PmfOpCounters ops(state);
+  std::uint32_t step = 0;
+  for (auto _ : state) {
+    // Stays inside the running pmf's [500, 1500] support.
+    const double now = 600.0 + 0.25 * static_cast<double>(step++ & 255u);
+    benchmark::DoNotOptimize(model.ReadyPmf(now));
+  }
+}
+BENCHMARK(BM_ReadyPmf)->Arg(0)->Arg(4)->Arg(8);
+
+void BM_ExpectedReadyTime(benchmark::State& state) {
+  const std::vector<Pmf>& execs = ExecPmfs();
+  CoreQueueModel model;
+  model.StartTask(ModeledTask{0, &execs[0], 1e9}, 0.0);
+  for (std::size_t i = 1; i <= 4; ++i) {
+    model.Enqueue(ModeledTask{i, &execs[i], 1e9});
+  }
+  const PmfOpCounters ops(state);
+  std::uint32_t step = 0;
+  for (auto _ : state) {
+    const double now = 600.0 + 0.25 * static_cast<double>(step++ & 255u);
+    benchmark::DoNotOptimize(model.ExpectedReadyTime(now));
+  }
+}
+BENCHMARK(BM_ExpectedReadyTime);
+
+void BM_CoreRobustness(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  const std::vector<Pmf>& execs = ExecPmfs();
+  CoreQueueModel model;
+  model.StartTask(ModeledTask{0, &execs[0], 2000.0}, 0.0);
+  for (std::size_t i = 1; i <= depth; ++i) {
+    model.Enqueue(ModeledTask{i, &execs[i], 2000.0 * static_cast<double>(i)});
+  }
+  const PmfOpCounters ops(state);
+  std::uint32_t step = 0;
+  for (auto _ : state) {
+    const double now = 600.0 + 0.25 * static_cast<double>(step++ & 255u);
+    benchmark::DoNotOptimize(ecdra::robustness::CoreRobustness(model, now));
+  }
+}
+BENCHMARK(BM_CoreRobustness)->Arg(4)->Arg(8);
+
+/// Enqueue/dequeue churn: every StartNext/DropNext rebuilds the queued
+/// suffix convolution from scratch (RebuildSuffix), the other pmf-op-bound
+/// loop of the queue model.
+void BM_QueueChurn(benchmark::State& state) {
+  const std::vector<Pmf>& execs = ExecPmfs();
+  const PmfOpCounters ops(state);
+  for (auto _ : state) {
+    CoreQueueModel model;
+    model.StartTask(ModeledTask{0, &execs[0], 1e9}, 0.0);
+    for (std::size_t i = 1; i <= 7; ++i) {
+      model.Enqueue(ModeledTask{i, &execs[i], 1e9});
+    }
+    double now = 1000.0;
+    for (std::size_t i = 0; i < 7; ++i) {
+      model.FinishRunning();
+      model.StartNext(now);
+      now += 1000.0;
+    }
+    benchmark::DoNotOptimize(model.queue_length());
+  }
+}
+BENCHMARK(BM_QueueChurn);
 
 void BM_Expectation(benchmark::State& state) {
   const Pmf pmf = MakePmf(32, 7);

@@ -1,0 +1,149 @@
+// Small-buffer storage for pmf impulses.
+//
+// Every pmf on the scheduler's hot path lives at or below the default
+// compaction bound (Pmf::kDefaultMaxImpulses), so the first
+// kInlineImpulseCapacity impulses are stored inside the object itself:
+// copying, shifting, scaling, and truncating a steady-state pmf never
+// touches the heap. Larger supports (exact convolutions in tests,
+// deliberately fine discretizations) spill to a heap buffer transparently.
+//
+// Only the operations the pmf layer needs are provided; this is not a
+// general-purpose container. Impulse is trivially copyable, which keeps
+// growth and copies to straight std::copy calls.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+
+#include <algorithm>
+
+namespace ecdra::pmf {
+
+/// One (value, probability) atom of a sparse pmf.
+struct Impulse {
+  double value = 0.0;
+  double prob = 0.0;
+
+  friend bool operator==(const Impulse&, const Impulse&) = default;
+};
+
+/// Inline capacity, chosen to match Pmf::kDefaultMaxImpulses so the
+/// dominant convolve-then-compact case never allocates.
+inline constexpr std::size_t kInlineImpulseCapacity = 32;
+
+class ImpulseVec {
+ public:
+  ImpulseVec() noexcept = default;
+
+  ImpulseVec(const ImpulseVec& other) { assign(other.data(), other.size()); }
+
+  ImpulseVec(ImpulseVec&& other) noexcept { StealOrCopy(other); }
+
+  ImpulseVec& operator=(const ImpulseVec& other) {
+    if (this != &other) assign(other.data(), other.size());
+    return *this;
+  }
+
+  ImpulseVec& operator=(ImpulseVec&& other) noexcept {
+    if (this != &other) {
+      heap_.reset();
+      capacity_ = kInlineImpulseCapacity;
+      StealOrCopy(other);
+    }
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] Impulse* data() noexcept {
+    return heap_ ? heap_.get() : inline_.data();
+  }
+  [[nodiscard]] const Impulse* data() const noexcept {
+    return heap_ ? heap_.get() : inline_.data();
+  }
+
+  [[nodiscard]] Impulse* begin() noexcept { return data(); }
+  [[nodiscard]] Impulse* end() noexcept { return data() + size_; }
+  [[nodiscard]] const Impulse* begin() const noexcept { return data(); }
+  [[nodiscard]] const Impulse* end() const noexcept { return data() + size_; }
+
+  [[nodiscard]] Impulse& operator[](std::size_t i) noexcept {
+    return data()[i];
+  }
+  [[nodiscard]] const Impulse& operator[](std::size_t i) const noexcept {
+    return data()[i];
+  }
+
+  [[nodiscard]] Impulse& front() noexcept { return data()[0]; }
+  [[nodiscard]] const Impulse& front() const noexcept { return data()[0]; }
+  [[nodiscard]] Impulse& back() noexcept { return data()[size_ - 1]; }
+  [[nodiscard]] const Impulse& back() const noexcept {
+    return data()[size_ - 1];
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) Grow(n);
+  }
+
+  void push_back(const Impulse& imp) {
+    if (size_ == capacity_) Grow(size_ + 1);
+    data()[size_++] = imp;
+  }
+
+  /// Shrinks to the first `n` elements (n <= size()); storage is kept.
+  void truncate(std::size_t n) noexcept { size_ = n; }
+
+  /// Drops the first `n` elements, sliding the remainder down in place.
+  void remove_prefix(std::size_t n) noexcept {
+    Impulse* base = data();
+    std::copy(base + n, base + size_, base);
+    size_ -= n;
+  }
+
+  void assign(const Impulse* src, std::size_t n) {
+    if (n > capacity_) Grow(n);
+    std::copy(src, src + n, data());
+    size_ = n;
+  }
+
+  friend bool operator==(const ImpulseVec& a, const ImpulseVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  void StealOrCopy(ImpulseVec& other) noexcept {
+    if (other.heap_) {
+      heap_ = std::move(other.heap_);
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.capacity_ = kInlineImpulseCapacity;
+      other.size_ = 0;
+    } else {
+      std::copy(other.inline_.data(), other.inline_.data() + other.size_,
+                inline_.data());
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+  }
+
+  void Grow(std::size_t min_capacity) {
+    const std::size_t new_capacity =
+        std::max(min_capacity, capacity_ * 2);
+    auto grown = std::make_unique<Impulse[]>(new_capacity);
+    std::copy(data(), data() + size_, grown.get());
+    heap_ = std::move(grown);
+    capacity_ = new_capacity;
+  }
+
+  std::size_t size_ = 0;
+  std::size_t capacity_ = kInlineImpulseCapacity;
+  std::unique_ptr<Impulse[]> heap_;
+  std::array<Impulse, kInlineImpulseCapacity> inline_;
+};
+
+}  // namespace ecdra::pmf

@@ -1,10 +1,13 @@
 #include "pmf/pmf.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
-#include <numeric>
+#include <cstdint>
 #include <ostream>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "obs/counters.hpp"
 #include "util/assert.hpp"
@@ -13,27 +16,67 @@
 namespace ecdra::pmf {
 namespace {
 
-double TotalMass(const std::vector<Impulse>& impulses) {
-  return std::accumulate(
-      impulses.begin(), impulses.end(), 0.0,
-      [](double acc, const Impulse& imp) { return acc + imp.prob; });
+double TotalMass(const Impulse* impulses, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += impulses[i].prob;
+  return acc;
 }
 
-void NormalizeMass(std::vector<Impulse>& impulses) {
-  const double mass = TotalMass(impulses);
+void NormalizeMass(Impulse* impulses, std::size_t n) {
+  const double mass = TotalMass(impulses, n);
   ECDRA_ASSERT(mass > 0.0, "cannot normalize a zero-mass pmf");
-  for (Impulse& imp : impulses) imp.prob /= mass;
+  for (std::size_t i = 0; i < n; ++i) impulses[i].prob /= mass;
+}
+
+/// SoA twin of TotalMass, for the convolution pipeline: the fold order
+/// (ascending, one accumulator) matches it element for element, which the
+/// golden fixture depends on.
+double TotalMassSoA(const double* probs, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += probs[i];
+  return acc;
+}
+
+struct FoldResult {
+  double mass;
+  bool needs_coalesce;
+};
+
+/// Left-folds the total mass and, on the same pass, detects the two defects
+/// a raw sorted cross product can carry: non-positive probabilities
+/// (underflowed products) and exactly-equal adjacent values (FP absorption).
+/// The branch-free checks ride the serial fold chain's idle issue slots, so
+/// the clean common case costs no more than the fold alone. When a defect
+/// is flagged the returned mass is discarded and recomputed post-coalesce.
+FoldResult FoldAndCheck(const double* vals, const double* probs,
+                        std::size_t n) {
+  double mass = probs[0];  // == 0.0 + probs[0] bitwise for positive probs
+  unsigned bad = !(probs[0] > 0.0);
+  for (std::size_t k = 1; k < n; ++k) {
+    mass += probs[k];
+    bad |= static_cast<unsigned>(!(probs[k] > 0.0)) |
+           static_cast<unsigned>(vals[k - 1] == vals[k]);
+  }
+  return FoldResult{mass, bad != 0};
 }
 
 /// Merges a sorted run [first, last) into a single impulse at the
-/// probability-weighted mean value.
-Impulse MergeRun(const std::vector<Impulse>& impulses, std::size_t first,
-                 std::size_t last) {
+/// probability-weighted mean value. With kNormalize, each probability is
+/// divided by `divisor` as it is read: the convolution pipeline passes its
+/// total mass here instead of running a separate normalization pass over
+/// the arrays, and the quotient folded is bit-identical to the one that
+/// pass would have stored (one rounding either way). Pre-normalized
+/// callers use kNormalize = false, which folds the same bits a division by
+/// 1.0 would produce without occupying the divider.
+template <bool kNormalize>
+Impulse MergeRun(const double* vals, const double* probs, std::size_t first,
+                 std::size_t last, double divisor) {
   double mass = 0.0;
   double weighted = 0.0;
   for (std::size_t i = first; i < last; ++i) {
-    mass += impulses[i].prob;
-    weighted += impulses[i].prob * impulses[i].value;
+    const double q = kNormalize ? probs[i] / divisor : probs[i];
+    mass += q;
+    weighted += q * vals[i];
   }
   return Impulse{weighted / mass, mass};
 }
@@ -46,10 +89,368 @@ inline void DeepCheck(const Pmf& pmf, const char* op) {
   }
 }
 
+/// Reusable per-thread buffers for the convolve/compact kernels, so the hot
+/// path performs no heap allocation once warm. Trials are single-threaded
+/// (one engine per thread), matching the obs/validate thread-local pattern.
+/// A support gap and the index it sits at, for boundary selection.
+struct GapIdx {
+  double gap;
+  std::uint32_t index;
+};
+
+/// Min-heap order for boundary selection: the root is the weakest kept
+/// candidate. a outranks b on a larger gap, or on a smaller index at an
+/// equal gap.
+inline bool GapWeaker(const GapIdx& a, const GapIdx& b) {
+  return a.gap < b.gap || (a.gap == b.gap && a.index > b.index);
+}
+inline bool GapStronger(const GapIdx& a, const GapIdx& b) {
+  return GapWeaker(b, a);
+}
+
+struct PmfScratch {
+  std::vector<double> vals;           // cross-product values, sorted ascending
+  std::vector<double> probs;          // matching probabilities
+  std::vector<std::uint32_t> hist;  // bucket counts, then scatter offsets
+  std::vector<Impulse> pairs;         // std::sort fallback workspace
+  std::vector<GapIdx> top_gaps;       // compaction: the keep largest gaps
+  std::vector<std::uint32_t> bounds;  // compaction: run end positions
+};
+
+PmfScratch& Scratch() {
+  thread_local PmfScratch scratch;
+  return scratch;
+}
+
+/// FoldAndCheck fused with compaction boundary selection, for the dominant
+/// convolve-then-compact case: the gap stream and bounded min-heap (see
+/// CompactSoA) ride the same pass over vals that the fold and defect checks
+/// already make, instead of re-streaming the arrays afterwards. The heap
+/// sees the exact gap sequence, in the exact order, that the standalone
+/// selection would produce, so the kept boundary set is bit-identical.
+/// Requires 1 <= keep < n - 1; `top` must hold keep entries. If the result
+/// flags needs_coalesce the heap indices refer to pre-coalesce positions
+/// and the caller must discard them and reselect after coalescing.
+FoldResult FoldCheckSelect(const double* vals, const double* probs,
+                           std::size_t n, std::size_t keep, GapIdx* top) {
+  double mass = probs[0];  // == 0.0 + probs[0] bitwise for positive probs
+  unsigned bad = !(probs[0] > 0.0);
+  for (std::size_t k = 1; k <= keep; ++k) {
+    mass += probs[k];
+    bad |= static_cast<unsigned>(!(probs[k] > 0.0)) |
+           static_cast<unsigned>(vals[k - 1] == vals[k]);
+    top[k - 1] = GapIdx{vals[k] - vals[k - 1],
+                        static_cast<std::uint32_t>(k - 1)};
+  }
+  std::make_heap(top, top + keep, GapStronger);
+  // The root (weakest kept gap) is cached in locals so the hot compare does
+  // not reload it through memory on every iteration.
+  GapIdx root = top[0];
+  for (std::size_t k = keep + 1; k < n; ++k) {
+    mass += probs[k];
+    bad |= static_cast<unsigned>(!(probs[k] > 0.0)) |
+           static_cast<unsigned>(vals[k - 1] == vals[k]);
+    const GapIdx g{vals[k] - vals[k - 1], static_cast<std::uint32_t>(k - 1)};
+    if (GapWeaker(root, g)) [[unlikely]] {
+      std::pop_heap(top, top + keep, GapStronger);
+      top[keep - 1] = g;
+      std::push_heap(top, top + keep, GapStronger);
+      root = top[0];
+    }
+  }
+  return FoldResult{mass, bad != 0};
+}
+
+/// Per-bucket occupancy bound for the distribution sort below: past this,
+/// the quadratic insertion repair would cost more than a comparison sort,
+/// so SortCrossProduct falls back to std::sort.
+constexpr std::uint32_t kBucketSkewLimit = 32;
+
+/// The fused convolution front half: lays the |X|·|Y| cross product
+/// {x_i + y_j, p_i·q_j} into s.vals / s.probs in ascending value order and
+/// returns its size (uncoalesced; zero-probability underflows kept).
+///
+/// Comparison-sorting the cross product dominated the old kernel, and a
+/// heap-based k-way merge of the |X| sorted runs is latency-bound on
+/// dependent loads, so the sort is distribution-based instead: a monotone
+/// affine map classifies every term into one of ~n/2 value buckets
+/// (counting sort), and a single insertion pass repairs the remaining
+/// intra-bucket disorder. Correctness never rests on the bucket math — the
+/// insertion pass is a full sort and the map is monotone (so equal values
+/// share a bucket and bucket order respects value order); bucketing only
+/// bounds the number of inversions. Collapsed / overflowed value ranges and
+/// heavily skewed supports fall back to std::sort.
+///
+/// Bit-identity notes: sums and products are commutative, so each term is
+/// bit-identical to the old kernel's; the insertion pass uses strict
+/// compares, so exactly-equal sums stay in generation order and their
+/// probabilities left-fold downstream just as the sort-based path did.
+std::size_t SortCrossProduct(std::span<const Impulse> xs,
+                             std::span<const Impulse> ys, PmfScratch& s) {
+  const std::size_t nx = xs.size();
+  const std::size_t ny = ys.size();
+  const std::size_t n = nx * ny;
+  s.vals.resize(n);
+  s.probs.resize(n);
+  double* const vals = s.vals.data();
+  double* const probs = s.probs.data();
+
+  // Degenerate factor: the cross product is one already-sorted run (FP
+  // addition is monotone).
+  if (nx == 1) {
+    const Impulse a = xs[0];
+    for (std::size_t j = 0; j < ny; ++j) {
+      vals[j] = a.value + ys[j].value;
+      probs[j] = a.prob * ys[j].prob;
+    }
+    return n;
+  }
+  if (ny == 1) {
+    const Impulse b = ys[0];
+    for (std::size_t i = 0; i < nx; ++i) {
+      vals[i] = xs[i].value + b.value;
+      probs[i] = xs[i].prob * b.prob;
+    }
+    return n;
+  }
+
+  // The sorted endpoints bound every sum (monotone FP addition), giving the
+  // bucket map's range. A non-finite or zero width (overflow, or the whole
+  // support absorbed into one double) disables bucketing via scale == 0.
+  const double lo = xs[0].value + ys[0].value;
+  const double hi = xs[nx - 1].value + ys[ny - 1].value;
+  const double width = hi - lo;
+  // ~1 bucket per term: measured best trade between insertion repair work
+  // (fewer collisions) and histogram/prefix cost, which grows with nb.
+  const std::size_t nb =
+      std::min<std::size_t>(std::bit_ceil(n), std::size_t{1} << 14);
+  double scale = 0.0;
+  if (width > 0.0 && std::isfinite(width)) {
+    scale = static_cast<double>(nb) / width;
+    if (!std::isfinite(scale)) scale = 0.0;  // denormal width
+  }
+
+  if (scale > 0.0) {
+    s.hist.assign(nb, 0);
+    std::uint32_t* const hist = s.hist.data();
+    const auto limit = static_cast<std::uint32_t>(nb - 1);
+    // Histogram pass. The bucket index is recomputed in the scatter pass
+    // below instead of being staged in an array: regenerating it is a few
+    // ALU ops per term, while staging would stream 2·4n bytes through a
+    // cache the vals/probs arrays already fill. The index is a pure
+    // function of the sum v, so both passes agree bucket-for-bucket.
+    for (std::size_t i = 0; i < nx; ++i) {
+      const double xv = xs[i].value;
+      for (std::size_t j = 0; j < ny; ++j) {
+        // v ∈ [lo, hi] and finite, so (v - lo) * scale is a small
+        // non-negative double; the min guards the v == hi rounding edge.
+        const double v = xv + ys[j].value;
+        ++hist[std::min(static_cast<std::uint32_t>((v - lo) * scale), limit)];
+      }
+    }
+    // Exclusive prefix sum: hist[b] becomes bucket b's scatter offset.
+    std::uint32_t sum = 0;
+    std::uint32_t max_count = 0;
+    for (std::size_t b = 0; b < nb; ++b) {
+      const std::uint32_t count = hist[b];
+      hist[b] = sum;
+      sum += count;
+      max_count = std::max(max_count, count);
+    }
+    if (max_count <= kBucketSkewLimit) {
+      // Scatter; regenerating each sum is cheaper than staging all of them.
+      // Within a bucket, terms land in generation order.
+      for (std::size_t i = 0; i < nx; ++i) {
+        const double xv = xs[i].value;
+        const double xp = xs[i].prob;
+        for (std::size_t j = 0; j < ny; ++j) {
+          const double v = xv + ys[j].value;
+          const auto b =
+              std::min(static_cast<std::uint32_t>((v - lo) * scale), limit);
+          const std::uint32_t pos = hist[b]++;
+          vals[pos] = v;
+          probs[pos] = xp * ys[j].prob;
+        }
+      }
+      // One insertion pass repairs intra-bucket disorder; strict compares
+      // keep equal values stable.
+      for (std::size_t k = 1; k < n; ++k) {
+        const double v = vals[k];
+        if (v >= vals[k - 1]) continue;
+        const double p = probs[k];
+        std::size_t m = k;
+        do {
+          vals[m] = vals[m - 1];
+          probs[m] = probs[m - 1];
+          --m;
+        } while (m > 0 && vals[m - 1] > v);
+        vals[m] = v;
+        probs[m] = p;
+      }
+      return n;
+    }
+  }
+
+  // Fallback for the degenerate / skewed cases above.
+  s.pairs.resize(n);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < nx; ++i) {
+    const double xv = xs[i].value;
+    const double xp = xs[i].prob;
+    for (std::size_t j = 0; j < ny; ++j) {
+      s.pairs[idx++] = Impulse{xv + ys[j].value, xp * ys[j].prob};
+    }
+  }
+  std::sort(s.pairs.begin(), s.pairs.end(),
+            [](const Impulse& a, const Impulse& b) { return a.value < b.value; });
+  for (std::size_t k = 0; k < n; ++k) {
+    vals[k] = s.pairs[k].value;
+    probs[k] = s.pairs[k].prob;
+  }
+  return n;
+}
+
+/// Drops non-positive probabilities (products can underflow to zero) and
+/// merges exactly-equal adjacent values, left-folding their probabilities —
+/// the same rules FromImpulses applies. Returns the new length. Only called
+/// when FoldAndCheck flagged a defect.
+std::size_t CoalesceSortedSoA(double* vals, double* probs, std::size_t n) {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (probs[i] <= 0.0) continue;
+    if (w > 0 && vals[w - 1] == vals[i]) {
+      probs[w - 1] += probs[i];
+    } else {
+      vals[w] = vals[i];
+      probs[w] = probs[i];
+      ++w;
+    }
+  }
+  return w;
+}
+
+/// The shared compaction kernel (see Pmf::Compact for the algorithm): greedy
+/// run merging with the (max_impulses - 1) largest gaps as boundaries. The
+/// caller guarantees n > max_impulses >= 1; `out` is overwritten. All
+/// arithmetic matches the pre-fusion Pmf::Compact exactly, which the golden
+/// paper-grid fixture depends on.
+///
+/// Boundary selection streams the gaps through a bounded min-heap of
+/// (gap, index), ordered ascending by gap and, for equal gaps, descending
+/// by index. The kept set is therefore every gap strictly above the old
+/// nth_element threshold plus the first (by index) ties at it — exactly the
+/// boundaries the old threshold + tie-budget walk chose, without
+/// materializing and re-scanning a gap array. Only the selected set feeds
+/// the arithmetic, so bit-identity is preserved.
+/// The compaction back half: turns the (max_impulses - 1) selected gaps
+/// sitting in Scratch().top_gaps into sorted run boundaries and folds each
+/// run into one impulse, in order. Callers fill top_gaps either via
+/// CompactSoA below or via the fused FoldCheckSelect pass.
+template <bool kNormalize>
+void CompactFromTopGaps(const double* vals, const double* probs,
+                        std::size_t n, std::size_t max_impulses,
+                        ImpulseVec& out, double divisor) {
+  obs::Bump(&obs::Counters::pmf_compactions);
+  out.clear();
+  PmfScratch& s = Scratch();
+  const std::size_t keep = max_impulses - 1;
+  s.bounds.resize(keep);
+  for (std::size_t i = 0; i < keep; ++i) s.bounds[i] = s.top_gaps[i].index + 1;
+  std::sort(s.bounds.begin(), s.bounds.end());
+  out.reserve(max_impulses);
+  std::size_t run_start = 0;
+  for (const std::uint32_t run_end : s.bounds) {
+    out.push_back(
+        MergeRun<kNormalize>(vals, probs, run_start, run_end, divisor));
+    run_start = run_end;
+  }
+  out.push_back(MergeRun<kNormalize>(vals, probs, run_start, n, divisor));
+  ECDRA_ASSERT(out.size() <= max_impulses, "compaction overshot its bound");
+}
+
+template <bool kNormalize>
+void CompactSoA(const double* vals, const double* probs, std::size_t n,
+                std::size_t max_impulses, ImpulseVec& out, double divisor) {
+  if (max_impulses == 1) {
+    obs::Bump(&obs::Counters::pmf_compactions);
+    out.clear();
+    out.push_back(MergeRun<kNormalize>(vals, probs, 0, n, divisor));
+    return;
+  }
+
+  PmfScratch& s = Scratch();
+  const std::size_t keep = max_impulses - 1;  // keep < n - 1 == gap count
+  s.top_gaps.resize(keep);
+  GapIdx* const top = s.top_gaps.data();
+  for (std::size_t i = 0; i < keep; ++i) {
+    top[i] = GapIdx{vals[i + 1] - vals[i], static_cast<std::uint32_t>(i)};
+  }
+  std::make_heap(top, top + keep, GapStronger);
+  for (std::size_t i = keep; i + 1 < n; ++i) {
+    const GapIdx g{vals[i + 1] - vals[i], static_cast<std::uint32_t>(i)};
+    if (GapWeaker(top[0], g)) {
+      std::pop_heap(top, top + keep, GapStronger);
+      top[keep - 1] = g;
+      std::push_heap(top, top + keep, GapStronger);
+    }
+  }
+  CompactFromTopGaps<kNormalize>(vals, probs, n, max_impulses, out, divisor);
+}
+
+/// AoS entry point for the cold callers (FromImpulses, Pmf::Compact):
+/// stages the impulses into the SoA scratch, then runs the shared kernel.
+/// `in` must not point into the scratch arrays.
+void CompactInto(const Impulse* in, std::size_t n, std::size_t max_impulses,
+                 ImpulseVec& out) {
+  PmfScratch& s = Scratch();
+  s.vals.resize(n);
+  s.probs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.vals[i] = in[i].value;
+    s.probs[i] = in[i].prob;
+  }
+  CompactSoA<false>(s.vals.data(), s.probs.data(), n, max_impulses, out,
+                    /*divisor=*/1.0);
+}
+
+/// Builds an ImpulseVec from the SoA arrays (the no-compaction exit of the
+/// convolution pipeline; n is at most max_impulses there).
+void AssignSoA(ImpulseVec& out, const double* vals, const double* probs,
+               std::size_t n) {
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(Impulse{vals[i], probs[i]});
+}
+
+/// Restores the strictly-increasing support invariant after an affine value
+/// transform: a large shift (or extreme scale factor) can absorb the gap
+/// between adjacent support values into exactly-equal doubles, which every
+/// downstream consumer of the class invariant would mis-handle. Adjacent
+/// equal values are merged by summing their probabilities, the same
+/// coalescing rule FromImpulses applies.
+void CoalesceEqualValuesInPlace(ImpulseVec& impulses) {
+  Impulse* const base = impulses.data();
+  const std::size_t n = impulses.size();
+  std::size_t i = 1;
+  while (i < n && base[i - 1].value != base[i].value) ++i;
+  if (i == n) return;  // common case: no FP absorption happened
+  std::size_t out = i - 1;
+  for (; i < n; ++i) {
+    if (base[out].value == base[i].value) {
+      base[out].prob += base[i].prob;
+    } else {
+      base[++out] = base[i];
+    }
+  }
+  impulses.truncate(out + 1);
+}
+
 }  // namespace
 
 Pmf Pmf::Delta(double value) {
-  return Pmf({Impulse{value, 1.0}});
+  ImpulseVec one;
+  one.push_back(Impulse{value, 1.0});
+  return Pmf(std::move(one));
 }
 
 Pmf Pmf::FromImpulses(std::vector<Impulse> impulses,
@@ -74,8 +475,13 @@ Pmf Pmf::FromImpulses(std::vector<Impulse> impulses,
       merged.push_back(imp);
     }
   }
-  NormalizeMass(merged);
-  Pmf result = Pmf(std::move(merged)).Compact(max_impulses);
+  NormalizeMass(merged.data(), merged.size());
+  Pmf result;
+  if (merged.size() <= max_impulses) {
+    result.impulses_.assign(merged.data(), merged.size());
+  } else {
+    CompactInto(merged.data(), merged.size(), max_impulses, result.impulses_);
+  }
   DeepCheck(result, "from-impulses");
   return result;
 }
@@ -118,41 +524,80 @@ double Pmf::CdfAt(double t) const {
 }
 
 Pmf Pmf::Shift(double dt) const {
+  Pmf shifted = *this;
+  shifted.ShiftInPlace(dt);
+  return shifted;
+}
+
+void Pmf::ShiftInPlace(double dt) {
   ECDRA_REQUIRE(!empty(), "Shift of empty pmf");
-  std::vector<Impulse> shifted = impulses_;
-  for (Impulse& imp : shifted) imp.value += dt;
-  return Pmf(std::move(shifted));
+  ECDRA_REQUIRE(std::isfinite(dt), "shift offset must be finite");
+  Impulse* const base = impulses_.data();
+  const std::size_t n = impulses_.size();
+  base[0].value += dt;
+  bool collapsed = false;
+  for (std::size_t i = 1; i < n; ++i) {
+    base[i].value += dt;
+    collapsed |= base[i].value == base[i - 1].value;
+  }
+  if (collapsed) [[unlikely]] CoalesceEqualValuesInPlace(impulses_);
+  DeepCheck(*this, "shift");
 }
 
 Pmf Pmf::ScaleValues(double factor) const {
+  Pmf scaled = *this;
+  scaled.ScaleValuesInPlace(factor);
+  return scaled;
+}
+
+void Pmf::ScaleValuesInPlace(double factor) {
   ECDRA_REQUIRE(!empty(), "ScaleValues of empty pmf");
-  ECDRA_REQUIRE(factor > 0.0, "scale factor must be positive");
-  std::vector<Impulse> scaled = impulses_;
-  for (Impulse& imp : scaled) imp.value *= factor;
-  return Pmf(std::move(scaled));
+  ECDRA_REQUIRE(std::isfinite(factor) && factor > 0.0,
+                "scale factor must be positive");
+  Impulse* const base = impulses_.data();
+  const std::size_t n = impulses_.size();
+  base[0].value *= factor;
+  bool collapsed = false;
+  for (std::size_t i = 1; i < n; ++i) {
+    base[i].value *= factor;
+    collapsed |= base[i].value == base[i - 1].value;
+  }
+  if (collapsed) [[unlikely]] CoalesceEqualValuesInPlace(impulses_);
+  DeepCheck(*this, "scale-values");
 }
 
 TruncateResult Pmf::TruncateBelow(double t) const {
+  // Built in place: moving a small-buffer Pmf into the aggregate would copy
+  // the inline impulses a second time.
+  TruncateResult result{*this, 0.0};
+  result.retained_mass = result.pmf.TruncateBelowInPlace(t);
+  return result;
+}
+
+double Pmf::TruncateBelowInPlace(double t) {
   ECDRA_REQUIRE(!empty(), "TruncateBelow of empty pmf");
   obs::Bump(&obs::Counters::pmf_truncations);
-  std::vector<Impulse> kept;
-  kept.reserve(impulses_.size());
+  const Impulse* const base = impulses_.data();
+  const std::size_t n = impulses_.size();
+  std::size_t first = 0;
+  while (first < n && base[first].value < t) ++first;
   double retained = 0.0;
-  for (const Impulse& imp : impulses_) {
-    if (imp.value >= t) {
-      kept.push_back(imp);
-      retained += imp.prob;
-    }
+  for (std::size_t i = first; i < n; ++i) retained += base[i].prob;
+  if (first == n || retained <= kMassTolerance) {
+    // The model's entire predicted completion window is in the past — or
+    // what survives is at most kMassTolerance, too little to renormalize
+    // into a meaningful distribution: treat completion as imminent (§IV-B
+    // boundary case). The reported retained mass is the true sum over the
+    // surviving impulses (exactly 0.0 only when nothing survived), never
+    // zeroed just because the Delta fallback was taken.
+    impulses_.clear();
+    impulses_.push_back(Impulse{t, 1.0});
+    return retained;
   }
-  if (kept.empty() || retained <= kMassTolerance) {
-    // The model's entire predicted completion window is in the past: treat
-    // completion as imminent (§IV-B boundary case).
-    return TruncateResult{Delta(t), 0.0};
-  }
-  for (Impulse& imp : kept) imp.prob /= retained;
-  TruncateResult result{Pmf(std::move(kept)), retained};
-  DeepCheck(result.pmf, "truncate");
-  return result;
+  impulses_.remove_prefix(first);
+  for (Impulse& imp : impulses_) imp.prob /= retained;
+  DeepCheck(*this, "truncate");
+  return retained;
 }
 
 double Pmf::Sample(util::RngStream& rng) const {
@@ -168,66 +613,71 @@ double Pmf::Sample(util::RngStream& rng) const {
 
 Pmf Pmf::Compact(std::size_t max_impulses) const {
   ECDRA_REQUIRE(max_impulses >= 1, "max_impulses must be at least 1");
-  const std::size_t n = impulses_.size();
-  if (n <= max_impulses) return *this;
-  obs::Bump(&obs::Counters::pmf_compactions);
-  if (max_impulses == 1) {
-    return Pmf({MergeRun(impulses_, 0, n)});
-  }
-
-  // Choose a gap threshold so that merging every adjacent pair closer than
-  // the threshold leaves at most max_impulses impulses, then merge the runs.
-  // This is a single-pass approximation of greedy closest-pair merging; it
-  // preserves total mass and the exact expectation.
-  std::vector<double> gaps(n - 1);
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    gaps[i] = impulses_[i + 1].value - impulses_[i].value;
-  }
-  // Keep the (max_impulses - 1) largest gaps as run boundaries.
-  std::vector<double> sorted_gaps = gaps;
-  const std::size_t keep = max_impulses - 1;
-  std::nth_element(sorted_gaps.begin(), sorted_gaps.begin() + (n - 1 - keep),
-                   sorted_gaps.end());
-  const double threshold = sorted_gaps[n - 1 - keep];
-
-  // Ties at the threshold value could otherwise create too many boundaries;
-  // budget them explicitly.
-  const std::size_t strictly_greater = static_cast<std::size_t>(
-      std::count_if(gaps.begin(), gaps.end(),
-                    [threshold](double g) { return g > threshold; }));
-  ECDRA_ASSERT(strictly_greater <= keep, "gap threshold selection failed");
-  std::size_t tie_budget = keep - strictly_greater;
-
-  std::vector<Impulse> out;
-  out.reserve(max_impulses);
-  std::size_t run_start = 0;
-  for (std::size_t i = 0; i + 1 < n; ++i) {
-    const bool is_tie = gaps[i] == threshold;
-    if (gaps[i] > threshold || (is_tie && tie_budget > 0)) {
-      if (is_tie) --tie_budget;
-      out.push_back(MergeRun(impulses_, run_start, i + 1));
-      run_start = i + 1;
-    }
-  }
-  out.push_back(MergeRun(impulses_, run_start, n));
-  ECDRA_ASSERT(out.size() <= max_impulses, "compaction overshot its bound");
-  Pmf result(std::move(out));
+  if (impulses_.size() <= max_impulses) return *this;
+  Pmf result;
+  CompactInto(impulses_.data(), impulses_.size(), max_impulses,
+              result.impulses_);
   DeepCheck(result, "compact");
   return result;
 }
 
-Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
+void ConvolveInto(const Pmf& x, const Pmf& y, std::size_t max_impulses,
+                  Pmf& out) {
   ECDRA_REQUIRE(!x.empty() && !y.empty(), "Convolve of empty pmf");
+  ECDRA_REQUIRE(max_impulses >= 1, "max_impulses must be at least 1");
   obs::Bump(&obs::Counters::pmf_convolutions);
-  std::vector<Impulse> cross;
-  cross.reserve(x.size() * y.size());
-  for (const Impulse& a : x.impulses()) {
-    for (const Impulse& b : y.impulses()) {
-      cross.push_back(Impulse{a.value + b.value, a.prob * b.prob});
-    }
+  PmfScratch& s = Scratch();
+  std::size_t n = SortCrossProduct(x.impulses(), y.impulses(), s);
+  // One pass both sums the mass and checks for non-positive probabilities or
+  // equal adjacent values; products of valid impulse probabilities are
+  // positive, so a defect only appears when floating-point addition collapsed
+  // two sums to the same value — rare enough to pay for a recoalesce + refold.
+  // When the result will be compacted (the dominant case), the same pass
+  // also runs the boundary-selection heap, saving a re-stream of vals.
+  const bool fuse_select = n > max_impulses && max_impulses >= 2;
+  FoldResult fold;
+  if (fuse_select) {
+    s.top_gaps.resize(max_impulses - 1);
+    fold = FoldCheckSelect(s.vals.data(), s.probs.data(), n, max_impulses - 1,
+                           s.top_gaps.data());
+  } else {
+    fold = FoldAndCheck(s.vals.data(), s.probs.data(), n);
   }
-  Pmf result = Pmf::FromImpulses(std::move(cross), max_impulses);
-  DeepCheck(result, "convolve");
+  bool preselected = fuse_select;
+  if (fold.needs_coalesce) [[unlikely]] {
+    n = CoalesceSortedSoA(s.vals.data(), s.probs.data(), n);
+    ECDRA_REQUIRE(n > 0, "pmf needs at least one positive-probability impulse");
+    fold.mass = TotalMassSoA(s.probs.data(), n);
+    preselected = false;  // coalescing moved values; boundaries are stale
+  }
+  // Values ascend, so the two endpoints being finite bounds every interior
+  // sum; probabilities are products in (0, 1] and cannot overflow.
+  ECDRA_REQUIRE(std::isfinite(s.vals[0]) && std::isfinite(s.vals[n - 1]),
+                "pmf impulses must be finite");
+  ECDRA_ASSERT(fold.mass > 0.0, "cannot normalize a zero-mass pmf");
+  // All reads of x and y are done; only now touch out, so `out` may alias
+  // either input (suffix-convolution chains rely on this). The compacting
+  // paths never materialize normalized probabilities: MergeRun divides each
+  // one by the total mass as it folds, producing the same bits a separate
+  // normalization pass would have stored.
+  if (n <= max_impulses) {
+    double* const probs = s.probs.data();
+    const double mass = fold.mass;
+    for (std::size_t i = 0; i < n; ++i) probs[i] /= mass;
+    AssignSoA(out.impulses_, s.vals.data(), probs, n);
+  } else if (preselected) {
+    CompactFromTopGaps<true>(s.vals.data(), s.probs.data(), n, max_impulses,
+                             out.impulses_, fold.mass);
+  } else {
+    CompactSoA<true>(s.vals.data(), s.probs.data(), n, max_impulses,
+                     out.impulses_, fold.mass);
+  }
+  DeepCheck(out, "convolve");
+}
+
+Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
+  Pmf result;
+  ConvolveInto(x, y, max_impulses, result);
   return result;
 }
 
@@ -237,8 +687,8 @@ double ProbSumLeq(const Pmf& x, const Pmf& y, double t) {
   // P(X + Y <= t) = sum_i P(X = x_i) * F_Y(t - x_i). As x_i ascends the
   // evaluation point t - x_i descends, so a single backwards sweep over Y's
   // suffix suffices.
-  const auto& xs = x.impulses();
-  const auto& ys = y.impulses();
+  const auto xs = x.impulses();
+  const auto ys = y.impulses();
   std::size_t j = ys.size();
   double y_cdf = 1.0;  // P(Y <= ys[j-1].value) for the current j
   double acc = 0.0;
@@ -259,13 +709,13 @@ void ValidatePmfInvariants(const Pmf& pmf, std::string_view op) {
   if (validator == nullptr) return;
   validator->CountChecks(2);  // mass conservation + support ordering
 
-  const auto& impulses = pmf.impulses();
+  const auto impulses = pmf.impulses();
   if (impulses.empty()) {
     validator->Fail("pmf-support", -1.0,
                     std::string(op) + " produced an empty pmf");
     return;
   }
-  const double mass = TotalMass(impulses);
+  const double mass = TotalMass(impulses.data(), impulses.size());
   if (!(std::fabs(mass - 1.0) <= Pmf::kMassTolerance)) {
     std::ostringstream os;
     os << op << " lost probability mass: |mass - 1| = "

@@ -13,23 +13,24 @@
 // neighbours at their probability-weighted midpoint — an approximation that
 // preserves total mass and the exact mean, with resolution controlled by
 // `max_impulses`.
+//
+// Storage is small-buffer (impulse_vec.hpp): supports at or below
+// kDefaultMaxImpulses — the steady state of the scheduler's hot path — are
+// held inline, and the in-place operation variants (ShiftInPlace,
+// ScaleValuesInPlace, TruncateBelowInPlace, ConvolveInto) mutate existing
+// storage, so a robustness query performs no heap allocation at all.
 #pragma once
 
 #include <cstddef>
 #include <iosfwd>
+#include <span>
 #include <string_view>
 #include <vector>
 
+#include "pmf/impulse_vec.hpp"
 #include "util/rng.hpp"
 
 namespace ecdra::pmf {
-
-struct Impulse {
-  double value = 0.0;
-  double prob = 0.0;
-
-  friend bool operator==(const Impulse&, const Impulse&) = default;
-};
 
 class Pmf;
 
@@ -42,8 +43,9 @@ class Pmf {
   static constexpr double kMassTolerance = 1e-9;
   /// Default compaction bound; chosen so a convolution chain stays accurate
   /// to well under 1% of a deadline-probability while keeping candidate
-  /// evaluation O(10^3) flops.
-  static constexpr std::size_t kDefaultMaxImpulses = 32;
+  /// evaluation O(10^3) flops. Equal to the inline storage capacity, so
+  /// compacted pmfs never allocate.
+  static constexpr std::size_t kDefaultMaxImpulses = kInlineImpulseCapacity;
 
   /// The empty pmf is invalid for probability queries; use Delta/FromImpulses.
   Pmf() = default;
@@ -64,13 +66,15 @@ class Pmf {
   /// invariants; ValidatePmfInvariants audits the result (the validation
   /// layer's mass-conservation tests seed broken pmfs through this).
   [[nodiscard]] static Pmf FromRawUnchecked(std::vector<Impulse> impulses) {
-    return Pmf(std::move(impulses));
+    ImpulseVec raw;
+    raw.assign(impulses.data(), impulses.size());
+    return Pmf(std::move(raw));
   }
 
   [[nodiscard]] bool empty() const noexcept { return impulses_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return impulses_.size(); }
-  [[nodiscard]] const std::vector<Impulse>& impulses() const noexcept {
-    return impulses_;
+  [[nodiscard]] std::span<const Impulse> impulses() const noexcept {
+    return {impulses_.data(), impulses_.size()};
   }
 
   [[nodiscard]] double Min() const;
@@ -85,15 +89,29 @@ class Pmf {
   /// ready time).
   [[nodiscard]] Pmf Shift(double dt) const;
 
+  /// Shift without the copy; mutates this pmf's storage in place.
+  void ShiftInPlace(double dt);
+
   /// Multiplies every support value by `factor` > 0 (P-state execution-time
   /// multiplier).
   [[nodiscard]] Pmf ScaleValues(double factor) const;
 
+  /// ScaleValues without the copy; mutates this pmf's storage in place.
+  void ScaleValuesInPlace(double factor);
+
   /// §IV-B truncation: removes impulses with value < t and renormalizes.
-  /// Returns the renormalized pmf and the mass that was retained. If no mass
-  /// remains (the model says the task "should" already have finished), the
-  /// result is Delta(t) with retained mass 0 — completion is imminent.
+  /// Returns the renormalized pmf and the mass that was retained. If the
+  /// retained mass is zero (the model says the task "should" already have
+  /// finished) or too small to renormalize meaningfully (at most
+  /// kMassTolerance), the pmf falls back to Delta(t) — completion is
+  /// imminent — while retained_mass still reports the true (possibly tiny,
+  /// never fabricated) surviving mass, so callers branching on
+  /// `retained_mass > 0` see a state consistent with the input.
   [[nodiscard]] TruncateResult TruncateBelow(double t) const;
+
+  /// TruncateBelow without the copy; mutates this pmf in place and returns
+  /// the retained mass. Same Delta(t) fallback as TruncateBelow.
+  double TruncateBelowInPlace(double t);
 
   /// Draws a sample (an impulse value) using the given stream.
   [[nodiscard]] double Sample(util::RngStream& rng) const;
@@ -106,10 +124,13 @@ class Pmf {
   friend bool operator==(const Pmf&, const Pmf&) = default;
 
  private:
-  explicit Pmf(std::vector<Impulse> sorted_normalized)
+  friend void ConvolveInto(const Pmf& x, const Pmf& y,
+                           std::size_t max_impulses, Pmf& out);
+
+  explicit Pmf(ImpulseVec sorted_normalized)
       : impulses_(std::move(sorted_normalized)) {}
 
-  std::vector<Impulse> impulses_;
+  ImpulseVec impulses_;
 };
 
 struct TruncateResult {
@@ -117,10 +138,19 @@ struct TruncateResult {
   double retained_mass = 0.0;
 };
 
-/// Distribution of X + Y for independent X, Y (full cross product, then
-/// compaction to `max_impulses`).
+/// Distribution of X + Y for independent X, Y, compacted to `max_impulses`.
+/// The kernel distribution-sorts the |X|·|Y| cross product (a monotone
+/// bucket classification plus one insertion pass) in flat thread-local
+/// scratch instead of comparison-sorting heap-allocated terms.
 [[nodiscard]] Pmf Convolve(const Pmf& x, const Pmf& y,
                            std::size_t max_impulses = Pmf::kDefaultMaxImpulses);
+
+/// Convolve into existing storage: `out` is overwritten with the compacted
+/// convolution, reusing its buffer. `out` may alias `x` or `y` (the kernel
+/// works in thread-local scratch and writes `out` last) — the idiom for
+/// suffix-convolution chains like `ConvolveInto(acc, next, k, acc)`.
+void ConvolveInto(const Pmf& x, const Pmf& y, std::size_t max_impulses,
+                  Pmf& out);
 
 /// P(X + Y <= t) for independent X, Y — computed exactly from the two sparse
 /// supports in O(|X| + |Y|) with a two-pointer sweep, avoiding an explicit
@@ -133,8 +163,8 @@ struct TruncateResult {
 /// active validate::TrialValidator as a "pmf-mass" / "pmf-support" check
 /// (no-op without an active validator). `op` names the operation that
 /// produced the pmf ("convolve", "truncate", ...). Called automatically by
-/// Convolve/FromImpulses/TruncateBelow/Compact when a deep validator is
-/// active; public so tests can audit seeded-bug pmfs directly.
+/// Convolve/FromImpulses/Shift/ScaleValues/TruncateBelow/Compact when a deep
+/// validator is active; public so tests can audit seeded-bug pmfs directly.
 void ValidatePmfInvariants(const Pmf& pmf, std::string_view op);
 
 std::ostream& operator<<(std::ostream& os, const Pmf& pmf);

@@ -18,11 +18,17 @@ const pmf::Pmf& CoreQueueModel::ReadyPmf(double now) const {
   } else {
     // §IV-B: completion pmf of the running task = its exec pmf shifted by
     // its start time, with past impulses removed and the rest renormalized.
-    const pmf::Pmf running_completion =
-        running_->exec->Shift(start_time_).TruncateBelow(now).pmf;
-    cached_ready_ = queued_.empty()
-                        ? running_completion
-                        : pmf::Convolve(running_completion, queued_suffix_);
+    // All in place: scratch_ and cached_ready_ keep their storage, so a
+    // cache miss costs zero allocations.
+    scratch_ = *running_->exec;
+    scratch_.ShiftInPlace(start_time_);
+    scratch_.TruncateBelowInPlace(now);
+    if (queued_.empty()) {
+      cached_ready_ = scratch_;
+    } else {
+      pmf::ConvolveInto(scratch_, queued_suffix_, pmf::Pmf::kDefaultMaxImpulses,
+                        cached_ready_);
+    }
   }
   cached_now_ = now;
   cache_valid_ = true;
@@ -31,9 +37,10 @@ const pmf::Pmf& CoreQueueModel::ReadyPmf(double now) const {
 
 double CoreQueueModel::ExpectedReadyTime(double now) const {
   if (!running_) return now;
-  const double running_mean =
-      running_->exec->Shift(start_time_).TruncateBelow(now).pmf.Expectation();
-  return running_mean + queued_mean_sum_;
+  scratch_ = *running_->exec;
+  scratch_.ShiftInPlace(start_time_);
+  scratch_.TruncateBelowInPlace(now);
+  return scratch_.Expectation() + queued_mean_sum_;
 }
 
 void CoreQueueModel::StartTask(const ModeledTask& task, double now) {
@@ -49,9 +56,12 @@ void CoreQueueModel::Enqueue(const ModeledTask& task) {
   ECDRA_REQUIRE(running_, "Enqueue on an idle core; use StartTask");
   queued_.push_back(task);
   queued_mean_sum_ += task.exec->Expectation();
-  queued_suffix_ = queued_.size() == 1
-                       ? *task.exec
-                       : pmf::Convolve(queued_suffix_, *task.exec);
+  if (queued_.size() == 1) {
+    queued_suffix_ = *task.exec;
+  } else {
+    pmf::ConvolveInto(queued_suffix_, *task.exec, pmf::Pmf::kDefaultMaxImpulses,
+                      queued_suffix_);
+  }
   InvalidateCache();
 }
 
@@ -95,13 +105,13 @@ void CoreQueueModel::RebuildSuffix() {
     queued_mean_sum_ = 0.0;  // clear accumulated floating-point drift
     return;
   }
-  pmf::Pmf suffix = *queued_.front().exec;
+  queued_suffix_ = *queued_.front().exec;
   double mean_sum = queued_.front().exec->Expectation();
   for (std::size_t i = 1; i < queued_.size(); ++i) {
-    suffix = pmf::Convolve(suffix, *queued_[i].exec);
+    pmf::ConvolveInto(queued_suffix_, *queued_[i].exec,
+                      pmf::Pmf::kDefaultMaxImpulses, queued_suffix_);
     mean_sum += queued_[i].exec->Expectation();
   }
-  queued_suffix_ = std::move(suffix);
   queued_mean_sum_ = mean_sum;
 }
 

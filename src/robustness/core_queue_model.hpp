@@ -91,6 +91,9 @@ class CoreQueueModel {
   mutable pmf::Pmf cached_ready_;
   mutable double cached_now_ = 0.0;
   mutable bool cache_valid_ = false;
+  /// Reused working pmf for the shift/truncate pipeline, so ReadyPmf and
+  /// ExpectedReadyTime perform no allocation per query.
+  mutable pmf::Pmf scratch_;
 };
 
 }  // namespace ecdra::robustness

@@ -11,13 +11,15 @@ double CoreRobustness(const CoreQueueModel& core, double now) {
   if (core.idle()) return 0.0;
   // Completion pmf of the running task, then chain convolutions down the
   // queue (§IV-B's final paragraph), accumulating each task's on-time mass.
-  pmf::Pmf completion = core.running()->exec->Shift(core.running_start())
-                            .TruncateBelow(now)
-                            .pmf;
+  // The chain runs in one buffer: ConvolveInto's output may alias its input.
+  pmf::Pmf completion = *core.running()->exec;
+  completion.ShiftInPlace(core.running_start());
+  completion.TruncateBelowInPlace(now);
   double expected_on_time = completion.CdfAt(core.running()->deadline);
   for (const ModeledTask& task : core.queued()) {
     expected_on_time += pmf::ProbSumLeq(completion, *task.exec, task.deadline);
-    completion = pmf::Convolve(completion, *task.exec);
+    pmf::ConvolveInto(completion, *task.exec, pmf::Pmf::kDefaultMaxImpulses,
+                      completion);
   }
   return expected_on_time;
 }

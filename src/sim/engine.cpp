@@ -42,6 +42,7 @@ Engine::Engine(const cluster::Cluster& cluster,
       runtime_(cluster.total_cores()),
       models_(cluster.total_cores()),
       meter_(cluster, cluster::kNumPStates - 1),
+      events_(cluster.total_cores()),
       idle_pstate_(cluster::kNumPStates - 1) {
   ECDRA_REQUIRE(options.energy_budget > 0.0, "energy budget must be positive");
   ECDRA_REQUIRE(std::is_sorted(tasks_.begin(), tasks_.end(),
@@ -125,22 +126,22 @@ TrialResult Engine::Run() {
   TrialResult result;
   result.window_size = tasks_.size();
 
+  events_.Reserve(tasks_.size() + injector_.events().size() + 1);
   for (std::size_t i = 0; i < tasks_.size(); ++i) {
     result.weighted_total += tasks_[i].priority;
-    events_.push(Event{tasks_[i].arrival, 2, i, next_seq_++});
+    events_.Push(Event{tasks_[i].arrival, 2, i, next_seq_++});
   }
   for (std::size_t i = 0; i < injector_.events().size(); ++i) {
-    events_.push(Event{injector_.events()[i].time, 1, i, next_seq_++});
+    events_.Push(Event{injector_.events()[i].time, 1, i, next_seq_++});
   }
   if (governor_enabled_ && cadence_.tick_period > 0.0) {
-    events_.push(Event{cadence_.tick_period, 3, 0, next_seq_++});
+    events_.Push(Event{cadence_.tick_period, 3, 0, next_seq_++});
   }
 
   std::size_t arrivals_pending = tasks_.size();
   double now = 0.0;
   while (!events_.empty()) {
-    const Event event = events_.top();
-    events_.pop();
+    const Event event = events_.PopMin();
     if (options_.trial_timeout > 0.0 && (++events_handled & 63u) == 0) {
       const double elapsed =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -161,14 +162,13 @@ TrialResult Engine::Run() {
       }
     }
     if (event.kind == 0) {
-      // Skip stale finish events — the expected task was re-timed by a
-      // throttle or killed by a failure — without touching the clock, so a
-      // stale event beyond the last real one cannot inflate the makespan.
+      // The indexed queue updates/removes finish events at the moment a
+      // throttle re-times or a failure kills the running task, so a popped
+      // finish must always match the core's ground truth.
       const CoreRuntime& core = runtime_[event.index];
-      if (!core.busy || core.running.task_id != event.tag ||
-          core.running.finish_time != event.time) {
-        continue;
-      }
+      ECDRA_ASSERT(core.busy && core.running.task_id == event.tag &&
+                       core.running.finish_time == event.time,
+                   "stale finish event survived in the indexed event queue");
     }
     AdvanceEnergy(event.time);
     now = event.time;
@@ -201,7 +201,7 @@ TrialResult Engine::Run() {
       // so trailing ticks cannot stretch the event loop past the workload.
       InvokeGovernor(now);
       if (arrivals_pending > 0 || active_tasks_ > 0) {
-        events_.push(Event{now + cadence_.tick_period, 3, 0, next_seq_++});
+        events_.Push(Event{now + cadence_.tick_period, 3, 0, next_seq_++});
       }
     } else {
       // Tally the finishing task before mutating core state.
@@ -370,7 +370,8 @@ void Engine::HandleFault(const fault::FaultEvent& fault_event, double now) {
       stranded.reserve((core.busy ? 1 : 0) + core.pending.size());
       if (core.busy) {
         stranded.push_back(core.running.task_id);
-        core.busy = false;  // its finish event goes stale
+        core.busy = false;
+        events_.RemoveFinish(flat);  // the running task will never finish
       }
       for (const PendingTask& pending : core.pending) {
         stranded.push_back(pending.task_id);
@@ -451,8 +452,8 @@ void Engine::ApplyExecFloor(std::size_t flat_core, double now) {
     core.running.exec_pstate = target;
     core.running.finish_time = now + scaled;
     SwitchPState(flat_core, target, now);
-    events_.push(Event{core.running.finish_time, 0, flat_core, next_seq_++,
-                       core.running.task_id});
+    events_.UpdateFinish(flat_core, core.running.finish_time,
+                         core.running.task_id, next_seq_++);
   } else if (core.current_pstate < floor) {
     // Idle above the floor (possible under IdlePolicy::kStayAtLast): the
     // throttled core cannot hold a state faster than the floor.
@@ -533,7 +534,7 @@ double Engine::StartOnCore(std::size_t flat_core, std::size_t task_id,
   CoreRuntime& core = runtime_[flat_core];
   core.busy = true;
   core.running = RunningTask{task_id, start + duration, pstate, exec_pstate};
-  events_.push(Event{start + duration, 0, flat_core, next_seq_++, task_id});
+  events_.Push(Event{start + duration, 0, flat_core, next_seq_++, task_id});
   if (options_.collect_task_records) {
     records_[task_id].start_time = start;
   }

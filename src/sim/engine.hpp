@@ -20,7 +20,6 @@
 #include <cstddef>
 #include <deque>
 #include <memory>
-#include <queue>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -37,6 +36,7 @@
 #include "obs/trace.hpp"
 #include "policy/run_policies.hpp"
 #include "robustness/core_queue_model.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "util/rng.hpp"
 #include "validate/validation.hpp"
@@ -172,30 +172,6 @@ class Engine : private governor::GovernorHost {
     bool busy = false;
   };
 
-  struct Event {
-    double time = 0.0;
-    /// 0 = finish, 1 = fault, 2 = arrival, 3 = governor tick. At equal
-    /// times a finish precedes a fault (the task just made it), a fault
-    /// precedes an arrival (the arriving task sees the failed/throttled
-    /// core), and a tick follows the arrival (the governor observes the
-    /// mapping the arrival just produced).
-    int kind = 0;
-    /// Task index (arrival), flat core (finish), or index into the fault
-    /// schedule (fault); unused for ticks.
-    std::size_t index = 0;
-    std::uint64_t seq = 0;  // deterministic tie-break
-    /// Finish events only: the task expected to be running. A finish event
-    /// whose (tag, time) no longer matches the core's running task is stale
-    /// — the task was re-timed by a throttle or killed by a failure.
-    std::size_t tag = 0;
-
-    [[nodiscard]] bool operator>(const Event& other) const {
-      if (time != other.time) return time > other.time;
-      if (kind != other.kind) return kind > other.kind;
-      return seq > other.seq;
-    }
-  };
-
   void HandleArrival(const workload::Task& task, double now);
   void HandleFinish(std::size_t flat_core, double now);
   /// Applies one fault event: updates the injector/availability state and
@@ -260,7 +236,10 @@ class Engine : private governor::GovernorHost {
   std::vector<CoreRuntime> runtime_;
   std::vector<robustness::CoreQueueModel> models_;
   cluster::OnlineEnergyMeter meter_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  /// Indexed min-heap (event_queue.hpp): throttle re-times and core
+  /// failures update/remove finish events in place instead of leaving
+  /// stale heap entries to skip at pop time.
+  EventQueue events_;
   std::uint64_t next_seq_ = 0;
   std::optional<double> exhausted_at_;
   std::size_t cancelled_ = 0;

@@ -1,0 +1,86 @@
+#include "sim/event_queue.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::sim {
+
+void EventQueue::Place(std::size_t pos, const Event& event) {
+  heap_[pos] = event;
+  if (event.kind == 0) finish_pos_[event.index] = pos;
+}
+
+std::size_t EventQueue::SiftUp(std::size_t pos) {
+  const Event event = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    if (!Before(event, heap_[parent])) break;
+    Place(pos, heap_[parent]);
+    pos = parent;
+  }
+  Place(pos, event);
+  return pos;
+}
+
+std::size_t EventQueue::SiftDown(std::size_t pos) {
+  const Event event = heap_[pos];
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Before(heap_[child + 1], heap_[child])) ++child;
+    if (!Before(heap_[child], event)) break;
+    Place(pos, heap_[child]);
+    pos = child;
+  }
+  Place(pos, event);
+  return pos;
+}
+
+void EventQueue::Push(const Event& event) {
+  if (event.kind == 0) {
+    ECDRA_ASSERT(finish_pos_[event.index] == kAbsent,
+                 "core already has a pending finish event");
+  }
+  heap_.push_back(event);
+  if (event.kind == 0) finish_pos_[event.index] = heap_.size() - 1;
+  SiftUp(heap_.size() - 1);
+}
+
+Event EventQueue::PopMin() {
+  ECDRA_ASSERT(!heap_.empty(), "PopMin on an empty event queue");
+  const Event top = heap_.front();
+  if (top.kind == 0) finish_pos_[top.index] = kAbsent;
+  const Event last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    Place(0, last);
+    SiftDown(0);
+  }
+  return top;
+}
+
+void EventQueue::UpdateFinish(std::size_t flat_core, double time,
+                              std::size_t tag, std::uint64_t seq) {
+  const std::size_t pos = finish_pos_[flat_core];
+  ECDRA_ASSERT(pos != kAbsent, "UpdateFinish without a pending finish event");
+  Event event = heap_[pos];
+  event.time = time;
+  event.tag = tag;
+  event.seq = seq;
+  heap_[pos] = event;
+  if (SiftUp(pos) == pos) SiftDown(pos);
+}
+
+void EventQueue::RemoveFinish(std::size_t flat_core) {
+  const std::size_t pos = finish_pos_[flat_core];
+  ECDRA_ASSERT(pos != kAbsent, "RemoveFinish without a pending finish event");
+  finish_pos_[flat_core] = kAbsent;
+  const Event last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    Place(pos, last);
+    if (SiftUp(pos) == pos) SiftDown(pos);
+  }
+}
+
+}  // namespace ecdra::sim

@@ -1,0 +1,146 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ecdra::sim {
+namespace {
+
+bool Before(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.seq < b.seq;
+}
+
+TEST(EventQueue, PopsInTimeKindSeqOrder) {
+  EventQueue queue(4);
+  queue.Push(Event{5.0, 2, 7, 1});
+  queue.Push(Event{1.0, 2, 8, 2});
+  queue.Push(Event{5.0, 0, 2, 3, 42});  // finish first among the t=5 ties
+  queue.Push(Event{5.0, 1, 0, 4});
+  queue.Push(Event{1.0, 2, 9, 0});  // same (time, kind): lower seq first
+
+  EXPECT_EQ(queue.PopMin().seq, 0u);
+  EXPECT_EQ(queue.PopMin().seq, 2u);
+  const Event finish = queue.PopMin();
+  EXPECT_EQ(finish.kind, 0);
+  EXPECT_EQ(finish.tag, 42u);
+  EXPECT_EQ(queue.PopMin().kind, 1);
+  EXPECT_EQ(queue.PopMin().kind, 2);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, UpdateFinishReTimesInPlace) {
+  EventQueue queue(2);
+  queue.Push(Event{10.0, 0, 0, 0, 100});
+  queue.Push(Event{20.0, 2, 5, 1});
+  ASSERT_TRUE(queue.HasFinish(0));
+
+  // Throttle slows the task: its finish moves past the arrival.
+  queue.UpdateFinish(0, 30.0, 100, 2);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.PopMin().kind, 2);
+  const Event finish = queue.PopMin();
+  EXPECT_EQ(finish.time, 30.0);
+  EXPECT_EQ(finish.tag, 100u);
+  EXPECT_FALSE(queue.HasFinish(0));
+}
+
+TEST(EventQueue, UpdateFinishCanMoveEarlier) {
+  EventQueue queue(2);
+  queue.Push(Event{50.0, 0, 1, 0, 7});
+  queue.Push(Event{20.0, 2, 3, 1});
+  // Throttle ends: remaining work shrinks, the finish moves up front.
+  queue.UpdateFinish(1, 5.0, 7, 2);
+  EXPECT_EQ(queue.PopMin().kind, 0);
+  EXPECT_EQ(queue.PopMin().kind, 2);
+}
+
+TEST(EventQueue, RemoveFinishDeletesTheEntry) {
+  EventQueue queue(2);
+  queue.Push(Event{10.0, 0, 0, 0, 100});
+  queue.Push(Event{20.0, 2, 5, 1});
+  queue.RemoveFinish(0);
+  EXPECT_FALSE(queue.HasFinish(0));
+  EXPECT_EQ(queue.size(), 1u);
+  EXPECT_EQ(queue.PopMin().kind, 2);
+  EXPECT_TRUE(queue.empty());
+  // The core can schedule a fresh finish afterwards.
+  queue.Push(Event{30.0, 0, 0, 2, 101});
+  EXPECT_TRUE(queue.HasFinish(0));
+}
+
+TEST(EventQueue, FuzzMatchesReferenceOrdering) {
+  // Random pushes, finish re-times, removals, and pops must drain in the
+  // exact (time, kind, seq) order a sort of the surviving events gives.
+  constexpr std::size_t kCores = 8;
+  util::RngStream rng(2024);
+  EventQueue queue(kCores);
+  std::vector<Event> reference;
+  std::uint64_t seq = 0;
+
+  const auto reference_finish = [&](std::size_t core) {
+    return std::find_if(reference.begin(), reference.end(), [&](const Event& e) {
+      return e.kind == 0 && e.index == core;
+    });
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    const double roll = rng.UniformReal(0.0, 1.0);
+    const auto core =
+        static_cast<std::size_t>(rng.UniformReal(0.0, 1.0) * kCores) % kCores;
+    if (roll < 0.35) {
+      const Event event{rng.UniformReal(0.0, 1000.0), 2, core, seq++};
+      queue.Push(event);
+      reference.push_back(event);
+    } else if (roll < 0.55) {
+      if (!queue.HasFinish(core)) {
+        const Event event{rng.UniformReal(0.0, 1000.0), 0, core, seq++, core};
+        queue.Push(event);
+        reference.push_back(event);
+      } else {
+        const double time = rng.UniformReal(0.0, 1000.0);
+        queue.UpdateFinish(core, time, core + 1, seq);
+        auto it = reference_finish(core);
+        ASSERT_NE(it, reference.end());
+        it->time = time;
+        it->tag = core + 1;
+        it->seq = seq++;
+      }
+    } else if (roll < 0.65) {
+      if (queue.HasFinish(core)) {
+        queue.RemoveFinish(core);
+        auto it = reference_finish(core);
+        ASSERT_NE(it, reference.end());
+        reference.erase(it);
+      }
+    } else if (!reference.empty()) {
+      const Event popped = queue.PopMin();
+      const auto min_it =
+          std::min_element(reference.begin(), reference.end(), Before);
+      EXPECT_EQ(popped.time, min_it->time);
+      EXPECT_EQ(popped.kind, min_it->kind);
+      EXPECT_EQ(popped.seq, min_it->seq);
+      EXPECT_EQ(popped.index, min_it->index);
+      EXPECT_EQ(popped.tag, min_it->tag);
+      reference.erase(min_it);
+    }
+    ASSERT_EQ(queue.size(), reference.size());
+  }
+  while (!reference.empty()) {
+    const Event popped = queue.PopMin();
+    const auto min_it =
+        std::min_element(reference.begin(), reference.end(), Before);
+    ASSERT_EQ(popped.seq, min_it->seq);
+    reference.erase(min_it);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace ecdra::sim

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "util/rng.hpp"
+#include "validate/validation.hpp"
 
 namespace ecdra::pmf {
 namespace {
@@ -117,6 +118,84 @@ TEST(Pmf, TruncateBelowPastEverythingYieldsImminentDelta) {
   EXPECT_DOUBLE_EQ(result.retained_mass, 0.0);
   EXPECT_EQ(result.pmf.size(), 1u);
   EXPECT_DOUBLE_EQ(result.pmf.Expectation(), 50.0);
+}
+
+TEST(Pmf, TruncateBelowAtToleranceEdgeReportsTrueRetainedMass) {
+  // The surviving mass is positive but at most kMassTolerance: the result
+  // falls back to Delta(t) (renormalizing ~1e-10 of mass is meaningless),
+  // but retained_mass must report the true tiny sum — the pre-fix code
+  // returned 0.0, telling `retained_mass > 0` callers that no mass ever
+  // existed past the cut.
+  const double tiny = 0.5 * Pmf::kMassTolerance;
+  const Pmf pmf = Pmf::FromRawUnchecked({{1.0, 1.0 - tiny}, {2.0, tiny}});
+  const TruncateResult result = pmf.TruncateBelow(1.5);
+  ASSERT_EQ(result.pmf.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.pmf.impulses()[0].value, 1.5);
+  EXPECT_DOUBLE_EQ(result.pmf.impulses()[0].prob, 1.0);
+  EXPECT_GT(result.retained_mass, 0.0);
+  EXPECT_DOUBLE_EQ(result.retained_mass, tiny);
+}
+
+TEST(Pmf, ShiftRecoalescesValuesCollapsedByAbsorption) {
+  // A gap of 2^-30 between support values is far below the ulp of 1e10 + 1,
+  // so shifting by 1e10 absorbs it: both values land on the same double.
+  // Pre-fix, Shift kept both impulses, breaking the strictly-increasing
+  // support invariant every other constructor guarantees.
+  const double gap = std::ldexp(1.0, -30);
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 0.25}, {1.0 + gap, 0.75}});
+  ASSERT_EQ(pmf.size(), 2u);
+  const Pmf shifted = pmf.Shift(1e10);
+  ASSERT_EQ(shifted.size(), 1u);
+  EXPECT_DOUBLE_EQ(shifted.impulses()[0].value, 1e10 + 1.0);
+  EXPECT_DOUBLE_EQ(shifted.impulses()[0].prob, 1.0);
+}
+
+TEST(Pmf, ScaleValuesRecoalescesValuesCollapsedByRounding) {
+  // Adjacent doubles scaled to the smallest subnormal both round to the
+  // same value; the products must coalesce into one impulse.
+  const double gap = std::ldexp(1.0, -52);
+  const Pmf pmf = Pmf::FromImpulses({{1.0, 0.5}, {1.0 + gap, 0.5}});
+  ASSERT_EQ(pmf.size(), 2u);
+  const Pmf scaled = pmf.ScaleValues(std::ldexp(1.0, -1074));
+  ASSERT_EQ(scaled.size(), 1u);
+  EXPECT_DOUBLE_EQ(scaled.impulses()[0].prob, 1.0);
+}
+
+TEST(Pmf, ShiftAndScaleValuesRunTheDeepAudit) {
+  // Shift/ScaleValues used to skip the deep-validation hook every other
+  // pmf constructor runs; both must now report checks to an active deep
+  // validator.
+  validate::TrialValidator validator(validate::ValidationMode::kDeep);
+  {
+    validate::ValidatorScope scope(&validator);
+    const Pmf pmf = Pmf::FromImpulses({{1.0, 0.5}, {2.0, 0.5}});
+    const auto before_shift = validator.report().checks_run;
+    (void)pmf.Shift(3.0);
+    const auto after_shift = validator.report().checks_run;
+    EXPECT_GT(after_shift, before_shift);
+    (void)pmf.ScaleValues(2.0);
+    EXPECT_GT(validator.report().checks_run, after_shift);
+  }
+  EXPECT_TRUE(validator.report().ok());
+}
+
+TEST(Pmf, InPlaceVariantsMatchConstOverloads) {
+  util::RngStream rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const Pmf pmf = RandomPmf(rng, 16);
+    Pmf shifted = pmf;
+    shifted.ShiftInPlace(12.5);
+    EXPECT_EQ(shifted, pmf.Shift(12.5));
+    Pmf scaled = pmf;
+    scaled.ScaleValuesInPlace(1.375);
+    EXPECT_EQ(scaled, pmf.ScaleValues(1.375));
+    Pmf truncated = pmf;
+    const double cut = pmf.impulses()[pmf.size() / 2].value;
+    const double retained = truncated.TruncateBelowInPlace(cut);
+    const TruncateResult reference = pmf.TruncateBelow(cut);
+    EXPECT_EQ(truncated, reference.pmf);
+    EXPECT_DOUBLE_EQ(retained, reference.retained_mass);
+  }
 }
 
 TEST(Pmf, SampleStaysOnSupportAndFollowsProbabilities) {
@@ -234,8 +313,76 @@ TEST_P(ConvolveProperties, ProbSumLeqIsSymmetric) {
   }
 }
 
+/// Integer-valued random pmf: sums and differences of support values are
+/// exact in floating point, so threshold ties are unambiguous.
+Pmf IntegerRandomPmf(util::RngStream& rng, std::size_t n) {
+  std::vector<Impulse> impulses;
+  impulses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    impulses.push_back(Impulse{std::floor(rng.UniformReal(0.0, 200.0)),
+                               rng.UniformReal(0.01, 1.0)});
+  }
+  return Pmf::FromImpulses(std::move(impulses), n);
+}
+
+TEST_P(ConvolveProperties, ProbSumLeqMatchesBruteForceAtTieBoundaries) {
+  // Every pair sum x_i + y_j is a threshold where t - x_i lands exactly on
+  // a support value of Y — the boundary the two-pointer sweep must resolve
+  // with <=, not <. Integer supports make the tie exact; half-integer
+  // probes check strictly-between thresholds on both sides.
+  util::RngStream rng(GetParam() + 3000);
+  const Pmf x = IntegerRandomPmf(rng, 12);
+  const Pmf y = IntegerRandomPmf(rng, 12);
+  const Pmf exact = Convolve(x, y, 1u << 20);  // brute force: nothing merged
+  for (const Impulse& xi : x.impulses()) {
+    for (const Impulse& yj : y.impulses()) {
+      const double t = xi.value + yj.value;
+      EXPECT_NEAR(ProbSumLeq(x, y, t), exact.CdfAt(t), 1e-12) << "t=" << t;
+      EXPECT_NEAR(ProbSumLeq(x, y, t - 0.5), exact.CdfAt(t - 0.5), 1e-12)
+          << "t=" << t - 0.5;
+      EXPECT_NEAR(ProbSumLeq(x, y, t + 0.5), exact.CdfAt(t + 0.5), 1e-12)
+          << "t=" << t + 0.5;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ConvolveProperties,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(Convolve, ConvolveIntoMatchesConvolveAndAllowsAliasing) {
+  util::RngStream rng(321);
+  const Pmf x = RandomPmf(rng, 24);
+  const Pmf y = RandomPmf(rng, 24);
+  const Pmf reference = Convolve(x, y);
+  Pmf out;
+  ConvolveInto(x, y, Pmf::kDefaultMaxImpulses, out);
+  EXPECT_EQ(out, reference);
+  // `out` aliasing either input is the documented suffix-chain idiom.
+  Pmf acc = x;
+  ConvolveInto(acc, y, Pmf::kDefaultMaxImpulses, acc);
+  EXPECT_EQ(acc, reference);
+  Pmf acc_rhs = y;
+  ConvolveInto(x, acc_rhs, Pmf::kDefaultMaxImpulses, acc_rhs);
+  EXPECT_EQ(acc_rhs, reference);
+}
+
+TEST(Convolve, KWayMergeMatchesSortBasedCrossProduct) {
+  // The fused kernel must reproduce FromImpulses' sort-everything result
+  // exactly: same merged support, same normalized probabilities.
+  util::RngStream rng(555);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Pmf x = RandomPmf(rng, 9);
+    const Pmf y = RandomPmf(rng, 13);
+    std::vector<Impulse> cross;
+    for (const Impulse& xi : x.impulses()) {
+      for (const Impulse& yj : y.impulses()) {
+        cross.push_back(Impulse{xi.value + yj.value, xi.prob * yj.prob});
+      }
+    }
+    const Pmf via_sort = Pmf::FromImpulses(std::move(cross), 32);
+    EXPECT_EQ(Convolve(x, y, 32), via_sort);
+  }
+}
 
 TEST(ProbSumLeq, ExtremeThresholds) {
   const Pmf x = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});

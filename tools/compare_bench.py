@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare an ecdra-bench v1 report against a committed baseline.
+
+Usage:
+    compare_bench.py BASELINE.json CURRENT.json [--tolerance X]
+
+Fails (exit 1) if any benchmark present in both files is more than
+``tolerance`` times slower (ns_per_op) in CURRENT than in BASELINE.
+Benchmarks present in only one file produce a warning, not a failure,
+so adding or retiring benches does not break CI.
+
+The default tolerance is deliberately loose (3x): shared CI runners
+have noisy clocks and the gate exists to catch order-of-magnitude
+regressions (an accidental O(n^2), a dropped fast path), not 10% drift.
+Tighten locally with --tolerance when bisecting a real regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "ecdra-bench v1":
+        raise SystemExit(f"{path}: not an ecdra-bench v1 report")
+    return {r["name"]: r for r in doc.get("results", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="max allowed slowdown ratio current/baseline (default: 3.0)",
+    )
+    args = parser.parse_args()
+
+    base = load_results(args.baseline)
+    cur = load_results(args.current)
+
+    for name in sorted(set(base) - set(cur)):
+        print(f"WARNING: {name} missing from {args.current}")
+    for name in sorted(set(cur) - set(base)):
+        print(f"WARNING: {name} not in baseline {args.baseline}")
+
+    failures = []
+    common = sorted(set(base) & set(cur))
+    if not common:
+        raise SystemExit("no benchmarks in common; nothing compared")
+
+    width = max(len(n) for n in common)
+    print(f"{'benchmark':<{width}}  {'base ns/op':>12}  {'cur ns/op':>12}  ratio")
+    for name in common:
+        b = base[name]["ns_per_op"]
+        c = cur[name]["ns_per_op"]
+        ratio = c / b if b > 0 else float("inf")
+        flag = ""
+        if ratio > args.tolerance:
+            failures.append(name)
+            flag = f"  FAIL (> {args.tolerance:g}x)"
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  {ratio:5.2f}x{flag}")
+
+    if failures:
+        print(
+            f"\n{len(failures)} benchmark(s) regressed beyond "
+            f"{args.tolerance:g}x: {', '.join(failures)}"
+        )
+        return 1
+    print(f"\nall {len(common)} common benchmarks within {args.tolerance:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
