@@ -39,6 +39,7 @@
 #include "sim/checkpoint.hpp"
 #include "sim/experiment_runner.hpp"
 #include "stats/summary.hpp"
+#include "stream/admission.hpp"
 #include "stats/table_writer.hpp"
 #include "validate/validation.hpp"
 
@@ -75,8 +76,19 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "  --governor NAME    online energy governor (registered: "
      << ecdra::governor::GovernorRegistry().JoinedNames() << ";\n"
      << "                     default static = the paper's open-loop run)\n"
+     << "streaming service mode (rolling energy-rate budget; src/stream):\n"
+     << "  --stream           run in streaming mode (requires --energy-rate\n"
+     << "                     or a spec with stream.energy_rate > 0)\n"
+     << "  --energy-rate R    joules per second accruing into the account\n"
+     << "  --stream-window T  rolling metrics window, simulated seconds\n"
+     << "                     (0 = derived from the environment, default)\n"
+     << "  --accrual-cap J    account ceiling in joules (0 = derived)\n"
+     << "  --admission NAME   admission policy (registered: "
+     << ecdra::stream::AdmissionRegistry().JoinedNames() << ";\n"
+     << "                     default none = admit everything)\n"
      << "  --list-policies    print every registered heuristic, filter,\n"
-     << "                     batch heuristic, and governor, then exit\n"
+     << "                     batch heuristic, governor, and admission\n"
+     << "                     policy, then exit\n"
      << "  --validate MODE    off | cheap | deep runtime invariant checks\n"
      << "                     (default off; violations are recorded, not\n"
      << "                     fatal)\n"
@@ -188,7 +200,9 @@ int main(int argc, char** argv) {
                 << "\nbatch-heuristics: "
                 << batch::BatchHeuristicRegistry().JoinedNames()
                 << "\ngovernors: "
-                << governor::GovernorRegistry().JoinedNames() << "\n";
+                << governor::GovernorRegistry().JoinedNames()
+                << "\nadmission: " << stream::AdmissionRegistry().JoinedNames()
+                << "\n";
       return 0;
     } else if (flag == "--spec") {
       const std::string path = next();
@@ -283,6 +297,24 @@ int main(int argc, char** argv) {
              "' (registered: " + governor::GovernorRegistry().JoinedNames() +
              ")");
       }
+    } else if (flag == "--stream") {
+      spec.mode = policy::RunMode::kStream;
+    } else if (flag == "--energy-rate") {
+      spec.stream.energy_rate = ParseNonNegative(flag, next());
+      if (spec.stream.energy_rate == 0.0) {
+        Fail("--energy-rate: must be > 0");
+      }
+    } else if (flag == "--stream-window") {
+      spec.stream.window_length = ParseNonNegative(flag, next());
+    } else if (flag == "--accrual-cap") {
+      spec.stream.accrual_cap = ParseNonNegative(flag, next());
+    } else if (flag == "--admission") {
+      spec.stream.admission = next();
+      if (!stream::AdmissionRegistry().Contains(spec.stream.admission)) {
+        Fail("--admission: unknown policy '" + spec.stream.admission +
+             "' (registered: " + stream::AdmissionRegistry().JoinedNames() +
+             ")");
+      }
     } else if (flag == "--checkpoint") {
       checkpoint_path = next();
       if (checkpoint_path.empty()) Fail("--checkpoint: empty path");
@@ -320,7 +352,14 @@ int main(int argc, char** argv) {
   }
 
   const sim::ExperimentSetup setup = sim::BuildExperimentSetup(spec);
-  sim::RunOptions run = sim::RunOptionsFromSpec(spec);
+  sim::RunOptions run;
+  try {
+    run = sim::RunOptionsFromSpec(spec);
+  } catch (const policy::StreamSpecError& error) {
+    // Typed refusal: a stream block without --stream (or vice versa) names
+    // the incompatible fields in one line.
+    Fail(error.what());
+  }
   run.collect_counters = collect_counters;
   run.trace_path = trace_path;
   run.checkpoint_path = checkpoint_path;
@@ -417,6 +456,13 @@ int main(int argc, char** argv) {
               << summary.mean_tasks_lost << ", mean remapped "
               << summary.mean_remapped << " (on time "
               << summary.mean_remapped_on_time << ")\n";
+  }
+  if (run.mode == policy::RunMode::kStream && !sweep.results.empty()) {
+    std::cout << "  stream (admission=" << run.stream.admission
+              << "): mean deferred " << summary.mean_stream_deferred
+              << ", dropped " << summary.mean_stream_dropped << ", released "
+              << summary.mean_stream_released << ", emergency "
+              << summary.mean_emergency_seconds << " s\n";
   }
   if (run.validation != validate::ValidationMode::kOff) {
     std::cout << "  validation (" << validate::ValidationModeName(run.validation)

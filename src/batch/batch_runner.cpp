@@ -9,6 +9,18 @@
 
 namespace ecdra::batch {
 
+BatchRunOptions BatchRunOptionsFromSpec(const policy::ScenarioSpec& spec) {
+  // Typed refusal: batch mode cannot honor a streaming scenario, whatever
+  // run.mode says — the diagnostic names the offending stream.* fields.
+  policy::RequireStreamCompatible(policy::RunMode::kBatch, spec.stream);
+  BatchRunOptions options;
+  options.num_trials = spec.num_trials;
+  options.idle_policy = spec.idle_policy;
+  options.cancel_policy = spec.cancel_policy;
+  options.filter_options = spec.filter_options;
+  return options;
+}
+
 sim::TrialResult RunBatchTrial(const sim::ExperimentSetup& setup,
                                const std::string& heuristic,
                                std::size_t trial_index,

@@ -30,6 +30,15 @@ struct BatchRunOptions {
   obs::TraceSink* trace_sink = nullptr;
 };
 
+/// The BatchRunOptions a ScenarioSpec describes (the shared result-shaping
+/// knobs; batch mode has no fault/governor/stream machinery). A spec whose
+/// stream block is non-default is refused with a typed one-line
+/// policy::StreamSpecError naming the incompatible fields — batch mode
+/// plans the whole window against a fixed budget and cannot honor a
+/// replenishing account.
+[[nodiscard]] BatchRunOptions BatchRunOptionsFromSpec(
+    const policy::ScenarioSpec& spec);
+
 /// Runs one deterministic batch-mode trial; `heuristic` is a registered
 /// batch heuristic (BatchHeuristicNames() lists the built-ins).
 [[nodiscard]] sim::TrialResult RunBatchTrial(const sim::ExperimentSetup& setup,

@@ -78,6 +78,13 @@ class ImmediateModeScheduler {
       std::span<const robustness::CoreQueueModel> cores,
       std::span<const CoreAvailability> availability);
 
+  /// Streaming admission (src/stream): records that an arrival was consumed
+  /// without a mapping attempt (deferred to the holding pen or dropped at
+  /// admission). Advances the arrival window so the energy filter's T_left
+  /// fair share stays honest for later arrivals; a pen release then re-enters
+  /// through RemapTask, which does not advance the window again.
+  void SkipTask() noexcept { ++tasks_seen_; }
+
   /// Attaches per-trial counters and/or a decision-trace sink. Call before
   /// the first MapTask; both attachments must outlive the scheduler's use.
   void SetObservability(const SchedulerObservability& observability) noexcept {

@@ -38,6 +38,15 @@ constexpr std::array kFields{
     CounterField{"governor_cores_parked", &Counters::governor_cores_parked},
     CounterField{"governor_allowance_changes",
                  &Counters::governor_allowance_changes},
+    CounterField{"stream_windows", &Counters::stream_windows},
+    CounterField{"stream_deferred", &Counters::stream_deferred},
+    CounterField{"stream_admission_dropped",
+                 &Counters::stream_admission_dropped},
+    CounterField{"stream_released", &Counters::stream_released},
+    CounterField{"stream_forced_admissions",
+                 &Counters::stream_forced_admissions},
+    CounterField{"stream_emergency_entries",
+                 &Counters::stream_emergency_entries},
 };
 
 }  // namespace

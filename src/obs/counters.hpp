@@ -76,6 +76,20 @@ struct Counters {
   /// Fair-share allowance scale changes (unchanged scales not counted).
   std::uint64_t governor_allowance_changes = 0;
 
+  // -- Streaming service mode (src/stream; all zero in fixed-trace runs) --
+  /// Rolling windows closed (including the final partial window).
+  std::uint64_t stream_windows = 0;
+  /// Arrivals deferred to the holding pen by the admission stage.
+  std::uint64_t stream_deferred = 0;
+  /// Tasks dropped by admission (fresh, requeued, or expired in the pen).
+  std::uint64_t stream_admission_dropped = 0;
+  /// Pen tasks released to the scheduler.
+  std::uint64_t stream_released = 0;
+  /// Releases forced by the fairness guard or the end-of-trace drain.
+  std::uint64_t stream_forced_admissions = 0;
+  /// Emergency-mode episodes entered by the energy account.
+  std::uint64_t stream_emergency_entries = 0;
+
   /// Total wall-clock time spent inside MapTask (steady_clock), seconds.
   double decision_seconds = 0.0;
 

@@ -90,6 +90,30 @@ void WriteGovernor(std::ostream& os, const GovernorActionRecord& action) {
   os << "}\n";
 }
 
+void WriteWindow(std::ostream& os, const StreamWindowRecord& window) {
+  os << "{\"event\":\"window\",\"trial\":" << window.trial
+     << ",\"index\":" << window.index << ",\"start\":";
+  AppendNumber(os, window.start);
+  os << ",\"end\":";
+  AppendNumber(os, window.end);
+  os << ",\"arrivals\":" << window.arrivals << ",\"admitted\":"
+     << window.admitted << ",\"deferred\":" << window.deferred
+     << ",\"dropped\":" << window.dropped << ",\"released\":"
+     << window.released << ",\"on_time\":" << window.on_time
+     << ",\"late\":" << window.late << ",\"over_energy\":"
+     << window.over_energy << ",\"joules\":";
+  AppendNumber(os, window.joules);
+  os << ",\"on_time_per_joule\":";
+  AppendNumber(os, window.on_time_per_joule);
+  os << ",\"missed_rate\":";
+  AppendNumber(os, window.missed_rate);
+  os << ",\"available\":";
+  AppendNumber(os, window.available);
+  os << ",\"queue_depth\":" << window.queue_depth
+     << ",\"pen_depth\":" << window.pen_depth << ",\"emergency\":"
+     << (window.emergency ? "true" : "false") << "}\n";
+}
+
 void WriteSnapshot(std::ostream& os, const EnergySnapshotRecord& snapshot) {
   os << "{\"event\":\"energy\",\"trial\":" << snapshot.trial << ",\"time\":";
   AppendNumber(os, snapshot.time);
@@ -121,6 +145,10 @@ class SynchronizedSink final : public TraceSink {
   void Record(const GovernorActionRecord& action) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     inner_->Record(action);
+  }
+  void Record(const StreamWindowRecord& window) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Record(window);
   }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -156,6 +184,10 @@ class JsonlFileSink final : public TraceSink {
     const std::lock_guard<std::mutex> lock(mutex_);
     WriteGovernor(file_, action);
   }
+  void Record(const StreamWindowRecord& window) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    WriteWindow(file_, window);
+  }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
     file_.flush();
@@ -182,6 +214,10 @@ void JsonlTraceSink::Record(const FaultEventRecord& fault) {
 
 void JsonlTraceSink::Record(const GovernorActionRecord& action) {
   WriteGovernor(*os_, action);
+}
+
+void JsonlTraceSink::Record(const StreamWindowRecord& window) {
+  WriteWindow(*os_, window);
 }
 
 void JsonlTraceSink::Flush() { os_->flush(); }

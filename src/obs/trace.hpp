@@ -22,6 +22,11 @@
 //    "action":"cap","core":F,"pstate_floor":S}
 //   {"event":"governor",...,"action":"park","core":F}
 //   {"event":"governor",...,"action":"allowance","scale":X}
+//   {"event":"window","trial":T,"index":I,"start":t0,"end":t1,
+//    "arrivals":A,"admitted":M,"deferred":D,"dropped":X,"released":R,
+//    "on_time":O,"late":L,"over_energy":E,"joules":J,
+//    "on_time_per_joule":OPJ,"missed_rate":MR,"available":B,
+//    "queue_depth":Q,"pen_depth":P,"emergency":false}
 //
 // `stages` lists the filter chain in application order; `discard_stage`
 // names the stage that emptied the candidate set ("" never appears — the
@@ -119,6 +124,42 @@ struct GovernorActionRecord {
   double scale = 0.0;
 };
 
+/// One closed rolling window of the streaming service mode (src/stream):
+/// what arrived, what finished how, what it cost, and where the account and
+/// the backpressure stand at the boundary.
+struct StreamWindowRecord {
+  std::uint64_t trial = 0;
+  /// Window ordinal within the trial (0-based).
+  std::uint64_t index = 0;
+  double start = 0.0;
+  double end = 0.0;
+  std::uint64_t arrivals = 0;
+  /// Arrivals mapped straight through admission (fresh or fault-requeued).
+  std::uint64_t admitted = 0;
+  std::uint64_t deferred = 0;
+  /// Dropped by admission or expired in the pen.
+  std::uint64_t dropped = 0;
+  /// Pen tasks released to the scheduler this window.
+  std::uint64_t released = 0;
+  /// Completions in this window: on time within energy / late / on time but
+  /// the account was in deficit.
+  std::uint64_t on_time = 0;
+  std::uint64_t late = 0;
+  std::uint64_t over_energy = 0;
+  /// Wall joules drawn over the window.
+  double joules = 0.0;
+  /// on_time / joules (0 when no energy was drawn).
+  double on_time_per_joule = 0.0;
+  /// (late + over_energy) / completions in the window (0 when none).
+  double missed_rate = 0.0;
+  /// Account balance at the boundary (negative = deficit).
+  double available = 0.0;
+  /// Tasks assigned to cores (running + queued) at the boundary.
+  std::uint64_t queue_depth = 0;
+  std::uint64_t pen_depth = 0;
+  bool emergency = false;
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -131,6 +172,9 @@ class TraceSink {
   /// Default no-op so sinks predating the governor extension keep compiling;
   /// the JSONL sinks emit one "governor" line per applied action.
   virtual void Record(const GovernorActionRecord& action) { (void)action; }
+  /// Default no-op so sinks predating the streaming extension keep
+  /// compiling; the JSONL sinks emit one "window" line per closed window.
+  virtual void Record(const StreamWindowRecord& window) { (void)window; }
   virtual void Flush() {}
 };
 
@@ -145,6 +189,7 @@ class JsonlTraceSink final : public TraceSink {
   void Record(const EnergySnapshotRecord& snapshot) override;
   void Record(const FaultEventRecord& fault) override;
   void Record(const GovernorActionRecord& action) override;
+  void Record(const StreamWindowRecord& window) override;
   void Flush() override;
 
  private:

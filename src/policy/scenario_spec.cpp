@@ -69,8 +69,10 @@ constexpr std::string_view kHeaderLine = "ecdra-scenario v1";
 // v2: the run.governor line joined the result-shaping subset. Bumping the
 // header changes every fingerprint, which is exactly right: a v1 checkpoint
 // cannot attest what governor produced its trials.
+// v3: run.mode and the stream.* block joined — a v2 checkpoint cannot
+// attest whether its trials ran fixed-trace or streaming semantics.
 constexpr std::string_view kFingerprintHeaderLine =
-    "ecdra-scenario-fingerprint v2";
+    "ecdra-scenario-fingerprint v3";
 
 std::string_view LifetimeName(fault::LifetimeDistribution lifetime) noexcept {
   return lifetime == fault::LifetimeDistribution::kWeibull ? "weibull"
@@ -190,6 +192,19 @@ void EmitResultShapingLines(std::string& out, const ScenarioSpec& spec) {
        std::to_string(std::size_t{fault.throttle_floor}));
   Emit(out, "run.fault.horizon", Num(fault.horizon));
   Emit(out, "run.recovery", fault::RecoveryPolicyName(spec.recovery));
+
+  const StreamSpec& stream = spec.stream;
+  Emit(out, "run.mode", RunModeName(spec.mode));
+  Emit(out, "stream.energy_rate", Num(stream.energy_rate));
+  Emit(out, "stream.accrual_cap", Num(stream.accrual_cap));
+  Emit(out, "stream.initial_energy", Num(stream.initial_energy));
+  Emit(out, "stream.window_length", Num(stream.window_length));
+  Emit(out, "stream.emergency_enter", Num(stream.emergency_enter_fraction));
+  Emit(out, "stream.emergency_exit", Num(stream.emergency_exit_fraction));
+  Emit(out, "stream.admission", stream.admission);
+  Emit(out, "stream.defer_rho", Num(stream.defer_rho));
+  Emit(out, "stream.drop_rho", Num(stream.drop_rho));
+  Emit(out, "stream.fairness_wait", Num(stream.fairness_wait));
 }
 
 void EmitGridAndHarnessLines(std::string& out, const ScenarioSpec& spec) {
@@ -469,6 +484,38 @@ ScenarioSpec ParseScenarioSpec(std::string_view text) {
       } catch (const std::invalid_argument&) {
         ParseFail(line, "expected drop or requeue");
       }
+    } else if (key == "run.mode") {
+      // Batch mode is a stack, not a spec-selectable trial mode.
+      if (value == "fixed") {
+        spec.mode = RunMode::kFixedTrace;
+      } else if (value == "stream") {
+        spec.mode = RunMode::kStream;
+      } else {
+        ParseFail(line, "expected fixed or stream");
+      }
+    } else if (key == "stream.energy_rate") {
+      spec.stream.energy_rate = ParseNum(line, value);
+    } else if (key == "stream.accrual_cap") {
+      spec.stream.accrual_cap = ParseNum(line, value);
+    } else if (key == "stream.initial_energy") {
+      spec.stream.initial_energy = ParseNum(line, value);
+    } else if (key == "stream.window_length") {
+      spec.stream.window_length = ParseNum(line, value);
+    } else if (key == "stream.emergency_enter") {
+      spec.stream.emergency_enter_fraction = ParseNum(line, value);
+    } else if (key == "stream.emergency_exit") {
+      spec.stream.emergency_exit_fraction = ParseNum(line, value);
+    } else if (key == "stream.admission") {
+      // Any non-empty token parses; the admission registry rejects unknown
+      // names at trial setup, like run.governor.
+      if (value.empty()) ParseFail(line, "expected an admission policy name");
+      spec.stream.admission = std::string(value);
+    } else if (key == "stream.defer_rho") {
+      spec.stream.defer_rho = ParseNum(line, value);
+    } else if (key == "stream.drop_rho") {
+      spec.stream.drop_rho = ParseNum(line, value);
+    } else if (key == "stream.fairness_wait") {
+      spec.stream.fairness_wait = ParseNum(line, value);
     } else if (key == "grid.heuristics") {
       spec.grid.heuristics = ParseNames(value);
     } else if (key == "grid.filter_variants") {

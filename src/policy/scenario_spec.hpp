@@ -24,6 +24,7 @@
 #include "fault/recovery.hpp"
 #include "pmf/distribution_factory.hpp"
 #include "policy/run_policies.hpp"
+#include "policy/stream_spec.hpp"
 #include "validate/validation.hpp"
 #include "workload/etc_matrix.hpp"
 #include "workload/workload_generator.hpp"
@@ -76,6 +77,13 @@ struct ScenarioSpec {
   /// Registered governor name (src/governor). "static" is the paper's
   /// open-loop baseline; the registry validates the name at trial setup.
   std::string governor = "static";
+  /// Run mode (stream_spec.hpp): the paper's fixed-trace window, or the
+  /// streaming service mode. Explicit, never inferred from the stream
+  /// block — a mismatch is a typed refusal (RequireStreamCompatible), so a
+  /// stream block can never be silently executed under paper semantics.
+  RunMode mode = RunMode::kFixedTrace;
+  /// Streaming service knobs (src/stream); inert unless mode == kStream.
+  StreamSpec stream;
 
   // -- Grid + harness knobs (serialized, but not fingerprinted) --
   PolicyGrid grid;

@@ -1,0 +1,87 @@
+#include "policy/stream_spec.hpp"
+
+#include "obs/json.hpp"
+
+namespace ecdra::policy {
+
+std::string_view RunModeName(RunMode mode) noexcept {
+  switch (mode) {
+    case RunMode::kFixedTrace:
+      return "fixed";
+    case RunMode::kStream:
+      return "stream";
+    case RunMode::kBatch:
+      return "batch";
+  }
+  return "fixed";
+}
+
+bool StreamSpec::any() const noexcept {
+  const StreamSpec defaults;
+  return energy_rate != defaults.energy_rate ||
+         accrual_cap != defaults.accrual_cap ||
+         initial_energy != defaults.initial_energy ||
+         window_length != defaults.window_length ||
+         emergency_enter_fraction != defaults.emergency_enter_fraction ||
+         emergency_exit_fraction != defaults.emergency_exit_fraction ||
+         admission != defaults.admission || defer_rho != defaults.defer_rho ||
+         drop_rho != defaults.drop_rho ||
+         fairness_wait != defaults.fairness_wait;
+}
+
+namespace {
+
+void Describe(std::string& out, std::string_view key, const std::string& value,
+              const std::string& default_value) {
+  if (value == default_value) return;
+  if (!out.empty()) out += ", ";
+  out += key;
+  out += " = ";
+  out += value;
+}
+
+void DescribeNum(std::string& out, std::string_view key, double value,
+                 double default_value) {
+  Describe(out, key, obs::json::Number(value),
+           obs::json::Number(default_value));
+}
+
+}  // namespace
+
+std::string DescribeStreamFields(const StreamSpec& stream) {
+  const StreamSpec defaults;
+  std::string out;
+  DescribeNum(out, "stream.energy_rate", stream.energy_rate,
+              defaults.energy_rate);
+  DescribeNum(out, "stream.accrual_cap", stream.accrual_cap,
+              defaults.accrual_cap);
+  DescribeNum(out, "stream.initial_energy", stream.initial_energy,
+              defaults.initial_energy);
+  DescribeNum(out, "stream.window_length", stream.window_length,
+              defaults.window_length);
+  DescribeNum(out, "stream.emergency_enter", stream.emergency_enter_fraction,
+              defaults.emergency_enter_fraction);
+  DescribeNum(out, "stream.emergency_exit", stream.emergency_exit_fraction,
+              defaults.emergency_exit_fraction);
+  Describe(out, "stream.admission", stream.admission, defaults.admission);
+  DescribeNum(out, "stream.defer_rho", stream.defer_rho, defaults.defer_rho);
+  DescribeNum(out, "stream.drop_rho", stream.drop_rho, defaults.drop_rho);
+  DescribeNum(out, "stream.fairness_wait", stream.fairness_wait,
+              defaults.fairness_wait);
+  return out;
+}
+
+void RequireStreamCompatible(RunMode mode, const StreamSpec& stream) {
+  if (mode == RunMode::kStream) {
+    if (stream.energy_rate > 0.0) return;
+    throw StreamSpecError(
+        "stream mode requires stream.energy_rate > 0 (set --energy-rate)");
+  }
+  if (!stream.any()) return;
+  throw StreamSpecError(std::string(RunModeName(mode)) +
+                        " mode cannot honor a streaming scenario: " +
+                        DescribeStreamFields(stream) +
+                        " (run with --stream, or drop the stream block)");
+}
+
+}  // namespace ecdra::policy

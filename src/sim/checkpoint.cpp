@@ -186,6 +186,8 @@ std::string ConfigFingerprint(const ExperimentSetup& setup,
   spec.fault = options.fault;
   spec.recovery = options.recovery;
   spec.governor = options.governor;
+  spec.mode = options.mode;
+  spec.stream = options.stream;
   return policy::SpecFingerprint(spec);
 }
 
@@ -238,6 +240,34 @@ std::string TrialResultToJson(const TrialResult& result) {
   Field(out, "energy_remaining", result.estimated_energy_remaining);
   out += ',';
   Field(out, "makespan", result.makespan);
+
+  // Streaming aggregates (omitted entirely for fixed-trace trials, keeping
+  // their records byte-identical to schema-v3 bodies).
+  if (result.stream.enabled) {
+    out += ",\"stream\":{";
+    Field(out, "windows", std::uint64_t{result.stream.windows});
+    out += ',';
+    Field(out, "deferred", std::uint64_t{result.stream.deferred});
+    out += ',';
+    Field(out, "admission_dropped",
+          std::uint64_t{result.stream.admission_dropped});
+    out += ',';
+    Field(out, "released", std::uint64_t{result.stream.released});
+    out += ',';
+    Field(out, "forced", std::uint64_t{result.stream.forced_admissions});
+    out += ',';
+    Field(out, "pen_peak", std::uint64_t{result.stream.pen_peak});
+    out += ',';
+    Field(out, "emergency_entries",
+          std::uint64_t{result.stream.emergency_entries});
+    out += ',';
+    Field(out, "emergency_seconds", result.stream.emergency_seconds);
+    out += ',';
+    Field(out, "min_available", result.stream.min_available);
+    out += ',';
+    Field(out, "final_available", result.stream.final_available);
+    out += '}';
+  }
 
   // Counters: non-zero slots only, via the generic field table.
   std::string counters;
@@ -324,6 +354,24 @@ TrialResult TrialResultFromValue(const json::Value& object) {
   }
   result.estimated_energy_remaining = RequireNumber(object, "energy_remaining");
   result.makespan = RequireNumber(object, "makespan");
+
+  if (const json::Value* stream = object.Find("stream")) {
+    if (stream->kind() != json::Value::Kind::kObject) {
+      BadRecord("field \"stream\" is not an object");
+    }
+    result.stream.enabled = true;
+    result.stream.windows = RequireUint(*stream, "windows");
+    result.stream.deferred = RequireUint(*stream, "deferred");
+    result.stream.admission_dropped = RequireUint(*stream, "admission_dropped");
+    result.stream.released = RequireUint(*stream, "released");
+    result.stream.forced_admissions = RequireUint(*stream, "forced");
+    result.stream.pen_peak = RequireUint(*stream, "pen_peak");
+    result.stream.emergency_entries = RequireUint(*stream, "emergency_entries");
+    result.stream.emergency_seconds =
+        RequireNumber(*stream, "emergency_seconds");
+    result.stream.min_available = RequireNumber(*stream, "min_available");
+    result.stream.final_available = RequireNumber(*stream, "final_available");
+  }
 
   if (const json::Value* counters = object.Find("counters")) {
     if (counters->kind() != json::Value::Kind::kObject) {

@@ -38,8 +38,11 @@ namespace ecdra::sim {
 /// hash of the sampled environment — the preimages differ, so v1 stores
 /// must not be silently resumed against v2 hashes. v3: the fingerprint
 /// preimage grew the run.governor line ("ecdra-scenario-fingerprint v2"),
-/// so a v2 store cannot attest what governor produced its trials.
-inline constexpr std::uint32_t kCheckpointSchemaVersion = 3;
+/// so a v2 store cannot attest what governor produced its trials. v4: the
+/// preimage grew run.mode and the stream.* block ("ecdra-scenario-fingerprint
+/// v3") and trial records grew the "stream" aggregate object — a v3 store
+/// cannot attest whether its trials ran fixed-trace or streaming semantics.
+inline constexpr std::uint32_t kCheckpointSchemaVersion = 4;
 
 enum class CheckpointErrorKind {
   kIo,                  // cannot open / read / write the file

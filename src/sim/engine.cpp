@@ -103,6 +103,32 @@ Engine::Engine(const cluster::Cluster& cluster,
     }
     horizon_ = tasks_.empty() ? 0.0 : tasks_.back().arrival;
   }
+
+  // Streaming service mode (src/stream): the replenishing account, the
+  // admission policy (resolving the name validates it; "none" reports
+  // inactive so arrivals skip the rho sweep), and the availability slab the
+  // emergency pin writes through.
+  stream_enabled_ = options_.stream.enabled;
+  if (stream_enabled_) {
+    ECDRA_REQUIRE(options_.stream.window_length > 0.0,
+                  "stream window length must be positive");
+    account_ = stream::EnergyAccount(options_.stream);
+    admission_ = stream::MakeAdmissionPolicy(options_.stream.admission,
+                                             options_.stream.admission_options);
+    admission_active_ = admission_->active();
+    window_length_ = options_.stream.window_length;
+    if (availability_.empty()) {
+      availability_.assign(cluster.total_cores(), core::CoreAvailability{});
+    }
+    // An account born below the enter threshold is already in emergency; the
+    // floors must say so before the first arrival maps.
+    emergency_active_ = account_.emergency();
+    if (emergency_active_) {
+      for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+        RefreshAvailability(flat);
+      }
+    }
+  }
 }
 
 TrialResult Engine::Run() {
@@ -136,6 +162,9 @@ TrialResult Engine::Run() {
   }
   if (governor_enabled_ && cadence_.tick_period > 0.0) {
     events_.Push(Event{cadence_.tick_period, 3, 0, next_seq_++});
+  }
+  if (stream_enabled_) {
+    events_.Push(Event{window_length_, 4, 0, next_seq_++});
   }
 
   std::size_t arrivals_pending = tasks_.size();
@@ -203,13 +232,31 @@ TrialResult Engine::Run() {
       if (arrivals_pending > 0 || active_tasks_ > 0) {
         events_.Push(Event{now + cadence_.tick_period, 3, 0, next_seq_++});
       }
+    } else if (event.kind == 4) {
+      // Window boundary: close the metrics window first (pen releases start
+      // work in the window that opens), then re-scan the whole pen. With no
+      // arrivals or assigned work left, anything still penned would wait
+      // forever — drain it so the trial terminates.
+      CloseWindow(now);
+      ReleasePen(now, /*full_scan=*/true);
+      if (arrivals_pending == 0 && active_tasks_ == 0 && !pen_.empty()) {
+        DrainPen(now);
+      }
+      if (arrivals_pending > 0 || active_tasks_ > 0 || !pen_.empty()) {
+        events_.Push(Event{now + window_length_, 4, 0, next_seq_++});
+      }
     } else {
       // Tally the finishing task before mutating core state.
       const std::size_t flat = event.index;
       const std::size_t task_id = runtime_[flat].running.task_id;
       const workload::Task& task = tasks_[task_id];
       const bool on_time = now <= task.deadline;
-      const bool within_energy = !exhausted_at_ || now <= *exhausted_at_;
+      // Streaming mode has no fixed cutoff instant: within-energy means the
+      // account is solvent when the task finishes (the draw was netted
+      // against the accrual up to exactly this moment).
+      const bool within_energy =
+          stream_enabled_ ? account_.available() >= 0.0
+                          : (!exhausted_at_ || now <= *exhausted_at_);
       if (on_time && within_energy) {
         ++result.completed;
         result.weighted_completed += task.priority;
@@ -218,6 +265,15 @@ TrialResult Engine::Run() {
         ++result.finished_late;
       } else {
         ++result.on_time_but_over_budget;
+      }
+      if (stream_enabled_) {
+        if (on_time && within_energy) {
+          ++window_.on_time;
+        } else if (!on_time) {
+          ++window_.late;
+        } else {
+          ++window_.over_energy;
+        }
       }
       --active_tasks_;
       if (options_.collect_task_records) {
@@ -228,12 +284,24 @@ TrialResult Engine::Run() {
       }
       HandleFinish(flat, now);
       if (validator && validator->deep()) CheckQueueModelSync(flat, now);
+      // A completion freed capacity: give the most-owed penned task one
+      // chance to re-enter (full scans wait for the window boundary).
+      if (stream_enabled_ && !pen_.empty()) ReleasePen(now, false);
       if (governor_enabled_ && cadence_.on_completion) InvokeGovernor(now);
     }
-    // With all arrivals seen and no task assigned anywhere, nothing left in
-    // the queue can matter — only stale finishes and trailing fault events.
-    if (arrivals_pending == 0 && active_tasks_ == 0) break;
+    // With all arrivals seen, no task assigned anywhere, and nothing penned,
+    // nothing left in the queue can matter — only stale finishes, trailing
+    // fault events, and trailing window boundaries.
+    if (arrivals_pending == 0 && active_tasks_ == 0 &&
+        (!stream_enabled_ || pen_.empty())) {
+      break;
+    }
   }
+
+  // Close the final (partial) rolling window; every event after the last
+  // boundary is strictly later than it, so now > window start iff anything
+  // happened since.
+  if (stream_enabled_ && now > window_.start) CloseWindow(now);
 
   // Queue-model/engine synchronization holds at every instant in deep mode;
   // cheap mode settles for the end-of-trial sweep (every model must have
@@ -272,10 +340,27 @@ TrialResult Engine::Run() {
   result.energy_exhausted_at = exhausted_at_;
   result.estimated_energy_remaining = scheduler_->estimator().remaining();
   result.makespan = now;
+  if (stream_enabled_) {
+    stream_stats_.enabled = true;
+    stream_stats_.pen_peak = pen_.peak();
+    stream_stats_.emergency_entries = account_.emergency_entries();
+    stream_stats_.emergency_seconds = account_.emergency_seconds(now);
+    stream_stats_.min_available = account_.min_available();
+    stream_stats_.final_available = account_.available();
+    result.stream = stream_stats_;
+  }
   result.task_records = std::move(records_);
   result.robustness_trace = std::move(robustness_trace_);
   if (options_.collect_counters) {
     counters_.tasks_cancelled = cancelled_;
+    if (stream_enabled_) {
+      counters_.stream_windows = stream_stats_.windows;
+      counters_.stream_deferred = stream_stats_.deferred;
+      counters_.stream_admission_dropped = stream_stats_.admission_dropped;
+      counters_.stream_released = stream_stats_.released;
+      counters_.stream_forced_admissions = stream_stats_.forced_admissions;
+      counters_.stream_emergency_entries = stream_stats_.emergency_entries;
+    }
     result.counters = counters_;
   }
   if (validator) result.validation = validator->TakeReport();
@@ -304,6 +389,31 @@ void Engine::CheckQueueModelSync(std::size_t flat_core, double now) const {
 }
 
 void Engine::HandleArrival(const workload::Task& task, double now) {
+  if (stream_enabled_) {
+    ++window_.arrivals;
+    if (admission_active_) {
+      // The admission stage rules before the mapping pipeline runs. Deferred
+      // and dropped arrivals still consume their slot in the scheduler's
+      // arrival window (SkipTask) so the energy filter's fair share stays
+      // honest; a later pen release re-enters through the remap pipeline.
+      switch (DecideAdmission(task, now)) {
+        case stream::AdmissionVerdict::kDefer:
+          scheduler_->SkipTask();
+          DeferToPen(task);
+          return;
+        case stream::AdmissionVerdict::kDrop:
+          scheduler_->SkipTask();
+          DropAtAdmission(task.id, now);
+          return;
+        case stream::AdmissionVerdict::kAdmitForced:
+          ++stream_stats_.forced_admissions;
+          break;
+        case stream::AdmissionVerdict::kAdmit:
+          break;
+      }
+    }
+    ++window_.admitted;
+  }
   const std::optional<core::Candidate> chosen =
       scheduler_->MapTask(task, now, models_, AvailabilityView());
   if (!chosen) return;  // discarded; scheduler counted it
@@ -383,10 +493,36 @@ void Engine::HandleFault(const fault::FaultEvent& fault_event, double now) {
       for (const std::size_t task_id : stranded) {
         --active_tasks_;
         bool saved = false;
+        bool penned = false;
         if (options_.recovery_policy ==
             fault::RecoveryPolicy::kRequeueToScheduler) {
-          saved = TryRemap(tasks_[task_id], now);
+          if (stream_enabled_ && admission_active_) {
+            // Streaming admission sees a requeued task exactly like a fresh
+            // arrival — it re-enters admission, it never jumps straight into
+            // the holding pen (and may be re-refused under backpressure).
+            switch (DecideAdmission(tasks_[task_id], now)) {
+              case stream::AdmissionVerdict::kDefer:
+                DeferToPen(tasks_[task_id]);
+                penned = true;
+                break;
+              case stream::AdmissionVerdict::kDrop:
+                // Counted as an admission drop and, below, as lost.
+                ++stream_stats_.admission_dropped;
+                ++window_.dropped;
+                break;
+              case stream::AdmissionVerdict::kAdmitForced:
+                ++stream_stats_.forced_admissions;
+                saved = TryRemap(tasks_[task_id], now);
+                break;
+              case stream::AdmissionVerdict::kAdmit:
+                saved = TryRemap(tasks_[task_id], now);
+                break;
+            }
+          } else {
+            saved = TryRemap(tasks_[task_id], now);
+          }
         }
+        if (penned) continue;  // neither saved nor lost yet
         if (saved) {
           ++tasks_remapped_;
           ++trace_record.tasks_requeued;
@@ -560,6 +696,22 @@ void Engine::SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
 }
 
 void Engine::AdvanceEnergy(double to_time) {
+  if (stream_enabled_) {
+    // Streaming mode has no fixed zeta_max cutoff: the account nets the
+    // interval's accrual against its exact Eq. 1/2 draw (clamped net flow,
+    // see stream/energy_account.hpp) and updates the emergency hysteresis
+    // at the interval end. A flip re-derives every core's floor.
+    const double before = meter_.consumed();
+    meter_.AdvanceTo(to_time);
+    account_.AdvanceTo(to_time, meter_.consumed() - before);
+    if (account_.emergency() != emergency_active_) {
+      emergency_active_ = account_.emergency();
+      for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+        RefreshAvailability(flat);
+      }
+    }
+    return;
+  }
   if (!exhausted_at_) {
     exhausted_at_ =
         meter_.BudgetCrossingTime(options_.energy_budget, to_time);
@@ -590,6 +742,12 @@ void Engine::RefreshAvailability(std::size_t flat_core) {
   if (governor_enabled_) {
     availability.pstate_floor =
         std::max(availability.pstate_floor, governor_floor_[flat_core]);
+  }
+  if (stream_enabled_ && emergency_active_) {
+    // Emergency pin: future mappings are floored to the deepest P-state;
+    // running tasks keep their states (the governor-cap precedent).
+    availability.pstate_floor =
+        std::max(availability.pstate_floor, idle_pstate_);
   }
   availability_[flat_core] = availability;
 }
@@ -692,6 +850,138 @@ void Engine::SetFairShareScale(double scale) {
     record.scale = scale;
     options_.trace_sink->Record(record);
   }
+}
+
+double Engine::BestAdmissionRho(const workload::Task& task, double now) const {
+  double best = 0.0;
+  for (std::size_t flat = 0; flat < models_.size(); ++flat) {
+    if (fault_enabled_ && !injector_.available(flat)) continue;
+    // The same rho(i,j,k,pi,t,z) primitive the robustness filter computes,
+    // evaluated at the core's current P-state floor (emergency, throttle,
+    // or governor cap) — the fastest state a mapping could actually get.
+    const auto& exec = types_->ExecPmf(task.type, cluster_->NodeIndexOf(flat),
+                                       availability_[flat].pstate_floor);
+    best = std::max(best, robustness::OnTimeProbability(models_[flat], now,
+                                                        exec, task.deadline));
+  }
+  return best;
+}
+
+stream::AdmissionVerdict Engine::DecideAdmission(const workload::Task& task,
+                                                 double now) {
+  stream::AdmissionView view;
+  view.now = now;
+  view.arrival = task.arrival;
+  view.deadline = task.deadline;
+  view.best_rho = BestAdmissionRho(task, now);
+  view.available_energy = account_.available();
+  view.emergency = account_.emergency();
+  view.pen_depth = pen_.size();
+  return admission_->Decide(view);
+}
+
+void Engine::DeferToPen(const workload::Task& task) {
+  pen_.Add(stream::PennedTask{
+      task.id, task.arrival, task.deadline,
+      stream::CheapestExpectedEnergy(*cluster_, *types_, task.type)});
+  ++window_.deferred;
+  ++stream_stats_.deferred;
+}
+
+void Engine::DropAtAdmission(std::size_t task_id, double now) {
+  ++window_.dropped;
+  ++stream_stats_.admission_dropped;
+  if (options_.collect_task_records) {
+    records_[task_id].finish_time = now;
+  }
+}
+
+void Engine::ReleasePen(double now, bool full_scan) {
+  if (pen_.empty()) return;
+  const std::vector<stream::PennedTask> ordered = pen_.InPriorityOrder(now);
+  for (const stream::PennedTask& penned : ordered) {
+    const workload::Task& task = tasks_[penned.task_id];
+    if (task.deadline <= now) {
+      // Expired in the pen: a certain miss not worth a mapping attempt.
+      pen_.Remove(penned.task_id);
+      DropAtAdmission(penned.task_id, now);
+      continue;
+    }
+    const stream::AdmissionVerdict verdict = DecideAdmission(task, now);
+    if (verdict == stream::AdmissionVerdict::kDefer) {
+      // The most-owed task is still refused; the rest wait with it.
+      break;
+    }
+    pen_.Remove(penned.task_id);
+    if (verdict == stream::AdmissionVerdict::kDrop) {
+      DropAtAdmission(penned.task_id, now);
+      continue;
+    }
+    if (verdict == stream::AdmissionVerdict::kAdmitForced) {
+      ++stream_stats_.forced_admissions;
+    }
+    if (TryRemap(task, now)) {
+      ++stream_stats_.released;
+      ++window_.released;
+    } else {
+      // The mapping pipeline found nothing feasible for it either.
+      DropAtAdmission(penned.task_id, now);
+    }
+    // A head-only scan (completion-triggered) releases at most one task.
+    if (!full_scan) break;
+  }
+}
+
+void Engine::DrainPen(double now) {
+  for (const stream::PennedTask& penned : pen_.InPriorityOrder(now)) {
+    pen_.Remove(penned.task_id);
+    const workload::Task& task = tasks_[penned.task_id];
+    if (task.deadline > now && TryRemap(task, now)) {
+      ++stream_stats_.released;
+      ++stream_stats_.forced_admissions;
+      ++window_.released;
+    } else {
+      DropAtAdmission(penned.task_id, now);
+    }
+  }
+}
+
+void Engine::CloseWindow(double now) {
+  const double joules = meter_.consumed() - window_.joules_open;
+  const std::uint64_t resolved =
+      window_.on_time + window_.late + window_.over_energy + window_.dropped;
+  if (options_.trace_sink != nullptr) {
+    obs::StreamWindowRecord record;
+    record.trial = options_.trial_index;
+    record.index = window_.index;
+    record.start = window_.start;
+    record.end = now;
+    record.arrivals = window_.arrivals;
+    record.admitted = window_.admitted;
+    record.deferred = window_.deferred;
+    record.dropped = window_.dropped;
+    record.released = window_.released;
+    record.on_time = window_.on_time;
+    record.late = window_.late;
+    record.over_energy = window_.over_energy;
+    record.joules = joules;
+    record.on_time_per_joule =
+        joules > 0.0 ? static_cast<double>(window_.on_time) / joules : 0.0;
+    record.missed_rate =
+        resolved > 0 ? static_cast<double>(resolved - window_.on_time) /
+                           static_cast<double>(resolved)
+                     : 0.0;
+    record.available = account_.available();
+    record.queue_depth = active_tasks_;
+    record.pen_depth = pen_.size();
+    record.emergency = account_.emergency();
+    options_.trace_sink->Record(record);
+  }
+  ++stream_stats_.windows;
+  window_ = WindowAccumulator{};
+  window_.index = stream_stats_.windows;
+  window_.start = now;
+  window_.joules_open = meter_.consumed();
 }
 
 double Engine::SampleActualDuration(const workload::Task& task,

@@ -1,11 +1,13 @@
 // Discrete-event simulation of one trial (§VI).
 //
-// Four event kinds drive the clock: task arrivals (the scheduler maps the
+// Five event kinds drive the clock: task arrivals (the scheduler maps the
 // task immediately), task completions (the core starts its next queued
 // task or drops to the idle P-state), fault events (failures, repairs,
 // throttles — the §VIII dynamic-availability extension, absent by default),
-// and governor ticks (the src/governor online energy-governance extension,
-// scheduled only for governors with a periodic cadence).
+// governor ticks (the src/governor online energy-governance extension,
+// scheduled only for governors with a periodic cadence), and window
+// boundaries (the src/stream streaming service mode: close the rolling
+// metrics window and re-scan the admission holding pen).
 // Between events every core draws the power of its current P-state — cores
 // are never off unless power-gated or failed — and the engine integrates
 // cluster energy online, pinning the exact instant the budget zeta_max is
@@ -38,6 +40,10 @@
 #include "robustness/core_queue_model.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
+#include "stream/admission.hpp"
+#include "stream/energy_account.hpp"
+#include "stream/holding_pen.hpp"
+#include "stream/stream_config.hpp"
 #include "util/rng.hpp"
 #include "validate/validation.hpp"
 #include "workload/task.hpp"
@@ -129,6 +135,14 @@ struct TrialOptions {
   /// governor hook — the trial takes the exact pre-governor event path.
   /// Unknown names throw std::invalid_argument listing the registry.
   std::string governor = "static";
+  /// Streaming service mode (src/stream): replenishing energy account,
+  /// rolling windowed metrics, and admission-controlled backpressure.
+  /// Disabled (the default) reproduces the fixed-budget trial bit-for-bit —
+  /// no stream bookkeeping touches the event loop. When enabled,
+  /// energy_budget above still seeds the governor's budget schedule (the
+  /// caller sets it to the total accrual over the arrival horizon) but the
+  /// within-energy test becomes the account balance, not a fixed cutoff.
+  stream::StreamConfig stream;
 };
 
 class Engine : private governor::GovernorHost {
@@ -190,11 +204,12 @@ class Engine : private governor::GovernorHost {
   void PlaceOnCore(const core::Candidate& chosen, const workload::Task& task,
                    double now);
   /// The scheduler's availability view: empty (all cores fully available,
-  /// the exact baseline path) unless this trial has a fault schedule or an
-  /// active (non-static) governor.
+  /// the exact baseline path) unless this trial has a fault schedule, an
+  /// active (non-static) governor, or runs in streaming mode (whose
+  /// emergency pin is an availability floor).
   [[nodiscard]] std::span<const core::CoreAvailability> AvailabilityView()
       const noexcept {
-    return (fault_enabled_ || governor_enabled_)
+    return (fault_enabled_ || governor_enabled_ || stream_enabled_)
                ? std::span<const core::CoreAvailability>(availability_)
                : std::span<const core::CoreAvailability>{};
   }
@@ -219,6 +234,29 @@ class Engine : private governor::GovernorHost {
   void SwitchPState(std::size_t flat_core, cluster::PStateIndex pstate,
                     double now, double core_watts = -1.0);
   void AdvanceEnergy(double to_time);
+  // -- Streaming service mode (src/stream; all no-ops when disabled) --
+  /// Best achievable on-time probability for `task` over available cores at
+  /// their current P-state floors — the admission stage's rho signal.
+  [[nodiscard]] double BestAdmissionRho(const workload::Task& task,
+                                        double now) const;
+  /// Builds the AdmissionView and runs the configured policy.
+  [[nodiscard]] stream::AdmissionVerdict DecideAdmission(
+      const workload::Task& task, double now);
+  /// Parks a task in the holding pen (fresh deferral or fault requeue).
+  void DeferToPen(const workload::Task& task);
+  /// Records an admission drop (fresh arrival or expired pen entry).
+  void DropAtAdmission(std::size_t task_id, double now);
+  /// Re-evaluates the pen in waiting-time-per-joule order: releases tasks
+  /// admission now accepts (through the remap pipeline), drops expired or
+  /// hopeless ones, stops at the first still-deferred entry. Head-only
+  /// scans (completions) look at one entry; window boundaries scan all.
+  void ReleasePen(double now, bool full_scan);
+  /// End-of-trace drain: with no arrivals or assigned work left, force-place
+  /// (or drop) every penned task so the trial terminates.
+  void DrainPen(double now);
+  /// Closes the rolling window ending at `now`: emits the trace record,
+  /// folds the accumulators into the trial aggregates, opens the next.
+  void CloseWindow(double now);
   [[nodiscard]] double SampleActualDuration(const workload::Task& task,
                                             std::size_t node,
                                             cluster::PStateIndex pstate);
@@ -271,6 +309,34 @@ class Engine : private governor::GovernorHost {
   double fair_share_scale_ = 1.0;
   /// Clock of the in-flight InvokeGovernor, stamped into action records.
   double governor_now_ = 0.0;
+  // -- Streaming extension state (inert when stream_enabled_ is false) --
+  bool stream_enabled_ = false;
+  stream::EnergyAccount account_;
+  std::unique_ptr<stream::AdmissionPolicy> admission_;
+  /// False for the "none" policy: arrivals skip the rho sweep entirely.
+  bool admission_active_ = false;
+  stream::HoldingPen pen_;
+  /// Mirrors account_.emergency() so a flip is detected (and the
+  /// availability floors refreshed) exactly once per transition.
+  bool emergency_active_ = false;
+  double window_length_ = 0.0;
+  /// Accumulators of the currently open rolling window.
+  struct WindowAccumulator {
+    std::uint64_t index = 0;
+    double start = 0.0;
+    /// meter_.consumed() when the window opened.
+    double joules_open = 0.0;
+    std::uint64_t arrivals = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t deferred = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t released = 0;
+    std::uint64_t on_time = 0;
+    std::uint64_t late = 0;
+    std::uint64_t over_energy = 0;
+  };
+  WindowAccumulator window_;
+  StreamStats stream_stats_;
   /// Tasks currently assigned to some core (running or queued); lets the
   /// event loop stop once all work is resolved instead of draining
   /// trailing fault events.

@@ -70,6 +70,11 @@ ExperimentSetup BuildExperimentSetup(const policy::ScenarioSpec& spec) {
 }
 
 RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec) {
+  // Typed refusal up front: a fixed-trace run cannot honor a streaming
+  // scenario (and a streaming run needs a rate), so the mismatch is
+  // diagnosed here — naming the incompatible stream.* fields — instead of
+  // silently ignoring the block.
+  policy::RequireStreamCompatible(spec.mode, spec.stream);
   RunOptions options;
   options.num_trials = spec.num_trials;
   options.idle_policy = spec.idle_policy;
@@ -80,6 +85,8 @@ RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec) {
   options.fault = spec.fault;
   options.recovery = spec.recovery;
   options.governor = spec.governor;
+  options.mode = spec.mode;
+  options.stream = spec.stream;
   options.validation = spec.validation;
   return options;
 }
@@ -95,14 +102,28 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
   std::vector<workload::Task> tasks =
       workload::GenerateWorkload(setup.types, setup.workload, workload_rng);
 
+  // Streaming mode replaces the fixed zeta_max with the accrual line's
+  // total over the arrival horizon: the scheduler's fair share and the
+  // governor's budget schedule then track everything that will ever flow
+  // into the account, while the engine's within-energy test is the live
+  // account balance.
+  double energy_budget = setup.energy_budget;
+  stream::StreamConfig stream_config;
+  if (options.mode == policy::RunMode::kStream) {
+    stream_config = stream::ResolveStreamConfig(options.stream, setup.t_avg,
+                                                tasks.back().arrival);
+    energy_budget = stream_config.initial_energy +
+                    stream_config.energy_rate * tasks.back().arrival;
+  }
+
   core::ImmediateModeScheduler scheduler(
       setup.cluster, setup.types,
       core::MakeHeuristic(heuristic, trial_rng.Substream("heuristic")),
       core::MakeFilterChain(filter_variant, options.filter_options),
-      setup.energy_budget, setup.window_size);
+      energy_budget, setup.window_size);
 
   TrialOptions trial_options{
-      .energy_budget = setup.energy_budget,
+      .energy_budget = energy_budget,
       .idle_policy = options.idle_policy,
       .cancel_policy = options.cancel_policy,
       .collect_task_records = options.collect_task_records,
@@ -118,6 +139,7 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       .validation_fail_fast = options.validation_fail_fast,
       .trial_timeout = options.trial_timeout,
       .governor = options.governor,
+      .stream = stream_config,
   };
   if (options.fault.enabled()) {
     // The fault schedule draws only from the trial's "fault" substream, so

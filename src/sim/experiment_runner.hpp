@@ -95,6 +95,14 @@ struct RunOptions {
   /// trial. "static" (the paper baseline) declares no cadence and leaves
   /// the trial bit-identical to a pre-governor build.
   std::string governor = "static";
+  /// Streaming service mode (src/stream): the run mode and the portable
+  /// stream block. kStream resolves the block against the trial environment
+  /// (ResolveStreamConfig) and runs every trial with the replenishing
+  /// account, windowed metrics, and admission stage; kFixedTrace (the
+  /// default) with a non-default stream block is refused with a typed
+  /// one-line diagnostic (policy::RequireStreamCompatible).
+  policy::RunMode mode = policy::RunMode::kFixedTrace;
+  policy::StreamSpec stream;
 
   // -- Crash-safe sweep extensions (RunSweep; all inert by default) --
   /// Per-attempt wall-clock watchdog in real seconds (0 = off). A trial

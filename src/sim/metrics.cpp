@@ -26,6 +26,18 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
   if (result.energy_exhausted_at) {
     os << ", exhausted_at=" << *result.energy_exhausted_at;
   }
+  if (result.stream.enabled) {
+    os << ", stream{windows=" << result.stream.windows
+       << ", deferred=" << result.stream.deferred
+       << ", admission_dropped=" << result.stream.admission_dropped
+       << ", released=" << result.stream.released
+       << ", forced=" << result.stream.forced_admissions
+       << ", pen_peak=" << result.stream.pen_peak
+       << ", emergencies=" << result.stream.emergency_entries
+       << ", emergency_s=" << result.stream.emergency_seconds
+       << ", min_available=" << result.stream.min_available
+       << ", final_available=" << result.stream.final_available << "}";
+  }
   if (!result.validation.ok()) {
     os << ", validation=" << result.validation;
   }
@@ -49,6 +61,12 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
     summary.mean_remapped += static_cast<double>(trial.tasks_remapped);
     summary.mean_remapped_on_time +=
         static_cast<double>(trial.remapped_on_time);
+    if (trial.stream.enabled) ++summary.stream_trials;
+    summary.mean_stream_deferred += static_cast<double>(trial.stream.deferred);
+    summary.mean_stream_dropped +=
+        static_cast<double>(trial.stream.admission_dropped);
+    summary.mean_stream_released += static_cast<double>(trial.stream.released);
+    summary.mean_emergency_seconds += trial.stream.emergency_seconds;
     summary.counters.Merge(trial.counters);
     summary.validation_checks += trial.validation.checks_run;
     summary.validation_violations += trial.validation.violations;
@@ -64,6 +82,10 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
   summary.mean_tasks_lost /= n;
   summary.mean_remapped /= n;
   summary.mean_remapped_on_time /= n;
+  summary.mean_stream_deferred /= n;
+  summary.mean_stream_dropped /= n;
+  summary.mean_stream_released /= n;
+  summary.mean_emergency_seconds /= n;
   return summary;
 }
 
@@ -79,6 +101,13 @@ std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
        << ", mean_tasks_lost=" << summary.mean_tasks_lost
        << ", mean_remapped=" << summary.mean_remapped
        << ", mean_remapped_on_time=" << summary.mean_remapped_on_time;
+  }
+  if (summary.stream_trials > 0) {
+    os << ", stream_trials=" << summary.stream_trials
+       << ", mean_stream_deferred=" << summary.mean_stream_deferred
+       << ", mean_stream_dropped=" << summary.mean_stream_dropped
+       << ", mean_stream_released=" << summary.mean_stream_released
+       << ", mean_emergency_seconds=" << summary.mean_emergency_seconds;
   }
   if (summary.failed_trials > 0 || summary.retried_trials > 0 ||
       summary.timed_out_trials > 0) {

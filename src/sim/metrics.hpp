@@ -55,6 +55,35 @@ struct RobustnessSample {
   std::size_t in_flight = 0;
 };
 
+/// Streaming-mode scalars of one trial (src/stream; all zero/false in
+/// fixed-trace runs). Per-window detail flows through the trace sink as
+/// "window" records; these are the trial-level aggregates that checkpoint
+/// and summarize.
+struct StreamStats {
+  bool enabled = false;
+  /// Rolling windows closed (including the final partial window).
+  std::size_t windows = 0;
+  /// Arrivals deferred to the holding pen by the admission stage.
+  std::size_t deferred = 0;
+  /// Tasks the admission stage refused outright or expired in the pen
+  /// (counts toward missed_deadlines, like filter discards).
+  std::size_t admission_dropped = 0;
+  /// Pen tasks released to the scheduler.
+  std::size_t released = 0;
+  /// Releases forced by the fairness guard or the end-of-trace drain.
+  std::size_t forced_admissions = 0;
+  /// Deepest the pen ever got.
+  std::size_t pen_peak = 0;
+  /// Emergency-mode episodes and total seconds spent pinned.
+  std::size_t emergency_entries = 0;
+  double emergency_seconds = 0.0;
+  /// Account balance: the deficit's depth and the end-of-trial balance.
+  double min_available = 0.0;
+  double final_available = 0.0;
+
+  friend bool operator==(const StreamStats&, const StreamStats&) = default;
+};
+
 struct TrialResult {
   std::size_t window_size = 0;
   /// Tasks that completed by their deadline before the energy budget ran out
@@ -102,6 +131,9 @@ struct TrialResult {
   /// Time the last task finished.
   double makespan = 0.0;
 
+  /// Streaming-mode aggregates (enabled == false in fixed-trace runs).
+  StreamStats stream;
+
   std::vector<TaskRecord> task_records;  // empty unless requested
   std::vector<RobustnessSample> robustness_trace;  // empty unless requested
   /// Scheduler/engine/pmf observability counters (all-zero unless
@@ -133,6 +165,13 @@ struct SummaryStatistics {
   double mean_tasks_lost = 0.0;
   double mean_remapped = 0.0;
   double mean_remapped_on_time = 0.0;
+  // -- Streaming extension (all zero in fixed-trace runs) --
+  /// Trials that ran in streaming mode (0 or == trials in practice).
+  std::size_t stream_trials = 0;
+  double mean_stream_deferred = 0.0;
+  double mean_stream_dropped = 0.0;
+  double mean_stream_released = 0.0;
+  double mean_emergency_seconds = 0.0;
   /// Counters summed over all trials (all-zero when collection was off).
   obs::Counters counters;
   /// Invariant-validation totals over all trials (zero when validation off).

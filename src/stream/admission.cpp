@@ -1,0 +1,69 @@
+#include "stream/admission.hpp"
+
+namespace ecdra::stream {
+
+AdmissionRegistryType& AdmissionRegistry() {
+  static AdmissionRegistryType registry("admission policy");
+  return registry;
+}
+
+std::vector<std::string> AdmissionNames() { return AdmissionRegistry().Names(); }
+
+std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(
+    std::string_view name, const AdmissionOptions& options) {
+  return AdmissionRegistry().Make(name, options);
+}
+
+namespace {
+
+class NoAdmission final : public AdmissionPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "none";
+  }
+  [[nodiscard]] bool active() const noexcept override { return false; }
+  [[nodiscard]] AdmissionVerdict Decide(const AdmissionView&) override {
+    return AdmissionVerdict::kAdmit;
+  }
+};
+
+class RhoAdmission final : public AdmissionPolicy {
+ public:
+  explicit RhoAdmission(const AdmissionOptions& options) : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rho";
+  }
+
+  [[nodiscard]] AdmissionVerdict Decide(const AdmissionView& view) override {
+    // A passed deadline is hopeless whatever rho says.
+    if (view.deadline <= view.now) return AdmissionVerdict::kDrop;
+    // Fairness guard before the thresholds: a task that has waited out the
+    // guard gets mapped even with a poor rho — starving one task class to
+    // polish the on-time rate is not a trade this policy makes.
+    if (options_.fairness_wait > 0.0 &&
+        view.now - view.arrival >= options_.fairness_wait) {
+      return AdmissionVerdict::kAdmitForced;
+    }
+    if (view.best_rho < options_.drop_rho) return AdmissionVerdict::kDrop;
+    if (view.best_rho < options_.defer_rho) return AdmissionVerdict::kDefer;
+    return AdmissionVerdict::kAdmit;
+  }
+
+ private:
+  AdmissionOptions options_;
+};
+
+}  // namespace
+
+// Self-registration of the built-ins. This translation unit always links
+// (the registry accessor lives here), so the names are present in any
+// binary that calls MakeAdmissionPolicy.
+ECDRA_REGISTER_ADMISSION("none", [](const AdmissionOptions&) {
+  return std::make_unique<NoAdmission>();
+})
+ECDRA_REGISTER_ADMISSION("rho", [](const AdmissionOptions& options) {
+  return std::make_unique<RhoAdmission>(options);
+})
+
+}  // namespace ecdra::stream

@@ -1,0 +1,91 @@
+// Admission/backpressure stage of the streaming service mode.
+//
+// Under sustained oversubscription against an energy rate, mapping every
+// arrival poisons the queues: tasks with near-zero on-time probability
+// burn joules and delay feasible work (Gentry, Denninnart & Amini Salehi,
+// arXiv:1901.09312). The admission stage sees each arrival *before* the
+// scheduler does and rules admit / defer (to the holding pen) / drop,
+// using the same rho(i,j,k,pi,t,z) primitive the robustness filter
+// computes — best_rho is the maximum over available cores at their current
+// P-state floors.
+//
+// Policies are registered by name (ECDRA_REGISTER_ADMISSION) in the
+// registry shape every other policy surface shares: built-ins register at
+// static initialization, duplicates throw, unknown names throw listing the
+// valid choices. Built-ins: "none" (admit everything — the pure-accrual
+// baseline) and "rho" (threshold defer/drop with a fairness guard).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "policy/registry.hpp"
+#include "stream/stream_config.hpp"
+
+namespace ecdra::stream {
+
+enum class AdmissionVerdict {
+  /// Map it now.
+  kAdmit,
+  /// Map it now because the fairness guard expired — the engine counts
+  /// these separately so starvation-avoidance is visible in results.
+  kAdmitForced,
+  /// Park it in the holding pen; re-evaluated on completions and window
+  /// boundaries.
+  kDefer,
+  /// Refuse it outright (a near-certain miss not worth its joules).
+  kDrop,
+};
+
+/// What a policy sees per decision. One view is built per fresh arrival,
+/// per fault-requeued task (satellite: requeues re-enter admission, never
+/// jump the pen), and per pen re-evaluation.
+struct AdmissionView {
+  double now = 0.0;
+  /// The task's original arrival — now - arrival is its total wait.
+  double arrival = 0.0;
+  double deadline = 0.0;
+  /// Best achievable on-time probability over available cores at their
+  /// current floors.
+  double best_rho = 0.0;
+  /// Account balance (may be negative — a deficit).
+  double available_energy = 0.0;
+  bool emergency = false;
+  std::size_t pen_depth = 0;
+};
+
+class AdmissionPolicy {
+ public:
+  virtual ~AdmissionPolicy() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  /// False ("none") lets the engine skip the per-arrival rho sweep and the
+  /// whole admission path — the streaming baseline pays nothing for it.
+  [[nodiscard]] virtual bool active() const noexcept { return true; }
+  [[nodiscard]] virtual AdmissionVerdict Decide(const AdmissionView& view) = 0;
+};
+
+using AdmissionRegistryType =
+    policy::Registry<AdmissionPolicy, const AdmissionOptions&>;
+
+/// The process-wide admission registry (built-ins pre-registered).
+[[nodiscard]] AdmissionRegistryType& AdmissionRegistry();
+
+/// Registered names in lexicographic order.
+[[nodiscard]] std::vector<std::string> AdmissionNames();
+
+/// Constructs by registered name; unknown names throw listing the registry.
+[[nodiscard]] std::unique_ptr<AdmissionPolicy> MakeAdmissionPolicy(
+    std::string_view name, const AdmissionOptions& options);
+
+/// Registers an admission policy under `name` at static initialization.
+/// The factory is any callable (const AdmissionOptions&) ->
+/// std::unique_ptr<stream::AdmissionPolicy>. Use at namespace scope in a
+/// .cpp linked into the binary.
+#define ECDRA_REGISTER_ADMISSION(name, ...)                              \
+  ECDRA_POLICY_REGISTRATION(                                             \
+      ::ecdra::stream::AdmissionRegistry().Register((name), __VA_ARGS__))
+
+}  // namespace ecdra::stream

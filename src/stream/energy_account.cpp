@@ -1,0 +1,50 @@
+#include "stream/energy_account.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ecdra::stream {
+
+EnergyAccount::EnergyAccount(double rate, double cap, double initial,
+                             double emergency_enter, double emergency_exit)
+    : rate_(rate),
+      cap_(cap),
+      initial_(initial),
+      enter_(emergency_enter),
+      exit_(emergency_exit),
+      available_(std::min(cap, initial)),
+      min_available_(std::min(cap, initial)) {
+  ECDRA_REQUIRE(std::isfinite(rate) && rate >= 0.0,
+                "energy account: rate must be non-negative");
+  ECDRA_REQUIRE(std::isfinite(cap) && cap > 0.0,
+                "energy account: cap must be positive");
+  ECDRA_REQUIRE(emergency_exit >= emergency_enter,
+                "energy account: hysteresis needs exit >= enter");
+  // An account born below the threshold is already in emergency — the
+  // engine must pin from the first mapping decision, not the first event.
+  UpdateEmergency(0.0);
+}
+
+void EnergyAccount::AdvanceTo(double now, double consumed_delta) {
+  ECDRA_ASSERT(now >= now_, "energy account advanced backwards");
+  available_ =
+      std::min(cap_, available_ + rate_ * (now - now_) - consumed_delta);
+  min_available_ = std::min(min_available_, available_);
+  now_ = now;
+  UpdateEmergency(now);
+}
+
+void EnergyAccount::UpdateEmergency(double now) noexcept {
+  if (!emergency_ && available_ < enter_) {
+    emergency_ = true;
+    ++entries_;
+    emergency_since_ = now;
+  } else if (emergency_ && available_ >= exit_) {
+    emergency_ = false;
+    emergency_accum_ += now - emergency_since_;
+  }
+}
+
+}  // namespace ecdra::stream

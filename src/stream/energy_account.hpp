@@ -1,0 +1,84 @@
+// The replenishing energy account of the streaming service mode.
+//
+// energy_rate joules per second accrue into the balance, capped at
+// accrual_cap (excess spills); the engine debits the exact Eq. 1/2 draw of
+// the same interval. Power is piecewise-constant between engine events, so
+// the balance is linear within each inter-event interval and the clamped
+// net-flow update
+//
+//   available <- min(cap, available + rate * dt - consumed_delta)
+//
+// applied at interval ends is *exact*: within one interval the balance is
+// monotone, so it can cross the cap at most once, and once at the cap it
+// stays there while inflow exceeds the draw. (Accruing first and debiting
+// second would not be exact — it can bank spilled joules.)
+//
+// The balance may go negative: cores that are already running keep drawing
+// real power, so a deficit is the truthful account of over-service, and
+// completions while the balance is negative count as over-energy. Instead
+// of deadlocking on an empty account, the account enters emergency mode
+// with hysteresis — below emergency_enter the engine pins cores to the
+// deepest P-state; the pin releases once the balance recovers to
+// emergency_exit.
+#pragma once
+
+#include <cstddef>
+
+#include "stream/stream_config.hpp"
+
+namespace ecdra::stream {
+
+class EnergyAccount {
+ public:
+  EnergyAccount() = default;
+  explicit EnergyAccount(const StreamConfig& config)
+      : EnergyAccount(config.energy_rate, config.accrual_cap,
+                      config.initial_energy, config.emergency_enter,
+                      config.emergency_exit) {}
+  EnergyAccount(double rate, double cap, double initial, double emergency_enter,
+                double emergency_exit);
+
+  /// Advances the account to `now` (>= the previous call's time):
+  /// `consumed_delta` joules were drawn by the cluster over the elapsed
+  /// interval. Updates the emergency hysteresis at the interval end — the
+  /// finest granularity at which any engine decision can react anyway.
+  void AdvanceTo(double now, double consumed_delta);
+
+  [[nodiscard]] double available() const noexcept { return available_; }
+  [[nodiscard]] bool emergency() const noexcept { return emergency_; }
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+  [[nodiscard]] double cap() const noexcept { return cap_; }
+  /// Lowest balance ever observed (the deficit's depth).
+  [[nodiscard]] double min_available() const noexcept { return min_available_; }
+  [[nodiscard]] std::size_t emergency_entries() const noexcept {
+    return entries_;
+  }
+  /// Total time spent in emergency mode up to `now`, including an
+  /// in-progress episode.
+  [[nodiscard]] double emergency_seconds(double now) const noexcept {
+    return emergency_accum_ + (emergency_ ? now - emergency_since_ : 0.0);
+  }
+  /// Everything that ever flowed in: initial + rate * now. The governor's
+  /// budget schedule tracks this line instead of a fixed zeta_max.
+  [[nodiscard]] double accrued_total(double now) const noexcept {
+    return initial_ + rate_ * now;
+  }
+
+ private:
+  void UpdateEmergency(double now) noexcept;
+
+  double rate_ = 0.0;
+  double cap_ = 0.0;
+  double initial_ = 0.0;
+  double enter_ = 0.0;
+  double exit_ = 0.0;
+  double available_ = 0.0;
+  double min_available_ = 0.0;
+  double now_ = 0.0;
+  bool emergency_ = false;
+  std::size_t entries_ = 0;
+  double emergency_accum_ = 0.0;
+  double emergency_since_ = 0.0;
+};
+
+}  // namespace ecdra::stream

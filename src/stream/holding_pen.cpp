@@ -1,0 +1,56 @@
+#include "stream/holding_pen.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/pstate.hpp"
+#include "util/assert.hpp"
+
+namespace ecdra::stream {
+
+void HoldingPen::Add(const PennedTask& task) {
+  ECDRA_ASSERT(task.est_energy > 0.0,
+               "holding pen: energy estimate must be positive");
+  tasks_.push_back(task);
+  peak_ = std::max(peak_, tasks_.size());
+}
+
+void HoldingPen::Remove(std::size_t task_id) {
+  const auto it =
+      std::find_if(tasks_.begin(), tasks_.end(), [task_id](const auto& task) {
+        return task.task_id == task_id;
+      });
+  ECDRA_ASSERT(it != tasks_.end(), "holding pen: removing an absent task");
+  tasks_.erase(it);
+}
+
+std::vector<PennedTask> HoldingPen::InPriorityOrder(double now) const {
+  std::vector<PennedTask> ordered = tasks_;
+  std::sort(ordered.begin(), ordered.end(),
+            [now](const PennedTask& a, const PennedTask& b) {
+              const double pa = (now - a.arrival) / a.est_energy;
+              const double pb = (now - b.arrival) / b.est_energy;
+              if (pa != pb) return pa > pb;
+              return a.task_id < b.task_id;
+            });
+  return ordered;
+}
+
+double CheapestExpectedEnergy(const cluster::Cluster& cluster,
+                              const workload::TaskTypeTable& types,
+                              std::size_t type) {
+  double cheapest = std::numeric_limits<double>::infinity();
+  for (std::size_t node = 0; node < cluster.num_nodes(); ++node) {
+    const cluster::Node& shape = cluster.node(node);
+    for (cluster::PStateIndex pstate = 0; pstate < cluster::kNumPStates;
+         ++pstate) {
+      const double energy = types.MeanExec(type, node, pstate) *
+                            shape.pstates[pstate].power_watts /
+                            shape.power_efficiency;
+      cheapest = std::min(cheapest, energy);
+    }
+  }
+  return cheapest;
+}
+
+}  // namespace ecdra::stream

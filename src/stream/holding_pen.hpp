@@ -1,0 +1,58 @@
+// Holding pen: deferred arrivals waiting for admission to relent.
+//
+// Tasks the admission stage defers wait here, ordered at scan time by
+// waiting-time-per-joule — (now - arrival) / estimated energy, descending —
+// so the next release is the task with the most service owed per joule it
+// would cost (the batsim exemplar's pen priority). The energy estimate is
+// fixed at deferral (the cheapest expected wall-energy assignment in the
+// cluster); re-estimating per scan would cost a full candidate sweep per
+// penned task per event for a tie-break-grade signal.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "workload/task_type_table.hpp"
+
+namespace ecdra::stream {
+
+struct PennedTask {
+  std::size_t task_id = 0;
+  double arrival = 0.0;
+  double deadline = 0.0;
+  /// Cheapest expected wall energy of any (node, P-state) assignment,
+  /// fixed at deferral.
+  double est_energy = 1.0;
+};
+
+class HoldingPen {
+ public:
+  void Add(const PennedTask& task);
+  void Remove(std::size_t task_id);
+
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  /// Deepest the pen ever got (a backpressure gauge for TrialResult).
+  [[nodiscard]] std::size_t peak() const noexcept { return peak_; }
+  [[nodiscard]] const std::vector<PennedTask>& tasks() const noexcept {
+    return tasks_;
+  }
+
+  /// Contents ordered by waiting-time-per-joule descending, ties broken by
+  /// task id ascending (deterministic scans).
+  [[nodiscard]] std::vector<PennedTask> InPriorityOrder(double now) const;
+
+ private:
+  std::vector<PennedTask> tasks_;
+  std::size_t peak_ = 0;
+};
+
+/// min over (node, P-state) of MeanExec * power / supply efficiency — the
+/// cheapest expected wall energy (Eq. 2 shape) any assignment of this task
+/// type could cost.
+[[nodiscard]] double CheapestExpectedEnergy(
+    const cluster::Cluster& cluster, const workload::TaskTypeTable& types,
+    std::size_t type);
+
+}  // namespace ecdra::stream

@@ -1,0 +1,53 @@
+#include "stream/stream_config.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ecdra::stream {
+
+StreamConfig ResolveStreamConfig(const policy::StreamSpec& spec, double t_avg,
+                                 double last_arrival) {
+  ECDRA_REQUIRE(std::isfinite(t_avg) && t_avg > 0.0,
+                "stream config: t_avg must be positive");
+  ECDRA_REQUIRE(std::isfinite(last_arrival) && last_arrival >= 0.0,
+                "stream config: arrival horizon must be non-negative");
+  ECDRA_REQUIRE(std::isfinite(spec.energy_rate) && spec.energy_rate > 0.0,
+                "stream config: stream.energy_rate must be positive");
+  ECDRA_REQUIRE(
+      spec.emergency_enter_fraction >= 0.0 &&
+          spec.emergency_exit_fraction >= spec.emergency_enter_fraction &&
+          spec.emergency_exit_fraction <= 1.0,
+      "stream config: emergency hysteresis needs 0 <= enter <= exit <= 1");
+
+  StreamConfig config;
+  config.enabled = true;
+  config.energy_rate = spec.energy_rate;
+  // A window an average task can't hide in would be all edge effects; a
+  // window longer than 1/16 of the trace would leave too few samples for a
+  // "rolling" metric to mean anything.
+  config.window_length = spec.window_length > 0.0
+                             ? spec.window_length
+                             : std::max(t_avg, last_arrival / 16.0);
+  ECDRA_REQUIRE(config.window_length > 0.0,
+                "stream config: window length must be positive");
+  config.accrual_cap = spec.accrual_cap > 0.0
+                           ? spec.accrual_cap
+                           : 2.0 * spec.energy_rate * config.window_length;
+  ECDRA_REQUIRE(config.accrual_cap > 0.0,
+                "stream config: accrual cap must be positive");
+  config.initial_energy = spec.initial_energy > 0.0
+                              ? spec.initial_energy
+                              : spec.energy_rate * config.window_length;
+  config.emergency_enter = spec.emergency_enter_fraction * config.accrual_cap;
+  config.emergency_exit = spec.emergency_exit_fraction * config.accrual_cap;
+  config.admission = spec.admission;
+  config.admission_options.defer_rho = spec.defer_rho;
+  config.admission_options.drop_rho = spec.drop_rho;
+  config.admission_options.fairness_wait =
+      spec.fairness_wait > 0.0 ? spec.fairness_wait : 4.0 * t_avg;
+  return config;
+}
+
+}  // namespace ecdra::stream

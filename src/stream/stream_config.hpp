@@ -1,0 +1,61 @@
+// Resolved streaming-mode configuration (the runtime face of
+// policy::StreamSpec).
+//
+// A StreamSpec is portable: its derived fields ("0 = derived") scale with
+// the sampled environment. ResolveStreamConfig pins them against the
+// trial's t_avg and arrival horizon into the absolute joules/seconds the
+// engine consumes, and validates the result once, so the hot path never
+// re-checks.
+#pragma once
+
+#include <string>
+
+#include "policy/stream_spec.hpp"
+
+namespace ecdra::stream {
+
+/// Thresholds of the "rho" admission policy, in resolved absolute units.
+struct AdmissionOptions {
+  /// Defer an arrival to the holding pen when its best achievable on-time
+  /// probability falls below this.
+  double defer_rho = 0.30;
+  /// Drop it outright below this — running it would burn joules on a
+  /// near-certain miss.
+  double drop_rho = 0.05;
+  /// Fairness guard: a task that has waited this long (seconds) is admitted
+  /// regardless of rho, so backpressure cannot starve a task class forever.
+  double fairness_wait = 0.0;
+};
+
+/// Everything the engine needs to run one streaming trial. Constructed by
+/// ResolveStreamConfig for spec-driven runs; tests build it directly (e.g.
+/// a zero-rate drain-only account, which the spec layer refuses).
+struct StreamConfig {
+  bool enabled = false;
+  /// Joules per second accruing into the account (>= 0; 0 drains only).
+  double energy_rate = 0.0;
+  /// Account ceiling in joules (> 0); accrual beyond it spills.
+  double accrual_cap = 0.0;
+  /// Balance at t = 0.
+  double initial_energy = 0.0;
+  /// Rolling metrics window in seconds (> 0).
+  double window_length = 0.0;
+  /// Emergency-mode hysteresis in absolute joules: enter below
+  /// emergency_enter, exit at or above emergency_exit (>= enter).
+  double emergency_enter = 0.0;
+  double emergency_exit = 0.0;
+  /// Registered admission policy name (AdmissionRegistry).
+  std::string admission = "none";
+  AdmissionOptions admission_options;
+};
+
+/// Pins a spec's derived fields against the trial environment: t_avg is the
+/// mean execution time of an average task (ExperimentSetup::t_avg),
+/// last_arrival the trace's arrival horizon. Requires energy_rate > 0 (the
+/// spec layer's definition of "streaming on") and validates the hysteresis
+/// ordering; throws std::invalid_argument otherwise.
+[[nodiscard]] StreamConfig ResolveStreamConfig(const policy::StreamSpec& spec,
+                                               double t_avg,
+                                               double last_arrival);
+
+}  // namespace ecdra::stream

@@ -37,7 +37,7 @@ void WriteFile(const std::string& path, const std::string& content) {
 }
 
 constexpr char kValidHeaderLine[] =
-    "{\"record\":\"header\",\"schema\":3,\"seed\":\"5\",\"config\":\"x\"}\n";
+    "{\"record\":\"header\",\"schema\":4,\"seed\":\"5\",\"config\":\"x\"}\n";
 
 /// EXPECT_EQ on every simulation-deterministic field (bit-exact doubles;
 /// excludes wall-clock decision_seconds).
@@ -237,7 +237,7 @@ TEST(CheckpointStore, SchemaV1StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 1"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 3"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 4"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -258,7 +258,28 @@ TEST(CheckpointStore, SchemaV2StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 2"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 3"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 4"), std::string::npos)
+        << message;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, SchemaV3StoreIsRefusedNamingBothVersions) {
+  // Schema 3 predates the run.mode / stream.* fingerprint lines and the
+  // per-trial stream aggregate; a v3 store cannot attest whether its trials
+  // ran fixed-trace or streaming semantics, so the load refuses.
+  const std::string path = TempPath("schema_v3");
+  WriteFile(path,
+            "{\"record\":\"header\",\"schema\":3,\"seed\":\"5\","
+            "\"config\":\"deadbeefdeadbeef\"}\n");
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+    const std::string message = error.what();
+    EXPECT_NE(message.find("schema version 3"), std::string::npos) << message;
+    EXPECT_NE(message.find("this build reads 4"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
