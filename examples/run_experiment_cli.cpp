@@ -72,7 +72,17 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "                     (0 = failures are permanent, default)\n"
      << "  --throttle-interval T / --throttle-duration T / --throttle-floor S\n"
      << "                     transient P-state throttling (0 = off)\n"
-     << "  --recovery POLICY  drop | requeue             (default drop)\n"
+     << "  --domain-mtbf T    mean time to whole-domain outage (simulated\n"
+     << "                     seconds; 0 = no domain faults, default)\n"
+     << "  --domain-repair T  mean outage before a downed domain repairs\n"
+     << "                     (0 = outages are permanent, default)\n"
+     << "  --cascade-throttle propagate per-core throttles to every core in\n"
+     << "                     the same fault domain\n"
+     << "  --fault-domains S  correlated fault-domain layout, comma-separated\n"
+     << "                     'name:lo-hi' flat-core ranges covering every\n"
+     << "                     core (default: one domain per cluster node)\n"
+     << "  --recovery POLICY  " << ecdra::fault::RecoveryPolicyNames()
+     << "  (default drop)\n"
      << "  --governor NAME    online energy governor (registered: "
      << ecdra::governor::GovernorRegistry().JoinedNames() << ";\n"
      << "                     default static = the paper's open-loop run)\n"
@@ -86,9 +96,16 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "  --admission NAME   admission policy (registered: "
      << ecdra::stream::AdmissionRegistry().JoinedNames() << ";\n"
      << "                     default none = admit everything)\n"
+     << "  --degraded-enter F / --degraded-exit F\n"
+     << "                     degraded-mode hysteresis on the fraction of\n"
+     << "                     cores lost to faults, 0 <= exit < enter <= 1\n"
+     << "                     (default 0.25 / 0.1)\n"
+     << "  --degraded-rho-scale X\n"
+     << "                     multiply rho admission thresholds by X while\n"
+     << "                     degraded (>= 1; default 1.5)\n"
      << "  --list-policies    print every registered heuristic, filter,\n"
-     << "                     batch heuristic, governor, and admission\n"
-     << "                     policy, then exit\n"
+     << "                     batch heuristic, governor, admission, and\n"
+     << "                     recovery policy, then exit\n"
      << "  --validate MODE    off | cheap | deep runtime invariant checks\n"
      << "                     (default off; violations are recorded, not\n"
      << "                     fatal)\n"
@@ -102,7 +119,11 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "                     checkpoint (header pins seed + config)\n"
      << "  --resume           skip trials already in the --checkpoint file;\n"
      << "                     the merged run is bit-identical to an\n"
-     << "                     uninterrupted one\n"
+     << "                     uninterrupted one (physical damage beyond a\n"
+     << "                     torn tail line is refused)\n"
+     << "  --resume-salvage   like --resume, but truncate the checkpoint to\n"
+     << "                     its longest valid prefix first (CRC-verified),\n"
+     << "                     reporting how many damaged records re-run\n"
      << "  --trial-timeout T  wall-clock watchdog per trial attempt, real\n"
      << "                     seconds (0 = off, default)\n"
      << "  --max-retries N    extra attempts after a failed/timed-out trial\n"
@@ -163,6 +184,7 @@ int main(int argc, char** argv) {
   double budget_scale = 1.0;
   bool csv = false;
   bool resume = false;
+  bool salvage = false;
   bool print_spec = false;
   bool collect_counters = false;
   std::string trace_path;
@@ -202,7 +224,7 @@ int main(int argc, char** argv) {
                 << "\ngovernors: "
                 << governor::GovernorRegistry().JoinedNames()
                 << "\nadmission: " << stream::AdmissionRegistry().JoinedNames()
-                << "\n";
+                << "\nrecovery: " << fault::RecoveryPolicyNames() << "\n";
       return 0;
     } else if (flag == "--spec") {
       const std::string path = next();
@@ -282,13 +304,23 @@ int main(int argc, char** argv) {
         Fail("--throttle-floor: must be < " +
              std::to_string(cluster::kNumPStates));
       }
+    } else if (flag == "--domain-mtbf") {
+      spec.fault.domain_mtbf = ParseNonNegative(flag, next());
+    } else if (flag == "--domain-repair") {
+      spec.fault.domain_repair_time = ParseNonNegative(flag, next());
+    } else if (flag == "--cascade-throttle") {
+      spec.fault.cascade_throttle = true;
+    } else if (flag == "--fault-domains") {
+      // Validated against the sampled cluster at trial setup
+      // (fault::ResolveFaultDomains); the CLI only carries the text.
+      spec.fault_domains = next();
     } else if (flag == "--recovery") {
       const std::string value = next();
       try {
         spec.recovery = fault::ParseRecoveryPolicy(value);
       } catch (const std::invalid_argument&) {
-        Fail("--recovery: unknown policy '" + value +
-             "' (valid: drop, requeue)");
+        Fail("--recovery: unknown policy '" + value + "' (valid: " +
+             std::string(fault::RecoveryPolicyNames()) + ")");
       }
     } else if (flag == "--governor") {
       spec.governor = next();
@@ -315,11 +347,23 @@ int main(int argc, char** argv) {
              "' (registered: " + stream::AdmissionRegistry().JoinedNames() +
              ")");
       }
+    } else if (flag == "--degraded-enter") {
+      spec.stream.degraded_enter_fraction = ParseNonNegative(flag, next());
+    } else if (flag == "--degraded-exit") {
+      spec.stream.degraded_exit_fraction = ParseNonNegative(flag, next());
+    } else if (flag == "--degraded-rho-scale") {
+      spec.stream.degraded_rho_scale = ParseNonNegative(flag, next());
+      if (spec.stream.degraded_rho_scale < 1.0) {
+        Fail("--degraded-rho-scale: must be >= 1");
+      }
     } else if (flag == "--checkpoint") {
       checkpoint_path = next();
       if (checkpoint_path.empty()) Fail("--checkpoint: empty path");
     } else if (flag == "--resume") {
       resume = true;
+    } else if (flag == "--resume-salvage") {
+      resume = true;
+      salvage = true;
     } else if (flag == "--trial-timeout") {
       trial_timeout = ParseNonNegative(flag, next());
     } else if (flag == "--max-retries") {
@@ -342,7 +386,8 @@ int main(int argc, char** argv) {
     }
   }
   if (resume && checkpoint_path.empty()) {
-    Fail("--resume requires --checkpoint PATH");
+    Fail(std::string(salvage ? "--resume-salvage" : "--resume") +
+         " requires --checkpoint PATH");
   }
   spec.environment.budget_task_count *= budget_scale;
 
@@ -369,13 +414,26 @@ int main(int argc, char** argv) {
   std::optional<sim::CheckpointStore> store;
   if (resume) {
     try {
-      // Tolerant load: a final line cut mid-write by a crash is dropped and
-      // that trial simply re-runs. Everything else (wrong schema, wrong
-      // config, malformed interior record) still refuses loudly below.
-      store = sim::CheckpointStore::Load(run.checkpoint_path,
-                                         {.allow_partial_tail = true});
+      // --resume tolerates exactly one kind of damage: a final line cut
+      // mid-write by a crash is dropped and that trial re-runs. Anything
+      // else (wrong schema, wrong config, CRC mismatch, malformed interior
+      // record) refuses loudly. --resume-salvage additionally truncates the
+      // file to its longest CRC-valid prefix and re-runs everything after
+      // it — still refusing logical mismatches (wrong schema/seed/config).
+      store = sim::CheckpointStore::Load(
+          run.checkpoint_path,
+          {.allow_partial_tail = true, .salvage = salvage});
       run.resume = &*store;
-      if (store->dropped_partial_tail()) {
+      if (store->dropped_records() > 0) {
+        std::cerr << "note: salvage dropped " << store->dropped_records()
+                  << (store->dropped_records() == 1
+                          ? " damaged checkpoint record"
+                          : " damaged checkpoint records")
+                  << "; re-running from the last valid trial\n";
+      } else if (!store->header_valid()) {
+        std::cerr << "note: salvage found a damaged checkpoint header; "
+                     "starting the checkpoint over\n";
+      } else if (store->dropped_partial_tail()) {
         std::cerr << "note: dropped a checkpoint record cut mid-write; "
                      "re-running that trial\n";
       }
@@ -456,6 +514,11 @@ int main(int argc, char** argv) {
               << summary.mean_tasks_lost << ", mean remapped "
               << summary.mean_remapped << " (on time "
               << summary.mean_remapped_on_time << ")\n";
+    if (summary.mean_domain_outages > 0.0 || summary.mean_migrated > 0.0) {
+      std::cout << "    domains: mean outages " << summary.mean_domain_outages
+                << ", mean migrated " << summary.mean_migrated << " (on time "
+                << summary.mean_migrated_on_time << ")\n";
+    }
   }
   if (run.mode == policy::RunMode::kStream && !sweep.results.empty()) {
     std::cout << "  stream (admission=" << run.stream.admission

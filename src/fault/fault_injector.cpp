@@ -1,40 +1,98 @@
 #include "fault/fault_injector.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/assert.hpp"
 
 namespace ecdra::fault {
 
 FaultInjector::FaultInjector(std::size_t num_cores, FaultSchedule schedule)
+    : FaultInjector(num_cores, std::move(schedule), FaultDomainLayout{}) {}
+
+FaultInjector::FaultInjector(std::size_t num_cores, FaultSchedule schedule,
+                             FaultDomainLayout domains)
     : events_(std::move(schedule.events)),
-      available_(num_cores, 1),
-      floor_(num_cores, 0) {
+      domains_(std::move(domains)),
+      down_count_(num_cores, 0),
+      throttle_count_(num_cores, 0),
+      floor_(num_cores, 0),
+      domain_down_(domains_.num_domains(), 0) {
   for (const FaultEvent& event : events_) {
-    ECDRA_REQUIRE(event.flat_core < num_cores,
-                  "fault event names a core outside the cluster");
+    if (event.kind == FaultEventKind::kDomainOutage ||
+        event.kind == FaultEventKind::kDomainRepair) {
+      ECDRA_REQUIRE(event.domain < domains_.num_domains(),
+                    "fault event names a domain outside the layout");
+    } else {
+      ECDRA_REQUIRE(event.flat_core < num_cores,
+                    "fault event names a core outside the cluster");
+    }
   }
+  for (const std::vector<std::size_t>& members : domains_.members) {
+    for (std::size_t flat : members) {
+      ECDRA_REQUIRE(flat < num_cores,
+                    "domain layout names a core outside the cluster");
+    }
+  }
+}
+
+bool FaultInjector::TakeDown(std::size_t flat_core) {
+  if (down_count_[flat_core]++ == 0) {
+    ++unavailable_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::BringUp(std::size_t flat_core) {
+  ECDRA_ASSERT(down_count_[flat_core] != 0, "repair of a live core");
+  if (--down_count_[flat_core] == 0) {
+    --unavailable_;
+    return true;
+  }
+  return false;
 }
 
 void FaultInjector::Apply(const FaultEvent& event) {
   const std::size_t flat = event.flat_core;
   switch (event.kind) {
     case FaultEventKind::kCoreFailure:
-      ECDRA_ASSERT(available_[flat] != 0, "failure of an already-dead core");
-      available_[flat] = 0;
-      ++unavailable_;
+      // The core may already be down via a domain outage; the count absorbs
+      // the overlap.
+      TakeDown(flat);
       ++failures_;
       break;
     case FaultEventKind::kCoreRepair:
-      ECDRA_ASSERT(available_[flat] == 0, "repair of a live core");
-      available_[flat] = 1;
-      --unavailable_;
+      BringUp(flat);
       ++repairs_;
       break;
     case FaultEventKind::kThrottleStart:
-      floor_[flat] = event.pstate_floor;
+      ++throttle_count_[flat];
+      floor_[flat] = std::max(floor_[flat], event.pstate_floor);
       ++throttles_;
       break;
     case FaultEventKind::kThrottleEnd:
-      floor_[flat] = 0;
+      ECDRA_ASSERT(throttle_count_[flat] != 0,
+                   "throttle end without a matching start");
+      if (--throttle_count_[flat] == 0) floor_[flat] = 0;
+      break;
+    case FaultEventKind::kDomainOutage:
+      ECDRA_ASSERT(domain_down_[event.domain] == 0,
+                   "outage of an already-down domain");
+      domain_down_[event.domain] = 1;
+      for (std::size_t member : domains_.members[event.domain]) {
+        TakeDown(member);
+      }
+      ++domain_outages_;
+      break;
+    case FaultEventKind::kDomainRepair:
+      ECDRA_ASSERT(domain_down_[event.domain] != 0,
+                   "repair of a live domain");
+      domain_down_[event.domain] = 0;
+      for (std::size_t member : domains_.members[event.domain]) {
+        BringUp(member);
+      }
+      ++domain_repairs_;
       break;
   }
 }

@@ -7,9 +7,17 @@
 // queued work, re-timing running tasks, zeroing power draw) live in the
 // engine, and all policy consequences (what happens to stranded tasks) in
 // the recovery policy.
+//
+// Fault sources compose: a core can be held down simultaneously by its own
+// failure and by an outage of its fault domain, and throttled by overlapping
+// cascaded intervals. Availability is therefore a per-core down-COUNT (live
+// iff zero) and the P-state floor a per-core interval count with max-merge,
+// not single bits — the engine detects true live→dead / dead→live
+// transitions by comparing available() across an Apply call.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cluster/pstate.hpp"
@@ -20,11 +28,19 @@ namespace ecdra::fault {
 class FaultInjector {
  public:
   FaultInjector() = default;
+  /// Domain-free construction (per-core faults only); domain events in the
+  /// schedule are rejected.
   FaultInjector(std::size_t num_cores, FaultSchedule schedule);
+  FaultInjector(std::size_t num_cores, FaultSchedule schedule,
+                FaultDomainLayout domains);
 
   /// The trial's events, time-ordered (as generated).
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
+  }
+
+  [[nodiscard]] const FaultDomainLayout& domains() const noexcept {
+    return domains_;
   }
 
   /// Applies one event's state change. Events must be applied in schedule
@@ -33,12 +49,17 @@ class FaultInjector {
   void Apply(const FaultEvent& event);
 
   [[nodiscard]] bool available(std::size_t flat_core) const {
-    return available_[flat_core] != 0;
+    return down_count_[flat_core] == 0;
   }
-  /// Active P-state floor (0 = unthrottled). Meaningful regardless of
-  /// availability; callers gate on available() first.
+  /// Active P-state floor (0 = unthrottled; max over overlapping throttle
+  /// intervals). Meaningful regardless of availability; callers gate on
+  /// available() first.
   [[nodiscard]] cluster::PStateIndex pstate_floor(std::size_t flat_core) const {
     return floor_[flat_core];
+  }
+  /// True while the named domain is in a whole-domain outage.
+  [[nodiscard]] bool domain_down(std::size_t domain) const {
+    return domain_down_[domain] != 0;
   }
 
   [[nodiscard]] std::size_t failures_applied() const noexcept {
@@ -50,18 +71,35 @@ class FaultInjector {
   [[nodiscard]] std::size_t throttles_applied() const noexcept {
     return throttles_;
   }
-  /// Cores currently dead.
+  [[nodiscard]] std::size_t domain_outages_applied() const noexcept {
+    return domain_outages_;
+  }
+  [[nodiscard]] std::size_t domain_repairs_applied() const noexcept {
+    return domain_repairs_;
+  }
+  /// Cores currently dead (down-count > 0), however held down.
   [[nodiscard]] std::size_t unavailable_cores() const noexcept {
     return unavailable_;
   }
 
  private:
+  /// One more reason for the core to be down; returns true on a live→dead
+  /// transition.
+  bool TakeDown(std::size_t flat_core);
+  /// One reason removed; returns true on a dead→live transition.
+  bool BringUp(std::size_t flat_core);
+
   std::vector<FaultEvent> events_;
-  std::vector<std::uint8_t> available_;
+  FaultDomainLayout domains_;
+  std::vector<std::uint32_t> down_count_;
+  std::vector<std::uint32_t> throttle_count_;
   std::vector<cluster::PStateIndex> floor_;
+  std::vector<std::uint8_t> domain_down_;
   std::size_t failures_ = 0;
   std::size_t repairs_ = 0;
   std::size_t throttles_ = 0;
+  std::size_t domain_outages_ = 0;
+  std::size_t domain_repairs_ = 0;
   std::size_t unavailable_ = 0;
 };
 

@@ -1,29 +1,117 @@
 #include "fault/fault_model.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/assert.hpp"
 
 namespace ecdra::fault {
 namespace {
 
-/// One time-to-failure draw. The Weibull scale is chosen so the mean equals
-/// mtbf: E[Weibull(shape, scale)] = scale * Gamma(1 + 1/shape).
-double SampleLifetime(util::RngStream& stream,
+/// One time-to-failure draw with mean `mtbf`. The Weibull scale is chosen so
+/// the mean equals mtbf: E[Weibull(shape, scale)] = scale * Gamma(1 + 1/shape).
+double SampleLifetime(util::RngStream& stream, double mtbf,
                       const FaultModelOptions& options) {
   if (options.lifetime == LifetimeDistribution::kExponential) {
-    return stream.Exponential(1.0 / options.mtbf);
+    return stream.Exponential(1.0 / mtbf);
   }
   const double shape = options.weibull_shape;
-  const double scale = options.mtbf / std::tgamma(1.0 + 1.0 / shape);
+  const double scale = mtbf / std::tgamma(1.0 + 1.0 / shape);
   const double u = stream.UniformReal(0.0, 1.0);  // in [0, 1): 1-u > 0
   return scale * std::pow(-std::log1p(-u), 1.0 / shape);
 }
 
+[[noreturn]] void DomainSpecFail(std::string_view spec,
+                                 const std::string& what) {
+  throw std::invalid_argument("bad fault-domain spec \"" + std::string(spec) +
+                              "\": " + what);
+}
+
+std::size_t ParseIndex(std::string_view spec, std::string_view token) {
+  std::size_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    DomainSpecFail(spec, "expected a core index, got \"" +
+                             std::string(token) + "\"");
+  }
+  return value;
+}
+
 }  // namespace
 
+FaultDomainLayout DeriveNodeDomains(const cluster::Cluster& cluster) {
+  FaultDomainLayout layout;
+  layout.names.reserve(cluster.num_nodes());
+  layout.members.resize(cluster.num_nodes());
+  layout.domain_of_core.resize(cluster.total_cores());
+  for (std::size_t i = 0; i < cluster.num_nodes(); ++i) {
+    layout.names.push_back("node" + std::to_string(i));
+  }
+  for (std::size_t flat = 0; flat < cluster.total_cores(); ++flat) {
+    const std::size_t node = cluster.NodeIndexOf(flat);
+    layout.domain_of_core[flat] = node;
+    layout.members[node].push_back(flat);
+  }
+  return layout;
+}
+
+FaultDomainLayout ResolveFaultDomains(const cluster::Cluster& cluster,
+                                      std::string_view spec) {
+  if (spec.empty()) return DeriveNodeDomains(cluster);
+  FaultDomainLayout layout;
+  layout.domain_of_core.assign(cluster.total_cores(), kInvalidDomain);
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{}
+                                           : rest.substr(comma + 1);
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      DomainSpecFail(spec, "expected name:lo-hi, got \"" + std::string(entry) +
+                               "\"");
+    }
+    const std::string_view name = entry.substr(0, colon);
+    const std::string_view range = entry.substr(colon + 1);
+    const std::size_t dash = range.find('-');
+    if (dash == std::string_view::npos) {
+      DomainSpecFail(spec, "expected lo-hi range in \"" + std::string(entry) +
+                               "\"");
+    }
+    const std::size_t lo = ParseIndex(spec, range.substr(0, dash));
+    const std::size_t hi = ParseIndex(spec, range.substr(dash + 1));
+    if (lo > hi || hi >= cluster.total_cores()) {
+      DomainSpecFail(spec, "range " + std::string(range) +
+                               " is out of order or outside the cluster's " +
+                               std::to_string(cluster.total_cores()) +
+                               " cores");
+    }
+    const std::size_t domain = layout.members.size();
+    layout.names.emplace_back(name);
+    layout.members.emplace_back();
+    for (std::size_t flat = lo; flat <= hi; ++flat) {
+      if (layout.domain_of_core[flat] != kInvalidDomain) {
+        DomainSpecFail(spec, "core " + std::to_string(flat) +
+                                 " appears in more than one domain");
+      }
+      layout.domain_of_core[flat] = domain;
+      layout.members[domain].push_back(flat);
+    }
+  }
+  for (std::size_t flat = 0; flat < cluster.total_cores(); ++flat) {
+    if (layout.domain_of_core[flat] == kInvalidDomain) {
+      DomainSpecFail(spec, "core " + std::to_string(flat) +
+                               " is not covered by any domain");
+    }
+  }
+  return layout;
+}
+
 FaultSchedule GenerateFaultSchedule(const cluster::Cluster& cluster,
+                                    const FaultDomainLayout& domains,
                                     const FaultModelOptions& options,
                                     const util::RngStream& rng) {
   FaultSchedule schedule;
@@ -31,25 +119,32 @@ FaultSchedule GenerateFaultSchedule(const cluster::Cluster& cluster,
   ECDRA_REQUIRE(options.horizon > 0.0,
                 "fault schedule generation needs a positive horizon");
   ECDRA_REQUIRE(options.mtbf >= 0.0, "mtbf must be non-negative");
+  ECDRA_REQUIRE(options.domain_mtbf >= 0.0,
+                "domain mtbf must be non-negative");
   ECDRA_REQUIRE(options.lifetime != LifetimeDistribution::kWeibull ||
                     options.weibull_shape > 0.0,
                 "Weibull shape must be positive");
   ECDRA_REQUIRE(options.throttle_floor < cluster::kNumPStates,
                 "throttle floor must name a valid P-state");
+  const bool needs_domains =
+      options.domain_mtbf > 0.0 || options.cascade_throttle;
+  ECDRA_REQUIRE(!needs_domains || !domains.empty(),
+                "domain faults need a non-empty domain layout");
 
   for (std::size_t flat = 0; flat < cluster.total_cores(); ++flat) {
     if (options.mtbf > 0.0) {
       util::RngStream stream = rng.Substream("fault-life", flat);
       double t = 0.0;
       for (;;) {
-        t += SampleLifetime(stream, options);
+        t += SampleLifetime(stream, options.mtbf, options);
         if (t >= options.horizon) break;
         schedule.events.push_back(
-            {t, FaultEventKind::kCoreFailure, flat, 0});
+            {t, FaultEventKind::kCoreFailure, flat, 0, 0});
         if (options.repair_time <= 0.0) break;  // permanent
         t += stream.Exponential(1.0 / options.repair_time);
         if (t >= options.horizon) break;
-        schedule.events.push_back({t, FaultEventKind::kCoreRepair, flat, 0});
+        schedule.events.push_back(
+            {t, FaultEventKind::kCoreRepair, flat, 0, 0});
       }
     }
     if (options.throttle_interval > 0.0 && options.throttle_duration > 0.0) {
@@ -59,28 +154,81 @@ FaultSchedule GenerateFaultSchedule(const cluster::Cluster& cluster,
         t += stream.Exponential(1.0 / options.throttle_interval);
         if (t >= options.horizon) break;
         schedule.events.push_back({t, FaultEventKind::kThrottleStart, flat,
-                                   options.throttle_floor});
+                                   options.throttle_floor, 0});
         const double end = t + stream.Exponential(1.0 / options.throttle_duration);
         if (end >= options.horizon) break;  // throttled through the end
-        schedule.events.push_back({end, FaultEventKind::kThrottleEnd, flat, 0});
+        schedule.events.push_back(
+            {end, FaultEventKind::kThrottleEnd, flat, 0, 0});
         t = end;
       }
     }
   }
 
-  // Deterministic total order: time, then core, then kind. Equal keys can
-  // only arise from distinct cores or kinds (each per-core stream is
-  // strictly increasing), so the order is unambiguous; stable_sort keeps
-  // the per-core generation order even under floating-point ties.
+  // Cascading throttles: each onset (and its matching end) is duplicated to
+  // every domain sibling, so one hot core throttles its whole enclosure. The
+  // injector's count-based floor bookkeeping absorbs the resulting overlap.
+  if (options.cascade_throttle && !domains.empty()) {
+    std::vector<FaultEvent> cascaded;
+    for (const FaultEvent& event : schedule.events) {
+      if (event.kind != FaultEventKind::kThrottleStart &&
+          event.kind != FaultEventKind::kThrottleEnd) {
+        continue;
+      }
+      for (std::size_t sibling :
+           domains.members[domains.domain_of_core[event.flat_core]]) {
+        if (sibling == event.flat_core) continue;
+        FaultEvent copy = event;
+        copy.flat_core = sibling;
+        cascaded.push_back(copy);
+      }
+    }
+    schedule.events.insert(schedule.events.end(), cascaded.begin(),
+                           cascaded.end());
+  }
+
+  // Domain outages: the same alternating lifetime/repair walk as per-core
+  // failures, one dedicated substream per domain, so rate-0 domains add no
+  // draws anywhere and the schedule stays bit-identical without them.
+  if (options.domain_mtbf > 0.0) {
+    for (std::size_t d = 0; d < domains.num_domains(); ++d) {
+      util::RngStream stream = rng.Substream("fault-domain", d);
+      double t = 0.0;
+      for (;;) {
+        t += SampleLifetime(stream, options.domain_mtbf, options);
+        if (t >= options.horizon) break;
+        schedule.events.push_back(
+            {t, FaultEventKind::kDomainOutage, 0, 0, d});
+        if (options.domain_repair_time <= 0.0) break;  // permanent
+        t += stream.Exponential(1.0 / options.domain_repair_time);
+        if (t >= options.horizon) break;
+        schedule.events.push_back(
+            {t, FaultEventKind::kDomainRepair, 0, 0, d});
+      }
+    }
+  }
+
+  // Deterministic total order: time, then core, then domain, then kind.
+  // Equal keys can only arise from distinct cores, domains, or kinds (each
+  // per-core and per-domain stream is strictly increasing), so the order is
+  // unambiguous; stable_sort keeps the per-core generation order even under
+  // floating-point ties.
   std::stable_sort(schedule.events.begin(), schedule.events.end(),
                    [](const FaultEvent& a, const FaultEvent& b) {
                      if (a.time != b.time) return a.time < b.time;
                      if (a.flat_core != b.flat_core) {
                        return a.flat_core < b.flat_core;
                      }
+                     if (a.domain != b.domain) return a.domain < b.domain;
                      return static_cast<int>(a.kind) < static_cast<int>(b.kind);
                    });
   return schedule;
+}
+
+FaultSchedule GenerateFaultSchedule(const cluster::Cluster& cluster,
+                                    const FaultModelOptions& options,
+                                    const util::RngStream& rng) {
+  return GenerateFaultSchedule(cluster, DeriveNodeDomains(cluster), options,
+                               rng);
 }
 
 }  // namespace ecdra::fault

@@ -3,8 +3,9 @@
 // The paper assumes a fault-free cluster (§III-A) and lists dynamic machine
 // availability as future work (§VIII). This module generates, per trial, a
 // time-ordered list of fault events — permanent core failures (with optional
-// repair) and transient throttle intervals that cap the core's available
-// P-state — sampled entirely from a dedicated RNG substream so that a
+// repair), transient throttle intervals that cap the core's available
+// P-state, and correlated whole-domain outages (racks, power domains,
+// shared cooling) — sampled entirely from dedicated RNG substreams so that a
 // disabled fault model ("fault rate 0") leaves every other draw in the
 // simulation untouched: the common-random-numbers guarantees of the
 // experiment runner survive fault injection bit-for-bit.
@@ -12,10 +13,14 @@
 // Lifetimes are exponential (memoryless, the classic MTBF model) or Weibull
 // (wear-out: shape > 1 concentrates failures late), matching the machine
 // availability models of the dynamic-vs-batch literature (arXiv:1106.4985)
-// and the oversubscribed-HC pruning work (arXiv:1901.09312).
+// and the oversubscribed-HC pruning work (arXiv:1901.09312). Domain outages
+// reuse the same lifetime machinery on a per-domain "fault-domain" substream,
+// so adding domains at rate 0 is bit-identical to not having them.
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -44,6 +49,13 @@ enum class FaultEventKind {
   kThrottleStart,
   /// The throttle lifts.
   kThrottleEnd,
+  /// Correlated failure: every core of the named fault domain goes down at
+  /// once (rack power loss, cooling failure). Composes with per-core faults
+  /// — the injector tracks a per-core down-count, so a core is available
+  /// only when no failure source holds it down.
+  kDomainOutage,
+  /// The whole domain returns to service.
+  kDomainRepair,
 };
 
 struct FaultEvent {
@@ -53,6 +65,9 @@ struct FaultEvent {
   /// kThrottleStart only: lowest-index (fastest) P-state the core may use
   /// while throttled; states with a smaller index are unavailable.
   cluster::PStateIndex pstate_floor = 0;
+  /// kDomainOutage/kDomainRepair only: index into the trial's
+  /// FaultDomainLayout; flat_core is meaningless (left 0) for these kinds.
+  std::size_t domain = 0;
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -64,6 +79,37 @@ struct FaultSchedule {
 
   [[nodiscard]] bool empty() const noexcept { return events.empty(); }
 };
+
+/// Sentinel for "core not assigned to any domain" while a layout is being
+/// built or validated.
+inline constexpr std::size_t kInvalidDomain = static_cast<std::size_t>(-1);
+
+/// Partition of the cluster's flat core indices into named correlated fault
+/// domains. Every core belongs to exactly one domain.
+struct FaultDomainLayout {
+  std::vector<std::string> names;                 // one per domain
+  std::vector<std::size_t> domain_of_core;        // flat core -> domain index
+  std::vector<std::vector<std::size_t>> members;  // domain index -> flat cores
+
+  [[nodiscard]] std::size_t num_domains() const noexcept {
+    return members.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return members.empty(); }
+};
+
+/// Default grouping: one domain per cluster node (a node shares a chassis,
+/// power supply, and cooling — the natural correlated-failure unit), named
+/// "node<i>".
+[[nodiscard]] FaultDomainLayout DeriveNodeDomains(
+    const cluster::Cluster& cluster);
+
+/// Parses an explicit grouping spec: comma-separated `name:lo-hi` entries of
+/// contiguous flat-core ranges (inclusive), e.g. "rackA:0-7,rackB:8-15".
+/// Every core of the cluster must be covered exactly once; throws
+/// std::invalid_argument with a one-line diagnostic otherwise. An empty spec
+/// returns DeriveNodeDomains(cluster).
+[[nodiscard]] FaultDomainLayout ResolveFaultDomains(
+    const cluster::Cluster& cluster, std::string_view spec);
 
 struct FaultModelOptions {
   /// Mean time to (permanent) failure of each core; 0 disables failures.
@@ -82,20 +128,44 @@ struct FaultModelOptions {
   double throttle_duration = 0.0;
   /// P-state floor imposed while throttled (see FaultEvent::pstate_floor).
   cluster::PStateIndex throttle_floor = 2;
+  /// Mean time between whole-domain outages, per domain; 0 disables domain
+  /// faults entirely (bit-identical to a schedule generated without them).
+  /// Outage lifetimes use the same `lifetime`/`weibull_shape` machinery as
+  /// per-core failures, drawn from a dedicated "fault-domain" substream.
+  double domain_mtbf = 0.0;
+  /// Mean domain outage duration before the whole domain is repaired;
+  /// 0 means domain outages are permanent for the rest of the trial.
+  double domain_repair_time = 0.0;
+  /// Cascading throttle propagation: a throttle onset on any core spreads to
+  /// every core of its fault domain (shared cooling: one hot core throttles
+  /// the enclosure). Ends propagate identically, so overlap bookkeeping is
+  /// count-based in the injector.
+  bool cascade_throttle = false;
   /// Schedule generation horizon: no event is generated at or beyond this
   /// time. The experiment runner derives it from the workload when left 0.
   double horizon = 0.0;
 
   /// True iff the options describe any fault activity at all.
   [[nodiscard]] bool enabled() const noexcept {
-    return mtbf > 0.0 || (throttle_interval > 0.0 && throttle_duration > 0.0);
+    return mtbf > 0.0 || (throttle_interval > 0.0 && throttle_duration > 0.0) ||
+           domain_mtbf > 0.0;
   }
 };
 
 /// Samples one trial's fault schedule. Deterministic in (rng seed, options,
-/// cluster shape): each core draws its lifetime and throttle sequences from
-/// its own named substream of `rng`, so the schedule is independent of
-/// evaluation order. Callers pass the trial's dedicated "fault" substream.
+/// cluster shape, domain layout): each core draws its lifetime and throttle
+/// sequences from its own named substream of `rng`, and each domain draws
+/// its outage sequence from a "fault-domain" substream, so the schedule is
+/// independent of evaluation order. Callers pass the trial's dedicated
+/// "fault" substream. `domains` may be empty when neither domain outages nor
+/// cascading throttles are enabled.
+[[nodiscard]] FaultSchedule GenerateFaultSchedule(
+    const cluster::Cluster& cluster, const FaultDomainLayout& domains,
+    const FaultModelOptions& options, const util::RngStream& rng);
+
+/// Convenience overload for domain-free scenarios (PR 2 call sites): derives
+/// the default node-per-domain layout, which is only consulted when the
+/// options enable domain activity.
 [[nodiscard]] FaultSchedule GenerateFaultSchedule(
     const cluster::Cluster& cluster, const FaultModelOptions& options,
     const util::RngStream& rng);

@@ -11,6 +11,8 @@ std::string_view RecoveryPolicyName(RecoveryPolicy policy) noexcept {
       return "drop";
     case RecoveryPolicy::kRequeueToScheduler:
       return "requeue";
+    case RecoveryPolicy::kMigrateQueued:
+      return "migrate";
   }
   return "unknown";
 }
@@ -18,7 +20,14 @@ std::string_view RecoveryPolicyName(RecoveryPolicy policy) noexcept {
 RecoveryPolicy ParseRecoveryPolicy(std::string_view name) {
   if (name == "drop") return RecoveryPolicy::kDropQueued;
   if (name == "requeue") return RecoveryPolicy::kRequeueToScheduler;
-  throw std::invalid_argument("unknown recovery policy: " + std::string(name));
+  if (name == "migrate") return RecoveryPolicy::kMigrateQueued;
+  throw std::invalid_argument("unknown recovery policy: " + std::string(name) +
+                              " (valid: " + std::string(RecoveryPolicyNames()) +
+                              ")");
+}
+
+std::string_view RecoveryPolicyNames() noexcept {
+  return "drop, requeue, migrate";
 }
 
 }  // namespace ecdra::fault

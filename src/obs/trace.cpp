@@ -66,9 +66,13 @@ void WriteFault(std::ostream& os, const FaultEventRecord& fault) {
   if (fault.kind == "throttle_start") {
     os << ",\"pstate_floor\":" << fault.pstate_floor;
   }
-  if (fault.kind == "failure") {
+  if (fault.kind == "failure" || fault.kind == "domain_outage") {
     os << ",\"tasks_lost\":" << fault.tasks_lost
-       << ",\"tasks_requeued\":" << fault.tasks_requeued;
+       << ",\"tasks_requeued\":" << fault.tasks_requeued
+       << ",\"tasks_migrated\":" << fault.tasks_migrated;
+  }
+  if (fault.kind == "domain_outage" || fault.kind == "domain_repair") {
+    os << ",\"domain\":" << fault.domain;
   }
   os << "}\n";
 }

@@ -95,14 +95,19 @@ struct EnergySnapshotRecord {
 struct FaultEventRecord {
   std::uint64_t trial = 0;
   double time = 0.0;
-  /// "failure" | "repair" | "throttle_start" | "throttle_end".
+  /// "failure" | "repair" | "throttle_start" | "throttle_end" |
+  /// "domain_outage" | "domain_repair".
   std::string kind;
   std::uint64_t flat_core = 0;
   /// throttle_start only: the P-state floor imposed on the core.
   std::uint64_t pstate_floor = 0;
-  /// failure only: stranded tasks dropped / successfully re-mapped.
+  /// failure / domain_outage only: stranded tasks dropped / successfully
+  /// re-mapped (running restarts) / migrated (queued, kMigrateQueued).
   std::uint64_t tasks_lost = 0;
   std::uint64_t tasks_requeued = 0;
+  std::uint64_t tasks_migrated = 0;
+  /// domain_outage / domain_repair only: the fault-domain index.
+  std::uint64_t domain = 0;
 };
 
 /// One applied governor action (src/governor). The engine-side host emits a

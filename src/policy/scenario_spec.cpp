@@ -71,8 +71,12 @@ constexpr std::string_view kHeaderLine = "ecdra-scenario v1";
 // cannot attest what governor produced its trials.
 // v3: run.mode and the stream.* block joined — a v2 checkpoint cannot
 // attest whether its trials ran fixed-trace or streaming semantics.
+// v4: the fault-domain block (run.fault.domain_*, run.fault.domains) and the
+// degraded-mode knobs (stream.degraded_*) joined — a v3 checkpoint cannot
+// attest whether correlated outages or degraded-mode tightening shaped its
+// trials.
 constexpr std::string_view kFingerprintHeaderLine =
-    "ecdra-scenario-fingerprint v3";
+    "ecdra-scenario-fingerprint v4";
 
 std::string_view LifetimeName(fault::LifetimeDistribution lifetime) noexcept {
   return lifetime == fault::LifetimeDistribution::kWeibull ? "weibull"
@@ -191,6 +195,11 @@ void EmitResultShapingLines(std::string& out, const ScenarioSpec& spec) {
   Emit(out, "run.fault.throttle_floor",
        std::to_string(std::size_t{fault.throttle_floor}));
   Emit(out, "run.fault.horizon", Num(fault.horizon));
+  Emit(out, "run.fault.domain_mtbf", Num(fault.domain_mtbf));
+  Emit(out, "run.fault.domain_repair_time", Num(fault.domain_repair_time));
+  Emit(out, "run.fault.cascade_throttle",
+       fault.cascade_throttle ? "true" : "false");
+  Emit(out, "run.fault.domains", spec.fault_domains);
   Emit(out, "run.recovery", fault::RecoveryPolicyName(spec.recovery));
 
   const StreamSpec& stream = spec.stream;
@@ -205,6 +214,9 @@ void EmitResultShapingLines(std::string& out, const ScenarioSpec& spec) {
   Emit(out, "stream.defer_rho", Num(stream.defer_rho));
   Emit(out, "stream.drop_rho", Num(stream.drop_rho));
   Emit(out, "stream.fairness_wait", Num(stream.fairness_wait));
+  Emit(out, "stream.degraded_enter", Num(stream.degraded_enter_fraction));
+  Emit(out, "stream.degraded_exit", Num(stream.degraded_exit_fraction));
+  Emit(out, "stream.degraded_rho_scale", Num(stream.degraded_rho_scale));
 }
 
 void EmitGridAndHarnessLines(std::string& out, const ScenarioSpec& spec) {
@@ -478,11 +490,22 @@ ScenarioSpec ParseScenarioSpec(std::string_view text) {
           static_cast<cluster::PStateIndex>(ParseUint(line, value));
     } else if (key == "run.fault.horizon") {
       fault.horizon = ParseNum(line, value);
+    } else if (key == "run.fault.domain_mtbf") {
+      fault.domain_mtbf = ParseNum(line, value);
+    } else if (key == "run.fault.domain_repair_time") {
+      fault.domain_repair_time = ParseNum(line, value);
+    } else if (key == "run.fault.cascade_throttle") {
+      fault.cascade_throttle = ParseBool(line, value);
+    } else if (key == "run.fault.domains") {
+      // Any value parses (empty = the derived node-per-domain grouping);
+      // fault::ResolveFaultDomains validates against the cluster at setup.
+      spec.fault_domains = std::string(value);
     } else if (key == "run.recovery") {
       try {
         spec.recovery = fault::ParseRecoveryPolicy(value);
       } catch (const std::invalid_argument&) {
-        ParseFail(line, "expected drop or requeue");
+        ParseFail(line, "expected one of: " +
+                            std::string(fault::RecoveryPolicyNames()));
       }
     } else if (key == "run.mode") {
       // Batch mode is a stack, not a spec-selectable trial mode.
@@ -516,6 +539,12 @@ ScenarioSpec ParseScenarioSpec(std::string_view text) {
       spec.stream.drop_rho = ParseNum(line, value);
     } else if (key == "stream.fairness_wait") {
       spec.stream.fairness_wait = ParseNum(line, value);
+    } else if (key == "stream.degraded_enter") {
+      spec.stream.degraded_enter_fraction = ParseNum(line, value);
+    } else if (key == "stream.degraded_exit") {
+      spec.stream.degraded_exit_fraction = ParseNum(line, value);
+    } else if (key == "stream.degraded_rho_scale") {
+      spec.stream.degraded_rho_scale = ParseNum(line, value);
     } else if (key == "grid.heuristics") {
       spec.grid.heuristics = ParseNames(value);
     } else if (key == "grid.filter_variants") {

@@ -73,6 +73,10 @@ struct ScenarioSpec {
   /// truth for e.g. the robustness threshold.
   core::FilterChainOptions filter_options;
   fault::FaultModelOptions fault;
+  /// Correlated fault-domain grouping: comma-separated "name:lo-hi" flat-core
+  /// ranges (fault::ResolveFaultDomains); empty derives one domain per
+  /// cluster node.
+  std::string fault_domains;
   fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
   /// Registered governor name (src/governor). "static" is the paper's
   /// open-loop baseline; the registry validates the name at trial setup.

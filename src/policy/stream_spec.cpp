@@ -26,7 +26,10 @@ bool StreamSpec::any() const noexcept {
          emergency_exit_fraction != defaults.emergency_exit_fraction ||
          admission != defaults.admission || defer_rho != defaults.defer_rho ||
          drop_rho != defaults.drop_rho ||
-         fairness_wait != defaults.fairness_wait;
+         fairness_wait != defaults.fairness_wait ||
+         degraded_enter_fraction != defaults.degraded_enter_fraction ||
+         degraded_exit_fraction != defaults.degraded_exit_fraction ||
+         degraded_rho_scale != defaults.degraded_rho_scale;
 }
 
 namespace {
@@ -68,6 +71,12 @@ std::string DescribeStreamFields(const StreamSpec& stream) {
   DescribeNum(out, "stream.drop_rho", stream.drop_rho, defaults.drop_rho);
   DescribeNum(out, "stream.fairness_wait", stream.fairness_wait,
               defaults.fairness_wait);
+  DescribeNum(out, "stream.degraded_enter", stream.degraded_enter_fraction,
+              defaults.degraded_enter_fraction);
+  DescribeNum(out, "stream.degraded_exit", stream.degraded_exit_fraction,
+              defaults.degraded_exit_fraction);
+  DescribeNum(out, "stream.degraded_rho_scale", stream.degraded_rho_scale,
+              defaults.degraded_rho_scale);
   return out;
 }
 

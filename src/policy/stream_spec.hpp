@@ -61,6 +61,18 @@ struct StreamSpec {
   /// regardless of its rho, so backpressure cannot starve one task class
   /// forever. 0 = derived (4 x t_avg).
   double fairness_wait = 0.0;
+  /// Degraded-mode hysteresis on the fraction of cluster cores lost to
+  /// faults (domain outages + per-core failures): enter when the lost
+  /// fraction reaches degraded_enter, exit once it falls back to
+  /// degraded_exit or below (exit < enter, mirroring the energy account's
+  /// emergency hysteresis). While degraded the engine shrinks governor
+  /// fair-share capacity proportionally to the surviving cores and the rho
+  /// admission policy tightens its thresholds.
+  double degraded_enter_fraction = 0.25;
+  double degraded_exit_fraction = 0.10;
+  /// Multiplier (>= 1) applied to defer_rho/drop_rho while degraded;
+  /// thresholds are clamped to 1. 1 disables the tightening.
+  double degraded_rho_scale = 1.5;
 
   /// True when any field differs from its default — the spec carries a
   /// stream block that a non-streaming consumer must refuse.

@@ -3,14 +3,17 @@
 #include <charconv>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
+#include <system_error>
 #include <utility>
 
 #include "obs/json.hpp"
 #include "policy/scenario_spec.hpp"
 #include "util/assert.hpp"
+#include "util/crc32.hpp"
 
 namespace ecdra::sim {
 
@@ -24,6 +27,7 @@ std::string_view CheckpointErrorKindName(CheckpointErrorKind kind) {
     case CheckpointErrorKind::kConfigMismatch: return "config-mismatch";
     case CheckpointErrorKind::kTruncatedRecord: return "truncated-record";
     case CheckpointErrorKind::kBadRecord: return "bad-record";
+    case CheckpointErrorKind::kCrcMismatch: return "crc-mismatch";
     case CheckpointErrorKind::kUnsupportedOptions: return "unsupported-options";
   }
   return "unknown";
@@ -64,6 +68,56 @@ void Field(std::string& out, std::string_view key, std::string_view value) {
   out += "\":\"";
   out += json::Escape(value);
   out += '"';
+}
+
+// ---------------------------------------------------------------------------
+// Per-line CRC sealing (schema v5)
+// ---------------------------------------------------------------------------
+//
+// Every committed line has the layout `<prefix>,"crc":"xxxxxxxx"}` where the
+// CRC-32 covers <prefix> — the serialized record up to but excluding the crc
+// suffix (equivalently: the whole JSON object minus its closing brace). A
+// reader that finds the suffix intact but the sum wrong has hit bit rot or a
+// torn overwrite; a missing suffix means the line predates v5 or was mangled.
+
+constexpr std::string_view kCrcKey = ",\"crc\":\"";
+constexpr std::size_t kCrcSuffixLength = 18;  // ,"crc":" + 8 hex + "}
+
+enum class CrcStatus { kOk, kMissing, kMismatch };
+
+CrcStatus VerifyLineCrc(std::string_view line) {
+  if (line.size() < kCrcSuffixLength + 1) return CrcStatus::kMissing;
+  const std::string_view suffix = line.substr(line.size() - kCrcSuffixLength);
+  if (suffix.substr(0, kCrcKey.size()) != kCrcKey ||
+      suffix.substr(kCrcKey.size() + 8) != "\"}") {
+    return CrcStatus::kMissing;
+  }
+  std::uint32_t stored = 0;
+  for (const char c : suffix.substr(kCrcKey.size(), 8)) {
+    stored <<= 4;
+    if (c >= '0' && c <= '9') {
+      stored |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      stored |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return CrcStatus::kMissing;
+    }
+  }
+  const std::string_view prefix = line.substr(0, line.size() - kCrcSuffixLength);
+  return util::Crc32(prefix) == stored ? CrcStatus::kOk : CrcStatus::kMismatch;
+}
+
+/// Appends the crc field to a serialized JSON object (must end in '}').
+std::string SealWithCrc(std::string object_json) {
+  ECDRA_ASSERT(!object_json.empty() && object_json.back() == '}',
+               "can only seal a serialized JSON object");
+  object_json.pop_back();
+  char hex[9];
+  const std::string_view digest = util::Crc32Hex(util::Crc32(object_json), hex);
+  object_json += kCrcKey;
+  object_json += digest;
+  object_json += "\"}";
+  return object_json;
 }
 
 [[noreturn]] void BadRecord(const std::string& detail) {
@@ -184,6 +238,7 @@ std::string ConfigFingerprint(const ExperimentSetup& setup,
   spec.power_cov = options.power_cov;
   spec.filter_options = options.filter_options;
   spec.fault = options.fault;
+  spec.fault_domains = options.fault_domains;
   spec.recovery = options.recovery;
   spec.governor = options.governor;
   spec.mode = options.mode;
@@ -224,6 +279,25 @@ std::string TrialResultToJson(const TrialResult& result) {
   Field(out, "remapped", std::uint64_t{result.tasks_remapped});
   out += ',';
   Field(out, "remapped_on_time", std::uint64_t{result.remapped_on_time});
+  // Domain-fault / migration scalars: omitted when zero, so a record from a
+  // run without domain faults or migration serializes byte-identically to a
+  // pre-domain build's — the golden grid hashes this exact text.
+  if (result.domain_outages != 0) {
+    out += ',';
+    Field(out, "domain_outages", std::uint64_t{result.domain_outages});
+  }
+  if (result.domain_repairs != 0) {
+    out += ',';
+    Field(out, "domain_repairs", std::uint64_t{result.domain_repairs});
+  }
+  if (result.tasks_migrated != 0) {
+    out += ',';
+    Field(out, "migrated", std::uint64_t{result.tasks_migrated});
+  }
+  if (result.migrated_on_time != 0) {
+    out += ',';
+    Field(out, "migrated_on_time", std::uint64_t{result.migrated_on_time});
+  }
   out += ',';
   Field(out, "weighted_total", result.weighted_total);
   out += ',';
@@ -241,8 +315,7 @@ std::string TrialResultToJson(const TrialResult& result) {
   out += ',';
   Field(out, "makespan", result.makespan);
 
-  // Streaming aggregates (omitted entirely for fixed-trace trials, keeping
-  // their records byte-identical to schema-v3 bodies).
+  // Streaming aggregates (omitted entirely for fixed-trace trials).
   if (result.stream.enabled) {
     out += ",\"stream\":{";
     Field(out, "windows", std::uint64_t{result.stream.windows});
@@ -262,6 +335,11 @@ std::string TrialResultToJson(const TrialResult& result) {
           std::uint64_t{result.stream.emergency_entries});
     out += ',';
     Field(out, "emergency_seconds", result.stream.emergency_seconds);
+    out += ',';
+    Field(out, "degraded_entries",
+          std::uint64_t{result.stream.degraded_entries});
+    out += ',';
+    Field(out, "degraded_seconds", result.stream.degraded_seconds);
     out += ',';
     Field(out, "min_available", result.stream.min_available);
     out += ',';
@@ -341,6 +419,14 @@ TrialResult TrialResultFromValue(const json::Value& object) {
   result.tasks_lost_to_failures = RequireUint(object, "lost");
   result.tasks_remapped = RequireUint(object, "remapped");
   result.remapped_on_time = RequireUint(object, "remapped_on_time");
+  // Optional (written only when non-zero; see TrialResultToJson).
+  const auto OptionalUint = [](const json::Value& obj, std::string_view key) {
+    return obj.Find(key) != nullptr ? RequireUint(obj, key) : 0;
+  };
+  result.domain_outages = OptionalUint(object, "domain_outages");
+  result.domain_repairs = OptionalUint(object, "domain_repairs");
+  result.tasks_migrated = OptionalUint(object, "migrated");
+  result.migrated_on_time = OptionalUint(object, "migrated_on_time");
   result.weighted_total = RequireNumber(object, "weighted_total");
   result.weighted_completed = RequireNumber(object, "weighted_completed");
   result.weighted_missed = RequireNumber(object, "weighted_missed");
@@ -369,6 +455,9 @@ TrialResult TrialResultFromValue(const json::Value& object) {
     result.stream.emergency_entries = RequireUint(*stream, "emergency_entries");
     result.stream.emergency_seconds =
         RequireNumber(*stream, "emergency_seconds");
+    result.stream.degraded_entries = RequireUint(*stream, "degraded_entries");
+    result.stream.degraded_seconds =
+        RequireNumber(*stream, "degraded_seconds");
     result.stream.min_available = RequireNumber(*stream, "min_available");
     result.stream.final_available = RequireNumber(*stream, "final_available");
   }
@@ -441,17 +530,65 @@ CheckpointStore CheckpointStore::Load(const std::string& path,
     throw CheckpointError(CheckpointErrorKind::kIo, path + ": read error");
   }
   const std::string text = buffer.str();
+
+  CheckpointStore store;
+  std::size_t line_number = 0;
+  std::size_t line_start = 0;
+  std::size_t pos = 0;
+
+  // Salvage: everything from the first damaged byte on is counted and cut
+  // away on disk, so a subsequent writer appends after the last good record.
+  const auto salvage_from = [&](std::size_t damage_start) {
+    for (std::size_t p = damage_start; p < text.size();) {
+      ++store.dropped_records_;
+      const std::size_t newline = text.find('\n', p);
+      if (newline == std::string::npos) break;
+      p = newline + 1;
+    }
+    std::error_code ec;
+    std::filesystem::resize_file(path, damage_start, ec);
+    if (ec) {
+      throw CheckpointError(
+          CheckpointErrorKind::kIo,
+          path + ": cannot truncate damaged tail: " + ec.message());
+    }
+  };
+
+  // Physical damage on the current line: salvage mode heals (true = stop
+  // reading), strict mode throws — as kBadHeader when the header itself is
+  // the casualty.
+  const auto damaged = [&](CheckpointErrorKind kind,
+                           const std::string& what) -> bool {
+    if (options.salvage) {
+      if (line_number <= 1) {
+        store.header_valid_ = false;
+        salvage_from(0);
+      } else {
+        salvage_from(line_start);
+      }
+      return true;
+    }
+    if (line_number <= 1) {
+      throw CheckpointError(CheckpointErrorKind::kBadHeader,
+                            path + ": " + what);
+    }
+    throw CheckpointError(kind, path + ": line " +
+                                    std::to_string(line_number) + ": " + what);
+  };
+
   if (text.empty()) {
+    if (options.salvage) {
+      store.header_valid_ = false;
+      return store;
+    }
     throw CheckpointError(CheckpointErrorKind::kBadHeader,
                           path + ": empty checkpoint (no header record)");
   }
 
-  CheckpointStore store;
-  std::size_t line_number = 0;
-  std::size_t pos = 0;
   while (pos < text.size()) {
     const std::size_t newline = text.find('\n', pos);
     const bool terminated = newline != std::string::npos;
+    line_start = pos;
     const std::string_view line(text.data() + pos,
                                 (terminated ? newline : text.size()) - pos);
     pos = terminated ? newline + 1 : text.size();
@@ -461,44 +598,100 @@ CheckpointStore CheckpointStore::Load(const std::string& path,
       // A line without its trailing newline can only be the write that a
       // crash cut short — even if the text happens to parse, the record was
       // never committed.
-      if (line_number == 1) {
-        throw CheckpointError(
-            CheckpointErrorKind::kBadHeader,
-            path + ": header record cut mid-write; delete the file");
-      }
-      if (options.allow_partial_tail) {
+      if (line_number > 1 && options.allow_partial_tail && !options.salvage) {
         store.dropped_partial_tail_ = true;
         break;
       }
-      throw CheckpointError(
-          CheckpointErrorKind::kTruncatedRecord,
-          path + ": line " + std::to_string(line_number) +
-              " cut mid-write (no trailing newline); re-load with "
-              "allow_partial_tail to drop it");
+      if (damaged(CheckpointErrorKind::kTruncatedRecord,
+                  line_number == 1
+                      ? "header record cut mid-write; --resume-salvage "
+                        "recreates the file"
+                      : "cut mid-write (no trailing newline); "
+                        "--resume-salvage drops it")) {
+        store.dropped_partial_tail_ = true;
+        break;
+      }
     }
-    if (line.empty()) continue;
+    if (line.empty()) {
+      // The writer never commits blank lines; one can only be damage.
+      if (damaged(CheckpointErrorKind::kBadRecord, "blank line")) break;
+    }
+
+    if (line_number == 1) {
+      // Header. Schema refusal outranks the CRC check: records of older
+      // schemas carry no crc field at all, and salvage must not mistake
+      // "written by an older build" for torn-write damage and destroy a
+      // perfectly healthy store.
+      const std::optional<json::Value> value = json::Parse(line);
+      CheckpointHeader header;
+      bool parsed = false;
+      if (value && value->kind() == json::Value::Kind::kObject &&
+          value->Find("record") != nullptr) {
+        try {
+          if (RequireString(*value, "record") != "header") {
+            if (damaged(CheckpointErrorKind::kBadRecord,
+                        "first record is \"" + RequireString(*value, "record") +
+                            "\", not a header")) {
+              break;
+            }
+          }
+          header = HeaderFromJson(*value);
+          parsed = true;
+        } catch (const CheckpointError& error) {
+          if (error.kind() != CheckpointErrorKind::kBadRecord) throw;
+        }
+      }
+      if (!parsed) {
+        if (damaged(CheckpointErrorKind::kBadRecord,
+                    "first line is not a valid JSON header record")) {
+          break;
+        }
+        continue;
+      }
+      if (header.schema_version != kCheckpointSchemaVersion) {
+        throw CheckpointError(
+            CheckpointErrorKind::kSchemaVersion,
+            path + ": written with schema version " +
+                std::to_string(header.schema_version) + ", this build reads " +
+                std::to_string(kCheckpointSchemaVersion));
+      }
+      const CrcStatus crc = VerifyLineCrc(line);
+      if (crc != CrcStatus::kOk) {
+        if (damaged(CheckpointErrorKind::kCrcMismatch,
+                    crc == CrcStatus::kMismatch
+                        ? "header record fails its crc"
+                        : "header record carries no crc field")) {
+          break;
+        }
+        continue;
+      }
+      store.header_ = header;
+      continue;
+    }
+
+    const CrcStatus crc = VerifyLineCrc(line);
+    if (crc != CrcStatus::kOk) {
+      if (damaged(crc == CrcStatus::kMismatch
+                      ? CheckpointErrorKind::kCrcMismatch
+                      : CheckpointErrorKind::kBadRecord,
+                  crc == CrcStatus::kMismatch
+                      ? "crc mismatch (bit rot or a torn overwrite)"
+                      : "record carries no crc field")) {
+        break;
+      }
+      continue;
+    }
 
     const std::optional<json::Value> value = json::Parse(line);
     if (!value || value->kind() != json::Value::Kind::kObject) {
-      if (line_number == 1) {
-        throw CheckpointError(
-            CheckpointErrorKind::kBadHeader,
-            path + ": first line is not a valid JSON header record");
+      if (damaged(CheckpointErrorKind::kBadRecord,
+                  "is not a valid JSON record")) {
+        break;
       }
-      BadRecord(path + ": line " + std::to_string(line_number) +
-                " is not a valid JSON record");
+      continue;
     }
     try {
       const std::string& record = RequireString(*value, "record");
-      if (line_number == 1) {
-        if (record != "header") {
-          throw CheckpointError(
-              CheckpointErrorKind::kBadHeader,
-              path + ": first record is \"" + record + "\", not a header");
-        }
-        store.header_ = HeaderFromJson(*value);
-        continue;
-      }
       if (record != "trial") {
         BadRecord(path + ": line " + std::to_string(line_number) +
                   ": unknown record type \"" + record + '"');
@@ -512,11 +705,11 @@ CheckpointStore CheckpointStore::Load(const std::string& path,
       store.results_.insert_or_assign(std::tuple(heuristic, filter, trial),
                                       std::move(result));
     } catch (const CheckpointError& error) {
+      // A record that passed its CRC but fails semantically was committed
+      // intact and is wrong by construction, not by damage — salvage does
+      // not swallow it.
       if (error.kind() == CheckpointErrorKind::kBadRecord) {
-        // A malformed first line means the header itself is bad.
-        throw CheckpointError(line_number == 1
-                                  ? CheckpointErrorKind::kBadHeader
-                                  : CheckpointErrorKind::kBadRecord,
+        throw CheckpointError(CheckpointErrorKind::kBadRecord,
                               path + ": line " + std::to_string(line_number) +
                                   ": " + error.what());
       }
@@ -524,13 +717,6 @@ CheckpointStore CheckpointStore::Load(const std::string& path,
     }
   }
 
-  if (store.header_.schema_version != kCheckpointSchemaVersion) {
-    throw CheckpointError(
-        CheckpointErrorKind::kSchemaVersion,
-        path + ": written with schema version " +
-            std::to_string(store.header_.schema_version) +
-            ", this build reads " + std::to_string(kCheckpointSchemaVersion));
-  }
   return store;
 }
 
@@ -575,24 +761,45 @@ CheckpointWriter::CheckpointWriter(const std::string& path,
               path + ": existing file's first line is not a header record");
         }
         VerifyCheckpointHeader(HeaderFromJson(*value), header, path);
+        if (VerifyLineCrc(first_line) != CrcStatus::kOk) {
+          throw CheckpointError(
+              CheckpointErrorKind::kCrcMismatch,
+              path + ": existing header record fails its crc");
+        }
         append = true;
       }
     }
   }
 
-  impl_->out.open(path, append ? (std::ios::binary | std::ios::app)
-                               : (std::ios::binary | std::ios::trunc));
+  if (!append) {
+    // Atomic create: the header is written to a sibling tmp file, flushed,
+    // and renamed into place, so no crash can leave a file with a torn
+    // header on disk — readers either see no checkpoint or a complete one.
+    const std::string tmp_path = path + ".tmp";
+    {
+      std::ofstream tmp(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!tmp) {
+        throw CheckpointError(CheckpointErrorKind::kIo,
+                              tmp_path + ": cannot open for writing");
+      }
+      tmp << SealWithCrc(HeaderToJson(header)) << '\n';
+      tmp.flush();
+      if (!tmp) {
+        throw CheckpointError(CheckpointErrorKind::kIo,
+                              tmp_path + ": cannot write header record");
+      }
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+      throw CheckpointError(
+          CheckpointErrorKind::kIo,
+          path + ": cannot install header (rename from tmp failed)");
+    }
+  }
+
+  impl_->out.open(path, std::ios::binary | std::ios::app);
   if (!impl_->out) {
     throw CheckpointError(CheckpointErrorKind::kIo,
                           path + ": cannot open for writing");
-  }
-  if (!append) {
-    impl_->out << HeaderToJson(header) << '\n';
-    impl_->out.flush();
-    if (!impl_->out) {
-      throw CheckpointError(CheckpointErrorKind::kIo,
-                            path + ": cannot write header record");
-    }
   }
 }
 
@@ -602,17 +809,19 @@ void CheckpointWriter::Append(std::string_view heuristic,
                               std::string_view filter_variant,
                               std::size_t trial_index,
                               const TrialResult& result) {
-  std::string line = "{";
-  Field(line, "record", std::string_view("trial"));
-  line += ',';
-  Field(line, "heuristic", heuristic);
-  line += ',';
-  Field(line, "filter", filter_variant);
-  line += ',';
-  Field(line, "trial", std::uint64_t{trial_index});
-  line += ",\"result\":";
-  line += TrialResultToJson(result);
-  line += "}\n";
+  std::string record = "{";
+  Field(record, "record", std::string_view("trial"));
+  record += ',';
+  Field(record, "heuristic", heuristic);
+  record += ',';
+  Field(record, "filter", filter_variant);
+  record += ',';
+  Field(record, "trial", std::uint64_t{trial_index});
+  record += ",\"result\":";
+  record += TrialResultToJson(result);
+  record += '}';
+  std::string line = SealWithCrc(std::move(record));
+  line += '\n';
 
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   impl_->out << line;

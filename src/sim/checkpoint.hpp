@@ -5,17 +5,21 @@
 // every option that shapes per-trial results; each following line is one
 // completed trial:
 //
-//   {"record":"header","schema":2,"seed":14,"config":"9f2ab31c6d0e8457"}
+//   {"record":"header","schema":5,"seed":"14","config":"9f2ab31c6d0e8457",
+//    "crc":"0a1b2c3d"}
 //   {"record":"trial","heuristic":"SQ","filter":"en+rob","trial":0,
-//    "result":{"window":1000,"completed":749,...,"counters":{...}}}
+//    "result":{"window":1000,"completed":749,...},"crc":"4e5f6071"}
 //
 // Doubles are serialized with obs::json::Number (shortest round-trip
 // decimal), so a deserialized TrialResult is bit-identical to the one that
 // was written — resuming a sweep reproduces an uninterrupted run exactly,
 // because the skipped trials' stored results equal what re-execution would
-// produce. The writer flushes after every record; a SIGKILL therefore
-// loses at most the single line in flight, which Load can either reject
-// (strict, the default) or drop (allow_partial_tail, what --resume uses).
+// produce. Every line ends with a "crc" field: the CRC-32 of everything on
+// the line before it, so a reader can tell a torn write from flipped bits.
+// The writer flushes after every record and creates fresh headers via a
+// tmp-file + rename, so a SIGKILL loses at most the single trial line in
+// flight; Load can reject the damage (strict, what --resume uses) or heal
+// it (LoadOptions::salvage, what --resume-salvage uses).
 #pragma once
 
 #include <cstdint>
@@ -42,7 +46,13 @@ namespace ecdra::sim {
 /// preimage grew run.mode and the stream.* block ("ecdra-scenario-fingerprint
 /// v3") and trial records grew the "stream" aggregate object — a v3 store
 /// cannot attest whether its trials ran fixed-trace or streaming semantics.
-inline constexpr std::uint32_t kCheckpointSchemaVersion = 4;
+/// v5: every line carries a trailing "crc" field (CRC-32 of the rest of the
+/// record) so torn and bit-flipped lines are distinguishable, the
+/// fingerprint preimage grew the run.fault.domain_* and stream.degraded_*
+/// lines ("ecdra-scenario-fingerprint v4"), and trial records grew the
+/// domain-fault / migration scalars — a v4 store has none of these, so it
+/// cannot attest what its trials computed and carries no CRCs to salvage by.
+inline constexpr std::uint32_t kCheckpointSchemaVersion = 5;
 
 enum class CheckpointErrorKind {
   kIo,                  // cannot open / read / write the file
@@ -51,6 +61,7 @@ enum class CheckpointErrorKind {
   kConfigMismatch,      // header (seed, config fingerprint) != current run
   kTruncatedRecord,     // final line cut mid-write (no trailing newline)
   kBadRecord,           // a complete line that is not a valid trial record
+  kCrcMismatch,         // a complete line whose CRC-32 does not match
   kUnsupportedOptions,  // per-task traces cannot be checkpointed
 };
 
@@ -112,6 +123,16 @@ class CheckpointStore {
     /// unparseable) instead of throwing kTruncatedRecord. Resuming after a
     /// SIGKILL re-runs that trial; strict loads surface the damage.
     bool allow_partial_tail = false;
+    /// Self-healing load (--resume-salvage): stop at the first physically
+    /// damaged line — torn tail, CRC mismatch, malformed or blank record —
+    /// keep every record before it, count the rest as dropped_records(),
+    /// and truncate the file on disk to the valid prefix so a subsequent
+    /// append continues from the last committed trial. A damaged header
+    /// salvages to an empty store with header_valid() == false (the writer
+    /// then recreates the file). Logical refusals — wrong schema version,
+    /// seed/config mismatch, I/O failure — still throw: salvage heals torn
+    /// writes, it does not paper over resuming the wrong run.
+    bool salvage = false;
   };
 
   /// Parses `path`. Throws CheckpointError on any problem (see kinds).
@@ -129,6 +150,14 @@ class CheckpointStore {
   [[nodiscard]] bool dropped_partial_tail() const noexcept {
     return dropped_partial_tail_;
   }
+  /// Salvage mode: lines discarded (and truncated away) as damaged.
+  [[nodiscard]] std::size_t dropped_records() const noexcept {
+    return dropped_records_;
+  }
+  /// False only after a salvage load whose header itself was damaged: the
+  /// store holds no trials and header() is meaningless — treat the file as
+  /// absent (the writer recreates it).
+  [[nodiscard]] bool header_valid() const noexcept { return header_valid_; }
 
   /// Null when the triple is not checkpointed.
   [[nodiscard]] const TrialResult* Find(std::string_view heuristic,
@@ -140,6 +169,8 @@ class CheckpointStore {
   std::map<std::tuple<std::string, std::string, std::size_t>, TrialResult>
       results_;
   bool dropped_partial_tail_ = false;
+  std::size_t dropped_records_ = 0;
+  bool header_valid_ = true;
 };
 
 /// Append-only JSONL checkpoint writer, safe to share across the trial

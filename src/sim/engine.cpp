@@ -22,6 +22,10 @@ const char* FaultKindName(fault::FaultEventKind kind) {
       return "throttle_start";
     case fault::FaultEventKind::kThrottleEnd:
       return "throttle_end";
+    case fault::FaultEventKind::kDomainOutage:
+      return "domain_outage";
+    case fault::FaultEventKind::kDomainRepair:
+      return "domain_repair";
   }
   return "unknown";
 }
@@ -81,10 +85,11 @@ Engine::Engine(const cluster::Cluster& cluster,
   // event/mapping paths untouched) unless this trial has a schedule.
   fault_enabled_ = !options_.fault_schedule.empty();
   if (fault_enabled_) {
-    injector_ =
-        fault::FaultInjector(cluster.total_cores(), options_.fault_schedule);
+    injector_ = fault::FaultInjector(
+        cluster.total_cores(), options_.fault_schedule, options_.fault_domains);
     availability_.assign(cluster.total_cores(), core::CoreAvailability{});
     remapped_.assign(tasks_.size(), 0);
+    migrated_.assign(tasks_.size(), 0);
   }
 
   // Governor extension (src/governor): resolving the name validates it; the
@@ -117,6 +122,8 @@ Engine::Engine(const cluster::Cluster& cluster,
                                              options_.stream.admission_options);
     admission_active_ = admission_->active();
     window_length_ = options_.stream.window_length;
+    degraded_ = stream::DegradedMode(options_.stream.degraded_enter,
+                                     options_.stream.degraded_exit);
     if (availability_.empty()) {
       availability_.assign(cluster.total_cores(), core::CoreAvailability{});
     }
@@ -261,6 +268,7 @@ TrialResult Engine::Run() {
         ++result.completed;
         result.weighted_completed += task.priority;
         if (fault_enabled_ && remapped_[task_id] != 0) ++remapped_on_time_;
+        if (fault_enabled_ && migrated_[task_id] != 0) ++migrated_on_time_;
       } else if (!on_time) {
         ++result.finished_late;
       } else {
@@ -334,6 +342,10 @@ TrialResult Engine::Run() {
   result.tasks_lost_to_failures = tasks_lost_;
   result.tasks_remapped = tasks_remapped_;
   result.remapped_on_time = remapped_on_time_;
+  result.domain_outages = injector_.domain_outages_applied();
+  result.domain_repairs = injector_.domain_repairs_applied();
+  result.tasks_migrated = tasks_migrated_;
+  result.migrated_on_time = migrated_on_time_;
   result.missed_deadlines = result.window_size - result.completed;
   result.weighted_missed = result.weighted_total - result.weighted_completed;
   result.total_energy = post_hoc;
@@ -345,6 +357,8 @@ TrialResult Engine::Run() {
     stream_stats_.pen_peak = pen_.peak();
     stream_stats_.emergency_entries = account_.emergency_entries();
     stream_stats_.emergency_seconds = account_.emergency_seconds(now);
+    stream_stats_.degraded_entries = degraded_.entries();
+    stream_stats_.degraded_seconds = degraded_.degraded_seconds(now);
     stream_stats_.min_available = account_.min_available();
     stream_stats_.final_available = account_.available();
     result.stream = stream_stats_;
@@ -458,116 +472,236 @@ bool Engine::TryRemap(const workload::Task& task, double now) {
 }
 
 void Engine::HandleFault(const fault::FaultEvent& fault_event, double now) {
-  const std::size_t flat = fault_event.flat_core;
+  // A domain event touches every member of its domain; everything else
+  // touches one core. The injector's down-counts decide which affected
+  // cores actually change state — a domain member may already be down via
+  // its own failure (and stay down through the domain's repair), so the
+  // engine compares available() across Apply and acts only on true
+  // transitions.
+  const bool domain_event =
+      fault_event.kind == fault::FaultEventKind::kDomainOutage ||
+      fault_event.kind == fault::FaultEventKind::kDomainRepair;
+  const std::size_t self[1] = {fault_event.flat_core};
+  const std::span<const std::size_t> affected =
+      domain_event ? std::span<const std::size_t>(
+                         injector_.domains().members[fault_event.domain])
+                   : std::span<const std::size_t>(self);
+  std::vector<std::uint8_t> was_live(affected.size());
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    was_live[i] = injector_.available(affected[i]) ? 1 : 0;
+  }
+
   injector_.Apply(fault_event);
-  RefreshAvailability(flat);
+  for (const std::size_t flat : affected) RefreshAvailability(flat);
   // Failure and repair force the core's P-state; either way any governor
   // parking is void (ParkIdleCore re-checks the actual draw anyway).
-  if (governor_enabled_ &&
-      (fault_event.kind == fault::FaultEventKind::kCoreFailure ||
-       fault_event.kind == fault::FaultEventKind::kCoreRepair)) {
-    parked_[flat] = 0;
+  const bool kills_or_revives =
+      fault_event.kind == fault::FaultEventKind::kCoreFailure ||
+      fault_event.kind == fault::FaultEventKind::kCoreRepair || domain_event;
+  if (governor_enabled_ && kills_or_revives) {
+    for (const std::size_t flat : affected) parked_[flat] = 0;
   }
 
   obs::FaultEventRecord trace_record;
   switch (fault_event.kind) {
-    case fault::FaultEventKind::kCoreFailure: {
-      obs::Bump(&obs::Counters::failures_injected);
-      // Strand every task assigned to the core: the partially-executed
-      // running task first (its progress is wasted), then the FIFO.
-      CoreRuntime& core = runtime_[flat];
-      std::vector<std::size_t> stranded;
-      stranded.reserve((core.busy ? 1 : 0) + core.pending.size());
-      if (core.busy) {
-        stranded.push_back(core.running.task_id);
-        core.busy = false;
-        events_.RemoveFinish(flat);  // the running task will never finish
-      }
-      for (const PendingTask& pending : core.pending) {
-        stranded.push_back(pending.task_id);
-      }
-      core.pending.clear();
-      models_[flat].Reset();
-      // A dead core draws nothing until repaired.
-      SwitchPState(flat, idle_pstate_, now, 0.0);
-      for (const std::size_t task_id : stranded) {
-        --active_tasks_;
-        bool saved = false;
-        bool penned = false;
-        if (options_.recovery_policy ==
-            fault::RecoveryPolicy::kRequeueToScheduler) {
-          if (stream_enabled_ && admission_active_) {
-            // Streaming admission sees a requeued task exactly like a fresh
-            // arrival — it re-enters admission, it never jumps straight into
-            // the holding pen (and may be re-refused under backpressure).
-            switch (DecideAdmission(tasks_[task_id], now)) {
-              case stream::AdmissionVerdict::kDefer:
-                DeferToPen(tasks_[task_id]);
-                penned = true;
-                break;
-              case stream::AdmissionVerdict::kDrop:
-                // Counted as an admission drop and, below, as lost.
-                ++stream_stats_.admission_dropped;
-                ++window_.dropped;
-                break;
-              case stream::AdmissionVerdict::kAdmitForced:
-                ++stream_stats_.forced_admissions;
-                saved = TryRemap(tasks_[task_id], now);
-                break;
-              case stream::AdmissionVerdict::kAdmit:
-                saved = TryRemap(tasks_[task_id], now);
-                break;
-            }
-          } else {
-            saved = TryRemap(tasks_[task_id], now);
-          }
-        }
-        if (penned) continue;  // neither saved nor lost yet
-        if (saved) {
-          ++tasks_remapped_;
-          ++trace_record.tasks_requeued;
-          remapped_[task_id] = 1;
-          obs::Bump(&obs::Counters::tasks_remapped);
-          if (options_.collect_task_records) {
-            records_[task_id].remapped = true;
-          }
-        } else {
-          ++tasks_lost_;
-          ++trace_record.tasks_lost;
-          obs::Bump(&obs::Counters::tasks_lost_to_failures);
-          if (options_.collect_task_records) {
-            TaskRecord& record = records_[task_id];
-            record.lost_to_failure = true;
-            record.finish_time = now;
-          }
+    case fault::FaultEventKind::kCoreFailure:
+    case fault::FaultEventKind::kDomainOutage: {
+      obs::Bump(domain_event ? &obs::Counters::domain_outages_applied
+                             : &obs::Counters::failures_injected);
+      std::vector<std::size_t> dead;
+      dead.reserve(affected.size());
+      for (std::size_t i = 0; i < affected.size(); ++i) {
+        if (was_live[i] != 0 && !injector_.available(affected[i])) {
+          dead.push_back(affected[i]);
         }
       }
+      FailCores(dead, now, trace_record);
       break;
     }
-    case fault::FaultEventKind::kCoreRepair: {
-      obs::Bump(&obs::Counters::repairs_applied);
-      // The repaired core rejoins idle and empty; restore its idle draw
-      // (zero if idle cores are power-gated).
+    case fault::FaultEventKind::kCoreRepair:
+    case fault::FaultEventKind::kDomainRepair: {
+      obs::Bump(domain_event ? &obs::Counters::domain_repairs_applied
+                             : &obs::Counters::repairs_applied);
+      // Revived cores rejoin idle and empty; restore the idle draw (zero if
+      // idle cores are power-gated). Members still held down by their own
+      // failure stay dead and dark.
       const bool gated = options_.idle_policy == IdlePolicy::kPowerGated;
-      SwitchPState(flat, idle_pstate_, now, gated ? 0.0 : -1.0);
+      for (std::size_t i = 0; i < affected.size(); ++i) {
+        if (was_live[i] == 0 && injector_.available(affected[i])) {
+          SwitchPState(affected[i], idle_pstate_, now, gated ? 0.0 : -1.0);
+        }
+      }
       break;
     }
     case fault::FaultEventKind::kThrottleStart:
       obs::Bump(&obs::Counters::throttles_applied);
       trace_record.pstate_floor = fault_event.pstate_floor;
-      if (injector_.available(flat)) ApplyExecFloor(flat, now);
+      if (injector_.available(fault_event.flat_core)) {
+        ApplyExecFloor(fault_event.flat_core, now);
+      }
       break;
     case fault::FaultEventKind::kThrottleEnd:
-      if (injector_.available(flat)) ApplyExecFloor(flat, now);
+      if (injector_.available(fault_event.flat_core)) {
+        ApplyExecFloor(fault_event.flat_core, now);
+      }
       break;
   }
+
+  // Degraded-mode bookkeeping rides every capacity change, not just domain
+  // events: a lone core failure nudges the lost fraction too (and while
+  // degraded, every loss or partial repair moves the fair-share shrink).
+  if (stream_enabled_ && kills_or_revives) UpdateDegraded(now);
 
   if (options_.trace_sink != nullptr) {
     trace_record.trial = options_.trial_index;
     trace_record.time = now;
     trace_record.kind = FaultKindName(fault_event.kind);
-    trace_record.flat_core = flat;
+    trace_record.flat_core = fault_event.flat_core;
+    trace_record.domain = domain_event ? fault_event.domain : 0;
     options_.trace_sink->Record(trace_record);
+  }
+}
+
+void Engine::FailCores(std::span<const std::size_t> dead_cores, double now,
+                       obs::FaultEventRecord& trace_record) {
+  // Strand every task assigned to the dead cores: partially-executed
+  // running tasks (their progress is wasted) separately from the queued
+  // FIFOs — the recovery policies treat the two differently.
+  std::vector<std::size_t> running_stranded;
+  std::vector<std::size_t> queued_stranded;
+  for (const std::size_t flat : dead_cores) {
+    CoreRuntime& core = runtime_[flat];
+    if (core.busy) {
+      running_stranded.push_back(core.running.task_id);
+      core.busy = false;
+      events_.RemoveFinish(flat);  // the running task will never finish
+    }
+    for (const PendingTask& pending : core.pending) {
+      queued_stranded.push_back(pending.task_id);
+    }
+    core.pending.clear();
+    models_[flat].Reset();
+    // A dead core draws nothing until repaired.
+    SwitchPState(flat, idle_pstate_, now, 0.0);
+  }
+  active_tasks_ -= running_stranded.size() + queued_stranded.size();
+
+  // Running tasks lost their progress and restart from scratch — under both
+  // requeue and migrate they take the requeue path (which re-enters
+  // streaming admission like a fresh arrival).
+  const bool recover =
+      options_.recovery_policy != fault::RecoveryPolicy::kDropQueued;
+  for (const std::size_t task_id : running_stranded) {
+    if (recover) {
+      RecoverViaRequeue(task_id, now, trace_record);
+    } else {
+      MarkTaskLost(task_id, now, trace_record);
+    }
+  }
+  switch (options_.recovery_policy) {
+    case fault::RecoveryPolicy::kMigrateQueued:
+      MigrateQueued(queued_stranded, now, trace_record);
+      break;
+    case fault::RecoveryPolicy::kRequeueToScheduler:
+      for (const std::size_t task_id : queued_stranded) {
+        RecoverViaRequeue(task_id, now, trace_record);
+      }
+      break;
+    case fault::RecoveryPolicy::kDropQueued:
+      for (const std::size_t task_id : queued_stranded) {
+        MarkTaskLost(task_id, now, trace_record);
+      }
+      break;
+  }
+}
+
+void Engine::RecoverViaRequeue(std::size_t task_id, double now,
+                               obs::FaultEventRecord& trace_record) {
+  bool saved = false;
+  if (stream_enabled_ && admission_active_) {
+    // Streaming admission sees a requeued task exactly like a fresh
+    // arrival — it re-enters admission, it never jumps straight into
+    // the holding pen (and may be re-refused under backpressure).
+    switch (DecideAdmission(tasks_[task_id], now)) {
+      case stream::AdmissionVerdict::kDefer:
+        DeferToPen(tasks_[task_id]);
+        return;  // neither saved nor lost yet
+      case stream::AdmissionVerdict::kDrop:
+        // Counted as an admission drop and, below, as lost.
+        ++stream_stats_.admission_dropped;
+        ++window_.dropped;
+        break;
+      case stream::AdmissionVerdict::kAdmitForced:
+        ++stream_stats_.forced_admissions;
+        saved = TryRemap(tasks_[task_id], now);
+        break;
+      case stream::AdmissionVerdict::kAdmit:
+        saved = TryRemap(tasks_[task_id], now);
+        break;
+    }
+  } else {
+    saved = TryRemap(tasks_[task_id], now);
+  }
+  if (saved) {
+    ++tasks_remapped_;
+    ++trace_record.tasks_requeued;
+    remapped_[task_id] = 1;
+    obs::Bump(&obs::Counters::tasks_remapped);
+    if (options_.collect_task_records) {
+      records_[task_id].remapped = true;
+    }
+  } else {
+    MarkTaskLost(task_id, now, trace_record);
+  }
+}
+
+void Engine::MigrateQueued(const std::vector<std::size_t>& queued, double now,
+                           obs::FaultEventRecord& trace_record) {
+  // Migration order is waiting time per joule of the task's cheapest
+  // mapping, most-owed first — the same priority the holding pen releases
+  // by, so migration and pen release agree on who deserves the surviving
+  // capacity. In streaming mode migrated tasks bypass admission: they were
+  // admitted once and lost their seat through no fault of their own (the
+  // mirror of the fault-requeue rule above, where a restarted task
+  // re-enters admission because its work starts over).
+  std::vector<std::pair<double, std::size_t>> order;
+  order.reserve(queued.size());
+  for (const std::size_t task_id : queued) {
+    const workload::Task& task = tasks_[task_id];
+    const double joules =
+        stream::CheapestExpectedEnergy(*cluster_, *types_, task.type);
+    order.emplace_back((now - task.arrival) / joules, task_id);
+  }
+  std::sort(order.begin(), order.end(),
+            [](const std::pair<double, std::size_t>& a,
+               const std::pair<double, std::size_t>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [wait_per_joule, task_id] : order) {
+    if (TryRemap(tasks_[task_id], now)) {
+      ++tasks_migrated_;
+      ++trace_record.tasks_migrated;
+      migrated_[task_id] = 1;
+      obs::Bump(&obs::Counters::tasks_migrated);
+      if (options_.collect_task_records) {
+        records_[task_id].migrated = true;
+      }
+    } else {
+      MarkTaskLost(task_id, now, trace_record);
+    }
+  }
+}
+
+void Engine::MarkTaskLost(std::size_t task_id, double now,
+                          obs::FaultEventRecord& trace_record) {
+  ++tasks_lost_;
+  ++trace_record.tasks_lost;
+  obs::Bump(&obs::Counters::tasks_lost_to_failures);
+  if (options_.collect_task_records) {
+    TaskRecord& record = records_[task_id];
+    record.lost_to_failure = true;
+    record.finish_time = now;
   }
 }
 
@@ -839,7 +973,7 @@ void Engine::SetFairShareScale(double scale) {
                 "governor fair-share scale must be finite and positive");
   if (scale == fair_share_scale_) return;
   fair_share_scale_ = scale;
-  scheduler_->SetFairShareScale(scale);
+  PushFairShare();
   obs::Bump(&obs::Counters::governor_allowance_changes);
   if (options_.trace_sink != nullptr) {
     obs::GovernorActionRecord record;
@@ -850,6 +984,34 @@ void Engine::SetFairShareScale(double scale) {
     record.scale = scale;
     options_.trace_sink->Record(record);
   }
+}
+
+void Engine::PushFairShare() {
+  // The scheduler receives the governor's requested scale times (while
+  // degraded) the surviving-core fraction: a cluster that lost a quarter of
+  // its cores cannot promise the same per-task energy allowance. The floor
+  // of one surviving core keeps the scale positive even under a total
+  // outage (nothing can map then anyway).
+  double effective = fair_share_scale_;
+  if (stream_enabled_ && degraded_.active()) {
+    const double total = static_cast<double>(runtime_.size());
+    const double surviving =
+        total - static_cast<double>(injector_.unavailable_cores());
+    effective *= std::max(surviving, 1.0) / total;
+  }
+  if (effective == pushed_share_scale_) return;
+  pushed_share_scale_ = effective;
+  scheduler_->SetFairShareScale(effective);
+}
+
+void Engine::UpdateDegraded(double now) {
+  if (!fault_enabled_) return;
+  const double lost = static_cast<double>(injector_.unavailable_cores()) /
+                      static_cast<double>(runtime_.size());
+  degraded_.Update(now, lost);
+  // Re-push unconditionally: even without a mode flip, a further loss or a
+  // partial repair moves the surviving fraction the fair share scales by.
+  PushFairShare();
 }
 
 double Engine::BestAdmissionRho(const workload::Task& task, double now) const {
@@ -876,6 +1038,7 @@ stream::AdmissionVerdict Engine::DecideAdmission(const workload::Task& task,
   view.best_rho = BestAdmissionRho(task, now);
   view.available_energy = account_.available();
   view.emergency = account_.emergency();
+  view.degraded = degraded_.active();
   view.pen_depth = pen_.size();
   return admission_->Decide(view);
 }

@@ -41,6 +41,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "stream/admission.hpp"
+#include "stream/degraded_mode.hpp"
 #include "stream/energy_account.hpp"
 #include "stream/holding_pen.hpp"
 #include "stream/stream_config.hpp"
@@ -120,6 +121,10 @@ struct TrialOptions {
   fault::FaultSchedule fault_schedule;
   /// What happens to tasks stranded by a permanent core failure.
   fault::RecoveryPolicy recovery_policy = fault::RecoveryPolicy::kDropQueued;
+  /// Correlated fault-domain layout the schedule was generated against.
+  /// Required whenever the schedule carries domain events; may stay empty
+  /// for per-core-only schedules.
+  fault::FaultDomainLayout fault_domains;
   /// Invariant validation (src/validate): kOff costs one null-check per
   /// instrumentation point; kCheap adds O(1) engine checks per event;
   /// kDeep audits every pmf operation and the queue-model/engine sync.
@@ -189,8 +194,26 @@ class Engine : private governor::GovernorHost {
   void HandleArrival(const workload::Task& task, double now);
   void HandleFinish(std::size_t flat_core, double now);
   /// Applies one fault event: updates the injector/availability state and
-  /// carries out the hardware + recovery consequences.
+  /// carries out the hardware + recovery consequences. Domain events fan out
+  /// over the domain's members; the engine acts only on true live<->dead
+  /// transitions (a member may already be down via its own failure).
   void HandleFault(const fault::FaultEvent& fault_event, double now);
+  /// Hardware consequences of cores going dead (single failure or a whole
+  /// domain at once): strand their work, zero their draw, then run the
+  /// recovery policy over the stranded tasks.
+  void FailCores(std::span<const std::size_t> dead_cores, double now,
+                 obs::FaultEventRecord& trace_record);
+  /// Recovery of one stranded task through the requeue path (admission
+  /// included in streaming mode); falls through to MarkTaskLost on failure.
+  void RecoverViaRequeue(std::size_t task_id, double now,
+                         obs::FaultEventRecord& trace_record);
+  /// RecoveryPolicy::kMigrateQueued: re-plans queued stranded tasks against
+  /// the surviving cores in waiting-time-per-joule order, bypassing
+  /// streaming admission (migrated tasks were already admitted once).
+  void MigrateQueued(const std::vector<std::size_t>& queued, double now,
+                     obs::FaultEventRecord& trace_record);
+  void MarkTaskLost(std::size_t task_id, double now,
+                    obs::FaultEventRecord& trace_record);
   /// Re-times the core's running task (and its finish event) after its
   /// P-state floor changed; bumps an idle core that sits above the floor.
   void ApplyExecFloor(std::size_t flat_core, double now);
@@ -224,6 +247,13 @@ class Engine : private governor::GovernorHost {
                       cluster::PStateIndex floor) override;
   bool ParkIdleCore(std::size_t flat_core) override;
   void SetFairShareScale(double scale) override;
+  /// Pushes the effective fair-share scale to the scheduler: the governor's
+  /// requested scale times (while degraded) the surviving-core fraction.
+  void PushFairShare();
+  /// Feeds the current lost-core fraction into the degraded-mode hysteresis
+  /// and re-pushes the fair share (the surviving fraction may have moved
+  /// even without a mode flip).
+  void UpdateDegraded(double now);
   /// Returns the time execution actually begins: `now`, delayed by the
   /// P-state transition latency when the core must switch states. The
   /// caller must feed this start time into the core's queue model so the
@@ -288,9 +318,13 @@ class Engine : private governor::GovernorHost {
   std::vector<core::CoreAvailability> availability_;
   /// Per-task "was re-mapped" flags (sized only when faults are enabled).
   std::vector<std::uint8_t> remapped_;
+  /// Per-task "was migrated off a failed core/domain while queued" flags.
+  std::vector<std::uint8_t> migrated_;
   std::size_t tasks_lost_ = 0;
   std::size_t tasks_remapped_ = 0;
   std::size_t remapped_on_time_ = 0;
+  std::size_t tasks_migrated_ = 0;
+  std::size_t migrated_on_time_ = 0;
   // -- Governor extension state (inert when governor_enabled_ is false) --
   bool governor_enabled_ = false;
   std::unique_ptr<governor::Governor> governor_;
@@ -305,8 +339,12 @@ class Engine : private governor::GovernorHost {
   std::vector<governor::CoreView> core_views_;
   /// Last arrival time — the budget schedule's horizon.
   double horizon_ = 0.0;
-  /// Current fair-share scale (mirrors the scheduler's).
+  /// The governor's requested fair-share scale (its own mirror for the
+  /// unchanged-scale early-out). What the scheduler actually receives is
+  /// pushed_share_scale_ — the request times the degraded-mode shrink.
   double fair_share_scale_ = 1.0;
+  /// Effective scale last pushed to the scheduler via PushFairShare().
+  double pushed_share_scale_ = 1.0;
   /// Clock of the in-flight InvokeGovernor, stamped into action records.
   double governor_now_ = 0.0;
   // -- Streaming extension state (inert when stream_enabled_ is false) --
@@ -319,6 +357,9 @@ class Engine : private governor::GovernorHost {
   /// Mirrors account_.emergency() so a flip is detected (and the
   /// availability floors refreshed) exactly once per transition.
   bool emergency_active_ = false;
+  /// Degraded-mode hysteresis over the lost-core fraction (fault domains);
+  /// disarmed (enter > 1) unless the stream config arms it.
+  stream::DegradedMode degraded_;
   double window_length_ = 0.0;
   /// Accumulators of the currently open rolling window.
   struct WindowAccumulator {

@@ -83,6 +83,7 @@ RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec) {
   options.power_cov = spec.power_cov;
   options.filter_options = spec.filter_options;
   options.fault = spec.fault;
+  options.fault_domains = spec.fault_domains;
   options.recovery = spec.recovery;
   options.governor = spec.governor;
   options.mode = spec.mode;
@@ -148,8 +149,11 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
     if (fault_options.horizon <= 0.0) {
       fault_options.horizon = tasks.back().arrival + 20.0 * setup.t_avg;
     }
+    fault::FaultDomainLayout domains =
+        fault::ResolveFaultDomains(setup.cluster, options.fault_domains);
     trial_options.fault_schedule = fault::GenerateFaultSchedule(
-        setup.cluster, fault_options, trial_rng.Substream("fault"));
+        setup.cluster, domains, fault_options, trial_rng.Substream("fault"));
+    trial_options.fault_domains = std::move(domains);
   }
   Engine engine(setup.cluster, setup.types, std::move(tasks), scheduler,
                 trial_options, trial_rng.Substream("sim"));
@@ -239,7 +243,10 @@ SweepResult RunSweep(const ExperimentSetup& setup, const std::string& heuristic,
       .master_seed = setup.master_seed,
       .config_hash = ConfigFingerprint(setup, options),
   };
-  if (options.resume != nullptr) {
+  // A salvaged store whose header record itself was destroyed carries no
+  // attestable header — it is empty (salvage truncated everything), so there
+  // is nothing to verify and nothing to serve; the sweep re-runs from zero.
+  if (options.resume != nullptr && options.resume->header_valid()) {
     VerifyCheckpointHeader(options.resume->header(), header, "resume store");
   }
   std::unique_ptr<CheckpointWriter> writer;

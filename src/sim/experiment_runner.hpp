@@ -90,6 +90,9 @@ struct RunOptions {
   /// trial draw shifts, so fault-free configurations stay bit-identical.
   /// A zero fault.horizon is replaced by (last arrival + 20 * t_avg).
   fault::FaultModelOptions fault;
+  /// Correlated fault-domain grouping spec (fault::ResolveFaultDomains
+  /// syntax); empty derives one domain per cluster node.
+  std::string fault_domains;
   fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
   /// Governor extension (src/governor): registered governor name for every
   /// trial. "static" (the paper baseline) declares no cadence and leaves

@@ -15,13 +15,22 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
      << ", over_budget=" << result.on_time_but_over_budget
      << ", cancelled=" << result.cancelled
      << "), energy=" << result.total_energy;
-  if (result.failures_injected > 0 || result.throttles_injected > 0) {
+  if (result.failures_injected > 0 || result.throttles_injected > 0 ||
+      result.domain_outages > 0) {
     os << ", failures=" << result.failures_injected
        << ", repairs=" << result.repairs_applied
        << ", throttles=" << result.throttles_injected
        << ", lost=" << result.tasks_lost_to_failures
        << ", remapped=" << result.tasks_remapped
        << ", remapped_on_time=" << result.remapped_on_time;
+    if (result.domain_outages > 0) {
+      os << ", domain_outages=" << result.domain_outages
+         << ", domain_repairs=" << result.domain_repairs;
+    }
+    if (result.tasks_migrated > 0) {
+      os << ", migrated=" << result.tasks_migrated
+         << ", migrated_on_time=" << result.migrated_on_time;
+    }
   }
   if (result.energy_exhausted_at) {
     os << ", exhausted_at=" << *result.energy_exhausted_at;
@@ -35,6 +44,8 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
        << ", pen_peak=" << result.stream.pen_peak
        << ", emergencies=" << result.stream.emergency_entries
        << ", emergency_s=" << result.stream.emergency_seconds
+       << ", degraded=" << result.stream.degraded_entries
+       << ", degraded_s=" << result.stream.degraded_seconds
        << ", min_available=" << result.stream.min_available
        << ", final_available=" << result.stream.final_available << "}";
   }
@@ -61,12 +72,17 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
     summary.mean_remapped += static_cast<double>(trial.tasks_remapped);
     summary.mean_remapped_on_time +=
         static_cast<double>(trial.remapped_on_time);
+    summary.mean_domain_outages += static_cast<double>(trial.domain_outages);
+    summary.mean_migrated += static_cast<double>(trial.tasks_migrated);
+    summary.mean_migrated_on_time +=
+        static_cast<double>(trial.migrated_on_time);
     if (trial.stream.enabled) ++summary.stream_trials;
     summary.mean_stream_deferred += static_cast<double>(trial.stream.deferred);
     summary.mean_stream_dropped +=
         static_cast<double>(trial.stream.admission_dropped);
     summary.mean_stream_released += static_cast<double>(trial.stream.released);
     summary.mean_emergency_seconds += trial.stream.emergency_seconds;
+    summary.mean_degraded_seconds += trial.stream.degraded_seconds;
     summary.counters.Merge(trial.counters);
     summary.validation_checks += trial.validation.checks_run;
     summary.validation_violations += trial.validation.violations;
@@ -82,10 +98,14 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
   summary.mean_tasks_lost /= n;
   summary.mean_remapped /= n;
   summary.mean_remapped_on_time /= n;
+  summary.mean_domain_outages /= n;
+  summary.mean_migrated /= n;
+  summary.mean_migrated_on_time /= n;
   summary.mean_stream_deferred /= n;
   summary.mean_stream_dropped /= n;
   summary.mean_stream_released /= n;
   summary.mean_emergency_seconds /= n;
+  summary.mean_degraded_seconds /= n;
   return summary;
 }
 
@@ -96,11 +116,18 @@ std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
      << ", mean_discarded=" << summary.mean_discarded
      << ", mean_energy=" << summary.mean_energy
      << ", mean_makespan=" << summary.mean_makespan;
-  if (summary.mean_failures > 0.0) {
+  if (summary.mean_failures > 0.0 || summary.mean_domain_outages > 0.0) {
     os << ", mean_failures=" << summary.mean_failures
        << ", mean_tasks_lost=" << summary.mean_tasks_lost
        << ", mean_remapped=" << summary.mean_remapped
        << ", mean_remapped_on_time=" << summary.mean_remapped_on_time;
+    if (summary.mean_domain_outages > 0.0) {
+      os << ", mean_domain_outages=" << summary.mean_domain_outages;
+    }
+    if (summary.mean_migrated > 0.0) {
+      os << ", mean_migrated=" << summary.mean_migrated
+         << ", mean_migrated_on_time=" << summary.mean_migrated_on_time;
+    }
   }
   if (summary.stream_trials > 0) {
     os << ", stream_trials=" << summary.stream_trials
@@ -108,6 +135,9 @@ std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
        << ", mean_stream_dropped=" << summary.mean_stream_dropped
        << ", mean_stream_released=" << summary.mean_stream_released
        << ", mean_emergency_seconds=" << summary.mean_emergency_seconds;
+    if (summary.mean_degraded_seconds > 0.0) {
+      os << ", mean_degraded_seconds=" << summary.mean_degraded_seconds;
+    }
   }
   if (summary.failed_trials > 0 || summary.retried_trials > 0 ||
       summary.timed_out_trials > 0) {

@@ -44,6 +44,9 @@ struct TaskRecord {
   /// Re-mapped to another core after its original core failed
   /// (RecoveryPolicy::kRequeueToScheduler).
   bool remapped = false;
+  /// Queued (not yet started) on a failed core and migrated in
+  /// waiting-time-per-joule order (RecoveryPolicy::kMigrateQueued).
+  bool migrated = false;
 };
 
 /// One sample of the system robustness rho(t_l) (Eq. 4) taken at a task
@@ -77,6 +80,10 @@ struct StreamStats {
   /// Emergency-mode episodes and total seconds spent pinned.
   std::size_t emergency_entries = 0;
   double emergency_seconds = 0.0;
+  /// Degraded-mode episodes (capacity lost to faults crossed the enter
+  /// fraction) and total seconds spent degraded.
+  std::size_t degraded_entries = 0;
+  double degraded_seconds = 0.0;
   /// Account balance: the deficit's depth and the end-of-trial balance.
   double min_available = 0.0;
   double final_available = 0.0;
@@ -114,6 +121,16 @@ struct TrialResult {
   /// Re-mapped tasks that still finished by their deadline (and within
   /// budget) — the recovery policy's save count.
   std::size_t remapped_on_time = 0;
+  /// Whole-domain outages applied (correlated fault domains) and domains
+  /// returned to service.
+  std::size_t domain_outages = 0;
+  std::size_t domain_repairs = 0;
+  /// Queued stranded tasks re-planned in waiting-time-per-joule order by
+  /// RecoveryPolicy::kMigrateQueued (subset of tasks_remapped).
+  std::size_t tasks_migrated = 0;
+  /// Migrated tasks that still finished by their deadline (and within
+  /// budget).
+  std::size_t migrated_on_time = 0;
 
   /// Priority-weighted analogues (equal to the unweighted counts when every
   /// task has priority 1, the paper's setting).
@@ -165,6 +182,9 @@ struct SummaryStatistics {
   double mean_tasks_lost = 0.0;
   double mean_remapped = 0.0;
   double mean_remapped_on_time = 0.0;
+  double mean_domain_outages = 0.0;
+  double mean_migrated = 0.0;
+  double mean_migrated_on_time = 0.0;
   // -- Streaming extension (all zero in fixed-trace runs) --
   /// Trials that ran in streaming mode (0 or == trials in practice).
   std::size_t stream_trials = 0;
@@ -172,6 +192,7 @@ struct SummaryStatistics {
   double mean_stream_dropped = 0.0;
   double mean_stream_released = 0.0;
   double mean_emergency_seconds = 0.0;
+  double mean_degraded_seconds = 0.0;
   /// Counters summed over all trials (all-zero when collection was off).
   obs::Counters counters;
   /// Invariant-validation totals over all trials (zero when validation off).

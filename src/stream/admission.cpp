@@ -1,5 +1,7 @@
 #include "stream/admission.hpp"
 
+#include <algorithm>
+
 namespace ecdra::stream {
 
 AdmissionRegistryType& AdmissionRegistry() {
@@ -45,8 +47,15 @@ class RhoAdmission final : public AdmissionPolicy {
         view.now - view.arrival >= options_.fairness_wait) {
       return AdmissionVerdict::kAdmitForced;
     }
-    if (view.best_rho < options_.drop_rho) return AdmissionVerdict::kDrop;
-    if (view.best_rho < options_.defer_rho) return AdmissionVerdict::kDefer;
+    // Degraded mode (capacity lost to faults): raise both thresholds so the
+    // shrunken cluster stops accepting work it can no longer carry, instead
+    // of queueing near-certain misses behind the survivors.
+    const double scale =
+        view.degraded ? std::max(1.0, options_.degraded_rho_scale) : 1.0;
+    const double drop_rho = std::min(1.0, options_.drop_rho * scale);
+    const double defer_rho = std::min(1.0, options_.defer_rho * scale);
+    if (view.best_rho < drop_rho) return AdmissionVerdict::kDrop;
+    if (view.best_rho < defer_rho) return AdmissionVerdict::kDefer;
     return AdmissionVerdict::kAdmit;
   }
 

@@ -54,6 +54,9 @@ struct AdmissionView {
   /// Account balance (may be negative — a deficit).
   double available_energy = 0.0;
   bool emergency = false;
+  /// Degraded mode: a fault (typically a domain outage) took out enough
+  /// cores to cross the degraded hysteresis — policies tighten under it.
+  bool degraded = false;
   std::size_t pen_depth = 0;
 };
 

@@ -1,0 +1,28 @@
+#include "stream/degraded_mode.hpp"
+
+#include "util/assert.hpp"
+
+namespace ecdra::stream {
+
+DegradedMode::DegradedMode(double enter_fraction, double exit_fraction)
+    : enter_(enter_fraction), exit_(exit_fraction) {
+  ECDRA_REQUIRE(exit_ >= 0.0 && enter_ > exit_,
+                "degraded mode needs 0 <= exit < enter");
+}
+
+bool DegradedMode::Update(double now, double lost_fraction) noexcept {
+  if (!active_ && lost_fraction >= enter_) {
+    active_ = true;
+    ++entries_;
+    since_ = now;
+    return true;
+  }
+  if (active_ && lost_fraction <= exit_) {
+    active_ = false;
+    accum_ += now - since_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ecdra::stream

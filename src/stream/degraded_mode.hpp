@@ -1,0 +1,48 @@
+// Degraded-mode hysteresis of the streaming service mode.
+//
+// A domain outage can take out a quarter of the cluster in one event. The
+// surviving cores cannot carry the same admission envelope or the same
+// governor fair share, so the engine enters a *degraded* operating mode:
+// rho admission thresholds tighten (AdmissionOptions::degraded_rho_scale)
+// and the governor's requested fair-share scale is multiplied by the
+// surviving-core fraction. Enter/exit carries hysteresis exactly like the
+// energy account's emergency mode — enter when the lost-core fraction
+// reaches `enter`, exit only once it falls back to `exit` or below
+// (exit < enter) — so one outage + repair cycle flips the mode exactly
+// once instead of flapping on every intermediate fault event.
+#pragma once
+
+#include <cstddef>
+
+namespace ecdra::stream {
+
+class DegradedMode {
+ public:
+  /// Default: never enters (enter threshold above any possible fraction).
+  DegradedMode() = default;
+  /// `enter_fraction` / `exit_fraction` are fractions of the cluster's
+  /// cores lost to faults, with 0 <= exit < enter.
+  DegradedMode(double enter_fraction, double exit_fraction);
+
+  /// Feeds the current lost-core fraction at time `now` (monotone in `now`).
+  /// Returns true when the degraded state flipped on this update.
+  bool Update(double now, double lost_fraction) noexcept;
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+  /// Total time spent degraded up to `now`, including an in-progress
+  /// episode.
+  [[nodiscard]] double degraded_seconds(double now) const noexcept {
+    return accum_ + (active_ ? now - since_ : 0.0);
+  }
+
+ private:
+  double enter_ = 2.0;  // > 1: unreachable, degraded mode disarmed
+  double exit_ = 0.0;
+  bool active_ = false;
+  std::size_t entries_ = 0;
+  double accum_ = 0.0;
+  double since_ = 0.0;
+};
+
+}  // namespace ecdra::stream

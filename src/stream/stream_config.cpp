@@ -20,6 +20,13 @@ StreamConfig ResolveStreamConfig(const policy::StreamSpec& spec, double t_avg,
           spec.emergency_exit_fraction >= spec.emergency_enter_fraction &&
           spec.emergency_exit_fraction <= 1.0,
       "stream config: emergency hysteresis needs 0 <= enter <= exit <= 1");
+  ECDRA_REQUIRE(
+      spec.degraded_exit_fraction >= 0.0 &&
+          spec.degraded_enter_fraction > spec.degraded_exit_fraction &&
+          spec.degraded_enter_fraction <= 1.0,
+      "stream config: degraded hysteresis needs 0 <= exit < enter <= 1");
+  ECDRA_REQUIRE(spec.degraded_rho_scale >= 1.0,
+                "stream config: stream.degraded_rho_scale must be >= 1");
 
   StreamConfig config;
   config.enabled = true;
@@ -42,11 +49,14 @@ StreamConfig ResolveStreamConfig(const policy::StreamSpec& spec, double t_avg,
                               : spec.energy_rate * config.window_length;
   config.emergency_enter = spec.emergency_enter_fraction * config.accrual_cap;
   config.emergency_exit = spec.emergency_exit_fraction * config.accrual_cap;
+  config.degraded_enter = spec.degraded_enter_fraction;
+  config.degraded_exit = spec.degraded_exit_fraction;
   config.admission = spec.admission;
   config.admission_options.defer_rho = spec.defer_rho;
   config.admission_options.drop_rho = spec.drop_rho;
   config.admission_options.fairness_wait =
       spec.fairness_wait > 0.0 ? spec.fairness_wait : 4.0 * t_avg;
+  config.admission_options.degraded_rho_scale = spec.degraded_rho_scale;
   return config;
 }
 

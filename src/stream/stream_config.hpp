@@ -25,6 +25,9 @@ struct AdmissionOptions {
   /// Fairness guard: a task that has waited this long (seconds) is admitted
   /// regardless of rho, so backpressure cannot starve a task class forever.
   double fairness_wait = 0.0;
+  /// Multiplier (>= 1) applied to defer_rho/drop_rho while the engine is in
+  /// degraded mode (capacity lost to faults); thresholds clamp to 1.
+  double degraded_rho_scale = 1.0;
 };
 
 /// Everything the engine needs to run one streaming trial. Constructed by
@@ -44,6 +47,11 @@ struct StreamConfig {
   /// emergency_enter, exit at or above emergency_exit (>= enter).
   double emergency_enter = 0.0;
   double emergency_exit = 0.0;
+  /// Degraded-mode hysteresis on the fraction of cores lost to faults:
+  /// enter at or above degraded_enter, exit at or below degraded_exit
+  /// (exit < enter). enter > 1 never triggers (the fault-free default).
+  double degraded_enter = 2.0;
+  double degraded_exit = 0.0;
   /// Registered admission policy name (AdmissionRegistry).
   std::string admission = "none";
   AdmissionOptions admission_options;

@@ -1,0 +1,42 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace ecdra::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : data) {
+    crc = (crc >> 8) ^ kTable[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string_view Crc32Hex(std::uint32_t crc, char (&buffer)[9]) noexcept {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int i = 7; i >= 0; --i) {
+    buffer[i] = kDigits[crc & 0xFu];
+    crc >>= 4;
+  }
+  buffer[8] = '\0';
+  return {buffer, 8};
+}
+
+}  // namespace ecdra::util

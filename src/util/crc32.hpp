@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte strings.
+//
+// Used by the checkpoint store to detect torn or corrupted JSONL records:
+// each line carries the CRC of its own prefix, so a reader can distinguish
+// "cleanly truncated tail" (salvageable) from "silently flipped bits"
+// (refuse). The classic table-driven byte-at-a-time implementation — the
+// checkpoint path writes one short line per trial, so throughput is
+// irrelevant next to the fsync.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ecdra::util {
+
+/// CRC-32 of `data` with the standard init/final XOR (matches zlib's crc32).
+[[nodiscard]] std::uint32_t Crc32(std::string_view data) noexcept;
+
+/// Fixed-width lowercase hex rendering ("0a1b2c3d") of a CRC value, the
+/// form embedded in checkpoint records.
+[[nodiscard]] std::string_view Crc32Hex(std::uint32_t crc,
+                                        char (&buffer)[9]) noexcept;
+
+}  // namespace ecdra::util

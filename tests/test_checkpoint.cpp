@@ -1,7 +1,8 @@
 // Checkpoint/resume: exact JSON round-trip of trial results, typed errors
-// for every corruption mode, duplicate-triple semantics, config
+// for every corruption mode (torn tail, flipped bits, torn header, blank
+// tail), salvage-mode healing, duplicate-triple semantics, config
 // fingerprinting, and the headline guarantee — a killed-and-resumed sweep
-// is bit-identical to an uninterrupted one.
+// (salvaged or not) is bit-identical to an uninterrupted one.
 #include "sim/checkpoint.hpp"
 
 #include <gtest/gtest.h>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "sim/experiment_runner.hpp"
+#include "util/crc32.hpp"
 
 namespace ecdra::sim {
 namespace {
@@ -36,8 +38,32 @@ void WriteFile(const std::string& path, const std::string& content) {
   os << content;
 }
 
-constexpr char kValidHeaderLine[] =
-    "{\"record\":\"header\",\"schema\":4,\"seed\":\"5\",\"config\":\"x\"}\n";
+/// Seals a serialized JSON object with the v5 CRC suffix, exactly as the
+/// writer does — hand-crafted corruption fixtures go through this so only
+/// the deliberately damaged part is wrong.
+std::string Sealed(std::string object_json) {
+  object_json.pop_back();  // the closing '}'
+  char hex[9];
+  const std::string_view digest =
+      util::Crc32Hex(util::Crc32(object_json), hex);
+  object_json += ",\"crc\":\"";
+  object_json += digest;
+  object_json += "\"}";
+  return object_json;
+}
+
+std::string ValidHeaderLine() {
+  return Sealed(
+             "{\"record\":\"header\",\"schema\":5,\"seed\":\"5\","
+             "\"config\":\"x\"}") +
+         "\n";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
 
 /// EXPECT_EQ on every simulation-deterministic field (bit-exact doubles;
 /// excludes wall-clock decision_seconds).
@@ -237,7 +263,7 @@ TEST(CheckpointStore, SchemaV1StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 1"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 4"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 5"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -258,7 +284,7 @@ TEST(CheckpointStore, SchemaV2StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 2"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 4"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 5"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -279,15 +305,42 @@ TEST(CheckpointStore, SchemaV3StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 3"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 4"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 5"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
 }
 
+TEST(CheckpointStore, SchemaV4StoreIsRefusedNamingBothVersions) {
+  // Schema 4 predates per-line CRCs, the domain-fault fingerprint lines,
+  // and the migration scalars; salvage must not mistake its crc-less lines
+  // for torn-write damage and destroy a healthy store, so the schema check
+  // outranks the CRC check — strict and salvage loads both refuse.
+  const std::string path = TempPath("schema_v4");
+  WriteFile(path,
+            "{\"record\":\"header\",\"schema\":4,\"seed\":\"5\","
+            "\"config\":\"deadbeefdeadbeef\"}\n");
+  for (const bool salvage : {false, true}) {
+    try {
+      (void)CheckpointStore::Load(path, {.salvage = salvage});
+      FAIL() << "expected CheckpointError (salvage=" << salvage << ")";
+    } catch (const CheckpointError& error) {
+      EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+      const std::string message = error.what();
+      EXPECT_NE(message.find("schema version 4"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("this build reads 5"), std::string::npos)
+          << message;
+    }
+  }
+  // The refused file is untouched: salvage never truncates a logical refusal.
+  EXPECT_NE(ReadFile(path).find("\"schema\":4"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointStore, MalformedInteriorRecordIsTyped) {
   const std::string path = TempPath("bad_record");
-  WriteFile(path, std::string(kValidHeaderLine) + "{not json}\n");
+  WriteFile(path, ValidHeaderLine() + "{not json}\n");
   try {
     (void)CheckpointStore::Load(path);
     FAIL() << "expected CheckpointError";
@@ -313,6 +366,136 @@ TEST(CheckpointStore, MissingHeaderAndMissingFileAreTyped) {
   } catch (const CheckpointError& error) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kIo);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Torn-write matrix: each damage mode is refused (typed) under a strict load
+// and healed under salvage, which truncates the file to its longest valid
+// prefix and reports how many records were dropped.
+// ---------------------------------------------------------------------------
+
+/// Header + `trials` sequential trial records written through the real
+/// writer, so every line carries a correct CRC.
+void WriteStore(const std::string& path, std::size_t trials) {
+  CheckpointWriter writer(path, {.master_seed = 5, .config_hash = "x"});
+  for (std::size_t i = 0; i < trials; ++i) {
+    TrialResult result;
+    result.window_size = 10;
+    result.completed = i + 1;
+    writer.Append("SQ", "en", i, result);
+  }
+}
+
+TEST(CheckpointSalvage, TruncatedMidRecordRefusedStrictHealedBySalvage) {
+  const std::string path = TempPath("salvage_torn_tail");
+  WriteStore(path, 2);
+  WriteFile(path, ReadFile(path) + "{\"record\":\"trial\",\"heuristic\":\"SQ");
+  try {
+    (void)CheckpointStore::Load(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kTruncatedRecord);
+  }
+  const CheckpointStore store = CheckpointStore::Load(path, {.salvage = true});
+  EXPECT_TRUE(store.header_valid());
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.dropped_records(), 1u);
+  // The file was truncated to the valid prefix: a strict load now succeeds.
+  EXPECT_EQ(CheckpointStore::Load(path).size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, CorruptedCrcRefusedStrictHealedBySalvage) {
+  const std::string path = TempPath("salvage_bit_rot");
+  WriteStore(path, 3);
+  // Flip payload bits in the *second* trial record (line 3): bit rot in the
+  // middle, with a perfectly good record after it.
+  std::string text = ReadFile(path);
+  std::size_t line_start = 0;
+  for (int skipped = 0; skipped < 2; ++skipped) {
+    line_start = text.find('\n', line_start) + 1;
+  }
+  const std::size_t hit = text.find("\"record\":\"trial\"", line_start);
+  ASSERT_NE(hit, std::string::npos);
+  text[hit + 10] = 'x';  // "trial" -> "xrial"; the line's CRC no longer holds
+  WriteFile(path, text);
+
+  // Strict refuses even with the partial-tail allowance: flipped bits are
+  // not a torn tail.
+  try {
+    (void)CheckpointStore::Load(path, {.allow_partial_tail = true});
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kCrcMismatch);
+  }
+  // Salvage keeps everything before the damage; the good record *after* the
+  // damage is gone too (append-only files have no trustworthy frame resync)
+  // and is counted so the caller can say how many trials re-run.
+  const CheckpointStore store = CheckpointStore::Load(path, {.salvage = true});
+  EXPECT_TRUE(store.header_valid());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.dropped_records(), 2u);
+  EXPECT_EQ(CheckpointStore::Load(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, TornHeaderRefusedStrictRecreatedAfterSalvage) {
+  const std::string path = TempPath("salvage_torn_header");
+  WriteFile(path, "{\"record\":\"head");  // header write cut by a crash
+  try {
+    (void)CheckpointStore::Load(path, {.allow_partial_tail = true});
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& error) {
+    EXPECT_EQ(error.kind(), CheckpointErrorKind::kBadHeader);
+  }
+  const CheckpointStore store = CheckpointStore::Load(path, {.salvage = true});
+  EXPECT_FALSE(store.header_valid());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.dropped_records(), 1u);
+  // The salvaged file is empty; the writer starts it over atomically.
+  WriteStore(path, 1);
+  EXPECT_EQ(CheckpointStore::Load(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, BlankTailLineRefusedStrictHealedBySalvage) {
+  const std::string path = TempPath("salvage_blank_tail");
+  WriteStore(path, 1);
+  WriteFile(path, ReadFile(path) + "\n");  // committed blank line
+  for (const bool allow_partial : {false, true}) {
+    try {
+      (void)CheckpointStore::Load(path, {.allow_partial_tail = allow_partial});
+      FAIL() << "expected CheckpointError";
+    } catch (const CheckpointError& error) {
+      EXPECT_EQ(error.kind(), CheckpointErrorKind::kBadRecord);
+    }
+  }
+  const CheckpointStore store = CheckpointStore::Load(path, {.salvage = true});
+  EXPECT_TRUE(store.header_valid());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.dropped_records(), 1u);
+  EXPECT_EQ(CheckpointStore::Load(path).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointSalvage, CrcValidButSemanticallyBadRecordIsNeverSalvaged) {
+  // A record that passed its CRC was committed intact: if it is wrong it is
+  // wrong by construction (a writer bug), and papering over it would hide
+  // the bug — salvage refuses exactly like a strict load.
+  const std::string path = TempPath("salvage_semantic");
+  WriteFile(path, ValidHeaderLine() +
+                      Sealed("{\"record\":\"trial\",\"heuristic\":\"SQ\","
+                             "\"filter\":\"en\",\"trial\":0,\"result\":{}}") +
+                      "\n");
+  for (const bool salvage : {false, true}) {
+    try {
+      (void)CheckpointStore::Load(path, {.salvage = salvage});
+      FAIL() << "expected CheckpointError (salvage=" << salvage << ")";
+    } catch (const CheckpointError& error) {
+      EXPECT_EQ(error.kind(), CheckpointErrorKind::kBadRecord);
+    }
+  }
+  std::remove(path.c_str());
 }
 
 TEST(ConfigFingerprint, SensitiveToResultsShapingOptionsOnly) {
@@ -389,6 +572,52 @@ TEST(Resume, InterruptedSweepResumesBitIdentical) {
   for (std::size_t i = 0; i < 6; ++i) {
     ExpectBitIdentical(reference.results[i], nothing_to_do.results[i]);
   }
+  std::remove(path.c_str());
+}
+
+TEST(Resume, SalvagedResumeIsBitIdenticalToUninterrupted) {
+  const ExperimentSetup setup = BuildExperimentSetup(3, SmallOptions());
+  const std::string path = TempPath("resume_salvage");
+  std::remove(path.c_str());
+
+  RunOptions options;
+  options.num_trials = 6;
+  options.num_threads = 1;  // append order == trial order
+
+  const SweepResult reference = RunSweep(setup, "SQ", "en+rob", options);
+  ASSERT_TRUE(reference.complete());
+  ASSERT_EQ(reference.results.size(), 6u);
+
+  // Full run, then a SIGKILL torn tail: the final record loses half itself.
+  RunOptions checkpointed = options;
+  checkpointed.checkpoint_path = path;
+  ASSERT_TRUE(RunSweep(setup, "SQ", "en+rob", checkpointed).complete());
+  {
+    std::string text = ReadFile(path);
+    ASSERT_EQ(text.back(), '\n');
+    const std::size_t final_start = text.rfind('\n', text.size() - 2) + 1;
+    text.resize(final_start + (text.size() - final_start) / 2);
+    WriteFile(path, text);
+  }
+
+  // Salvage drops the torn record and truncates; resuming re-runs exactly
+  // that trial and lands bit-identical to the uninterrupted reference.
+  const CheckpointStore store =
+      CheckpointStore::Load(path, {.salvage = true});
+  EXPECT_TRUE(store.header_valid());
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.dropped_records(), 1u);
+  RunOptions resumed_options = checkpointed;
+  resumed_options.resume = &store;
+  const SweepResult resumed = RunSweep(setup, "SQ", "en+rob", resumed_options);
+  ASSERT_TRUE(resumed.complete());
+  EXPECT_EQ(resumed.trials_resumed, 5u);
+  ASSERT_EQ(resumed.results.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    ExpectBitIdentical(reference.results[i], resumed.results[i]);
+  }
+  // The healed checkpoint is whole again: a strict load serves all six.
+  EXPECT_EQ(CheckpointStore::Load(path).size(), 6u);
   std::remove(path.c_str());
 }
 

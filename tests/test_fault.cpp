@@ -131,6 +131,126 @@ TEST(FaultModel, ThrottleIntervalsCarryTheFloorAndAlternate) {
   }
 }
 
+// ------------------------------ fault domains --------------------------------
+
+TEST(FaultDomains, DeriveNodeDomainsGroupsCoresByNode) {
+  const cluster::Cluster cluster(
+      {test::SimpleNode(1, 3), test::SimpleNode(1, 2)});
+  const fault::FaultDomainLayout layout = fault::DeriveNodeDomains(cluster);
+  ASSERT_EQ(layout.num_domains(), 2u);
+  EXPECT_EQ(layout.names[0], "node0");
+  EXPECT_EQ(layout.names[1], "node1");
+  EXPECT_EQ(layout.members[0], (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(layout.members[1], (std::vector<std::size_t>{3, 4}));
+  EXPECT_EQ(layout.domain_of_core,
+            (std::vector<std::size_t>{0, 0, 0, 1, 1}));
+}
+
+TEST(FaultDomains, ResolveParsesExplicitSpecCoveringEveryCore) {
+  const cluster::Cluster cluster({test::SimpleNode(1, 6)});
+  const fault::FaultDomainLayout layout =
+      fault::ResolveFaultDomains(cluster, "rackA:0-3,rackB:4-5");
+  ASSERT_EQ(layout.num_domains(), 2u);
+  EXPECT_EQ(layout.names[0], "rackA");
+  EXPECT_EQ(layout.members[0], (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(layout.members[1], (std::vector<std::size_t>{4, 5}));
+
+  // The empty spec falls back to the node-per-domain default.
+  const fault::FaultDomainLayout derived =
+      fault::ResolveFaultDomains(cluster, "");
+  EXPECT_EQ(derived.names, fault::DeriveNodeDomains(cluster).names);
+}
+
+TEST(FaultDomains, ResolveRejectsGapsOverlapsAndMalformedSpecs) {
+  const cluster::Cluster cluster({test::SimpleNode(1, 4)});
+  // Gap: core 3 uncovered.
+  EXPECT_THROW((void)fault::ResolveFaultDomains(cluster, "a:0-2"),
+               std::invalid_argument);
+  // Overlap: core 2 claimed twice.
+  EXPECT_THROW((void)fault::ResolveFaultDomains(cluster, "a:0-2,b:2-3"),
+               std::invalid_argument);
+  // Range beyond the cluster.
+  EXPECT_THROW((void)fault::ResolveFaultDomains(cluster, "a:0-9"),
+               std::invalid_argument);
+  // Malformed entries.
+  EXPECT_THROW((void)fault::ResolveFaultDomains(cluster, "nonsense"),
+               std::invalid_argument);
+  EXPECT_THROW((void)fault::ResolveFaultDomains(cluster, "a:3-1"),
+               std::invalid_argument);
+}
+
+TEST(FaultModel, DomainOutagesAlternatePerDomainAndStayBounded) {
+  const cluster::Cluster cluster(
+      {test::SimpleNode(1, 2), test::SimpleNode(1, 2)});
+  fault::FaultModelOptions options;
+  options.domain_mtbf = 40.0;
+  options.domain_repair_time = 10.0;
+  options.horizon = 500.0;
+  const fault::FaultDomainLayout layout = fault::DeriveNodeDomains(cluster);
+  const fault::FaultSchedule schedule = fault::GenerateFaultSchedule(
+      cluster, layout, options, util::RngStream(21));
+  ASSERT_FALSE(schedule.empty());
+  std::vector<bool> down(layout.num_domains(), false);
+  for (const fault::FaultEvent& event : schedule.events) {
+    ASSERT_LT(event.domain, layout.num_domains());
+    EXPECT_LT(event.time, options.horizon);
+    if (event.kind == fault::FaultEventKind::kDomainOutage) {
+      EXPECT_FALSE(down[event.domain]);
+      down[event.domain] = true;
+    } else {
+      ASSERT_EQ(event.kind, fault::FaultEventKind::kDomainRepair);
+      EXPECT_TRUE(down[event.domain]);
+      down[event.domain] = false;
+    }
+  }
+}
+
+TEST(FaultModel, RateZeroDomainsAreBitIdenticalToTheDomainFreeSchedule) {
+  // The common-random-numbers guarantee: passing a domain layout with
+  // domain_mtbf == 0 draws nothing from the "fault-domain" substreams, so
+  // the per-core schedule is the same object the legacy overload generates.
+  const cluster::Cluster cluster({test::SimpleNode(1, 4)});
+  const fault::FaultModelOptions options =
+      FailureOptions(50.0, 400.0, /*repair=*/20.0);
+  const util::RngStream rng = util::RngStream(99).Substream("fault");
+  const fault::FaultSchedule with_domains = fault::GenerateFaultSchedule(
+      cluster, fault::DeriveNodeDomains(cluster), options, rng);
+  const fault::FaultSchedule without =
+      fault::GenerateFaultSchedule(cluster, options, rng);
+  EXPECT_EQ(with_domains.events, without.events);
+}
+
+TEST(FaultModel, CascadeThrottleSpreadsOnsetsToDomainSiblings) {
+  const cluster::Cluster cluster({test::SimpleNode(1, 3)});
+  fault::FaultModelOptions options;
+  options.throttle_interval = 60.0;
+  options.throttle_duration = 15.0;
+  options.throttle_floor = 2;
+  options.cascade_throttle = true;
+  options.horizon = 300.0;
+  const fault::FaultDomainLayout layout = fault::DeriveNodeDomains(cluster);
+  const fault::FaultSchedule schedule = fault::GenerateFaultSchedule(
+      cluster, layout, options, util::RngStream(5));
+  ASSERT_FALSE(schedule.empty());
+  // Every onset was duplicated to the whole (3-core) domain: each throttle
+  // timestamp carries one event per member core.
+  std::size_t starts = 0;
+  for (std::size_t i = 0; i < schedule.events.size(); ++i) {
+    const fault::FaultEvent& event = schedule.events[i];
+    if (event.kind != fault::FaultEventKind::kThrottleStart) continue;
+    ++starts;
+    std::vector<std::size_t> cores_at_time;
+    for (const fault::FaultEvent& other : schedule.events) {
+      if (other.kind == event.kind && other.time == event.time) {
+        cores_at_time.push_back(other.flat_core);
+      }
+    }
+    EXPECT_EQ(cores_at_time.size(), 3u) << "onset at t=" << event.time;
+  }
+  EXPECT_GT(starts, 0u);
+  EXPECT_EQ(starts % 3, 0u);
+}
+
 // -------------------------------- injector ----------------------------------
 
 TEST(FaultInjector, TracksAvailabilityFloorsAndCounts) {
@@ -165,18 +285,68 @@ TEST(FaultInjector, RejectsEventsNamingCoresOutsideTheCluster) {
                std::invalid_argument);
 }
 
+TEST(FaultInjector, DomainOutageComposesWithPerCoreFailures) {
+  const cluster::Cluster cluster({test::SimpleNode(1, 2)});
+  fault::FaultInjector injector(2, {}, fault::DeriveNodeDomains(cluster));
+
+  injector.Apply({5.0, fault::FaultEventKind::kDomainOutage, 0, 0, 0});
+  EXPECT_FALSE(injector.available(0));
+  EXPECT_FALSE(injector.available(1));
+  EXPECT_TRUE(injector.domain_down(0));
+  EXPECT_EQ(injector.unavailable_cores(), 2u);
+  EXPECT_EQ(injector.domain_outages_applied(), 1u);
+
+  // Core 0 also fails individually while the domain is dark.
+  injector.Apply({6.0, fault::FaultEventKind::kCoreFailure, 0, 0});
+  EXPECT_EQ(injector.unavailable_cores(), 2u);  // no double count
+
+  // The domain repair revives core 1 but NOT core 0, which is still held
+  // down by its own failure — availability is a count, not a bit.
+  injector.Apply({7.0, fault::FaultEventKind::kDomainRepair, 0, 0, 0});
+  EXPECT_FALSE(injector.available(0));
+  EXPECT_TRUE(injector.available(1));
+  EXPECT_FALSE(injector.domain_down(0));
+  EXPECT_EQ(injector.unavailable_cores(), 1u);
+  EXPECT_EQ(injector.domain_repairs_applied(), 1u);
+
+  injector.Apply({8.0, fault::FaultEventKind::kCoreRepair, 0, 0});
+  EXPECT_TRUE(injector.available(0));
+  EXPECT_EQ(injector.unavailable_cores(), 0u);
+}
+
+TEST(FaultInjector, DomainFreeConstructionRejectsDomainEvents) {
+  fault::FaultSchedule schedule;
+  schedule.events.push_back(
+      {1.0, fault::FaultEventKind::kDomainOutage, 0, 0, 0});
+  EXPECT_THROW((void)fault::FaultInjector(2, schedule),
+               std::invalid_argument);
+}
+
 TEST(RecoveryPolicy, NamesRoundTrip) {
   EXPECT_EQ(fault::RecoveryPolicyName(fault::RecoveryPolicy::kDropQueued),
             "drop");
   EXPECT_EQ(
       fault::RecoveryPolicyName(fault::RecoveryPolicy::kRequeueToScheduler),
       "requeue");
+  EXPECT_EQ(fault::RecoveryPolicyName(fault::RecoveryPolicy::kMigrateQueued),
+            "migrate");
   EXPECT_EQ(fault::ParseRecoveryPolicy("drop"),
             fault::RecoveryPolicy::kDropQueued);
   EXPECT_EQ(fault::ParseRecoveryPolicy("requeue"),
             fault::RecoveryPolicy::kRequeueToScheduler);
+  EXPECT_EQ(fault::ParseRecoveryPolicy("migrate"),
+            fault::RecoveryPolicy::kMigrateQueued);
   EXPECT_THROW((void)fault::ParseRecoveryPolicy("retry"),
                std::invalid_argument);
+  // The error message and --list-policies share one source of truth.
+  EXPECT_EQ(fault::RecoveryPolicyNames(), "drop, requeue, migrate");
+  try {
+    (void)fault::ParseRecoveryPolicy("retry");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what()).find("migrate"), std::string::npos)
+        << error.what();
+  }
 }
 
 // ----------------------------- engine semantics -----------------------------
@@ -367,6 +537,93 @@ TEST_F(FaultEngineTest, TaskStartedUnderThrottleRunsAtTheFloor) {
   // SQ breaks queue-length ties by eet: the fastest allowed state is P2.
   EXPECT_EQ(result.task_records[0].pstate, 2u);
   EXPECT_DOUBLE_EQ(result.makespan, 2.0 + 10.0 * m2);
+}
+
+TEST_F(FaultEngineTest, MigratePolicyRestartsRunningAndMigratesQueued) {
+  // Two single-core nodes (one fault domain each). SQ puts t0 on core 0,
+  // t1 on (idle) core 1, t2 behind t0 on core 0. Core 0 dies at 5: the
+  // *running* t0 restarts from scratch through the requeue path (remapped),
+  // while the *queued* t2 migrates with its queue wait intact (migrated).
+  const cluster::Cluster cluster(
+      {test::SimpleNode(1, 1), test::SimpleNode(1, 1)});
+  sim::TrialOptions options;
+  options.fault_domains = fault::DeriveNodeDomains(cluster);
+  const sim::TrialResult result = Run(
+      cluster,
+      {workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 1.0, 100.0},
+       workload::Task{2, 0, 2.0, 100.0}},
+      Schedule({{5.0, fault::FaultEventKind::kCoreFailure, 0, 0}}),
+      fault::RecoveryPolicy::kMigrateQueued, options);
+
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.tasks_lost_to_failures, 0u);
+  EXPECT_EQ(result.tasks_remapped, 1u);
+  EXPECT_EQ(result.tasks_migrated, 1u);
+  EXPECT_EQ(result.migrated_on_time, 1u);
+  EXPECT_TRUE(result.task_records[0].remapped);
+  EXPECT_FALSE(result.task_records[0].migrated);
+  EXPECT_TRUE(result.task_records[2].migrated);
+  EXPECT_FALSE(result.task_records[2].remapped);
+  // Core 1: t1 [1, 11), restarted t0 [11, 21), migrated t2 [21, 31).
+  EXPECT_DOUBLE_EQ(result.task_records[0].start_time, 11.0);
+  EXPECT_DOUBLE_EQ(result.task_records[2].start_time, 21.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 31.0);
+}
+
+TEST_F(FaultEngineTest, MigrateWithNoSurvivorLosesTheQueuedTasks) {
+  const sim::TrialResult result = Run(
+      test::SingleCoreCluster(),
+      {workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 1.0, 100.0}},
+      Schedule({{5.0, fault::FaultEventKind::kCoreFailure, 0, 0}}),
+      fault::RecoveryPolicy::kMigrateQueued);
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(result.tasks_lost_to_failures, 2u);
+  EXPECT_EQ(result.tasks_migrated, 0u);
+}
+
+TEST_F(FaultEngineTest, DomainOutageStrandsEveryCoreOfTheDomain) {
+  // One two-core node = one domain; a second single-core node survives.
+  // t0 and t1 run on the first node's cores, t2 runs on the lone survivor;
+  // the domain outage at 5 strands both running tasks at once.
+  const cluster::Cluster cluster(
+      {test::SimpleNode(1, 2), test::SimpleNode(1, 1)});
+  sim::TrialOptions options;
+  options.fault_domains = fault::DeriveNodeDomains(cluster);
+  const sim::TrialResult result = Run(
+      cluster,
+      {workload::Task{0, 0, 0.0, 200.0}, workload::Task{1, 0, 1.0, 200.0},
+       workload::Task{2, 0, 2.0, 200.0}},
+      Schedule({{5.0, fault::FaultEventKind::kDomainOutage, 0, 0, 0}}),
+      fault::RecoveryPolicy::kRequeueToScheduler, options);
+
+  EXPECT_EQ(result.domain_outages, 1u);
+  EXPECT_EQ(result.failures_injected, 0u);  // no per-core failures involved
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.tasks_remapped, 2u);
+  // Both stranded tasks finished on the surviving third core.
+  EXPECT_EQ(result.task_records[0].flat_core, 2u);
+  EXPECT_EQ(result.task_records[1].flat_core, 2u);
+}
+
+TEST_F(FaultEngineTest, DomainRepairReturnsTheDomainToService) {
+  // Outage at 3 kills the only (single-core) first domain; repair at 6
+  // brings it back, and a task arriving at 8 runs on it again.
+  const cluster::Cluster cluster({test::SimpleNode(1, 1)});
+  sim::TrialOptions options;
+  options.fault_domains = fault::DeriveNodeDomains(cluster);
+  const sim::TrialResult result = Run(
+      cluster,
+      {workload::Task{0, 0, 0.0, 100.0}, workload::Task{1, 0, 8.0, 100.0}},
+      Schedule({{3.0, fault::FaultEventKind::kDomainOutage, 0, 0, 0},
+                {6.0, fault::FaultEventKind::kDomainRepair, 0, 0, 0}}),
+      fault::RecoveryPolicy::kDropQueued, options);
+
+  EXPECT_EQ(result.domain_outages, 1u);
+  EXPECT_EQ(result.domain_repairs, 1u);
+  EXPECT_EQ(result.tasks_lost_to_failures, 1u);
+  EXPECT_EQ(result.completed, 1u);
+  EXPECT_DOUBLE_EQ(result.task_records[1].start_time, 8.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 18.0);
 }
 
 // ------------------------- system-level guarantees --------------------------

@@ -53,7 +53,11 @@ policy::ScenarioSpec FullyCustomSpec() {
   spec.fault.throttle_duration = 30.0;
   spec.fault.throttle_floor = 2;
   spec.fault.horizon = 9999.0;
-  spec.recovery = fault::RecoveryPolicy::kRequeueToScheduler;
+  spec.fault.domain_mtbf = 20000.0;
+  spec.fault.domain_repair_time = 600.0;
+  spec.fault.cascade_throttle = true;
+  spec.fault_domains = "rackA:0-2,rackB:3-4";
+  spec.recovery = fault::RecoveryPolicy::kMigrateQueued;
   spec.governor = "budget-feedback";
   spec.grid.heuristics = {"LL", "MECT"};
   spec.grid.filter_variants = {"en", "en+rob"};
@@ -142,6 +146,12 @@ TEST(ScenarioSpec, FingerprintCoversResultShapingKnobsOnly) {
   changed.fault.mtbf = 100.0;
   EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
   changed = base;
+  changed.fault.domain_mtbf = 100.0;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.fault_domains = "all:0-15";
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
   changed.governor = "race-to-idle";
   EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
 
@@ -212,6 +222,10 @@ TEST(ScenarioSpec, RunOptionsFromSpecCopiesEveryRunKnob) {
   EXPECT_EQ(options.filter_options.energy.low_multiplier,
             spec.filter_options.energy.low_multiplier);
   EXPECT_EQ(options.fault.mtbf, spec.fault.mtbf);
+  EXPECT_EQ(options.fault.domain_mtbf, spec.fault.domain_mtbf);
+  EXPECT_EQ(options.fault.domain_repair_time, spec.fault.domain_repair_time);
+  EXPECT_EQ(options.fault.cascade_throttle, spec.fault.cascade_throttle);
+  EXPECT_EQ(options.fault_domains, spec.fault_domains);
   EXPECT_EQ(options.recovery, spec.recovery);
   EXPECT_EQ(options.governor, spec.governor);
   EXPECT_EQ(options.validation, spec.validation);

@@ -1,9 +1,11 @@
 // Streaming service mode: the replenishing energy account (exact clamped
-// net-flow, emergency hysteresis), spec resolution, admission verdicts and
-// the holding pen's priority order, the typed mode/stream refusals, and the
-// engine-level guarantees — deterministic streaming trials, fault requeues
-// re-entering admission, windowed trace records, and bit-identical
-// checkpoint resume mid-stream.
+// net-flow, emergency hysteresis), degraded-mode hysteresis on lost
+// capacity, spec resolution, admission verdicts and the holding pen's
+// priority order, the typed mode/stream refusals, and the engine-level
+// guarantees — deterministic streaming trials, fault requeues re-entering
+// admission, a domain outage+repair cycle flipping degraded mode exactly
+// once, windowed trace records, and bit-identical checkpoint resume
+// mid-stream.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -14,14 +16,20 @@
 #include <vector>
 
 #include "batch/batch_runner.hpp"
+#include "core/factory.hpp"
+#include "fault/fault_model.hpp"
+#include "fault/recovery.hpp"
 #include "policy/scenario_spec.hpp"
 #include "policy/stream_spec.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/engine.hpp"
 #include "sim/experiment_runner.hpp"
 #include "stream/admission.hpp"
+#include "stream/degraded_mode.hpp"
 #include "stream/energy_account.hpp"
 #include "stream/holding_pen.hpp"
 #include "stream/stream_config.hpp"
+#include "test_support.hpp"
 
 namespace ecdra {
 namespace {
@@ -96,6 +104,51 @@ TEST(EnergyAccount, BornBelowThresholdIsAlreadyInEmergency) {
   stream::EnergyAccount account(10.0, 100.0, 5.0, 10.0, 40.0);
   EXPECT_TRUE(account.emergency());
   EXPECT_EQ(account.emergency_entries(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// DegradedMode (lost-capacity hysteresis, the emergency mode's twin)
+// ---------------------------------------------------------------------------
+
+TEST(DegradedMode, HysteresisEntersAtEnterAndExitsAtOrBelowExit) {
+  stream::DegradedMode mode(0.25, 0.10);
+  EXPECT_FALSE(mode.active());
+
+  // Below enter: nothing happens.
+  EXPECT_FALSE(mode.Update(5.0, 0.20));
+  EXPECT_FALSE(mode.active());
+
+  // Reaching enter flips the mode on.
+  EXPECT_TRUE(mode.Update(10.0, 0.25));
+  EXPECT_TRUE(mode.active());
+  EXPECT_EQ(mode.entries(), 1u);
+
+  // Partial repair into the (exit, enter) band: hysteresis holds.
+  EXPECT_FALSE(mode.Update(15.0, 0.15));
+  EXPECT_TRUE(mode.active());
+
+  // Falling to exit releases it; 10 s were spent degraded.
+  EXPECT_TRUE(mode.Update(20.0, 0.10));
+  EXPECT_FALSE(mode.active());
+  EXPECT_EQ(mode.entries(), 1u);
+  EXPECT_DOUBLE_EQ(mode.degraded_seconds(20.0), 10.0);
+
+  // A second outage is a second episode.
+  EXPECT_TRUE(mode.Update(30.0, 0.50));
+  EXPECT_EQ(mode.entries(), 2u);
+  EXPECT_DOUBLE_EQ(mode.degraded_seconds(35.0), 15.0);
+}
+
+TEST(DegradedMode, DefaultConstructionNeverEnters) {
+  stream::DegradedMode mode;
+  EXPECT_FALSE(mode.Update(0.0, 1.0));  // even a total outage
+  EXPECT_FALSE(mode.active());
+  EXPECT_EQ(mode.entries(), 0u);
+}
+
+TEST(DegradedMode, RejectsInvertedThresholds) {
+  EXPECT_THROW(stream::DegradedMode(0.10, 0.25), std::invalid_argument);
+  EXPECT_THROW(stream::DegradedMode(0.25, -0.1), std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------------
@@ -290,6 +343,9 @@ TEST(StreamSpec, CanonicalTextRoundTripsTheStreamBlock) {
   spec.stream.admission = "rho";
   spec.stream.defer_rho = 0.4;
   spec.stream.fairness_wait = 99.0;
+  spec.stream.degraded_enter_fraction = 0.4;
+  spec.stream.degraded_exit_fraction = 0.2;
+  spec.stream.degraded_rho_scale = 2.0;
 
   const std::string text = policy::CanonicalSpecText(spec);
   const policy::ScenarioSpec parsed = policy::ParseScenarioSpec(text);
@@ -299,6 +355,9 @@ TEST(StreamSpec, CanonicalTextRoundTripsTheStreamBlock) {
   EXPECT_EQ(parsed.stream.admission, "rho");
   EXPECT_DOUBLE_EQ(parsed.stream.defer_rho, 0.4);
   EXPECT_DOUBLE_EQ(parsed.stream.fairness_wait, 99.0);
+  EXPECT_DOUBLE_EQ(parsed.stream.degraded_enter_fraction, 0.4);
+  EXPECT_DOUBLE_EQ(parsed.stream.degraded_exit_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(parsed.stream.degraded_rho_scale, 2.0);
   // The round trip is a fixed point: re-emission is byte-identical.
   EXPECT_EQ(policy::CanonicalSpecText(parsed), text);
 }
@@ -424,6 +483,67 @@ TEST(StreamEngine, FaultRequeuesReenterAdmissionNotThePen) {
   EXPECT_GT(result.stream.forced_admissions, result.window_size)
       << "no fault-requeued task passed back through the admission stage; "
          "requeues are bypassing admission";
+}
+
+/// Deterministic single-type delta-pmf table (same scheme as test_fault):
+/// execution time on node n at state s is base * time_multiplier(s) exactly.
+workload::TaskTypeTable DeltaTable(const cluster::Cluster& cluster,
+                                   double base) {
+  std::vector<pmf::Pmf> pmfs;
+  for (std::size_t node = 0; node < cluster.num_nodes(); ++node) {
+    for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+      pmfs.push_back(pmf::Pmf::Delta(
+          base * cluster.node(node).pstates[s].time_multiplier));
+    }
+  }
+  return workload::TaskTypeTable(1, cluster.num_nodes(), std::move(pmfs));
+}
+
+TEST(StreamEngine, DomainOutageCycleFlipsDegradedModeExactlyOnce) {
+  // Satellite (d): one domain outage + repair cycle enters and exits
+  // degraded mode exactly once. The interior per-core failure and repair on
+  // the already-dead core move fault-event traffic through the engine while
+  // the lost fraction sits inside the hysteresis band — a flapping
+  // implementation (enter/exit re-evaluated without memory) would count
+  // extra episodes.
+  const cluster::Cluster cluster(
+      {test::SimpleNode(1, 1), test::SimpleNode(1, 1)});
+  workload::TaskTypeTable table = DeltaTable(cluster, 10.0);
+  std::vector<workload::Task> tasks = {workload::Task{0, 0, 0.0, 200.0},
+                                       workload::Task{1, 0, 1.0, 200.0},
+                                       workload::Task{2, 0, 40.0, 200.0}};
+  core::ImmediateModeScheduler scheduler(
+      cluster, table, core::MakeHeuristic("SQ", util::RngStream(1)), {}, 1e9,
+      tasks.size());
+
+  sim::TrialOptions options;
+  options.energy_budget = 1e9;
+  options.stream.enabled = true;
+  options.stream.energy_rate = 1000.0;
+  options.stream.accrual_cap = 1e9;
+  options.stream.initial_energy = 1e6;
+  options.stream.window_length = 100.0;
+  options.stream.degraded_enter = 0.25;  // one lost core of two is 0.5
+  options.stream.degraded_exit = 0.10;
+  options.fault_domains = fault::DeriveNodeDomains(cluster);
+  options.recovery_policy = fault::RecoveryPolicy::kRequeueToScheduler;
+  options.fault_schedule.events = {
+      {5.0, fault::FaultEventKind::kDomainOutage, 0, 0, 0},
+      {8.0, fault::FaultEventKind::kCoreFailure, 0, 0, 0},
+      {12.0, fault::FaultEventKind::kCoreRepair, 0, 0, 0},
+      {20.0, fault::FaultEventKind::kDomainRepair, 0, 0, 0},
+  };
+
+  sim::Engine engine(cluster, table, std::move(tasks), scheduler, options,
+                     util::RngStream(7));
+  const sim::TrialResult result = engine.Run();
+
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.domain_outages, 1u);
+  EXPECT_EQ(result.domain_repairs, 1u);
+  ASSERT_TRUE(result.stream.enabled);
+  EXPECT_EQ(result.stream.degraded_entries, 1u);
+  EXPECT_DOUBLE_EQ(result.stream.degraded_seconds, 15.0);  // [5, 20)
 }
 
 TEST(StreamRunner, RunOptionsFromSpecRefusesFixedTraceWithAStreamBlock) {
