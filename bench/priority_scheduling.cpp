@@ -12,6 +12,8 @@
 #include "sim/experiment_runner.hpp"
 #include "stats/summary.hpp"
 #include "stats/table_writer.hpp"
+#include "util/rng.hpp"
+#include "workload/workload_generator.hpp"
 
 int main(int argc, char** argv) {
   using namespace ecdra;
@@ -43,11 +45,21 @@ int main(int argc, char** argv) {
     const auto trials = sim::RunTrials(setup, "LL", "en+rob", run);
     std::vector<double> weighted, counts;
     std::size_t high_missed = 0, high_total = 0;
-    for (const sim::TrialResult& trial : trials) {
+    for (std::size_t t = 0; t < trials.size(); ++t) {
+      const sim::TrialResult& trial = trials[t];
       weighted.push_back(trial.weighted_missed);
       counts.push_back(static_cast<double>(trial.missed_deadlines));
+      // Priority is a per-job workload property, not a TaskRecord field:
+      // regenerate trial t's task list from the same substream the runner
+      // used and join on task_id.
+      util::RngStream workload_rng = util::RngStream(setup.master_seed)
+                                         .Substream("trial", t)
+                                         .Substream("workload");
+      const std::vector<workload::Task> tasks =
+          workload::GenerateWorkload(setup.types, setup.workload,
+                                     workload_rng);
       for (const sim::TaskRecord& record : trial.task_records) {
-        if (record.priority < 2.0) continue;
+        if (tasks[record.task_id].priority < 2.0) continue;
         ++high_total;
         const bool ok =
             record.assigned && record.on_time && record.within_energy &&

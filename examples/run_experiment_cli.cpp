@@ -32,6 +32,7 @@
 
 #include "batch/batch_heuristics.hpp"
 #include "core/factory.hpp"
+#include "core/gang_placement.hpp"
 #include "experiment/paper_config.hpp"
 #include "fault/recovery.hpp"
 #include "governor/governor.hpp"
@@ -42,6 +43,7 @@
 #include "stream/admission.hpp"
 #include "stats/table_writer.hpp"
 #include "validate/validation.hpp"
+#include "workload/workload_generator.hpp"
 
 namespace {
 
@@ -103,9 +105,24 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "  --degraded-rho-scale X\n"
      << "                     multiply rho admission thresholds by X while\n"
      << "                     degraded (>= 1; default 1.5)\n"
+     << "gang jobs and precedence chains (src/workload/job.hpp):\n"
+     << "  --jobs             generate map->reduce jobs instead of\n"
+     << "                     independent tasks (stage widths/depths drawn\n"
+     << "                     from the --job-widths / --job-depths mixes)\n"
+     << "  --job-widths LIST  comma-separated width@probability classes,\n"
+     << "                     e.g. 1@0.5,4@0.5 (default 1@1)\n"
+     << "  --job-depths LIST  comma-separated depth@probability classes\n"
+     << "                     (stages per job; default 1@1)\n"
+     << "  --job-deadline-scale X\n"
+     << "                     stretch job deadlines by X relative to the\n"
+     << "                     equivalent independent-task deadline (>= 1;\n"
+     << "                     default 1)\n"
+     << "  --gang-policy NAME gang placement heuristic (registered: "
+     << ecdra::core::GangPlacementRegistry().JoinedNames() << ";\n"
+     << "                     default pack)\n"
      << "  --list-policies    print every registered heuristic, filter,\n"
-     << "                     batch heuristic, governor, admission, and\n"
-     << "                     recovery policy, then exit\n"
+     << "                     batch heuristic, governor, admission, gang\n"
+     << "                     placement, and recovery policy, then exit\n"
      << "  --validate MODE    off | cheap | deep runtime invariant checks\n"
      << "                     (default off; violations are recorded, not\n"
      << "                     fatal)\n"
@@ -169,6 +186,39 @@ double ParseNonNegative(std::string_view flag, const std::string& value) {
   return parsed;
 }
 
+/// "value@probability,value@probability" -> shape classes, the CLI-side
+/// mirror of the spec's env.workload.jobs.widths/.depths syntax. Values must
+/// be >= 1 (a width-0 gang or depth-0 chain is meaningless); probabilities
+/// must be > 0 — the generator normalizes them, so 1@3,4@1 reads "3:1 odds".
+std::vector<ecdra::workload::ShapeClass> ParseShapeClasses(
+    std::string_view flag, const std::string& value) {
+  std::vector<ecdra::workload::ShapeClass> classes;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string token =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    const std::size_t at = token.find('@');
+    if (at == std::string::npos) {
+      Fail(std::string(flag) + ": '" + token +
+           "' is not a value@probability class (e.g. 4@0.5)");
+    }
+    const std::uint64_t shape = ParseUint64(flag, token.substr(0, at));
+    const double probability = ParseDouble(flag, token.substr(at + 1));
+    if (shape == 0) Fail(std::string(flag) + ": shape values must be >= 1");
+    if (probability <= 0.0) {
+      Fail(std::string(flag) + ": class probabilities must be > 0");
+    }
+    classes.push_back(ecdra::workload::ShapeClass{
+        static_cast<std::size_t>(shape), probability});
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (classes.empty()) Fail(std::string(flag) + ": empty class list");
+  return classes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,6 +274,8 @@ int main(int argc, char** argv) {
                 << "\ngovernors: "
                 << governor::GovernorRegistry().JoinedNames()
                 << "\nadmission: " << stream::AdmissionRegistry().JoinedNames()
+                << "\ngang-placements: "
+                << core::GangPlacementRegistry().JoinedNames()
                 << "\nrecovery: " << fault::RecoveryPolicyNames() << "\n";
       return 0;
     } else if (flag == "--spec") {
@@ -355,6 +407,25 @@ int main(int argc, char** argv) {
       spec.stream.degraded_rho_scale = ParseNonNegative(flag, next());
       if (spec.stream.degraded_rho_scale < 1.0) {
         Fail("--degraded-rho-scale: must be >= 1");
+      }
+    } else if (flag == "--jobs") {
+      spec.environment.workload.jobs.enabled = true;
+    } else if (flag == "--job-widths") {
+      spec.environment.workload.jobs.widths = ParseShapeClasses(flag, next());
+    } else if (flag == "--job-depths") {
+      spec.environment.workload.jobs.depths = ParseShapeClasses(flag, next());
+    } else if (flag == "--job-deadline-scale") {
+      spec.environment.workload.jobs.deadline_scale =
+          ParseNonNegative(flag, next());
+      if (spec.environment.workload.jobs.deadline_scale < 1.0) {
+        Fail("--job-deadline-scale: must be >= 1");
+      }
+    } else if (flag == "--gang-policy") {
+      spec.jobs_placement = next();
+      if (!core::GangPlacementRegistry().Contains(spec.jobs_placement)) {
+        Fail("--gang-policy: unknown placement '" + spec.jobs_placement +
+             "' (registered: " +
+             core::GangPlacementRegistry().JoinedNames() + ")");
       }
     } else if (flag == "--checkpoint") {
       checkpoint_path = next();
@@ -526,6 +597,14 @@ int main(int argc, char** argv) {
               << ", dropped " << summary.mean_stream_dropped << ", released "
               << summary.mean_stream_released << ", emergency "
               << summary.mean_emergency_seconds << " s\n";
+  }
+  if (summary.job_trials > 0) {
+    std::cout << "  jobs (placement=" << run.gang_placement
+              << "): mean on time " << summary.mean_jobs_on_time
+              << ", failed " << summary.mean_jobs_failed
+              << ", gangs placed " << summary.mean_gangs_placed
+              << ", waits " << summary.mean_gang_waits << " ("
+              << summary.mean_gang_wait_seconds << " s)\n";
   }
   if (run.validation != validate::ValidationMode::kOff) {
     std::cout << "  validation (" << validate::ValidationModeName(run.validation)

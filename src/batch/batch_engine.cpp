@@ -45,7 +45,6 @@ BatchEngine::BatchEngine(const cluster::Cluster& cluster,
       record.type = task.type;
       record.arrival = task.arrival;
       record.deadline = task.deadline;
-      record.priority = task.priority;
     }
   }
 }

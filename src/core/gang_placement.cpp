@@ -1,0 +1,126 @@
+#include "core/gang_placement.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ecdra::core {
+
+namespace {
+
+/// Quality order shared by the built-ins: prefer the higher on-time
+/// probability, break ties toward the cheaper assignment, then toward the
+/// lower flat core index so placement is deterministic.
+bool BetterOption(const GangCoreOption& a, const GangCoreOption& b) {
+  if (a.rho != b.rho) return a.rho > b.rho;
+  if (a.candidate.eec != b.candidate.eec) return a.candidate.eec < b.candidate.eec;
+  return a.candidate.assignment.flat_core < b.candidate.assignment.flat_core;
+}
+
+/// Option indices grouped by owning node, each group in quality order.
+/// std::map keys the groups in ascending node id — the deterministic
+/// tiebreak both policies rely on.
+std::map<std::size_t, std::vector<std::size_t>> GroupByNode(
+    std::span<const GangCoreOption> options) {
+  std::map<std::size_t, std::vector<std::size_t>> by_node;
+  for (std::size_t i = 0; i < options.size(); ++i) {
+    by_node[options[i].candidate.node].push_back(i);
+  }
+  for (auto& [node, group] : by_node) {
+    std::sort(group.begin(), group.end(), [&](std::size_t a, std::size_t b) {
+      return BetterOption(options[a], options[b]);
+    });
+  }
+  return by_node;
+}
+
+/// "pack": fewest distinct nodes. Fills the gang from the nodes with the
+/// most feasible cores first (ties toward the lower node id), taking each
+/// node's cores in quality order. Keeps gang members co-located so a
+/// domain outage strands at most a few gangs — and models workloads whose
+/// gangs communicate within a node.
+class PackPlacement final : public GangPlacement {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pack";
+  }
+
+  void Select(std::span<const GangCoreOption> options, std::size_t width,
+              std::vector<std::size_t>& chosen) const override {
+    auto by_node = GroupByNode(options);
+    std::vector<const std::vector<std::size_t>*> groups;
+    groups.reserve(by_node.size());
+    for (const auto& [node, group] : by_node) groups.push_back(&group);
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const auto* a, const auto* b) {
+                       return a->size() > b->size();
+                     });
+    for (const auto* group : groups) {
+      for (std::size_t idx : *group) {
+        if (chosen.size() == width) return;
+        chosen.push_back(idx);
+      }
+    }
+  }
+};
+
+/// "spread": most distinct nodes. Rounds across the nodes (ascending id),
+/// taking each node's best remaining core per round, so one fault domain
+/// holds as few gang members as possible.
+class SpreadPlacement final : public GangPlacement {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "spread";
+  }
+
+  void Select(std::span<const GangCoreOption> options, std::size_t width,
+              std::vector<std::size_t>& chosen) const override {
+    const auto by_node = GroupByNode(options);
+    for (std::size_t round = 0; chosen.size() < width; ++round) {
+      for (const auto& [node, group] : by_node) {
+        if (chosen.size() == width) return;
+        if (round < group.size()) chosen.push_back(group[round]);
+      }
+    }
+  }
+};
+
+/// "serial": the ablation strawman. Serializes() routes gang members
+/// through the ordinary per-task pipeline, so Select only exists to satisfy
+/// the interface.
+class SerialPlacement final : public GangPlacement {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "serial";
+  }
+
+  [[nodiscard]] bool Serializes() const noexcept override { return true; }
+
+  void Select(std::span<const GangCoreOption> options, std::size_t width,
+              std::vector<std::size_t>& chosen) const override {
+    for (std::size_t i = 0; i < width && i < options.size(); ++i) {
+      chosen.push_back(i);
+    }
+  }
+};
+
+}  // namespace
+
+GangPlacementRegistryType& GangPlacementRegistry() {
+  static GangPlacementRegistryType registry("gang placement");
+  return registry;
+}
+
+std::unique_ptr<GangPlacement> MakeGangPlacement(std::string_view name) {
+  return GangPlacementRegistry().Make(name);
+}
+
+ECDRA_REGISTER_GANG_PLACEMENT("pack",
+                              [] { return std::make_unique<PackPlacement>(); })
+ECDRA_REGISTER_GANG_PLACEMENT("spread", [] {
+  return std::make_unique<SpreadPlacement>();
+})
+ECDRA_REGISTER_GANG_PLACEMENT("serial", [] {
+  return std::make_unique<SerialPlacement>();
+})
+
+}  // namespace ecdra::core

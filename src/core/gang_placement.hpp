@@ -1,0 +1,73 @@
+// Gang-placement policies for rigid multi-core stages (src/workload/job.hpp):
+// given the per-core best assignments that survived the filter chain, pick
+// which `width` distinct cores the gang occupies. All-or-nothing semantics
+// live in the scheduler/engine (a gang either starts simultaneously on
+// `width` cores or waits); the policy only decides *which* feasible cores,
+// trading locality ("pack": fewest distinct nodes, cheap intra-node
+// communication) against failure isolation ("spread": most distinct nodes, a
+// domain outage strands fewer gangs).
+//
+// The registry follows the heuristic/filter plugin shape
+// (policy/registry.hpp): built-ins self-register from gang_placement.cpp and
+// a downstream user adds a policy with one ECDRA_REGISTER_GANG_PLACEMENT
+// line. The "serial" policy is the ablation strawman: it declares
+// Serializes(), telling the engine to ignore gang semantics and map members
+// through the ordinary per-task pipeline (members may queue and start at
+// different times) — the baseline gang-aware placement is measured against.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/assignment.hpp"
+#include "policy/registry.hpp"
+
+namespace ecdra::core {
+
+/// One feasible core for a gang member: the per-core best candidate that
+/// survived the filter chain (highest rho, ties by lower EEC then lower
+/// P-state index), with the scalars placement policies rank by.
+struct GangCoreOption {
+  Candidate candidate;
+  /// Member on-time probability of this option, at placement time.
+  double rho = 0.0;
+};
+
+class GangPlacement {
+ public:
+  virtual ~GangPlacement() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// True for the naive-serialization baseline: the engine maps gang
+  /// members through the ordinary per-task pipeline instead (Select is
+  /// never called).
+  [[nodiscard]] virtual bool Serializes() const noexcept { return false; }
+
+  /// Picks exactly `width` distinct indices into `options` (each option is
+  /// a distinct core). Called only with options.size() >= width; `chosen`
+  /// arrives empty.
+  virtual void Select(std::span<const GangCoreOption> options,
+                      std::size_t width,
+                      std::vector<std::size_t>& chosen) const = 0;
+};
+
+using GangPlacementRegistryType = policy::Registry<GangPlacement>;
+
+/// The process-wide registry ("pack", "spread", "serial" built in).
+[[nodiscard]] GangPlacementRegistryType& GangPlacementRegistry();
+
+/// Creates a placement policy by registered name. Throws
+/// std::invalid_argument listing the registered names for unknown ones.
+[[nodiscard]] std::unique_ptr<GangPlacement> MakeGangPlacement(
+    std::string_view name);
+
+}  // namespace ecdra::core
+
+/// Registers a gang-placement policy under `name` at static initialization.
+/// The factory is any callable () -> std::unique_ptr<core::GangPlacement>.
+#define ECDRA_REGISTER_GANG_PLACEMENT(name, ...)                           \
+  ECDRA_POLICY_REGISTRATION(                                               \
+      ::ecdra::core::GangPlacementRegistry().Register((name), __VA_ARGS__))

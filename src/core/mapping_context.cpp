@@ -79,6 +79,22 @@ double MappingContext::OnTimeProbability(const Candidate& candidate) const {
       task_->deadline);
 }
 
+double MappingContext::GangOnTimeProbability(
+    std::span<const pmf::Pmf* const> member_execs,
+    const pmf::Pmf* chain_tail) const {
+  ECDRA_REQUIRE(!member_execs.empty(), "gang needs at least one member");
+  pmf::Pmf stage = *member_execs.front();
+  for (std::size_t i = 1; i < member_execs.size(); ++i) {
+    pmf::MaxInto(stage, *member_execs[i], pmf::Pmf::kDefaultMaxImpulses,
+                 stage);
+  }
+  if (chain_tail != nullptr) {
+    pmf::ConvolveInto(stage, *chain_tail, pmf::Pmf::kDefaultMaxImpulses,
+                      stage);
+  }
+  return stage.CdfAt(task_->deadline - now_);
+}
+
 double MappingContext::AverageQueueDepth() const {
   if (!std::isnan(queue_depth_override_)) return queue_depth_override_;
   std::size_t in_flight = 0;

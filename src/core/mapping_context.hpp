@@ -82,6 +82,17 @@ class MappingContext {
   /// under this candidate assignment.
   [[nodiscard]] double OnTimeProbability(const Candidate& candidate) const;
 
+  /// Joint on-time probability of a rigid gang (src/workload/job.hpp)
+  /// started simultaneously at now() on idle cores: the stage finishes at
+  /// the max of the sibling exec times (MaxInto fold), successor stages add
+  /// by convolution (`chain_tail`, null for the final stage), and the job is
+  /// on time if that sum lands by the shared deadline. Evaluates the whole
+  /// candidate core *set* jointly — per-member rho products would wrongly
+  /// assume the members miss independently of which sibling is slowest.
+  [[nodiscard]] double GangOnTimeProbability(
+      std::span<const pmf::Pmf* const> member_execs,
+      const pmf::Pmf* chain_tail) const;
+
   /// Average queue depth of the system at this time-step: tasks queued or
   /// executing anywhere, divided by the number of cores (drives the energy
   /// filter's zeta_mul).

@@ -1,8 +1,10 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "core/mapping_context.hpp"
+#include "core/robustness_filter.hpp"
 #include "util/assert.hpp"
 
 namespace ecdra::core {
@@ -150,6 +152,198 @@ std::optional<Candidate> ImmediateModeScheduler::RunPipeline(
     }
   }
   return chosen;
+}
+
+void ImmediateModeScheduler::ConfigureGangs(const std::string& placement) {
+  gang_placement_ = MakeGangPlacement(placement);
+  gang_threshold_ = 0.0;
+  gang_energy_check_ = false;
+  for (const auto& filter : filters_) {
+    if (filter->name() == "rob") {
+      if (const auto* rob =
+              dynamic_cast<const RobustnessFilter*>(filter.get())) {
+        gang_threshold_ = rob->threshold();
+      }
+    } else if (filter->name() == "en") {
+      gang_energy_check_ = true;
+    }
+  }
+}
+
+GangOutcome ImmediateModeScheduler::MapGang(
+    std::span<const workload::Task> members, double now,
+    std::span<const robustness::CoreQueueModel> cores,
+    std::span<const CoreAvailability> availability,
+    const pmf::Pmf* chain_tail, bool remap) {
+  ECDRA_REQUIRE(gang_placement_ != nullptr,
+                "MapGang requires a ConfigureGangs call first");
+  ECDRA_REQUIRE(members.size() >= 2, "a gang has at least two members");
+  const std::size_t width = members.size();
+  GangOutcome outcome;
+
+  obs::Counters* const counters = obs_.counters;
+  obs::TraceSink* const trace = obs_.trace;
+  const bool timed = counters != nullptr || trace != nullptr;
+  std::chrono::steady_clock::time_point decision_start;
+  if (timed) decision_start = std::chrono::steady_clock::now();
+
+  // One context on the representative member covers the gang: a stage is
+  // one task type with one shared deadline, and `availability` already
+  // restricts candidates to cores that can start a member right now.
+  const workload::Task& rep = members.front();
+  MappingContext ctx(*cluster_, *types_, cores, rep, now, availability);
+  // T_left counts the in-hand members: a fresh gang has not advanced the
+  // window yet, so they are inside window - seen; a requeued gang was
+  // already counted, so they come back in on top (mirroring RemapTask's
+  // "+1 is the task in hand").
+  std::size_t tasks_left =
+      window_size_ > tasks_seen_ ? window_size_ - tasks_seen_ : 0;
+  if (remap) tasks_left += width;
+  tasks_left = std::max(tasks_left, width);
+  ctx.SetBudgetView(estimator_.remaining(), tasks_left);
+  ctx.SetFairShareScale(fair_share_scale_);
+  if (counters != nullptr) {
+    counters->candidates_generated += ctx.candidates().size();
+  }
+
+  for (const auto& filter : filters_) {
+    const std::size_t before = ctx.candidates().size();
+    filter->Apply(ctx);
+    const std::size_t after = ctx.candidates().size();
+    ECDRA_ASSERT(after <= before, "filters may only remove candidates");
+    if (counters != nullptr) {
+      counters->*PrunedSlotFor(filter->name()) += before - after;
+    }
+    if (after == 0) break;
+  }
+
+  // Collapse to the best surviving option per core (highest rho, ties
+  // toward lower EEC, then the lower P-state the candidate order provides).
+  // Candidates arrive flat-core-major, so same-core options are adjacent.
+  // A non-final stage folds the optimistic chain tail into each member's
+  // rho: an EEC tie judged on the member deadline alone would pick a
+  // P-state slow enough to doom the downstream stages, and the collapse
+  // here is what the placement policy and the joint fallback choose from.
+  std::vector<GangCoreOption> options;
+  for (const Candidate& candidate : ctx.candidates()) {
+    const pmf::Pmf* const exec = candidate.exec;
+    const double rho =
+        chain_tail == nullptr
+            ? ctx.OnTimeProbability(candidate)
+            : ctx.GangOnTimeProbability(std::span(&exec, 1), chain_tail);
+    if (!options.empty() && options.back().candidate.assignment.flat_core ==
+                                candidate.assignment.flat_core) {
+      GangCoreOption& best = options.back();
+      if (rho > best.rho ||
+          (rho == best.rho && candidate.eec < best.candidate.eec)) {
+        best = GangCoreOption{candidate, rho};
+      }
+    } else {
+      options.push_back(GangCoreOption{candidate, rho});
+    }
+  }
+  outcome.feasible_cores.reserve(options.size());
+  for (const GangCoreOption& option : options) {
+    outcome.feasible_cores.push_back(option.candidate.assignment.flat_core);
+  }
+
+  const auto finish = [&](GangStatus status) {
+    outcome.status = status;
+    if (timed && counters != nullptr) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - decision_start;
+      counters->decision_seconds += elapsed.count();
+    }
+    return outcome;
+  };
+
+  if (options.size() < width) return finish(GangStatus::kWait);
+
+  // The placement policy picks *which* width cores; joint feasibility then
+  // judges the set as a whole. If the preferred set fails, fall back to the
+  // top-rho set (member draws are independent, so the stage CDF is the
+  // product of member CDFs — the top-rho members are the best shot); if
+  // that fails too, no waiting can rescue the gang.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(width);
+  gang_placement_->Select(options, width, chosen);
+  ECDRA_ASSERT(chosen.size() == width,
+               "gang placement must pick exactly width cores");
+
+  const auto joint_ok = [&](const std::vector<std::size_t>& set) {
+    if (gang_energy_check_) {
+      double total_eec = 0.0;
+      for (std::size_t idx : set) total_eec += options[idx].candidate.eec;
+      if (total_eec > std::max(0.0, estimator_.remaining())) return false;
+    }
+    if (gang_threshold_ > 0.0) {
+      std::vector<const pmf::Pmf*> execs;
+      execs.reserve(set.size());
+      for (std::size_t idx : set) execs.push_back(options[idx].candidate.exec);
+      if (ctx.GangOnTimeProbability(execs, chain_tail) < gang_threshold_) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  if (!joint_ok(chosen)) {
+    std::vector<std::size_t> by_rho(options.size());
+    for (std::size_t i = 0; i < options.size(); ++i) by_rho[i] = i;
+    std::sort(by_rho.begin(), by_rho.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (options[a].rho != options[b].rho) {
+                  return options[a].rho > options[b].rho;
+                }
+                if (options[a].candidate.eec != options[b].candidate.eec) {
+                  return options[a].candidate.eec < options[b].candidate.eec;
+                }
+                return options[a].candidate.assignment.flat_core <
+                       options[b].candidate.assignment.flat_core;
+              });
+    by_rho.resize(width);
+    if (!joint_ok(by_rho)) return finish(GangStatus::kInfeasible);
+    chosen = std::move(by_rho);
+  }
+
+  outcome.members.reserve(width);
+  for (std::size_t idx : chosen) {
+    outcome.members.push_back(options[idx].candidate);
+    estimator_.Charge(options[idx].candidate.eec);
+  }
+  if (!remap) {
+    ECDRA_REQUIRE(tasks_seen_ + width <= window_size_,
+                  "more tasks mapped than the window holds");
+    tasks_seen_ += width;
+    if (counters != nullptr) counters->tasks_mapped += width;
+  }
+  if (trace != nullptr) {
+    // finish() owns the decision_seconds tally; this elapsed value only
+    // stamps the trace records.
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - decision_start;
+    {
+      for (std::size_t m = 0; m < width; ++m) {
+        const Candidate& member = outcome.members[m];
+        obs::MappingDecisionRecord record;
+        record.trial = obs_.trial;
+        record.task_id = members[m].id;
+        record.time = now;
+        record.deadline = members[m].deadline;
+        record.candidates_generated = ctx.candidates().size();
+        record.decision_us = elapsed.count() * 1e6 / static_cast<double>(width);
+        record.remap = remap;
+        record.assigned = true;
+        record.flat_core = member.assignment.flat_core;
+        record.pstate = member.assignment.pstate;
+        record.eet = member.eet;
+        record.eec = member.eec;
+        record.rho = ctx.OnTimeProbability(member);
+        trace->Record(record);
+      }
+    }
+  }
+  return finish(GangStatus::kPlaced);
 }
 
 std::string ImmediateModeScheduler::VariantName() const {

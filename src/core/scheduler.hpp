@@ -17,6 +17,7 @@
 #include "cluster/cluster.hpp"
 #include "core/energy_estimator.hpp"
 #include "core/filter.hpp"
+#include "core/gang_placement.hpp"
 #include "core/heuristic.hpp"
 #include "core/mapping_context.hpp"
 #include "obs/counters.hpp"
@@ -45,6 +46,29 @@ struct SchedulerObservability {
     std::string_view filter_name) noexcept;
 [[nodiscard]] std::uint64_t obs::Counters::* DiscardSlotFor(
     std::string_view filter_name) noexcept;
+
+/// Outcome of one all-or-nothing gang placement attempt (MapGang).
+enum class GangStatus {
+  /// `members` holds one chosen candidate per gang member; all start now.
+  kPlaced,
+  /// Fewer than `width` distinct feasible cores right now; the gang waits.
+  /// `feasible_cores` lists the cores that were feasible so the engine can
+  /// reserve them against narrower backfill work.
+  kWait,
+  /// Enough cores, but the joint robustness or energy check failed — and
+  /// both are monotone (rho falls as `now` advances, the budget only
+  /// drains), so waiting cannot help. The job fails.
+  kInfeasible,
+};
+
+struct GangOutcome {
+  GangStatus status = GangStatus::kWait;
+  /// One candidate per member, index-aligned with the `members` span passed
+  /// to MapGang (kPlaced only).
+  std::vector<Candidate> members;
+  /// Distinct flat cores with at least one surviving per-core option.
+  std::vector<std::size_t> feasible_cores;
+};
 
 class ImmediateModeScheduler {
  public:
@@ -84,6 +108,40 @@ class ImmediateModeScheduler {
   /// fair share stays honest for later arrivals; a pen release then re-enters
   /// through RemapTask, which does not advance the window again.
   void SkipTask() noexcept { ++tasks_seen_; }
+
+  /// Job extension (src/workload/job.hpp): installs the gang-placement
+  /// policy by registry name and scans the filter chain so MapGang applies
+  /// the matching *joint* feasibility checks — the robustness filter's
+  /// threshold over the gang completion pmf, and the energy filter's budget
+  /// over the summed member EECs. Call once, before the first MapGang.
+  void ConfigureGangs(const std::string& placement);
+  [[nodiscard]] const GangPlacement* gang_placement() const noexcept {
+    return gang_placement_.get();
+  }
+
+  /// All-or-nothing mapping of one rigid stage: `members` are the gang's
+  /// tasks (one type, shared deadline; >= 2 of them), `availability` must
+  /// mark every busy, reserved, or failed core unavailable so candidates
+  /// only land on cores that can start simultaneously *now*. `chain_tail`
+  /// is the remaining-chain completion pmf (successor stages; null for the
+  /// final stage), folded into the joint robustness check. Advances the
+  /// arrival window by the gang width on kPlaced unless `remap` (a
+  /// fault-requeued gang was already counted). Requires ConfigureGangs.
+  [[nodiscard]] GangOutcome MapGang(
+      std::span<const workload::Task> members, double now,
+      std::span<const robustness::CoreQueueModel> cores,
+      std::span<const CoreAvailability> availability,
+      const pmf::Pmf* chain_tail, bool remap);
+
+  /// Job extension: consumes `count` arrival-window slots for gang members
+  /// that will never be mapped (an abandoned pending gang, or the unreleased
+  /// stages of a failed job), tallying them as discards so the trial's
+  /// missed-deadline arithmetic stays task-exact.
+  void DiscardTasks(std::size_t count) noexcept {
+    tasks_seen_ += count;
+    tasks_discarded_ += count;
+    if (obs_.counters != nullptr) obs_.counters->tasks_discarded += count;
+  }
 
   /// Attaches per-trial counters and/or a decision-trace sink. Call before
   /// the first MapTask; both attachments must outlive the scheduler's use.
@@ -130,6 +188,13 @@ class ImmediateModeScheduler {
   std::size_t tasks_discarded_ = 0;
   SchedulerObservability obs_;
   double fair_share_scale_ = 1.0;
+  // -- Job extension (null / inert until ConfigureGangs) --
+  std::unique_ptr<GangPlacement> gang_placement_;
+  /// Robustness filter's threshold for the joint gang check; 0 (no "rob"
+  /// filter in the chain) disables it.
+  double gang_threshold_ = 0.0;
+  /// Whether an "en" filter is in the chain — gates the joint energy check.
+  bool gang_energy_check_ = false;
 };
 
 }  // namespace ecdra::core

@@ -47,6 +47,8 @@ struct Counters {
   std::uint64_t pmf_compactions = 0;
   std::uint64_t pmf_prob_sum_leq = 0;
   std::uint64_t pmf_truncations = 0;
+  /// Sibling max-combines (gang stage completion pmfs; zero without jobs).
+  std::uint64_t pmf_max_ops = 0;
 
   // -- Engine --
   /// P-state transitions actually performed (same-state requests excluded).

@@ -681,6 +681,73 @@ Pmf Convolve(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
   return result;
 }
 
+void MaxInto(const Pmf& x, const Pmf& y, std::size_t max_impulses, Pmf& out) {
+  ECDRA_REQUIRE(max_impulses >= 1, "max_impulses must be at least 1");
+  ECDRA_REQUIRE(!x.empty() || !y.empty(), "Max of two empty pmfs");
+  // Empty acts as the identity (the max over zero siblings) so a gang fold
+  // can start from a default-constructed accumulator.
+  if (x.empty() || y.empty()) {
+    const Pmf& src = x.empty() ? y : x;
+    if (&out != &src) out = src;
+    return;
+  }
+  obs::Bump(&obs::Counters::pmf_max_ops);
+  // P(max(X, Y) <= t) = F_X(t) * F_Y(t). Sweep the union support ascending,
+  // carrying both running CDFs; each union value contributes the increment
+  // of the CDF product. Values where one factor is still zero contribute
+  // nothing and are skipped, so the result's support starts at
+  // max(x.Min(), y.Min()).
+  PmfScratch& s = Scratch();
+  const auto xs = x.impulses();
+  const auto ys = y.impulses();
+  s.vals.resize(xs.size() + ys.size());
+  s.probs.resize(xs.size() + ys.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t n = 0;
+  double fx = 0.0;
+  double fy = 0.0;
+  double prev_cdf = 0.0;
+  while (i < xs.size() || j < ys.size()) {
+    const bool from_x =
+        j == ys.size() || (i < xs.size() && xs[i].value <= ys[j].value);
+    const double v = from_x ? xs[i].value : ys[j].value;
+    if (i < xs.size() && xs[i].value == v) fx += xs[i++].prob;
+    if (j < ys.size() && ys[j].value == v) fy += ys[j++].prob;
+    const double cdf = fx * fy;
+    const double prob = cdf - prev_cdf;
+    prev_cdf = cdf;
+    if (prob > 0.0) {
+      s.vals[n] = v;
+      s.probs[n] = prob;
+      ++n;
+    }
+  }
+  // The last union value completes both CDFs, so its increment is positive
+  // and the result is never empty; the total mass is the telescoped product
+  // of the two input masses.
+  ECDRA_ASSERT(n > 0 && prev_cdf > 0.0, "max produced an empty pmf");
+  ECDRA_REQUIRE(std::isfinite(s.vals[0]) && std::isfinite(s.vals[n - 1]),
+                "pmf impulses must be finite");
+  // All reads of x and y are done; only now touch out, so `out` may alias
+  // either input, mirroring ConvolveInto.
+  if (n <= max_impulses) {
+    double* const probs = s.probs.data();
+    for (std::size_t k = 0; k < n; ++k) probs[k] /= prev_cdf;
+    AssignSoA(out.impulses_, s.vals.data(), probs, n);
+  } else {
+    CompactSoA<true>(s.vals.data(), s.probs.data(), n, max_impulses,
+                     out.impulses_, prev_cdf);
+  }
+  DeepCheck(out, "max");
+}
+
+Pmf MaxOf(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
+  Pmf result;
+  MaxInto(x, y, max_impulses, result);
+  return result;
+}
+
 double ProbSumLeq(const Pmf& x, const Pmf& y, double t) {
   ECDRA_REQUIRE(!x.empty() && !y.empty(), "ProbSumLeq of empty pmf");
   obs::Bump(&obs::Counters::pmf_prob_sum_leq);

@@ -126,6 +126,8 @@ class Pmf {
  private:
   friend void ConvolveInto(const Pmf& x, const Pmf& y,
                            std::size_t max_impulses, Pmf& out);
+  friend void MaxInto(const Pmf& x, const Pmf& y, std::size_t max_impulses,
+                      Pmf& out);
 
   explicit Pmf(ImpulseVec sorted_normalized)
       : impulses_(std::move(sorted_normalized)) {}
@@ -151,6 +153,25 @@ struct TruncateResult {
 /// suffix-convolution chains like `ConvolveInto(acc, next, k, acc)`.
 void ConvolveInto(const Pmf& x, const Pmf& y, std::size_t max_impulses,
                   Pmf& out);
+
+/// Distribution of max(X, Y) for independent X, Y, compacted to
+/// `max_impulses`. The result's CDF is the pointwise product
+/// F_max(t) = F_X(t) · F_Y(t), computed exactly over the union support in
+/// O(|X| + |Y|). This is the sibling-join of a gang stage: a stage of
+/// simultaneous tasks completes when its slowest member does, so the stage
+/// completion pmf is the max across members (and a job chain convolves
+/// stage maxima — see src/workload/job.hpp).
+[[nodiscard]] Pmf MaxOf(const Pmf& x, const Pmf& y,
+                        std::size_t max_impulses = Pmf::kDefaultMaxImpulses);
+
+/// Max into existing storage, mirroring ConvolveInto: `out` is overwritten
+/// with the compacted max distribution and may alias `x` or `y` (all reads
+/// happen in thread-local scratch before `out` is touched) — the idiom for
+/// sibling folds like `MaxInto(acc, next, k, acc)`. Unlike ConvolveInto, an
+/// empty pmf is accepted and acts as the identity (max over zero members),
+/// so a fold can start from a default-constructed accumulator; only both
+/// inputs empty is an error.
+void MaxInto(const Pmf& x, const Pmf& y, std::size_t max_impulses, Pmf& out);
 
 /// P(X + Y <= t) for independent X, Y — computed exactly from the two sparse
 /// supports in O(|X| + |Y|) with a two-pointer sweep, avoiding an explicit

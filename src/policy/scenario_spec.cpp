@@ -75,8 +75,11 @@ constexpr std::string_view kHeaderLine = "ecdra-scenario v1";
 // degraded-mode knobs (stream.degraded_*) joined — a v3 checkpoint cannot
 // attest whether correlated outages or degraded-mode tightening shaped its
 // trials.
+// v5: the job block (env.workload.jobs.*, run.jobs.placement) joined — a v4
+// checkpoint cannot attest whether gang jobs and precedence chains shaped
+// its trials, nor which gang-placement policy chose the core sets.
 constexpr std::string_view kFingerprintHeaderLine =
-    "ecdra-scenario-fingerprint v4";
+    "ecdra-scenario-fingerprint v5";
 
 std::string_view LifetimeName(fault::LifetimeDistribution lifetime) noexcept {
   return lifetime == fault::LifetimeDistribution::kWeibull ? "weibull"
@@ -100,6 +103,15 @@ std::string PrioritiesValue(
   for (const workload::PriorityClass& cls : classes) {
     if (!value.empty()) value += ",";
     value += Num(cls.weight) + "@" + Num(cls.probability);
+  }
+  return value;
+}
+
+std::string ShapesValue(const std::vector<workload::ShapeClass>& classes) {
+  std::string value;
+  for (const workload::ShapeClass& cls : classes) {
+    if (!value.empty()) value += ",";
+    value += std::to_string(cls.value) + "@" + Num(cls.probability);
   }
   return value;
 }
@@ -162,6 +174,10 @@ void EmitResultShapingLines(std::string& out, const ScenarioSpec& spec) {
   Emit(out, "env.workload.arrivals", ArrivalsValue(wl.arrivals));
   Emit(out, "env.workload.load_factor_scale", Num(wl.load_factor_scale));
   Emit(out, "env.workload.priorities", PrioritiesValue(wl.priority_classes));
+  Emit(out, "env.workload.jobs.enabled", wl.jobs.enabled ? "true" : "false");
+  Emit(out, "env.workload.jobs.widths", ShapesValue(wl.jobs.widths));
+  Emit(out, "env.workload.jobs.depths", ShapesValue(wl.jobs.depths));
+  Emit(out, "env.workload.jobs.deadline_scale", Num(wl.jobs.deadline_scale));
 
   Emit(out, "env.budget_task_count", Num(spec.environment.budget_task_count));
   Emit(out, "env.exec_cov", Num(spec.environment.exec_cov));
@@ -201,6 +217,7 @@ void EmitResultShapingLines(std::string& out, const ScenarioSpec& spec) {
        fault.cascade_throttle ? "true" : "false");
   Emit(out, "run.fault.domains", spec.fault_domains);
   Emit(out, "run.recovery", fault::RecoveryPolicyName(spec.recovery));
+  Emit(out, "run.jobs.placement", spec.jobs_placement);
 
   const StreamSpec& stream = spec.stream;
   Emit(out, "run.mode", RunModeName(spec.mode));
@@ -308,6 +325,21 @@ std::vector<workload::PriorityClass> ParsePriorities(std::string_view line,
     }
     classes.push_back(workload::PriorityClass{
         ParseNum(line, token.substr(0, at)),
+        ParseNum(line, token.substr(at + 1))});
+  }
+  return classes;
+}
+
+std::vector<workload::ShapeClass> ParseShapes(std::string_view line,
+                                              std::string_view value) {
+  std::vector<workload::ShapeClass> classes;
+  for (const std::string_view token : SplitList(value)) {
+    const std::size_t at = token.find('@');
+    if (at == std::string_view::npos) {
+      ParseFail(line, "expected value@probability classes");
+    }
+    classes.push_back(workload::ShapeClass{
+        static_cast<std::size_t>(ParseUint(line, token.substr(0, at))),
         ParseNum(line, token.substr(at + 1))});
   }
   return classes;
@@ -429,6 +461,14 @@ ScenarioSpec ParseScenarioSpec(std::string_view text) {
       wl.load_factor_scale = ParseNum(line, value);
     } else if (key == "env.workload.priorities") {
       wl.priority_classes = ParsePriorities(line, value);
+    } else if (key == "env.workload.jobs.enabled") {
+      wl.jobs.enabled = ParseBool(line, value);
+    } else if (key == "env.workload.jobs.widths") {
+      wl.jobs.widths = ParseShapes(line, value);
+    } else if (key == "env.workload.jobs.depths") {
+      wl.jobs.depths = ParseShapes(line, value);
+    } else if (key == "env.workload.jobs.deadline_scale") {
+      wl.jobs.deadline_scale = ParseNum(line, value);
     } else if (key == "env.budget_task_count") {
       spec.environment.budget_task_count = ParseNum(line, value);
     } else if (key == "env.exec_cov") {
@@ -507,6 +547,11 @@ ScenarioSpec ParseScenarioSpec(std::string_view text) {
         ParseFail(line, "expected one of: " +
                             std::string(fault::RecoveryPolicyNames()));
       }
+    } else if (key == "run.jobs.placement") {
+      // Any non-empty token parses; the gang-placement registry rejects
+      // unknown names at trial setup, like run.governor.
+      if (value.empty()) ParseFail(line, "expected a gang-placement name");
+      spec.jobs_placement = std::string(value);
     } else if (key == "run.mode") {
       // Batch mode is a stack, not a spec-selectable trial mode.
       if (value == "fixed") {

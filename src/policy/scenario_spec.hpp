@@ -78,6 +78,10 @@ struct ScenarioSpec {
   /// cluster node.
   std::string fault_domains;
   fault::RecoveryPolicy recovery = fault::RecoveryPolicy::kDropQueued;
+  /// Job extension (src/workload/job.hpp): registered gang-placement policy
+  /// ("pack", "spread", or the "serial" no-gang ablation) used when the
+  /// workload's job shapes are enabled; inert otherwise.
+  std::string jobs_placement = "pack";
   /// Registered governor name (src/governor). "static" is the paper's
   /// open-loop baseline; the registry validates the name at trial setup.
   std::string governor = "static";

@@ -347,6 +347,32 @@ std::string TrialResultToJson(const TrialResult& result) {
     out += '}';
   }
 
+  // Job aggregates (omitted entirely for task-level trials, so pre-jobs
+  // records and degenerate-jobs runs serialize byte-identically).
+  if (result.jobs.enabled) {
+    out += ",\"jobs\":{";
+    Field(out, "jobs", std::uint64_t{result.jobs.jobs});
+    out += ',';
+    Field(out, "on_time", std::uint64_t{result.jobs.jobs_on_time});
+    out += ',';
+    Field(out, "late", std::uint64_t{result.jobs.jobs_late});
+    out += ',';
+    Field(out, "failed", std::uint64_t{result.jobs.jobs_failed});
+    out += ',';
+    Field(out, "gangs_placed", std::uint64_t{result.jobs.gangs_placed});
+    out += ',';
+    Field(out, "gang_waits", std::uint64_t{result.jobs.gang_waits});
+    out += ',';
+    Field(out, "gangs_requeued", std::uint64_t{result.jobs.gangs_requeued});
+    out += ',';
+    Field(out, "gangs_abandoned", std::uint64_t{result.jobs.gangs_abandoned});
+    out += ',';
+    Field(out, "pending_peak", std::uint64_t{result.jobs.pending_peak});
+    out += ',';
+    Field(out, "gang_wait_seconds", result.jobs.gang_wait_seconds);
+    out += '}';
+  }
+
   // Counters: non-zero slots only, via the generic field table.
   std::string counters;
   for (const obs::CounterField& field : obs::CounterFields()) {
@@ -460,6 +486,23 @@ TrialResult TrialResultFromValue(const json::Value& object) {
         RequireNumber(*stream, "degraded_seconds");
     result.stream.min_available = RequireNumber(*stream, "min_available");
     result.stream.final_available = RequireNumber(*stream, "final_available");
+  }
+
+  if (const json::Value* jobs = object.Find("jobs")) {
+    if (jobs->kind() != json::Value::Kind::kObject) {
+      BadRecord("field \"jobs\" is not an object");
+    }
+    result.jobs.enabled = true;
+    result.jobs.jobs = RequireUint(*jobs, "jobs");
+    result.jobs.jobs_on_time = RequireUint(*jobs, "on_time");
+    result.jobs.jobs_late = RequireUint(*jobs, "late");
+    result.jobs.jobs_failed = RequireUint(*jobs, "failed");
+    result.jobs.gangs_placed = RequireUint(*jobs, "gangs_placed");
+    result.jobs.gang_waits = RequireUint(*jobs, "gang_waits");
+    result.jobs.gangs_requeued = RequireUint(*jobs, "gangs_requeued");
+    result.jobs.gangs_abandoned = RequireUint(*jobs, "gangs_abandoned");
+    result.jobs.pending_peak = RequireUint(*jobs, "pending_peak");
+    result.jobs.gang_wait_seconds = RequireNumber(*jobs, "gang_wait_seconds");
   }
 
   if (const json::Value* counters = object.Find("counters")) {

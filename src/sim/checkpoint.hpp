@@ -52,7 +52,11 @@ namespace ecdra::sim {
 /// lines ("ecdra-scenario-fingerprint v4"), and trial records grew the
 /// domain-fault / migration scalars — a v4 store has none of these, so it
 /// cannot attest what its trials computed and carries no CRCs to salvage by.
-inline constexpr std::uint32_t kCheckpointSchemaVersion = 5;
+/// v6: the fingerprint preimage grew the job block (env.workload.jobs.*,
+/// run.jobs.placement; "ecdra-scenario-fingerprint v5") and trial records
+/// grew the "jobs" aggregate object — a v5 store cannot attest whether gang
+/// jobs and precedence chains shaped its trials.
+inline constexpr std::uint32_t kCheckpointSchemaVersion = 6;
 
 enum class CheckpointErrorKind {
   kIo,                  // cannot open / read / write the file

@@ -74,7 +74,6 @@ Engine::Engine(const cluster::Cluster& cluster,
       record.type = task.type;
       record.arrival = task.arrival;
       record.deadline = task.deadline;
-      record.priority = task.priority;
     }
   }
   scheduler_->SetObservability(core::SchedulerObservability{
@@ -136,6 +135,43 @@ Engine::Engine(const cluster::Cluster& cluster,
       }
     }
   }
+
+  // Job extension (src/workload/job.hpp): derive the JobGraph from the
+  // tasks' job/stage fields. A workload whose every job is degenerate
+  // demotes back to the task-level path — the event loop, the scheduler
+  // calls, and the result JSON are bit-identical to a pre-jobs build, and
+  // JobStats stays disabled.
+  jobs_enabled_ = options_.jobs.enabled;
+  if (jobs_enabled_) {
+    graph_ = workload::BuildJobGraph(tasks_);
+    bool any_gang = false;
+    for (const workload::Job& job : graph_.jobs) {
+      if (!job.degenerate()) {
+        any_gang = true;
+        break;
+      }
+    }
+    if (!any_gang) {
+      jobs_enabled_ = false;
+      graph_ = workload::JobGraph{};
+    } else {
+      job_of_.resize(tasks_.size());
+      job_runtime_.resize(graph_.size());
+      for (std::size_t j = 0; j < graph_.size(); ++j) {
+        const workload::Job& job = graph_.jobs[j];
+        const std::size_t first = job.stages.front().first_task;
+        const std::size_t total = job.total_tasks();
+        job_runtime_[j].tasks_remaining = total;
+        for (std::size_t id = first; id < first + total; ++id) {
+          job_of_[id] = j;
+        }
+      }
+      reserved_.assign(cluster.total_cores(), 0);
+      member_tallied_.assign(tasks_.size(), 0);
+      scheduler_->ConfigureGangs(options_.jobs.placement);
+      serializes_ = scheduler_->gang_placement()->Serializes();
+    }
+  }
 }
 
 TrialResult Engine::Run() {
@@ -159,10 +195,21 @@ TrialResult Engine::Run() {
   TrialResult result;
   result.window_size = tasks_.size();
 
-  events_.Reserve(tasks_.size() + injector_.events().size() + 1);
-  for (std::size_t i = 0; i < tasks_.size(); ++i) {
-    result.weighted_total += tasks_[i].priority;
-    events_.Push(Event{tasks_[i].arrival, 2, i, next_seq_++});
+  // Jobs mode seeds one kind-2 event per *job* (event.index is a job index;
+  // every member task shares the job's arrival), and weights the trial by
+  // job priorities — per-job deadline accounting replaces the per-task tally.
+  if (jobs_enabled_) {
+    events_.Reserve(graph_.size() + injector_.events().size() + 1);
+    for (std::size_t j = 0; j < graph_.size(); ++j) {
+      result.weighted_total += graph_.jobs[j].priority;
+      events_.Push(Event{graph_.jobs[j].arrival, 2, j, next_seq_++});
+    }
+  } else {
+    events_.Reserve(tasks_.size() + injector_.events().size() + 1);
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      result.weighted_total += tasks_[i].priority;
+      events_.Push(Event{tasks_[i].arrival, 2, i, next_seq_++});
+    }
   }
   for (std::size_t i = 0; i < injector_.events().size(); ++i) {
     events_.Push(Event{injector_.events()[i].time, 1, i, next_seq_++});
@@ -174,7 +221,8 @@ TrialResult Engine::Run() {
     events_.Push(Event{window_length_, 4, 0, next_seq_++});
   }
 
-  std::size_t arrivals_pending = tasks_.size();
+  std::size_t arrivals_pending = jobs_enabled_ ? graph_.size() : tasks_.size();
+  std::size_t fault_events_pending = injector_.events().size();
   double now = 0.0;
   while (!events_.empty()) {
     const Event event = events_.PopMin();
@@ -210,7 +258,11 @@ TrialResult Engine::Run() {
     now = event.time;
     if (event.kind == 2) {
       --arrivals_pending;
-      HandleArrival(tasks_[event.index], now);
+      if (jobs_enabled_) {
+        HandleJobArrival(event.index, now);
+      } else {
+        HandleArrival(tasks_[event.index], now);
+      }
       if (governor_enabled_ && cadence_.on_assignment) InvokeGovernor(now);
       if (options_.collect_robustness_trace) {
         // Sampled after the arrival is mapped, so the trace reflects the
@@ -231,7 +283,10 @@ TrialResult Engine::Run() {
             options_.energy_budget, scheduler_->estimator().remaining()});
       }
     } else if (event.kind == 1) {
+      --fault_events_pending;
       HandleFault(injector_.events()[event.index], now);
+      // A repair may have revived enough distinct cores for a waiting gang.
+      if (jobs_enabled_) TryPlacePendingGangs(now);
     } else if (event.kind == 3) {
       // Governor tick. The next one is only scheduled while work remains,
       // so trailing ticks cannot stretch the event loop past the workload.
@@ -264,23 +319,33 @@ TrialResult Engine::Run() {
       const bool within_energy =
           stream_enabled_ ? account_.available() >= 0.0
                           : (!exhausted_at_ || now <= *exhausted_at_);
-      if (on_time && within_energy) {
-        ++result.completed;
-        result.weighted_completed += task.priority;
-        if (fault_enabled_ && remapped_[task_id] != 0) ++remapped_on_time_;
-        if (fault_enabled_ && migrated_[task_id] != 0) ++migrated_on_time_;
-      } else if (!on_time) {
-        ++result.finished_late;
-      } else {
-        ++result.on_time_but_over_budget;
-      }
-      if (stream_enabled_) {
+      // A gang restart after a fault re-runs already-finished members; only
+      // a member's first finish counts toward the task-level buckets (the
+      // job-level verdict always uses the finish that actually happened).
+      const bool first_finish =
+          !jobs_enabled_ || member_tallied_[task_id] == 0;
+      if (jobs_enabled_) member_tallied_[task_id] = 1;
+      if (first_finish) {
         if (on_time && within_energy) {
-          ++window_.on_time;
+          ++result.completed;
+          // Jobs mode credits weighted completion once per job, when its
+          // last task finishes (OnMemberFinished), not per member task.
+          if (!jobs_enabled_) result.weighted_completed += task.priority;
+          if (fault_enabled_ && remapped_[task_id] != 0) ++remapped_on_time_;
+          if (fault_enabled_ && migrated_[task_id] != 0) ++migrated_on_time_;
         } else if (!on_time) {
-          ++window_.late;
+          ++result.finished_late;
         } else {
-          ++window_.over_energy;
+          ++result.on_time_but_over_budget;
+        }
+        if (stream_enabled_) {
+          if (on_time && within_energy) {
+            ++window_.on_time;
+          } else if (!on_time) {
+            ++window_.late;
+          } else {
+            ++window_.over_energy;
+          }
         }
       }
       --active_tasks_;
@@ -292,6 +357,12 @@ TrialResult Engine::Run() {
       }
       HandleFinish(flat, now);
       if (validator && validator->deep()) CheckQueueModelSync(flat, now);
+      if (jobs_enabled_) {
+        // Order matters: HandleFinish freed the core (and started any queued
+        // successor), so a stage release triggered here sees that capacity.
+        OnMemberFinished(task_id, on_time && within_energy, now);
+        TryPlacePendingGangs(now);
+      }
       // A completion freed capacity: give the most-owed penned task one
       // chance to re-enter (full scans wait for the window boundary).
       if (stream_enabled_ && !pen_.empty()) ReleasePen(now, false);
@@ -302,6 +373,15 @@ TrialResult Engine::Run() {
     // fault events, and trailing window boundaries.
     if (arrivals_pending == 0 && active_tasks_ == 0 &&
         (!stream_enabled_ || pen_.empty())) {
+      if (jobs_enabled_ && !pending_gangs_.empty()) {
+        // A still-queued repair can revive the distinct cores a waiting
+        // gang needs — keep consuming fault events before giving up.
+        if (fault_events_pending > 0) continue;
+        // Nothing else can free capacity: place what fits now and abandon
+        // the rest so the trial terminates.
+        DrainGangs(now);
+        if (active_tasks_ > 0) continue;
+      }
       break;
     }
   }
@@ -348,6 +428,13 @@ TrialResult Engine::Run() {
   result.migrated_on_time = migrated_on_time_;
   result.missed_deadlines = result.window_size - result.completed;
   result.weighted_missed = result.weighted_total - result.weighted_completed;
+  if (jobs_enabled_) {
+    job_stats_.enabled = true;
+    job_stats_.jobs = graph_.size();
+    result.jobs = job_stats_;
+    result.weighted_completed = weighted_jobs_completed_;
+    result.weighted_missed = result.weighted_total - result.weighted_completed;
+  }
   result.total_energy = post_hoc;
   result.energy_exhausted_at = exhausted_at_;
   result.estimated_energy_remaining = scheduler_->estimator().remaining();
@@ -586,6 +673,82 @@ void Engine::FailCores(std::span<const std::size_t> dead_cores, double now,
   }
   active_tasks_ -= running_stranded.size() + queued_stranded.size();
 
+  // Job extension: a dead member pulls back its whole in-flight gang — a
+  // rigid stage's outputs only commit when the entire stage completes, so
+  // surviving mates are aborted (their progress is wasted) and the gang
+  // re-enters the pending queue under requeue/migrate recovery.
+  // Already-finished members re-run with it; their job counts come back
+  // here and only their first finish tallies at task level. Width-1 stage
+  // members stay in running_stranded and take the per-task recovery below.
+  // Gang members never sit in a core's FIFO, so queued_stranded is
+  // untouched.
+  if (jobs_enabled_ && !serializes_) {
+    struct HitStage {
+      std::size_t job = 0;
+      std::size_t stage = 0;
+      std::vector<std::size_t> stranded;
+    };
+    std::vector<std::size_t> singles;
+    std::vector<HitStage> hit;
+    for (const std::size_t task_id : running_stranded) {
+      const std::size_t job_index = job_of_[task_id];
+      const JobRuntime& rt = job_runtime_[job_index];
+      ECDRA_ASSERT(rt.next_stage > 0,
+                   "stranded member of a never-released stage");
+      const std::size_t stage_index = rt.next_stage - 1;
+      if (graph_.jobs[job_index].stages[stage_index].width < 2) {
+        singles.push_back(task_id);
+        continue;
+      }
+      const auto it = std::find_if(
+          hit.begin(), hit.end(), [&](const HitStage& h) {
+            return h.job == job_index && h.stage == stage_index;
+          });
+      if (it == hit.end()) {
+        hit.push_back(HitStage{job_index, stage_index, {task_id}});
+      } else {
+        it->stranded.push_back(task_id);
+      }
+    }
+    running_stranded = std::move(singles);
+    const bool requeue_gangs =
+        options_.recovery_policy != fault::RecoveryPolicy::kDropQueued;
+    for (const HitStage& h : hit) {
+      const workload::JobStage& stage = graph_.jobs[h.job].stages[h.stage];
+      JobRuntime& rt = job_runtime_[h.job];
+      // Abort mates still running on live cores; their finish events are
+      // stale the moment the gang restarts. (Mates on dead cores were
+      // already cleaned up above.)
+      for (std::size_t m = 0; m < stage.width; ++m) {
+        const std::size_t member = stage.first_task + m;
+        for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+          if (runtime_[flat].busy &&
+              runtime_[flat].running.task_id == member) {
+            events_.RemoveFinish(flat);
+            --active_tasks_;
+            HandleFinish(flat, now);
+            break;
+          }
+        }
+      }
+      if (requeue_gangs && !rt.failed) {
+        // Whole-gang restart: every member re-runs, so the finished
+        // members' job counts come back before the gang re-queues.
+        rt.tasks_remaining += stage.width - rt.stage_remaining;
+        rt.stage_remaining = stage.width;
+        pending_gangs_.push_back(
+            PendingGang{h.job, h.stage, now, /*requeued=*/true});
+        ++job_stats_.gangs_requeued;
+        job_stats_.pending_peak =
+            std::max(job_stats_.pending_peak, pending_gangs_.size());
+      } else {
+        for (const std::size_t task_id : h.stranded) {
+          MarkTaskLost(task_id, now, trace_record);
+        }
+      }
+    }
+  }
+
   // Running tasks lost their progress and restart from scratch — under both
   // requeue and migrate they take the requeue path (which re-enters
   // streaming admission like a fresh arrival).
@@ -703,6 +866,8 @@ void Engine::MarkTaskLost(std::size_t task_id, double now,
     record.lost_to_failure = true;
     record.finish_time = now;
   }
+  // A lost member dooms its whole job: no later stage can complete.
+  if (jobs_enabled_) FailJob(job_of_[task_id], now);
 }
 
 void Engine::ApplyExecFloor(std::size_t flat_core, double now) {
@@ -751,6 +916,7 @@ void Engine::HandleFinish(std::size_t flat_core, double now) {
         record.cancelled = true;
         record.finish_time = now;
       }
+      if (jobs_enabled_) FailJob(job_of_[cancelled_id], now);
     }
   }
   if (!core.pending.empty()) {
@@ -1068,6 +1234,7 @@ void Engine::ReleasePen(double now, bool full_scan) {
       // Expired in the pen: a certain miss not worth a mapping attempt.
       pen_.Remove(penned.task_id);
       DropAtAdmission(penned.task_id, now);
+      if (jobs_enabled_) FailJob(job_of_[penned.task_id], now);
       continue;
     }
     const stream::AdmissionVerdict verdict = DecideAdmission(task, now);
@@ -1078,17 +1245,19 @@ void Engine::ReleasePen(double now, bool full_scan) {
     pen_.Remove(penned.task_id);
     if (verdict == stream::AdmissionVerdict::kDrop) {
       DropAtAdmission(penned.task_id, now);
+      if (jobs_enabled_) FailJob(job_of_[penned.task_id], now);
       continue;
     }
     if (verdict == stream::AdmissionVerdict::kAdmitForced) {
       ++stream_stats_.forced_admissions;
     }
-    if (TryRemap(task, now)) {
+    if (ReleasePenned(task, now)) {
       ++stream_stats_.released;
       ++window_.released;
     } else {
       // The mapping pipeline found nothing feasible for it either.
       DropAtAdmission(penned.task_id, now);
+      if (jobs_enabled_) FailJob(job_of_[penned.task_id], now);
     }
     // A head-only scan (completion-triggered) releases at most one task.
     if (!full_scan) break;
@@ -1099,12 +1268,13 @@ void Engine::DrainPen(double now) {
   for (const stream::PennedTask& penned : pen_.InPriorityOrder(now)) {
     pen_.Remove(penned.task_id);
     const workload::Task& task = tasks_[penned.task_id];
-    if (task.deadline > now && TryRemap(task, now)) {
+    if (task.deadline > now && ReleasePenned(task, now)) {
       ++stream_stats_.released;
       ++stream_stats_.forced_admissions;
       ++window_.released;
     } else {
       DropAtAdmission(penned.task_id, now);
+      if (jobs_enabled_) FailJob(job_of_[penned.task_id], now);
     }
   }
 }
@@ -1155,6 +1325,304 @@ double Engine::SampleActualDuration(const workload::Task& task,
   // through their decisions, not through sampling noise.
   util::RngStream stream = rng_.Substream("exec-u", task.id);
   return types_->ExecPmf(task.type, node, pstate).Sample(stream);
+}
+
+void Engine::HandleJobArrival(std::size_t job_index, double now) {
+  const workload::Job& job = graph_.jobs[job_index];
+  const std::size_t total = job.total_tasks();
+  if (stream_enabled_) {
+    window_.arrivals += total;
+    if (admission_active_) {
+      // Admission rules once for the whole job, on its first task as the
+      // representative (members share arrival, deadline, and type layout
+      // per stage). A refused job consumes every member's arrival-window
+      // slot up front (prepaid) — later stage releases re-enter through
+      // the remap pipeline and never touch the window again.
+      const workload::Task& rep = tasks_[job.stages.front().first_task];
+      switch (DecideAdmission(rep, now)) {
+        case stream::AdmissionVerdict::kDefer:
+          for (std::size_t i = 0; i < total; ++i) scheduler_->SkipTask();
+          job_runtime_[job_index].prepaid = true;
+          DeferToPen(rep);
+          return;
+        case stream::AdmissionVerdict::kDrop: {
+          for (std::size_t i = 0; i < total; ++i) scheduler_->SkipTask();
+          job_runtime_[job_index].prepaid = true;
+          const std::size_t first = job.stages.front().first_task;
+          for (std::size_t id = first; id < first + total; ++id) {
+            DropAtAdmission(id, now);
+          }
+          FailJob(job_index, now);
+          return;
+        }
+        case stream::AdmissionVerdict::kAdmitForced:
+          ++stream_stats_.forced_admissions;
+          break;
+        case stream::AdmissionVerdict::kAdmit:
+          break;
+      }
+    }
+    window_.admitted += total;
+  }
+  ReleaseStage(job_index, 0, now, /*requeued=*/false);
+}
+
+void Engine::ReleaseStage(std::size_t job_index, std::size_t stage_index,
+                          double now, bool requeued) {
+  const workload::Job& job = graph_.jobs[job_index];
+  JobRuntime& rt = job_runtime_[job_index];
+  ECDRA_ASSERT(rt.next_stage == stage_index, "stage released out of order");
+  const workload::JobStage& stage = job.stages[stage_index];
+  rt.next_stage = stage_index + 1;
+  rt.stage_remaining = stage.width;
+  // Prepaid jobs (streaming defer/drop consumed every slot at admission)
+  // re-enter through the remap pipeline, exactly like a pen release.
+  const bool remap = requeued || rt.prepaid;
+  if (stage.width == 1 || serializes_) {
+    // Width-1 stage, or the "serial" ablation placement: members take the
+    // ordinary per-task pipeline one by one. A discarded member fails the
+    // job; the rest still map (they were released and consume their slots).
+    for (std::size_t m = 0; m < stage.width; ++m) {
+      const workload::Task& member = tasks_[stage.first_task + m];
+      bool placed = false;
+      if (remap) {
+        placed = TryRemap(member, now);
+      } else {
+        const std::optional<core::Candidate> chosen =
+            scheduler_->MapTask(member, now, models_, AvailabilityView());
+        if (chosen) {
+          PlaceOnCore(*chosen, member, now);
+          placed = true;
+        }
+      }
+      if (!placed) FailJob(job_index, now);
+    }
+    return;
+  }
+  pending_gangs_.push_back(
+      PendingGang{job_index, stage_index, now, requeued});
+  job_stats_.pending_peak =
+      std::max(job_stats_.pending_peak, pending_gangs_.size());
+  TryPlacePendingGangs(now);
+}
+
+void Engine::TryPlacePendingGangs(double now) {
+  if (pending_gangs_.empty()) return;
+  // Reservations live for one sweep: a senior (FIFO-older) still-waiting
+  // gang pins its feasible cores so junior gangs in the same sweep cannot
+  // backfill them; per-task work (width-1 stages, recovery remaps) still
+  // queues freely on busy cores and never consults the reservations.
+  std::fill(reserved_.begin(), reserved_.end(), std::uint8_t{0});
+  std::deque<PendingGang> keep;
+  while (!pending_gangs_.empty()) {
+    PendingGang gang = pending_gangs_.front();
+    pending_gangs_.pop_front();
+    const workload::Job& job = graph_.jobs[gang.job];
+    if (job_runtime_[gang.job].failed || job.deadline < now ||
+        job.stages[gang.stage].width > runtime_.size()) {
+      AbandonGang(gang, now);
+      continue;
+    }
+    const core::GangOutcome outcome = AttemptGang(gang, now);
+    if (outcome.status == core::GangStatus::kPlaced) {
+      CommitGang(gang, outcome, now);
+      continue;
+    }
+    if (outcome.status == core::GangStatus::kInfeasible) {
+      AbandonGang(gang, now);
+      continue;
+    }
+    if (!gang.waited) {
+      gang.waited = true;
+      ++job_stats_.gang_waits;
+    }
+    for (const std::size_t flat : outcome.feasible_cores) {
+      reserved_[flat] = 1;
+    }
+    keep.push_back(gang);
+  }
+  pending_gangs_ = std::move(keep);
+}
+
+core::GangOutcome Engine::AttemptGang(const PendingGang& gang, double now) {
+  const workload::Job& job = graph_.jobs[gang.job];
+  const workload::JobStage& stage = job.stages[gang.stage];
+  // Gang members must start simultaneously *now*: busy cores (queueing
+  // would stagger the starts) and cores reserved by senior waiting gangs
+  // are unavailable on top of the fault/governor/emergency mask.
+  const std::span<const core::CoreAvailability> base = AvailabilityView();
+  gang_availability_.assign(runtime_.size(), core::CoreAvailability{});
+  for (std::size_t flat = 0; flat < runtime_.size(); ++flat) {
+    if (!base.empty()) gang_availability_[flat] = base[flat];
+    if (runtime_[flat].busy || reserved_[flat] != 0) {
+      gang_availability_[flat].available = false;
+    }
+  }
+  const std::span<const workload::Task> members =
+      std::span<const workload::Task>(tasks_).subspan(stage.first_task,
+                                                      stage.width);
+  const std::optional<pmf::Pmf> tail = ChainTailPmf(job, gang.stage);
+  return scheduler_->MapGang(
+      members, now, models_, gang_availability_, tail ? &*tail : nullptr,
+      gang.requeued || job_runtime_[gang.job].prepaid);
+}
+
+void Engine::CommitGang(const PendingGang& gang,
+                        const core::GangOutcome& outcome, double now) {
+  const workload::JobStage& stage =
+      graph_.jobs[gang.job].stages[gang.stage];
+  for (std::size_t m = 0; m < stage.width; ++m) {
+    const workload::Task& member = tasks_[stage.first_task + m];
+    PlaceOnCore(outcome.members[m], member, now);
+    if (gang.requeued) {
+      ++tasks_remapped_;
+      obs::Bump(&obs::Counters::tasks_remapped);
+      if (fault_enabled_) remapped_[member.id] = 1;
+      if (options_.collect_task_records) records_[member.id].remapped = true;
+    }
+  }
+  ++job_stats_.gangs_placed;
+  job_stats_.gang_wait_seconds += now - gang.released_at;
+}
+
+void Engine::AbandonGang(const PendingGang& gang, double now) {
+  ++job_stats_.gangs_abandoned;
+  const workload::JobStage& stage =
+      graph_.jobs[gang.job].stages[gang.stage];
+  if (gang.requeued) {
+    // A fault pulled the gang back and no placement ever stuck: every
+    // member is lost to the failure (MarkTaskLost fails the job).
+    obs::FaultEventRecord scratch;
+    for (std::size_t m = 0; m < stage.width; ++m) {
+      MarkTaskLost(stage.first_task + m, now, scratch);
+    }
+    return;
+  }
+  if (job_runtime_[gang.job].prepaid) {
+    for (std::size_t m = 0; m < stage.width; ++m) {
+      DropAtAdmission(stage.first_task + m, now);
+    }
+  } else {
+    // The stage was released (FailJob below only discards *unreleased*
+    // stages) but never mapped: its members consume their window slots as
+    // discards here.
+    scheduler_->DiscardTasks(stage.width);
+  }
+  FailJob(gang.job, now);
+}
+
+void Engine::DrainGangs(double now) {
+  TryPlacePendingGangs(now);
+  if (active_tasks_ > 0) return;
+  while (!pending_gangs_.empty()) {
+    const PendingGang gang = pending_gangs_.front();
+    pending_gangs_.pop_front();
+    AbandonGang(gang, now);
+  }
+}
+
+void Engine::FailJob(std::size_t job_index, double now) {
+  (void)now;
+  JobRuntime& rt = job_runtime_[job_index];
+  if (rt.failed) return;
+  rt.failed = true;
+  if (!rt.counted) {
+    rt.counted = true;
+    ++job_stats_.jobs_failed;
+  }
+  if (rt.prepaid) return;
+  const workload::Job& job = graph_.jobs[job_index];
+  std::size_t unreleased = 0;
+  for (std::size_t s = rt.next_stage; s < job.stages.size(); ++s) {
+    unreleased += job.stages[s].width;
+  }
+  if (unreleased > 0) scheduler_->DiscardTasks(unreleased);
+}
+
+void Engine::OnMemberFinished(std::size_t task_id, bool ok, double now) {
+  const std::size_t job_index = job_of_[task_id];
+  const workload::Job& job = graph_.jobs[job_index];
+  JobRuntime& rt = job_runtime_[job_index];
+  ECDRA_ASSERT(rt.stage_remaining > 0 && rt.tasks_remaining > 0,
+               "job member finished outside its released stage");
+  --rt.stage_remaining;
+  --rt.tasks_remaining;
+  if (rt.tasks_remaining == 0) {
+    // The job's last finisher settles the per-job verdict: members share
+    // the deadline, so the last one on time implies all were (and budget
+    // exhaustion is monotone, so within-energy carries over too).
+    if (!rt.counted) {
+      rt.counted = true;
+      if (ok && !rt.failed) {
+        ++job_stats_.jobs_on_time;
+        weighted_jobs_completed_ += job.priority;
+      } else {
+        ++job_stats_.jobs_late;
+      }
+    }
+    return;
+  }
+  if (rt.stage_remaining == 0 && !rt.failed &&
+      rt.next_stage < job.stages.size()) {
+    ReleaseStage(job_index, rt.next_stage, now, /*requeued=*/false);
+  }
+}
+
+std::optional<pmf::Pmf> Engine::ChainTailPmf(const workload::Job& job,
+                                             std::size_t stage_index) const {
+  if (stage_index + 1 >= job.stages.size()) return std::nullopt;
+  // Optimistic remaining-chain completion pmf: per later stage, the fastest
+  // node's exec pmf at the fastest P-state, max-folded across the stage's
+  // siblings, convolved along the chain. Optimism is deliberate — the joint
+  // robustness check may only *remove* gangs the paper's per-task filter
+  // would have accepted for cause, never reject on pessimistic guesses
+  // about unmade placement decisions.
+  std::optional<pmf::Pmf> tail;
+  for (std::size_t s = stage_index + 1; s < job.stages.size(); ++s) {
+    const workload::JobStage& stage = job.stages[s];
+    const std::size_t type = tasks_[stage.first_task].type;
+    std::size_t best_node = 0;
+    double best_mean = types_->MeanExec(type, 0, 0);
+    for (std::size_t node = 1; node < cluster_->num_nodes(); ++node) {
+      const double mean = types_->MeanExec(type, node, 0);
+      if (mean < best_mean) {
+        best_mean = mean;
+        best_node = node;
+      }
+    }
+    pmf::Pmf stage_pmf = types_->ExecPmf(type, best_node, 0);
+    for (std::size_t w = 1; w < stage.width; ++w) {
+      pmf::MaxInto(stage_pmf, types_->ExecPmf(type, best_node, 0),
+                   pmf::Pmf::kDefaultMaxImpulses, stage_pmf);
+    }
+    if (!tail) {
+      tail.emplace(std::move(stage_pmf));
+    } else {
+      pmf::ConvolveInto(*tail, stage_pmf, pmf::Pmf::kDefaultMaxImpulses,
+                        *tail);
+    }
+  }
+  return tail;
+}
+
+bool Engine::ReleasePenned(const workload::Task& task, double now) {
+  if (!jobs_enabled_) return TryRemap(task, now);
+  const std::size_t job_index = job_of_[task.id];
+  JobRuntime& rt = job_runtime_[job_index];
+  if (rt.failed) return false;
+  if (rt.next_stage == 0) {
+    // The penned id is a deferred job's representative: the whole job
+    // starts now, stage 0 first. A gang stage counts as released the
+    // moment it joins the pending queue.
+    ReleaseStage(job_index, 0, now, /*requeued=*/false);
+    return !rt.failed;
+  }
+  // A mid-flight width-1 member the fault-recovery path deferred.
+  if (!TryRemap(task, now)) {
+    FailJob(job_index, now);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ecdra::sim

@@ -47,6 +47,7 @@
 #include "stream/stream_config.hpp"
 #include "util/rng.hpp"
 #include "validate/validation.hpp"
+#include "workload/job.hpp"
 #include "workload/task.hpp"
 #include "workload/task_type_table.hpp"
 
@@ -148,6 +149,19 @@ struct TrialOptions {
   /// caller sets it to the total accrual over the arrival horizon) but the
   /// within-energy test becomes the account balance, not a fixed cutoff.
   stream::StreamConfig stream;
+  /// Job extension (src/workload/job.hpp): treat the task vector as gang +
+  /// precedence jobs derived from the tasks' job/stage fields.
+  struct JobOptions {
+    /// Derive the JobGraph and run the job-level event path. A workload
+    /// whose every job is degenerate (1 stage, width 1) demotes back to the
+    /// exact task-level path — bit-identical to a pre-jobs build.
+    bool enabled = false;
+    /// Gang-placement policy by registered name
+    /// (core::GangPlacementRegistry): "pack", "spread", or the "serial"
+    /// ablation baseline that maps members through the per-task pipeline.
+    std::string placement = "pack";
+  };
+  JobOptions jobs;
 };
 
 class Engine : private governor::GovernorHost {
@@ -290,6 +304,67 @@ class Engine : private governor::GovernorHost {
   [[nodiscard]] double SampleActualDuration(const workload::Task& task,
                                             std::size_t node,
                                             cluster::PStateIndex pstate);
+  // -- Job extension (src/workload/job.hpp; all inert when jobs_enabled_
+  // is false) --
+  /// A released stage waiting for `width` simultaneously-free cores.
+  struct PendingGang {
+    std::size_t job = 0;
+    std::size_t stage = 0;
+    /// When the stage became ready (gang_wait_seconds measures from here).
+    double released_at = 0.0;
+    /// Pulled back by a core/domain failure (members already consumed their
+    /// arrival-window slots and count as remapped when placed again).
+    bool requeued = false;
+    /// Already tallied into gang_waits (first kWait only).
+    bool waited = false;
+  };
+  /// Arrival of one whole job: streaming admission rules once for the job,
+  /// then stage 0 is released.
+  void HandleJobArrival(std::size_t job_index, double now);
+  /// Stage `stage_index` became ready: width-1 stages map through the
+  /// ordinary per-task pipeline, wider stages become an all-or-nothing gang
+  /// (or map per-task under the "serial" ablation placement).
+  void ReleaseStage(std::size_t job_index, std::size_t stage_index,
+                    double now, bool requeued);
+  /// One placement attempt for a pending gang: builds the gang availability
+  /// mask (dead, busy, and reserved cores excluded) and the remaining-chain
+  /// pmf, then runs the scheduler's joint pipeline.
+  [[nodiscard]] core::GangOutcome AttemptGang(const PendingGang& gang,
+                                              double now);
+  /// Commits a placed gang: every member starts simultaneously on its
+  /// chosen (idle) core.
+  void CommitGang(const PendingGang& gang, const core::GangOutcome& outcome,
+                  double now);
+  /// FIFO sweep of the pending gangs with reservation-aware backfill: a
+  /// still-waiting gang reserves its feasible cores so later (narrower)
+  /// gangs in the same sweep cannot steal them; expired and infeasible
+  /// gangs are abandoned.
+  void TryPlacePendingGangs(double now);
+  /// End-of-trial drain: with no arrivals, assigned work, or penned tasks
+  /// left, one final sweep places what fits; if nothing placed, no future
+  /// event can free capacity and the rest are abandoned.
+  void DrainGangs(double now);
+  /// Gives up on a pending gang (deadline expired, joint infeasibility, or
+  /// the end-of-trial drain) and fails its job.
+  void AbandonGang(const PendingGang& gang, double now);
+  /// Marks the job failed exactly once: tasks of never-released stages
+  /// consume their arrival-window slots as discards (unless the job's slots
+  /// were prepaid by streaming admission).
+  void FailJob(std::size_t job_index, double now);
+  /// Per-member completion bookkeeping: releases the successor stage when
+  /// the released stage drains, and settles the per-job on-time/late
+  /// verdict on the job's last finisher.
+  void OnMemberFinished(std::size_t task_id, bool ok, double now);
+  /// Optimistic completion pmf of the stages after `stage_index`: per stage
+  /// the fastest node's exec pmf at the fastest P-state, max-folded to the
+  /// stage width (siblings), suffix-convolved along the chain. Empty for
+  /// the final stage.
+  [[nodiscard]] std::optional<pmf::Pmf> ChainTailPmf(
+      const workload::Job& job, std::size_t stage_index) const;
+  /// Pen-release hook: a penned id may represent a whole not-yet-started
+  /// job (released as stage 0) or a mid-flight member (ordinary remap).
+  /// Returns false when nothing was placed or queued (the job failed).
+  [[nodiscard]] bool ReleasePenned(const workload::Task& task, double now);
   /// Deep check: the scheduler's CoreQueueModel for `flat_core` must mirror
   /// the engine's ground truth (busy flag, running task id, queue depth).
   void CheckQueueModelSync(std::size_t flat_core, double now) const;
@@ -378,6 +453,45 @@ class Engine : private governor::GovernorHost {
   };
   WindowAccumulator window_;
   StreamStats stream_stats_;
+  // -- Job extension state (inert when jobs_enabled_ is false) --
+  bool jobs_enabled_ = false;
+  /// Mirror of the placement policy's Serializes(): gang members take the
+  /// ordinary per-task pipeline (the ablation baseline).
+  bool serializes_ = false;
+  workload::JobGraph graph_;
+  /// Task id -> job index (sized only in jobs mode).
+  std::vector<std::size_t> job_of_;
+  /// Mutable per-job progress.
+  struct JobRuntime {
+    /// Unfinished tasks of the currently released stage.
+    std::size_t stage_remaining = 0;
+    /// Stages [0, next_stage) have been released.
+    std::size_t next_stage = 0;
+    /// Unfinished tasks across all stages (0 = the job completed).
+    std::size_t tasks_remaining = 0;
+    bool failed = false;
+    /// Tallied into exactly one of jobs_on_time/jobs_late/jobs_failed.
+    bool counted = false;
+    /// Streaming admission consumed every member's arrival-window slot up
+    /// front (defer/drop rule once per job); later releases re-enter
+    /// through the remap pipeline and failures skip DiscardTasks.
+    bool prepaid = false;
+  };
+  std::vector<JobRuntime> job_runtime_;
+  std::deque<PendingGang> pending_gangs_;
+  /// Cores reserved by waiting gangs during the current sweep; gang
+  /// placement skips them, narrower per-task work still queues freely.
+  std::vector<std::uint8_t> reserved_;
+  /// Scratch availability mask handed to MapGang.
+  std::vector<core::CoreAvailability> gang_availability_;
+  JobStats job_stats_;
+  /// Priority-weighted completed jobs (jobs mode replaces the per-task
+  /// weighted tallies with per-job ones).
+  double weighted_jobs_completed_ = 0.0;
+  /// Task ids already tallied into the task-level result buckets: a gang
+  /// restart after a fault re-runs already-finished members, and only their
+  /// first finish may count (jobs mode only).
+  std::vector<std::uint8_t> member_tallied_;
   /// Tasks currently assigned to some core (running or queued); lets the
   /// event loop stop once all work is resolved instead of draining
   /// trailing fault events.

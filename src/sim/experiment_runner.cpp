@@ -85,6 +85,7 @@ RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec) {
   options.fault = spec.fault;
   options.fault_domains = spec.fault_domains;
   options.recovery = spec.recovery;
+  options.gang_placement = spec.jobs_placement;
   options.governor = spec.governor;
   options.mode = spec.mode;
   options.stream = spec.stream;
@@ -117,11 +118,16 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
                     stream_config.energy_rate * tasks.back().arrival;
   }
 
+  // The scheduler's arrival window is the trial's actual task count: with
+  // jobs enabled each arrival event expands into that job's stage tasks (so
+  // the count varies per trial); with jobs disabled it equals
+  // setup.window_size exactly.
+  const std::size_t trial_window = tasks.size();
   core::ImmediateModeScheduler scheduler(
       setup.cluster, setup.types,
       core::MakeHeuristic(heuristic, trial_rng.Substream("heuristic")),
       core::MakeFilterChain(filter_variant, options.filter_options),
-      energy_budget, setup.window_size);
+      energy_budget, trial_window);
 
   TrialOptions trial_options{
       .energy_budget = energy_budget,
@@ -141,6 +147,8 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       .trial_timeout = options.trial_timeout,
       .governor = options.governor,
       .stream = stream_config,
+      .jobs = {.enabled = setup.workload.jobs.enabled,
+               .placement = options.gang_placement},
   };
   if (options.fault.enabled()) {
     // The fault schedule draws only from the trial's "fault" substream, so

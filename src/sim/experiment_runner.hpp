@@ -106,6 +106,11 @@ struct RunOptions {
   /// one-line diagnostic (policy::RequireStreamCompatible).
   policy::RunMode mode = policy::RunMode::kFixedTrace;
   policy::StreamSpec stream;
+  /// Job extension (src/workload/job.hpp): registered gang-placement policy
+  /// used when the workload's job shapes are enabled ("pack" fills node by
+  /// node, "spread" round-robins across nodes, "serial" is the no-gang
+  /// ablation that maps members through the per-task pipeline).
+  std::string gang_placement = "pack";
 
   // -- Crash-safe sweep extensions (RunSweep; all inert by default) --
   /// Per-attempt wall-clock watchdog in real seconds (0 = off). A trial

@@ -49,6 +49,18 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
        << ", min_available=" << result.stream.min_available
        << ", final_available=" << result.stream.final_available << "}";
   }
+  if (result.jobs.enabled) {
+    os << ", jobs{total=" << result.jobs.jobs
+       << ", on_time=" << result.jobs.jobs_on_time
+       << ", late=" << result.jobs.jobs_late
+       << ", failed=" << result.jobs.jobs_failed
+       << ", gangs_placed=" << result.jobs.gangs_placed
+       << ", gang_waits=" << result.jobs.gang_waits
+       << ", gangs_requeued=" << result.jobs.gangs_requeued
+       << ", gangs_abandoned=" << result.jobs.gangs_abandoned
+       << ", pending_peak=" << result.jobs.pending_peak
+       << ", gang_wait_s=" << result.jobs.gang_wait_seconds << "}";
+  }
   if (!result.validation.ok()) {
     os << ", validation=" << result.validation;
   }
@@ -83,6 +95,12 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
     summary.mean_stream_released += static_cast<double>(trial.stream.released);
     summary.mean_emergency_seconds += trial.stream.emergency_seconds;
     summary.mean_degraded_seconds += trial.stream.degraded_seconds;
+    if (trial.jobs.enabled) ++summary.job_trials;
+    summary.mean_jobs_on_time += static_cast<double>(trial.jobs.jobs_on_time);
+    summary.mean_jobs_failed += static_cast<double>(trial.jobs.jobs_failed);
+    summary.mean_gangs_placed += static_cast<double>(trial.jobs.gangs_placed);
+    summary.mean_gang_waits += static_cast<double>(trial.jobs.gang_waits);
+    summary.mean_gang_wait_seconds += trial.jobs.gang_wait_seconds;
     summary.counters.Merge(trial.counters);
     summary.validation_checks += trial.validation.checks_run;
     summary.validation_violations += trial.validation.violations;
@@ -106,6 +124,11 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
   summary.mean_stream_released /= n;
   summary.mean_emergency_seconds /= n;
   summary.mean_degraded_seconds /= n;
+  summary.mean_jobs_on_time /= n;
+  summary.mean_jobs_failed /= n;
+  summary.mean_gangs_placed /= n;
+  summary.mean_gang_waits /= n;
+  summary.mean_gang_wait_seconds /= n;
   return summary;
 }
 
@@ -138,6 +161,14 @@ std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
     if (summary.mean_degraded_seconds > 0.0) {
       os << ", mean_degraded_seconds=" << summary.mean_degraded_seconds;
     }
+  }
+  if (summary.job_trials > 0) {
+    os << ", job_trials=" << summary.job_trials
+       << ", mean_jobs_on_time=" << summary.mean_jobs_on_time
+       << ", mean_jobs_failed=" << summary.mean_jobs_failed
+       << ", mean_gangs_placed=" << summary.mean_gangs_placed
+       << ", mean_gang_waits=" << summary.mean_gang_waits
+       << ", mean_gang_wait_seconds=" << summary.mean_gang_wait_seconds;
   }
   if (summary.failed_trials > 0 || summary.retried_trials > 0 ||
       summary.timed_out_trials > 0) {

@@ -26,7 +26,9 @@ struct TaskRecord {
   std::size_t type = 0;
   double arrival = 0.0;
   double deadline = 0.0;
-  double priority = 1.0;
+  // (No priority copy here: priority is a per-job property of the workload
+  // Task; consumers join through the trial's task list instead of a
+  // duplicated field that can drift.)
   bool assigned = false;
   std::size_t flat_core = 0;
   cluster::PStateIndex pstate = 0;
@@ -91,6 +93,43 @@ struct StreamStats {
   friend bool operator==(const StreamStats&, const StreamStats&) = default;
 };
 
+/// Job-level scalars of one trial (src/workload/job.hpp). `enabled` is set
+/// only when the workload actually contains a non-degenerate job, so
+/// independent-task trials — including job-mode runs with degenerate
+/// {1@1}x{1@1} shapes — keep their result JSON byte-identical to the
+/// pre-jobs format.
+struct JobStats {
+  bool enabled = false;
+  /// Jobs in the trial (== arrival events in job mode).
+  std::size_t jobs = 0;
+  /// Jobs whose every task completed, with the last finisher on time and
+  /// within budget — the per-job analogue of the paper's success count.
+  std::size_t jobs_on_time = 0;
+  /// Jobs that completed every task but whose last finisher missed the
+  /// deadline or landed past budget exhaustion.
+  std::size_t jobs_late = 0;
+  /// Jobs that lost at least one task (discard, admission drop, cancel,
+  /// fault loss, or gang abandonment) and can never complete.
+  std::size_t jobs_failed = 0;
+  /// Width >= 2 gangs started (all-or-nothing simultaneous placement).
+  std::size_t gangs_placed = 0;
+  /// Gang placement attempts that found no width-sized feasible core set
+  /// and went back to the pending queue to wait.
+  std::size_t gang_waits = 0;
+  /// Gangs whose members were pulled back by a fault and re-entered the
+  /// pending queue (requeue/migrate recovery).
+  std::size_t gangs_requeued = 0;
+  /// Pending gangs abandoned — deadline passed while waiting, joint
+  /// feasibility unreachable, or end-of-trial drain found no placement.
+  std::size_t gangs_abandoned = 0;
+  /// Deepest the pending-gang queue ever got.
+  std::size_t pending_peak = 0;
+  /// Total seconds gangs spent waiting between release and start.
+  double gang_wait_seconds = 0.0;
+
+  friend bool operator==(const JobStats&, const JobStats&) = default;
+};
+
 struct TrialResult {
   std::size_t window_size = 0;
   /// Tasks that completed by their deadline before the energy budget ran out
@@ -151,6 +190,9 @@ struct TrialResult {
   /// Streaming-mode aggregates (enabled == false in fixed-trace runs).
   StreamStats stream;
 
+  /// Job-level aggregates (enabled == false for independent-task trials).
+  JobStats jobs;
+
   std::vector<TaskRecord> task_records;  // empty unless requested
   std::vector<RobustnessSample> robustness_trace;  // empty unless requested
   /// Scheduler/engine/pmf observability counters (all-zero unless
@@ -193,6 +235,14 @@ struct SummaryStatistics {
   double mean_stream_released = 0.0;
   double mean_emergency_seconds = 0.0;
   double mean_degraded_seconds = 0.0;
+  // -- Job extension (all zero for independent-task trials) --
+  /// Trials whose workload contained a non-degenerate job.
+  std::size_t job_trials = 0;
+  double mean_jobs_on_time = 0.0;
+  double mean_jobs_failed = 0.0;
+  double mean_gangs_placed = 0.0;
+  double mean_gang_waits = 0.0;
+  double mean_gang_wait_seconds = 0.0;
   /// Counters summed over all trials (all-zero when collection was off).
   obs::Counters counters;
   /// Invariant-validation totals over all trials (zero when validation off).

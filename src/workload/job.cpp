@@ -1,0 +1,70 @@
+#include "workload/job.hpp"
+
+#include <string>
+
+#include "util/assert.hpp"
+
+namespace ecdra::workload {
+namespace {
+
+[[noreturn]] void BadTask(std::size_t id, const char* what) {
+  throw std::invalid_argument("task " + std::to_string(id) + ": " + what);
+}
+
+}  // namespace
+
+bool AllTasksDegenerate(std::span<const Task> tasks) {
+  for (const Task& task : tasks) {
+    if (!IsDegenerateJobTask(task)) return false;
+  }
+  return true;
+}
+
+JobGraph BuildJobGraph(std::span<const Task> tasks) {
+  JobGraph graph;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& task = tasks[i];
+    const std::size_t job_id = graph.jobs.size();
+    const bool starts_job = graph.jobs.empty() || task.job == kSelfJob ||
+                            tasks[i - 1].job == kSelfJob ||
+                            task.job != tasks[i - 1].job;
+    if (starts_job) {
+      if (task.job != kSelfJob && task.job != job_id) {
+        BadTask(i, "job ids must be dense over contiguous task ranges");
+      }
+      if (task.stage != 0) BadTask(i, "a job must begin at stage 0");
+      Job job;
+      job.id = job_id;
+      job.arrival = task.arrival;
+      job.deadline = task.deadline;
+      job.priority = task.priority;
+      job.stages.push_back(JobStage{i, 1});
+      graph.jobs.push_back(std::move(job));
+      continue;
+    }
+    Job& job = graph.jobs.back();
+    if (task.job != job.id) {
+      BadTask(i, "job ids must be dense over contiguous task ranges");
+    }
+    if (task.arrival != job.arrival || task.deadline != job.deadline ||
+        task.priority != job.priority) {
+      BadTask(i,
+              "every member of a job must share its arrival, deadline, and "
+              "priority");
+    }
+    JobStage& last = job.stages.back();
+    if (task.stage == job.stages.size() - 1) {
+      if (task.type != tasks[last.first_task].type) {
+        BadTask(i, "every member of a stage must share its task type");
+      }
+      ++last.width;
+    } else if (task.stage == job.stages.size()) {
+      job.stages.push_back(JobStage{i, 1});
+    } else {
+      BadTask(i, "stage indices must be contiguous and non-decreasing");
+    }
+  }
+  return graph;
+}
+
+}  // namespace ecdra::workload

@@ -1,0 +1,81 @@
+// Job-level workload model: a job is a chain of stages, each stage a gang
+// of `width >= 1` tasks of one type that must start simultaneously on
+// distinct cores; stage s becomes ready when every task of stage s-1 has
+// completed. The chain shape covers the map->reduce family (a wide map
+// stage followed by a width-1 reduce) from Bampis et al. (arXiv:1402.2810)
+// and rigid `nb_hosts`-style gangs (Casanova, Stillwell & Vivien,
+// arXiv:1106.4985) as the single-stage case. The degenerate
+// 1-stage/width-1 job is exactly the paper's independent task.
+//
+// Jobs are not a parallel data structure to the trial's task vector: every
+// stage member IS a workload::Task (same flat ids, same arrival order), and
+// a JobGraph is derived from the tasks' `job`/`stage` fields. Deadline and
+// priority are per-job properties replicated onto every member task; the
+// job's completion time is the max across the final stage (which the pmf
+// layer models with MaxInto — max across siblings, convolution along the
+// chain).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace ecdra::workload {
+
+/// One gang: `width` consecutive tasks (flat ids `first_task` ..
+/// `first_task + width - 1`) of a single type that must start together on
+/// distinct cores.
+struct JobStage {
+  std::size_t first_task = 0;
+  std::size_t width = 1;
+};
+
+/// One job: a chain of stages over a contiguous task-id range, with the
+/// arrival/deadline/priority shared by every member task.
+struct Job {
+  /// Index into JobGraph::jobs (== the `job` field of every member task).
+  std::size_t id = 0;
+  double arrival = 0.0;
+  double deadline = 0.0;
+  double priority = 1.0;
+  std::vector<JobStage> stages;
+
+  [[nodiscard]] std::size_t total_tasks() const {
+    std::size_t n = 0;
+    for (const JobStage& stage : stages) n += stage.width;
+    return n;
+  }
+  /// True for the 1-stage/width-1 shape that behaves exactly like a
+  /// pre-jobs independent task.
+  [[nodiscard]] bool degenerate() const {
+    return stages.size() == 1 && stages.front().width == 1;
+  }
+};
+
+/// The per-trial job view of a task vector.
+struct JobGraph {
+  std::vector<Job> jobs;
+
+  [[nodiscard]] bool empty() const { return jobs.empty(); }
+  [[nodiscard]] std::size_t size() const { return jobs.size(); }
+};
+
+/// True when every task is its own degenerate job — the workload is
+/// indistinguishable from a pre-jobs trace, and every conditional emission
+/// path (trace_io columns, checkpoint "jobs" block) stays silent.
+[[nodiscard]] bool AllTasksDegenerate(std::span<const Task> tasks);
+
+/// Derives the JobGraph from the tasks' `job`/`stage` fields and validates
+/// the encoding the generator and trace reader promise:
+///   - job ids are dense and appear over contiguous, ascending task-id
+///     ranges (kSelfJob tasks form their own single-task jobs);
+///   - every member of a job shares its arrival, deadline, and priority
+///     (per-job single source), and every member of a stage its task type;
+///   - stage indices within a job start at 0 and are contiguous and
+///     non-decreasing along the task range.
+/// Throws std::invalid_argument naming the offending task on any breach.
+[[nodiscard]] JobGraph BuildJobGraph(std::span<const Task> tasks);
+
+}  // namespace ecdra::workload

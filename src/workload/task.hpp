@@ -1,11 +1,22 @@
-// A dynamically-arriving independent task (§III-B): known type, arrival
-// time, and individual hard deadline delta(z). Execution time is stochastic;
-// the pmf lives in the TaskTypeTable, keyed by (type, node, P-state).
+// A dynamically-arriving task (§III-B): known type, arrival time, and
+// execution time pmf keyed by (type, node, P-state) in the TaskTypeTable.
+// Since the job-level refactor a Task is a *view into a Job*: it names the
+// job it belongs to and the stage it sits in, and the degenerate
+// single-stage/width-1 job is exactly the paper's independent task (the
+// defaults below encode that case, so code that never touches jobs is
+// unchanged). Deadlines and priorities are per-job properties that every
+// stage task inherits; see src/workload/job.hpp for the grouping.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace ecdra::workload {
+
+/// Sentinel for Task::job: the task is its own (degenerate) job. Using a
+/// sentinel instead of 0 keeps hand-built tasks with arbitrary ids
+/// degenerate by default.
+inline constexpr std::size_t kSelfJob = SIZE_MAX;
 
 struct Task {
   /// Position in the arrival order (0-based; the paper's "window" is 1000).
@@ -14,14 +25,29 @@ struct Task {
   std::size_t type = 0;
   /// Arrival time (the task is unknown to the scheduler before this).
   double arrival = 0.0;
-  /// Hard individual deadline delta(z); completion after it has no value.
+  /// Hard deadline delta(z); completion after it has no value. This is the
+  /// *job's* deadline — every stage task of one job carries the same value,
+  /// and per-job on-time accounting checks the last finisher against it.
   double deadline = 0.0;
-  /// Relative importance weight (§VIII future work: "tasks with varying
-  /// priorities"). 1.0 everywhere reproduces the paper; the weighted
-  /// completion metrics in TrialResult use it.
+  /// Relative importance weight. Per-job single source: stage tasks inherit
+  /// the job's priority verbatim, and the weighted completion metrics in
+  /// TrialResult count each job once. 1.0 everywhere reproduces the paper.
   double priority = 1.0;
+  /// Job this task belongs to (kSelfJob: the task is its own degenerate
+  /// job). Non-degenerate values index the trial's job list.
+  std::size_t job = kSelfJob;
+  /// Stage index within the job's chain (0 for degenerate tasks; stage s
+  /// becomes ready when every task of stage s-1 has completed).
+  std::size_t stage = 0;
 
   friend bool operator==(const Task&, const Task&) = default;
 };
+
+/// True when the task behaves exactly like a pre-jobs independent task: its
+/// own single-stage width-1 job. Every conditional emission path (trace_io
+/// columns, checkpoint "jobs" block) keys off all tasks being degenerate.
+[[nodiscard]] constexpr bool IsDegenerateJobTask(const Task& task) {
+  return task.stage == 0 && (task.job == kSelfJob || task.job == task.id);
+}
 
 }  // namespace ecdra::workload

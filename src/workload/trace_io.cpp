@@ -4,10 +4,15 @@
 #include <iomanip>
 #include <sstream>
 
+#include "workload/job.hpp"
+
 namespace ecdra::workload {
 
 namespace {
 constexpr const char* kHeader = "id,type,arrival,deadline,priority";
+/// Extended header for job workloads; emitted only when some task is a
+/// non-degenerate job member, so pre-jobs traces stay byte-identical.
+constexpr const char* kJobHeader = "id,type,arrival,deadline,priority,job,stage";
 }
 
 std::string_view TraceIoErrorKindName(TraceIoErrorKind kind) noexcept {
@@ -33,11 +38,19 @@ TraceIoError::TraceIoError(TraceIoErrorKind kind, const std::string& message)
       kind_(kind) {}
 
 void WriteTrace(std::ostream& os, const std::vector<Task>& tasks) {
-  os << kHeader << '\n';
+  const bool jobs = !AllTasksDegenerate(tasks);
+  os << (jobs ? kJobHeader : kHeader) << '\n';
   os << std::setprecision(17);
   for (const Task& task : tasks) {
     os << task.id << ',' << task.type << ',' << task.arrival << ','
-       << task.deadline << ',' << task.priority << '\n';
+       << task.deadline << ',' << task.priority;
+    if (jobs) {
+      // Degenerate rows inside a job trace write their own id as the job,
+      // so the job column never carries the kSelfJob sentinel.
+      os << ',' << (task.job == kSelfJob ? task.id : task.job) << ','
+         << task.stage;
+    }
+    os << '\n';
   }
 }
 
@@ -47,7 +60,8 @@ std::vector<Task> ReadTrace(std::istream& is) {
     throw TraceIoError(TraceIoErrorKind::kMissingHeader,
                        "trace is missing its header");
   }
-  if (line != kHeader) {
+  const bool jobs = line == kJobHeader;
+  if (line != kHeader && !jobs) {
     throw TraceIoError(TraceIoErrorKind::kBadHeader,
                        "unrecognized trace header: " + line);
   }
@@ -63,6 +77,7 @@ std::vector<Task> ReadTrace(std::istream& is) {
     char comma = '\0';
     row >> task.id >> comma >> task.type >> comma >> task.arrival >> comma >>
         task.deadline >> comma >> task.priority;
+    if (jobs) row >> comma >> task.job >> comma >> task.stage;
     if (row.fail() || !(row >> std::ws).eof()) {
       throw TraceIoError(missing_newline ? TraceIoErrorKind::kTruncatedRow
                                          : TraceIoErrorKind::kMalformedRow,

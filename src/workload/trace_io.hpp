@@ -2,6 +2,10 @@
 // exact task mix can be archived, diffed, and replayed outside the RNG.
 // Format: header line "id,type,arrival,deadline,priority" then one row per
 // task, full double precision (write -> read -> write is byte-identical).
+// Job workloads (any non-degenerate task, see src/workload/job.hpp) extend
+// the header and rows with ",job,stage"; purely degenerate task lists emit
+// the original five-column format byte-identically, and both headers are
+// accepted on read (five-column rows load with the degenerate defaults).
 //
 // Failures throw TraceIoError, which derives std::invalid_argument (so
 // call sites catching the general type keep working) and carries a typed

@@ -26,21 +26,104 @@ std::vector<Task> GenerateWorkload(const TaskTypeTable& table,
       GenerateArrivals(options.arrivals, arrival_rng);
   const DeadlineModel deadlines(table, options.load_factor_scale);
 
+  if (!options.jobs.enabled) {
+    std::vector<Task> tasks;
+    tasks.reserve(arrivals.size());
+    for (std::size_t id = 0; id < arrivals.size(); ++id) {
+      const auto type = static_cast<std::size_t>(type_rng.UniformInt(
+          0, static_cast<std::int64_t>(table.num_types()) - 1));
+      const std::size_t cls = options.priority_classes.size() == 1
+                                  ? 0
+                                  : priority_rng.Discrete(class_weights);
+      tasks.push_back(Task{
+          .id = id,
+          .type = type,
+          .arrival = arrivals[id],
+          .deadline = deadlines.DeadlineFor(type, arrivals[id]),
+          .priority = options.priority_classes[cls].weight,
+      });
+    }
+    return tasks;
+  }
+
+  // Job mode: each arrival event is one job. Shape draws come from their
+  // own "job-shape" substream, and singleton distributions skip the draw
+  // entirely, so the degenerate {1@1}x{1@1} configuration consumes exactly
+  // the same random numbers as the independent-task path above and emits a
+  // bit-identical task list (the depth==1, scale==1.0 deadline below is the
+  // per-task deadline verbatim, not re-derived through arithmetic).
+  std::vector<double> width_weights;
+  std::vector<double> depth_weights;
+  const auto validate_shape = [](const std::vector<ShapeClass>& classes,
+                                 std::vector<double>& weights,
+                                 const char* what) {
+    ECDRA_REQUIRE(!classes.empty(), "need at least one job shape class");
+    weights.reserve(classes.size());
+    for (const ShapeClass& cls : classes) {
+      ECDRA_REQUIRE(cls.value >= 1, what);
+      ECDRA_REQUIRE(cls.probability > 0.0,
+                    "job shape probability must be positive");
+      weights.push_back(cls.probability);
+    }
+  };
+  validate_shape(options.jobs.widths, width_weights,
+                 "job stage width must be at least 1");
+  validate_shape(options.jobs.depths, depth_weights,
+                 "job depth must be at least 1");
+  util::RngStream shape_rng = rng.Substream("job-shape");
+
   std::vector<Task> tasks;
   tasks.reserve(arrivals.size());
-  for (std::size_t id = 0; id < arrivals.size(); ++id) {
-    const auto type = static_cast<std::size_t>(type_rng.UniformInt(
-        0, static_cast<std::int64_t>(table.num_types()) - 1));
+  for (std::size_t job = 0; job < arrivals.size(); ++job) {
+    const double arrival = arrivals[job];
+    const std::size_t depth =
+        options.jobs.depths.size() == 1
+            ? options.jobs.depths[0].value
+            : options.jobs.depths[shape_rng.Discrete(depth_weights)].value;
     const std::size_t cls = options.priority_classes.size() == 1
                                 ? 0
                                 : priority_rng.Discrete(class_weights);
-    tasks.push_back(Task{
-        .id = id,
-        .type = type,
-        .arrival = arrivals[id],
-        .deadline = deadlines.DeadlineFor(type, arrivals[id]),
-        .priority = options.priority_classes[cls].weight,
-    });
+    const double priority = options.priority_classes[cls].weight;
+
+    // Per-stage types and widths (the final stage of a multi-stage job is
+    // the width-1 reduce); the deadline needs the full chain first.
+    std::vector<std::size_t> stage_types;
+    std::vector<std::size_t> stage_widths;
+    stage_types.reserve(depth);
+    stage_widths.reserve(depth);
+    for (std::size_t s = 0; s < depth; ++s) {
+      stage_types.push_back(static_cast<std::size_t>(type_rng.UniformInt(
+          0, static_cast<std::int64_t>(table.num_types()) - 1)));
+      const bool is_reduce = depth > 1 && s == depth - 1;
+      stage_widths.push_back(
+          is_reduce ? 1
+          : options.jobs.widths.size() == 1
+              ? options.jobs.widths[0].value
+              : options.jobs.widths[shape_rng.Discrete(width_weights)].value);
+    }
+    double deadline;
+    if (depth == 1 && options.jobs.deadline_scale == 1.0) {
+      deadline = deadlines.DeadlineFor(stage_types[0], arrival);
+    } else {
+      double slack = 0.0;
+      for (std::size_t s = 0; s < depth; ++s) {
+        slack += deadlines.DeadlineFor(stage_types[s], arrival) - arrival;
+      }
+      deadline = arrival + options.jobs.deadline_scale * slack;
+    }
+    for (std::size_t s = 0; s < depth; ++s) {
+      for (std::size_t member = 0; member < stage_widths[s]; ++member) {
+        tasks.push_back(Task{
+            .id = tasks.size(),
+            .type = stage_types[s],
+            .arrival = arrival,
+            .deadline = deadline,
+            .priority = priority,
+            .job = job,
+            .stage = s,
+        });
+      }
+    }
   }
   return tasks;
 }

@@ -22,14 +22,45 @@ struct PriorityClass {
   double probability = 1.0;
 };
 
+/// One entry of a discrete shape distribution: `value` with probability
+/// proportional to `probability` (the spec's "value@prob" token).
+struct ShapeClass {
+  std::size_t value = 1;
+  double probability = 1.0;
+};
+
+/// Job-shape distributions (src/workload/job.hpp). When enabled, each
+/// arrival event becomes one *job*: a chain of `depth` stages where every
+/// stage but the last draws its gang width from `widths` and the final
+/// stage of a multi-stage job is forced to width 1 (the reduce of a
+/// map->reduce chain). Singleton {1@1}/{1@1} distributions draw nothing
+/// from the "job-shape" substream and emit exactly the pre-jobs task list,
+/// which is what keeps degenerate workloads bit-identical.
+struct JobShapeOptions {
+  bool enabled = false;
+  /// Gang width distribution for non-final stages.
+  std::vector<ShapeClass> widths{ShapeClass{}};
+  /// Stage-count (DAG depth) distribution.
+  std::vector<ShapeClass> depths{ShapeClass{}};
+  /// Stretches the job deadline relative to the chain's per-stage deadline
+  /// slack: deadline = arrival + scale * sum_s (DeadlineFor(type_s) -
+  /// arrival). 1.0 with depth 1 reproduces the per-task deadline exactly.
+  double deadline_scale = 1.0;
+};
+
 struct WorkloadGeneratorOptions {
   ArrivalSpec arrivals = ArrivalSpec::PaperBursty();
   double load_factor_scale = 1.0;
   /// Priority mix; a single {1.0, 1.0} class reproduces the paper.
   std::vector<PriorityClass> priority_classes{PriorityClass{}};
+  /// Job shapes; disabled (independent tasks) reproduces the paper.
+  JobShapeOptions jobs;
 };
 
-/// Samples the full, time-ordered task list of one trial.
+/// Samples the full, time-ordered task list of one trial. With jobs
+/// enabled, each arrival event expands into one job's stage tasks (all
+/// sharing the job's arrival, deadline, and priority, with dense `job` and
+/// contiguous `stage` fields); otherwise one independent task per arrival.
 [[nodiscard]] std::vector<Task> GenerateWorkload(
     const TaskTypeTable& table, const WorkloadGeneratorOptions& options,
     util::RngStream& rng);

@@ -54,7 +54,7 @@ std::string Sealed(std::string object_json) {
 
 std::string ValidHeaderLine() {
   return Sealed(
-             "{\"record\":\"header\",\"schema\":5,\"seed\":\"5\","
+             "{\"record\":\"header\",\"schema\":6,\"seed\":\"5\","
              "\"config\":\"x\"}") +
          "\n";
 }
@@ -263,7 +263,7 @@ TEST(CheckpointStore, SchemaV1StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 1"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 5"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 6"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -284,7 +284,7 @@ TEST(CheckpointStore, SchemaV2StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 2"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 5"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 6"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -305,7 +305,7 @@ TEST(CheckpointStore, SchemaV3StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 3"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 5"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 6"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -329,12 +329,38 @@ TEST(CheckpointStore, SchemaV4StoreIsRefusedNamingBothVersions) {
       const std::string message = error.what();
       EXPECT_NE(message.find("schema version 4"), std::string::npos)
           << message;
-      EXPECT_NE(message.find("this build reads 5"), std::string::npos)
+      EXPECT_NE(message.find("this build reads 6"), std::string::npos)
           << message;
     }
   }
   // The refused file is untouched: salvage never truncates a logical refusal.
   EXPECT_NE(ReadFile(path).find("\"schema\":4"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, SchemaV5StoreIsRefusedNamingBothVersions) {
+  // Schema 5 predates the job block (env.workload.jobs.*, run.jobs.placement)
+  // in the fingerprint preimage and the per-trial "jobs" aggregate; a v5
+  // store cannot attest whether gang jobs shaped its trials, so both strict
+  // and salvage loads refuse.
+  const std::string path = TempPath("schema_v5");
+  WriteFile(path, Sealed("{\"record\":\"header\",\"schema\":5,\"seed\":\"5\","
+                         "\"config\":\"deadbeefdeadbeef\"}") +
+                      "\n");
+  for (const bool salvage : {false, true}) {
+    try {
+      (void)CheckpointStore::Load(path, {.salvage = salvage});
+      FAIL() << "expected CheckpointError (salvage=" << salvage << ")";
+    } catch (const CheckpointError& error) {
+      EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+      const std::string message = error.what();
+      EXPECT_NE(message.find("schema version 5"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("this build reads 6"), std::string::npos)
+          << message;
+    }
+  }
+  EXPECT_NE(ReadFile(path).find("\"schema\":5"), std::string::npos);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,414 @@
+// Job-level scheduling: BuildJobGraph encoding validation, generator job
+// shapes, and the engine's gang semantics — all-or-nothing simultaneous
+// starts, map->reduce stage precedence with per-job deadline accounting,
+// whole-gang requeue after a domain outage, and the demotion guarantee
+// (an all-degenerate job workload takes the exact task-level event path).
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/factory.hpp"
+#include "fault/fault_model.hpp"
+#include "sim/engine.hpp"
+#include "test_support.hpp"
+#include "workload/workload_generator.hpp"
+
+namespace ecdra::sim {
+namespace {
+
+using workload::kSelfJob;
+using workload::Task;
+
+/// Deterministic single-type table (delta pmfs): execution time on node n
+/// at P-state s is base[n] * time_multiplier(s) exactly.
+workload::TaskTypeTable DeltaTable(const cluster::Cluster& cluster,
+                                   const std::vector<double>& base) {
+  std::vector<pmf::Pmf> pmfs;
+  for (std::size_t node = 0; node < cluster.num_nodes(); ++node) {
+    for (cluster::PStateIndex s = 0; s < cluster::kNumPStates; ++s) {
+      pmfs.push_back(pmf::Pmf::Delta(
+          base[node] * cluster.node(node).pstates[s].time_multiplier));
+    }
+  }
+  return workload::TaskTypeTable(1, cluster.num_nodes(), std::move(pmfs));
+}
+
+/// A width-`width` stage-`stage` slab of tasks for job `job`, appended with
+/// sequential ids.
+void AppendStage(std::vector<Task>& tasks, std::size_t job, std::size_t stage,
+                 std::size_t width, double arrival, double deadline) {
+  for (std::size_t i = 0; i < width; ++i) {
+    tasks.push_back(Task{.id = tasks.size(),
+                         .type = 0,
+                         .arrival = arrival,
+                         .deadline = deadline,
+                         .priority = 1.0,
+                         .job = job,
+                         .stage = stage});
+  }
+}
+
+class JobEngineTest : public ::testing::Test {
+ protected:
+  [[nodiscard]] TrialResult Run(const cluster::Cluster& cluster,
+                                const workload::TaskTypeTable& table,
+                                std::vector<workload::Task> tasks,
+                                TrialOptions options) {
+    core::ImmediateModeScheduler scheduler(
+        cluster, table, core::MakeHeuristic("SQ", util::RngStream(1)), {},
+        options.energy_budget, tasks.size());
+    Engine engine(cluster, table, std::move(tasks), scheduler, options,
+                  util::RngStream(7));
+    return engine.Run();
+  }
+
+  [[nodiscard]] static TrialOptions JobOptions() {
+    TrialOptions options;
+    options.energy_budget = 1e9;
+    options.collect_task_records = true;
+    options.jobs.enabled = true;
+    return options;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// BuildJobGraph: the encoding contract.
+
+TEST(BuildJobGraph, MapReduceChainParses) {
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 2, 1.0, 50.0);  // map gang
+  AppendStage(tasks, 0, 1, 1, 1.0, 50.0);  // reduce
+  const workload::JobGraph graph = workload::BuildJobGraph(tasks);
+  ASSERT_EQ(graph.size(), 1u);
+  const workload::Job& job = graph.jobs[0];
+  ASSERT_EQ(job.stages.size(), 2u);
+  EXPECT_EQ(job.stages[0].first_task, 0u);
+  EXPECT_EQ(job.stages[0].width, 2u);
+  EXPECT_EQ(job.stages[1].first_task, 2u);
+  EXPECT_EQ(job.stages[1].width, 1u);
+  EXPECT_EQ(job.total_tasks(), 3u);
+  EXPECT_FALSE(job.degenerate());
+  EXPECT_FALSE(workload::AllTasksDegenerate(tasks));
+}
+
+TEST(BuildJobGraph, SelfJobTasksFormDegenerateJobs) {
+  const std::vector<Task> tasks = {Task{.id = 0, .arrival = 0.0},
+                                   Task{.id = 1, .arrival = 1.0}};
+  EXPECT_TRUE(workload::AllTasksDegenerate(tasks));
+  const workload::JobGraph graph = workload::BuildJobGraph(tasks);
+  ASSERT_EQ(graph.size(), 2u);
+  EXPECT_TRUE(graph.jobs[0].degenerate());
+  EXPECT_TRUE(graph.jobs[1].degenerate());
+}
+
+TEST(BuildJobGraph, RejectsSparseJobIds) {
+  std::vector<Task> tasks;
+  AppendStage(tasks, 5, 0, 2, 0.0, 10.0);  // first job must have id 0
+  EXPECT_THROW((void)workload::BuildJobGraph(tasks), std::invalid_argument);
+}
+
+TEST(BuildJobGraph, RejectsJobStartingPastStageZero) {
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 1, 1, 0.0, 10.0);
+  EXPECT_THROW((void)workload::BuildJobGraph(tasks), std::invalid_argument);
+}
+
+TEST(BuildJobGraph, RejectsMembersWithDifferentDeadlines) {
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 1, 0.0, 10.0);
+  AppendStage(tasks, 0, 0, 1, 0.0, 20.0);  // deadline is a per-job property
+  EXPECT_THROW((void)workload::BuildJobGraph(tasks), std::invalid_argument);
+}
+
+TEST(BuildJobGraph, RejectsMixedTypesWithinAStage) {
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 2, 0.0, 10.0);
+  tasks[1].type = 1;  // a gang runs one type
+  EXPECT_THROW((void)workload::BuildJobGraph(tasks), std::invalid_argument);
+}
+
+TEST(BuildJobGraph, RejectsSkippedStageIndices) {
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 1, 0.0, 10.0);
+  AppendStage(tasks, 0, 2, 1, 0.0, 10.0);  // stage 1 missing
+  EXPECT_THROW((void)workload::BuildJobGraph(tasks), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Generator job shapes.
+
+TEST(WorkloadGeneratorJobs, ShapesFollowTheConfiguredMix) {
+  const cluster::Cluster cluster = test::SingleCoreCluster();
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  workload::WorkloadGeneratorOptions options;
+  options.arrivals = workload::ArrivalSpec::PaperBursty(8, 16, 1.0 / 8.0,
+                                                        1.0 / 48.0);
+  options.jobs.enabled = true;
+  options.jobs.widths = {{3, 1.0}};
+  options.jobs.depths = {{2, 1.0}};
+  options.jobs.deadline_scale = 1.5;
+  util::RngStream rng(3);
+  const std::vector<Task> tasks =
+      workload::GenerateWorkload(table, options, rng);
+
+  // The encoding the engine relies on round-trips through the validator.
+  const workload::JobGraph graph = workload::BuildJobGraph(tasks);
+  ASSERT_GT(graph.size(), 0u);
+  for (const workload::Job& job : graph.jobs) {
+    // depth 2: a width-3 map stage, then the width-1 reduce.
+    ASSERT_EQ(job.stages.size(), 2u);
+    EXPECT_EQ(job.stages[0].width, 3u);
+    EXPECT_EQ(job.stages[1].width, 1u);
+    // Arrival, deadline, and priority are per-job single sources.
+    for (const workload::JobStage& stage : job.stages) {
+      for (std::size_t m = 0; m < stage.width; ++m) {
+        const Task& task = tasks[stage.first_task + m];
+        EXPECT_EQ(task.arrival, job.arrival);
+        EXPECT_EQ(task.deadline, job.deadline);
+        EXPECT_EQ(task.priority, job.priority);
+      }
+    }
+    EXPECT_GT(job.deadline, job.arrival);
+  }
+}
+
+TEST(WorkloadGeneratorJobs, DegenerateShapeMatchesIndependentTasksBitwise) {
+  // {1@1} x {1@1} with scale 1 must consume the same random numbers and
+  // emit the same task list as the pre-jobs generator — the foundation of
+  // the whole-stack bit-identity guarantee.
+  const cluster::Cluster cluster = test::SingleCoreCluster();
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  workload::WorkloadGeneratorOptions options;
+  options.arrivals = workload::ArrivalSpec::PaperBursty(8, 16, 1.0 / 8.0,
+                                                        1.0 / 48.0);
+  util::RngStream rng_a(3);
+  const std::vector<Task> plain =
+      workload::GenerateWorkload(table, options, rng_a);
+  options.jobs.enabled = true;
+  util::RngStream rng_b(3);
+  const std::vector<Task> jobs =
+      workload::GenerateWorkload(table, options, rng_b);
+  ASSERT_EQ(plain.size(), jobs.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].type, jobs[i].type) << i;
+    EXPECT_EQ(plain[i].arrival, jobs[i].arrival) << i;
+    EXPECT_EQ(plain[i].deadline, jobs[i].deadline) << i;
+    EXPECT_EQ(plain[i].priority, jobs[i].priority) << i;
+    EXPECT_TRUE(workload::IsDegenerateJobTask(jobs[i])) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine gang semantics.
+
+TEST_F(JobEngineTest, GangStartIsAllOrNothing) {
+  // Two cores; an independent task holds one of them until t = 10. The
+  // width-2 gang arriving at t = 1 must NOT start its free-core member
+  // early: both members wait and start together at t = 10. Deadline 21
+  // leaves P0 as the only on-time P-state, pinning the exec time to 10.
+  const cluster::Cluster cluster({test::SimpleNode(1, 2)});
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  std::vector<Task> tasks = {Task{.id = 0, .arrival = 0.0, .deadline = 50.0}};
+  AppendStage(tasks, 1, 0, 2, 1.0, 21.0);
+
+  const TrialResult result = Run(cluster, table, tasks, JobOptions());
+
+  ASSERT_TRUE(result.jobs.enabled);
+  EXPECT_EQ(result.jobs.jobs, 2u);  // the lone task is its own job
+  EXPECT_EQ(result.jobs.jobs_on_time, 2u);
+  EXPECT_EQ(result.jobs.gangs_placed, 1u);
+  EXPECT_EQ(result.jobs.gang_waits, 1u);
+  EXPECT_DOUBLE_EQ(result.jobs.gang_wait_seconds, 9.0);  // released 1, start 10
+  EXPECT_EQ(result.completed, 3u);
+
+  ASSERT_EQ(result.task_records.size(), 3u);
+  const TaskRecord& a = result.task_records[1];
+  const TaskRecord& b = result.task_records[2];
+  EXPECT_DOUBLE_EQ(a.start_time, 10.0);
+  EXPECT_DOUBLE_EQ(b.start_time, 10.0);  // simultaneous
+  EXPECT_NE(a.flat_core, b.flat_core);   // distinct cores
+  EXPECT_DOUBLE_EQ(result.makespan, 20.0);
+}
+
+TEST_F(JobEngineTest, MapReducePrecedenceGatesTheReduceStage) {
+  // One map->reduce job on two cores, deadline 20.5: the chain-aware rho
+  // (map exec + optimistic reduce tail must fit the deadline) forces the
+  // map onto P0, so it runs [0, 10) on both cores — and the reduce may
+  // only start when BOTH map members are done.
+  const cluster::Cluster cluster({test::SimpleNode(1, 2)});
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 2, 0.0, 20.5);
+  AppendStage(tasks, 0, 1, 1, 0.0, 20.5);
+
+  const TrialResult result = Run(cluster, table, tasks, JobOptions());
+
+  ASSERT_EQ(result.task_records.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.task_records[0].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(result.task_records[1].start_time, 0.0);
+  EXPECT_DOUBLE_EQ(result.task_records[2].start_time, 10.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 20.0);
+  EXPECT_EQ(result.jobs.jobs, 1u);
+  EXPECT_EQ(result.jobs.jobs_on_time, 1u);  // last finisher at 20 <= 20.5
+  EXPECT_EQ(result.completed, 3u);
+  EXPECT_EQ(result.weighted_total, 1.0);  // one job, counted once
+  EXPECT_EQ(result.weighted_completed, 1.0);
+}
+
+TEST_F(JobEngineTest, PerJobDeadlineJudgesTheLastFinisher) {
+  // Two cores, a map->reduce job, and two independent fillers that arrive
+  // while the map runs. Both fillers start the instant the map frees the
+  // cores, so the reduce queues behind one of them and lands at t = 30 —
+  // past the job's deadline of 20.5, though both map members met it. The
+  // JOB is late, counted once; the map members still tally on time in the
+  // task-level buckets.
+  const cluster::Cluster cluster({test::SimpleNode(1, 2)});
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 2, 0.0, 20.5);
+  AppendStage(tasks, 0, 1, 1, 0.0, 20.5);
+  tasks.push_back(Task{.id = 3, .arrival = 0.5, .deadline = 100.0});
+  tasks.push_back(Task{.id = 4, .arrival = 0.6, .deadline = 100.0});
+
+  const TrialResult result = Run(cluster, table, tasks, JobOptions());
+
+  EXPECT_EQ(result.jobs.jobs, 3u);  // the DAG plus two degenerate jobs
+  EXPECT_EQ(result.jobs.jobs_on_time, 2u);
+  EXPECT_EQ(result.jobs.jobs_late, 1u);
+  EXPECT_EQ(result.jobs.jobs_failed, 0u);
+  // Task-level buckets: 2 map members + 2 fillers on time, the reduce late.
+  EXPECT_EQ(result.completed, 4u);
+  EXPECT_EQ(result.finished_late, 1u);
+  ASSERT_EQ(result.task_records.size(), 5u);
+  EXPECT_TRUE(result.task_records[0].on_time);
+  EXPECT_TRUE(result.task_records[1].on_time);
+  EXPECT_FALSE(result.task_records[2].on_time);  // the last finisher decides
+  EXPECT_DOUBLE_EQ(result.task_records[2].finish_time, 30.0);
+  EXPECT_EQ(result.weighted_total, 3.0);
+  EXPECT_EQ(result.weighted_completed, 2.0);  // the DAG job missed
+  EXPECT_EQ(result.weighted_missed, 1.0);
+}
+
+TEST_F(JobEngineTest, DomainOutageRequeuesTheWholeGang) {
+  // Two single-core nodes (one fault domain each). The width-2 gang starts
+  // at t = 0 across both domains; domain 0 dies at t = 5, stranding one
+  // member mid-run. Under requeue recovery the WHOLE gang goes back to the
+  // pending queue — the surviving member is aborted, and both re-run
+  // together once the domain repairs at t = 6.
+  const cluster::Cluster cluster(
+      {test::SimpleNode(1, 1), test::SimpleNode(1, 1)});
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0, 10.0});
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 2, 0.0, 50.0);
+
+  TrialOptions options = JobOptions();
+  options.recovery_policy = fault::RecoveryPolicy::kRequeueToScheduler;
+  options.fault_domains = fault::DeriveNodeDomains(cluster);
+  options.fault_schedule.events = {
+      {5.0, fault::FaultEventKind::kDomainOutage, 0, 0, 0},
+      {6.0, fault::FaultEventKind::kDomainRepair, 0, 0, 0},
+  };
+  const TrialResult result = Run(cluster, table, tasks, options);
+
+  EXPECT_EQ(result.jobs.gangs_requeued, 1u);
+  EXPECT_EQ(result.jobs.gangs_placed, 2u);  // initial start + restart
+  EXPECT_EQ(result.jobs.jobs_on_time, 1u);
+  EXPECT_EQ(result.jobs.jobs_failed, 0u);
+  // Each member tallies once in the task buckets despite running twice.
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_EQ(result.missed_deadlines, 0u);
+  // The slack deadline lets min-EEC pick the deepest P-state (exec
+  // 10 / 0.4096 = 24.4140625); restart at t = 6 (repair) finishes both
+  // members together at 30.4140625, still on time.
+  EXPECT_DOUBLE_EQ(result.makespan, 30.4140625);
+}
+
+TEST_F(JobEngineTest, DropRecoveryFailsTheGangJob) {
+  // Same outage under the drop baseline: the stranded member is lost, so
+  // the job can never complete — it fails exactly once.
+  const cluster::Cluster cluster(
+      {test::SimpleNode(1, 1), test::SimpleNode(1, 1)});
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0, 10.0});
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 2, 0.0, 50.0);
+
+  TrialOptions options = JobOptions();
+  options.recovery_policy = fault::RecoveryPolicy::kDropQueued;
+  options.fault_domains = fault::DeriveNodeDomains(cluster);
+  options.fault_schedule.events = {
+      {5.0, fault::FaultEventKind::kDomainOutage, 0, 0, 0},
+  };
+  const TrialResult result = Run(cluster, table, tasks, options);
+
+  EXPECT_EQ(result.jobs.jobs_failed, 1u);
+  EXPECT_EQ(result.jobs.jobs_on_time, 0u);
+  EXPECT_EQ(result.jobs.gangs_requeued, 0u);
+  EXPECT_EQ(result.weighted_completed, 0.0);
+}
+
+TEST_F(JobEngineTest, SerialPlacementRunsGangMembersIndependently) {
+  // The "serial" ablation maps gang members through the per-task pipeline:
+  // on a single core the width-2 "gang" simply queues FIFO — placement
+  // that the all-or-nothing path could never produce.
+  const cluster::Cluster cluster = test::SingleCoreCluster();
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 2, 0.0, 50.0);
+
+  TrialOptions options = JobOptions();
+  options.jobs.placement = "serial";
+  const TrialResult result = Run(cluster, table, tasks, options);
+
+  EXPECT_EQ(result.completed, 2u);
+  EXPECT_DOUBLE_EQ(result.makespan, 20.0);  // [0,10) then [10,20)
+  EXPECT_EQ(result.jobs.jobs_on_time, 1u);
+  EXPECT_EQ(result.jobs.gangs_placed, 0u);  // no gang machinery engaged
+}
+
+TEST_F(JobEngineTest, InfeasiblyWideGangFailsItsJob) {
+  // A width-3 gang on a two-core cluster can never start; the job fails
+  // (abandoned, not left pending forever) and the trial terminates.
+  const cluster::Cluster cluster({test::SimpleNode(1, 2)});
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  std::vector<Task> tasks;
+  AppendStage(tasks, 0, 0, 3, 0.0, 50.0);
+
+  const TrialResult result = Run(cluster, table, tasks, JobOptions());
+
+  EXPECT_EQ(result.jobs.jobs_failed, 1u);
+  EXPECT_EQ(result.jobs.gangs_abandoned, 1u);
+  EXPECT_EQ(result.completed, 0u);
+  EXPECT_EQ(result.missed_deadlines, 3u);
+}
+
+TEST_F(JobEngineTest, AllDegenerateWorkloadDemotesToTaskPathBitwise) {
+  // jobs.enabled with an all-degenerate workload must take the exact
+  // task-level path: identical result fields and a silent JobStats block.
+  const cluster::Cluster cluster({test::SimpleNode(1, 2)});
+  const workload::TaskTypeTable table = DeltaTable(cluster, {10.0});
+  const std::vector<Task> tasks = {
+      Task{.id = 0, .arrival = 0.0, .deadline = 15.0},
+      Task{.id = 1, .arrival = 1.0, .deadline = 12.0},
+      Task{.id = 2, .arrival = 2.0, .deadline = 40.0},
+  };
+  TrialOptions plain;
+  plain.energy_budget = 1e9;
+  const TrialResult off = Run(cluster, table, tasks, plain);
+  TrialOptions jobs = plain;
+  jobs.jobs.enabled = true;
+  const TrialResult on = Run(cluster, table, tasks, jobs);
+
+  EXPECT_FALSE(on.jobs.enabled);  // demoted: no job ever non-degenerate
+  EXPECT_EQ(on.jobs, JobStats{});
+  EXPECT_EQ(on.completed, off.completed);
+  EXPECT_EQ(on.missed_deadlines, off.missed_deadlines);
+  EXPECT_EQ(on.weighted_completed, off.weighted_completed);
+  EXPECT_EQ(on.total_energy, off.total_energy);
+  EXPECT_EQ(on.makespan, off.makespan);
+}
+
+}  // namespace
+}  // namespace ecdra::sim

@@ -449,5 +449,136 @@ TEST(Pmf, EmptyPmfOperationsThrow) {
   EXPECT_THROW((void)empty.TruncateBelow(0.0), std::invalid_argument);
 }
 
+// -- MaxOf / MaxInto (gang stage completion: max across siblings) --
+
+/// Brute-force max distribution: enumerate the |X|·|Y| cross product of
+/// outcomes and merge with FromImpulses, the reference the sweep kernel
+/// must reproduce.
+Pmf BruteForceMax(const Pmf& x, const Pmf& y, std::size_t max_impulses) {
+  std::vector<Impulse> cross;
+  for (const Impulse& xi : x.impulses()) {
+    for (const Impulse& yj : y.impulses()) {
+      cross.push_back(
+          Impulse{std::max(xi.value, yj.value), xi.prob * yj.prob});
+    }
+  }
+  return Pmf::FromImpulses(std::move(cross), max_impulses);
+}
+
+class MaxProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxProperties, MatchesBruteForceEnumeration) {
+  util::RngStream rng(GetParam() + 4000);
+  const Pmf x = RandomPmf(rng, 16);
+  const Pmf y = RandomPmf(rng, 20);
+  const Pmf exact = MaxOf(x, y, 1u << 20);  // nothing merged
+  const Pmf brute = BruteForceMax(x, y, 1u << 20);
+  ASSERT_EQ(exact.size(), brute.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_DOUBLE_EQ(exact.impulses()[i].value, brute.impulses()[i].value);
+    EXPECT_NEAR(exact.impulses()[i].prob, brute.impulses()[i].prob, 1e-12);
+  }
+  EXPECT_NEAR(Mass(exact), 1.0, 1e-9);
+  // Support bounds: the max can never finish before the later-starting
+  // sibling, nor after the slower one.
+  EXPECT_NEAR(exact.Min(), std::max(x.Min(), y.Min()), 1e-12);
+  EXPECT_NEAR(exact.Max(), std::max(x.Max(), y.Max()), 1e-12);
+  EXPECT_GE(exact.Expectation() + 1e-9,
+            std::max(x.Expectation(), y.Expectation()));
+}
+
+TEST_P(MaxProperties, CdfIsProductOfInputCdfs) {
+  util::RngStream rng(GetParam() + 5000);
+  const Pmf x = RandomPmf(rng, 12);
+  const Pmf y = RandomPmf(rng, 14);
+  const Pmf exact = MaxOf(x, y, 1u << 20);
+  for (const double t : {-1.0, 10.0, 25.0, 50.0, 75.0, 99.0, 150.0}) {
+    EXPECT_NEAR(exact.CdfAt(t), x.CdfAt(t) * y.CdfAt(t), 1e-12) << "t=" << t;
+  }
+}
+
+TEST_P(MaxProperties, IsCommutative) {
+  util::RngStream rng(GetParam() + 6000);
+  const Pmf x = RandomPmf(rng, 15);
+  const Pmf y = RandomPmf(rng, 17);
+  EXPECT_EQ(MaxOf(x, y), MaxOf(y, x));
+  EXPECT_EQ(MaxOf(x, y, 8), MaxOf(y, x, 8));
+}
+
+TEST_P(MaxProperties, CompactedPreservesMass) {
+  util::RngStream rng(GetParam() + 7000);
+  const Pmf x = RandomPmf(rng, 24);
+  const Pmf y = RandomPmf(rng, 24);
+  const Pmf compacted = MaxOf(x, y, 8);
+  EXPECT_LE(compacted.size(), 8u);
+  EXPECT_NEAR(Mass(compacted), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxProperties,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(MaxOf, EmptyPmfIsIdentity) {
+  const Pmf x = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});
+  const Pmf empty;
+  EXPECT_EQ(MaxOf(empty, x), x);
+  EXPECT_EQ(MaxOf(x, empty), x);
+  EXPECT_THROW((void)MaxOf(empty, empty), std::invalid_argument);
+  // The fold idiom: accumulate into a default-constructed pmf.
+  Pmf acc;
+  MaxInto(acc, x, Pmf::kDefaultMaxImpulses, acc);
+  EXPECT_EQ(acc, x);
+}
+
+TEST(MaxOf, SingleImpulseEdgeCases) {
+  const Pmf lo = Pmf::Delta(1.0);
+  const Pmf hi = Pmf::Delta(5.0);
+  // Deltas: the max is the later delta.
+  EXPECT_EQ(MaxOf(lo, hi), hi);
+  EXPECT_EQ(MaxOf(hi, lo), hi);
+  EXPECT_EQ(MaxOf(lo, lo), lo);
+  // A delta past the whole support collapses the other input.
+  const Pmf spread = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}, {3.0, 2.0}});
+  EXPECT_EQ(MaxOf(spread, Pmf::Delta(10.0)), Pmf::Delta(10.0));
+  // A delta below the whole support is absorbed.
+  EXPECT_EQ(MaxOf(spread, Pmf::Delta(0.5)), spread);
+  // A delta inside the support truncates below it: mass at or under the
+  // delta's value piles onto the delta point.
+  const Pmf mixed = MaxOf(spread, Pmf::Delta(2.0));
+  ASSERT_EQ(mixed.size(), 2u);
+  EXPECT_DOUBLE_EQ(mixed.impulses()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(mixed.impulses()[0].prob, 0.5);
+  EXPECT_DOUBLE_EQ(mixed.impulses()[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(mixed.impulses()[1].prob, 0.5);
+}
+
+TEST(MaxOf, SharedSupportValuesMergeExactly) {
+  // Equal values in both inputs must land on one output impulse, not two.
+  const Pmf x = Pmf::FromImpulses({{1.0, 1.0}, {2.0, 1.0}});
+  const Pmf y = Pmf::FromImpulses({{2.0, 1.0}, {3.0, 1.0}});
+  // Enumeration: (1,2)(2,2) -> 2 with mass 0.5, (1,3)(2,3) -> 3 with 0.5.
+  const Pmf exact = MaxOf(x, y);
+  ASSERT_EQ(exact.size(), 2u);
+  EXPECT_DOUBLE_EQ(exact.impulses()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(exact.impulses()[0].prob, 0.5);
+  EXPECT_DOUBLE_EQ(exact.impulses()[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(exact.impulses()[1].prob, 0.5);
+}
+
+TEST(MaxOf, MaxIntoMatchesMaxOfAndAllowsAliasing) {
+  util::RngStream rng(654);
+  const Pmf x = RandomPmf(rng, 24);
+  const Pmf y = RandomPmf(rng, 24);
+  const Pmf reference = MaxOf(x, y);
+  Pmf out;
+  MaxInto(x, y, Pmf::kDefaultMaxImpulses, out);
+  EXPECT_EQ(out, reference);
+  Pmf acc = x;
+  MaxInto(acc, y, Pmf::kDefaultMaxImpulses, acc);
+  EXPECT_EQ(acc, reference);
+  Pmf acc_rhs = y;
+  MaxInto(x, acc_rhs, Pmf::kDefaultMaxImpulses, acc_rhs);
+  EXPECT_EQ(acc_rhs, reference);
+}
+
 }  // namespace
 }  // namespace ecdra::pmf

@@ -19,6 +19,7 @@
 #include "cluster/pstate.hpp"
 #include "core/factory.hpp"
 #include "core/filter.hpp"
+#include "core/gang_placement.hpp"
 #include "core/heuristic.hpp"
 #include "sim/experiment_runner.hpp"
 
@@ -116,6 +117,21 @@ TEST(CoreRegistries, BuiltInsAreRegistered) {
   EXPECT_TRUE(core::FilterRegistry().Contains("rob"));
   for (const std::string& name : batch::BatchHeuristicNames()) {
     EXPECT_TRUE(batch::BatchHeuristicRegistry().Contains(name)) << name;
+  }
+  for (const char* name : {"pack", "spread", "serial"}) {
+    EXPECT_TRUE(core::GangPlacementRegistry().Contains(name)) << name;
+  }
+}
+
+TEST(CoreRegistries, UnknownGangPlacementDiagnosticListsKeys) {
+  try {
+    (void)core::MakeGangPlacement("NoSuchPlacement");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("NoSuchPlacement"), std::string::npos) << message;
+    EXPECT_NE(message.find("pack"), std::string::npos) << message;
+    EXPECT_NE(message.find("serial"), std::string::npos) << message;
   }
 }
 

@@ -154,6 +154,23 @@ TEST(ScenarioSpec, FingerprintCoversResultShapingKnobsOnly) {
   changed = base;
   changed.governor = "race-to-idle";
   EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  // The v5 job block shapes results too: gangs change placement and
+  // per-job accounting, so every knob must perturb the hash.
+  changed = base;
+  changed.environment.workload.jobs.enabled = true;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.environment.workload.jobs.widths = {{4, 1.0}};
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.environment.workload.jobs.depths = {{2, 1.0}};
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.environment.workload.jobs.deadline_scale = 1.5;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.jobs_placement = "spread";
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
 
   // ...grid and harness knobs do not (so a resume with more trials or a
   // different sweep grid accepts the same checkpoints).

@@ -50,6 +50,87 @@ TEST(TraceIo, WriteReadWriteIsByteIdentical) {
   EXPECT_EQ(first.str(), second.str());
 }
 
+TEST(TraceIo, DegenerateTraceStaysByteIdenticalToLegacyFormat) {
+  // Workloads without job structure must serialize exactly as the pre-jobs
+  // writer did: legacy 5-column header, no job/stage columns. Values below
+  // are binary-exact so the bytes are fully pinned.
+  const std::vector<Task> tasks{Task{7, 2, 1.25, 20.5, 1.0}};
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks);
+  EXPECT_EQ(buffer.str(), "id,type,arrival,deadline,priority\n7,2,1.25,20.5,1\n");
+}
+
+TEST(TraceIo, JobTraceRoundTripsWithJobColumns) {
+  // A non-degenerate member switches the writer to the 7-column header,
+  // and job/stage survive the round trip.
+  const std::vector<Task> tasks{
+      Task{0, 1, 0.0, 10.5, 2.0, 3, 0},
+      Task{1, 1, 0.0, 10.5, 2.0, 3, 0},
+      Task{2, 1, 0.0, 10.5, 2.0, 3, 1},
+  };
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "id,type,arrival,deadline,priority,job,stage");
+  buffer.seekg(0);
+  EXPECT_EQ(ReadTrace(buffer), tasks);
+}
+
+TEST(TraceIo, SelfJobRowsInAJobTraceNormalizeToOwnId) {
+  // A degenerate kSelfJob task sharing a trace with a real job writes its
+  // own id in the job column (the sentinel never hits disk); the read-back
+  // row is still recognized as degenerate.
+  const std::vector<Task> tasks{
+      Task{0, 1, 0.0, 10.5, 1.0, 0, 0},
+      Task{1, 1, 0.0, 10.5, 1.0, 0, 1},
+      Task{2, 0, 0.5, 30.0, 2.0},  // kSelfJob by default
+  };
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks);
+  EXPECT_NE(buffer.str().find("2,0,0.5,30,2,2,0"), std::string::npos);
+  const std::vector<Task> back = ReadTrace(buffer);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[2].job, 2u);
+  EXPECT_TRUE(IsDegenerateJobTask(back[2]));
+}
+
+TEST(TraceIo, JobTraceWriteReadWriteIsByteIdentical) {
+  const std::vector<Task> tasks{
+      Task{0, 1, 0.25, 10.5, 2.0, 0, 0},
+      Task{1, 1, 0.25, 10.5, 2.0, 0, 1},
+      Task{2, 5, 3.0, 40.0, 0.5},
+  };
+  std::stringstream first;
+  WriteTrace(first, tasks);
+  std::stringstream second;
+  WriteTrace(second, ReadTrace(first));
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TraceIo, RejectsJobRowsUnderTheLegacyHeader) {
+  // 7 columns under the 5-column header is trailing garbage, not a job row.
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority\n0,1,2,3,1,0,0\n");
+  try {
+    (void)ReadTrace(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMalformedRow);
+  }
+}
+
+TEST(TraceIo, RejectsLegacyRowsUnderTheJobHeader) {
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority,job,stage\n0,1,2,3,1\n");
+  try {
+    (void)ReadTrace(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMalformedRow);
+  }
+}
+
 TEST(TraceIo, RejectsMissingOrWrongHeader) {
   std::stringstream empty;
   EXPECT_THROW((void)ReadTrace(empty), std::invalid_argument);

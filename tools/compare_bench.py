@@ -3,11 +3,22 @@
 
 Usage:
     compare_bench.py BASELINE.json CURRENT.json [--tolerance X]
+    compare_bench.py BASELINE.json CURRENT.json \
+        --counter NAME [--min-ratio X] [--min-base X]
 
 Fails (exit 1) if any benchmark present in both files is more than
 ``tolerance`` times slower (ns_per_op) in CURRENT than in BASELINE.
 Benchmarks present in only one file produce a warning, not a failure,
 so adding or retiring benches does not break CI.
+
+Quality reports (the ablation suites) carry their numbers in
+``counters`` and have ``ns_per_op = 0`` on both sides; those rows skip
+the timing gate. Pass ``--counter NAME`` to gate such a report on a
+counter instead: every common row whose baseline value of NAME is at
+least ``--min-base`` (default 1.0 — skips near-zero cells where ratios
+are pure noise) must keep CURRENT/BASELINE >= ``--min-ratio``
+(default 0.5, loose enough for a smoke run against a full-trial
+snapshot).
 
 The default tolerance is deliberately loose (3x): shared CI runners
 have noisy clocks and the gate exists to catch order-of-magnitude
@@ -38,6 +49,24 @@ def main():
         default=3.0,
         help="max allowed slowdown ratio current/baseline (default: 3.0)",
     )
+    parser.add_argument(
+        "--counter",
+        help="gate on this counters[] key instead of ns_per_op "
+        "(for quality reports where ns_per_op is 0)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        help="min allowed current/baseline counter ratio (default: 0.5)",
+    )
+    parser.add_argument(
+        "--min-base",
+        type=float,
+        default=1.0,
+        help="skip counter rows whose baseline value is below this "
+        "(default: 1.0)",
+    )
     args = parser.parse_args()
 
     base = load_results(args.baseline)
@@ -54,10 +83,46 @@ def main():
         raise SystemExit("no benchmarks in common; nothing compared")
 
     width = max(len(n) for n in common)
+    if args.counter:
+        key = args.counter
+        print(f"{'benchmark':<{width}}  {'base ' + key:>18}  "
+              f"{'cur ' + key:>18}  ratio")
+        for name in common:
+            b = base[name].get("counters", {}).get(key)
+            c = cur[name].get("counters", {}).get(key)
+            if b is None or c is None:
+                print(f"WARNING: {name} has no counter {key!r}; skipped")
+                continue
+            if b < args.min_base:
+                print(f"{name:<{width}}  {b:>18.1f}  {c:>18.1f}  "
+                      f"(base < {args.min_base:g}; skipped)")
+                continue
+            ratio = c / b
+            flag = ""
+            if ratio < args.min_ratio:
+                failures.append(name)
+                flag = f"  FAIL (< {args.min_ratio:g}x)"
+            print(f"{name:<{width}}  {b:>18.1f}  {c:>18.1f}  "
+                  f"{ratio:5.2f}x{flag}")
+        if failures:
+            print(
+                f"\n{len(failures)} benchmark(s) dropped {key} below "
+                f"{args.min_ratio:g}x of baseline: {', '.join(failures)}"
+            )
+            return 1
+        print(f"\nall common benchmarks kept {key} within "
+              f"{args.min_ratio:g}x of baseline")
+        return 0
+
     print(f"{'benchmark':<{width}}  {'base ns/op':>12}  {'cur ns/op':>12}  ratio")
     for name in common:
         b = base[name]["ns_per_op"]
         c = cur[name]["ns_per_op"]
+        if b == 0 and c == 0:
+            # Quality report row (counters only): the timing gate does not
+            # apply — use --counter to gate these.
+            print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  counter-only")
+            continue
         ratio = c / b if b > 0 else float("inf")
         flag = ""
         if ratio > args.tolerance:
