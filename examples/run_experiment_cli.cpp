@@ -33,6 +33,7 @@
 #include "batch/batch_heuristics.hpp"
 #include "core/factory.hpp"
 #include "core/gang_placement.hpp"
+#include "econ/econ_model.hpp"
 #include "experiment/paper_config.hpp"
 #include "fault/recovery.hpp"
 #include "governor/governor.hpp"
@@ -120,6 +121,23 @@ void PrintUsage(std::ostream& os, const char* argv0) {
      << "  --gang-policy NAME gang placement heuristic (registered: "
      << ecdra::core::GangPlacementRegistry().JoinedNames() << ";\n"
      << "                     default pack)\n"
+     << "economics and SLA tiers (src/econ):\n"
+     << "  --econ             attach the econ model: tasks carry value and\n"
+     << "                     an SLA tier, trials meter revenue against the\n"
+     << "                     energy bill (try heuristic econ-greedy,\n"
+     << "                     filter ...+sla, admission value-density,\n"
+     << "                     governor profit-guard)\n"
+     << "  --econ-values LIST comma-separated per-type revenue values,\n"
+     << "                     cycled over task types (e.g. 1,5,20;\n"
+     << "                     default 1)\n"
+     << "  --sla-tiers LIST   comma-separated name@vmult@smult@rhofloor@prob\n"
+     << "                     tiers, e.g. gold@3@2@0.9@0.2,be@1@1@0@0.8\n"
+     << "                     (default: one neutral tier)\n"
+     << "  --energy-price X   price charged per joule drawn (default 0 =\n"
+     << "                     free energy)\n"
+     << "  --value-decay W    late finishes earn linearly decaying revenue\n"
+     << "                     over W simulated seconds past the deadline\n"
+     << "                     (default 0 = late earns nothing)\n"
      << "  --list-policies    print every registered heuristic, filter,\n"
      << "                     batch heuristic, governor, admission, gang\n"
      << "                     placement, and recovery policy, then exit\n"
@@ -217,6 +235,76 @@ std::vector<ecdra::workload::ShapeClass> ParseShapeClasses(
   }
   if (classes.empty()) Fail(std::string(flag) + ": empty class list");
   return classes;
+}
+
+/// "1,5,20" -> per-type value table (env.econ.values syntax). Values must
+/// be >= 0; the model cycles the list over task types.
+std::vector<double> ParseEconValues(std::string_view flag,
+                                    const std::string& value) {
+  std::vector<double> values;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string token =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    const double v = ParseDouble(flag, token);
+    if (v < 0.0) Fail(std::string(flag) + ": values must be >= 0");
+    values.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (values.empty()) Fail(std::string(flag) + ": empty value list");
+  return values;
+}
+
+/// "gold@3@2@0.9@0.2,be@1@1@0@0.8" -> SLA tiers (env.econ.tiers syntax):
+/// name @ value multiplier @ fair-share multiplier @ rho floor @ mix
+/// probability. The generator normalizes probabilities.
+std::vector<ecdra::econ::SlaTier> ParseSlaTiers(std::string_view flag,
+                                                const std::string& value) {
+  std::vector<ecdra::econ::SlaTier> tiers;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    std::string token =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    std::vector<std::string> parts;
+    std::size_t part_start = 0;
+    while (part_start <= token.size()) {
+      const std::size_t at = token.find('@', part_start);
+      parts.push_back(token.substr(
+          part_start,
+          at == std::string::npos ? std::string::npos : at - part_start));
+      if (at == std::string::npos) break;
+      part_start = at + 1;
+    }
+    if (parts.size() != 5 || parts[0].empty()) {
+      Fail(std::string(flag) + ": '" + token +
+           "' is not a name@vmult@smult@rhofloor@prob tier");
+    }
+    ecdra::econ::SlaTier tier;
+    tier.name = parts[0];
+    tier.value_multiplier = ParseDouble(flag, parts[1]);
+    tier.share_multiplier = ParseDouble(flag, parts[2]);
+    tier.rho_floor = ParseDouble(flag, parts[3]);
+    tier.probability = ParseDouble(flag, parts[4]);
+    if (tier.value_multiplier < 0.0 || tier.share_multiplier < 0.0) {
+      Fail(std::string(flag) + ": tier multipliers must be >= 0");
+    }
+    if (tier.rho_floor < 0.0 || tier.rho_floor > 1.0) {
+      Fail(std::string(flag) + ": rho floors must be in [0, 1]");
+    }
+    if (tier.probability <= 0.0) {
+      Fail(std::string(flag) + ": tier probabilities must be > 0");
+    }
+    tiers.push_back(std::move(tier));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (tiers.empty()) Fail(std::string(flag) + ": empty tier list");
+  return tiers;
 }
 
 }  // namespace
@@ -427,6 +515,21 @@ int main(int argc, char** argv) {
              "' (registered: " +
              core::GangPlacementRegistry().JoinedNames() + ")");
       }
+    } else if (flag == "--econ") {
+      spec.econ_enabled = true;
+      // A bare --econ should meter something: default every type to unit
+      // value unless --econ-values overrides it.
+      if (spec.econ.type_values.empty()) spec.econ.type_values = {1.0};
+    } else if (flag == "--econ-values") {
+      spec.econ.type_values = ParseEconValues(flag, next());
+    } else if (flag == "--sla-tiers") {
+      spec.econ.tiers = ParseSlaTiers(flag, next());
+    } else if (flag == "--energy-price") {
+      spec.econ.energy_price = ParseDouble(flag, next());
+      if (spec.econ.energy_price < 0.0) Fail("--energy-price: must be >= 0");
+    } else if (flag == "--value-decay") {
+      spec.econ.value_decay = ParseDouble(flag, next());
+      if (spec.econ.value_decay < 0.0) Fail("--value-decay: must be >= 0");
     } else if (flag == "--checkpoint") {
       checkpoint_path = next();
       if (checkpoint_path.empty()) Fail("--checkpoint: empty path");
@@ -605,6 +708,13 @@ int main(int argc, char** argv) {
               << ", gangs placed " << summary.mean_gangs_placed
               << ", waits " << summary.mean_gang_waits << " ("
               << summary.mean_gang_wait_seconds << " s)\n";
+  }
+  if (summary.econ_trials > 0) {
+    std::cout << "  econ (price=" << run.econ.energy_price
+              << "/J): mean revenue " << summary.mean_revenue
+              << ", energy cost " << summary.mean_energy_cost
+              << ", net profit " << summary.mean_net_profit
+              << " (offered " << summary.mean_value_offered << ")\n";
   }
   if (run.validation != validate::ValidationMode::kOff) {
     std::cout << "  validation (" << validate::ValidationModeName(run.validation)

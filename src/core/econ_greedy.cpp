@@ -1,0 +1,36 @@
+#include "core/econ_greedy.hpp"
+
+#include <algorithm>
+
+namespace ecdra::core {
+
+std::optional<Candidate> EconGreedyHeuristic::Select(
+    const MappingContext& ctx) {
+  const auto& candidates = ctx.candidates();
+  if (candidates.empty()) return std::nullopt;
+
+  const econ::EconModel* model = ctx.econ();
+  const double value = ctx.task().value;
+  const double price = model != nullptr ? model->energy_price : 0.0;
+
+  const Candidate* best = nullptr;
+  double best_score = 0.0;
+  for (const Candidate& candidate : candidates) {
+    // EEC is strictly positive for any real candidate; the guard only
+    // matters for degenerate zero-energy tables and keeps the density
+    // finite there.
+    const double eec = std::max(candidate.eec, 1e-12);
+    const double score =
+        model != nullptr
+            ? (value * ctx.OnTimeProbability(candidate) - price * eec) / eec
+            : 0.0;
+    if (best == nullptr || score > best_score ||
+        (score == best_score && candidate.eec < best->eec)) {
+      best = &candidate;
+      best_score = score;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ecdra::core

@@ -1,0 +1,34 @@
+// Profit-greedy heuristic (econ extension, src/econ): assign the incoming
+// task to the feasible (core, P-state) with the largest expected marginal
+// profit per joule,
+//
+//   score(c) = (value * rho(c) - price * EEC(c)) / EEC(c),
+//
+// where value is the task's tier-scaled revenue, rho(c) the on-time
+// probability of the candidate, and price the model's cost per joule —
+// the utility-per-resource greedy of market-based schedulers (cf. Li et
+// al., arXiv:1501.05414) grafted onto the paper's candidate machinery.
+// Dividing by EEC makes the score a *density*: when the energy filter has
+// left limited budget headroom, earning more per joule spent dominates
+// earning more per task.
+//
+// Ties break toward the lower-EEC candidate, then candidate order. Without
+// an econ view (value and price both unavailable) every score is 0 and the
+// heuristic degrades to first-candidate order — deterministic, but
+// meaningless; pair it with a non-trivial EconModel.
+#pragma once
+
+#include "core/heuristic.hpp"
+
+namespace ecdra::core {
+
+class EconGreedyHeuristic final : public Heuristic {
+ public:
+  [[nodiscard]] std::optional<Candidate> Select(
+      const MappingContext& ctx) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "econ-greedy";
+  }
+};
+
+}  // namespace ecdra::core

@@ -28,6 +28,9 @@ void EnergyFilter::Apply(MappingContext& ctx) {
   // Governor adjustment; x1 (no governor, or an on-schedule controller) is
   // an exact identity.
   fair_share *= ctx.FairShareScale();
+  // SLA-tier adjustment (econ extension): gold traffic may claim a larger
+  // slice of the remaining budget. x1 outside econ mode — same identity.
+  fair_share *= ctx.TierShareMultiplier();
   std::erase_if(ctx.candidates(), [fair_share](const Candidate& candidate) {
     return candidate.eec > fair_share;
   });

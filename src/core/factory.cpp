@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/econ_greedy.hpp"
 #include "core/kpb.hpp"
 #include "core/lightest_load.hpp"
 #include "core/mect.hpp"
@@ -10,6 +11,7 @@
 #include "core/olb.hpp"
 #include "core/random_heuristic.hpp"
 #include "core/shortest_queue.hpp"
+#include "core/sla_filter.hpp"
 
 namespace ecdra::core {
 
@@ -89,12 +91,18 @@ ECDRA_REGISTER_HEURISTIC("KPB", [](util::RngStream) {
 ECDRA_REGISTER_HEURISTIC("Random", [](util::RngStream rng) {
   return std::make_unique<RandomHeuristic>(std::move(rng));
 })
+ECDRA_REGISTER_HEURISTIC("econ-greedy", [](util::RngStream) {
+  return std::make_unique<EconGreedyHeuristic>();
+})
 
 ECDRA_REGISTER_FILTER("en", [](const FilterChainOptions& options) {
   return std::make_unique<EnergyFilter>(options.energy);
 })
 ECDRA_REGISTER_FILTER("rob", [](const FilterChainOptions& options) {
   return std::make_unique<RobustnessFilter>(options.robustness_threshold);
+})
+ECDRA_REGISTER_FILTER("sla", [](const FilterChainOptions&) {
+  return std::make_unique<SlaFilter>();
 })
 
 }  // namespace ecdra::core

@@ -15,6 +15,7 @@
 
 #include "cluster/cluster.hpp"
 #include "core/assignment.hpp"
+#include "econ/econ_model.hpp"
 #include "robustness/core_queue_model.hpp"
 #include "workload/task.hpp"
 #include "workload/task_type_table.hpp"
@@ -120,6 +121,21 @@ class MappingContext {
     return fair_share_scale_;
   }
 
+  /// Econ extension (src/econ): read-only view of the run's EconModel for
+  /// value-aware heuristics and the SLA filter. Null (the default) outside
+  /// econ mode — econ-aware policies must degrade gracefully on null.
+  void SetEconView(const econ::EconModel* model) noexcept { econ_ = model; }
+  [[nodiscard]] const econ::EconModel* econ() const noexcept { return econ_; }
+
+  /// The task's SLA-tier multiplier on the energy filter's fair share: gold
+  /// traffic may claim a larger slice of the remaining budget. Exactly 1.0
+  /// outside econ mode (and for neutral tiers), so multiplying by it is an
+  /// IEEE identity and the baseline filter is bit-identical.
+  [[nodiscard]] double TierShareMultiplier() const noexcept {
+    return econ_ == nullptr ? 1.0
+                            : econ_->TierOf(task_->tier).share_multiplier;
+  }
+
  private:
   const cluster::Cluster* cluster_;
   const workload::Task* task_;
@@ -132,6 +148,7 @@ class MappingContext {
   double remaining_energy_estimate_ = 0.0;
   std::size_t tasks_left_ = 1;
   double fair_share_scale_ = 1.0;
+  const econ::EconModel* econ_ = nullptr;
   /// Memoized ExpectedReadyTime per core (NaN = not yet computed).
   mutable std::vector<double> expected_ready_;
 };

@@ -84,6 +84,7 @@ std::optional<Candidate> ImmediateModeScheduler::RunPipeline(
   MappingContext ctx(*cluster_, *types_, cores, task, now, availability);
   ctx.SetBudgetView(estimator_.remaining(), tasks_left);
   ctx.SetFairShareScale(fair_share_scale_);
+  ctx.SetEconView(econ_);
 
   const std::size_t candidates_generated = ctx.candidates().size();
   if (counters != nullptr) {
@@ -202,6 +203,7 @@ GangOutcome ImmediateModeScheduler::MapGang(
   tasks_left = std::max(tasks_left, width);
   ctx.SetBudgetView(estimator_.remaining(), tasks_left);
   ctx.SetFairShareScale(fair_share_scale_);
+  ctx.SetEconView(econ_);
   if (counters != nullptr) {
     counters->candidates_generated += ctx.candidates().size();
   }

@@ -1,0 +1,38 @@
+#include "econ/profit_meter.hpp"
+
+namespace ecdra::econ {
+
+namespace {
+
+bool Premium(const SlaTier& tier) {
+  return tier.value_multiplier != 1.0 || tier.share_multiplier != 1.0 ||
+         tier.rho_floor != 0.0;
+}
+
+}  // namespace
+
+void ProfitMeter::Offer(const workload::Task& task) {
+  value_offered_ += task.value;
+  if (Premium(model_->TierOf(task.tier))) ++premium_total_;
+}
+
+void ProfitMeter::Finish(const workload::Task& task, double finish_time,
+                         bool earns) {
+  const bool on_time = finish_time <= task.deadline;
+  if (Premium(model_->TierOf(task.tier)) && earns && on_time) {
+    ++premium_on_time_;
+  }
+  if (!earns) return;
+  const double earned =
+      model_->RealizedValue(task.value, task.deadline, finish_time);
+  if (earned <= 0.0) return;
+  revenue_ += earned;
+  ++paid_finishes_;
+  if (!on_time) ++decayed_finishes_;
+}
+
+void ProfitMeter::Settle(double total_energy) {
+  energy_cost_ = model_->energy_price * total_energy;
+}
+
+}  // namespace ecdra::econ

@@ -1,0 +1,61 @@
+// Per-trial profit accounting. The engine offers every task in the window to
+// the meter once (so forfeited value is visible even for tasks that never
+// finish), realizes revenue at each task's first finish tally, and settles
+// the energy bill at the end of the trial. The meter is pure arithmetic —
+// deterministic, no clock, no allocation beyond the model reference — so it
+// adds nothing to the simulation state that a checkpoint would have to carry.
+#pragma once
+
+#include <cstddef>
+
+#include "econ/econ_model.hpp"
+#include "workload/task.hpp"
+
+namespace ecdra::econ {
+
+class ProfitMeter {
+ public:
+  explicit ProfitMeter(const EconModel& model) : model_(&model) {}
+
+  /// Counts a task toward the trial's offered value (call once per task).
+  void Offer(const workload::Task& task);
+
+  /// Realizes the task's revenue at its first finish tally. `earns` is the
+  /// engine's on-time-and-within-energy verdict; a late finish may still
+  /// earn a decayed fraction when the model has a decay window.
+  void Finish(const workload::Task& task, double finish_time, bool earns);
+
+  /// Charges the energy bill for the trial's total consumption (joules).
+  void Settle(double total_energy);
+
+  [[nodiscard]] double revenue() const noexcept { return revenue_; }
+  [[nodiscard]] double energy_cost() const noexcept { return energy_cost_; }
+  [[nodiscard]] double net_profit() const noexcept {
+    return revenue_ - energy_cost_;
+  }
+  [[nodiscard]] double value_offered() const noexcept { return value_offered_; }
+  [[nodiscard]] std::size_t paid_finishes() const noexcept {
+    return paid_finishes_;
+  }
+  [[nodiscard]] std::size_t decayed_finishes() const noexcept {
+    return decayed_finishes_;
+  }
+  [[nodiscard]] std::size_t premium_total() const noexcept {
+    return premium_total_;
+  }
+  [[nodiscard]] std::size_t premium_on_time() const noexcept {
+    return premium_on_time_;
+  }
+
+ private:
+  const EconModel* model_;
+  double revenue_ = 0.0;
+  double energy_cost_ = 0.0;
+  double value_offered_ = 0.0;
+  std::size_t paid_finishes_ = 0;
+  std::size_t decayed_finishes_ = 0;
+  std::size_t premium_total_ = 0;
+  std::size_t premium_on_time_ = 0;
+};
+
+}  // namespace ecdra::econ

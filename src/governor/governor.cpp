@@ -165,6 +165,52 @@ class DeadlineAwareGovernor final : public Governor {
   }
 };
 
+/// Econ extension: trades speed against the energy bill by the observed
+/// revenue-per-joule. While the run is earning more per joule than the
+/// meter charges (ratio >= 1) the cluster runs uncapped; as the margin
+/// thins the governor raises a cluster-wide P-state floor in bands —
+/// slower, lower-power states spend fewer joules per task, cutting the
+/// bill at the cost of some late revenue. No-op without an energy price
+/// (pre-econ runs unchanged) and during the warm-up before any revenue or
+/// joules exist, where the ratio is meaningless.
+class ProfitGuardGovernor final : public Governor {
+ public:
+  static constexpr double kTickPeriod = 100.0;
+  /// Floor deepens one step each time the revenue/bill ratio falls through
+  /// another band of this width below 1.
+  static constexpr double kBandWidth = 0.25;
+
+  [[nodiscard]] std::string_view name() const override {
+    return "profit-guard";
+  }
+  [[nodiscard]] GovernorCadence cadence() const override {
+    return GovernorCadence{.on_completion = true, .tick_period = kTickPeriod};
+  }
+  void Govern(const GovernorObservation& observation,
+              GovernorHost& host) override {
+    if (observation.energy_price <= 0.0) return;
+    if (observation.consumed <= 0.0) return;
+    const double bill = observation.energy_price * observation.consumed;
+    const double ratio = observation.realized_revenue / bill;
+    cluster::PStateIndex floor = 0;
+    if (ratio < 1.0) {
+      floor = static_cast<cluster::PStateIndex>(
+          std::min<double>(cluster::kNumPStates - 1.0,
+                           std::floor((1.0 - ratio) / kBandWidth) + 1.0));
+    }
+    for (std::size_t flat = 0; flat < observation.cores.size(); ++flat) {
+      host.SetPStateFloor(flat, floor);
+    }
+    // Margin under water also means idle draw is pure loss: park what sleeps.
+    if (ratio < 1.0) {
+      for (std::size_t flat = 0; flat < observation.cores.size(); ++flat) {
+        const CoreView& core = observation.cores[flat];
+        if (!core.busy && !core.parked) (void)host.ParkIdleCore(flat);
+      }
+    }
+  }
+};
+
 // -- Built-in registrations. Kept in this translation unit (retained by any
 // binary that calls MakeGovernor) for the same static-library reason as
 // core/factory.cpp. --
@@ -178,6 +224,9 @@ ECDRA_REGISTER_GOVERNOR("budget-feedback", [] {
 })
 ECDRA_REGISTER_GOVERNOR("deadline-aware", [] {
   return std::make_unique<DeadlineAwareGovernor>();
+})
+ECDRA_REGISTER_GOVERNOR("profit-guard", [] {
+  return std::make_unique<ProfitGuardGovernor>();
 })
 
 }  // namespace

@@ -100,6 +100,12 @@ struct GovernorObservation {
   std::span<const CoreView> cores;
   /// The deepest (slowest) P-state index — the idle/parking state.
   cluster::PStateIndex idle_pstate = 0;
+  /// Econ extension (src/econ), populated only when a non-trivial EconModel
+  /// runs: the price per joule and the revenue realized so far. Zero price
+  /// (the default) makes every econ-aware governor a no-op, so pre-econ
+  /// runs are unchanged.
+  double energy_price = 0.0;
+  double realized_revenue = 0.0;
 };
 
 /// The engine-side action surface. Every action is counted

@@ -118,6 +118,21 @@ void WriteWindow(std::ostream& os, const StreamWindowRecord& window) {
      << (window.emergency ? "true" : "false") << "}\n";
 }
 
+void WriteProfit(std::ostream& os, const ProfitRecord& profit) {
+  os << "{\"event\":\"profit\",\"trial\":" << profit.trial << ",\"time\":";
+  AppendNumber(os, profit.time);
+  os << ",\"revenue\":";
+  AppendNumber(os, profit.revenue);
+  os << ",\"cost\":";
+  AppendNumber(os, profit.energy_cost);
+  os << ",\"net\":";
+  AppendNumber(os, profit.net_profit);
+  os << ",\"offered\":";
+  AppendNumber(os, profit.value_offered);
+  os << ",\"paid\":" << profit.paid_finishes
+     << ",\"decayed\":" << profit.decayed_finishes << "}\n";
+}
+
 void WriteSnapshot(std::ostream& os, const EnergySnapshotRecord& snapshot) {
   os << "{\"event\":\"energy\",\"trial\":" << snapshot.trial << ",\"time\":";
   AppendNumber(os, snapshot.time);
@@ -153,6 +168,10 @@ class SynchronizedSink final : public TraceSink {
   void Record(const StreamWindowRecord& window) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     inner_->Record(window);
+  }
+  void Record(const ProfitRecord& profit) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inner_->Record(profit);
   }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -192,6 +211,10 @@ class JsonlFileSink final : public TraceSink {
     const std::lock_guard<std::mutex> lock(mutex_);
     WriteWindow(file_, window);
   }
+  void Record(const ProfitRecord& profit) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    WriteProfit(file_, profit);
+  }
   void Flush() override {
     const std::lock_guard<std::mutex> lock(mutex_);
     file_.flush();
@@ -222,6 +245,10 @@ void JsonlTraceSink::Record(const GovernorActionRecord& action) {
 
 void JsonlTraceSink::Record(const StreamWindowRecord& window) {
   WriteWindow(*os_, window);
+}
+
+void JsonlTraceSink::Record(const ProfitRecord& profit) {
+  WriteProfit(*os_, profit);
 }
 
 void JsonlTraceSink::Flush() { os_->flush(); }

@@ -27,6 +27,8 @@
 //    "on_time":O,"late":L,"over_energy":E,"joules":J,
 //    "on_time_per_joule":OPJ,"missed_rate":MR,"available":B,
 //    "queue_depth":Q,"pen_depth":P,"emergency":false}
+//   {"event":"profit","trial":T,"time":t,"revenue":R,"cost":C,"net":N,
+//    "offered":V,"paid":P,"decayed":D}
 //
 // `stages` lists the filter chain in application order; `discard_stage`
 // names the stage that emptied the candidate set ("" never appears — the
@@ -165,6 +167,23 @@ struct StreamWindowRecord {
   bool emergency = false;
 };
 
+/// End-of-trial profit settlement of the econ extension (src/econ): what the
+/// trial earned, what its joules cost, and how much offered value it left on
+/// the table. Emitted once per trial, only when a non-trivial EconModel ran.
+struct ProfitRecord {
+  std::uint64_t trial = 0;
+  /// Settlement time (the trial's end of simulation).
+  double time = 0.0;
+  double revenue = 0.0;
+  double energy_cost = 0.0;
+  double net_profit = 0.0;
+  /// Total value the window offered (revenue <= value_offered).
+  double value_offered = 0.0;
+  /// Finishes that earned revenue / the subset paid at a decayed late rate.
+  std::uint64_t paid_finishes = 0;
+  std::uint64_t decayed_finishes = 0;
+};
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -180,6 +199,9 @@ class TraceSink {
   /// Default no-op so sinks predating the streaming extension keep
   /// compiling; the JSONL sinks emit one "window" line per closed window.
   virtual void Record(const StreamWindowRecord& window) { (void)window; }
+  /// Default no-op so sinks predating the econ extension keep compiling;
+  /// the JSONL sinks emit one "profit" line per settled trial.
+  virtual void Record(const ProfitRecord& profit) { (void)profit; }
   virtual void Flush() {}
 };
 
@@ -195,6 +217,7 @@ class JsonlTraceSink final : public TraceSink {
   void Record(const FaultEventRecord& fault) override;
   void Record(const GovernorActionRecord& action) override;
   void Record(const StreamWindowRecord& window) override;
+  void Record(const ProfitRecord& profit) override;
   void Flush() override;
 
  private:

@@ -78,8 +78,11 @@ constexpr std::string_view kHeaderLine = "ecdra-scenario v1";
 // v5: the job block (env.workload.jobs.*, run.jobs.placement) joined — a v4
 // checkpoint cannot attest whether gang jobs and precedence chains shaped
 // its trials, nor which gang-placement policy chose the core sets.
+// v6: the econ block (env.econ.*, run.econ.*) joined — a v5 checkpoint
+// cannot attest whether per-task value, SLA tiers, or the energy price
+// shaped its trials.
 constexpr std::string_view kFingerprintHeaderLine =
-    "ecdra-scenario-fingerprint v5";
+    "ecdra-scenario-fingerprint v6";
 
 std::string_view LifetimeName(fault::LifetimeDistribution lifetime) noexcept {
   return lifetime == fault::LifetimeDistribution::kWeibull ? "weibull"
@@ -112,6 +115,26 @@ std::string ShapesValue(const std::vector<workload::ShapeClass>& classes) {
   for (const workload::ShapeClass& cls : classes) {
     if (!value.empty()) value += ",";
     value += std::to_string(cls.value) + "@" + Num(cls.probability);
+  }
+  return value;
+}
+
+std::string ValuesValue(const std::vector<double>& values) {
+  std::string value;
+  for (const double v : values) {
+    if (!value.empty()) value += ",";
+    value += Num(v);
+  }
+  return value;
+}
+
+std::string TiersValue(const std::vector<econ::SlaTier>& tiers) {
+  std::string value;
+  for (const econ::SlaTier& tier : tiers) {
+    if (!value.empty()) value += ",";
+    value += tier.name + "@" + Num(tier.value_multiplier) + "@" +
+             Num(tier.share_multiplier) + "@" + Num(tier.rho_floor) + "@" +
+             Num(tier.probability);
   }
   return value;
 }
@@ -234,6 +257,12 @@ void EmitResultShapingLines(std::string& out, const ScenarioSpec& spec) {
   Emit(out, "stream.degraded_enter", Num(stream.degraded_enter_fraction));
   Emit(out, "stream.degraded_exit", Num(stream.degraded_exit_fraction));
   Emit(out, "stream.degraded_rho_scale", Num(stream.degraded_rho_scale));
+
+  Emit(out, "env.econ.values", ValuesValue(spec.econ.type_values));
+  Emit(out, "env.econ.tiers", TiersValue(spec.econ.tiers));
+  Emit(out, "run.econ.enabled", spec.econ_enabled ? "true" : "false");
+  Emit(out, "run.econ.energy_price", Num(spec.econ.energy_price));
+  Emit(out, "run.econ.value_decay", Num(spec.econ.value_decay));
 }
 
 void EmitGridAndHarnessLines(std::string& out, const ScenarioSpec& spec) {
@@ -343,6 +372,39 @@ std::vector<workload::ShapeClass> ParseShapes(std::string_view line,
         ParseNum(line, token.substr(at + 1))});
   }
   return classes;
+}
+
+std::vector<double> ParseValues(std::string_view line, std::string_view value) {
+  std::vector<double> values;
+  for (const std::string_view token : SplitList(value)) {
+    values.push_back(ParseNum(line, token));
+  }
+  return values;
+}
+
+std::vector<econ::SlaTier> ParseTiers(std::string_view line,
+                                      std::string_view value) {
+  std::vector<econ::SlaTier> tiers;
+  for (std::string_view token : SplitList(value)) {
+    econ::SlaTier tier;
+    std::vector<std::string_view> parts;
+    while (!token.empty()) {
+      const std::size_t at = token.find('@');
+      parts.push_back(token.substr(0, at));
+      if (at == std::string_view::npos) break;
+      token.remove_prefix(at + 1);
+    }
+    if (parts.size() != 5 || parts[0].empty()) {
+      ParseFail(line, "expected name@vmult@smult@rhofloor@prob tiers");
+    }
+    tier.name = std::string(parts[0]);
+    tier.value_multiplier = ParseNum(line, parts[1]);
+    tier.share_multiplier = ParseNum(line, parts[2]);
+    tier.rho_floor = ParseNum(line, parts[3]);
+    tier.probability = ParseNum(line, parts[4]);
+    tiers.push_back(std::move(tier));
+  }
+  return tiers;
 }
 
 std::vector<std::string> ParseNames(std::string_view value) {
@@ -590,6 +652,16 @@ ScenarioSpec ParseScenarioSpec(std::string_view text) {
       spec.stream.degraded_exit_fraction = ParseNum(line, value);
     } else if (key == "stream.degraded_rho_scale") {
       spec.stream.degraded_rho_scale = ParseNum(line, value);
+    } else if (key == "env.econ.values") {
+      spec.econ.type_values = ParseValues(line, value);
+    } else if (key == "env.econ.tiers") {
+      spec.econ.tiers = ParseTiers(line, value);
+    } else if (key == "run.econ.enabled") {
+      spec.econ_enabled = ParseBool(line, value);
+    } else if (key == "run.econ.energy_price") {
+      spec.econ.energy_price = ParseNum(line, value);
+    } else if (key == "run.econ.value_decay") {
+      spec.econ.value_decay = ParseNum(line, value);
     } else if (key == "grid.heuristics") {
       spec.grid.heuristics = ParseNames(value);
     } else if (key == "grid.filter_variants") {

@@ -20,6 +20,7 @@
 
 #include "cluster/cluster_builder.hpp"
 #include "core/factory.hpp"
+#include "econ/econ_model.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/recovery.hpp"
 #include "pmf/distribution_factory.hpp"
@@ -92,6 +93,11 @@ struct ScenarioSpec {
   RunMode mode = RunMode::kFixedTrace;
   /// Streaming service knobs (src/stream); inert unless mode == kStream.
   StreamSpec stream;
+  /// Econ extension (src/econ): per-type value, SLA tiers, energy price, and
+  /// the late-revenue decay window. A disabled or trivial (all-zero) model
+  /// takes the exact pre-econ trial path — bit-identical to the paper grid.
+  bool econ_enabled = false;
+  econ::EconModel econ;
 
   // -- Grid + harness knobs (serialized, but not fingerprinted) --
   PolicyGrid grid;

@@ -52,7 +52,9 @@ struct StreamSpec {
   double emergency_exit_fraction = 0.20;
   /// Registered admission policy (stream::AdmissionRegistry): "none" maps
   /// every arrival (the pure-accrual baseline); "rho" defers low on-time-
-  /// probability arrivals to the holding pen and drops hopeless ones.
+  /// probability arrivals to the holding pen and drops hopeless ones;
+  /// "value-density" (econ runs) drops arrivals whose value cannot cover
+  /// their cheapest energy bill and defers marginal ones.
   std::string admission = "none";
   /// "rho" thresholds: defer below defer_rho, drop below drop_rho.
   double defer_rho = 0.30;

@@ -243,6 +243,8 @@ std::string ConfigFingerprint(const ExperimentSetup& setup,
   spec.governor = options.governor;
   spec.mode = options.mode;
   spec.stream = options.stream;
+  spec.econ_enabled = options.econ_enabled;
+  spec.econ = options.econ;
   return policy::SpecFingerprint(spec);
 }
 
@@ -370,6 +372,29 @@ std::string TrialResultToJson(const TrialResult& result) {
     Field(out, "pending_peak", std::uint64_t{result.jobs.pending_peak});
     out += ',';
     Field(out, "gang_wait_seconds", result.jobs.gang_wait_seconds);
+    out += '}';
+  }
+
+  // Profit settlement (omitted entirely outside econ mode, so pre-econ
+  // records and zero-model runs serialize byte-identically).
+  if (result.econ.enabled) {
+    out += ",\"econ\":{";
+    Field(out, "revenue", result.econ.revenue);
+    out += ',';
+    Field(out, "energy_cost", result.econ.energy_cost);
+    out += ',';
+    Field(out, "net_profit", result.econ.net_profit);
+    out += ',';
+    Field(out, "value_offered", result.econ.value_offered);
+    out += ',';
+    Field(out, "paid_finishes", std::uint64_t{result.econ.paid_finishes});
+    out += ',';
+    Field(out, "decayed_finishes",
+          std::uint64_t{result.econ.decayed_finishes});
+    out += ',';
+    Field(out, "premium_total", std::uint64_t{result.econ.premium_total});
+    out += ',';
+    Field(out, "premium_on_time", std::uint64_t{result.econ.premium_on_time});
     out += '}';
   }
 
@@ -503,6 +528,21 @@ TrialResult TrialResultFromValue(const json::Value& object) {
     result.jobs.gangs_abandoned = RequireUint(*jobs, "gangs_abandoned");
     result.jobs.pending_peak = RequireUint(*jobs, "pending_peak");
     result.jobs.gang_wait_seconds = RequireNumber(*jobs, "gang_wait_seconds");
+  }
+
+  if (const json::Value* econ = object.Find("econ")) {
+    if (econ->kind() != json::Value::Kind::kObject) {
+      BadRecord("field \"econ\" is not an object");
+    }
+    result.econ.enabled = true;
+    result.econ.revenue = RequireNumber(*econ, "revenue");
+    result.econ.energy_cost = RequireNumber(*econ, "energy_cost");
+    result.econ.net_profit = RequireNumber(*econ, "net_profit");
+    result.econ.value_offered = RequireNumber(*econ, "value_offered");
+    result.econ.paid_finishes = RequireUint(*econ, "paid_finishes");
+    result.econ.decayed_finishes = RequireUint(*econ, "decayed_finishes");
+    result.econ.premium_total = RequireUint(*econ, "premium_total");
+    result.econ.premium_on_time = RequireUint(*econ, "premium_on_time");
   }
 
   if (const json::Value* counters = object.Find("counters")) {

@@ -5,7 +5,7 @@
 // every option that shapes per-trial results; each following line is one
 // completed trial:
 //
-//   {"record":"header","schema":5,"seed":"14","config":"9f2ab31c6d0e8457",
+//   {"record":"header","schema":7,"seed":"14","config":"9f2ab31c6d0e8457",
 //    "crc":"0a1b2c3d"}
 //   {"record":"trial","heuristic":"SQ","filter":"en+rob","trial":0,
 //    "result":{"window":1000,"completed":749,...},"crc":"4e5f6071"}
@@ -56,7 +56,12 @@ namespace ecdra::sim {
 /// run.jobs.placement; "ecdra-scenario-fingerprint v5") and trial records
 /// grew the "jobs" aggregate object — a v5 store cannot attest whether gang
 /// jobs and precedence chains shaped its trials.
-inline constexpr std::uint32_t kCheckpointSchemaVersion = 6;
+/// v7: the fingerprint preimage grew the econ block (env.econ.*, run.econ.*;
+/// "ecdra-scenario-fingerprint v6") and trial records grew the "econ"
+/// profit object — a v6 store cannot attest whether per-task value, SLA
+/// tiers, or the energy price shaped its trials, so Load refuses it with
+/// kSchemaVersion naming both versions.
+inline constexpr std::uint32_t kCheckpointSchemaVersion = 7;
 
 enum class CheckpointErrorKind {
   kIo,                  // cannot open / read / write the file

@@ -136,6 +136,16 @@ Engine::Engine(const cluster::Cluster& cluster,
     }
   }
 
+  // Econ extension (src/econ): a trivial model (all values zero, free
+  // energy, neutral tiers) is treated exactly like econ-off, so the
+  // degenerate configuration allocates no meter and the scheduler never
+  // sees an econ view — bit-identical to a pre-econ build.
+  econ_enabled_ = options_.econ.enabled && !options_.econ.model.trivial();
+  if (econ_enabled_) {
+    profit_.emplace(options_.econ.model);
+    scheduler_->SetEconModel(&options_.econ.model);
+  }
+
   // Job extension (src/workload/job.hpp): derive the JobGraph from the
   // tasks' job/stage fields. A workload whose every job is degenerate
   // demotes back to the task-level path — the event loop, the scheduler
@@ -194,6 +204,13 @@ TrialResult Engine::Run() {
 
   TrialResult result;
   result.window_size = tasks_.size();
+
+  // Every task is offered to the profit meter exactly once so forfeited
+  // value (discards, drops, never-finished work) shows up as the gap
+  // between value_offered and revenue.
+  if (econ_enabled_) {
+    for (const workload::Task& task : tasks_) profit_->Offer(task);
+  }
 
   // Jobs mode seeds one kind-2 event per *job* (event.index is a job index;
   // every member task shares the job's arrival), and weights the trial by
@@ -347,6 +364,9 @@ TrialResult Engine::Run() {
             ++window_.over_energy;
           }
         }
+        // A late finish may still earn a decayed fraction; an insolvent
+        // (over-budget) finish earns nothing.
+        if (econ_enabled_) profit_->Finish(task, now, within_energy);
       }
       --active_tasks_;
       if (options_.collect_task_records) {
@@ -449,6 +469,25 @@ TrialResult Engine::Run() {
     stream_stats_.min_available = account_.min_available();
     stream_stats_.final_available = account_.available();
     result.stream = stream_stats_;
+  }
+  if (econ_enabled_) {
+    profit_->Settle(post_hoc);
+    result.econ.enabled = true;
+    result.econ.revenue = profit_->revenue();
+    result.econ.energy_cost = profit_->energy_cost();
+    result.econ.net_profit = profit_->net_profit();
+    result.econ.value_offered = profit_->value_offered();
+    result.econ.paid_finishes = profit_->paid_finishes();
+    result.econ.decayed_finishes = profit_->decayed_finishes();
+    result.econ.premium_total = profit_->premium_total();
+    result.econ.premium_on_time = profit_->premium_on_time();
+    if (options_.trace_sink != nullptr) {
+      options_.trace_sink->Record(obs::ProfitRecord{
+          options_.trial_index, now, result.econ.revenue,
+          result.econ.energy_cost, result.econ.net_profit,
+          result.econ.value_offered, result.econ.paid_finishes,
+          result.econ.decayed_finishes});
+    }
   }
   result.task_records = std::move(records_);
   result.robustness_trace = std::move(robustness_trace_);
@@ -1073,6 +1112,10 @@ void Engine::InvokeGovernor(double now) {
   observation.queues = models_;
   observation.cores = core_views_;
   observation.idle_pstate = idle_pstate_;
+  if (econ_enabled_) {
+    observation.energy_price = options_.econ.model.energy_price;
+    observation.realized_revenue = profit_->revenue();
+  }
   governor_->Govern(observation, *this);
   if (validate::TrialValidator* validator = validate::ActiveValidator()) {
     // Cheap invariant: a parked core must be idle — a busy one would mean a
@@ -1206,6 +1249,14 @@ stream::AdmissionVerdict Engine::DecideAdmission(const workload::Task& task,
   view.emergency = account_.emergency();
   view.degraded = degraded_.active();
   view.pen_depth = pen_.size();
+  if (econ_enabled_) {
+    // Econ signals for value-aware policies; the defaults (all zero) keep
+    // the rho policy's inputs untouched outside econ mode.
+    view.value = task.value;
+    view.cheapest_energy =
+        stream::CheapestExpectedEnergy(*cluster_, *types_, task.type);
+    view.energy_price = options_.econ.model.energy_price;
+  }
   return admission_->Decide(view);
 }
 

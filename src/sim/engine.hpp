@@ -30,6 +30,8 @@
 #include "cluster/cluster.hpp"
 #include "cluster/energy_accounting.hpp"
 #include "core/scheduler.hpp"
+#include "econ/econ_model.hpp"
+#include "econ/profit_meter.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_model.hpp"
 #include "fault/recovery.hpp"
@@ -162,6 +164,15 @@ struct TrialOptions {
     std::string placement = "pack";
   };
   JobOptions jobs;
+  /// Econ extension (src/econ): value-aware scheduling. The engine treats a
+  /// trivial model (all values zero, free energy, neutral tiers) exactly
+  /// like `enabled = false`, so the degenerate configuration allocates no
+  /// profit bookkeeping and reproduces the pre-econ trial bit-for-bit.
+  struct EconOptions {
+    bool enabled = false;
+    econ::EconModel model;
+  };
+  EconOptions econ;
 };
 
 class Engine : private governor::GovernorHost {
@@ -488,6 +499,11 @@ class Engine : private governor::GovernorHost {
   /// Priority-weighted completed jobs (jobs mode replaces the per-task
   /// weighted tallies with per-job ones).
   double weighted_jobs_completed_ = 0.0;
+  // -- Econ extension state (inert when econ_enabled_ is false) --
+  bool econ_enabled_ = false;
+  /// Per-trial profit accounting against options_.econ.model (allocated
+  /// only in econ mode).
+  std::optional<econ::ProfitMeter> profit_;
   /// Task ids already tallied into the task-level result buckets: a gang
   /// restart after a fault re-runs already-finished members, and only their
   /// first finish may count (jobs mode only).

@@ -89,6 +89,8 @@ RunOptions RunOptionsFromSpec(const policy::ScenarioSpec& spec) {
   options.governor = spec.governor;
   options.mode = spec.mode;
   options.stream = spec.stream;
+  options.econ_enabled = spec.econ_enabled;
+  options.econ = spec.econ;
   options.validation = spec.validation;
   return options;
 }
@@ -103,6 +105,16 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
   util::RngStream workload_rng = trial_rng.Substream("workload");
   std::vector<workload::Task> tasks =
       workload::GenerateWorkload(setup.types, setup.workload, workload_rng);
+
+  // Econ extension: value and SLA tier are workload attributes, assigned
+  // from a dedicated substream so enabling the model shifts no workload,
+  // heuristic, or sim draw — a trivial model skips the draw entirely and
+  // the trial is bit-identical to a pre-econ build.
+  const bool econ_active = options.econ_enabled && !options.econ.trivial();
+  if (econ_active) {
+    econ::AssignEconAttributes(tasks, options.econ, setup.types.num_types(),
+                               trial_rng.Substream("econ"));
+  }
 
   // Streaming mode replaces the fixed zeta_max with the accrual line's
   // total over the arrival horizon: the scheduler's fair share and the
@@ -149,6 +161,7 @@ TrialResult RunSingleTrial(const ExperimentSetup& setup,
       .stream = stream_config,
       .jobs = {.enabled = setup.workload.jobs.enabled,
                .placement = options.gang_placement},
+      .econ = {.enabled = econ_active, .model = options.econ},
   };
   if (options.fault.enabled()) {
     // The fault schedule draws only from the trial's "fault" substream, so

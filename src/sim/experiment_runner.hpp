@@ -111,6 +111,13 @@ struct RunOptions {
   /// node, "spread" round-robins across nodes, "serial" is the no-gang
   /// ablation that maps members through the per-task pipeline).
   std::string gang_placement = "pack";
+  /// Econ extension (src/econ): when enabled with a non-trivial model, each
+  /// trial assigns per-task value and SLA tier from the trial's dedicated
+  /// "econ" substream, the engine meters profit, and value-aware policies
+  /// see the model. Disabled or trivial keeps every trial bit-identical to
+  /// a pre-econ build.
+  bool econ_enabled = false;
+  econ::EconModel econ;
 
   // -- Crash-safe sweep extensions (RunSweep; all inert by default) --
   /// Per-attempt wall-clock watchdog in real seconds (0 = off). A trial

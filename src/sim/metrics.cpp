@@ -61,6 +61,16 @@ std::ostream& operator<<(std::ostream& os, const TrialResult& result) {
        << ", pending_peak=" << result.jobs.pending_peak
        << ", gang_wait_s=" << result.jobs.gang_wait_seconds << "}";
   }
+  if (result.econ.enabled) {
+    os << ", econ{revenue=" << result.econ.revenue
+       << ", cost=" << result.econ.energy_cost
+       << ", net=" << result.econ.net_profit
+       << ", offered=" << result.econ.value_offered
+       << ", paid=" << result.econ.paid_finishes
+       << ", decayed=" << result.econ.decayed_finishes
+       << ", premium=" << result.econ.premium_on_time << "/"
+       << result.econ.premium_total << "}";
+  }
   if (!result.validation.ok()) {
     os << ", validation=" << result.validation;
   }
@@ -101,6 +111,11 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
     summary.mean_gangs_placed += static_cast<double>(trial.jobs.gangs_placed);
     summary.mean_gang_waits += static_cast<double>(trial.jobs.gang_waits);
     summary.mean_gang_wait_seconds += trial.jobs.gang_wait_seconds;
+    if (trial.econ.enabled) ++summary.econ_trials;
+    summary.mean_revenue += trial.econ.revenue;
+    summary.mean_energy_cost += trial.econ.energy_cost;
+    summary.mean_net_profit += trial.econ.net_profit;
+    summary.mean_value_offered += trial.econ.value_offered;
     summary.counters.Merge(trial.counters);
     summary.validation_checks += trial.validation.checks_run;
     summary.validation_violations += trial.validation.violations;
@@ -129,6 +144,10 @@ SummaryStatistics SummarizeTrials(std::span<const TrialResult> trials) {
   summary.mean_gangs_placed /= n;
   summary.mean_gang_waits /= n;
   summary.mean_gang_wait_seconds /= n;
+  summary.mean_revenue /= n;
+  summary.mean_energy_cost /= n;
+  summary.mean_net_profit /= n;
+  summary.mean_value_offered /= n;
   return summary;
 }
 
@@ -169,6 +188,13 @@ std::ostream& operator<<(std::ostream& os, const SummaryStatistics& summary) {
        << ", mean_gangs_placed=" << summary.mean_gangs_placed
        << ", mean_gang_waits=" << summary.mean_gang_waits
        << ", mean_gang_wait_seconds=" << summary.mean_gang_wait_seconds;
+  }
+  if (summary.econ_trials > 0) {
+    os << ", econ_trials=" << summary.econ_trials
+       << ", mean_revenue=" << summary.mean_revenue
+       << ", mean_energy_cost=" << summary.mean_energy_cost
+       << ", mean_net_profit=" << summary.mean_net_profit
+       << ", mean_value_offered=" << summary.mean_value_offered;
   }
   if (summary.failed_trials > 0 || summary.retried_trials > 0 ||
       summary.timed_out_trials > 0) {

@@ -130,6 +130,34 @@ struct JobStats {
   friend bool operator==(const JobStats&, const JobStats&) = default;
 };
 
+/// Economic scalars of one trial (src/econ). `enabled` is set only when the
+/// trial ran with a non-trivial EconModel, so econ-off trials — and trials
+/// with the degenerate all-zeros model — keep their result JSON
+/// byte-identical to the pre-econ format.
+struct EconStats {
+  bool enabled = false;
+  /// Revenue realized by finishes (tier-multiplied, decay applied).
+  double revenue = 0.0;
+  /// energy_price x total_energy for the whole trial (idle draw included).
+  double energy_cost = 0.0;
+  /// revenue - energy_cost.
+  double net_profit = 0.0;
+  /// Total value the trial's window offered (what a clairvoyant scheduler
+  /// with free energy could have earned; revenue / value_offered is the
+  /// capture rate).
+  double value_offered = 0.0;
+  /// Finishes that earned any revenue.
+  std::size_t paid_finishes = 0;
+  /// Paid finishes that landed past the deadline inside the decay window.
+  std::size_t decayed_finishes = 0;
+  /// Tasks in a non-neutral (premium) SLA tier, and how many of those
+  /// finished on time within budget.
+  std::size_t premium_total = 0;
+  std::size_t premium_on_time = 0;
+
+  friend bool operator==(const EconStats&, const EconStats&) = default;
+};
+
 struct TrialResult {
   std::size_t window_size = 0;
   /// Tasks that completed by their deadline before the energy budget ran out
@@ -193,6 +221,9 @@ struct TrialResult {
   /// Job-level aggregates (enabled == false for independent-task trials).
   JobStats jobs;
 
+  /// Profit accounting (enabled == false outside econ mode).
+  EconStats econ;
+
   std::vector<TaskRecord> task_records;  // empty unless requested
   std::vector<RobustnessSample> robustness_trace;  // empty unless requested
   /// Scheduler/engine/pmf observability counters (all-zero unless
@@ -243,6 +274,13 @@ struct SummaryStatistics {
   double mean_gangs_placed = 0.0;
   double mean_gang_waits = 0.0;
   double mean_gang_wait_seconds = 0.0;
+  // -- Econ extension (all zero outside econ mode) --
+  /// Trials that carried a non-trivial EconModel.
+  std::size_t econ_trials = 0;
+  double mean_revenue = 0.0;
+  double mean_energy_cost = 0.0;
+  double mean_net_profit = 0.0;
+  double mean_value_offered = 0.0;
   /// Counters summed over all trials (all-zero when collection was off).
   obs::Counters counters;
   /// Invariant-validation totals over all trials (zero when validation off).

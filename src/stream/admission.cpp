@@ -63,6 +63,47 @@ class RhoAdmission final : public AdmissionPolicy {
   AdmissionOptions options_;
 };
 
+/// Econ extension: admit by expected value per joule. The cheapest possible
+/// energy bill for the task is price * cheapest_energy; a task whose
+/// tier-scaled value cannot cover that bill even when it certainly finishes
+/// on time (rho = 1) is dropped outright, and one whose *expected* revenue
+/// (value * best_rho) falls short is deferred to the pen in the hope that
+/// draining queues raise its odds. With no econ model attached every view
+/// field defaults to zero, both rules are vacuous, and the policy admits
+/// everything — streaming baselines are unchanged.
+class ValueDensityAdmission final : public AdmissionPolicy {
+ public:
+  explicit ValueDensityAdmission(const AdmissionOptions& options)
+      : options_(options) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "value-density";
+  }
+
+  [[nodiscard]] AdmissionVerdict Decide(const AdmissionView& view) override {
+    // A passed deadline earns nothing whatever the price says.
+    if (view.deadline <= view.now) return AdmissionVerdict::kDrop;
+    // Same fairness guard as "rho": a task that waited out the guard gets
+    // mapped even at a loss — admission shapes profit, it does not starve.
+    if (options_.fairness_wait > 0.0 &&
+        view.now - view.arrival >= options_.fairness_wait) {
+      return AdmissionVerdict::kAdmitForced;
+    }
+    const double cheapest_bill = view.energy_price * view.cheapest_energy;
+    // Unprofitable even at certainty: no queue state can redeem it.
+    if (view.value < cheapest_bill) return AdmissionVerdict::kDrop;
+    // Expected revenue under the best available core falls short of the
+    // cheapest bill: park it until completions improve its odds.
+    if (view.value * view.best_rho < cheapest_bill) {
+      return AdmissionVerdict::kDefer;
+    }
+    return AdmissionVerdict::kAdmit;
+  }
+
+ private:
+  AdmissionOptions options_;
+};
+
 }  // namespace
 
 // Self-registration of the built-ins. This translation unit always links
@@ -73,6 +114,9 @@ ECDRA_REGISTER_ADMISSION("none", [](const AdmissionOptions&) {
 })
 ECDRA_REGISTER_ADMISSION("rho", [](const AdmissionOptions& options) {
   return std::make_unique<RhoAdmission>(options);
+})
+ECDRA_REGISTER_ADMISSION("value-density", [](const AdmissionOptions& options) {
+  return std::make_unique<ValueDensityAdmission>(options);
 })
 
 }  // namespace ecdra::stream

@@ -13,7 +13,10 @@
 // registry shape every other policy surface shares: built-ins register at
 // static initialization, duplicates throw, unknown names throw listing the
 // valid choices. Built-ins: "none" (admit everything — the pure-accrual
-// baseline) and "rho" (threshold defer/drop with a fairness guard).
+// baseline), "rho" (threshold defer/drop with a fairness guard), and
+// "value-density" (econ extension: defer/drop by expected value per joule —
+// a task whose tier-scaled value cannot cover its cheapest possible energy
+// bill is refused before it burns anything).
 #pragma once
 
 #include <cstddef>
@@ -58,6 +61,15 @@ struct AdmissionView {
   /// cores to cross the degraded hysteresis — policies tighten under it.
   bool degraded = false;
   std::size_t pen_depth = 0;
+  /// Econ extension (src/econ), populated only when a non-trivial EconModel
+  /// runs — the zero defaults make every econ-aware rule vacuous, so
+  /// pre-econ policies and runs decide exactly as before. `value` is the
+  /// task's tier-scaled revenue; `cheapest_energy` the minimum expected
+  /// joules any core/P-state could spend on it; `energy_price` the model's
+  /// price per joule.
+  double value = 0.0;
+  double cheapest_energy = 0.0;
+  double energy_price = 0.0;
 };
 
 class AdmissionPolicy {

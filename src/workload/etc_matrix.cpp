@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "util/assert.hpp"
+#include "workload/type_bounds.hpp"
 
 namespace ecdra::workload {
 
@@ -21,13 +22,13 @@ EtcMatrix::EtcMatrix(std::size_t num_types, std::size_t num_machines,
 }
 
 double EtcMatrix::at(std::size_t type, std::size_t machine) const {
-  ECDRA_REQUIRE(type < num_types_ && machine < num_machines_,
-                "ETC index out of range");
+  RequireTypeInRange("ETC matrix", type, num_types_);
+  ECDRA_REQUIRE(machine < num_machines_, "ETC machine index out of range");
   return values_[type * num_machines_ + machine];
 }
 
 double EtcMatrix::TypeMean(std::size_t type) const {
-  ECDRA_REQUIRE(type < num_types_, "ETC type out of range");
+  RequireTypeInRange("ETC matrix", type, num_types_);
   const auto row = values_.begin() + static_cast<std::ptrdiff_t>(
                                          type * num_machines_);
   return std::accumulate(row, row + static_cast<std::ptrdiff_t>(num_machines_),

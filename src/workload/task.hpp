@@ -39,6 +39,13 @@ struct Task {
   /// Stage index within the job's chain (0 for degenerate tasks; stage s
   /// becomes ready when every task of stage s-1 has completed).
   std::size_t stage = 0;
+  /// Revenue earned by completing this task on time, already scaled by its
+  /// SLA tier's value multiplier (src/econ). 0.0 outside econ mode, which
+  /// keeps every pre-econ artifact (trace columns, hashes) byte-identical.
+  double value = 0.0;
+  /// Index into the econ model's SLA tier list (0 when the model has no
+  /// tiers — the neutral best-effort tier).
+  std::size_t tier = 0;
 
   friend bool operator==(const Task&, const Task&) = default;
 };

@@ -1,6 +1,7 @@
 #include "workload/task_type_table.hpp"
 
 #include "util/assert.hpp"
+#include "workload/type_bounds.hpp"
 
 namespace ecdra::workload {
 
@@ -72,7 +73,7 @@ TaskTypeTable::TaskTypeTable(std::size_t num_types, std::size_t num_nodes,
 
 std::size_t TaskTypeTable::Index(std::size_t type, std::size_t node,
                                  cluster::PStateIndex pstate) const {
-  ECDRA_REQUIRE(type < num_types_, "task type out of range");
+  RequireTypeInRange("task-type table", type, num_types_);
   ECDRA_REQUIRE(node < num_nodes_, "node out of range");
   ECDRA_REQUIRE(pstate < cluster::kNumPStates, "P-state out of range");
   return (type * num_nodes_ + node) * cluster::kNumPStates + pstate;
@@ -89,7 +90,7 @@ double TaskTypeTable::MeanExec(std::size_t type, std::size_t node,
 }
 
 double TaskTypeTable::TypeMeanOverAll(std::size_t type) const {
-  ECDRA_REQUIRE(type < num_types_, "task type out of range");
+  RequireTypeInRange("task-type table", type, num_types_);
   return type_means_[type];
 }
 

@@ -13,6 +13,20 @@ constexpr const char* kHeader = "id,type,arrival,deadline,priority";
 /// Extended header for job workloads; emitted only when some task is a
 /// non-degenerate job member, so pre-jobs traces stay byte-identical.
 constexpr const char* kJobHeader = "id,type,arrival,deadline,priority,job,stage";
+/// Extended header for econ workloads (src/econ); emitted only when some
+/// task carries a non-zero value or tier, so pre-econ traces stay
+/// byte-identical. Composes with the job columns.
+constexpr const char* kEconHeader =
+    "id,type,arrival,deadline,priority,value,tier";
+constexpr const char* kJobEconHeader =
+    "id,type,arrival,deadline,priority,job,stage,value,tier";
+
+bool AnyEconAttributes(const std::vector<Task>& tasks) {
+  for (const Task& task : tasks) {
+    if (task.value != 0.0 || task.tier != 0) return true;
+  }
+  return false;
+}
 }
 
 std::string_view TraceIoErrorKindName(TraceIoErrorKind kind) noexcept {
@@ -39,7 +53,10 @@ TraceIoError::TraceIoError(TraceIoErrorKind kind, const std::string& message)
 
 void WriteTrace(std::ostream& os, const std::vector<Task>& tasks) {
   const bool jobs = !AllTasksDegenerate(tasks);
-  os << (jobs ? kJobHeader : kHeader) << '\n';
+  const bool econ = AnyEconAttributes(tasks);
+  os << (jobs ? (econ ? kJobEconHeader : kJobHeader)
+              : (econ ? kEconHeader : kHeader))
+     << '\n';
   os << std::setprecision(17);
   for (const Task& task : tasks) {
     os << task.id << ',' << task.type << ',' << task.arrival << ','
@@ -50,6 +67,7 @@ void WriteTrace(std::ostream& os, const std::vector<Task>& tasks) {
       os << ',' << (task.job == kSelfJob ? task.id : task.job) << ','
          << task.stage;
     }
+    if (econ) os << ',' << task.value << ',' << task.tier;
     os << '\n';
   }
 }
@@ -60,8 +78,9 @@ std::vector<Task> ReadTrace(std::istream& is) {
     throw TraceIoError(TraceIoErrorKind::kMissingHeader,
                        "trace is missing its header");
   }
-  const bool jobs = line == kJobHeader;
-  if (line != kHeader && !jobs) {
+  const bool jobs = line == kJobHeader || line == kJobEconHeader;
+  const bool econ = line == kEconHeader || line == kJobEconHeader;
+  if (line != kHeader && !jobs && !econ) {
     throw TraceIoError(TraceIoErrorKind::kBadHeader,
                        "unrecognized trace header: " + line);
   }
@@ -78,6 +97,7 @@ std::vector<Task> ReadTrace(std::istream& is) {
     row >> task.id >> comma >> task.type >> comma >> task.arrival >> comma >>
         task.deadline >> comma >> task.priority;
     if (jobs) row >> comma >> task.job >> comma >> task.stage;
+    if (econ) row >> comma >> task.value >> comma >> task.tier;
     if (row.fail() || !(row >> std::ws).eof()) {
       throw TraceIoError(missing_newline ? TraceIoErrorKind::kTruncatedRow
                                          : TraceIoErrorKind::kMalformedRow,

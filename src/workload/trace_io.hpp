@@ -3,9 +3,12 @@
 // Format: header line "id,type,arrival,deadline,priority" then one row per
 // task, full double precision (write -> read -> write is byte-identical).
 // Job workloads (any non-degenerate task, see src/workload/job.hpp) extend
-// the header and rows with ",job,stage"; purely degenerate task lists emit
-// the original five-column format byte-identically, and both headers are
-// accepted on read (five-column rows load with the degenerate defaults).
+// the header and rows with ",job,stage"; econ workloads (any task carrying
+// a non-zero value or tier, see src/econ) extend them with ",value,tier".
+// The extensions compose ("...,job,stage,value,tier") and each is emitted
+// only when some task needs it, so pre-extension traces stay byte-identical
+// — and every header variant is accepted on read (absent columns load with
+// the defaults).
 //
 // Failures throw TraceIoError, which derives std::invalid_argument (so
 // call sites catching the general type keep working) and carries a typed

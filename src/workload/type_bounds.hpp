@@ -1,0 +1,44 @@
+// Typed bounds diagnostic for per-task-type tables. Every consumer of a
+// type-indexed table (TaskTypeTable, EtcMatrix, the econ value table) funnels
+// out-of-range type ids through RequireTypeInRange so a malformed spec or
+// trace fails with a diagnostic naming the offending id, never a silent
+// out-of-bounds read.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace ecdra::workload {
+
+/// Thrown when a task names a type id at or beyond a table's num_types.
+/// Derives std::invalid_argument (not std::out_of_range) so call sites that
+/// already treat malformed inputs uniformly keep catching it.
+class TaskTypeRangeError : public std::invalid_argument {
+ public:
+  TaskTypeRangeError(std::string_view table, std::size_t type,
+                     std::size_t num_types)
+      : std::invalid_argument(std::string(table) + ": task type " +
+                              std::to_string(type) +
+                              " out of range (table holds " +
+                              std::to_string(num_types) + " types)"),
+        type_(type),
+        num_types_(num_types) {}
+
+  [[nodiscard]] std::size_t type() const noexcept { return type_; }
+  [[nodiscard]] std::size_t num_types() const noexcept { return num_types_; }
+
+ private:
+  std::size_t type_;
+  std::size_t num_types_;
+};
+
+/// `table` names the consumer in the diagnostic ("task-type table", "ETC
+/// matrix", "econ value table", ...).
+inline void RequireTypeInRange(std::string_view table, std::size_t type,
+                               std::size_t num_types) {
+  if (type >= num_types) throw TaskTypeRangeError(table, type, num_types);
+}
+
+}  // namespace ecdra::workload

@@ -54,7 +54,7 @@ std::string Sealed(std::string object_json) {
 
 std::string ValidHeaderLine() {
   return Sealed(
-             "{\"record\":\"header\",\"schema\":6,\"seed\":\"5\","
+             "{\"record\":\"header\",\"schema\":7,\"seed\":\"5\","
              "\"config\":\"x\"}") +
          "\n";
 }
@@ -126,6 +126,39 @@ TEST(TrialResultJson, NullExhaustedAtAndViolationsRoundTrip) {
   EXPECT_EQ(restored.total_energy, 0x1.8db3c4579b52dp+26);
   ASSERT_EQ(restored.validation.by_check.size(), 1u);
   EXPECT_EQ(restored.validation.by_check[0], result.validation.by_check[0]);
+}
+
+TEST(TrialResultJson, EconBlockRoundTripsBitExact) {
+  TrialResult result;
+  result.window_size = 10;
+  result.completed = 10;
+  result.econ.enabled = true;
+  result.econ.revenue = 0x1.91eb851eb851fp+6;  // exactness probes
+  result.econ.energy_cost = 0x1.2c0p+7;
+  result.econ.net_profit = result.econ.revenue - result.econ.energy_cost;
+  result.econ.value_offered = 250.0;
+  result.econ.paid_finishes = 42;
+  result.econ.decayed_finishes = 3;
+  result.econ.premium_total = 17;
+  result.econ.premium_on_time = 11;
+
+  const std::string json = TrialResultToJson(result);
+  EXPECT_NE(json.find("\"econ\":{"), std::string::npos) << json;
+  const TrialResult restored = TrialResultFromJson(json);
+  EXPECT_EQ(restored.econ, result.econ);
+}
+
+TEST(TrialResultJson, EconOffTrialsKeepThePreEconFormat) {
+  // A trial without econ metering must serialize without any "econ" key —
+  // and a pre-econ record line (no "econ" object) must load with the econ
+  // block disabled, so old stores stay resumable.
+  TrialResult result;
+  result.window_size = 10;
+  const std::string json = TrialResultToJson(result);
+  EXPECT_EQ(json.find("\"econ\""), std::string::npos) << json;
+  const TrialResult restored = TrialResultFromJson(json);
+  EXPECT_FALSE(restored.econ.enabled);
+  EXPECT_EQ(restored.econ, EconStats{});
 }
 
 TEST(TrialResultJson, RejectsTaskRecords) {
@@ -263,7 +296,7 @@ TEST(CheckpointStore, SchemaV1StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 1"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 6"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 7"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -284,7 +317,7 @@ TEST(CheckpointStore, SchemaV2StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 2"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 6"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 7"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -305,7 +338,7 @@ TEST(CheckpointStore, SchemaV3StoreIsRefusedNamingBothVersions) {
     EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
     const std::string message = error.what();
     EXPECT_NE(message.find("schema version 3"), std::string::npos) << message;
-    EXPECT_NE(message.find("this build reads 6"), std::string::npos)
+    EXPECT_NE(message.find("this build reads 7"), std::string::npos)
         << message;
   }
   std::remove(path.c_str());
@@ -329,7 +362,7 @@ TEST(CheckpointStore, SchemaV4StoreIsRefusedNamingBothVersions) {
       const std::string message = error.what();
       EXPECT_NE(message.find("schema version 4"), std::string::npos)
           << message;
-      EXPECT_NE(message.find("this build reads 6"), std::string::npos)
+      EXPECT_NE(message.find("this build reads 7"), std::string::npos)
           << message;
     }
   }
@@ -356,11 +389,37 @@ TEST(CheckpointStore, SchemaV5StoreIsRefusedNamingBothVersions) {
       const std::string message = error.what();
       EXPECT_NE(message.find("schema version 5"), std::string::npos)
           << message;
-      EXPECT_NE(message.find("this build reads 6"), std::string::npos)
+      EXPECT_NE(message.find("this build reads 7"), std::string::npos)
           << message;
     }
   }
   EXPECT_NE(ReadFile(path).find("\"schema\":5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStore, SchemaV6StoreIsRefusedNamingBothVersions) {
+  // Schema 6 predates the econ block (env.econ.*, run.econ.*) in the
+  // fingerprint preimage and the per-trial "econ" aggregate; a v6 store
+  // cannot attest whether value-aware policies shaped its trials, so both
+  // strict and salvage loads refuse.
+  const std::string path = TempPath("schema_v6");
+  WriteFile(path, Sealed("{\"record\":\"header\",\"schema\":6,\"seed\":\"5\","
+                         "\"config\":\"deadbeefdeadbeef\"}") +
+                      "\n");
+  for (const bool salvage : {false, true}) {
+    try {
+      (void)CheckpointStore::Load(path, {.salvage = salvage});
+      FAIL() << "expected CheckpointError (salvage=" << salvage << ")";
+    } catch (const CheckpointError& error) {
+      EXPECT_EQ(error.kind(), CheckpointErrorKind::kSchemaVersion);
+      const std::string message = error.what();
+      EXPECT_NE(message.find("schema version 6"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("this build reads 7"), std::string::npos)
+          << message;
+    }
+  }
+  EXPECT_NE(ReadFile(path).find("\"schema\":6"), std::string::npos);
   std::remove(path.c_str());
 }
 
@@ -541,6 +600,12 @@ TEST(ConfigFingerprint, SensitiveToResultsShapingOptionsOnly) {
   EXPECT_NE(base, ConfigFingerprint(setup, changed));
   changed = options;
   changed.fault.mtbf = 1000.0;
+  EXPECT_NE(base, ConfigFingerprint(setup, changed));
+  // ...including the econ block: an econ run settles profit per trial, so a
+  // resume must never splice its records into a paper-metric series.
+  changed = options;
+  changed.econ_enabled = true;
+  changed.econ.type_values = {1.0, 4.0};
   EXPECT_NE(base, ConfigFingerprint(setup, changed));
 
   // ...execution mechanics do not.

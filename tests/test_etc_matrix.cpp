@@ -1,10 +1,12 @@
 #include "workload/etc_matrix.hpp"
 
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "util/rng.hpp"
+#include "workload/type_bounds.hpp"
 
 namespace ecdra::workload {
 namespace {
@@ -36,6 +38,21 @@ TEST(EtcMatrix, RejectsOutOfRangeAccess) {
   EXPECT_THROW((void)etc.at(2, 0), std::invalid_argument);
   EXPECT_THROW((void)etc.at(0, 2), std::invalid_argument);
   EXPECT_THROW((void)etc.TypeMean(2), std::invalid_argument);
+}
+
+TEST(EtcMatrix, OutOfRangeTypeNamesTheOffenderInTheDiagnostic) {
+  const EtcMatrix etc(2, 2, {1, 2, 3, 4});
+  try {
+    (void)etc.TypeMean(7);
+    FAIL() << "expected TaskTypeRangeError";
+  } catch (const TaskTypeRangeError& error) {
+    EXPECT_EQ(error.type(), 7u);
+    EXPECT_EQ(error.num_types(), 2u);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("ETC matrix"), std::string::npos) << what;
+    EXPECT_NE(what.find("task type 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 types"), std::string::npos) << what;
+  }
 }
 
 TEST(GenerateCvb, DimensionsAndPositivity) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "batch/batch_runner.hpp"
+#include "econ/econ_model.hpp"
 #include "experiment/paper_config.hpp"
 #include "policy/scenario_spec.hpp"
 #include "sim/checkpoint.hpp"
@@ -123,6 +124,41 @@ TEST(GoldenRegression, PaperGridTrialResultsAreBitIdentical) {
     EXPECT_EQ(it->second, hash)
         << mode << ' ' << heuristic << ' ' << variant << " trial " << trial
         << " diverged from the golden result";
+  }
+}
+
+// Enabling the econ layer with an all-zeros model must not move a single
+// hash: a zero-valued EconModel is detected as trivial and never attached,
+// so the per-trial results stay byte-identical to the pre-econ fixture.
+// Covers the immediate grid (the batch path takes no RunOptions and cannot
+// carry an econ model, so it is structurally unaffected).
+TEST(GoldenRegression, ZeroValuedEconModelReproducesThePaperGrid) {
+  const std::string path = ECDRA_GOLDEN_PATH;
+  const std::map<GoldenKey, std::string> golden = LoadFixture(path, nullptr);
+  const sim::ExperimentSetup setup = experiment::BuildPaperSetup();
+
+  sim::RunOptions run;
+  run.num_trials = kTrialsPerCell;
+  run.governor = "static";
+  run.econ_enabled = true;
+  run.econ = econ::EconModel{};  // all zeros -> trivial -> never attached
+  ASSERT_TRUE(run.econ.trivial());
+
+  for (const std::string& heuristic : core::HeuristicNames()) {
+    for (const std::string& variant : core::FilterVariantNames()) {
+      const std::vector<sim::TrialResult> trials =
+          sim::RunTrials(setup, heuristic, variant, run);
+      for (std::size_t t = 0; t < trials.size(); ++t) {
+        const auto it = golden.find({"immediate", heuristic, variant, t});
+        ASSERT_NE(it, golden.end())
+            << "immediate " << heuristic << ' ' << variant << " trial " << t
+            << " missing from the fixture";
+        EXPECT_EQ(policy::Fnv1a64Hex(sim::TrialResultToJson(trials[t])),
+                  it->second)
+            << "immediate " << heuristic << ' ' << variant << " trial " << t
+            << " diverged once a trivial econ model was enabled";
+      }
+    }
   }
 }
 

@@ -574,5 +574,69 @@ TEST(SummaryStatistics, SummarizeTrialsRequiresAtLeastOneTrial) {
   EXPECT_THROW((void)sim::SummarizeTrials(empty), std::invalid_argument);
 }
 
+TEST(SummaryStatistics, SummarizeTrialsAveragesProfitFields) {
+  sim::TrialResult a;
+  a.econ.enabled = true;
+  a.econ.revenue = 100.0;
+  a.econ.energy_cost = 40.0;
+  a.econ.net_profit = 60.0;
+  a.econ.value_offered = 500.0;
+
+  sim::TrialResult b;
+  b.econ.enabled = true;
+  b.econ.revenue = 20.0;
+  b.econ.energy_cost = 60.0;
+  b.econ.net_profit = -40.0;  // a losing trial: means stay signed
+  b.econ.value_offered = 300.0;
+
+  const std::vector<sim::TrialResult> trials{a, b};
+  const sim::SummaryStatistics summary = sim::SummarizeTrials(trials);
+  EXPECT_EQ(summary.econ_trials, 2u);
+  EXPECT_DOUBLE_EQ(summary.mean_revenue, 60.0);
+  EXPECT_DOUBLE_EQ(summary.mean_energy_cost, 50.0);
+  EXPECT_DOUBLE_EQ(summary.mean_net_profit, 10.0);
+  EXPECT_DOUBLE_EQ(summary.mean_value_offered, 400.0);
+}
+
+TEST(SummaryStatistics, EconTrialsCountsOnlyMeteredTrials) {
+  // A sweep mixing econ-on and econ-off trials (e.g. a resume across a
+  // config change would be refused, but a grid can mix series): the means
+  // average over all trials, while econ_trials reports how many actually
+  // metered — the figure harness keys its profit table off it.
+  sim::TrialResult metered;
+  metered.econ.enabled = true;
+  metered.econ.revenue = 30.0;
+  metered.econ.net_profit = 30.0;
+  const sim::TrialResult plain;  // econ off: all-zero profit fields
+
+  const std::vector<sim::TrialResult> mixed{metered, plain};
+  const sim::SummaryStatistics summary = sim::SummarizeTrials(mixed);
+  EXPECT_EQ(summary.econ_trials, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean_revenue, 15.0);
+  EXPECT_DOUBLE_EQ(summary.mean_net_profit, 15.0);
+
+  const std::vector<sim::TrialResult> plain_only{plain};
+  const sim::SummaryStatistics none = sim::SummarizeTrials(plain_only);
+  EXPECT_EQ(none.econ_trials, 0u);
+  EXPECT_DOUBLE_EQ(none.mean_revenue, 0.0);
+}
+
+TEST(SummaryStatistics, AllDroppedEconTrialBillsWithoutRevenue) {
+  // Every task dropped or missed: no revenue, but the trial still burned
+  // (and is billed for) idle energy — net profit is the full negative bill.
+  sim::TrialResult starved;
+  starved.econ.enabled = true;
+  starved.econ.energy_cost = 75.0;
+  starved.econ.net_profit = -75.0;
+  starved.econ.value_offered = 800.0;
+
+  const std::vector<sim::TrialResult> trials{starved};
+  const sim::SummaryStatistics summary = sim::SummarizeTrials(trials);
+  EXPECT_EQ(summary.econ_trials, 1u);
+  EXPECT_DOUBLE_EQ(summary.mean_revenue, 0.0);
+  EXPECT_DOUBLE_EQ(summary.mean_net_profit, -75.0);
+  EXPECT_DOUBLE_EQ(summary.mean_value_offered, 800.0);
+}
+
 }  // namespace
 }  // namespace ecdra

@@ -59,6 +59,12 @@ policy::ScenarioSpec FullyCustomSpec() {
   spec.fault_domains = "rackA:0-2,rackB:3-4";
   spec.recovery = fault::RecoveryPolicy::kMigrateQueued;
   spec.governor = "budget-feedback";
+  spec.econ_enabled = true;
+  spec.econ.type_values = {1.0, 4.0, 0.5};
+  spec.econ.tiers = {econ::SlaTier{"gold", 3.0, 2.0, 0.8, 0.2},
+                     econ::SlaTier{"best-effort", 1.0, 1.0, 0.0, 0.8}};
+  spec.econ.energy_price = 2.5e-6;
+  spec.econ.value_decay = 150.0;
   spec.grid.heuristics = {"LL", "MECT"};
   spec.grid.filter_variants = {"en", "en+rob"};
   spec.grid.batch_heuristics = {"MinMinCT"};
@@ -126,6 +132,19 @@ TEST(ScenarioSpec, ParseDiagnosticsNameTheOffendingLine) {
   EXPECT_THROW((void)policy::ParseScenarioSpec(""), std::invalid_argument);
 }
 
+TEST(ScenarioSpec, MalformedTierTokensNameTheExpectedShape) {
+  try {
+    (void)policy::ParseScenarioSpec(
+        "ecdra-scenario v1\nenv.econ.tiers = gold@3@2\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string(error.what())
+                  .find("name@vmult@smult@rhofloor@prob"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
 TEST(ScenarioSpec, FingerprintCoversResultShapingKnobsOnly) {
   const policy::ScenarioSpec base;
   const std::string fingerprint = policy::SpecFingerprint(base);
@@ -170,6 +189,24 @@ TEST(ScenarioSpec, FingerprintCoversResultShapingKnobsOnly) {
   EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
   changed = base;
   changed.jobs_placement = "spread";
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  // The v6 econ block: values, tiers, the enable flag, the energy price,
+  // and the decay window all shape results (policies read them), so every
+  // one must perturb the hash.
+  changed = base;
+  changed.econ_enabled = true;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.econ.type_values = {1.0, 5.0};
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.econ.tiers = {econ::SlaTier{"gold", 3.0, 2.0, 0.8, 1.0}};
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.econ.energy_price = 1e-6;
+  EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
+  changed = base;
+  changed.econ.value_decay = 200.0;
   EXPECT_NE(fingerprint, policy::SpecFingerprint(changed));
 
   // ...grid and harness knobs do not (so a resume with more trials or a
@@ -246,6 +283,8 @@ TEST(ScenarioSpec, RunOptionsFromSpecCopiesEveryRunKnob) {
   EXPECT_EQ(options.recovery, spec.recovery);
   EXPECT_EQ(options.governor, spec.governor);
   EXPECT_EQ(options.validation, spec.validation);
+  EXPECT_EQ(options.econ_enabled, spec.econ_enabled);
+  EXPECT_EQ(options.econ, spec.econ);
 }
 
 TEST(Fnv1a64, MatchesKnownVectors) {

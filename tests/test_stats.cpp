@@ -38,6 +38,25 @@ TEST(Quantile, RejectsInvalidInput) {
   EXPECT_THROW((void)QuantileSorted(unsorted, 0.5), std::invalid_argument);
 }
 
+TEST(Quantile, HandlesSignedProfitSamples) {
+  // Per-trial net profit is signed (a starved trial loses money); the
+  // quantile machinery must interpolate across the zero crossing unfazed.
+  const std::vector<double> net{-252.6, -10.0, 0.0, 35.5, 110.0};
+  EXPECT_DOUBLE_EQ(Quantile(net, 0.0), -252.6);
+  EXPECT_DOUBLE_EQ(Quantile(net, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(net, 0.25), -10.0);
+  EXPECT_DOUBLE_EQ(Quantile(net, 1.0), 110.0);
+}
+
+TEST(Summarize, ProfitSamplesKeepSignedWhiskers) {
+  const BoxWhisker box = Summarize({-40.0, -20.0, 0.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(box.min, -40.0);
+  EXPECT_DOUBLE_EQ(box.median, 0.0);
+  EXPECT_DOUBLE_EQ(box.mean, 0.0);
+  EXPECT_DOUBLE_EQ(box.lower_whisker, -40.0);
+  EXPECT_DOUBLE_EQ(box.upper_whisker, 40.0);
+}
+
 TEST(Summarize, FiveNumberSummary) {
   const BoxWhisker box = Summarize({5.0, 1.0, 3.0, 2.0, 4.0});
   EXPECT_EQ(box.n, 5u);

@@ -1,8 +1,11 @@
 #include "workload/task_type_table.hpp"
 
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "test_support.hpp"
+#include "workload/type_bounds.hpp"
 
 namespace ecdra::workload {
 namespace {
@@ -81,6 +84,20 @@ TEST_F(TaskTypeTableTest, RejectsOutOfRange) {
   EXPECT_THROW((void)table_.ExecPmf(0, 2, 0), std::invalid_argument);
   EXPECT_THROW((void)table_.ExecPmf(0, 0, 5), std::invalid_argument);
   EXPECT_THROW((void)table_.TypeMeanOverAll(2), std::invalid_argument);
+}
+
+TEST_F(TaskTypeTableTest, OutOfRangeTypeNamesTheOffenderInTheDiagnostic) {
+  try {
+    (void)table_.ExecPmf(9, 0, 0);
+    FAIL() << "expected TaskTypeRangeError";
+  } catch (const TaskTypeRangeError& error) {
+    EXPECT_EQ(error.type(), 9u);
+    EXPECT_EQ(error.num_types(), 2u);
+    const std::string what = error.what();
+    EXPECT_NE(what.find("task-type table"), std::string::npos) << what;
+    EXPECT_NE(what.find("task type 9"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 types"), std::string::npos) << what;
+  }
 }
 
 TEST(TaskTypeTable, RejectsMismatchedEtc) {

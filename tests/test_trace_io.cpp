@@ -108,6 +108,91 @@ TEST(TraceIo, JobTraceWriteReadWriteIsByteIdentical) {
   EXPECT_EQ(first.str(), second.str());
 }
 
+TEST(TraceIo, EconTraceRoundTripsWithValueAndTierColumns) {
+  // A non-zero value (or tier) switches the writer to the econ header, and
+  // both attributes survive the round trip.
+  const std::vector<Task> tasks{
+      Task{0, 1, 0.0, 10.5, 2.0, kSelfJob, 0, 5.0, 1},
+      Task{1, 2, 1.0, 20.0, 1.0, kSelfJob, 0, 0.25, 0},
+  };
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "id,type,arrival,deadline,priority,value,tier");
+  buffer.seekg(0);
+  EXPECT_EQ(ReadTrace(buffer), tasks);
+}
+
+TEST(TraceIo, JobAndEconColumnsCompose) {
+  const std::vector<Task> tasks{
+      Task{0, 1, 0.0, 10.5, 2.0, 0, 0, 5.0, 1},
+      Task{1, 1, 0.0, 10.5, 2.0, 0, 1, 5.0, 1},
+  };
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks);
+  std::string header;
+  std::getline(buffer, header);
+  EXPECT_EQ(header, "id,type,arrival,deadline,priority,job,stage,value,tier");
+  buffer.seekg(0);
+  EXPECT_EQ(ReadTrace(buffer), tasks);
+}
+
+TEST(TraceIo, ZeroValuedTasksKeepTheLegacyHeaderByteIdentical) {
+  // Tasks whose econ attributes are all defaults (value 0, tier 0) must
+  // serialize exactly as the pre-econ writer did.
+  const std::vector<Task> tasks{Task{7, 2, 1.25, 20.5, 1.0}};
+  std::stringstream buffer;
+  WriteTrace(buffer, tasks);
+  EXPECT_EQ(buffer.str(),
+            "id,type,arrival,deadline,priority\n7,2,1.25,20.5,1\n");
+}
+
+TEST(TraceIo, EconTraceWriteReadWriteIsByteIdentical) {
+  const std::vector<Task> tasks{
+      Task{0, 1, 0.25, 10.5, 2.0, kSelfJob, 0, 1.0 / 3.0, 2},
+      Task{1, 5, 3.0, 40.0, 0.5, kSelfJob, 0, 0.0, 0},
+  };
+  std::stringstream first;
+  WriteTrace(first, tasks);
+  std::stringstream second;
+  WriteTrace(second, ReadTrace(first));
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TraceIo, RejectsEconRowsUnderTheLegacyHeader) {
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority\n0,1,2,3,1,5.0,1\n");
+  try {
+    (void)ReadTrace(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMalformedRow);
+  }
+}
+
+TEST(TraceIo, RejectsMalformedEconRows) {
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority,value,tier\n0,1,2,3,1,notanumber,0\n");
+  try {
+    (void)ReadTrace(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMalformedRow);
+  }
+}
+
+TEST(TraceIo, RejectsLegacyRowsUnderTheEconHeader) {
+  std::stringstream bad(
+      "id,type,arrival,deadline,priority,value,tier\n0,1,2,3,1\n");
+  try {
+    (void)ReadTrace(bad);
+    FAIL() << "expected TraceIoError";
+  } catch (const TraceIoError& error) {
+    EXPECT_EQ(error.kind(), TraceIoErrorKind::kMalformedRow);
+  }
+}
+
 TEST(TraceIo, RejectsJobRowsUnderTheLegacyHeader) {
   // 7 columns under the 5-column header is trailing garbage, not a job row.
   std::stringstream bad(
